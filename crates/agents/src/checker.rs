@@ -1,0 +1,223 @@
+//! Action Checker: vetoes egregiously bad actions before they reach the
+//! target system (paper §3.7 and Figure 1).
+//!
+//! The checker is optional (the paper did not enable it in its evaluation) but
+//! is the component the paper points at for mission-critical deployments: the
+//! operator encodes what the system "should never do" and the checker shields
+//! those actions regardless of what the DNN suggests.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of checking one proposed parameter vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CheckOutcome {
+    /// The action is allowed through unchanged.
+    Allowed,
+    /// The action was rejected; the string names the violated rule.
+    Rejected(String),
+    /// The action was allowed after clamping one or more values into range;
+    /// the payload is the adjusted parameter vector.
+    Clamped(Vec<f64>),
+}
+
+impl CheckOutcome {
+    /// `true` unless the outcome is a rejection.
+    pub fn is_allowed(&self) -> bool {
+        !matches!(self, CheckOutcome::Rejected(_))
+    }
+}
+
+/// A per-parameter bound enforced by the checker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParamBound {
+    /// Parameter name (for error messages).
+    pub name: &'static str,
+    /// Smallest value the checker will let through.
+    pub min: f64,
+    /// Largest value the checker will let through.
+    pub max: f64,
+}
+
+/// The Action Checker.
+pub struct ActionChecker {
+    bounds: Vec<ParamBound>,
+    /// Custom veto rules: each returns `Some(reason)` to reject a vector.
+    vetoes: Vec<Box<dyn Fn(&[f64]) -> Option<String> + Send + Sync>>,
+    /// If `true`, out-of-range values are clamped instead of rejected.
+    clamp_instead_of_reject: bool,
+}
+
+impl fmt::Debug for ActionChecker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActionChecker")
+            .field("bounds", &self.bounds)
+            .field("vetoes", &self.vetoes.len())
+            .field("clamp_instead_of_reject", &self.clamp_instead_of_reject)
+            .finish()
+    }
+}
+
+impl ActionChecker {
+    /// Creates a checker enforcing the given per-parameter bounds.
+    pub fn new(bounds: Vec<ParamBound>, clamp_instead_of_reject: bool) -> Self {
+        for b in &bounds {
+            assert!(b.min <= b.max, "bound for {} is inverted", b.name);
+        }
+        ActionChecker {
+            bounds,
+            vetoes: Vec::new(),
+            clamp_instead_of_reject,
+        }
+    }
+
+    /// A checker that allows everything (the paper's evaluation configuration).
+    pub fn permissive() -> Self {
+        ActionChecker {
+            bounds: Vec::new(),
+            vetoes: Vec::new(),
+            clamp_instead_of_reject: false,
+        }
+    }
+
+    /// Adds a custom veto rule; the closure returns `Some(reason)` to reject.
+    pub fn add_veto<F>(&mut self, rule: F)
+    where
+        F: Fn(&[f64]) -> Option<String> + Send + Sync + 'static,
+    {
+        self.vetoes.push(Box::new(rule));
+    }
+
+    /// Checks a proposed parameter vector.
+    pub fn check(&self, proposed: &[f64]) -> CheckOutcome {
+        for veto in &self.vetoes {
+            if let Some(reason) = veto(proposed) {
+                return CheckOutcome::Rejected(reason);
+            }
+        }
+        if self.bounds.is_empty() {
+            return CheckOutcome::Allowed;
+        }
+        if proposed.len() != self.bounds.len() {
+            return CheckOutcome::Rejected(format!(
+                "expected {} parameters, got {}",
+                self.bounds.len(),
+                proposed.len()
+            ));
+        }
+        let mut clamped = proposed.to_vec();
+        let mut violation = None;
+        for (i, (&value, bound)) in proposed.iter().zip(&self.bounds).enumerate() {
+            if value < bound.min || value > bound.max {
+                violation = Some(format!(
+                    "{} = {value} outside [{}, {}]",
+                    bound.name, bound.min, bound.max
+                ));
+                clamped[i] = value.clamp(bound.min, bound.max);
+            }
+        }
+        match violation {
+            None => CheckOutcome::Allowed,
+            Some(reason) => {
+                if self.clamp_instead_of_reject {
+                    CheckOutcome::Clamped(clamped)
+                } else {
+                    CheckOutcome::Rejected(reason)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lustre_bounds() -> Vec<ParamBound> {
+        vec![
+            ParamBound {
+                // Appendix A.4: the window "should not be smaller than eight".
+                name: "max_rpcs_in_flight",
+                min: 8.0,
+                max: 256.0,
+            },
+            ParamBound {
+                name: "io_rate_limit",
+                min: 50.0,
+                max: 2000.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn permissive_checker_allows_everything() {
+        let checker = ActionChecker::permissive();
+        assert_eq!(checker.check(&[0.0, -5.0, 1e9]), CheckOutcome::Allowed);
+    }
+
+    #[test]
+    fn in_range_values_pass() {
+        let checker = ActionChecker::new(lustre_bounds(), false);
+        let outcome = checker.check(&[16.0, 500.0]);
+        assert_eq!(outcome, CheckOutcome::Allowed);
+        assert!(outcome.is_allowed());
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected_with_reason() {
+        let checker = ActionChecker::new(lustre_bounds(), false);
+        match checker.check(&[4.0, 500.0]) {
+            CheckOutcome::Rejected(reason) => {
+                assert!(reason.contains("max_rpcs_in_flight"));
+                assert!(reason.contains('4'));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clamping_mode_adjusts_instead_of_rejecting() {
+        let checker = ActionChecker::new(lustre_bounds(), true);
+        match checker.check(&[4.0, 5000.0]) {
+            CheckOutcome::Clamped(values) => {
+                assert_eq!(values, vec![8.0, 2000.0]);
+            }
+            other => panic!("expected clamp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let checker = ActionChecker::new(lustre_bounds(), true);
+        assert!(!checker.check(&[16.0]).is_allowed());
+    }
+
+    #[test]
+    fn custom_veto_rules_run_first() {
+        let mut checker = ActionChecker::new(lustre_bounds(), true);
+        // Example of the paper's "never set the CPU clock rate to 0" class of
+        // rule: forbid simultaneously minimal window and minimal rate.
+        checker.add_veto(|p| {
+            if p[0] <= 8.0 && p[1] <= 50.0 {
+                Some("window and rate limit cannot both be at their minimum".into())
+            } else {
+                None
+            }
+        });
+        assert!(checker.check(&[16.0, 100.0]).is_allowed());
+        assert!(!checker.check(&[8.0, 50.0]).is_allowed());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_bounds_rejected() {
+        let _ = ActionChecker::new(
+            vec![ParamBound {
+                name: "x",
+                min: 10.0,
+                max: 1.0,
+            }],
+            false,
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Control Agent: receives Action Messages and applies the parameter changes
+//! to its node (paper §3.7).
+
+use crate::message::ActionMessage;
+use serde::{Deserialize, Serialize};
+
+/// Statistics kept by a control agent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlStats {
+    /// Action messages received.
+    pub received: u64,
+    /// Action messages that actually changed at least one parameter value.
+    pub applied: u64,
+    /// Stale messages ignored because a newer action had already been applied.
+    pub ignored_stale: u64,
+}
+
+/// A Control Agent running on one client node.
+///
+/// The agent is generic over how parameters are actually set: the caller
+/// provides a `setter` closure that receives the full parameter vector. For
+/// the simulated cluster this forwards to
+/// `Cluster::set_params`; for a real deployment it would shell out to
+/// `lctl set_param`, exactly like the paper's Lustre adapter.
+pub struct ControlAgent<F: FnMut(&[f64])> {
+    node: usize,
+    setter: F,
+    last_applied_tick: Option<u64>,
+    last_values: Option<Vec<f64>>,
+    stats: ControlStats,
+}
+
+impl<F: FnMut(&[f64])> ControlAgent<F> {
+    /// Creates a control agent for `node` with the given parameter setter.
+    pub fn new(node: usize, setter: F) -> Self {
+        ControlAgent {
+            node,
+            setter,
+            last_applied_tick: None,
+            last_values: None,
+            stats: ControlStats::default(),
+        }
+    }
+
+    /// The node this agent controls.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ControlStats {
+        self.stats
+    }
+
+    /// The parameter values most recently applied, if any.
+    pub fn last_values(&self) -> Option<&[f64]> {
+        self.last_values.as_deref()
+    }
+
+    /// Handles an incoming action message. Messages older than the most
+    /// recently applied one are ignored (they can arrive out of order when the
+    /// control network is congested); identical values are not re-applied.
+    /// Returns `true` if the setter was invoked.
+    pub fn handle(&mut self, message: &ActionMessage) -> bool {
+        self.stats.received += 1;
+        if let Some(last) = self.last_applied_tick {
+            if message.tick < last {
+                self.stats.ignored_stale += 1;
+                return false;
+            }
+        }
+        let unchanged = self
+            .last_values
+            .as_ref()
+            .map(|v| v == &message.parameter_values)
+            .unwrap_or(false);
+        self.last_applied_tick = Some(message.tick);
+        if unchanged {
+            return false;
+        }
+        (self.setter)(&message.parameter_values);
+        self.last_values = Some(message.parameter_values.clone());
+        self.stats.applied += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn action(tick: u64, values: &[f64]) -> ActionMessage {
+        ActionMessage {
+            tick,
+            action_index: 0,
+            parameter_values: values.to_vec(),
+        }
+    }
+
+    #[test]
+    fn applies_new_parameter_values() {
+        let applied = Rc::new(RefCell::new(Vec::<Vec<f64>>::new()));
+        let sink = applied.clone();
+        let mut agent = ControlAgent::new(1, move |v: &[f64]| sink.borrow_mut().push(v.to_vec()));
+        assert!(agent.handle(&action(1, &[8.0, 2000.0])));
+        assert!(agent.handle(&action(2, &[10.0, 2000.0])));
+        assert_eq!(applied.borrow().len(), 2);
+        assert_eq!(agent.last_values(), Some(&[10.0, 2000.0][..]));
+        assert_eq!(agent.stats().applied, 2);
+        assert_eq!(agent.node(), 1);
+    }
+
+    #[test]
+    fn identical_values_are_not_reapplied() {
+        let count = Rc::new(RefCell::new(0u32));
+        let sink = count.clone();
+        let mut agent = ControlAgent::new(0, move |_: &[f64]| *sink.borrow_mut() += 1);
+        assert!(agent.handle(&action(1, &[8.0])));
+        assert!(!agent.handle(&action(2, &[8.0])), "same values → no syscall");
+        assert_eq!(*count.borrow(), 1);
+        assert_eq!(agent.stats().received, 2);
+        assert_eq!(agent.stats().applied, 1);
+    }
+
+    #[test]
+    fn stale_messages_are_ignored() {
+        let mut agent = ControlAgent::new(0, |_: &[f64]| {});
+        assert!(agent.handle(&action(10, &[8.0])));
+        assert!(!agent.handle(&action(5, &[16.0])), "older tick must be dropped");
+        assert_eq!(agent.stats().ignored_stale, 1);
+        assert_eq!(agent.last_values(), Some(&[8.0][..]));
+    }
+}

@@ -1,0 +1,324 @@
+//! The Interface Daemon (paper §3.3).
+//!
+//! The daemon is the only component that writes to the Replay DB. It receives
+//! differential PI reports and objective measurements from the Monitoring
+//! Agents, reconstructs the full per-node indicator vectors, stores them, and
+//! broadcasts the DRL engine's actions to the registered Control Agents
+//! (optionally after passing them through the Action Checker).
+
+use crate::checker::{ActionChecker, CheckOutcome};
+use crate::message::{ActionMessage, Message, PiReport};
+use crate::wire::{decode_message, encode_message, WireError};
+use capes_replay::SharedReplayDb;
+use crossbeam::channel::Sender;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Counters kept by the daemon (Table-2 style accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterfaceStats {
+    /// PI reports ingested.
+    pub reports_received: u64,
+    /// Objective messages ingested.
+    pub objectives_received: u64,
+    /// Total encoded bytes of all ingested messages.
+    pub bytes_received: u64,
+    /// Actions broadcast to control agents.
+    pub actions_broadcast: u64,
+    /// Actions rejected by the Action Checker.
+    pub actions_rejected: u64,
+    /// Per-tick objective values aggregated and written to the Replay DB.
+    pub objectives_recorded: u64,
+}
+
+/// The Interface Daemon.
+pub struct InterfaceDaemon {
+    db: SharedReplayDb,
+    checker: ActionChecker,
+    /// Last known full PI vector per node, for differential reconstruction.
+    node_state: HashMap<usize, Vec<f64>>,
+    /// Per-tick partial objective sums (node → value) awaiting aggregation.
+    pending_objectives: HashMap<u64, HashMap<usize, f64>>,
+    /// Registered control-agent channels.
+    control_channels: Vec<Sender<ActionMessage>>,
+    /// Number of nodes expected to report an objective each tick.
+    expected_nodes: usize,
+    stats: InterfaceStats,
+}
+
+impl InterfaceDaemon {
+    /// Creates a daemon writing into `db` and expecting `expected_nodes`
+    /// monitored nodes. `checker` screens outgoing actions
+    /// ([`ActionChecker::permissive`] reproduces the paper's evaluation setup).
+    pub fn new(db: SharedReplayDb, expected_nodes: usize, checker: ActionChecker) -> Self {
+        assert!(expected_nodes > 0, "need at least one monitored node");
+        InterfaceDaemon {
+            db,
+            checker,
+            node_state: HashMap::new(),
+            pending_objectives: HashMap::new(),
+            control_channels: Vec::new(),
+            expected_nodes,
+            stats: InterfaceStats::default(),
+        }
+    }
+
+    /// Registers a Control Agent's inbound channel for action broadcasts.
+    pub fn register_control_channel(&mut self, sender: Sender<ActionMessage>) {
+        self.control_channels.push(sender);
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> InterfaceStats {
+        self.stats
+    }
+
+    /// The replay database the daemon writes into.
+    pub fn replay_db(&self) -> &SharedReplayDb {
+        &self.db
+    }
+
+    /// Ingests an encoded wire frame (as received from a Monitoring Agent).
+    pub fn ingest_frame(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        let message = decode_message(frame)?;
+        self.stats.bytes_received += frame.len() as u64;
+        self.ingest(&message);
+        Ok(())
+    }
+
+    /// Ingests a decoded message.
+    pub fn ingest(&mut self, message: &Message) {
+        match message {
+            Message::Report(report) => self.ingest_report(report),
+            Message::Objective { tick, node, value } => {
+                self.stats.objectives_received += 1;
+                self.pending_objectives
+                    .entry(*tick)
+                    .or_default()
+                    .insert(*node, *value);
+                self.flush_objective(*tick);
+            }
+            // Actions and workload changes travel the other way; accept them
+            // silently so a shared bus can be used for every message type.
+            Message::Action(_) | Message::WorkloadChange { .. } => {}
+        }
+    }
+
+    /// Broadcasts an action to every registered Control Agent and records it
+    /// in the Replay DB (for experience replay). Returns the number of agents
+    /// the action was delivered to, or 0 if the Action Checker rejected it.
+    pub fn broadcast_action(&mut self, action: ActionMessage) -> usize {
+        match self.checker.check(&action.parameter_values) {
+            CheckOutcome::Rejected(_) => {
+                self.stats.actions_rejected += 1;
+                return 0;
+            }
+            CheckOutcome::Clamped(values) => {
+                let mut adjusted = action;
+                adjusted.parameter_values = values;
+                return self.deliver(adjusted);
+            }
+            CheckOutcome::Allowed => {}
+        }
+        self.deliver(action)
+    }
+
+    /// Approximate wire size of an action broadcast, in bytes (Table 2).
+    pub fn action_message_size(action: &ActionMessage) -> usize {
+        encode_message(&Message::Action(action.clone())).len()
+    }
+
+    fn deliver(&mut self, action: ActionMessage) -> usize {
+        self.db.insert_action(action.tick, action.action_index);
+        let mut delivered = 0;
+        for channel in &self.control_channels {
+            if channel.send(action.clone()).is_ok() {
+                delivered += 1;
+            }
+        }
+        self.stats.actions_broadcast += 1;
+        delivered
+    }
+
+    fn ingest_report(&mut self, report: &PiReport) {
+        self.stats.reports_received += 1;
+        let state = self
+            .node_state
+            .entry(report.node)
+            .or_insert_with(|| vec![0.0; report.total_pis]);
+        if state.len() != report.total_pis {
+            state.resize(report.total_pis, 0.0);
+        }
+        for &(index, value) in &report.changed {
+            if let Some(slot) = state.get_mut(index as usize) {
+                *slot = value;
+            }
+        }
+        self.db
+            .insert_snapshot(report.tick, report.node, state.clone());
+    }
+
+    /// Writes the aggregate objective for `tick` once every node has reported
+    /// (or immediately if only one node is expected).
+    fn flush_objective(&mut self, tick: u64) {
+        let ready = self
+            .pending_objectives
+            .get(&tick)
+            .map(|m| m.len() >= self.expected_nodes)
+            .unwrap_or(false);
+        if ready {
+            if let Some(values) = self.pending_objectives.remove(&tick) {
+                let total: f64 = values.values().sum();
+                self.db.insert_objective(tick, total);
+                self.stats.objectives_recorded += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitoring::MonitoringAgent;
+    use capes_replay::ReplayConfig;
+    use crossbeam::channel::unbounded;
+
+    fn db(nodes: usize, pis: usize) -> SharedReplayDb {
+        SharedReplayDb::new(ReplayConfig {
+            num_nodes: nodes,
+            pis_per_node: pis,
+            ticks_per_observation: 2,
+            missing_entry_tolerance: 0.2,
+            capacity_ticks: 1000,
+        })
+    }
+
+    #[test]
+    fn differential_reports_are_reconstructed_into_full_snapshots() {
+        let shared = db(1, 4);
+        let mut daemon = InterfaceDaemon::new(shared.clone(), 1, ActionChecker::permissive());
+        let mut agent = MonitoringAgent::new(0, 0.0);
+
+        daemon.ingest(&Message::Report(agent.sample(0, &[1.0, 2.0, 3.0, 4.0])));
+        // Only one PI changes at tick 1; the daemon must still store the full
+        // vector.
+        daemon.ingest(&Message::Report(agent.sample(1, &[1.0, 9.0, 3.0, 4.0])));
+        shared.with_read(|db| {
+            let obs = db.observation_at(1).expect("both ticks stored");
+            // Window of 2 ticks × 4 PIs.
+            assert_eq!(obs.features.as_slice(), &[1.0, 2.0, 3.0, 4.0, 1.0, 9.0, 3.0, 4.0]);
+        });
+        assert_eq!(daemon.stats().reports_received, 2);
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_daemon() {
+        let shared = db(1, 3);
+        let mut daemon = InterfaceDaemon::new(shared.clone(), 1, ActionChecker::permissive());
+        let mut agent = MonitoringAgent::new(0, 0.0);
+        let frame = encode_message(&Message::Report(agent.sample(0, &[5.0, 6.0, 7.0])));
+        daemon.ingest_frame(&frame).unwrap();
+        assert!(daemon.stats().bytes_received > 0);
+        assert!(daemon.ingest_frame(&[0xff, 0x00]).is_err());
+    }
+
+    #[test]
+    fn objectives_are_aggregated_across_nodes() {
+        let shared = db(2, 3);
+        let mut daemon = InterfaceDaemon::new(shared.clone(), 2, ActionChecker::permissive());
+        daemon.ingest(&Message::Objective {
+            tick: 5,
+            node: 0,
+            value: 100.0,
+        });
+        // Only one of two nodes has reported → nothing recorded yet.
+        shared.with_read(|db| assert!(db.objective_at(5).is_none()));
+        daemon.ingest(&Message::Objective {
+            tick: 5,
+            node: 1,
+            value: 50.0,
+        });
+        shared.with_read(|db| assert_eq!(db.objective_at(5), Some(150.0)));
+        assert_eq!(daemon.stats().objectives_recorded, 1);
+    }
+
+    #[test]
+    fn actions_are_broadcast_recorded_and_checked() {
+        let shared = db(1, 3);
+        let mut daemon = InterfaceDaemon::new(
+            shared.clone(),
+            1,
+            ActionChecker::new(
+                vec![crate::checker::ParamBound {
+                    name: "window",
+                    min: 1.0,
+                    max: 256.0,
+                }],
+                false,
+            ),
+        );
+        let (tx_a, rx_a) = unbounded();
+        let (tx_b, rx_b) = unbounded();
+        daemon.register_control_channel(tx_a);
+        daemon.register_control_channel(tx_b);
+
+        let ok = ActionMessage {
+            tick: 3,
+            action_index: 1,
+            parameter_values: vec![16.0],
+        };
+        assert_eq!(daemon.broadcast_action(ok.clone()), 2);
+        assert_eq!(rx_a.recv().unwrap(), ok);
+        assert_eq!(rx_b.recv().unwrap(), ok);
+        shared.with_read(|db| assert_eq!(db.action_at(3), Some(1)));
+        assert!(InterfaceDaemon::action_message_size(&ok) > 0);
+
+        let bad = ActionMessage {
+            tick: 4,
+            action_index: 2,
+            parameter_values: vec![1e9],
+        };
+        assert_eq!(daemon.broadcast_action(bad), 0, "checker must veto");
+        assert_eq!(daemon.stats().actions_rejected, 1);
+        shared.with_read(|db| assert_eq!(db.action_at(4), None));
+        assert!(rx_a.try_recv().is_err());
+    }
+
+    #[test]
+    fn clamping_checker_adjusts_before_broadcast() {
+        let shared = db(1, 3);
+        let mut daemon = InterfaceDaemon::new(
+            shared,
+            1,
+            ActionChecker::new(
+                vec![crate::checker::ParamBound {
+                    name: "window",
+                    min: 8.0,
+                    max: 256.0,
+                }],
+                true,
+            ),
+        );
+        let (tx, rx) = unbounded();
+        daemon.register_control_channel(tx);
+        daemon.broadcast_action(ActionMessage {
+            tick: 1,
+            action_index: 0,
+            parameter_values: vec![2.0],
+        });
+        assert_eq!(rx.recv().unwrap().parameter_values, vec![8.0]);
+    }
+
+    #[test]
+    fn non_ingest_messages_are_tolerated() {
+        let shared = db(1, 3);
+        let mut daemon = InterfaceDaemon::new(shared, 1, ActionChecker::permissive());
+        daemon.ingest(&Message::WorkloadChange { tick: 1 });
+        daemon.ingest(&Message::Action(ActionMessage {
+            tick: 1,
+            action_index: 0,
+            parameter_values: vec![],
+        }));
+        assert_eq!(daemon.stats().reports_received, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Monitoring Agent: samples performance indicators on one client node and
+//! produces differential reports for the Interface Daemon (paper §3.3).
+
+use crate::message::{Message, PiReport};
+use crate::wire::encode_message;
+use serde::{Deserialize, Serialize};
+
+/// Byte- and message-count statistics kept by a monitoring agent, used to
+/// reproduce the "average message size per client" row of Table 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MonitoringStats {
+    /// Reports produced so far.
+    pub reports: u64,
+    /// Total encoded bytes of those reports.
+    pub bytes_sent: u64,
+    /// Total indicators transmitted (after differential suppression).
+    pub indicators_sent: u64,
+}
+
+impl MonitoringStats {
+    /// Average encoded bytes per report (0 if none were sent).
+    pub fn mean_bytes_per_report(&self) -> f64 {
+        if self.reports == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.reports as f64
+        }
+    }
+}
+
+/// A Monitoring Agent running on one client node.
+#[derive(Debug, Clone)]
+pub struct MonitoringAgent {
+    node: usize,
+    /// Values as of the previous sampling tick; indicators equal to their
+    /// previous value (within `threshold`) are suppressed from the report.
+    last_values: Option<Vec<f64>>,
+    /// Relative change below which an indicator is considered unchanged.
+    threshold: f64,
+    stats: MonitoringStats,
+}
+
+impl MonitoringAgent {
+    /// Creates an agent for client `node`. `threshold` is the relative change
+    /// below which a PI is treated as unchanged (0 reproduces the paper's
+    /// exact-equality rule).
+    pub fn new(node: usize, threshold: f64) -> Self {
+        assert!((0.0..1.0).contains(&threshold), "threshold must be in [0, 1)");
+        MonitoringAgent {
+            node,
+            last_values: None,
+            threshold,
+            stats: MonitoringStats::default(),
+        }
+    }
+
+    /// The node this agent monitors.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Accumulated transmission statistics.
+    pub fn stats(&self) -> MonitoringStats {
+        self.stats
+    }
+
+    /// Produces the differential report for this sampling tick. The first
+    /// report after start-up always contains every indicator.
+    pub fn sample(&mut self, tick: u64, pis: &[f64]) -> PiReport {
+        let changed: Vec<(u16, f64)> = match &self.last_values {
+            None => pis.iter().enumerate().map(|(i, &v)| (i as u16, v)).collect(),
+            Some(prev) => {
+                assert_eq!(
+                    prev.len(),
+                    pis.len(),
+                    "indicator count changed between ticks"
+                );
+                pis.iter()
+                    .enumerate()
+                    .filter(|(i, &v)| !is_unchanged(prev[*i], v, self.threshold))
+                    .map(|(i, &v)| (i as u16, v))
+                    .collect()
+            }
+        };
+        self.last_values = Some(pis.to_vec());
+        let report = PiReport {
+            tick,
+            node: self.node,
+            total_pis: pis.len(),
+            changed,
+        };
+        let encoded = encode_message(&Message::Report(report.clone()));
+        self.stats.reports += 1;
+        self.stats.bytes_sent += encoded.len() as u64;
+        self.stats.indicators_sent += report.changed.len() as u64;
+        report
+    }
+
+    /// Resets the differential state (e.g. after a reconnect), forcing the
+    /// next report to be a full one.
+    pub fn reset(&mut self) {
+        self.last_values = None;
+    }
+}
+
+fn is_unchanged(prev: f64, current: f64, threshold: f64) -> bool {
+    if threshold == 0.0 {
+        return prev == current;
+    }
+    let scale = prev.abs().max(current.abs()).max(1e-12);
+    (prev - current).abs() / scale <= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_report_contains_every_indicator() {
+        let mut agent = MonitoringAgent::new(2, 0.0);
+        let report = agent.sample(0, &[1.0, 2.0, 3.0]);
+        assert_eq!(report.node, 2);
+        assert_eq!(report.total_pis, 3);
+        assert_eq!(report.changed.len(), 3);
+    }
+
+    #[test]
+    fn unchanged_indicators_are_suppressed() {
+        let mut agent = MonitoringAgent::new(0, 0.0);
+        agent.sample(0, &[1.0, 2.0, 3.0, 4.0]);
+        let report = agent.sample(1, &[1.0, 2.5, 3.0, 4.0]);
+        assert_eq!(report.changed, vec![(1, 2.5)]);
+        // Nothing changed at all → empty report (but still a report, so the
+        // daemon knows the node is alive).
+        let empty = agent.sample(2, &[1.0, 2.5, 3.0, 4.0]);
+        assert!(empty.changed.is_empty());
+    }
+
+    #[test]
+    fn relative_threshold_filters_noise() {
+        let mut agent = MonitoringAgent::new(0, 0.01);
+        agent.sample(0, &[100.0, 50.0]);
+        // 0.5 % change on the first PI: below threshold → suppressed.
+        let r = agent.sample(1, &[100.5, 60.0]);
+        assert_eq!(r.changed, vec![(1, 60.0)]);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reflect_compression() {
+        let mut agent = MonitoringAgent::new(1, 0.0);
+        let pis: Vec<f64> = (0..44).map(|i| i as f64).collect();
+        agent.sample(0, &pis);
+        for t in 1..100u64 {
+            // Only two PIs change per tick after the first.
+            let mut next = pis.clone();
+            next[3] = t as f64;
+            next[7] = t as f64 * 2.0;
+            agent.sample(t, &next);
+        }
+        let stats = agent.stats();
+        assert_eq!(stats.reports, 100);
+        assert!(stats.indicators_sent < 44 + 99 * 5);
+        // Differential reports must average far below a full 44-PI frame.
+        assert!(stats.mean_bytes_per_report() < 60.0);
+    }
+
+    #[test]
+    fn reset_forces_full_report() {
+        let mut agent = MonitoringAgent::new(0, 0.0);
+        agent.sample(0, &[1.0, 2.0]);
+        agent.reset();
+        let r = agent.sample(1, &[1.0, 2.0]);
+        assert_eq!(r.changed.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "indicator count changed")]
+    fn inconsistent_width_panics() {
+        let mut agent = MonitoringAgent::new(0, 0.0);
+        agent.sample(0, &[1.0, 2.0]);
+        agent.sample(1, &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Criterion benchmarks of the end-to-end experiment building blocks and the
+//! ablations called out in DESIGN.md: one full CAPES system tick per workload,
+//! the cost of the Action Checker in the action path, and the effect of the
+//! target-network update rate on a burst of training steps.
+//!
+//! These complement the `fig*` binaries: the binaries regenerate the paper's
+//! figures (minutes of simulated time), while these benches track the cost of
+//! the pieces those figures are built from.
+
+use capes::objective::Objective;
+use capes::prelude::*;
+use capes::system::CapesSystem;
+use capes_agents::{checker::ParamBound, ActionChecker};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn quick_system(workload: Workload, seed: u64) -> CapesSystem<SimulatedLustre> {
+    let target = SimulatedLustre::builder().workload(workload).seed(seed).build();
+    CapesSystem::new(target, Hyperparameters::quick_test(), seed)
+}
+
+fn bench_system_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capes_system_tick");
+    group.sample_size(20);
+    for (label, workload) in [
+        ("random_1_9", Workload::random_rw(0.1)),
+        ("fileserver", Workload::fileserver()),
+    ] {
+        let mut system = quick_system(workload, 11);
+        // Warm up so the replay DB can form observations and training runs.
+        for _ in 0..50 {
+            system.training_tick();
+        }
+        group.bench_function(BenchmarkId::new("training", label), |b| {
+            b.iter(|| black_box(system.training_tick()))
+        });
+        group.bench_function(BenchmarkId::new("baseline", label), |b| {
+            b.iter(|| black_box(system.baseline_tick()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_action_checker_ablation(c: &mut Criterion) {
+    // Ablation: does screening every action through the checker add measurable
+    // overhead to the action path? (The paper leaves the checker optional.)
+    let mut group = c.benchmark_group("ablation_action_checker");
+    group.sample_size(20);
+
+    let make = |checker: ActionChecker, seed: u64| {
+        let target = SimulatedLustre::builder()
+            .workload(Workload::random_rw(0.1))
+            .seed(seed)
+            .build();
+        let mut system = CapesSystem::with_objective_and_checker(
+            target,
+            Hyperparameters::quick_test(),
+            Objective::Throughput,
+            checker,
+            seed,
+        );
+        for _ in 0..30 {
+            system.training_tick();
+        }
+        system
+    };
+
+    let mut without = make(ActionChecker::permissive(), 21);
+    group.bench_function("checker_disabled", |b| {
+        b.iter(|| black_box(without.training_tick()))
+    });
+
+    let bounds = vec![
+        ParamBound {
+            name: "max_rpcs_in_flight",
+            min: 8.0,
+            max: 256.0,
+        },
+        ParamBound {
+            name: "io_rate_limit",
+            min: 50.0,
+            max: 2000.0,
+        },
+    ];
+    let mut with = make(ActionChecker::new(bounds, true), 21);
+    group.bench_function("checker_enabled", |b| {
+        b.iter(|| black_box(with.training_tick()))
+    });
+    group.finish();
+}
+
+fn bench_target_update_rate_ablation(c: &mut Criterion) {
+    // Ablation: cost of a training burst at different target-network update
+    // rates (α). The arithmetic cost is identical; this guards against the
+    // soft-update accidentally becoming a hot spot at any α.
+    use capes_drl::{DqnAgent, DqnAgentConfig, EpsilonSchedule, TrainerConfig};
+    use capes_replay::{ReplayConfig, SharedReplayDb};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut group = c.benchmark_group("ablation_target_update_rate");
+    group.sample_size(10);
+    let obs = 240usize;
+    let mut rng = StdRng::seed_from_u64(9);
+    let db = SharedReplayDb::new(ReplayConfig {
+        num_nodes: 1,
+        pis_per_node: obs,
+        ticks_per_observation: 1,
+        missing_entry_tolerance: 0.2,
+        capacity_ticks: 1_000,
+    });
+    for t in 0..400u64 {
+        let pis: Vec<f64> = (0..obs).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        db.insert_snapshot(t, 0, pis);
+        db.insert_objective(t, rng.gen_range(0.5..1.5));
+        db.insert_action(t, rng.gen_range(0..5));
+    }
+    for alpha in [0.001, 0.01, 1.0] {
+        let mut agent = DqnAgent::new(
+            DqnAgentConfig {
+                observation_size: obs,
+                num_params: 2,
+                minibatch_size: 32,
+                trainer: TrainerConfig {
+                    target_update_rate: alpha,
+                    ..TrainerConfig::default()
+                },
+                epsilon: EpsilonSchedule::paper_default(),
+            },
+            3,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, _| {
+            b.iter(|| black_box(agent.train_from_db(&db).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_system_tick,
+    bench_action_checker_ablation,
+    bench_target_update_rate_ablation
+);
+criterion_main!(benches);

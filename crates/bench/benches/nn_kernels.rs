@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the neural-network kernels behind the
+//! Table-2 training-step measurements: GEMM strategies, forward passes and
+//! full forward+backward passes at the paper's network sizes.
+
+use capes_nn::{Loss, Mlp, MseLoss};
+use capes_tensor::{Matrix, MatmulStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[64usize, 240, 600] {
+        let a = Matrix::random_init(32, n, capes_tensor::WeightInit::XavierUniform, &mut rng);
+        let b = Matrix::random_init(n, n, capes_tensor::WeightInit::XavierUniform, &mut rng);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_with(&b, MatmulStrategy::Blocked)))
+        });
+        group.bench_with_input(BenchmarkId::new("threaded", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_with(&b, MatmulStrategy::Threaded)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q_network_forward");
+    let mut rng = StdRng::seed_from_u64(2);
+    // Compact (quick-run) network and the paper-sized 2200-input network.
+    for &(label, input) in &[("compact_240", 240usize), ("paper_2200", 2200usize)] {
+        let net = Mlp::capes_q_network(input, 5, &mut rng);
+        let x = Matrix::random_init(1, input, capes_tensor::WeightInit::XavierUniform, &mut rng);
+        group.bench_function(label, |bench| {
+            bench.iter(|| black_box(net.forward_inference(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q_network_train_pass");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    for &(label, input) in &[("compact_240", 240usize), ("paper_2200", 2200usize)] {
+        let mut net = Mlp::capes_q_network(input, 5, &mut rng);
+        let x = Matrix::random_init(32, input, capes_tensor::WeightInit::XavierUniform, &mut rng);
+        let t = Matrix::zeros(32, 5);
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                let pred = net.forward(&x);
+                let (_, d) = MseLoss.loss_and_grad(&pred, &t);
+                black_box(net.backward(&d))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_forward, bench_forward_backward);
+criterion_main!(benches);

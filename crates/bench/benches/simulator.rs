@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the cluster simulator and the monitoring wire
+//! protocol: per-tick simulation cost, indicator extraction, and message
+//! encoding (the per-second costs a real deployment would pay on every node).
+
+use capes_agents::{encode_message, Message, MonitoringAgent};
+use capes_simstore::{Cluster, ClusterConfig, PiMode, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cluster_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_tick");
+    for (label, workload) in [
+        ("random_1_9", Workload::random_rw(0.1)),
+        ("fileserver", Workload::fileserver()),
+        ("seq_write", Workload::sequential_write()),
+    ] {
+        let mut cluster = Cluster::new(ClusterConfig::default(), workload, 1);
+        group.bench_function(label, |b| b.iter(|| black_box(cluster.step())));
+    }
+    group.finish();
+}
+
+fn bench_indicator_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("performance_indicators");
+    for (label, mode) in [("compact", PiMode::Compact), ("full_44", PiMode::Full)] {
+        let config = ClusterConfig {
+            pi_mode: mode,
+            ..Default::default()
+        };
+        let mut cluster = Cluster::new(config, Workload::fileserver(), 2);
+        cluster.step();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, _| {
+            b.iter(|| black_box(cluster.normalized_indicators(0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_encoding(c: &mut Criterion) {
+    let config = ClusterConfig {
+        pi_mode: PiMode::Full,
+        ..Default::default()
+    };
+    let mut cluster = Cluster::new(config, Workload::fileserver(), 3);
+    cluster.step();
+    let mut monitor = MonitoringAgent::new(0, 0.0);
+    // Prime the differential state so the benchmark measures steady-state
+    // (mostly-changed) reports.
+    monitor.sample(0, &cluster.normalized_indicators(0));
+    c.bench_function("wire_encode_full_report", |b| {
+        let mut tick = 1u64;
+        b.iter(|| {
+            cluster.step();
+            let report = monitor.sample(tick, &cluster.normalized_indicators(0));
+            tick += 1;
+            black_box(encode_message(&Message::Report(report)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cluster_tick,
+    bench_indicator_extraction,
+    bench_wire_encoding
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmark for the full DQN training step (minibatch sampling +
+//! Bellman targets + backpropagation + Adam + target-network update) — the
+//! "duration of training step" row of Table 2 — plus action-selection latency.
+
+use capes_drl::{DqnAgent, DqnAgentConfig};
+use capes_replay::{ReplayConfig, SharedReplayDb};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn filled_db(observation_size: usize, ticks: u64) -> SharedReplayDb {
+    let mut rng = StdRng::seed_from_u64(7);
+    let db = SharedReplayDb::new(ReplayConfig {
+        num_nodes: 1,
+        pis_per_node: observation_size,
+        ticks_per_observation: 1,
+        missing_entry_tolerance: 0.2,
+        capacity_ticks: ticks as usize + 10,
+    });
+    for t in 0..ticks {
+        let pis: Vec<f64> = (0..observation_size)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        db.insert_snapshot(t, 0, pis);
+        db.insert_objective(t, rng.gen_range(0.5..1.5));
+        db.insert_action(t, rng.gen_range(0..5));
+    }
+    db
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dqn_training_step");
+    group.sample_size(10);
+    for &(label, obs) in &[("compact_240", 240usize), ("paper_2200", 2200usize)] {
+        let db = filled_db(obs, 500);
+        let mut agent = DqnAgent::new(DqnAgentConfig::paper_default(obs, 2), 1);
+        group.bench_with_input(BenchmarkId::new("minibatch_32", label), &obs, |bench, _| {
+            bench.iter(|| black_box(agent.train_from_db(&db).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_action_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("action_selection");
+    for &(label, obs) in &[("compact_240", 240usize), ("paper_2200", 2200usize)] {
+        let db = filled_db(obs, 50);
+        let mut agent = DqnAgent::new(DqnAgentConfig::paper_default(obs, 2), 2);
+        let observation = db.observation_at(30).unwrap();
+        group.bench_function(label, |bench| {
+            bench.iter(|| black_box(agent.select_action(&observation, 100_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_step, bench_action_selection);
+criterion_main!(benches);

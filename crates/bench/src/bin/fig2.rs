@@ -1,0 +1,70 @@
+//! Figure 2 — random read/write workloads: throughput before tuning (default
+//! Lustre settings), after "12 hours" of training and after "24 hours" of
+//! training, at read:write ratios 9:1, 4:1, 1:1, 1:4 and 1:9.
+//!
+//! The paper's headline numbers: write-heavy mixes gain the most (up to 45 %
+//! at 1:9), read-heavy mixes see little change, and 24 h of training helps
+//! mainly on the noisier read-heavy mixes.
+//!
+//! Run with `cargo run --release -p capes-bench --bin fig2`
+//! (`CAPES_FULL=1` for paper-scale training durations).
+
+use capes::prelude::*;
+use capes_bench::{print_figure, write_json, Bar, FigureRow, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ratios = [0.9, 0.8, 0.5, 0.2, 0.1];
+    let mut rows = Vec::new();
+
+    for (i, &read_fraction) in ratios.iter().enumerate() {
+        let workload = Workload::random_rw(read_fraction);
+        let label = workload.kind().label();
+        eprintln!("[fig2] workload {label}: training ({:?} scale)…", scale);
+        let seed = 2000 + i as u64;
+
+        // 12-hour training run.
+        let (baseline, tuned_12h, mut system) =
+            capes_bench::train_then_measure(workload, scale.twelve_hours(), scale, seed);
+
+        // Continue training to the 24-hour mark on the same system.
+        let extra = scale.twenty_four_hours() - scale.twelve_hours();
+        run_training_session(&mut system, extra);
+        let tuned_24h =
+            run_tuning_session(&mut system, scale.measurement_ticks(), "after 24h training");
+
+        rows.push(FigureRow {
+            workload: label,
+            bars: vec![
+                Bar {
+                    label: "baseline".into(),
+                    ..Bar::from_session(&baseline)
+                },
+                Bar {
+                    label: "after 12h".into(),
+                    mean: tuned_12h.mean_throughput(),
+                    ci: tuned_12h.ci_half_width(),
+                },
+                Bar {
+                    label: "after 24h".into(),
+                    mean: tuned_24h.mean_throughput(),
+                    ci: tuned_24h.ci_half_width(),
+                },
+            ],
+        });
+    }
+
+    print_figure(
+        "Figure 2: random read/write workloads, baseline vs. 12h vs. 24h training",
+        &rows,
+    );
+    write_json("fig2", &rows);
+
+    // Qualitative check mirroring the paper's reading of the figure.
+    let write_heavy_gain = rows.last().map(|r| r.improvement_pct(2)).unwrap_or(0.0);
+    let read_heavy_gain = rows.first().map(|r| r.improvement_pct(2)).unwrap_or(0.0);
+    println!(
+        "\nwrite-heavy (1:9) gain: {write_heavy_gain:+.1}%   read-heavy (9:1) gain: {read_heavy_gain:+.1}%"
+    );
+    println!("paper: +45% at 1:9, no obvious effect at 9:1");
+}

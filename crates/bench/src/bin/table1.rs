@@ -1,0 +1,111 @@
+//! Table 1 — the hyperparameters used in the CAPES evaluation.
+//!
+//! Prints the hyperparameters in force (paper values, and the scaled-down
+//! quick-run values used by the default benchmark configuration) in the same
+//! layout as the paper's table.
+//!
+//! Run with `cargo run -p capes-bench --bin table1`.
+
+use capes::prelude::*;
+
+fn row(name: &str, paper: String, quick: String, description: &str) {
+    println!("{name:<34}{paper:>14}{quick:>14}   {description}");
+}
+
+fn main() {
+    let paper = Hyperparameters::paper();
+    let quick = Hyperparameters::quick_test();
+
+    println!("=== Table 1: hyperparameters (paper values vs. quick-run values) ===\n");
+    println!("{:<34}{:>14}{:>14}   {}", "hyperparameter", "paper", "quick", "description");
+    row(
+        "action tick length",
+        format!("{} s", paper.action_tick_length),
+        format!("{} s", quick.action_tick_length),
+        "one action is performed every second",
+    );
+    row(
+        "epsilon initial value",
+        format!("{}", paper.epsilon_initial),
+        format!("{}", quick.epsilon_initial),
+        "all actions random at the start of training",
+    );
+    row(
+        "epsilon final value",
+        format!("{}", paper.epsilon_final),
+        format!("{}", quick.epsilon_final),
+        "5% random actions after the exploration period",
+    );
+    row(
+        "discount rate (gamma)",
+        format!("{}", paper.discount_rate),
+        format!("{}", quick.discount_rate),
+        "as used in Equation 1",
+    );
+    row(
+        "initial exploration period",
+        format!("{} s", paper.exploration_period_ticks),
+        format!("{} s", quick.exploration_period_ticks),
+        "epsilon anneals linearly over this period",
+    );
+    row(
+        "minibatch size",
+        format!("{}", paper.minibatch_size),
+        format!("{}", quick.minibatch_size),
+        "observations per SGD update",
+    );
+    row(
+        "missing entry tolerance",
+        format!("{}%", paper.missing_entry_tolerance * 100.0),
+        format!("{}%", quick.missing_entry_tolerance * 100.0),
+        "missing data tolerated per observation",
+    );
+    row(
+        "number of hidden layers",
+        format!("{}", paper.num_hidden_layers),
+        format!("{}", quick.num_hidden_layers),
+        "hidden layers are the same width as the input",
+    );
+    row(
+        "Adam learning rate",
+        format!("{}", paper.adam_learning_rate),
+        format!("{}", quick.adam_learning_rate),
+        "learning rate of the Adam optimizer",
+    );
+    row(
+        "sampling tick length",
+        format!("{} s", paper.sampling_tick_length),
+        format!("{} s", quick.sampling_tick_length),
+        "one sample per second",
+    );
+    row(
+        "sampling ticks per observation",
+        format!("{}", paper.sampling_ticks_per_observation),
+        format!("{}", quick.sampling_ticks_per_observation),
+        "seconds of history packed into one observation",
+    );
+    row(
+        "target network update rate (alpha)",
+        format!("{}", paper.target_update_rate),
+        format!("{}", quick.target_update_rate),
+        "theta_target = theta_target*(1-alpha) + theta*alpha",
+    );
+    row(
+        "reward scale (reproduction only)",
+        format!("{}", paper.reward_scale),
+        format!("{:.4}", quick.reward_scale),
+        "objective value multiplier before storage as reward",
+    );
+
+    // The hidden-layer width of the paper (600) derives from the observation
+    // size; show the corresponding value for the bundled simulator.
+    let target = SimulatedLustre::builder().build();
+    let obs = target.pis_per_node() * target.num_nodes() * quick.sampling_ticks_per_observation;
+    println!(
+        "\nhidden layer size: equals the observation width — {} for the default \
+         (compact-PI) simulator configuration, {} for the full 44-PI configuration \
+         (paper: 600).",
+        obs,
+        44 * 5 * paper.sampling_ticks_per_observation
+    );
+}

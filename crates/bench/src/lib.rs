@@ -1,0 +1,226 @@
+//! # capes-bench
+//!
+//! The benchmark harness: regenerates every table and figure of the CAPES
+//! paper's evaluation on the simulated cluster.
+//!
+//! Each `fig*` / `table*` binary in `src/bin/` reproduces one artifact:
+//!
+//! | binary   | paper artifact | content |
+//! |----------|----------------|---------|
+//! | `fig2`   | Figure 2 | random R/W mixes: baseline vs. 12 h vs. 24 h training |
+//! | `fig3`   | Figure 3 | fileserver & sequential write: baseline vs. CAPES |
+//! | `fig4`   | Figure 4 | overfitting check: three later sessions reusing one model |
+//! | `fig5`   | Figure 5 | prediction error over the training session |
+//! | `fig6`   | Figure 6 | training-session throughput vs. the baselines |
+//! | `table1` | Table 1  | hyperparameters in force |
+//! | `table2` | Table 2  | technical measurements (training-step time, DB sizes, message sizes) |
+//!
+//! All binaries run a scaled-down configuration by default so the whole set
+//! finishes in minutes; set `CAPES_FULL=1` to run paper-scale durations
+//! (12 h / 24 h training = 43 200 / 86 400 simulated seconds).
+//!
+//! The `benches/` directory contains Criterion micro-benchmarks for the
+//! kernels behind Table 2 (forward/backward passes, training steps, minibatch
+//! construction, simulator ticks) and ablation benches for the design choices
+//! called out in DESIGN.md.
+
+use capes::prelude::*;
+use capes_stats::ConfidenceInterval;
+use serde::Serialize;
+
+/// Experiment scale selected through the `CAPES_FULL` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-long scaled-down runs (default).
+    Quick,
+    /// Paper-scale durations (hours of simulated time).
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("CAPES_FULL") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Simulated seconds corresponding to the paper's 12-hour training run.
+    pub fn twelve_hours(&self) -> u64 {
+        match self {
+            Scale::Quick => 6_000,
+            Scale::Full => 43_200,
+        }
+    }
+
+    /// Simulated seconds corresponding to the paper's 24-hour training run.
+    pub fn twenty_four_hours(&self) -> u64 {
+        match self {
+            Scale::Quick => 10_000,
+            Scale::Full => 86_400,
+        }
+    }
+
+    /// Length of each baseline / tuned measurement phase.
+    pub fn measurement_ticks(&self) -> u64 {
+        match self {
+            Scale::Quick => 600,
+            Scale::Full => 7_200,
+        }
+    }
+
+    /// Hyperparameters appropriate for the scale: the paper's values for the
+    /// full scale, the compressed exploration schedule for the quick scale.
+    pub fn hyperparameters(&self) -> Hyperparameters {
+        match self {
+            Scale::Quick => Hyperparameters::quick_test(),
+            Scale::Full => Hyperparameters::paper(),
+        }
+    }
+}
+
+/// One measured bar of a figure: a label plus mean ± CI throughput.
+#[derive(Debug, Clone, Serialize)]
+pub struct Bar {
+    /// Bar label (e.g. "baseline", "12 h").
+    pub label: String,
+    /// Mean steady-state throughput, MB/s.
+    pub mean: f64,
+    /// Half-width of the 95 % confidence interval.
+    pub ci: f64,
+}
+
+impl Bar {
+    /// Builds a bar from a session result.
+    pub fn from_session(result: &SessionResult) -> Self {
+        Bar {
+            label: result.label.clone(),
+            mean: result.mean_throughput(),
+            ci: result.ci_half_width(),
+        }
+    }
+
+    /// Builds a bar from a pre-computed confidence interval.
+    pub fn from_interval(label: impl Into<String>, interval: &ConfidenceInterval) -> Self {
+        Bar {
+            label: label.into(),
+            mean: interval.mean,
+            ci: interval.half_width,
+        }
+    }
+}
+
+/// One row of a figure: a workload plus its bars.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureRow {
+    /// Workload label (e.g. "random 1:9").
+    pub workload: String,
+    /// The bars, in presentation order.
+    pub bars: Vec<Bar>,
+}
+
+impl FigureRow {
+    /// Relative change of bar `index` over bar 0 (the baseline), in percent.
+    pub fn improvement_pct(&self, index: usize) -> f64 {
+        if self.bars[0].mean <= 0.0 {
+            return 0.0;
+        }
+        (self.bars[index].mean / self.bars[0].mean - 1.0) * 100.0
+    }
+}
+
+/// Prints a figure as an aligned text table (the same rows/series the paper
+/// plots).
+pub fn print_figure(title: &str, rows: &[FigureRow]) {
+    println!("\n=== {title} ===");
+    if rows.is_empty() {
+        return;
+    }
+    print!("{:<22}", "workload");
+    for bar in &rows[0].bars {
+        print!("{:>24}", bar.label);
+    }
+    println!();
+    for row in rows {
+        print!("{:<22}", row.workload);
+        for bar in &row.bars {
+            print!("{:>16.1} ± {:<5.1}", bar.mean, bar.ci);
+        }
+        for i in 1..row.bars.len() {
+            print!("  [{:+.1}%]", row.improvement_pct(i));
+        }
+        println!();
+    }
+}
+
+/// Writes experiment output as JSON under `target/capes-results/` so
+/// EXPERIMENTS.md can reference machine-readable results.
+pub fn write_json(name: &str, rows: &[FigureRow]) {
+    let dir = std::path::Path::new("target").join("capes-results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if let Ok(json) = serde_json::to_string_pretty(rows) {
+            let _ = std::fs::write(&path, json);
+            println!("(results written to {})", path.display());
+        }
+    }
+}
+
+/// Builds a CAPES system around the simulated cluster for one workload.
+pub fn build_system(workload: Workload, scale: Scale, seed: u64) -> CapesSystem<SimulatedLustre> {
+    let target = SimulatedLustre::builder().workload(workload).seed(seed).build();
+    CapesSystem::new(target, scale.hyperparameters(), seed)
+}
+
+/// Runs the paper's standard experiment workflow for one workload: train for
+/// `train_ticks`, then measure baseline and tuned throughput.
+pub fn train_then_measure(
+    workload: Workload,
+    train_ticks: u64,
+    scale: Scale,
+    seed: u64,
+) -> (SessionResult, SessionResult, CapesSystem<SimulatedLustre>) {
+    let mut system = build_system(workload, scale, seed);
+    run_training_session(&mut system, train_ticks);
+    let baseline = run_baseline_session(&mut system, scale.measurement_ticks(), "baseline");
+    let tuned = run_tuning_session(&mut system, scale.measurement_ticks(), "tuned");
+    (baseline, tuned, system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults_to_quick() {
+        // Note: relies on CAPES_FULL not being set in the test environment.
+        if std::env::var("CAPES_FULL").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Quick);
+        }
+        assert_eq!(Scale::Full.twelve_hours(), 43_200);
+        assert_eq!(Scale::Full.twenty_four_hours(), 86_400);
+        assert!(Scale::Quick.twelve_hours() < Scale::Full.twelve_hours());
+        assert_eq!(Scale::Full.hyperparameters(), Hyperparameters::paper());
+    }
+
+    #[test]
+    fn figure_row_improvement() {
+        let row = FigureRow {
+            workload: "x".into(),
+            bars: vec![
+                Bar {
+                    label: "baseline".into(),
+                    mean: 200.0,
+                    ci: 5.0,
+                },
+                Bar {
+                    label: "tuned".into(),
+                    mean: 290.0,
+                    ci: 5.0,
+                },
+            ],
+        };
+        assert!((row.improvement_pct(1) - 45.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,72 @@
+//! # capes
+//!
+//! CAPES — Computer Automated Performance Enhancement System — is an
+//! unsupervised, model-less parameter-tuning system driven by deep
+//! reinforcement learning, reproduced from the SC '17 paper by Li et al.
+//!
+//! This crate is the orchestration layer that ties the substrates together:
+//!
+//! * [`target::TargetSystem`] — the adapter interface of the paper's
+//!   Appendix A: anything that can report per-node performance indicators and
+//!   accept parameter values can be tuned;
+//! * [`hyperparams::Hyperparameters`] — every hyperparameter of Table 1 with
+//!   the paper's values as defaults;
+//! * [`objective`] — single- and multi-objective reward functions (§3.2);
+//! * [`adapter::SimulatedLustre`] — the bundled adapter that binds the
+//!   [`capes_simstore`] cluster simulator as a target system (the analogue of
+//!   the paper's Lustre adapter);
+//! * [`system::CapesSystem`] — Monitoring Agents + Interface Daemon + Replay
+//!   DB + DRL engine wired around a target system (Figure 1);
+//! * [`session`] — training / tuning / baseline session runners used by every
+//!   experiment;
+//! * [`tuners`] — comparator tuners (static defaults, random search, hill
+//!   climbing) representing the search-based prior work discussed in §5.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use capes::prelude::*;
+//!
+//! // A small simulated cluster running the paper's write-heavy workload.
+//! let target = SimulatedLustre::builder()
+//!     .workload(Workload::random_rw(0.1))
+//!     .seed(7)
+//!     .build();
+//!
+//! // Scale the paper's hyperparameters down so this doc-test runs quickly.
+//! let hp = Hyperparameters::quick_test();
+//! let mut system = CapesSystem::new(target, hp, 7);
+//!
+//! // A (very) short training session followed by a tuned measurement.
+//! let training = run_training_session(&mut system, 60);
+//! assert!(training.mean_throughput() > 0.0);
+//! ```
+
+pub mod adapter;
+pub mod hyperparams;
+pub mod objective;
+pub mod session;
+pub mod system;
+pub mod target;
+pub mod tuners;
+
+pub use adapter::SimulatedLustre;
+pub use hyperparams::Hyperparameters;
+pub use objective::Objective;
+pub use session::{run_baseline_session, run_training_session, run_tuning_session, SessionResult};
+pub use system::CapesSystem;
+pub use target::{TargetSystem, TargetTick, TunableSpec};
+
+/// Convenient glob import for examples and benchmarks.
+pub mod prelude {
+    pub use crate::adapter::SimulatedLustre;
+    pub use crate::hyperparams::Hyperparameters;
+    pub use crate::objective::Objective;
+    pub use crate::session::{
+        run_baseline_session, run_training_session, run_tuning_session, SessionResult,
+    };
+    pub use crate::system::CapesSystem;
+    pub use crate::target::{TargetSystem, TargetTick, TunableSpec};
+    pub use crate::tuners::{HillClimbing, RandomSearch, StaticBaseline, Tuner};
+    pub use capes_simstore::{ClusterConfig, PiMode, TunableParams, Workload};
+}

@@ -1,0 +1,180 @@
+//! Session runners: the paper's evaluation workflow (Appendix A.4) is
+//! "turn on CAPES and train for 12–24 hours, turn it off and measure the
+//! baseline, turn it on and measure the tuned performance". These helpers run
+//! each of those phases and attach Pilot-style statistics to the results.
+
+use crate::system::CapesSystem;
+use crate::target::TargetSystem;
+use capes_stats::{analyze, AnalysisConfig, AnalysisReport};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one measurement or training session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionResult {
+    /// Human-readable label ("baseline", "tuned after 12 h", …).
+    pub label: String,
+    /// Per-second aggregate throughput, MB/s.
+    pub throughput_series: Vec<f64>,
+    /// `(tick, prediction error)` pairs from training steps run during the
+    /// session (empty for baseline/tuning sessions).
+    pub prediction_errors: Vec<(u64, f64)>,
+    /// Pilot-style statistical analysis of the throughput series.
+    pub analysis: AnalysisReport,
+    /// Parameter values in force at the end of the session.
+    pub final_params: Vec<f64>,
+}
+
+impl SessionResult {
+    /// Mean steady-state throughput (after transient removal and subsession
+    /// analysis), MB/s.
+    pub fn mean_throughput(&self) -> f64 {
+        self.analysis.interval.mean
+    }
+
+    /// Half-width of the 95 % confidence interval on the mean throughput.
+    pub fn ci_half_width(&self) -> f64 {
+        self.analysis.interval.half_width
+    }
+
+    /// Relative improvement of this session over `baseline`
+    /// (`0.45` means 45 % faster).
+    pub fn improvement_over(&self, baseline: &SessionResult) -> f64 {
+        if baseline.mean_throughput() <= 0.0 {
+            return 0.0;
+        }
+        self.mean_throughput() / baseline.mean_throughput() - 1.0
+    }
+
+    /// Paper-style one-line summary, e.g. `"tuned: 312.4 ± 5.1 MB/s"`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {:.1} ± {:.1} MB/s",
+            self.label,
+            self.mean_throughput(),
+            self.ci_half_width()
+        )
+    }
+
+    fn from_series(
+        label: impl Into<String>,
+        series: Vec<f64>,
+        prediction_errors: Vec<(u64, f64)>,
+        final_params: Vec<f64>,
+    ) -> Self {
+        let analysis = analyze(&series, &AnalysisConfig::default());
+        SessionResult {
+            label: label.into(),
+            throughput_series: series,
+            prediction_errors,
+            analysis,
+            final_params,
+        }
+    }
+}
+
+/// Runs `ticks` seconds of online training (ε-greedy actions plus training
+/// steps), as the paper does for 12–24 hours before measuring.
+pub fn run_training_session<T: TargetSystem>(
+    system: &mut CapesSystem<T>,
+    ticks: u64,
+) -> SessionResult {
+    let errors_before = system.prediction_errors().len();
+    let mut series = Vec::with_capacity(ticks as usize);
+    for _ in 0..ticks {
+        series.push(system.training_tick().throughput_mbps);
+    }
+    let prediction_errors = system.prediction_errors()[errors_before..].to_vec();
+    SessionResult::from_series("training", series, prediction_errors, system.current_params())
+}
+
+/// Runs `ticks` seconds with the trained policy acting greedily (the "tuned"
+/// measurements of Figures 2–4).
+pub fn run_tuning_session<T: TargetSystem>(
+    system: &mut CapesSystem<T>,
+    ticks: u64,
+    label: impl Into<String>,
+) -> SessionResult {
+    let mut series = Vec::with_capacity(ticks as usize);
+    for _ in 0..ticks {
+        series.push(system.tuning_tick().throughput_mbps);
+    }
+    SessionResult::from_series(label, series, Vec::new(), system.current_params())
+}
+
+/// Resets the parameters to their defaults and runs `ticks` seconds without
+/// any tuning (the "baseline, default Lustre settings" measurements).
+pub fn run_baseline_session<T: TargetSystem>(
+    system: &mut CapesSystem<T>,
+    ticks: u64,
+    label: impl Into<String>,
+) -> SessionResult {
+    system.reset_params_to_defaults();
+    let mut series = Vec::with_capacity(ticks as usize);
+    for _ in 0..ticks {
+        series.push(system.baseline_tick().throughput_mbps);
+    }
+    SessionResult::from_series(label, series, Vec::new(), system.current_params())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperparams::Hyperparameters;
+    use crate::target::test_target::QuadraticTarget;
+
+    fn system() -> CapesSystem<QuadraticTarget> {
+        let hp = Hyperparameters {
+            sampling_ticks_per_observation: 3,
+            exploration_period_ticks: 200,
+            adam_learning_rate: 2e-3,
+            train_steps_per_tick: 2,
+            ..Hyperparameters::quick_test()
+        };
+        CapesSystem::new(QuadraticTarget::new(55.0), hp, 11)
+    }
+
+    #[test]
+    fn sessions_produce_series_and_statistics() {
+        let mut sys = system();
+        let baseline = run_baseline_session(&mut sys, 120, "baseline");
+        assert_eq!(baseline.throughput_series.len(), 120);
+        assert!(baseline.mean_throughput() > 0.0);
+        assert!(baseline.prediction_errors.is_empty());
+        assert!(baseline.summary().contains("baseline"));
+        assert_eq!(baseline.final_params, vec![10.0]);
+
+        let training = run_training_session(&mut sys, 300);
+        assert_eq!(training.throughput_series.len(), 300);
+        assert!(!training.prediction_errors.is_empty());
+
+        let tuned = run_tuning_session(&mut sys, 120, "tuned");
+        assert_eq!(tuned.throughput_series.len(), 120);
+        assert!(tuned.label == "tuned");
+    }
+
+    #[test]
+    fn improvement_is_relative_to_baseline() {
+        let base = SessionResult::from_series("b", vec![100.0; 64], Vec::new(), vec![]);
+        let better = SessionResult::from_series("t", vec![145.0; 64], Vec::new(), vec![]);
+        let improvement = better.improvement_over(&base);
+        assert!((improvement - 0.45).abs() < 1e-9);
+        assert_eq!(base.improvement_over(&base), 0.0);
+    }
+
+    #[test]
+    fn baseline_session_resets_parameters() {
+        let mut sys = system();
+        sys.target_mut().apply_params(&[90.0]);
+        let baseline = run_baseline_session(&mut sys, 30, "baseline");
+        assert_eq!(baseline.final_params, vec![10.0], "defaults restored first");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = SessionResult::from_series("x", vec![1.0, 2.0, 3.0, 4.0], vec![(0, 0.5)], vec![8.0]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SessionResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.label, "x");
+        assert_eq!(back.throughput_series.len(), 4);
+    }
+}

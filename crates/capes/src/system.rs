@@ -1,0 +1,500 @@
+//! The assembled CAPES system (Figure 1): Monitoring Agents feeding an
+//! Interface Daemon that writes the Replay DB, a DRL engine that trains on it
+//! and suggests actions, an Action Checker screening those actions, and a
+//! Control Agent applying them to the target system.
+
+use crate::hyperparams::Hyperparameters;
+use crate::objective::Objective;
+use crate::target::{TargetSystem, TunableSpec};
+use capes_agents::{ActionChecker, ActionMessage, ControlAgent, InterfaceDaemon, Message, MonitoringAgent};
+use capes_drl::{ActionSpace, DqnAgent};
+use capes_replay::{ReplayConfig, SharedReplayDb};
+use crossbeam::channel::{unbounded, Receiver};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+use std::sync::Arc;
+
+/// How a tick is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TickMode {
+    /// ε-greedy actions plus training steps (the paper's training session).
+    Training,
+    /// Greedy actions, no training (measuring tuned performance).
+    Tuning,
+    /// No actions at all (measuring the untuned baseline).
+    Baseline,
+}
+
+/// Everything that happened during one system tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemTick {
+    /// Simulated tick index.
+    pub tick: u64,
+    /// Aggregate throughput achieved by the target system, MB/s.
+    pub throughput_mbps: f64,
+    /// Objective-function output (the reward source).
+    pub objective: f64,
+    /// Action index chosen this tick, if any.
+    pub action: Option<usize>,
+    /// Whether the action was exploratory (random).
+    pub explored: bool,
+    /// Prediction error of the training step(s) run this tick, if any.
+    pub prediction_error: Option<f64>,
+}
+
+/// The CAPES system wired around a target system.
+pub struct CapesSystem<T: TargetSystem> {
+    target: T,
+    hyperparams: Hyperparameters,
+    objective: Objective,
+    db: SharedReplayDb,
+    daemon: InterfaceDaemon,
+    monitors: Vec<MonitoringAgent>,
+    control_rx: Receiver<ActionMessage>,
+    control_agent: ControlAgent<Box<dyn FnMut(&[f64]) + Send>>,
+    staged_params: Arc<Mutex<Option<Vec<f64>>>>,
+    agent: DqnAgent,
+    action_space: ActionSpace,
+    specs: Vec<TunableSpec>,
+    tick: u64,
+    rng: StdRng,
+    throughput_history: Vec<f64>,
+    prediction_errors: Vec<(u64, f64)>,
+}
+
+impl<T: TargetSystem> CapesSystem<T> {
+    /// Builds a CAPES deployment around `target` with the default
+    /// (throughput) objective and a permissive Action Checker, matching the
+    /// paper's evaluation configuration.
+    pub fn new(target: T, hyperparams: Hyperparameters, seed: u64) -> Self {
+        Self::with_objective_and_checker(
+            target,
+            hyperparams,
+            Objective::Throughput,
+            ActionChecker::permissive(),
+            seed,
+        )
+    }
+
+    /// Fully-configurable constructor: custom objective function and Action
+    /// Checker.
+    pub fn with_objective_and_checker(
+        target: T,
+        hyperparams: Hyperparameters,
+        objective: Objective,
+        checker: ActionChecker,
+        seed: u64,
+    ) -> Self {
+        hyperparams.validate();
+        let num_nodes = target.num_nodes();
+        let pis_per_node = target.pis_per_node();
+        let specs = target.tunable_specs();
+        assert!(!specs.is_empty(), "target has no tunable parameters");
+
+        let replay_config = ReplayConfig {
+            num_nodes,
+            pis_per_node,
+            ticks_per_observation: hyperparams.sampling_ticks_per_observation,
+            missing_entry_tolerance: hyperparams.missing_entry_tolerance,
+            capacity_ticks: hyperparams.replay_capacity_ticks,
+        };
+        let db = SharedReplayDb::new(replay_config);
+        let mut daemon = InterfaceDaemon::new(db.clone(), num_nodes, checker);
+
+        let (control_tx, control_rx) = unbounded();
+        daemon.register_control_channel(control_tx);
+        let staged_params: Arc<Mutex<Option<Vec<f64>>>> = Arc::new(Mutex::new(None));
+        let staging = staged_params.clone();
+        let setter: Box<dyn FnMut(&[f64]) + Send> =
+            Box::new(move |values: &[f64]| *staging.lock() = Some(values.to_vec()));
+        let control_agent = ControlAgent::new(0, setter);
+
+        let monitors = (0..num_nodes).map(|n| MonitoringAgent::new(n, 0.0)).collect();
+
+        let observation_size = replay_config.observation_size();
+        let agent_config = hyperparams.agent_config(observation_size, specs.len());
+        let agent = DqnAgent::new(agent_config, seed ^ 0x5eed);
+        let action_space = ActionSpace::new(specs.len());
+
+        CapesSystem {
+            target,
+            hyperparams,
+            objective,
+            db,
+            daemon,
+            monitors,
+            control_rx,
+            control_agent,
+            staged_params,
+            agent,
+            action_space,
+            specs,
+            tick: 0,
+            rng: StdRng::seed_from_u64(seed),
+            throughput_history: Vec::new(),
+            prediction_errors: Vec::new(),
+        }
+    }
+
+    /// The target system (read access).
+    pub fn target(&self) -> &T {
+        &self.target
+    }
+
+    /// The target system (mutable access, e.g. to change its workload).
+    pub fn target_mut(&mut self) -> &mut T {
+        &mut self.target
+    }
+
+    /// The hyperparameters in force.
+    pub fn hyperparams(&self) -> &Hyperparameters {
+        &self.hyperparams
+    }
+
+    /// The shared replay database.
+    pub fn replay_db(&self) -> &SharedReplayDb {
+        &self.db
+    }
+
+    /// The DRL agent.
+    pub fn agent(&self) -> &DqnAgent {
+        &self.agent
+    }
+
+    /// Current tick (seconds since the system was assembled).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Per-tick aggregate throughput observed so far.
+    pub fn throughput_history(&self) -> &[f64] {
+        &self.throughput_history
+    }
+
+    /// `(tick, prediction error)` series collected from training steps —
+    /// the data behind Figure 5.
+    pub fn prediction_errors(&self) -> &[(u64, f64)] {
+        &self.prediction_errors
+    }
+
+    /// The parameter values the target system is currently using.
+    pub fn current_params(&self) -> Vec<f64> {
+        self.target.current_params()
+    }
+
+    /// Resets every tunable parameter to its default value (used before
+    /// baseline measurements).
+    pub fn reset_params_to_defaults(&mut self) {
+        let defaults: Vec<f64> = self.specs.iter().map(|s| s.default).collect();
+        self.target.apply_params(&defaults);
+    }
+
+    /// Signals a scheduled workload change: exploration is bumped back up
+    /// (paper §3.6) and the daemon is informed.
+    pub fn notify_workload_change(&mut self) {
+        self.agent
+            .notify_workload_change(self.tick, self.hyperparams.workload_change_bump_ticks);
+        self.daemon.ingest(&Message::WorkloadChange { tick: self.tick });
+    }
+
+    /// One training tick: measure, store, act ε-greedily, train.
+    pub fn training_tick(&mut self) -> SystemTick {
+        self.run_tick(TickMode::Training)
+    }
+
+    /// One tuning tick: measure, store, act greedily, no training.
+    pub fn tuning_tick(&mut self) -> SystemTick {
+        self.run_tick(TickMode::Tuning)
+    }
+
+    /// One baseline tick: measure and store only; parameters stay untouched.
+    pub fn baseline_tick(&mut self) -> SystemTick {
+        self.run_tick(TickMode::Baseline)
+    }
+
+    /// Saves the DRL agent's networks to a checkpoint file.
+    pub fn save_checkpoint<P: AsRef<Path>>(&self, path: P) -> Result<(), std::io::Error> {
+        self.agent.save_checkpoint(path)
+    }
+
+    /// Replaces the DRL agent with one restored from a checkpoint (the
+    /// Figure-4 protocol: reuse a trained model in a later session).
+    pub fn restore_checkpoint<P: AsRef<Path>>(
+        &mut self,
+        path: P,
+        seed: u64,
+    ) -> Result<(), std::io::Error> {
+        let restored = DqnAgent::load_checkpoint(path, seed)?;
+        assert_eq!(
+            restored.config().observation_size,
+            self.agent.config().observation_size,
+            "checkpoint was trained for a different observation size"
+        );
+        self.agent = restored;
+        Ok(())
+    }
+
+    /// Interface Daemon statistics (message counts and sizes, Table 2).
+    pub fn daemon_stats(&self) -> capes_agents::InterfaceStats {
+        self.daemon.stats()
+    }
+
+    /// Monitoring-agent statistics, per node (message sizes, Table 2).
+    pub fn monitor_stats(&self) -> Vec<capes_agents::monitoring::MonitoringStats> {
+        self.monitors.iter().map(|m| m.stats()).collect()
+    }
+
+    fn run_tick(&mut self, mode: TickMode) -> SystemTick {
+        // 1. Let the target system run for one second and measure it.
+        let tick_data = self.target.step();
+        assert_eq!(
+            tick_data.num_nodes(),
+            self.monitors.len(),
+            "target reported an unexpected number of nodes"
+        );
+        let objective_value = self.objective.evaluate(&tick_data);
+        self.throughput_history.push(tick_data.throughput_mbps);
+
+        // 2. Monitoring Agents sample and report differentially; the Interface
+        //    Daemon reconstructs and stores the snapshots and the reward.
+        let scaled_objective = objective_value * self.hyperparams.reward_scale;
+        let per_node_objective = scaled_objective / self.monitors.len() as f64;
+        for (node, monitor) in self.monitors.iter_mut().enumerate() {
+            let report = monitor.sample(self.tick, &tick_data.per_node_pis[node]);
+            self.daemon.ingest(&Message::Report(report));
+            self.daemon.ingest(&Message::Objective {
+                tick: self.tick,
+                node,
+                value: per_node_objective,
+            });
+        }
+
+        // 3. Decide on an action (unless this is a baseline measurement).
+        let mut chosen_action = None;
+        let mut explored = false;
+        if mode != TickMode::Baseline {
+            let observation = self.db.observation_at(self.tick);
+            let (action, was_random) = match (&observation, mode) {
+                (Some(obs), TickMode::Training) => {
+                    let decision = self.agent.select_action(obs, self.tick);
+                    (decision.action, decision.explored)
+                }
+                (Some(obs), _) => (self.agent.greedy_action(obs), false),
+                (None, TickMode::Training) => {
+                    // Not enough history for an observation yet: explore.
+                    (self.rng.gen_range(0..self.action_space.len()), true)
+                }
+                (None, _) => (self.action_space.encode(capes_drl::Action::Null), false),
+            };
+            chosen_action = Some(action);
+            explored = was_random;
+
+            // Translate the action into absolute parameter values.
+            let directions = self.action_space.direction_vector(action);
+            let current = self.target.current_params();
+            let proposed: Vec<f64> = current
+                .iter()
+                .zip(directions.iter())
+                .zip(self.specs.iter())
+                .map(|((&value, &dir), spec)| spec.clamp(value + dir * spec.step))
+                .collect();
+
+            // Broadcast through the daemon (Action Checker included), then let
+            // the Control Agent apply whatever arrives.
+            self.daemon.broadcast_action(ActionMessage {
+                tick: self.tick,
+                action_index: action,
+                parameter_values: proposed,
+            });
+            while let Ok(message) = self.control_rx.try_recv() {
+                self.control_agent.handle(&message);
+            }
+            if let Some(values) = self.staged_params.lock().take() {
+                self.target.apply_params(&values);
+            }
+        }
+
+        // 4. Training steps (experience replay).
+        let mut prediction_error = None;
+        if mode == TickMode::Training {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for _ in 0..self.hyperparams.train_steps_per_tick {
+                if let Ok(Some(report)) = self.agent.train_from_db(&self.db) {
+                    sum += report.prediction_error;
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                let mean = sum / count as f64;
+                prediction_error = Some(mean);
+                self.prediction_errors.push((self.tick, mean));
+            }
+        }
+
+        let result = SystemTick {
+            tick: self.tick,
+            throughput_mbps: tick_data.throughput_mbps,
+            objective: objective_value,
+            action: chosen_action,
+            explored,
+            prediction_error,
+        };
+        self.tick += 1;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::test_target::QuadraticTarget;
+
+    fn quick_system(optimum: f64, seed: u64) -> CapesSystem<QuadraticTarget> {
+        let hp = Hyperparameters {
+            sampling_ticks_per_observation: 3,
+            exploration_period_ticks: 200,
+            adam_learning_rate: 2e-3,
+            train_steps_per_tick: 2,
+            ..Hyperparameters::quick_test()
+        };
+        CapesSystem::new(QuadraticTarget::new(optimum), hp, seed)
+    }
+
+    #[test]
+    fn system_assembles_with_correct_dimensions() {
+        let system = quick_system(60.0, 1);
+        assert_eq!(system.agent().config().observation_size, 3 * 1 * 2);
+        assert_eq!(system.agent().action_space().len(), 3);
+        assert_eq!(system.current_params(), vec![10.0]);
+        assert_eq!(system.tick(), 0);
+        assert!(system.throughput_history().is_empty());
+    }
+
+    #[test]
+    fn baseline_ticks_never_touch_parameters() {
+        let mut system = quick_system(60.0, 2);
+        for _ in 0..50 {
+            let t = system.baseline_tick();
+            assert!(t.action.is_none());
+            assert!(t.prediction_error.is_none());
+        }
+        assert_eq!(system.current_params(), vec![10.0]);
+        assert_eq!(system.throughput_history().len(), 50);
+        // Baseline ticks still feed the replay DB (monitoring is always on).
+        assert_eq!(system.replay_db().len(), 50);
+    }
+
+    #[test]
+    fn training_ticks_record_actions_and_prediction_errors() {
+        let mut system = quick_system(60.0, 3);
+        let mut saw_training = false;
+        for _ in 0..80 {
+            let t = system.training_tick();
+            assert!(t.action.is_some());
+            if t.prediction_error.is_some() {
+                saw_training = true;
+            }
+        }
+        assert!(saw_training, "training steps should have run");
+        assert!(!system.prediction_errors().is_empty());
+        assert!(system.agent().training_steps() > 0);
+        // Actions were recorded in the replay DB.
+        let recorded = system
+            .replay_db()
+            .with_read(|db| (0..80).filter(|&t| db.action_at(t).is_some()).count());
+        assert!(recorded > 70);
+    }
+
+    #[test]
+    fn training_moves_parameters_toward_the_optimum() {
+        // The synthetic target peaks at 60 while the default is 10; after a
+        // few thousand training ticks the policy should have pushed the knob
+        // well above its default.
+        let mut system = quick_system(60.0, 4);
+        for _ in 0..4000 {
+            system.training_tick();
+        }
+        let tuned = system.current_params()[0];
+        assert!(
+            tuned > 25.0,
+            "expected the knob to move toward 60, got {tuned}"
+        );
+        // And tuned throughput beats the default-parameter throughput.
+        let tuned_tp: f64 = {
+            let mut sum = 0.0;
+            for _ in 0..100 {
+                sum += system.tuning_tick().throughput_mbps;
+            }
+            sum / 100.0
+        };
+        system.reset_params_to_defaults();
+        let baseline_tp: f64 = {
+            let mut sum = 0.0;
+            for _ in 0..100 {
+                sum += system.baseline_tick().throughput_mbps;
+            }
+            sum / 100.0
+        };
+        assert!(
+            tuned_tp > baseline_tp,
+            "tuned {tuned_tp:.1} should beat baseline {baseline_tp:.1}"
+        );
+    }
+
+    #[test]
+    fn workload_change_notification_raises_exploration() {
+        let mut system = quick_system(60.0, 5);
+        // Train long enough for ε to anneal to the floor.
+        for _ in 0..600 {
+            system.training_tick();
+        }
+        let explored_before: usize = (0..100)
+            .map(|_| usize::from(system.training_tick().explored))
+            .sum();
+        system.notify_workload_change();
+        let explored_after: usize = (0..100)
+            .map(|_| usize::from(system.training_tick().explored))
+            .sum();
+        assert!(
+            explored_after > explored_before,
+            "exploration should rise after a workload change ({explored_before} → {explored_after})"
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trip_through_the_system() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("capes-system-ckpt-{}.json", std::process::id()));
+        let mut system = quick_system(60.0, 6);
+        for _ in 0..200 {
+            system.training_tick();
+        }
+        system.save_checkpoint(&path).unwrap();
+        let mut fresh = quick_system(60.0, 7);
+        fresh.restore_checkpoint(&path, 8).unwrap();
+        assert_eq!(
+            fresh.agent().q_network().observation_size(),
+            system.agent().q_network().observation_size()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn daemon_and_monitor_stats_accumulate() {
+        let mut system = quick_system(60.0, 9);
+        for _ in 0..20 {
+            system.training_tick();
+        }
+        let stats = system.daemon_stats();
+        assert_eq!(stats.reports_received, 20);
+        assert_eq!(stats.objectives_recorded, 20);
+        assert!(stats.actions_broadcast > 0);
+        let monitor_stats = system.monitor_stats();
+        assert_eq!(monitor_stats.len(), 1);
+        assert_eq!(monitor_stats[0].reports, 20);
+        assert!(monitor_stats[0].mean_bytes_per_report() > 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Comparator tuners.
+//!
+//! The paper's related-work discussion (§5) groups prior automatic tuning
+//! systems into model-based feedback controllers and model-less *search*
+//! methods (hill climbing, evolutionary strategies) that sweep parameter
+//! values against a repeatable workload. Its future work explicitly asks for a
+//! comparison of CAPES against "the best results from other automatic tuning
+//! methods". These tuners implement that comparison on the same
+//! [`TargetSystem`] interface CAPES uses:
+//!
+//! * [`StaticBaseline`] — keep the defaults (the paper's baseline);
+//! * [`RandomSearch`] — sample uniformly random parameter vectors and keep the
+//!   best;
+//! * [`HillClimbing`] — greedy coordinate steps from the defaults, the classic
+//!   one-time search approach.
+//!
+//! All of them evaluate a candidate by running the target for a fixed number
+//! of ticks and averaging throughput — exactly the "tweak-benchmark cycle" the
+//! paper argues is too slow, which the benchmark harness quantifies.
+
+use crate::target::{TargetSystem, TunableSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Result of a tuner run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TunerResult {
+    /// Best parameter vector found.
+    pub best_params: Vec<f64>,
+    /// Mean throughput measured with those parameters, MB/s.
+    pub best_throughput: f64,
+    /// Number of candidate configurations evaluated.
+    pub evaluations: usize,
+    /// Total target-system ticks consumed (the tuning cost).
+    pub ticks_used: u64,
+}
+
+/// A parameter tuner that can be compared against CAPES.
+pub trait Tuner {
+    /// Runs the tuner against `target`, evaluating each candidate for
+    /// `eval_ticks` seconds, and returns the best configuration found.
+    fn tune<T: TargetSystem>(&mut self, target: &mut T, eval_ticks: u64) -> TunerResult;
+
+    /// Human-readable name used in benchmark output.
+    fn name(&self) -> &'static str;
+}
+
+fn evaluate<T: TargetSystem>(target: &mut T, params: &[f64], eval_ticks: u64) -> f64 {
+    target.apply_params(params);
+    let mut sum = 0.0;
+    for _ in 0..eval_ticks {
+        sum += target.step().throughput_mbps;
+    }
+    sum / eval_ticks.max(1) as f64
+}
+
+/// Keeps the default parameter values (the untuned baseline of every figure).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticBaseline;
+
+impl Tuner for StaticBaseline {
+    fn tune<T: TargetSystem>(&mut self, target: &mut T, eval_ticks: u64) -> TunerResult {
+        let defaults: Vec<f64> = target.tunable_specs().iter().map(|s| s.default).collect();
+        let throughput = evaluate(target, &defaults, eval_ticks);
+        TunerResult {
+            best_params: defaults,
+            best_throughput: throughput,
+            evaluations: 1,
+            ticks_used: eval_ticks,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "static defaults"
+    }
+}
+
+/// Uniform random search over the parameter space.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    /// Number of random candidates to evaluate.
+    pub candidates: usize,
+    rng: StdRng,
+}
+
+impl RandomSearch {
+    /// Creates a random search evaluating `candidates` configurations.
+    pub fn new(candidates: usize, seed: u64) -> Self {
+        assert!(candidates > 0);
+        RandomSearch {
+            candidates,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn random_params(&mut self, specs: &[TunableSpec]) -> Vec<f64> {
+        specs
+            .iter()
+            .map(|s| {
+                let steps = ((s.max - s.min) / s.step).round() as u64;
+                let k = self.rng.gen_range(0..=steps);
+                s.clamp(s.min + k as f64 * s.step)
+            })
+            .collect()
+    }
+}
+
+impl Tuner for RandomSearch {
+    fn tune<T: TargetSystem>(&mut self, target: &mut T, eval_ticks: u64) -> TunerResult {
+        let specs = target.tunable_specs();
+        let defaults: Vec<f64> = specs.iter().map(|s| s.default).collect();
+        let mut best_params = defaults.clone();
+        let mut best_throughput = evaluate(target, &defaults, eval_ticks);
+        let mut ticks = eval_ticks;
+        for _ in 0..self.candidates {
+            let candidate = self.random_params(&specs);
+            let throughput = evaluate(target, &candidate, eval_ticks);
+            ticks += eval_ticks;
+            if throughput > best_throughput {
+                best_throughput = throughput;
+                best_params = candidate;
+            }
+        }
+        TunerResult {
+            best_params,
+            best_throughput,
+            evaluations: self.candidates + 1,
+            ticks_used: ticks,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random search"
+    }
+}
+
+/// Greedy coordinate hill climbing from the defaults: repeatedly tries ± one
+/// step on each parameter and moves to the best neighbour until no neighbour
+/// improves or the evaluation budget is spent.
+#[derive(Debug, Clone)]
+pub struct HillClimbing {
+    /// Maximum number of candidate evaluations.
+    pub max_evaluations: usize,
+}
+
+impl HillClimbing {
+    /// Creates a hill climber with the given evaluation budget.
+    pub fn new(max_evaluations: usize) -> Self {
+        assert!(max_evaluations > 0);
+        HillClimbing { max_evaluations }
+    }
+}
+
+impl Tuner for HillClimbing {
+    fn tune<T: TargetSystem>(&mut self, target: &mut T, eval_ticks: u64) -> TunerResult {
+        let specs = target.tunable_specs();
+        let mut current: Vec<f64> = specs.iter().map(|s| s.default).collect();
+        let mut current_score = evaluate(target, &current, eval_ticks);
+        let mut evaluations = 1usize;
+        let mut ticks = eval_ticks;
+
+        loop {
+            let mut best_neighbour: Option<(Vec<f64>, f64)> = None;
+            for (i, spec) in specs.iter().enumerate() {
+                for direction in [-1.0, 1.0] {
+                    if evaluations >= self.max_evaluations {
+                        break;
+                    }
+                    let mut candidate = current.clone();
+                    candidate[i] = spec.clamp(candidate[i] + direction * spec.step);
+                    if candidate == current {
+                        continue;
+                    }
+                    let score = evaluate(target, &candidate, eval_ticks);
+                    evaluations += 1;
+                    ticks += eval_ticks;
+                    if best_neighbour
+                        .as_ref()
+                        .map(|(_, s)| score > *s)
+                        .unwrap_or(true)
+                    {
+                        best_neighbour = Some((candidate, score));
+                    }
+                }
+            }
+            match best_neighbour {
+                Some((params, score)) if score > current_score => {
+                    current = params;
+                    current_score = score;
+                }
+                _ => break,
+            }
+            if evaluations >= self.max_evaluations {
+                break;
+            }
+        }
+        // Leave the target configured with the best parameters found.
+        target.apply_params(&current);
+        TunerResult {
+            best_params: current,
+            best_throughput: current_score,
+            evaluations,
+            ticks_used: ticks,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hill climbing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::test_target::QuadraticTarget;
+
+    #[test]
+    fn static_baseline_keeps_defaults() {
+        let mut target = QuadraticTarget::new(60.0);
+        let result = StaticBaseline.tune(&mut target, 20);
+        assert_eq!(result.best_params, vec![10.0]);
+        assert_eq!(result.evaluations, 1);
+        assert_eq!(StaticBaseline.name(), "static defaults");
+    }
+
+    #[test]
+    fn random_search_beats_the_baseline_on_an_easy_surface() {
+        let mut target = QuadraticTarget::new(60.0);
+        let baseline = StaticBaseline.tune(&mut target, 20).best_throughput;
+        let mut search = RandomSearch::new(40, 7);
+        let result = search.tune(&mut target, 20);
+        assert!(result.best_throughput > baseline);
+        assert_eq!(result.evaluations, 41);
+        assert!(result.ticks_used >= 41 * 20);
+        assert!(
+            (result.best_params[0] - 60.0).abs() < 30.0,
+            "best value {} should be near the optimum",
+            result.best_params[0]
+        );
+    }
+
+    #[test]
+    fn hill_climbing_walks_toward_the_optimum() {
+        let mut target = QuadraticTarget::new(40.0);
+        let mut climber = HillClimbing::new(200);
+        let result = climber.tune(&mut target, 20);
+        assert!(
+            result.best_params[0] > 25.0,
+            "hill climbing stopped too early at {}",
+            result.best_params[0]
+        );
+        assert!(result.evaluations <= 200);
+        assert_eq!(climber.name(), "hill climbing");
+        // The target is left configured with the tuned value.
+        assert_eq!(target.current_params(), result.best_params);
+    }
+
+    #[test]
+    fn hill_climbing_respects_its_budget() {
+        let mut target = QuadraticTarget::new(90.0);
+        let mut climber = HillClimbing::new(5);
+        let result = climber.tune(&mut target, 5);
+        assert!(result.evaluations <= 5);
+    }
+}

@@ -1,0 +1,314 @@
+//! The DRL agent: action selection (ε-greedy) plus training, with
+//! checkpointing of the learned model.
+//!
+//! This corresponds to the paper's "DRL Engine" / "Deep Q-Learning Daemon":
+//! it reads observations, suggests actions, trains on experience-replay
+//! minibatches, and persists its networks between sessions.
+
+use crate::action::ActionSpace;
+use crate::epsilon::EpsilonSchedule;
+use crate::qnet::QNetwork;
+use crate::trainer::{TrainReport, Trainer, TrainerConfig};
+use capes_replay::{Minibatch, MinibatchError, Observation, SharedReplayDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Static configuration of a [`DqnAgent`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DqnAgentConfig {
+    /// Width of the flattened observation the agent consumes.
+    pub observation_size: usize,
+    /// Number of tunable parameters (the action space is `2 × this + 1`).
+    pub num_params: usize,
+    /// Minibatch size for each training step (paper: 32).
+    pub minibatch_size: usize,
+    /// Training hyperparameters.
+    pub trainer: TrainerConfig,
+    /// Exploration schedule.
+    pub epsilon: EpsilonSchedule,
+}
+
+impl DqnAgentConfig {
+    /// Paper-default agent for the given observation width and parameter
+    /// count.
+    pub fn paper_default(observation_size: usize, num_params: usize) -> Self {
+        DqnAgentConfig {
+            observation_size,
+            num_params,
+            minibatch_size: 32,
+            trainer: TrainerConfig::default(),
+            epsilon: EpsilonSchedule::paper_default(),
+        }
+    }
+}
+
+/// Checkpoint payload: both networks plus the configuration they were trained
+/// with.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AgentCheckpoint {
+    config: DqnAgentConfig,
+    online: QNetwork,
+    target: QNetwork,
+    training_steps: u64,
+}
+
+/// The decision made by [`DqnAgent::select_action`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActionDecision {
+    /// Index of the chosen action.
+    pub action: usize,
+    /// `true` if the action was chosen uniformly at random (exploration)
+    /// rather than greedily from the Q-network.
+    pub explored: bool,
+    /// ε used for the decision.
+    pub epsilon: f64,
+}
+
+/// The CAPES deep-Q-learning agent.
+#[derive(Debug, Clone)]
+pub struct DqnAgent {
+    config: DqnAgentConfig,
+    action_space: ActionSpace,
+    trainer: Trainer,
+    epsilon: EpsilonSchedule,
+    rng: StdRng,
+}
+
+impl DqnAgent {
+    /// Creates an agent with freshly-initialised networks.
+    pub fn new(config: DqnAgentConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let action_space = ActionSpace::new(config.num_params);
+        let online = QNetwork::new(config.observation_size, action_space.len(), &mut rng);
+        DqnAgent {
+            action_space,
+            trainer: Trainer::new(online, config.trainer),
+            epsilon: config.epsilon,
+            config,
+            rng,
+        }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &DqnAgentConfig {
+        &self.config
+    }
+
+    /// The discrete action space.
+    pub fn action_space(&self) -> ActionSpace {
+        self.action_space
+    }
+
+    /// The online Q-network.
+    pub fn q_network(&self) -> &QNetwork {
+        self.trainer.online()
+    }
+
+    /// Number of training steps performed so far.
+    pub fn training_steps(&self) -> u64 {
+        self.trainer.steps()
+    }
+
+    /// ε-greedy action selection for the observation at action tick `tick`.
+    pub fn select_action(&mut self, observation: &Observation, tick: u64) -> ActionDecision {
+        let eps = self.epsilon.value_at(tick);
+        if self.rng.gen::<f64>() < eps {
+            ActionDecision {
+                action: self.rng.gen_range(0..self.action_space.len()),
+                explored: true,
+                epsilon: eps,
+            }
+        } else {
+            ActionDecision {
+                action: self.trainer.online().best_action(observation),
+                explored: false,
+                epsilon: eps,
+            }
+        }
+    }
+
+    /// Greedy action (no exploration) — used once training is complete and the
+    /// agent is only tuning.
+    pub fn greedy_action(&self, observation: &Observation) -> usize {
+        self.trainer.online().best_action(observation)
+    }
+
+    /// Signals a scheduled workload change at `tick`; exploration is bumped
+    /// back up for `duration_ticks` ticks (paper §3.6).
+    pub fn notify_workload_change(&mut self, tick: u64, duration_ticks: u64) {
+        self.epsilon.bump_for_workload_change(tick, duration_ticks);
+    }
+
+    /// Performs one training step on a minibatch drawn from the shared replay
+    /// database. Returns `Ok(None)` silently if the database cannot yet
+    /// produce a full minibatch (normal at the start of a training session).
+    pub fn train_from_db(
+        &mut self,
+        db: &SharedReplayDb,
+    ) -> Result<Option<TrainReport>, MinibatchError> {
+        match db.construct_minibatch(self.config.minibatch_size, &mut self.rng) {
+            Ok(batch) => Ok(Some(self.train_on_batch(&batch))),
+            Err(MinibatchError::NotEnoughData) | Err(MinibatchError::TooSparse { .. }) => Ok(None),
+        }
+    }
+
+    /// Performs one training step on an explicit minibatch.
+    pub fn train_on_batch(&mut self, batch: &Minibatch) -> TrainReport {
+        self.trainer.train_step(batch)
+    }
+
+    /// Saves the agent's networks and configuration to a JSON checkpoint.
+    pub fn save_checkpoint<P: AsRef<Path>>(&self, path: P) -> Result<(), std::io::Error> {
+        let checkpoint = AgentCheckpoint {
+            config: self.config,
+            online: self.trainer.online().clone(),
+            target: self.trainer.target().clone(),
+            training_steps: self.trainer.steps(),
+        };
+        let json = serde_json::to_string(&checkpoint)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.as_ref().with_extension("tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(tmp, path)?;
+        Ok(())
+    }
+
+    /// Restores an agent from a checkpoint written by
+    /// [`DqnAgent::save_checkpoint`]. The RNG is reseeded with `seed`.
+    pub fn load_checkpoint<P: AsRef<Path>>(path: P, seed: u64) -> Result<Self, std::io::Error> {
+        let data = std::fs::read_to_string(path)?;
+        let checkpoint: AgentCheckpoint =
+            serde_json::from_str(&data).map_err(|e| std::io::Error::other(e.to_string()))?;
+        let action_space = ActionSpace::new(checkpoint.config.num_params);
+        let mut trainer = Trainer::new(checkpoint.online.clone(), checkpoint.config.trainer);
+        trainer.restore_networks(checkpoint.online, checkpoint.target);
+        Ok(DqnAgent {
+            config: checkpoint.config,
+            action_space,
+            trainer,
+            epsilon: checkpoint.config.epsilon,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capes_replay::ReplayConfig;
+    use capes_tensor::Matrix;
+
+    fn obs(values: &[f64]) -> Observation {
+        Observation {
+            tick: 0,
+            features: Matrix::row_vector(values),
+        }
+    }
+
+    fn small_config() -> DqnAgentConfig {
+        DqnAgentConfig {
+            observation_size: 6,
+            num_params: 2,
+            minibatch_size: 8,
+            trainer: TrainerConfig::default(),
+            epsilon: EpsilonSchedule::new(1.0, 0.05, 100),
+        }
+    }
+
+    #[test]
+    fn paper_default_configuration() {
+        let c = DqnAgentConfig::paper_default(2200, 2);
+        assert_eq!(c.minibatch_size, 32);
+        assert_eq!(c.trainer.discount_rate, 0.99);
+        assert_eq!(c.epsilon.initial, 1.0);
+        let agent = DqnAgent::new(DqnAgentConfig { observation_size: 20, ..c }, 1);
+        assert_eq!(agent.action_space().len(), 5);
+    }
+
+    #[test]
+    fn early_training_is_mostly_random_late_training_mostly_greedy() {
+        let mut agent = DqnAgent::new(small_config(), 2);
+        let o = obs(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        let explored_early = (0..200)
+            .filter(|_| agent.select_action(&o, 0).explored)
+            .count();
+        let explored_late = (0..200)
+            .filter(|_| agent.select_action(&o, 10_000).explored)
+            .count();
+        assert!(explored_early > 150, "ε=1.0 should explore almost always");
+        assert!(explored_late < 30, "ε=0.05 should rarely explore");
+    }
+
+    #[test]
+    fn greedy_action_matches_q_network() {
+        let agent = DqnAgent::new(small_config(), 3);
+        let o = obs(&[0.5, -0.5, 0.2, 0.0, 0.9, -0.1]);
+        assert_eq!(agent.greedy_action(&o), agent.q_network().best_action(&o));
+    }
+
+    #[test]
+    fn workload_change_bumps_exploration() {
+        let mut agent = DqnAgent::new(small_config(), 4);
+        let o = obs(&[0.0; 6]);
+        // Long after annealing finished, exploration is rare…
+        let before = (0..300)
+            .filter(|_| agent.select_action(&o, 50_000).explored)
+            .count();
+        agent.notify_workload_change(50_000, 1_000);
+        let after = (0..300)
+            .filter(|_| agent.select_action(&o, 50_000).explored)
+            .count();
+        assert!(after > before, "bump must raise exploration ({before} → {after})");
+    }
+
+    #[test]
+    fn train_from_db_handles_empty_and_filled_databases() {
+        let mut agent = DqnAgent::new(small_config(), 5);
+        let db = SharedReplayDb::new(ReplayConfig {
+            num_nodes: 2,
+            pis_per_node: 3,
+            ticks_per_observation: 1,
+            missing_entry_tolerance: 0.2,
+            capacity_ticks: 1000,
+        });
+        // Empty DB: no training happens, no error.
+        assert!(agent.train_from_db(&db).unwrap().is_none());
+        // Fill the DB with observations whose width matches 2 nodes × 3 PIs.
+        for t in 0..200u64 {
+            for n in 0..2 {
+                db.insert_snapshot(t, n, vec![0.1 * t as f64 % 1.0, n as f64, 0.5]);
+            }
+            db.insert_objective(t, 100.0);
+            db.insert_action(t, (t % 5) as usize);
+        }
+        let report = agent.train_from_db(&db).unwrap().expect("should train now");
+        assert_eq!(report.step, 1);
+        assert_eq!(agent.training_steps(), 1);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_policy() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("capes-drl-agent-{}.json", std::process::id()));
+        let agent = DqnAgent::new(small_config(), 6);
+        let o = obs(&[0.3, 0.6, -0.4, 0.2, 0.0, 0.8]);
+        let before = agent.greedy_action(&o);
+        agent.save_checkpoint(&path).unwrap();
+        let restored = DqnAgent::load_checkpoint(&path, 99).unwrap();
+        assert_eq!(restored.greedy_action(&o), before);
+        assert_eq!(restored.config().observation_size, 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_checkpoint_missing_file_errors() {
+        assert!(DqnAgent::load_checkpoint("/nonexistent/agent.json", 1).is_err());
+    }
+}

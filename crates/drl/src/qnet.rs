@@ -1,0 +1,220 @@
+//! The Q-network wrapper: observation in, one Q-value per action out.
+//!
+//! The paper chooses the "single forward pass produces the Q-value of every
+//! action" formulation (§3.4) because its cost does not grow with the number
+//! of candidate actions, and parameterises the network as a two-hidden-layer
+//! tanh MLP whose hidden layers are as wide as the input (Table 1).
+
+use capes_nn::{Activation, Mlp};
+use capes_replay::Observation;
+use capes_tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A Q-network: maps a flattened observation to a vector of Q-values, one per
+/// action.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QNetwork {
+    network: Mlp,
+}
+
+impl QNetwork {
+    /// Builds the paper's architecture: `input → input (tanh) → input (tanh)
+    /// → num_actions (linear)`.
+    pub fn new<R: Rng + ?Sized>(observation_size: usize, num_actions: usize, rng: &mut R) -> Self {
+        assert!(observation_size > 0 && num_actions > 0);
+        QNetwork {
+            network: Mlp::capes_q_network(observation_size, num_actions, rng),
+        }
+    }
+
+    /// Builds a Q-network with custom hidden widths (used by the
+    /// hyperparameter-ablation benchmarks).
+    pub fn with_hidden_layers<R: Rng + ?Sized>(
+        observation_size: usize,
+        hidden: &[usize],
+        num_actions: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut dims = Vec::with_capacity(hidden.len() + 2);
+        dims.push(observation_size);
+        dims.extend_from_slice(hidden);
+        dims.push(num_actions);
+        QNetwork {
+            network: Mlp::new(&dims, Activation::Tanh, rng),
+        }
+    }
+
+    /// Wraps an existing MLP (checkpoint loading).
+    pub fn from_mlp(network: Mlp) -> Self {
+        QNetwork { network }
+    }
+
+    /// The underlying MLP (read access).
+    pub fn mlp(&self) -> &Mlp {
+        &self.network
+    }
+
+    /// The underlying MLP (mutable access, used by the trainer/optimizer).
+    pub fn mlp_mut(&mut self) -> &mut Mlp {
+        &mut self.network
+    }
+
+    /// Observation width the network expects.
+    pub fn observation_size(&self) -> usize {
+        self.network.input_dim()
+    }
+
+    /// Number of actions (output neurons).
+    pub fn num_actions(&self) -> usize {
+        self.network.output_dim()
+    }
+
+    /// Q-values of every action for a single observation (no gradient state).
+    pub fn q_values(&self, observation: &Observation) -> Vec<f64> {
+        assert_eq!(
+            observation.size(),
+            self.observation_size(),
+            "observation width {} does not match the network input {}",
+            observation.size(),
+            self.observation_size()
+        );
+        self.network
+            .forward_inference(&observation.features)
+            .row(0)
+            .to_vec()
+    }
+
+    /// Q-values for a batch of observations stacked as rows (no gradients).
+    pub fn q_values_batch(&self, observations: &Matrix) -> Matrix {
+        self.network.forward_inference(observations)
+    }
+
+    /// Index of the greedy (highest-Q) action for an observation.
+    pub fn best_action(&self, observation: &Observation) -> usize {
+        let q = self.q_values(observation);
+        q.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Soft-update of this network toward `online`:
+    /// `θ⁻ ← θ⁻ (1 − α) + θ α` (the paper's target-network rule, Table 1:
+    /// α = 0.01).
+    pub fn soft_update_from(&mut self, online: &QNetwork, alpha: f64) {
+        assert!((0.0..=1.0).contains(&alpha), "α must be in [0, 1]");
+        self.network.blend_from(&online.network, alpha);
+    }
+
+    /// Parameter distance to another Q-network (diagnostics / tests).
+    pub fn distance_to(&self, other: &QNetwork) -> f64 {
+        self.network.parameter_distance(&other.network)
+    }
+
+    /// In-memory model size in bytes (the Table-2 "size of the DNN model" row).
+    pub fn model_size_bytes(&self) -> usize {
+        self.network.model_size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn obs(values: &[f64]) -> Observation {
+        Observation {
+            tick: 0,
+            features: Matrix::row_vector(values),
+        }
+    }
+
+    #[test]
+    fn paper_architecture_dimensions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = QNetwork::new(40, 5, &mut rng);
+        assert_eq!(q.observation_size(), 40);
+        assert_eq!(q.num_actions(), 5);
+        // 2 hidden layers of the input width plus the linear head.
+        assert_eq!(q.mlp().layers().len(), 3);
+        assert_eq!(q.mlp().layers()[0].output_dim(), 40);
+        assert_eq!(q.mlp().layers()[1].output_dim(), 40);
+        assert!(q.model_size_bytes() > 0);
+    }
+
+    #[test]
+    fn q_values_and_best_action_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = QNetwork::new(6, 5, &mut rng);
+        let o = obs(&[0.1, -0.2, 0.3, 0.0, 0.5, -0.4]);
+        let values = q.q_values(&o);
+        assert_eq!(values.len(), 5);
+        let best = q.best_action(&o);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(values[best], max);
+    }
+
+    #[test]
+    fn batch_forward_matches_single_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = QNetwork::new(4, 3, &mut rng);
+        let a = obs(&[0.1, 0.2, 0.3, 0.4]);
+        let b = obs(&[-0.5, 0.0, 0.5, 1.0]);
+        let batch = Matrix::vstack(&[&a.features, &b.features]);
+        let batch_q = q.q_values_batch(&batch);
+        let qa = q.q_values(&a);
+        let qb = q.q_values(&b);
+        for i in 0..3 {
+            assert!((batch_q[(0, i)] - qa[i]).abs() < 1e-12);
+            assert!((batch_q[(1, i)] - qb[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn soft_update_converges_to_online_network() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let online = QNetwork::new(5, 3, &mut rng);
+        let mut target = QNetwork::new(5, 3, &mut rng);
+        let initial = target.distance_to(&online);
+        assert!(initial > 0.0);
+        for _ in 0..800 {
+            target.soft_update_from(&online, 0.01);
+        }
+        assert!(target.distance_to(&online) < initial * 1e-3);
+    }
+
+    #[test]
+    fn custom_hidden_layers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = QNetwork::with_hidden_layers(10, &[32, 16], 7, &mut rng);
+        assert_eq!(q.mlp().layers().len(), 3);
+        assert_eq!(q.mlp().layers()[0].output_dim(), 32);
+        assert_eq!(q.mlp().layers()[1].output_dim(), 16);
+        assert_eq!(q.num_actions(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the network input")]
+    fn wrong_observation_width_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let q = QNetwork::new(4, 3, &mut rng);
+        let _ = q.q_values(&obs(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_q_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = QNetwork::new(6, 5, &mut rng);
+        let o = obs(&[0.3, 0.1, -0.2, 0.7, 0.0, -0.9]);
+        let json = serde_json::to_string(&q).unwrap();
+        let back: QNetwork = serde_json::from_str(&json).unwrap();
+        let a = q.q_values(&o);
+        let b = back.q_values(&o);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

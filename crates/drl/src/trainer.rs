@@ -1,0 +1,373 @@
+//! The deep Q-learning training step (paper §3.4, Equation 1).
+//!
+//! Each step samples a minibatch of transitions from the Replay DB, computes
+//! the Bellman targets with the slowly-updated target network, minimises the
+//! mean-squared prediction error with Adam, and soft-updates the target
+//! network: `θ⁻ ← θ⁻ (1 − α) + θ α`.
+
+use crate::qnet::QNetwork;
+use capes_nn::{Adam, Loss, MseLoss, Optimizer};
+use capes_replay::Minibatch;
+use capes_tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of the training step (defaults follow Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Discount rate γ (paper: 0.99).
+    pub discount_rate: f64,
+    /// Adam learning rate (paper: 1e-4).
+    pub learning_rate: f64,
+    /// Target-network update rate α (paper: 0.01).
+    pub target_update_rate: f64,
+    /// Optional global gradient-norm clip (not used by the paper; exposed for
+    /// the ablation benchmarks).
+    pub gradient_clip: Option<f64>,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            discount_rate: 0.99,
+            learning_rate: 1e-4,
+            target_update_rate: 0.01,
+            gradient_clip: None,
+        }
+    }
+}
+
+impl TrainerConfig {
+    /// Validates the hyperparameters, panicking on the first invalid one.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.discount_rate),
+            "discount rate must be in [0, 1)"
+        );
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.target_update_rate),
+            "target update rate must be in [0, 1]"
+        );
+    }
+}
+
+/// Outcome of one training step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean-squared Bellman error of the minibatch (the optimised loss).
+    pub loss: f64,
+    /// Mean absolute prediction error: |predicted Q(s, a) − (r + γ max Q')| —
+    /// the quantity plotted in Figure 5.
+    pub prediction_error: f64,
+    /// Mean reward of the sampled transitions.
+    pub mean_reward: f64,
+    /// Training steps performed so far (including this one).
+    pub step: u64,
+}
+
+/// Owns the online network, the target network and the optimizer state.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    online: QNetwork,
+    target: QNetwork,
+    optimizer: Adam,
+    config: TrainerConfig,
+    steps: u64,
+}
+
+impl Trainer {
+    /// Creates a trainer whose target network starts as a copy of the online
+    /// network.
+    pub fn new(online: QNetwork, config: TrainerConfig) -> Self {
+        config.validate();
+        let optimizer = Adam::with_config(
+            config.learning_rate,
+            0.9,
+            0.999,
+            1e-8,
+            config.gradient_clip,
+            online.mlp().parameter_shapes(),
+        );
+        let target = online.clone();
+        Trainer {
+            online,
+            target,
+            optimizer,
+            config,
+            steps: 0,
+        }
+    }
+
+    /// Creates a trainer with a fresh Q-network of the paper's architecture.
+    pub fn with_new_network<R: Rng + ?Sized>(
+        observation_size: usize,
+        num_actions: usize,
+        config: TrainerConfig,
+        rng: &mut R,
+    ) -> Self {
+        Self::new(QNetwork::new(observation_size, num_actions, rng), config)
+    }
+
+    /// The online (acting) network.
+    pub fn online(&self) -> &QNetwork {
+        &self.online
+    }
+
+    /// The target network.
+    pub fn target(&self) -> &QNetwork {
+        &self.target
+    }
+
+    /// The training hyperparameters.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Number of completed training steps.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Replaces both networks (checkpoint restore). The optimizer state is
+    /// reset, matching the paper's prototype which rebuilds the optimizer on
+    /// restart.
+    pub fn restore_networks(&mut self, online: QNetwork, target: QNetwork) {
+        assert_eq!(online.observation_size(), target.observation_size());
+        assert_eq!(online.num_actions(), target.num_actions());
+        self.optimizer = Adam::with_config(
+            self.config.learning_rate,
+            0.9,
+            0.999,
+            1e-8,
+            self.config.gradient_clip,
+            online.mlp().parameter_shapes(),
+        );
+        self.online = online;
+        self.target = target;
+    }
+
+    /// Performs one training step on a minibatch (Equation 1) and soft-updates
+    /// the target network.
+    pub fn train_step(&mut self, batch: &Minibatch) -> TrainReport {
+        assert!(!batch.transitions.is_empty(), "empty minibatch");
+        let n = batch.transitions.len();
+        let obs_size = self.online.observation_size();
+        let num_actions = self.online.num_actions();
+
+        // Stack states and next states into (n × obs_size) matrices.
+        let mut states = Matrix::zeros(n, obs_size);
+        let mut next_states = Matrix::zeros(n, obs_size);
+        for (i, tr) in batch.transitions.iter().enumerate() {
+            assert_eq!(tr.state.size(), obs_size, "state width mismatch");
+            assert_eq!(tr.next_state.size(), obs_size, "next-state width mismatch");
+            states.copy_row_from(i, &tr.state.features, 0);
+            next_states.copy_row_from(i, &tr.next_state.features, 0);
+        }
+
+        // Bellman targets from the target network: r + γ max_a' Q(s', a'; θ⁻).
+        let next_q = self.target.q_values_batch(&next_states);
+        let predictions = self.online.mlp_mut().forward(&states);
+        let mut targets = predictions.clone();
+        let mut abs_error_sum = 0.0;
+        let mut reward_sum = 0.0;
+        for (i, tr) in batch.transitions.iter().enumerate() {
+            assert!(tr.action < num_actions, "action index out of range");
+            let bellman = tr.reward + self.config.discount_rate * next_q.max_row(i);
+            abs_error_sum += (predictions[(i, tr.action)] - bellman).abs();
+            reward_sum += tr.reward;
+            targets[(i, tr.action)] = bellman;
+        }
+
+        // Only the entries belonging to the taken actions differ between
+        // predictions and targets, so the MSE gradient is zero everywhere
+        // else — exactly the per-action loss of Equation 1.
+        let (loss, dloss) = MseLoss.loss_and_grad(&predictions, &targets);
+        let grads = self.online.mlp_mut().backward(&dloss);
+        self.optimizer.step(self.online.mlp_mut(), &grads);
+
+        // θ⁻ ← θ⁻ (1 − α) + θ α
+        self.target
+            .soft_update_from(&self.online, self.config.target_update_rate);
+
+        self.steps += 1;
+        TrainReport {
+            loss,
+            prediction_error: abs_error_sum / n as f64,
+            mean_reward: reward_sum / n as f64,
+            step: self.steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capes_replay::{Observation, Transition};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A tiny synthetic environment: two feature patterns; action 1 is good
+    /// (reward 1) in pattern A, action 2 is good in pattern B, other actions
+    /// earn 0. Terminal-free, so the Bellman target includes bootstrapping.
+    fn synthetic_batch(rng: &mut StdRng, n: usize) -> Minibatch {
+        use rand::Rng;
+        let mut transitions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pattern_a = rng.gen_bool(0.5);
+            let features = if pattern_a {
+                vec![1.0, 0.0, 0.3, -0.2]
+            } else {
+                vec![0.0, 1.0, -0.4, 0.1]
+            };
+            let action = rng.gen_range(0..3usize);
+            let reward = match (pattern_a, action) {
+                (true, 1) | (false, 2) => 1.0,
+                _ => 0.0,
+            };
+            let obs = Observation {
+                tick: 0,
+                features: Matrix::row_vector(&features),
+            };
+            transitions.push(Transition {
+                state: obs.clone(),
+                next_state: obs,
+                action,
+                reward,
+            });
+        }
+        Minibatch {
+            transitions,
+            timestamps_drawn: n,
+        }
+    }
+
+    #[test]
+    fn default_config_matches_table_1() {
+        let c = TrainerConfig::default();
+        assert_eq!(c.discount_rate, 0.99);
+        assert_eq!(c.learning_rate, 1e-4);
+        assert_eq!(c.target_update_rate, 0.01);
+        c.validate();
+    }
+
+    #[test]
+    fn training_reduces_prediction_error_on_synthetic_task() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = TrainerConfig {
+            learning_rate: 5e-3,
+            discount_rate: 0.5,
+            ..Default::default()
+        };
+        let mut trainer = Trainer::with_new_network(4, 3, config, &mut rng);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..400 {
+            let batch = synthetic_batch(&mut rng, 16);
+            let report = trainer.train_step(&batch);
+            if first.is_none() {
+                first = Some(report.prediction_error);
+            }
+            last = report.prediction_error;
+        }
+        let first = first.unwrap();
+        assert!(
+            last < first * 0.5,
+            "prediction error should at least halve: {first} → {last}"
+        );
+        assert_eq!(trainer.steps(), 400);
+        assert!(trainer.online().mlp().is_finite());
+    }
+
+    #[test]
+    fn trained_network_prefers_the_rewarding_action() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let config = TrainerConfig {
+            learning_rate: 5e-3,
+            discount_rate: 0.3,
+            ..Default::default()
+        };
+        let mut trainer = Trainer::with_new_network(4, 3, config, &mut rng);
+        for _ in 0..600 {
+            let batch = synthetic_batch(&mut rng, 16);
+            trainer.train_step(&batch);
+        }
+        let pattern_a = Observation {
+            tick: 0,
+            features: Matrix::row_vector(&[1.0, 0.0, 0.3, -0.2]),
+        };
+        let pattern_b = Observation {
+            tick: 0,
+            features: Matrix::row_vector(&[0.0, 1.0, -0.4, 0.1]),
+        };
+        assert_eq!(trainer.online().best_action(&pattern_a), 1);
+        assert_eq!(trainer.online().best_action(&pattern_b), 2);
+    }
+
+    #[test]
+    fn target_network_lags_behind_online_network() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut trainer =
+            Trainer::with_new_network(4, 3, TrainerConfig::default(), &mut rng);
+        assert_eq!(trainer.online().distance_to(trainer.target()), 0.0);
+        let batch = synthetic_batch(&mut rng, 8);
+        trainer.train_step(&batch);
+        let d1 = trainer.online().distance_to(trainer.target());
+        assert!(d1 > 0.0, "one step must separate the networks");
+        // With α = 1 the target snaps to the online network every step.
+        let mut snap = Trainer::with_new_network(
+            4,
+            3,
+            TrainerConfig {
+                target_update_rate: 1.0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        snap.train_step(&batch);
+        assert!(snap.online().distance_to(snap.target()) < 1e-12);
+    }
+
+    #[test]
+    fn report_contains_reward_statistics() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut trainer =
+            Trainer::with_new_network(4, 3, TrainerConfig::default(), &mut rng);
+        let batch = synthetic_batch(&mut rng, 32);
+        let expected_mean: f64 =
+            batch.transitions.iter().map(|t| t.reward).sum::<f64>() / 32.0;
+        let report = trainer.train_step(&batch);
+        assert!((report.mean_reward - expected_mean).abs() < 1e-12);
+        assert!(report.loss >= 0.0);
+        assert!(report.prediction_error >= 0.0);
+        assert_eq!(report.step, 1);
+    }
+
+    #[test]
+    fn restore_networks_resets_optimizer_but_keeps_weights() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut trainer =
+            Trainer::with_new_network(4, 3, TrainerConfig::default(), &mut rng);
+        let snapshot_online = trainer.online().clone();
+        let snapshot_target = trainer.target().clone();
+        let batch = synthetic_batch(&mut rng, 8);
+        trainer.train_step(&batch);
+        assert!(trainer.online().distance_to(&snapshot_online) > 0.0);
+        trainer.restore_networks(snapshot_online.clone(), snapshot_target);
+        assert_eq!(trainer.online().distance_to(&snapshot_online), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "discount rate")]
+    fn invalid_discount_rejected() {
+        Trainer::with_new_network(
+            4,
+            3,
+            TrainerConfig {
+                discount_rate: 1.5,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(0),
+        );
+    }
+}

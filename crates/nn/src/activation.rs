@@ -1,0 +1,131 @@
+//! Element-wise activation functions and their derivatives.
+
+use capes_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Activation functions supported by [`crate::Dense`] layers.
+///
+/// The CAPES paper uses `Tanh` for the two hidden layers and `Identity`
+/// (a plain fully-connected linear layer) for the Q-value output head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Hyperbolic tangent — the paper's choice for hidden layers.
+    Tanh,
+    /// Rectified linear unit, provided for ablation experiments.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// No nonlinearity (linear layer) — used for the output head.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation element-wise to a pre-activation matrix.
+    pub fn forward(&self, z: &Matrix) -> Matrix {
+        match self {
+            Activation::Tanh => z.map(f64::tanh),
+            Activation::Relu => z.map(|x| x.max(0.0)),
+            Activation::Sigmoid => z.map(sigmoid),
+            Activation::Identity => z.clone(),
+        }
+    }
+
+    /// Derivative of the activation, expressed as a function of the
+    /// pre-activation `z` (not the output), applied element-wise.
+    pub fn derivative(&self, z: &Matrix) -> Matrix {
+        match self {
+            Activation::Tanh => z.map(|x| {
+                let t = x.tanh();
+                1.0 - t * t
+            }),
+            Activation::Relu => z.map(|x| if x > 0.0 { 1.0 } else { 0.0 }),
+            Activation::Sigmoid => z.map(|x| {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }),
+            Activation::Identity => Matrix::ones(z.rows(), z.cols()),
+        }
+    }
+
+    /// Scalar forward evaluation, handy for tests.
+    pub fn apply_scalar(&self, x: f64) -> f64 {
+        match self {
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_derivative(a: Activation, x: f64) -> f64 {
+        let h = 1e-6;
+        (a.apply_scalar(x + h) - a.apply_scalar(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let z = Matrix::row_vector(&[-1.0, 0.0, 2.0]);
+        assert!(Activation::Tanh
+            .forward(&z)
+            .approx_eq(&Matrix::row_vector(&[(-1.0f64).tanh(), 0.0, 2.0f64.tanh()]), 1e-12));
+        assert!(Activation::Relu
+            .forward(&z)
+            .approx_eq(&Matrix::row_vector(&[0.0, 0.0, 2.0]), 1e-12));
+        assert!(Activation::Identity.forward(&z).approx_eq(&z, 1e-12));
+        let sig = Activation::Sigmoid.forward(&z);
+        assert!(sig.as_slice().iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let points = [-2.0, -0.5, 0.3, 1.7];
+        for a in [Activation::Tanh, Activation::Sigmoid, Activation::Identity] {
+            for &x in &points {
+                let z = Matrix::row_vector(&[x]);
+                let analytic = a.derivative(&z)[(0, 0)];
+                let numeric = numeric_derivative(a, x);
+                assert!(
+                    (analytic - numeric).abs() < 1e-5,
+                    "{a:?} at {x}: {analytic} vs {numeric}"
+                );
+            }
+        }
+        // ReLU away from the kink.
+        for &x in &[-1.0, 1.0] {
+            let z = Matrix::row_vector(&[x]);
+            let analytic = Activation::Relu.derivative(&z)[(0, 0)];
+            assert!((analytic - numeric_derivative(Activation::Relu, x)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn tanh_derivative_bounded_by_one() {
+        let z = Matrix::row_vector(&[-5.0, -1.0, 0.0, 1.0, 5.0]);
+        let d = Activation::Tanh.derivative(&z);
+        assert!(d.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(d[(0, 2)], 1.0, "derivative at 0 is exactly 1");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for a in [
+            Activation::Tanh,
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
+            let s = serde_json::to_string(&a).unwrap();
+            let back: Activation = serde_json::from_str(&s).unwrap();
+            assert_eq!(a, back);
+        }
+    }
+}

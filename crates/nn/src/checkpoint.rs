@@ -1,0 +1,166 @@
+//! Model checkpointing.
+//!
+//! The paper's prototype "automatically checkpoints and stores the trained
+//! model when being stopped, and loads the saved model when being started next
+//! time" (Appendix A.4). This module provides that facility: the whole
+//! [`Mlp`] (weights, biases, activations) is serialised to JSON.
+//!
+//! JSON is used instead of a binary format to keep checkpoints
+//! human-inspectable and dependency-free; the models involved are small
+//! (the paper reports an 84 MB in-memory DNN; the serialized form of the
+//! reproduction's default network is a few MB).
+
+use crate::Mlp;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors produced by checkpoint save/load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The checkpoint file could not be parsed as a model.
+    Corrupt(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(e) => write!(f, "corrupt checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serialises `network` to `path` as JSON, creating parent directories as
+/// needed. The write goes through a temporary file and an atomic rename so an
+/// interrupted save never corrupts an existing checkpoint.
+pub fn save_mlp<P: AsRef<Path>>(network: &Mlp, path: P) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let json = serde_json::to_string(network)
+        .map_err(|e| CheckpointError::Corrupt(format!("serialisation failed: {e}")))?;
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, json)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a model previously written by [`save_mlp`].
+pub fn load_mlp<P: AsRef<Path>>(path: P) -> Result<Mlp, CheckpointError> {
+    let data = fs::read_to_string(path)?;
+    let net: Mlp = serde_json::from_str(&data)
+        .map_err(|e| CheckpointError::Corrupt(format!("deserialisation failed: {e}")))?;
+    if !net.is_finite() {
+        return Err(CheckpointError::Corrupt(
+            "checkpoint contains non-finite parameters".to_string(),
+        ));
+    }
+    Ok(net)
+}
+
+/// Serialises a model to an in-memory JSON string (used by the Replay DB
+/// persistence layer and by tests).
+pub fn mlp_to_json(network: &Mlp) -> String {
+    serde_json::to_string(network).expect("MLP serialisation cannot fail")
+}
+
+/// Parses a model from a JSON string produced by [`mlp_to_json`].
+pub fn mlp_from_json(json: &str) -> Result<Mlp, CheckpointError> {
+    serde_json::from_str(json).map_err(|e| CheckpointError::Corrupt(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Activation;
+    use capes_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("capes-nn-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Mlp::new(&[4, 7, 3], Activation::Tanh, &mut rng);
+        let path = tmp_path("roundtrip.json");
+        save_mlp(&net, &path).unwrap();
+        let loaded = load_mlp(&path).unwrap();
+        let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3, 0.4]]);
+        assert!(net
+            .forward_inference(&x)
+            .approx_eq(&loaded.forward_inference(&x), 1e-12));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_mlp("/nonexistent/dir/model.json").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+
+    #[test]
+    fn load_corrupt_file_is_corrupt_error() {
+        let path = tmp_path("corrupt.json");
+        std::fs::write(&path, "{ not valid json").unwrap();
+        let err = load_mlp(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn nonfinite_checkpoint_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net = Mlp::new(&[2, 2, 1], Activation::Tanh, &mut rng);
+        net.layers_mut()[0].weights[(0, 0)] = f64::INFINITY;
+        let json = mlp_to_json(&net);
+        let path = tmp_path("nonfinite.json");
+        // serde_json can't represent infinity as a number: it becomes null,
+        // which fails to parse — either way the load must not succeed.
+        std::fs::write(&path, json).unwrap();
+        assert!(load_mlp(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_string_round_trip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = Mlp::new(&[3, 5, 2], Activation::Relu, &mut rng);
+        let json = mlp_to_json(&net);
+        let back = mlp_from_json(&json).unwrap();
+        assert_eq!(back.parameter_count(), net.parameter_count());
+        assert!(mlp_from_json("[1, 2, 3]").is_err());
+    }
+
+    #[test]
+    fn save_creates_parent_directories() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let net = Mlp::new(&[2, 2], Activation::Tanh, &mut rng);
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("capes-nn-nested-{}", std::process::id()));
+        let path = dir.join("a/b/model.json");
+        save_mlp(&net, &path).unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

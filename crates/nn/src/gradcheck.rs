@@ -1,0 +1,158 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the test-suite to validate the analytic backward passes of the
+//! network against central finite differences. Exposed publicly so downstream
+//! crates (and users extending the network) can check their own architectures.
+
+use crate::{Loss, Mlp};
+use capes_tensor::Matrix;
+
+/// Result of a gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_error: f64,
+    /// Largest relative difference (|a−n| / max(|a|, |n|, 1e-8)).
+    pub max_rel_error: f64,
+    /// Number of parameters checked.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// `true` if the analytic gradients are within tolerance of the numeric
+    /// ones.
+    pub fn passes(&self, tolerance: f64) -> bool {
+        self.max_rel_error < tolerance
+    }
+}
+
+/// Compares the analytic gradients of `network` against central finite
+/// differences for the given input/target batch and loss.
+///
+/// `max_params_per_matrix` bounds how many entries of each parameter matrix
+/// are probed (probing all 600×600 entries of a CAPES-sized layer would be
+/// needlessly slow); entries are sampled deterministically with a stride.
+pub fn check_gradients<L: Loss>(
+    network: &mut Mlp,
+    loss: &L,
+    x: &Matrix,
+    target: &Matrix,
+    max_params_per_matrix: usize,
+) -> GradCheckReport {
+    assert!(max_params_per_matrix > 0);
+    let h = 1e-5;
+
+    let pred = network.forward(x);
+    let (_, dloss) = loss.loss_and_grad(&pred, target);
+    let grads = network.backward(&dloss);
+
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    let mut checked = 0usize;
+
+    for layer_idx in 0..network.layers().len() {
+        // Check weights then bias of this layer.
+        for param_kind in 0..2 {
+            let (rows, cols) = {
+                let l = &network.layers()[layer_idx];
+                if param_kind == 0 {
+                    l.weights.shape()
+                } else {
+                    l.bias.shape()
+                }
+            };
+            let total = rows * cols;
+            let stride = total.div_ceil(max_params_per_matrix).max(1);
+            for flat in (0..total).step_by(stride) {
+                let (r, c) = (flat / cols, flat % cols);
+                let analytic = if param_kind == 0 {
+                    grads[layer_idx].d_weights[(r, c)]
+                } else {
+                    grads[layer_idx].d_bias[(r, c)]
+                };
+
+                let orig = get_param(network, layer_idx, param_kind, r, c);
+                set_param(network, layer_idx, param_kind, r, c, orig + h);
+                let plus = loss.loss(&network.forward_inference(x), target);
+                set_param(network, layer_idx, param_kind, r, c, orig - h);
+                let minus = loss.loss(&network.forward_inference(x), target);
+                set_param(network, layer_idx, param_kind, r, c, orig);
+
+                let numeric = (plus - minus) / (2.0 * h);
+                let abs_err = (analytic - numeric).abs();
+                let rel_err = abs_err / analytic.abs().max(numeric.abs()).max(1e-8);
+                max_abs = max_abs.max(abs_err);
+                max_rel = max_rel.max(rel_err);
+                checked += 1;
+            }
+        }
+    }
+
+    GradCheckReport {
+        max_abs_error: max_abs,
+        max_rel_error: max_rel,
+        checked,
+    }
+}
+
+fn get_param(net: &Mlp, layer: usize, kind: usize, r: usize, c: usize) -> f64 {
+    let l = &net.layers()[layer];
+    if kind == 0 {
+        l.weights[(r, c)]
+    } else {
+        l.bias[(r, c)]
+    }
+}
+
+fn set_param(net: &mut Mlp, layer: usize, kind: usize, r: usize, c: usize, value: f64) {
+    let l = &mut net.layers_mut()[layer];
+    if kind == 0 {
+        l.weights[(r, c)] = value;
+    } else {
+        l.bias[(r, c)] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, HuberLoss, MseLoss};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_gradients_are_correct_for_mse() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut net = Mlp::new(&[6, 10, 10, 4], Activation::Tanh, &mut rng);
+        let x = Matrix::random_init(3, 6, capes_tensor::WeightInit::Uniform { limit: 1.0 }, &mut rng);
+        let t = Matrix::random_init(3, 4, capes_tensor::WeightInit::Uniform { limit: 1.0 }, &mut rng);
+        let report = check_gradients(&mut net, &MseLoss, &x, &t, 40);
+        assert!(report.checked > 50);
+        assert!(
+            report.passes(1e-4),
+            "gradient check failed: {report:?}"
+        );
+    }
+
+    #[test]
+    fn mlp_gradients_are_correct_for_huber() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut net = Mlp::new(&[4, 6, 2], Activation::Sigmoid, &mut rng);
+        let x = Matrix::random_init(2, 4, capes_tensor::WeightInit::Uniform { limit: 1.0 }, &mut rng);
+        // Large targets push some residuals into the linear Huber region.
+        let t = Matrix::random_init(2, 2, capes_tensor::WeightInit::Uniform { limit: 5.0 }, &mut rng);
+        let report = check_gradients(&mut net, &HuberLoss { delta: 0.5 }, &x, &t, 30);
+        assert!(report.passes(1e-3), "gradient check failed: {report:?}");
+    }
+
+    #[test]
+    fn report_pass_threshold_behaviour() {
+        let r = GradCheckReport {
+            max_abs_error: 0.5,
+            max_rel_error: 0.01,
+            checked: 10,
+        };
+        assert!(r.passes(0.02));
+        assert!(!r.passes(0.005));
+    }
+}

@@ -1,0 +1,318 @@
+//! Fully-connected (dense) layer with an optional activation.
+
+use crate::Activation;
+use capes_tensor::{Matrix, WeightInit};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Gradients of a [`Dense`] layer produced by one backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerGrads {
+    /// Gradient of the loss with respect to the weight matrix.
+    pub d_weights: Matrix,
+    /// Gradient of the loss with respect to the bias row vector.
+    pub d_bias: Matrix,
+}
+
+/// A fully-connected layer computing `activation(x · W + b)`.
+///
+/// The layer caches its inputs and pre-activations during [`Dense::forward`]
+/// so that [`Dense::backward`] can compute gradients; inference-only callers
+/// should use [`Dense::forward_inference`], which skips the caching.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weight matrix of shape `(input_dim, output_dim)`.
+    pub weights: Matrix,
+    /// Bias row vector of shape `(1, output_dim)`.
+    pub bias: Matrix,
+    /// Activation applied to the affine output.
+    pub activation: Activation,
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+    #[serde(skip)]
+    cached_preact: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-uniform weights (appropriate for the
+    /// tanh layers the CAPES network uses) and zero biases.
+    pub fn new<R: Rng + ?Sized>(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let scheme = match activation {
+            Activation::Relu => WeightInit::HeNormal,
+            _ => WeightInit::XavierUniform,
+        };
+        Dense {
+            weights: Matrix::random_init(input_dim, output_dim, scheme, rng),
+            bias: Matrix::zeros(1, output_dim),
+            activation,
+            cached_input: None,
+            cached_preact: None,
+        }
+    }
+
+    /// Builds a layer from explicit parameters (used by checkpoint loading and
+    /// tests).
+    pub fn from_parameters(weights: Matrix, bias: Matrix, activation: Activation) -> Self {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(
+            bias.cols(),
+            weights.cols(),
+            "bias width must match weight output dimension"
+        );
+        Dense {
+            weights,
+            bias,
+            activation,
+            cached_input: None,
+            cached_preact: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of trainable scalars in the layer.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Forward pass that caches intermediates for a later [`Dense::backward`].
+    ///
+    /// `x` has shape `(batch, input_dim)`; the result has shape
+    /// `(batch, output_dim)`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let z = self.affine(x);
+        let out = self.activation.forward(&z);
+        self.cached_input = Some(x.clone());
+        self.cached_preact = Some(z);
+        out
+    }
+
+    /// Forward pass without caching (used at action-selection time, where no
+    /// gradient is needed).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let z = self.affine(x);
+        self.activation.forward(&z)
+    }
+
+    /// Backward pass. `d_out` is the gradient of the loss with respect to the
+    /// layer output; returns the gradient with respect to the layer input and
+    /// the parameter gradients.
+    ///
+    /// # Panics
+    /// Panics if called before [`Dense::forward`].
+    pub fn backward(&mut self, d_out: &Matrix) -> (Matrix, LayerGrads) {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward called without a preceding forward");
+        let z = self
+            .cached_preact
+            .take()
+            .expect("backward called without a preceding forward");
+        assert_eq!(
+            d_out.shape(),
+            (x.rows(), self.output_dim()),
+            "gradient shape mismatch"
+        );
+        // dL/dz = dL/dout ⊙ activation'(z)
+        let dz = d_out.hadamard(&self.activation.derivative(&z));
+        // dL/dW = xᵀ · dz ; dL/db = Σ_batch dz ; dL/dx = dz · Wᵀ
+        let d_weights = x.matmul_transpose_a(&dz);
+        let d_bias = dz.sum_rows();
+        let d_input = dz.matmul_transpose_b(&self.weights);
+        (
+            d_input,
+            LayerGrads { d_weights, d_bias },
+        )
+    }
+
+    /// Applies pre-computed parameter deltas: `W += scale * dW`, `b += scale * db`.
+    pub fn apply_update(&mut self, grads: &LayerGrads, scale: f64) {
+        self.weights.axpy(scale, &grads.d_weights);
+        self.bias.axpy(scale, &grads.d_bias);
+    }
+
+    /// Soft-updates this layer's parameters toward `other`'s:
+    /// `θ ← θ·(1−α) + θ_other·α` — the paper's target-network rule.
+    pub fn blend_from(&mut self, other: &Dense, alpha: f64) {
+        assert_eq!(self.weights.shape(), other.weights.shape());
+        assert_eq!(self.bias.shape(), other.bias.shape());
+        self.weights.blend(alpha, &other.weights);
+        self.bias.blend(alpha, &other.bias);
+    }
+
+    fn affine(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.input_dim(),
+            "input width {} does not match layer input dim {}",
+            x.cols(),
+            self.input_dim()
+        );
+        x.matmul(&self.weights).add_row_broadcast(&self.bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer(input: usize, output: usize, act: Activation) -> Dense {
+        layer_seeded(input, output, act, 42)
+    }
+
+    fn layer_seeded(input: usize, output: usize, act: Activation, seed: u64) -> Dense {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dense::new(input, output, act, &mut rng)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut l = layer(4, 3, Activation::Tanh);
+        let x = Matrix::ones(5, 4);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), (5, 3));
+        assert_eq!(l.input_dim(), 4);
+        assert_eq!(l.output_dim(), 3);
+        assert_eq!(l.parameter_count(), 4 * 3 + 3);
+    }
+
+    #[test]
+    fn identity_layer_is_affine() {
+        let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let b = Matrix::row_vector(&[1.0, -1.0]);
+        let mut l = Dense::from_parameters(w, b, Activation::Identity);
+        let x = Matrix::from_rows(&[&[3.0, 4.0]]);
+        let y = l.forward(&x);
+        assert!(y.approx_eq(&Matrix::row_vector(&[4.0, 7.0]), 1e-12));
+    }
+
+    #[test]
+    fn inference_matches_forward() {
+        let mut l = layer(6, 2, Activation::Sigmoid);
+        let x = Matrix::filled(3, 6, 0.25);
+        let a = l.forward(&x);
+        let b = l.forward_inference(&x);
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn backward_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut l = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.5, -0.3, 0.8], &[0.1, 0.9, -0.7]]);
+        // Loss = sum of outputs, so d_out = ones.
+        let loss = |l: &Dense, x: &Matrix| l.forward_inference(x).sum();
+        let _ = l.forward(&x);
+        let (_dx, grads) = l.backward(&Matrix::ones(2, 2));
+
+        let h = 1e-6;
+        for r in 0..3 {
+            for c in 0..2 {
+                let orig = l.weights[(r, c)];
+                l.weights[(r, c)] = orig + h;
+                let plus = loss(&l, &x);
+                l.weights[(r, c)] = orig - h;
+                let minus = loss(&l, &x);
+                l.weights[(r, c)] = orig;
+                let numeric = (plus - minus) / (2.0 * h);
+                assert!(
+                    (grads.d_weights[(r, c)] - numeric).abs() < 1e-5,
+                    "dW[{r},{c}]: analytic {} vs numeric {}",
+                    grads.d_weights[(r, c)],
+                    numeric
+                );
+            }
+        }
+        for c in 0..2 {
+            let orig = l.bias[(0, c)];
+            l.bias[(0, c)] = orig + h;
+            let plus = loss(&l, &x);
+            l.bias[(0, c)] = orig - h;
+            let minus = loss(&l, &x);
+            l.bias[(0, c)] = orig;
+            let numeric = (plus - minus) / (2.0 * h);
+            assert!((grads.d_bias[(0, c)] - numeric).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut l = Dense::new(3, 4, Activation::Sigmoid, &mut rng);
+        let mut x = Matrix::from_rows(&[&[0.2, -0.1, 0.6]]);
+        let _ = l.forward(&x);
+        let (dx, _) = l.backward(&Matrix::ones(1, 4));
+        let h = 1e-6;
+        for c in 0..3 {
+            let orig = x[(0, c)];
+            x[(0, c)] = orig + h;
+            let plus = l.forward_inference(&x).sum();
+            x[(0, c)] = orig - h;
+            let minus = l.forward_inference(&x).sum();
+            x[(0, c)] = orig;
+            let numeric = (plus - minus) / (2.0 * h);
+            assert!((dx[(0, c)] - numeric).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without a preceding forward")]
+    fn backward_without_forward_panics() {
+        let mut l = layer(2, 2, Activation::Tanh);
+        let _ = l.backward(&Matrix::ones(1, 2));
+    }
+
+    #[test]
+    fn blend_from_moves_toward_other() {
+        let mut a = layer_seeded(3, 3, Activation::Tanh, 1);
+        let b = layer_seeded(3, 3, Activation::Tanh, 2);
+        let before = a.weights.sub(&b.weights).frobenius_norm();
+        a.blend_from(&b, 0.5);
+        let after = a.weights.sub(&b.weights).frobenius_norm();
+        assert!(after < before);
+        a.blend_from(&b, 1.0);
+        assert!(a.weights.approx_eq(&b.weights, 1e-12));
+    }
+
+    #[test]
+    fn apply_update_descends() {
+        let mut l = Dense::from_parameters(
+            Matrix::filled(2, 1, 1.0),
+            Matrix::zeros(1, 1),
+            Activation::Identity,
+        );
+        let grads = LayerGrads {
+            d_weights: Matrix::filled(2, 1, 2.0),
+            d_bias: Matrix::filled(1, 1, 1.0),
+        };
+        l.apply_update(&grads, -0.1);
+        assert!(l.weights.approx_eq(&Matrix::filled(2, 1, 0.8), 1e-12));
+        assert!(l.bias.approx_eq(&Matrix::filled(1, 1, -0.1), 1e-12));
+    }
+
+    #[test]
+    fn serde_skips_caches() {
+        let mut l = layer(3, 3, Activation::Tanh);
+        let _ = l.forward(&Matrix::ones(1, 3));
+        let json = serde_json::to_string(&l).unwrap();
+        let back: Dense = serde_json::from_str(&json).unwrap();
+        assert!(back.weights.approx_eq(&l.weights, 1e-12));
+        assert_eq!(back.activation, l.activation);
+    }
+}

@@ -1,0 +1,59 @@
+//! # capes-nn
+//!
+//! A minimal feed-forward neural-network stack used by the CAPES deep
+//! reinforcement-learning engine — the reproduction's replacement for the
+//! TensorFlow dependency of the original paper.
+//!
+//! The CAPES Q-network (paper §3.4, Table 1) is a multi-layered perceptron
+//! with:
+//!
+//! * two hidden layers, each the same width as the input,
+//! * hyperbolic-tangent activations on the hidden layers,
+//! * a fully-connected **linear** output layer with one output per action, and
+//! * the Adam optimizer with learning rate `1e-4`.
+//!
+//! This crate implements exactly that class of network (plus ReLU/Sigmoid for
+//! experiments), mean-squared-error and Huber losses, SGD and Adam optimizers,
+//! finite-difference gradient checking, and JSON checkpointing so a trained
+//! model can be persisted between tuning sessions (paper Appendix A.4).
+//!
+//! ## Example
+//!
+//! ```
+//! use capes_nn::{Activation, Adam, Loss, Mlp, MseLoss, Optimizer};
+//! use capes_tensor::Matrix;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! // 4 inputs -> 8 tanh -> 8 tanh -> 3 linear outputs (e.g. 3 actions).
+//! let mut net = Mlp::new(&[4, 8, 8, 3], Activation::Tanh, &mut rng);
+//! let mut adam = Adam::new(1e-2, net.parameter_shapes());
+//!
+//! let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3, 0.5]]);
+//! let target = Matrix::from_rows(&[&[1.0, 0.0, -1.0]]);
+//! let mut last = f64::MAX;
+//! for _ in 0..200 {
+//!     let pred = net.forward(&x);
+//!     let (loss, dloss) = MseLoss.loss_and_grad(&pred, &target);
+//!     let grads = net.backward(&dloss);
+//!     adam.step(&mut net, &grads);
+//!     last = loss;
+//! }
+//! assert!(last < 1e-2);
+//! ```
+
+pub mod activation;
+pub mod checkpoint;
+pub mod gradcheck;
+pub mod layer;
+pub mod loss;
+pub mod mlp;
+pub mod optimizer;
+
+pub use activation::Activation;
+pub use checkpoint::{load_mlp, save_mlp, CheckpointError};
+pub use layer::{Dense, LayerGrads};
+pub use loss::{HuberLoss, Loss, MseLoss};
+pub use mlp::{Mlp, MlpGrads};
+pub use optimizer::{Adam, Optimizer, Sgd};

@@ -1,0 +1,302 @@
+//! Multi-layered perceptron: the network class used for the CAPES Q-network.
+
+use crate::{Activation, Dense, LayerGrads};
+use capes_tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Gradients for every layer of an [`Mlp`], ordered input → output.
+pub type MlpGrads = Vec<LayerGrads>;
+
+/// A feed-forward multi-layered perceptron.
+///
+/// `Mlp::new(&[in, h1, h2, out], Activation::Tanh, rng)` builds the exact
+/// topology the paper describes in §3.4: every hidden layer uses the chosen
+/// nonlinearity and the final layer is linear ("a fully-connected linear layer
+/// with a single output for each valid action").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP from a list of layer widths.
+    ///
+    /// `dims[0]` is the input width, `dims.last()` the output width; every
+    /// intermediate entry creates a hidden layer with `hidden_activation`.
+    /// The output layer is always linear ([`Activation::Identity`]).
+    ///
+    /// # Panics
+    /// Panics if fewer than two widths are given.
+    pub fn new<R: Rng + ?Sized>(dims: &[usize], hidden_activation: Activation, rng: &mut R) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output widths");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let is_output = i == dims.len() - 2;
+            let act = if is_output {
+                Activation::Identity
+            } else {
+                hidden_activation
+            };
+            layers.push(Dense::new(dims[i], dims[i + 1], act, rng));
+        }
+        Mlp { layers }
+    }
+
+    /// Builds the canonical CAPES Q-network: `input → input (tanh) → input
+    /// (tanh) → actions (linear)`, i.e. two hidden layers "of the same size as
+    /// the input array" (Table 1).
+    pub fn capes_q_network<R: Rng + ?Sized>(
+        input_dim: usize,
+        num_actions: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self::new(
+            &[input_dim, input_dim, input_dim, num_actions],
+            Activation::Tanh,
+            rng,
+        )
+    }
+
+    /// Builds an MLP from pre-existing layers (checkpoint loading).
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].output_dim(),
+                pair[1].input_dim(),
+                "adjacent layer dimensions must agree"
+            );
+        }
+        Mlp { layers }
+    }
+
+    /// Read-only access to the layers.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by optimizers).
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Input width expected by the network.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Output width produced by the network.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().unwrap().output_dim()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(Dense::parameter_count).sum()
+    }
+
+    /// Approximate in-memory size of the model in bytes (used to report the
+    /// "size of the DNN model" row of Table 2).
+    pub fn model_size_bytes(&self) -> usize {
+        self.parameter_count() * std::mem::size_of::<f64>()
+    }
+
+    /// Shapes of every trainable parameter matrix, ordered as the optimizer
+    /// will see gradients: `(weights, bias)` per layer.
+    pub fn parameter_shapes(&self) -> Vec<(usize, usize)> {
+        let mut shapes = Vec::with_capacity(self.layers.len() * 2);
+        for l in &self.layers {
+            shapes.push(l.weights.shape());
+            shapes.push(l.bias.shape());
+        }
+        shapes
+    }
+
+    /// Forward pass caching intermediates for a later [`Mlp::backward`].
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Forward pass without caching — used for action selection and for the
+    /// target network, where no gradients are required.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward_inference(&h);
+        }
+        h
+    }
+
+    /// Backward pass. `d_output` is the gradient of the loss with respect to
+    /// the network output; returns per-layer gradients ordered input → output.
+    ///
+    /// # Panics
+    /// Panics if [`Mlp::forward`] was not called first.
+    pub fn backward(&mut self, d_output: &Matrix) -> MlpGrads {
+        let mut grads = vec![None; self.layers.len()];
+        let mut d = d_output.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let (d_input, g) = layer.backward(&d);
+            grads[i] = Some(g);
+            d = d_input;
+        }
+        grads.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Soft-updates every parameter toward `other`: `θ ← θ(1−α) + θ_other·α`.
+    ///
+    /// This is the target-network update of paper §3.4 with `other` being the
+    /// online network.
+    pub fn blend_from(&mut self, other: &Mlp, alpha: f64) {
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "cannot blend networks with different depths"
+        );
+        for (a, b) in self.layers.iter_mut().zip(other.layers.iter()) {
+            a.blend_from(b, alpha);
+        }
+    }
+
+    /// Euclidean distance between this network's parameters and `other`'s
+    /// (useful for tests and for monitoring target-network lag).
+    pub fn parameter_distance(&self, other: &Mlp) -> f64 {
+        assert_eq!(self.layers.len(), other.layers.len());
+        let mut acc = 0.0;
+        for (a, b) in self.layers.iter().zip(other.layers.iter()) {
+            let dw = a.weights.sub(&b.weights);
+            let db = a.bias.sub(&b.bias);
+            acc += dw.frobenius_norm().powi(2) + db.frobenius_norm().powi(2);
+        }
+        acc.sqrt()
+    }
+
+    /// `true` if every parameter of the network is finite.
+    pub fn is_finite(&self) -> bool {
+        self.layers
+            .iter()
+            .all(|l| l.weights.all_finite() && l.bias.all_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Mlp {
+        let mut rng = StdRng::seed_from_u64(11);
+        Mlp::new(&[5, 8, 8, 3], Activation::Tanh, &mut rng)
+    }
+
+    #[test]
+    fn topology() {
+        let n = net();
+        assert_eq!(n.input_dim(), 5);
+        assert_eq!(n.output_dim(), 3);
+        assert_eq!(n.layers().len(), 3);
+        assert_eq!(n.layers()[2].activation, Activation::Identity);
+        assert_eq!(n.layers()[0].activation, Activation::Tanh);
+        assert_eq!(
+            n.parameter_count(),
+            (5 * 8 + 8) + (8 * 8 + 8) + (8 * 3 + 3)
+        );
+        assert_eq!(n.model_size_bytes(), n.parameter_count() * 8);
+        assert_eq!(n.parameter_shapes().len(), 6);
+    }
+
+    #[test]
+    fn capes_q_network_shape_matches_table_1() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Paper: hidden layer size 600 = input size; 5 actions for 2 params.
+        let q = Mlp::capes_q_network(600, 5, &mut rng);
+        assert_eq!(q.input_dim(), 600);
+        assert_eq!(q.output_dim(), 5);
+        assert_eq!(q.layers().len(), 3);
+        assert_eq!(q.layers()[0].output_dim(), 600);
+        assert_eq!(q.layers()[1].output_dim(), 600);
+    }
+
+    #[test]
+    fn forward_inference_matches_forward() {
+        let mut n = net();
+        let x = Matrix::from_rows(&[&[0.1, 0.2, -0.3, 0.4, 0.0], &[1.0, -1.0, 0.5, 0.2, 0.9]]);
+        let a = n.forward(&x);
+        let b = n.forward_inference(&x);
+        assert!(a.approx_eq(&b, 1e-12));
+        assert_eq!(a.shape(), (2, 3));
+    }
+
+    #[test]
+    fn backward_produces_gradients_for_every_layer() {
+        let mut n = net();
+        let x = Matrix::ones(4, 5);
+        let y = n.forward(&x);
+        let grads = n.backward(&Matrix::ones(y.rows(), y.cols()));
+        assert_eq!(grads.len(), 3);
+        for (g, l) in grads.iter().zip(n.layers()) {
+            assert_eq!(g.d_weights.shape(), l.weights.shape());
+            assert_eq!(g.d_bias.shape(), l.bias.shape());
+        }
+    }
+
+    #[test]
+    fn blend_converges_to_online_network() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let online = Mlp::new(&[4, 6, 2], Activation::Tanh, &mut rng);
+        let mut target = Mlp::new(&[4, 6, 2], Activation::Tanh, &mut rng);
+        let mut prev = target.parameter_distance(&online);
+        assert!(prev > 0.0);
+        for _ in 0..400 {
+            target.blend_from(&online, 0.05);
+            let d = target.parameter_distance(&online);
+            assert!(d <= prev + 1e-12, "distance must be non-increasing");
+            prev = d;
+        }
+        assert!(prev < 1e-3, "target should have converged, distance {prev}");
+    }
+
+    #[test]
+    fn from_layers_validates_dimensions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l1 = Dense::new(3, 4, Activation::Tanh, &mut rng);
+        let l2 = Dense::new(4, 2, Activation::Identity, &mut rng);
+        let m = Mlp::from_layers(vec![l1, l2]);
+        assert_eq!(m.input_dim(), 3);
+        assert_eq!(m.output_dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent layer dimensions")]
+    fn from_layers_rejects_mismatch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l1 = Dense::new(3, 4, Activation::Tanh, &mut rng);
+        let l2 = Dense::new(5, 2, Activation::Identity, &mut rng);
+        let _ = Mlp::from_layers(vec![l1, l2]);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        let mut n = net();
+        assert!(n.is_finite());
+        n.layers_mut()[0].weights[(0, 0)] = f64::NAN;
+        assert!(!n.is_finite());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let n = net();
+        let x = Matrix::from_rows(&[&[0.3, -0.2, 0.5, 0.7, -0.9]]);
+        let before = n.forward_inference(&x);
+        let json = serde_json::to_string(&n).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        let after = back.forward_inference(&x);
+        assert!(before.approx_eq(&after, 1e-12));
+    }
+}

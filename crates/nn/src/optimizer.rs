@@ -1,0 +1,358 @@
+//! Gradient-descent optimizers.
+//!
+//! The CAPES paper trains its Q-network with Adam at a learning rate of
+//! `1e-4` (Table 1). Plain SGD with optional momentum is also provided as a
+//! comparison point for the hyperparameter ablation benchmarks.
+
+use crate::{Mlp, MlpGrads};
+use capes_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// An optimizer that updates an [`Mlp`] in place from a set of gradients.
+pub trait Optimizer {
+    /// Applies one update step. `grads` must come from `network.backward`.
+    fn step(&mut self, network: &mut Mlp, grads: &MlpGrads);
+
+    /// The configured learning rate.
+    fn learning_rate(&self) -> f64;
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Step size.
+    pub learning_rate: f64,
+    /// Momentum coefficient in `[0, 1)`; `0` disables momentum.
+    pub momentum: f64,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer. `parameter_shapes` must come from
+    /// [`Mlp::parameter_shapes`] of the network that will be optimised.
+    pub fn new(learning_rate: f64, momentum: f64, parameter_shapes: Vec<(usize, usize)>) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd {
+            learning_rate,
+            momentum,
+            velocity: parameter_shapes
+                .into_iter()
+                .map(|(r, c)| Matrix::zeros(r, c))
+                .collect(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, network: &mut Mlp, grads: &MlpGrads) {
+        assert_eq!(
+            grads.len() * 2,
+            self.velocity.len(),
+            "gradient count does not match optimizer state"
+        );
+        let lr = self.learning_rate;
+        let mu = self.momentum;
+        for (i, (layer, g)) in network.layers_mut().iter_mut().zip(grads.iter()).enumerate() {
+            for (param, grad, vel_idx) in [
+                (&mut layer.weights, &g.d_weights, 2 * i),
+                (&mut layer.bias, &g.d_bias, 2 * i + 1),
+            ] {
+                let vel = &mut self.velocity[vel_idx];
+                if mu > 0.0 {
+                    // v ← μ·v − lr·g ; θ ← θ + v
+                    for (v, &gr) in vel.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                        *v = mu * *v - lr * gr;
+                    }
+                    param.axpy(1.0, vel);
+                } else {
+                    param.axpy(-lr, grad);
+                }
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015) — the paper's choice (§3.4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Step size (paper default: `1e-4`).
+    pub learning_rate: f64,
+    /// Exponential decay for the first-moment estimate.
+    pub beta1: f64,
+    /// Exponential decay for the second-moment estimate.
+    pub beta2: f64,
+    /// Numerical-stability constant.
+    pub epsilon: f64,
+    /// Optional global gradient-norm clip applied before the update;
+    /// `None` disables clipping.
+    pub grad_clip: Option<f64>,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard β values (0.9 / 0.999).
+    pub fn new(learning_rate: f64, parameter_shapes: Vec<(usize, usize)>) -> Self {
+        Self::with_config(learning_rate, 0.9, 0.999, 1e-8, None, parameter_shapes)
+    }
+
+    /// Fully-configurable constructor.
+    pub fn with_config(
+        learning_rate: f64,
+        beta1: f64,
+        beta2: f64,
+        epsilon: f64,
+        grad_clip: Option<f64>,
+        parameter_shapes: Vec<(usize, usize)>,
+    ) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        assert!(epsilon > 0.0);
+        if let Some(c) = grad_clip {
+            assert!(c > 0.0, "gradient clip must be positive");
+        }
+        let m: Vec<Matrix> = parameter_shapes
+            .iter()
+            .map(|&(r, c)| Matrix::zeros(r, c))
+            .collect();
+        let v = m.clone();
+        Adam {
+            learning_rate,
+            beta1,
+            beta2,
+            epsilon,
+            grad_clip,
+            t: 0,
+            m,
+            v,
+        }
+    }
+
+    /// Number of update steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, network: &mut Mlp, grads: &MlpGrads) {
+        assert_eq!(
+            grads.len() * 2,
+            self.m.len(),
+            "gradient count does not match optimizer state"
+        );
+        self.t += 1;
+        let t = self.t as i32;
+        let lr = self.learning_rate;
+        let (b1, b2, eps) = (self.beta1, self.beta2, self.epsilon);
+        let bias1 = 1.0 - b1.powi(t);
+        let bias2 = 1.0 - b2.powi(t);
+
+        for (i, (layer, g)) in network.layers_mut().iter_mut().zip(grads.iter()).enumerate() {
+            for (param, grad, idx) in [
+                (&mut layer.weights, &g.d_weights, 2 * i),
+                (&mut layer.bias, &g.d_bias, 2 * i + 1),
+            ] {
+                let mut grad = grad.clone();
+                if let Some(clip) = self.grad_clip {
+                    grad.clip_norm(clip);
+                }
+                let m = &mut self.m[idx];
+                let v = &mut self.v[idx];
+                let pslice = param.as_mut_slice();
+                for (((p, &g), m_e), v_e) in pslice
+                    .iter_mut()
+                    .zip(grad.as_slice())
+                    .zip(m.as_mut_slice().iter_mut())
+                    .zip(v.as_mut_slice().iter_mut())
+                {
+                    *m_e = b1 * *m_e + (1.0 - b1) * g;
+                    *v_e = b2 * *v_e + (1.0 - b2) * g * g;
+                    let m_hat = *m_e / bias1;
+                    let v_hat = *v_e / bias2;
+                    *p -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Loss, MseLoss};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Trains a tiny regression problem and returns the final loss.
+    fn train<O: Optimizer>(mut opt: O, net: &mut Mlp, iterations: usize) -> f64 {
+        let x = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+        ]);
+        // XOR-like target — nonlinear, so the hidden layer must be used.
+        let t = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        let mut last = f64::MAX;
+        for _ in 0..iterations {
+            let pred = net.forward(&x);
+            let (loss, dloss) = MseLoss.loss_and_grad(&pred, &t);
+            let grads = net.backward(&dloss);
+            opt.step(net, &grads);
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn adam_learns_xor() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, &mut rng);
+        let adam = Adam::new(0.02, net.parameter_shapes());
+        let loss = train(adam, &mut net, 800);
+        assert!(loss < 1e-2, "Adam failed to fit XOR, final loss {loss}");
+        assert!(net.is_finite());
+    }
+
+    #[test]
+    fn sgd_with_momentum_learns_xor() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, &mut rng);
+        let sgd = Sgd::new(0.1, 0.9, net.parameter_shapes());
+        let loss = train(sgd, &mut net, 3000);
+        assert!(loss < 5e-2, "SGD failed to fit XOR, final loss {loss}");
+    }
+
+    #[test]
+    fn adam_converges_faster_than_plain_sgd_on_badly_scaled_problem() {
+        // A problem with badly-scaled inputs; Adam's per-parameter step sizes
+        // should cope better than plain SGD at the same learning rate.
+        let x = Matrix::from_rows(&[&[100.0, 0.01], &[200.0, 0.02], &[-100.0, -0.03]]);
+        let t = Matrix::from_rows(&[&[1.0], &[2.0], &[-1.0]]);
+        let run = |use_adam: bool| {
+            let mut rng = StdRng::seed_from_u64(33);
+            let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, &mut rng);
+            let shapes = net.parameter_shapes();
+            let mut adam = Adam::new(0.01, shapes.clone());
+            let mut sgd = Sgd::new(0.01, 0.0, shapes);
+            let mut last = 0.0;
+            for _ in 0..300 {
+                let pred = net.forward(&x);
+                let (loss, dloss) = MseLoss.loss_and_grad(&pred, &t);
+                let grads = net.backward(&dloss);
+                if use_adam {
+                    adam.step(&mut net, &grads);
+                } else {
+                    sgd.step(&mut net, &grads);
+                }
+                last = loss;
+            }
+            last
+        };
+        let adam_loss = run(true);
+        let sgd_loss = run(false);
+        assert!(
+            adam_loss < sgd_loss,
+            "expected Adam ({adam_loss}) to beat plain SGD ({sgd_loss})"
+        );
+    }
+
+    #[test]
+    fn adam_step_counter_increments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Mlp::new(&[2, 2, 1], Activation::Tanh, &mut rng);
+        let mut adam = Adam::new(0.01, net.parameter_shapes());
+        assert_eq!(adam.steps(), 0);
+        let x = Matrix::ones(1, 2);
+        let t = Matrix::ones(1, 1);
+        for i in 1..=5 {
+            let pred = net.forward(&x);
+            let (_, d) = MseLoss.loss_and_grad(&pred, &t);
+            let grads = net.backward(&d);
+            adam.step(&mut net, &grads);
+            assert_eq!(adam.steps(), i);
+        }
+    }
+
+    #[test]
+    fn gradient_clipping_limits_update_magnitude() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let make_net = || {
+            let mut r = StdRng::seed_from_u64(2);
+            Mlp::new(&[2, 4, 1], Activation::Tanh, &mut r)
+        };
+        let mut rngcheck = StdRng::seed_from_u64(2);
+        let _ = &mut rng;
+        let _ = &mut rngcheck;
+
+        let x = Matrix::filled(1, 2, 1000.0); // enormous inputs → enormous grads
+        let t = Matrix::filled(1, 1, -1000.0);
+
+        let mut unclipped_net = make_net();
+        let mut clipped_net = make_net();
+        let mut unclipped =
+            Adam::with_config(0.1, 0.9, 0.999, 1e-8, None, unclipped_net.parameter_shapes());
+        let mut clipped = Adam::with_config(
+            0.1,
+            0.9,
+            0.999,
+            1e-8,
+            Some(0.5),
+            clipped_net.parameter_shapes(),
+        );
+
+        let before = unclipped_net.parameter_distance(&clipped_net);
+        assert!(before < 1e-12, "nets start identical");
+
+        for net_and_opt in [
+            (&mut unclipped_net, &mut unclipped),
+            (&mut clipped_net, &mut clipped),
+        ] {
+            let (net, opt) = net_and_opt;
+            let pred = net.forward(&x);
+            let (_, d) = MseLoss.loss_and_grad(&pred, &t);
+            let grads = net.backward(&d);
+            opt.step(net, &grads);
+        }
+        // Both updated, but they should now differ because one was clipped.
+        assert!(unclipped_net.parameter_distance(&clipped_net) > 0.0);
+        assert!(clipped_net.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_learning_rate_rejected() {
+        let _ = Adam::new(0.0, vec![(2, 2)]);
+    }
+
+    #[test]
+    fn sgd_without_momentum_is_plain_descent() {
+        // One parameter, identity activation: loss = (w*x - t)^2 / 1
+        let mut net = Mlp::from_layers(vec![crate::Dense::from_parameters(
+            Matrix::filled(1, 1, 0.0),
+            Matrix::zeros(1, 1),
+            Activation::Identity,
+        )]);
+        let mut sgd = Sgd::new(0.1, 0.0, net.parameter_shapes());
+        let x = Matrix::filled(1, 1, 1.0);
+        let t = Matrix::filled(1, 1, 1.0);
+        let pred = net.forward(&x);
+        let (_, d) = MseLoss.loss_and_grad(&pred, &t);
+        let grads = net.backward(&d);
+        sgd.step(&mut net, &grads);
+        // grad of (w - 1)^2 at w=0 is -2, bias grad is -2; step 0.1 → w = 0.2, b = 0.2.
+        assert!((net.layers()[0].weights[(0, 0)] - 0.2).abs() < 1e-12);
+        assert!((net.layers()[0].bias[(0, 0)] - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,432 @@
+//! The time-indexed Replay Database.
+
+use crate::record::{NodeId, Observation, Tick};
+use capes_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Static configuration of a [`ReplayDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Number of monitored nodes (the paper's evaluation monitors 5 clients).
+    pub num_nodes: usize,
+    /// Performance indicators reported by each node per tick (paper: 44).
+    pub pis_per_node: usize,
+    /// Sampling ticks included in one observation (paper: 10).
+    pub ticks_per_observation: usize,
+    /// Fraction of missing per-node entries tolerated when assembling an
+    /// observation (paper: 20 %). Missing entries are filled with the node's
+    /// most recent earlier snapshot, or zeros if none exists.
+    pub missing_entry_tolerance: f64,
+    /// Maximum number of ticks retained; older ticks are evicted. The paper's
+    /// replay DB holds 250 k one-second records (≈70 hours).
+    pub capacity_ticks: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            num_nodes: 5,
+            pis_per_node: 44,
+            ticks_per_observation: 10,
+            missing_entry_tolerance: 0.2,
+            capacity_ticks: 250_000,
+        }
+    }
+}
+
+impl ReplayConfig {
+    /// Width of the flattened observation vector
+    /// (`ticks_per_observation × num_nodes × pis_per_node`).
+    pub fn observation_size(&self) -> usize {
+        self.ticks_per_observation * self.num_nodes * self.pis_per_node
+    }
+
+    /// Validates the configuration, panicking with a description of the first
+    /// problem found. Called by [`ReplayDb::new`].
+    pub fn validate(&self) {
+        assert!(self.num_nodes > 0, "at least one node required");
+        assert!(self.pis_per_node > 0, "at least one PI per node required");
+        assert!(
+            self.ticks_per_observation > 0,
+            "at least one tick per observation required"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.missing_entry_tolerance),
+            "missing-entry tolerance must be in [0, 1)"
+        );
+        assert!(
+            self.capacity_ticks > self.ticks_per_observation,
+            "capacity must exceed the observation window"
+        );
+    }
+}
+
+/// In-memory, time-indexed replay store (paper §3.5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayDb {
+    config: ReplayConfig,
+    /// Per-tick, per-node performance-indicator vectors.
+    snapshots: BTreeMap<Tick, BTreeMap<NodeId, Vec<f64>>>,
+    /// Per-tick scalar objective value (e.g. aggregate throughput in MB/s).
+    objectives: BTreeMap<Tick, f64>,
+    /// Per-tick action index.
+    actions: BTreeMap<Tick, usize>,
+    /// Total snapshot rows ever inserted (for Table-2 style accounting).
+    total_inserted: u64,
+}
+
+impl ReplayDb {
+    /// Creates an empty database with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`ReplayConfig::validate`]).
+    pub fn new(config: ReplayConfig) -> Self {
+        config.validate();
+        ReplayDb {
+            config,
+            snapshots: BTreeMap::new(),
+            objectives: BTreeMap::new(),
+            actions: BTreeMap::new(),
+            total_inserted: 0,
+        }
+    }
+
+    /// The database configuration.
+    pub fn config(&self) -> &ReplayConfig {
+        &self.config
+    }
+
+    /// Records the performance indicators reported by `node` at `tick`.
+    ///
+    /// # Panics
+    /// Panics if the node id or PI vector width does not match the
+    /// configuration.
+    pub fn insert_snapshot(&mut self, tick: Tick, node: NodeId, pis: Vec<f64>) {
+        assert!(
+            node < self.config.num_nodes,
+            "node {node} out of range ({} nodes)",
+            self.config.num_nodes
+        );
+        assert_eq!(
+            pis.len(),
+            self.config.pis_per_node,
+            "expected {} PIs, got {}",
+            self.config.pis_per_node,
+            pis.len()
+        );
+        self.snapshots.entry(tick).or_default().insert(node, pis);
+        self.total_inserted += 1;
+        self.evict_if_needed();
+    }
+
+    /// Records the objective-function output (e.g. aggregate throughput) of
+    /// `tick`. The reward of an action taken at `t` is the objective at
+    /// `t + 1` (paper §3.2).
+    pub fn insert_objective(&mut self, tick: Tick, value: f64) {
+        self.objectives.insert(tick, value);
+    }
+
+    /// Records the action index performed at `tick`.
+    pub fn insert_action(&mut self, tick: Tick, action: usize) {
+        self.actions.insert(tick, action);
+    }
+
+    /// The action recorded at `tick`, if any.
+    pub fn action_at(&self, tick: Tick) -> Option<usize> {
+        self.actions.get(&tick).copied()
+    }
+
+    /// The objective value recorded at `tick`, if any.
+    pub fn objective_at(&self, tick: Tick) -> Option<f64> {
+        self.objectives.get(&tick).copied()
+    }
+
+    /// Reward of an action taken at `tick`: the objective value one tick
+    /// later, which is how the paper defines the immediate reward.
+    pub fn reward_at(&self, tick: Tick) -> Option<f64> {
+        self.objective_at(tick + 1)
+    }
+
+    /// Latest tick for which any snapshot has been recorded.
+    pub fn latest_tick(&self) -> Option<Tick> {
+        self.snapshots.keys().next_back().copied()
+    }
+
+    /// Earliest tick still retained.
+    pub fn earliest_tick(&self) -> Option<Tick> {
+        self.snapshots.keys().next().copied()
+    }
+
+    /// Number of ticks currently retained.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `true` if no snapshots have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Total snapshot rows ever inserted (including evicted ones).
+    pub fn total_inserted(&self) -> u64 {
+        self.total_inserted
+    }
+
+    /// Approximate memory footprint of the retained data in bytes, reported
+    /// the way Table 2 reports "total size of the Replay DB in memory".
+    pub fn memory_bytes(&self) -> usize {
+        let per_snapshot = self.config.pis_per_node * std::mem::size_of::<f64>();
+        let snapshot_rows: usize = self.snapshots.values().map(BTreeMap::len).sum();
+        snapshot_rows * per_snapshot
+            + self.objectives.len() * std::mem::size_of::<(Tick, f64)>()
+            + self.actions.len() * std::mem::size_of::<(Tick, usize)>()
+    }
+
+    /// Builds the observation ending at `tick` (inclusive), following the
+    /// paper's stacking rule: the last `ticks_per_observation` sampling ticks
+    /// are concatenated oldest-first.
+    ///
+    /// Returns `None` if the observation window starts before tick 0, if more
+    /// than `missing_entry_tolerance` of the per-node entries in the window
+    /// are missing, or if the window reaches beyond the data currently stored.
+    pub fn observation_at(&self, tick: Tick) -> Option<Observation> {
+        let s = self.config.ticks_per_observation as u64;
+        if tick + 1 < s {
+            return None;
+        }
+        let start = tick + 1 - s;
+        let total_slots = self.config.ticks_per_observation * self.config.num_nodes;
+        let max_missing = (total_slots as f64 * self.config.missing_entry_tolerance).floor() as usize;
+
+        let width = self.config.num_nodes * self.config.pis_per_node;
+        let mut features = Matrix::zeros(1, self.config.ticks_per_observation * width);
+        let mut missing = 0usize;
+
+        for (row, t) in (start..=tick).enumerate() {
+            let tick_data = self.snapshots.get(&t);
+            for node in 0..self.config.num_nodes {
+                let slot = tick_data.and_then(|m| m.get(&node));
+                let values: Option<&Vec<f64>> = match slot {
+                    Some(v) => Some(v),
+                    None => {
+                        missing += 1;
+                        if missing > max_missing {
+                            return None;
+                        }
+                        // Fill from the node's most recent earlier snapshot.
+                        self.latest_snapshot_before(t, node)
+                    }
+                };
+                if let Some(v) = values {
+                    let base = row * width + node * self.config.pis_per_node;
+                    for (i, &x) in v.iter().enumerate() {
+                        features[(0, base + i)] = x;
+                    }
+                }
+                // If no earlier snapshot exists either, the slot stays zero.
+            }
+        }
+        Some(Observation { tick, features })
+    }
+
+    /// `true` if a complete-enough observation can be built at `tick` *and*
+    /// the action and reward needed to form a transition are present — the
+    /// "Replay DB contains enough data at tᵢ" check of Algorithm 1.
+    pub fn has_transition_data(&self, tick: Tick) -> bool {
+        self.actions.contains_key(&tick)
+            && self.objectives.contains_key(&(tick + 1))
+            && self.observation_at(tick).is_some()
+            && self.observation_at(tick + 1).is_some()
+    }
+
+    /// Ticks eligible for sampling: ticks with a recorded action whose
+    /// observation window is complete.
+    pub fn sampleable_range(&self) -> Option<(Tick, Tick)> {
+        let earliest = self.earliest_tick()?;
+        let latest = self.latest_tick()?;
+        let min = earliest + self.config.ticks_per_observation as u64;
+        if latest <= min {
+            return None;
+        }
+        Some((min, latest.saturating_sub(1)))
+    }
+
+    fn latest_snapshot_before(&self, tick: Tick, node: NodeId) -> Option<&Vec<f64>> {
+        self.snapshots
+            .range(..tick)
+            .rev()
+            .find_map(|(_, nodes)| nodes.get(&node))
+    }
+
+    fn evict_if_needed(&mut self) {
+        while self.snapshots.len() > self.config.capacity_ticks {
+            if let Some((&oldest, _)) = self.snapshots.iter().next() {
+                self.snapshots.remove(&oldest);
+                self.objectives.remove(&oldest);
+                self.actions.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ReplayConfig {
+        ReplayConfig {
+            num_nodes: 2,
+            pis_per_node: 3,
+            ticks_per_observation: 4,
+            missing_entry_tolerance: 0.2,
+            capacity_ticks: 100,
+        }
+    }
+
+    fn filled_db(ticks: u64) -> ReplayDb {
+        let mut db = ReplayDb::new(small_config());
+        for t in 0..ticks {
+            for n in 0..2 {
+                db.insert_snapshot(t, n, vec![t as f64, n as f64, t as f64 + n as f64]);
+            }
+            db.insert_objective(t, 100.0 + t as f64);
+            db.insert_action(t, (t % 5) as usize);
+        }
+        db
+    }
+
+    #[test]
+    fn default_config_matches_paper_table_2() {
+        let c = ReplayConfig::default();
+        assert_eq!(c.num_nodes, 5);
+        assert_eq!(c.pis_per_node, 44);
+        assert_eq!(c.ticks_per_observation, 10);
+        assert_eq!(c.capacity_ticks, 250_000);
+        // 5 clients × 44 PIs × 10 ticks = 2200 features; the paper reports
+        // 1760 because its observation packs 8 ticks of the 44-PI vector —
+        // both are derived from the same rule; our default follows Table 1's
+        // "10 ticks per observation".
+        assert_eq!(c.observation_size(), 2200);
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let db = filled_db(20);
+        assert_eq!(db.len(), 20);
+        assert_eq!(db.latest_tick(), Some(19));
+        assert_eq!(db.earliest_tick(), Some(0));
+        assert_eq!(db.action_at(7), Some(2));
+        assert_eq!(db.objective_at(3), Some(103.0));
+        assert_eq!(db.reward_at(3), Some(104.0));
+        assert_eq!(db.reward_at(19), None, "no objective for tick 20 yet");
+        assert_eq!(db.total_inserted(), 40);
+        assert!(db.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn observation_stacks_ticks_oldest_first() {
+        let db = filled_db(20);
+        let obs = db.observation_at(10).unwrap();
+        assert_eq!(obs.size(), 4 * 2 * 3);
+        // Row 0 of the stack is tick 7 (oldest), last row is tick 10.
+        assert_eq!(obs.features[(0, 0)], 7.0, "first feature is tick 7, node 0, PI 0");
+        let width = 2 * 3;
+        assert_eq!(obs.features[(0, 3 * width)], 10.0, "last row is tick 10");
+        // Node 1's PI 1 in the last row.
+        assert_eq!(obs.features[(0, 3 * width + 3 + 1)], 1.0);
+    }
+
+    #[test]
+    fn observation_requires_full_window() {
+        let db = filled_db(20);
+        assert!(db.observation_at(2).is_none(), "window would start before tick 0");
+        assert!(db.observation_at(3).is_some());
+    }
+
+    #[test]
+    fn missing_entries_within_tolerance_are_filled() {
+        let mut db = ReplayDb::new(small_config());
+        for t in 0..10u64 {
+            db.insert_snapshot(t, 0, vec![t as f64, 0.0, 0.0]);
+            // Node 1 misses tick 7 only: 1 of 8 slots in the window = 12.5 % < 20 %.
+            if t != 7 {
+                db.insert_snapshot(t, 1, vec![t as f64 * 10.0, 1.0, 1.0]);
+            }
+        }
+        let obs = db.observation_at(9).unwrap();
+        // Tick 7's node-1 slot should be filled from tick 6 (value 60).
+        let width = 2 * 3;
+        let row_of_7 = 1; // window rows: 6,7,8,9
+        assert_eq!(obs.features[(0, row_of_7 * width + 3)], 60.0);
+    }
+
+    #[test]
+    fn too_many_missing_entries_rejected() {
+        let mut db = ReplayDb::new(small_config());
+        for t in 0..10u64 {
+            db.insert_snapshot(t, 0, vec![t as f64, 0.0, 0.0]);
+            // Node 1 never reports: 4 of 8 slots missing = 50 % > 20 %.
+        }
+        assert!(db.observation_at(9).is_none());
+    }
+
+    #[test]
+    fn has_transition_data_needs_action_and_next_objective() {
+        let mut db = filled_db(20);
+        assert!(db.has_transition_data(10));
+        // Remove the action at tick 11 → tick 11 is no longer sampleable.
+        db.actions.remove(&11);
+        assert!(!db.has_transition_data(11));
+        assert!(db.has_transition_data(12));
+        // Latest tick has no next observation.
+        assert!(!db.has_transition_data(19));
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let mut db = ReplayDb::new(ReplayConfig {
+            capacity_ticks: 50,
+            ..small_config()
+        });
+        for t in 0..200u64 {
+            db.insert_snapshot(t, 0, vec![1.0, 2.0, 3.0]);
+            db.insert_snapshot(t, 1, vec![1.0, 2.0, 3.0]);
+            db.insert_objective(t, 1.0);
+            db.insert_action(t, 0);
+        }
+        assert_eq!(db.len(), 50);
+        assert_eq!(db.earliest_tick(), Some(150));
+        assert_eq!(db.total_inserted(), 400);
+        // Old objectives/actions for evicted ticks are gone too.
+        assert!(db.objective_at(10).is_none());
+        assert!(db.action_at(10).is_none());
+    }
+
+    #[test]
+    fn sampleable_range_is_sensible() {
+        let db = filled_db(30);
+        let (lo, hi) = db.sampleable_range().unwrap();
+        assert!(lo >= 4);
+        assert!(hi <= 29);
+        assert!(lo < hi);
+        let empty = ReplayDb::new(small_config());
+        assert!(empty.sampleable_range().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_id_panics() {
+        let mut db = ReplayDb::new(small_config());
+        db.insert_snapshot(0, 9, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 PIs")]
+    fn bad_pi_width_panics() {
+        let mut db = ReplayDb::new(small_config());
+        db.insert_snapshot(0, 0, vec![1.0]);
+    }
+}

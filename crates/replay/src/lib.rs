@@ -1,0 +1,33 @@
+//! # capes-replay
+//!
+//! The Replay Database of CAPES (paper §3.5).
+//!
+//! The original prototype stores system status and actions "in two tables that
+//! are indexed by t" inside a SQLite database with write-ahead logging, and
+//! caches the whole database in memory during training. This crate is the
+//! reproduction's equivalent: an in-memory, time-indexed store of
+//!
+//! * per-node Performance-Indicator snapshots (one row per node per sampling
+//!   tick),
+//! * the scalar objective value of each tick (from which rewards are derived),
+//!   and
+//! * the action performed at each action tick,
+//!
+//! plus the minibatch-construction procedure of Algorithm 1, including the
+//! paper's 20 % missing-entry tolerance, and JSON persistence so a replay
+//! database can be saved and reloaded between sessions.
+//!
+//! Only the Interface Daemon writes to the database; the DRL engine reads from
+//! it. [`SharedReplayDb`] wraps the store in a single-writer / multi-reader
+//! lock to mirror that arrangement.
+
+pub mod db;
+pub mod minibatch;
+pub mod persist;
+pub mod record;
+pub mod shared;
+
+pub use db::{ReplayConfig, ReplayDb};
+pub use minibatch::{Minibatch, MinibatchError};
+pub use record::{NodeId, Observation, Tick, Transition};
+pub use shared::SharedReplayDb;

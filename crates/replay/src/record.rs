@@ -1,0 +1,82 @@
+//! Record types stored in (or produced from) the Replay Database.
+
+use capes_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a monitored node (client) in the target system.
+pub type NodeId = usize;
+
+/// A sampling / action tick. The paper uses one-second ticks, so a tick count
+/// is also a duration in seconds.
+pub type Tick = u64;
+
+/// An observation as defined in paper §3.4: the performance indicators of all
+/// nodes over the last `S` sampling ticks, flattened into a single row vector
+/// suitable for feeding the Q-network.
+///
+/// The paper constructs the observation at time `t` as an `S × N` matrix of
+/// per-node values; with `P` performance indicators per node the reproduction
+/// uses an `S × (N · P)` matrix, flattened row-major (oldest tick first).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The tick this observation describes (the last tick included in it).
+    pub tick: Tick,
+    /// Flattened `1 × (S · N · P)` feature vector.
+    pub features: Matrix,
+}
+
+impl Observation {
+    /// Number of scalar features in the observation (the paper's evaluation
+    /// reports 1 760 for its 5-client setup — Table 2, "observation size").
+    pub fn size(&self) -> usize {
+        self.features.len()
+    }
+}
+
+/// One state transition used for Q-learning: `w_t = (s_t, s_{t+1}, a_t, r_t)`
+/// (paper §3.5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Observation at time `t`.
+    pub state: Observation,
+    /// Observation at time `t + 1`.
+    pub next_state: Observation,
+    /// Index of the action performed at time `t`.
+    pub action: usize,
+    /// Immediate reward measured after performing the action (the paper uses
+    /// the objective-function output of the following second).
+    pub reward: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_size() {
+        let o = Observation {
+            tick: 5,
+            features: Matrix::zeros(1, 30),
+        };
+        assert_eq!(o.size(), 30);
+    }
+
+    #[test]
+    fn transition_serde_round_trip() {
+        let t = Transition {
+            state: Observation {
+                tick: 1,
+                features: Matrix::row_vector(&[1.0, 2.0]),
+            },
+            next_state: Observation {
+                tick: 2,
+                features: Matrix::row_vector(&[3.0, 4.0]),
+            },
+            action: 3,
+            reward: 1.5,
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Transition = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,178 @@
+//! Single-writer / multi-reader wrapper around the replay database.
+//!
+//! In the paper's architecture only the Interface Daemon writes to the Replay
+//! DB while the DRL Engine reads from it ("it is the only component that needs
+//! to write to the Replay DB … greatly reducing the overhead of locking the
+//! Replay DB", §3.3). [`SharedReplayDb`] encodes that arrangement with a
+//! reader-writer lock that can be cloned across the daemon and engine threads.
+
+use crate::db::{ReplayConfig, ReplayDb};
+use crate::minibatch::{Minibatch, MinibatchError};
+use crate::record::{NodeId, Observation, Tick};
+use parking_lot::RwLock;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A cheaply-clonable handle to a replay database shared between the Interface
+/// Daemon (writer) and the DRL Engine (reader).
+#[derive(Debug, Clone)]
+pub struct SharedReplayDb {
+    inner: Arc<RwLock<ReplayDb>>,
+}
+
+impl SharedReplayDb {
+    /// Creates a new shared database with the given configuration.
+    pub fn new(config: ReplayConfig) -> Self {
+        SharedReplayDb {
+            inner: Arc::new(RwLock::new(ReplayDb::new(config))),
+        }
+    }
+
+    /// Wraps an existing database (e.g. one loaded from disk).
+    pub fn from_db(db: ReplayDb) -> Self {
+        SharedReplayDb {
+            inner: Arc::new(RwLock::new(db)),
+        }
+    }
+
+    /// Writer-side: records a node's PI snapshot.
+    pub fn insert_snapshot(&self, tick: Tick, node: NodeId, pis: Vec<f64>) {
+        self.inner.write().insert_snapshot(tick, node, pis);
+    }
+
+    /// Writer-side: records the objective value of a tick.
+    pub fn insert_objective(&self, tick: Tick, value: f64) {
+        self.inner.write().insert_objective(tick, value);
+    }
+
+    /// Writer-side: records the action performed at a tick.
+    pub fn insert_action(&self, tick: Tick, action: usize) {
+        self.inner.write().insert_action(tick, action);
+    }
+
+    /// Reader-side: builds the observation ending at `tick`.
+    pub fn observation_at(&self, tick: Tick) -> Option<Observation> {
+        self.inner.read().observation_at(tick)
+    }
+
+    /// Reader-side: samples a minibatch per Algorithm 1.
+    pub fn construct_minibatch<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Minibatch, MinibatchError> {
+        self.inner.read().construct_minibatch(n, rng)
+    }
+
+    /// Reader-side: latest tick with data.
+    pub fn latest_tick(&self) -> Option<Tick> {
+        self.inner.read().latest_tick()
+    }
+
+    /// Reader-side: number of retained ticks.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Reader-side: `true` if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Runs `f` with read access to the underlying database.
+    pub fn with_read<T>(&self, f: impl FnOnce(&ReplayDb) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` with write access to the underlying database.
+    pub fn with_write<T>(&self, f: impl FnOnce(&mut ReplayDb) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::thread;
+
+    fn config() -> ReplayConfig {
+        ReplayConfig {
+            num_nodes: 2,
+            pis_per_node: 3,
+            ticks_per_observation: 4,
+            missing_entry_tolerance: 0.2,
+            capacity_ticks: 10_000,
+        }
+    }
+
+    #[test]
+    fn basic_write_then_read() {
+        let shared = SharedReplayDb::new(config());
+        assert!(shared.is_empty());
+        for t in 0..20u64 {
+            for n in 0..2 {
+                shared.insert_snapshot(t, n, vec![1.0, 2.0, 3.0]);
+            }
+            shared.insert_objective(t, 5.0);
+            shared.insert_action(t, 1);
+        }
+        assert_eq!(shared.len(), 20);
+        assert_eq!(shared.latest_tick(), Some(19));
+        assert!(shared.observation_at(10).is_some());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(shared.construct_minibatch(4, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn concurrent_writer_and_readers() {
+        let shared = SharedReplayDb::new(config());
+        let writer = {
+            let db = shared.clone();
+            thread::spawn(move || {
+                for t in 0..2000u64 {
+                    for n in 0..2 {
+                        db.insert_snapshot(t, n, vec![t as f64, n as f64, 0.0]);
+                    }
+                    db.insert_objective(t, t as f64);
+                    db.insert_action(t, (t % 5) as usize);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|seed| {
+                let db = shared.clone();
+                thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut batches = 0usize;
+                    for _ in 0..50 {
+                        if db.construct_minibatch(8, &mut rng).is_ok() {
+                            batches += 1;
+                        }
+                    }
+                    batches
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            // No panics/deadlocks; batch success depends on timing and is not asserted.
+            let _ = r.join().unwrap();
+        }
+        assert_eq!(shared.len(), 2000);
+        // After the writer finishes, sampling must succeed.
+        let mut rng = StdRng::seed_from_u64(99);
+        assert!(shared.construct_minibatch(32, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn with_read_and_write_accessors() {
+        let shared = SharedReplayDb::new(config());
+        shared.with_write(|db| {
+            db.insert_snapshot(0, 0, vec![1.0, 1.0, 1.0]);
+        });
+        let n = shared.with_read(|db| db.total_inserted());
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Cluster geometry and hardware constants (paper §4.2).
+
+use serde::{Deserialize, Serialize};
+
+/// How many Performance Indicators each client reports per sampling tick.
+///
+/// The paper's prototype reports 44 floats per client per second (Table 2).
+/// Training a Q-network whose input is `44 PIs × 5 clients × 10 ticks` is
+/// perfectly feasible but slow on a laptop-class CPU, so the simulator also
+/// offers a compact PI set that keeps the indicators the paper's analysis
+/// identifies as informative while shrinking the observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PiMode {
+    /// Full 44-indicator set: 9 PIs for each of the 4 OSCs plus 8 client-level
+    /// indicators (date/time features, thread count, rate limit, client-level
+    /// read and write throughput).
+    Full,
+    /// Compact 12-indicator set: the 9 OSC indicators aggregated over the
+    /// client's OSCs plus rate limit and client-level read/write throughput.
+    Compact,
+}
+
+/// Static description of the simulated cluster.
+///
+/// Defaults reproduce the paper's testbed: 4 object storage servers, 5
+/// clients, one OSC per client per server (stripe count 4, 1 MB stripes),
+/// 7200-RPM HGST disks (113 MB/s sequential read, 106 MB/s sequential write),
+/// gigabit Ethernet with ≈500 MB/s measured aggregate throughput, and a
+/// write-through server cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of object storage servers (paper: 4).
+    pub num_servers: usize,
+    /// Number of client nodes (paper: 5).
+    pub num_clients: usize,
+    /// Stripe size in MB (paper: 1 MB). This is also the RPC transfer size.
+    pub stripe_size_mb: f64,
+    /// Per-disk sequential read bandwidth in MB/s (paper: 113).
+    pub disk_seq_read_mbps: f64,
+    /// Per-disk sequential write bandwidth in MB/s (paper: 106).
+    pub disk_seq_write_mbps: f64,
+    /// Average seek + rotational latency of the disk in milliseconds.
+    pub disk_seek_ms: f64,
+    /// Aggregate network bandwidth in MB/s (paper: ≈500).
+    pub network_aggregate_mbps: f64,
+    /// Per-client link bandwidth in MB/s (gigabit Ethernet ≈ 117).
+    pub network_per_client_mbps: f64,
+    /// Unloaded round-trip latency between a client and a server, in ms.
+    pub network_base_latency_ms: f64,
+    /// Per-OSC write cache (dirty-bytes) limit in MB (Lustre default: 32).
+    pub write_cache_mb: f64,
+    /// Queue depth at which a server's efficiency starts to degrade
+    /// (thread-pool exhaustion / lock contention — the "congestion collapse"
+    /// knee).
+    pub server_congestion_knee: f64,
+    /// Total in-flight megabytes at which the shared network starts to
+    /// collapse.
+    pub network_congestion_knee_mb: f64,
+    /// Relative standard deviation of the multiplicative measurement noise
+    /// (the paper's testbed shares a departmental network; ~4 % is typical).
+    pub noise_level: f64,
+    /// Probability per tick of an external interference event (IT-department
+    /// scans in the paper) that temporarily steals network bandwidth.
+    pub interference_probability: f64,
+    /// Which Performance-Indicator set the cluster reports.
+    pub pi_mode: PiMode,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_servers: 4,
+            num_clients: 5,
+            stripe_size_mb: 1.0,
+            disk_seq_read_mbps: 113.0,
+            disk_seq_write_mbps: 106.0,
+            disk_seek_ms: 8.5,
+            network_aggregate_mbps: 500.0,
+            network_per_client_mbps: 117.0,
+            network_base_latency_ms: 0.3,
+            write_cache_mb: 32.0,
+            server_congestion_knee: 24.0,
+            network_congestion_knee_mb: 120.0,
+            noise_level: 0.04,
+            interference_probability: 0.01,
+            pi_mode: PiMode::Compact,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Configuration matching the paper's testbed with the full 44-PI set.
+    pub fn paper_testbed() -> Self {
+        ClusterConfig {
+            pi_mode: PiMode::Full,
+            ..Default::default()
+        }
+    }
+
+    /// Number of OSCs per client — with the paper's stripe count of 4, each
+    /// client maintains one Object Storage Client per server.
+    pub fn oscs_per_client(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Validates the configuration, panicking on the first inconsistency.
+    pub fn validate(&self) {
+        assert!(self.num_servers > 0, "need at least one server");
+        assert!(self.num_clients > 0, "need at least one client");
+        assert!(self.stripe_size_mb > 0.0, "stripe size must be positive");
+        assert!(
+            self.disk_seq_read_mbps > 0.0 && self.disk_seq_write_mbps > 0.0,
+            "disk bandwidths must be positive"
+        );
+        assert!(
+            self.network_aggregate_mbps > 0.0 && self.network_per_client_mbps > 0.0,
+            "network bandwidths must be positive"
+        );
+        assert!(
+            (0.0..0.5).contains(&self.noise_level),
+            "noise level must be in [0, 0.5)"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.interference_probability),
+            "interference probability must be in [0, 1)"
+        );
+    }
+
+    /// Theoretical aggregate disk bandwidth for purely sequential writes.
+    pub fn aggregate_disk_write_mbps(&self) -> f64 {
+        self.disk_seq_write_mbps * self.num_servers as f64
+    }
+
+    /// Theoretical aggregate disk bandwidth for purely sequential reads.
+    pub fn aggregate_disk_read_mbps(&self) -> f64 {
+        self.disk_seq_read_mbps * self.num_servers as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_testbed() {
+        let c = ClusterConfig::default();
+        c.validate();
+        assert_eq!(c.num_servers, 4);
+        assert_eq!(c.num_clients, 5);
+        assert_eq!(c.oscs_per_client(), 4);
+        assert_eq!(c.disk_seq_read_mbps, 113.0);
+        assert_eq!(c.disk_seq_write_mbps, 106.0);
+        assert_eq!(c.network_aggregate_mbps, 500.0);
+        assert_eq!(c.stripe_size_mb, 1.0);
+        // The paper chose hardware with a ~1:1 network-to-storage bandwidth
+        // ratio; verify the defaults preserve that property.
+        let ratio = c.network_aggregate_mbps / c.aggregate_disk_write_mbps();
+        assert!((0.8..1.4).contains(&ratio), "network:storage ratio {ratio}");
+    }
+
+    #[test]
+    fn paper_testbed_uses_full_pis() {
+        assert_eq!(ClusterConfig::paper_testbed().pi_mode, PiMode::Full);
+        assert_eq!(ClusterConfig::default().pi_mode, PiMode::Compact);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn invalid_config_rejected() {
+        let c = ClusterConfig {
+            num_servers: 0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = ClusterConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,62 @@
+//! # capes-tensor
+//!
+//! Dense matrix and vector kernels used by the CAPES neural-network stack.
+//!
+//! The CAPES paper implements its deep Q-network with TensorFlow; this crate is
+//! the corresponding substrate for the Rust reproduction. It provides a
+//! row-major [`Matrix`] of `f64`, element-wise operations, reductions, several
+//! GEMM implementations (naive, cache-blocked, and multi-threaded), and the
+//! weight-initialisation schemes used by the network.
+//!
+//! The crate is deliberately small: CAPES only needs dense 2-D arrays (the
+//! observation matrices of §3.4 of the paper are `S sampling ticks × N nodes`
+//! matrices flattened into network inputs), so no general N-dimensional tensor
+//! machinery is provided.
+//!
+//! ## Example
+//!
+//! ```
+//! use capes_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+pub mod init;
+pub mod matmul;
+pub mod matrix;
+pub mod ops;
+
+pub use init::WeightInit;
+pub use matmul::MatmulStrategy;
+pub use matrix::Matrix;
+
+/// Absolute tolerance used throughout the workspace when comparing floating
+/// point results of linear-algebra kernels.
+pub const DEFAULT_TOLERANCE: f64 = 1e-9;
+
+/// Returns `true` if `a` and `b` are within `tol` of each other.
+///
+/// Handles the case where both values are non-finite in the same way
+/// (`NaN == NaN` is considered equal here so that tests can compare
+/// intentionally-poisoned matrices).
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    (a - b).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(approx_eq(f64::NAN, f64::NAN, 1e-9));
+    }
+}

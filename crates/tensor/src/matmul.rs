@@ -1,0 +1,327 @@
+//! General matrix multiplication kernels.
+//!
+//! Three strategies are provided:
+//!
+//! * [`MatmulStrategy::Naive`] — textbook triple loop, used as the reference
+//!   implementation in tests.
+//! * [`MatmulStrategy::Blocked`] — cache-blocked `i-k-j` loop order that walks
+//!   both operands row-major; this is the default for small problems.
+//! * [`MatmulStrategy::Threaded`] — the blocked kernel with the output rows
+//!   partitioned across `std::thread::scope` workers. Used for minibatch
+//!   training steps where the operand shapes (e.g. 32 × 600 · 600 × 600)
+//!   justify the spawn cost.
+//!
+//! The dispatcher [`Matrix::matmul`] picks a strategy from the problem size so
+//! callers normally never mention strategies explicitly.
+
+use crate::Matrix;
+
+/// Which GEMM kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulStrategy {
+    /// Reference triple loop.
+    Naive,
+    /// Cache-blocked single-threaded kernel.
+    Blocked,
+    /// Cache-blocked kernel with rows split across threads.
+    Threaded,
+}
+
+/// Block edge (in elements) for the cache-blocked kernels. 64×64 f64 blocks
+/// are 32 KiB, which fits comfortably in L1 on every target we care about.
+const BLOCK: usize = 64;
+
+/// FLOP threshold above which the dispatcher switches to the threaded kernel.
+const THREADED_FLOP_THRESHOLD: usize = 4_000_000;
+
+impl Matrix {
+    /// `self · other`, dispatching to a kernel based on the problem size.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not agree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let flops = self.rows() * self.cols() * other.cols();
+        let strategy = if flops >= THREADED_FLOP_THRESHOLD {
+            MatmulStrategy::Threaded
+        } else {
+            MatmulStrategy::Blocked
+        };
+        self.matmul_with(other, strategy)
+    }
+
+    /// `self · other` with an explicit kernel choice.
+    pub fn matmul_with(&self, other: &Matrix, strategy: MatmulStrategy) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul dimension mismatch: {:?} · {:?}",
+            self.shape(),
+            other.shape()
+        );
+        match strategy {
+            MatmulStrategy::Naive => matmul_naive(self, other),
+            MatmulStrategy::Blocked => matmul_blocked(self, other),
+            MatmulStrategy::Threaded => matmul_threaded(self, other),
+        }
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// Backpropagation through a dense layer needs `dY · Wᵀ`; computing it
+    /// directly keeps both operands in row-major order.
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_transpose_b dimension mismatch: {:?} · {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k) = self.shape();
+        let n = other.rows();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, out_v) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a_row[p] * b_row[p];
+                }
+                *out_v = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// Backpropagation needs `Xᵀ · dY` for the weight gradient.
+    pub fn matmul_transpose_a(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "matmul_transpose_a dimension mismatch: {:?}ᵀ · {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (n, m) = self.shape();
+        let p = other.cols();
+        let mut out = Matrix::zeros(m, p);
+        // i-k-j order: accumulate outer products row by row, all row-major.
+        for r in 0..n {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a_val) in a_row.iter().enumerate() {
+                if a_val == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (j, &b_val) in b_row.iter().enumerate() {
+                    out_row[j] += a_val * b_val;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v` where `v` is a plain slice of length
+    /// `self.cols()`. Returns a `Vec` of length `self.rows()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols(), v.len(), "matvec dimension mismatch");
+        (0..self.rows())
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(v.iter())
+                    .map(|(&a, &b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Blocked i-k-j kernel operating on raw slices. Writes into `out`, which must
+/// be zero-initialised and have exactly `rows_a * cols_b` elements.
+fn gemm_rows(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    rows_a: usize,
+    cols_a: usize,
+    cols_b: usize,
+) {
+    debug_assert_eq!(a.len(), rows_a * cols_a);
+    debug_assert_eq!(out.len(), rows_a * cols_b);
+    for kk in (0..cols_a).step_by(BLOCK) {
+        let k_end = (kk + BLOCK).min(cols_a);
+        for jj in (0..cols_b).step_by(BLOCK) {
+            let j_end = (jj + BLOCK).min(cols_b);
+            for i in 0..rows_a {
+                let a_row = &a[i * cols_a..(i + 1) * cols_a];
+                let out_row = &mut out[i * cols_b..(i + 1) * cols_b];
+                for p in kk..k_end {
+                    let a_val = a_row[p];
+                    if a_val == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * cols_b..(p + 1) * cols_b];
+                    for j in jj..j_end {
+                        out_row[j] += a_val * b_row[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn matmul_blocked(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+    out
+}
+
+fn matmul_threaded(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let threads = available_threads().min(m).max(1);
+    if threads <= 1 {
+        return matmul_blocked(a, b);
+    }
+    let mut out = Matrix::zeros(m, n);
+    let rows_per = m.div_ceil(threads);
+    let a_slice = a.as_slice();
+    let b_slice = b.as_slice();
+    {
+        let out_slice = out.as_mut_slice();
+        std::thread::scope(|scope| {
+            let mut rest = out_slice;
+            let mut row_start = 0usize;
+            while row_start < m {
+                let rows_here = rows_per.min(m - row_start);
+                let (chunk, tail) = rest.split_at_mut(rows_here * n);
+                rest = tail;
+                let a_chunk = &a_slice[row_start * k..(row_start + rows_here) * k];
+                scope.spawn(move || {
+                    gemm_rows(a_chunk, b_slice, chunk, rows_here, k, n);
+                });
+                row_start += rows_here;
+            }
+        });
+    }
+    out
+}
+
+/// Number of worker threads to use for the threaded kernel.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
+        Matrix::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let expected = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]);
+        for strategy in [
+            MatmulStrategy::Naive,
+            MatmulStrategy::Blocked,
+            MatmulStrategy::Threaded,
+        ] {
+            assert!(a.matmul_with(&b, strategy).approx_eq(&expected, 1e-12));
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_matrix(&mut rng, 7, 7);
+        let id = Matrix::identity(7);
+        assert!(a.matmul(&id).approx_eq(&a, 1e-12));
+        assert!(id.matmul(&a).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn strategies_agree_on_odd_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 65, 9), (64, 64, 64), (70, 130, 33)] {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let reference = a.matmul_with(&b, MatmulStrategy::Naive);
+            let blocked = a.matmul_with(&b, MatmulStrategy::Blocked);
+            let threaded = a.matmul_with(&b, MatmulStrategy::Threaded);
+            assert!(blocked.approx_eq(&reference, 1e-9), "blocked {m}x{k}x{n}");
+            assert!(threaded.approx_eq(&reference, 1e-9), "threaded {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn transpose_variants_match_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_matrix(&mut rng, 6, 11);
+        let b = random_matrix(&mut rng, 9, 11);
+        let direct = a.matmul_transpose_b(&b);
+        let explicit = a.matmul_with(&b.transpose(), MatmulStrategy::Naive);
+        assert!(direct.approx_eq(&explicit, 1e-9));
+
+        let c = random_matrix(&mut rng, 6, 4);
+        let direct_a = a.matmul_transpose_a(&c);
+        let explicit_a = a.transpose().matmul_with(&c, MatmulStrategy::Naive);
+        assert!(direct_a.approx_eq(&explicit_a, 1e-9));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = random_matrix(&mut rng, 5, 8);
+        let v: Vec<f64> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let as_matrix = a.matmul(&Matrix::col_vector(&v));
+        let direct = a.matvec(&v);
+        for (i, &x) in direct.iter().enumerate() {
+            assert!((x - as_matrix.get(i, 0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! Element-wise operations, reductions and BLAS-1 style helpers on [`Matrix`].
+
+use crate::Matrix;
+
+impl Matrix {
+    /// Element-wise sum `self + other`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `k`.
+    pub fn scale(&self, k: f64) -> Matrix {
+        self.map(|x| x * k)
+    }
+
+    /// Adds `k` to every element.
+    pub fn shift(&self, k: f64) -> Matrix {
+        self.map(|x| x + k)
+    }
+
+    /// In-place `self += alpha * other` (the classic axpy update).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place convex blend `self = (1 - alpha) * self + alpha * other`.
+    ///
+    /// This is the exact soft-update rule the paper uses for the target
+    /// network: θ⁻ ← θ⁻·(1−α) + θ·α (§3.4).
+    pub fn blend(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "blend shape mismatch");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a = *a * (1.0 - alpha) + b * alpha;
+        }
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let (r, c) = self.shape();
+        let mut out = Matrix::zeros(c, r);
+        for i in 0..r {
+            for j in 0..c {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.len() as f64
+    }
+
+    /// Largest element (returns `-inf` only if all entries are `-inf`).
+    pub fn max(&self) -> f64 {
+        self.as_slice().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest element.
+    pub fn min(&self) -> f64 {
+        self.as_slice().iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Frobenius norm (√Σx²).
+    pub fn frobenius_norm(&self) -> f64 {
+        self.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute element value.
+    pub fn max_abs(&self) -> f64 {
+        self.as_slice().iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Index of the maximum value within row `r` (ties resolve to the first).
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0usize;
+        let mut best_val = row[0];
+        for (i, &v) in row.iter().enumerate().skip(1) {
+            if v > best_val {
+                best = i;
+                best_val = v;
+            }
+        }
+        best
+    }
+
+    /// Maximum value within row `r`.
+    pub fn max_row(&self, r: usize) -> f64 {
+        self.row(r).iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Per-column mean as a `1 × cols` row vector.
+    pub fn mean_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols());
+        for r in 0..self.rows() {
+            for c in 0..self.cols() {
+                out[(0, c)] += self.get(r, c);
+            }
+        }
+        let n = self.rows() as f64;
+        out.map_inplace(|x| x / n);
+        out
+    }
+
+    /// Per-column sum as a `1 × cols` row vector (used to reduce per-sample
+    /// bias gradients over a minibatch).
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols());
+        for r in 0..self.rows() {
+            for c in 0..self.cols() {
+                out[(0, c)] += self.get(r, c);
+            }
+        }
+        out
+    }
+
+    /// Adds the `1 × cols` row vector `bias` to every row of the matrix.
+    ///
+    /// # Panics
+    /// Panics if `bias` is not `1 × cols`.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows(), 1, "broadcast vector must have one row");
+        assert_eq!(bias.cols(), self.cols(), "broadcast width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                out[(r, c)] += bias[(0, c)];
+            }
+        }
+        out
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f64, hi: f64) -> Matrix {
+        assert!(lo <= hi, "clamp bounds inverted");
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Rescales every element of the matrix so that the Frobenius norm does
+    /// not exceed `max_norm` (gradient clipping). Returns the scaling factor
+    /// applied (1.0 if no clipping was needed).
+    pub fn clip_norm(&mut self, max_norm: f64) -> f64 {
+        assert!(max_norm > 0.0, "max_norm must be positive");
+        let norm = self.frobenius_norm();
+        if norm <= max_norm || norm == 0.0 {
+            return 1.0;
+        }
+        let k = max_norm / norm;
+        self.map_inplace(|x| x * k);
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn add_sub_hadamard_scale() {
+        let a = sample();
+        let b = Matrix::filled(2, 3, 2.0);
+        assert_eq!(a.add(&b).get(0, 0), 3.0);
+        assert_eq!(a.sub(&b).get(1, 2), 4.0);
+        assert_eq!(a.hadamard(&b).get(1, 1), 10.0);
+        assert_eq!(a.scale(0.5).get(1, 2), 3.0);
+        assert_eq!(a.shift(1.0).get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn axpy_and_blend() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let g = Matrix::filled(2, 2, 4.0);
+        a.axpy(-0.25, &g);
+        assert!(a.approx_eq(&Matrix::zeros(2, 2), 1e-12));
+
+        let mut target = Matrix::filled(2, 2, 0.0);
+        let online = Matrix::filled(2, 2, 10.0);
+        target.blend(0.01, &online);
+        assert!(target.approx_eq(&Matrix::filled(2, 2, 0.1), 1e-12));
+        // Blending with alpha = 1 copies the online network.
+        target.blend(1.0, &online);
+        assert!(target.approx_eq(&online, 1e-12));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = sample();
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = sample();
+        assert_eq!(a.sum(), 21.0);
+        assert_eq!(a.mean(), 3.5);
+        assert_eq!(a.max(), 6.0);
+        assert_eq!(a.min(), 1.0);
+        assert!((a.frobenius_norm() - 91.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(a.max_abs(), 6.0);
+    }
+
+    #[test]
+    fn row_reductions_and_argmax() {
+        let a = Matrix::from_rows(&[&[0.5, 3.0, -1.0], &[2.0, 2.0, 2.0]]);
+        assert_eq!(a.argmax_row(0), 1);
+        assert_eq!(a.argmax_row(1), 0, "ties resolve to first index");
+        assert_eq!(a.max_row(0), 3.0);
+        let means = a.mean_rows();
+        assert!(means.approx_eq(&Matrix::row_vector(&[1.25, 2.5, 0.5]), 1e-12));
+        let sums = a.sum_rows();
+        assert!(sums.approx_eq(&Matrix::row_vector(&[2.5, 5.0, 1.0]), 1e-12));
+    }
+
+    #[test]
+    fn broadcast_and_clamp() {
+        let a = sample();
+        let bias = Matrix::row_vector(&[10.0, 20.0, 30.0]);
+        let out = a.add_row_broadcast(&bias);
+        assert_eq!(out.get(1, 2), 36.0);
+        let clamped = a.clamp(2.0, 5.0);
+        assert_eq!(clamped.get(0, 0), 2.0);
+        assert_eq!(clamped.get(1, 2), 5.0);
+    }
+
+    #[test]
+    fn clip_norm_scales_down_only_when_needed() {
+        let mut g = Matrix::filled(2, 2, 3.0); // norm = 6
+        let k = g.clip_norm(3.0);
+        assert!((k - 0.5).abs() < 1e-12);
+        assert!((g.frobenius_norm() - 3.0).abs() < 1e-9);
+
+        let mut small = Matrix::filled(2, 2, 0.1);
+        let k2 = small.clip_norm(100.0);
+        assert_eq!(k2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_axpy_panics() {
+        let mut a = Matrix::zeros(2, 2);
+        a.axpy(1.0, &Matrix::zeros(3, 2));
+    }
+}

@@ -1,0 +1,63 @@
+//! Fileserver tuning and the overfitting check of Figure 4.
+//!
+//! The Filebench "fileserver" personality is the hardest workload in the
+//! paper's evaluation: it mixes reads, writes and metadata operations, so the
+//! reward signal is noisy and the paper needed ~24 hours of training for a
+//! 17 % gain. This example trains on the fileserver workload, then reuses the
+//! trained model in later sessions after the cluster state has drifted
+//! (simulated file fragmentation and a shifted clock), mirroring the paper's
+//! three sessions spread over two weeks.
+//!
+//! Run with `cargo run --release --example fileserver_tuning`.
+
+use capes::prelude::*;
+
+fn env_ticks(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let train_ticks = env_ticks("CAPES_TRAIN_TICKS", 8_000);
+    let measure_ticks = env_ticks("CAPES_MEASURE_TICKS", 600);
+    let checkpoint = std::env::temp_dir().join("capes-fileserver-model.json");
+
+    let target = SimulatedLustre::builder()
+        .workload(Workload::fileserver())
+        .seed(99)
+        .build();
+    println!("target system : {}", target.describe());
+
+    let mut system = CapesSystem::new(target, Hyperparameters::quick_test(), 99);
+
+    println!("training on the fileserver workload for {train_ticks} simulated seconds…");
+    let training = run_training_session(&mut system, train_ticks);
+    println!("  training mean throughput: {:.1} MB/s", training.mean_throughput());
+    system.save_checkpoint(&checkpoint).expect("checkpoint save");
+    println!("  model checkpoint written to {}", checkpoint.display());
+
+    // Three later sessions, each with drifted cluster state, as in Figure 4.
+    for (i, fragmentation) in [0.0, 0.5, 1.0].into_iter().enumerate() {
+        println!("\nsession {} (fragmentation {:.1}):", i + 1, fragmentation);
+        system
+            .target_mut()
+            .cluster_mut()
+            .perturb_session(fragmentation, 60 * 24 * (i as u64 + 1));
+        // Each session: two hours of baseline, two hours of tuned measurement
+        // in the paper; scaled down here.
+        let baseline = run_baseline_session(&mut system, measure_ticks, "baseline");
+        let tuned = run_tuning_session(&mut system, measure_ticks, "tuned");
+        println!("  {}", baseline.summary());
+        println!("  {}", tuned.summary());
+        println!(
+            "  improvement: {:+.1}%  (window = {:.0}, rate limit = {:.0})",
+            tuned.improvement_over(&baseline) * 100.0,
+            tuned.final_params[0],
+            tuned.final_params[1]
+        );
+    }
+
+    std::fs::remove_file(&checkpoint).ok();
+}

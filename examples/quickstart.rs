@@ -1,0 +1,66 @@
+//! Quickstart: tune the simulated Lustre cluster's congestion window and I/O
+//! rate limit with CAPES and compare against the untuned baseline.
+//!
+//! This follows the paper's evaluation workflow (Appendix A.4):
+//!
+//! 1. set up the target system (here: the bundled cluster simulator running
+//!    the write-heavy 1:9 random read/write workload);
+//! 2. run an online training session;
+//! 3. measure the baseline with default parameters;
+//! 4. measure the tuned performance.
+//!
+//! Run with `cargo run --release --example quickstart`. Set `CAPES_TRAIN_TICKS`
+//! to lengthen the training session (43 200 reproduces the paper's 12-hour
+//! run).
+
+use capes::prelude::*;
+
+fn env_ticks(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let train_ticks = env_ticks("CAPES_TRAIN_TICKS", 6_000);
+    let measure_ticks = env_ticks("CAPES_MEASURE_TICKS", 600);
+
+    // 1. The target system: the paper's 4-server / 5-client cluster at
+    //    saturation under a 1:9 read:write random workload.
+    let target = SimulatedLustre::builder()
+        .workload(Workload::random_rw(0.1))
+        .seed(2017)
+        .build();
+    println!("target system : {}", target.describe());
+
+    // 2. Assemble CAPES around it. `quick_test()` keeps the paper's algorithmic
+    //    hyperparameters (γ, α, minibatch size, ε schedule shape) but shortens
+    //    the exploration period so a laptop-scale run converges.
+    let hp = Hyperparameters::quick_test();
+    let mut system = CapesSystem::new(target, hp, 2017);
+
+    // 3. Online training session.
+    println!("training for {train_ticks} simulated seconds…");
+    let training = run_training_session(&mut system, train_ticks);
+    println!(
+        "  training session mean throughput: {:.1} MB/s (overall, including exploration)",
+        training.mean_throughput()
+    );
+
+    // 4. Baseline measurement with default Lustre settings.
+    let baseline = run_baseline_session(&mut system, measure_ticks, "baseline (defaults)");
+    println!("  {}", baseline.summary());
+
+    // 5. Tuned measurement with the trained policy acting greedily.
+    let tuned = run_tuning_session(&mut system, measure_ticks, "tuned (CAPES)");
+    println!("  {}", tuned.summary());
+    println!(
+        "  final parameter values: max_rpcs_in_flight = {:.0}, io_rate_limit = {:.0}",
+        tuned.final_params[0], tuned.final_params[1]
+    );
+    println!(
+        "  improvement over baseline: {:+.1}%",
+        tuned.improvement_over(&baseline) * 100.0
+    );
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the CAPES reproduction workspace.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! directories have a host package; it simply re-exports the workspace crates
+//! so examples and integration tests can reach every public API through one
+//! dependency.
+
+pub use capes;
+pub use capes_agents as agents;
+pub use capes_drl as drl;
+pub use capes_nn as nn;
+pub use capes_replay as replay;
+pub use capes_simstore as simstore;
+pub use capes_stats as stats;
+pub use capes_tensor as tensor;

@@ -1,0 +1,239 @@
+//! End-to-end integration tests: the full CAPES pipeline (simulator →
+//! monitoring agents → interface daemon → replay DB → DRL engine → control
+//! agent → simulator) on scaled-down versions of the paper's experiments.
+
+use capes::prelude::*;
+
+fn quick_hyperparams() -> Hyperparameters {
+    Hyperparameters {
+        sampling_ticks_per_observation: 4,
+        exploration_period_ticks: 1500,
+        adam_learning_rate: 1e-3,
+        train_steps_per_tick: 2,
+        ..Hyperparameters::quick_test()
+    }
+}
+
+fn build_system(workload: Workload, seed: u64) -> CapesSystem<SimulatedLustre> {
+    let target = SimulatedLustre::builder().workload(workload).seed(seed).build();
+    CapesSystem::new(target, quick_hyperparams(), seed)
+}
+
+#[test]
+fn training_improves_write_heavy_throughput_over_baseline() {
+    // Scaled-down Figure 2 (1:9 column): after training, tuned throughput must
+    // beat the default-settings baseline by a clear margin.
+    let mut system = build_system(Workload::random_rw(0.1), 20170);
+    let baseline = run_baseline_session(&mut system, 400, "baseline");
+    run_training_session(&mut system, 6_000);
+    let tuned = run_tuning_session(&mut system, 400, "tuned");
+    let improvement = tuned.improvement_over(&baseline);
+    assert!(
+        improvement > 0.10,
+        "expected ≥10% improvement on the write-heavy workload, got {:.1}% ({} vs {})",
+        improvement * 100.0,
+        tuned.summary(),
+        baseline.summary()
+    );
+}
+
+#[test]
+fn tuned_parameters_move_away_from_the_defaults() {
+    let mut system = build_system(Workload::random_rw(0.1), 77);
+    run_training_session(&mut system, 5_000);
+    let params = system.current_params();
+    let defaults: Vec<f64> = system
+        .target()
+        .tunable_specs()
+        .iter()
+        .map(|s| s.default)
+        .collect();
+    assert_ne!(
+        params, defaults,
+        "after thousands of training ticks the parameters should have moved"
+    );
+}
+
+#[test]
+fn prediction_error_decreases_during_training() {
+    // Scaled-down Figure 5: the mean prediction error late in training must be
+    // below the mean error right after the warm-up.
+    let mut system = build_system(Workload::random_rw(0.1), 31);
+    let result = run_training_session(&mut system, 4_000);
+    let errors: Vec<f64> = result.prediction_errors.iter().map(|(_, e)| *e).collect();
+    assert!(errors.len() > 1_000, "training steps should have run");
+    let early: f64 = errors[50..250].iter().sum::<f64>() / 200.0;
+    let late: f64 = errors[errors.len() - 200..].iter().sum::<f64>() / 200.0;
+    assert!(
+        late < early,
+        "prediction error should fall during training (early {early:.3}, late {late:.3})"
+    );
+}
+
+#[test]
+fn replay_db_fills_and_monitoring_traffic_stays_small() {
+    // Scaled-down Table 2: after N ticks the replay DB holds N records and the
+    // differential protocol keeps per-report sizes small.
+    let mut system = build_system(Workload::fileserver(), 8);
+    run_training_session(&mut system, 300);
+    assert_eq!(system.replay_db().len(), 300);
+    let daemon = system.daemon_stats();
+    assert_eq!(daemon.reports_received, 300 * 5, "5 clients × 300 ticks");
+    assert_eq!(daemon.objectives_recorded, 300);
+    assert!(daemon.actions_broadcast > 250);
+    for stats in system.monitor_stats() {
+        assert_eq!(stats.reports, 300);
+        assert!(
+            stats.mean_bytes_per_report() < 200.0,
+            "differential reports should stay compact, got {:.0} B",
+            stats.mean_bytes_per_report()
+        );
+    }
+}
+
+#[test]
+fn checkpointed_model_keeps_its_gains_in_a_later_session() {
+    // Scaled-down Figure 4: train, checkpoint, perturb the cluster (simulating
+    // two weeks of unrelated file operations), restore the model, and check the
+    // tuned run still beats the baseline.
+    let checkpoint = std::env::temp_dir().join(format!(
+        "capes-integration-ckpt-{}.json",
+        std::process::id()
+    ));
+    let mut system = build_system(Workload::random_rw(0.1), 404);
+    run_training_session(&mut system, 6_000);
+    system.save_checkpoint(&checkpoint).unwrap();
+
+    // A later session: perturbed cluster, fresh CAPES deployment, restored model.
+    let mut later = build_system(Workload::random_rw(0.1), 405);
+    later.target_mut().cluster_mut().perturb_session(0.8, 60 * 24 * 14);
+    later.restore_checkpoint(&checkpoint, 406).unwrap();
+
+    let baseline = run_baseline_session(&mut later, 400, "baseline");
+    let tuned = run_tuning_session(&mut later, 400, "tuned");
+    assert!(
+        tuned.improvement_over(&baseline) > 0.05,
+        "restored model should still help: {} vs {}",
+        tuned.summary(),
+        baseline.summary()
+    );
+    std::fs::remove_file(&checkpoint).ok();
+}
+
+#[test]
+fn multi_objective_tuning_runs_and_reports() {
+    // The future-work multi-objective reward (§6): throughput and latency
+    // combined. Verifies the pipeline accepts a non-default objective.
+    use capes::objective::Objective;
+    use capes::system::CapesSystem;
+    use capes_agents::ActionChecker;
+
+    let target = SimulatedLustre::builder()
+        .workload(Workload::random_rw(0.5))
+        .seed(55)
+        .build();
+    let mut system = CapesSystem::with_objective_and_checker(
+        target,
+        quick_hyperparams(),
+        Objective::Weighted {
+            throughput_weight: 1.0,
+            latency_weight: 0.5,
+        },
+        ActionChecker::permissive(),
+        55,
+    );
+    let result = run_training_session(&mut system, 600);
+    assert!(result.mean_throughput() > 0.0);
+    assert!(!result.prediction_errors.is_empty());
+}
+
+#[test]
+fn action_checker_keeps_vetoed_regions_untouched() {
+    // Appendix A.4: operators can declare that the congestion window must
+    // never drop below 8. With the checker in place, no training action may
+    // ever leave the window below that bound.
+    use capes_agents::{checker::ParamBound, ActionChecker};
+
+    let target = SimulatedLustre::builder()
+        .workload(Workload::random_rw(0.1))
+        .seed(66)
+        .build();
+    let checker = ActionChecker::new(
+        vec![
+            ParamBound {
+                name: "max_rpcs_in_flight",
+                min: 8.0,
+                max: 256.0,
+            },
+            ParamBound {
+                name: "io_rate_limit",
+                min: 50.0,
+                max: 2000.0,
+            },
+        ],
+        false,
+    );
+    let mut system = CapesSystem::with_objective_and_checker(
+        target,
+        quick_hyperparams(),
+        Objective::Throughput,
+        checker,
+        66,
+    );
+    for _ in 0..800 {
+        system.training_tick();
+        let params = system.current_params();
+        assert!(
+            params[0] >= 8.0,
+            "the action checker must keep the window at or above 8, got {}",
+            params[0]
+        );
+    }
+}
+
+#[test]
+fn capes_is_competitive_with_search_tuners_on_the_simulator() {
+    // The paper's future-work comparison: random search and hill climbing get
+    // the same simulated cluster; CAPES's tuned throughput should land in the
+    // same range as (or better than) the search-based result found with a
+    // comparable tick budget.
+    let mut search_target = SimulatedLustre::builder()
+        .workload(Workload::random_rw(0.1))
+        .seed(88)
+        .build();
+    let mut hill = HillClimbing::new(40);
+    let hill_result = hill.tune(&mut search_target, 60);
+
+    let mut system = build_system(Workload::random_rw(0.1), 88);
+    run_training_session(&mut system, 6_000);
+    let baseline = run_baseline_session(&mut system, 400, "baseline");
+    let tuned = run_tuning_session(&mut system, 400, "capes");
+
+    // Hill climbing with a repeatable workload and a generous evaluation
+    // budget is close to an oracle on this two-parameter surface; the paper's
+    // point is that CAPES reaches a useful configuration *without* a
+    // repeatable offline search. At the scaled-down training length the DQN's
+    // seed-to-seed variance is large, so the guards here are deliberately
+    // loose: CAPES must not lose to the untuned defaults, must stay within a
+    // factor of the offline-search result, and the offline search must have
+    // consumed a large controlled-benchmark budget to get its answer.
+    assert!(
+        tuned.mean_throughput() >= baseline.mean_throughput() * 0.98,
+        "CAPES ({:.1} MB/s) must not lose to the baseline ({:.1} MB/s)",
+        tuned.mean_throughput(),
+        baseline.mean_throughput()
+    );
+    assert!(
+        tuned.mean_throughput() > hill_result.best_throughput * 0.6,
+        "CAPES ({:.1} MB/s) should be within range of hill climbing ({:.1} MB/s)",
+        tuned.mean_throughput(),
+        hill_result.best_throughput
+    );
+    assert!(
+        hill_result.evaluations >= 5 && hill_result.ticks_used >= hill_result.evaluations as u64 * 60,
+        "hill climbing's answer must have cost a controlled-benchmark budget \
+         ({} evaluations, {} ticks)",
+        hill_result.evaluations,
+        hill_result.ticks_used
+    );
+}
