@@ -39,11 +39,14 @@ pub struct ParamBound {
     pub max: f64,
 }
 
+/// A custom veto rule: returns `Some(reason)` to reject a parameter vector.
+pub type VetoRule = Box<dyn Fn(&[f64]) -> Option<String> + Send + Sync>;
+
 /// The Action Checker.
 pub struct ActionChecker {
     bounds: Vec<ParamBound>,
     /// Custom veto rules: each returns `Some(reason)` to reject a vector.
-    vetoes: Vec<Box<dyn Fn(&[f64]) -> Option<String> + Send + Sync>>,
+    vetoes: Vec<VetoRule>,
     /// If `true`, out-of-range values are clamped instead of rejected.
     clamp_instead_of_reject: bool,
 }

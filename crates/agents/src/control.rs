@@ -57,6 +57,15 @@ impl<F: FnMut(&[f64])> ControlAgent<F> {
         self.last_values.as_deref()
     }
 
+    /// Forgets the cached last-applied values, so the next action message is
+    /// applied even if it matches them. Callers that change the target's
+    /// parameters outside the control path (e.g. resetting to defaults for a
+    /// baseline measurement) must invalidate the cache or identical
+    /// subsequent proposals would be deduplicated against stale state.
+    pub fn invalidate_cache(&mut self) {
+        self.last_values = None;
+    }
+
     /// Handles an incoming action message. Messages older than the most
     /// recently applied one are ignored (they can arrive out of order when the
     /// control network is congested); identical values are not re-applied.
@@ -118,7 +127,10 @@ mod tests {
         let sink = count.clone();
         let mut agent = ControlAgent::new(0, move |_: &[f64]| *sink.borrow_mut() += 1);
         assert!(agent.handle(&action(1, &[8.0])));
-        assert!(!agent.handle(&action(2, &[8.0])), "same values → no syscall");
+        assert!(
+            !agent.handle(&action(2, &[8.0])),
+            "same values → no syscall"
+        );
         assert_eq!(*count.borrow(), 1);
         assert_eq!(agent.stats().received, 2);
         assert_eq!(agent.stats().applied, 1);
@@ -128,7 +140,10 @@ mod tests {
     fn stale_messages_are_ignored() {
         let mut agent = ControlAgent::new(0, |_: &[f64]| {});
         assert!(agent.handle(&action(10, &[8.0])));
-        assert!(!agent.handle(&action(5, &[16.0])), "older tick must be dropped");
+        assert!(
+            !agent.handle(&action(5, &[16.0])),
+            "older tick must be dropped"
+        );
         assert_eq!(agent.stats().ignored_stale, 1);
         assert_eq!(agent.last_values(), Some(&[8.0][..]));
     }

@@ -206,7 +206,10 @@ mod tests {
         shared.with_read(|db| {
             let obs = db.observation_at(1).expect("both ticks stored");
             // Window of 2 ticks × 4 PIs.
-            assert_eq!(obs.features.as_slice(), &[1.0, 2.0, 3.0, 4.0, 1.0, 9.0, 3.0, 4.0]);
+            assert_eq!(
+                obs.features.as_slice(),
+                &[1.0, 2.0, 3.0, 4.0, 1.0, 9.0, 3.0, 4.0]
+            );
         });
         assert_eq!(daemon.stats().reports_received, 2);
     }

@@ -45,7 +45,10 @@ impl MonitoringAgent {
     /// below which a PI is treated as unchanged (0 reproduces the paper's
     /// exact-equality rule).
     pub fn new(node: usize, threshold: f64) -> Self {
-        assert!((0.0..1.0).contains(&threshold), "threshold must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&threshold),
+            "threshold must be in [0, 1)"
+        );
         MonitoringAgent {
             node,
             last_values: None,
@@ -68,7 +71,11 @@ impl MonitoringAgent {
     /// report after start-up always contains every indicator.
     pub fn sample(&mut self, tick: u64, pis: &[f64]) -> PiReport {
         let changed: Vec<(u16, f64)> = match &self.last_values {
-            None => pis.iter().enumerate().map(|(i, &v)| (i as u16, v)).collect(),
+            None => pis
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as u16, v))
+                .collect(),
             Some(prev) => {
                 assert_eq!(
                     prev.len(),

@@ -262,7 +262,10 @@ mod tests {
 
     #[test]
     fn unknown_tag_is_rejected() {
-        assert_eq!(decode_message(&[0x7f, 0, 0]), Err(WireError::UnknownTag(0x7f)));
+        assert_eq!(
+            decode_message(&[0x7f, 0, 0]),
+            Err(WireError::UnknownTag(0x7f))
+        );
     }
 
     #[test]

@@ -15,8 +15,15 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn quick_system(workload: Workload, seed: u64) -> CapesSystem<SimulatedLustre> {
-    let target = SimulatedLustre::builder().workload(workload).seed(seed).build();
-    CapesSystem::new(target, Hyperparameters::quick_test(), seed)
+    let target = SimulatedLustre::builder()
+        .workload(workload)
+        .seed(seed)
+        .build();
+    Capes::builder(target)
+        .hyperparams(Hyperparameters::quick_test())
+        .seed(seed)
+        .build()
+        .expect("valid bench configuration")
 }
 
 fn bench_system_tick(c: &mut Criterion) {
@@ -52,13 +59,13 @@ fn bench_action_checker_ablation(c: &mut Criterion) {
             .workload(Workload::random_rw(0.1))
             .seed(seed)
             .build();
-        let mut system = CapesSystem::with_objective_and_checker(
-            target,
-            Hyperparameters::quick_test(),
-            Objective::Throughput,
-            checker,
-            seed,
-        );
+        let mut system = Capes::builder(target)
+            .hyperparams(Hyperparameters::quick_test())
+            .objective(Objective::Throughput)
+            .checker(checker)
+            .seed(seed)
+            .build()
+            .expect("valid bench configuration");
         for _ in 0..30 {
             system.training_tick();
         }

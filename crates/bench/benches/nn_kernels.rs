@@ -3,7 +3,7 @@
 //! full forward+backward passes at the paper's network sizes.
 
 use capes_nn::{Loss, Mlp, MseLoss};
-use capes_tensor::{Matrix, MatmulStrategy};
+use capes_tensor::{MatmulStrategy, Matrix};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

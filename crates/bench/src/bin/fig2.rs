@@ -10,7 +10,7 @@
 //! (`CAPES_FULL=1` for paper-scale training durations).
 
 use capes::prelude::*;
-use capes_bench::{print_figure, write_json, Bar, FigureRow, Scale};
+use capes_bench::{build_system, print_figure, write_json, Bar, FigureRow, Scale};
 
 fn main() {
     let scale = Scale::from_env();
@@ -20,36 +20,38 @@ fn main() {
     for (i, &read_fraction) in ratios.iter().enumerate() {
         let workload = Workload::random_rw(read_fraction);
         let label = workload.kind().label();
-        eprintln!("[fig2] workload {label}: training ({:?} scale)…", scale);
+        eprintln!("[fig2] workload {label}: training ({scale:?} scale)…");
         let seed = 2000 + i as u64;
 
-        // 12-hour training run.
-        let (baseline, tuned_12h, mut system) =
-            capes_bench::train_then_measure(workload, scale.twelve_hours(), scale, seed);
-
-        // Continue training to the 24-hour mark on the same system.
-        let extra = scale.twenty_four_hours() - scale.twelve_hours();
-        run_training_session(&mut system, extra);
-        let tuned_24h =
-            run_tuning_session(&mut system, scale.measurement_ticks(), "after 24h training");
+        // One experiment plan covers the whole 12 h → 24 h protocol: train to
+        // the 12-hour mark, measure baseline and tuned, train the remaining
+        // 12 hours on the same system, measure tuned again.
+        let mut experiment = Experiment::new(build_system(workload, scale, seed))
+            .phase(Phase::Train {
+                ticks: scale.twelve_hours(),
+            })
+            .phase(Phase::Baseline {
+                ticks: scale.measurement_ticks(),
+            })
+            .phase(Phase::Tuned {
+                ticks: scale.measurement_ticks(),
+                label: "after 12h".into(),
+            })
+            .phase(Phase::Train {
+                ticks: scale.twenty_four_hours() - scale.twelve_hours(),
+            })
+            .phase(Phase::Tuned {
+                ticks: scale.measurement_ticks(),
+                label: "after 24h".into(),
+            });
+        let report = experiment.run();
 
         rows.push(FigureRow {
             workload: label,
             bars: vec![
-                Bar {
-                    label: "baseline".into(),
-                    ..Bar::from_session(&baseline)
-                },
-                Bar {
-                    label: "after 12h".into(),
-                    mean: tuned_12h.mean_throughput(),
-                    ci: tuned_12h.ci_half_width(),
-                },
-                Bar {
-                    label: "after 24h".into(),
-                    mean: tuned_24h.mean_throughput(),
-                    ci: tuned_24h.ci_half_width(),
-                },
+                Bar::from_session(report.baseline().expect("baseline phase ran")),
+                Bar::from_session(report.session("after 12h").expect("12h phase ran")),
+                Bar::from_session(report.session("after 24h").expect("24h phase ran")),
             ],
         });
     }

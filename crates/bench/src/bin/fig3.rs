@@ -13,7 +13,11 @@ use capes_bench::{print_figure, write_json, Bar, FigureRow, Scale};
 fn main() {
     let scale = Scale::from_env();
     let workloads = [
-        ("fileserver", Workload::fileserver(), scale.twenty_four_hours()),
+        (
+            "fileserver",
+            Workload::fileserver(),
+            scale.twenty_four_hours(),
+        ),
         (
             "sequential write",
             Workload::sequential_write(),

@@ -17,9 +17,13 @@ fn main() {
 
     // Train once on the fileserver workload and checkpoint the model.
     eprintln!("[fig4] initial training…");
-    let mut trainer_system = build_system(Workload::fileserver(), scale, 4000);
-    run_training_session(&mut trainer_system, scale.twenty_four_hours());
-    trainer_system
+    let mut trainer =
+        Experiment::new(build_system(Workload::fileserver(), scale, 4000)).phase(Phase::Train {
+            ticks: scale.twenty_four_hours(),
+        });
+    trainer.run();
+    trainer
+        .system()
         .save_checkpoint(&checkpoint)
         .expect("checkpoint save failed");
 
@@ -39,11 +43,18 @@ fn main() {
             .restore_checkpoint(&checkpoint, 4200 + session)
             .expect("checkpoint restore failed");
 
-        let baseline = run_baseline_session(&mut system, scale.measurement_ticks(), "baseline");
-        let tuned = run_tuning_session(&mut system, scale.measurement_ticks(), "tuned");
+        let mut experiment = Experiment::new(system)
+            .phase(Phase::Baseline {
+                ticks: scale.measurement_ticks(),
+            })
+            .phase(Phase::Tuned {
+                ticks: scale.measurement_ticks(),
+                label: "tuned".into(),
+            });
+        let report = experiment.run();
         rows.push(FigureRow {
             workload: format!("session {}", session + 1),
-            bars: vec![Bar::from_session(&baseline), Bar::from_session(&tuned)],
+            bars: report.sessions.iter().map(Bar::from_session).collect(),
         });
     }
 

@@ -22,14 +22,16 @@ fn main() {
             .target_mut()
             .cluster_mut()
             .perturb_session(0.2 * i as f64, 60 * 24 * i);
-        let baseline = run_baseline_session(
-            &mut system,
-            scale.measurement_ticks() * 2,
-            format!("baseline {}", i + 1),
-        );
+        let mut experiment = Experiment::new(system).phase(Phase::Baseline {
+            ticks: scale.measurement_ticks() * 2,
+        });
+        let report = experiment.run();
         rows.push(FigureRow {
             workload: format!("baseline {}", i + 1),
-            bars: vec![Bar::from_session(&baseline)],
+            bars: vec![Bar::from_session_labelled(
+                format!("baseline {}", i + 1),
+                &report.sessions[0],
+            )],
         });
     }
 
@@ -39,15 +41,17 @@ fn main() {
         Scale::Full => 70 * 3600,
     };
     eprintln!("[fig6] training session ({training_ticks} ticks)…");
-    let mut system = build_system(Workload::random_rw(0.1), scale, 6100);
-    let training = run_training_session(&mut system, training_ticks);
+    let mut experiment = Experiment::new(build_system(Workload::random_rw(0.1), scale, 6100))
+        .phase(Phase::Train {
+            ticks: training_ticks,
+        });
+    let report = experiment.run();
     rows.push(FigureRow {
         workload: "training session".into(),
-        bars: vec![Bar {
-            label: "overall throughput".into(),
-            mean: training.mean_throughput(),
-            ci: training.ci_half_width(),
-        }],
+        bars: vec![Bar::from_session_labelled(
+            "overall throughput",
+            &report.sessions[0],
+        )],
     });
 
     print_figure(

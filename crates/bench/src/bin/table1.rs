@@ -2,11 +2,14 @@
 //!
 //! Prints the hyperparameters in force (paper values, and the scaled-down
 //! quick-run values used by the default benchmark configuration) in the same
-//! layout as the paper's table.
+//! layout as the paper's table, then demonstrates the hyperparameters in
+//! action by driving the DRL engine and the three search comparators through
+//! the unified `TuningEngine` experiment path on a short run.
 //!
-//! Run with `cargo run -p capes-bench --bin table1`.
+//! Run with `cargo run --release -p capes-bench --bin table1`.
 
 use capes::prelude::*;
+use capes_bench::{compare_engines, print_engine_comparison, write_json, Scale};
 
 fn row(name: &str, paper: String, quick: String, description: &str) {
     println!("{name:<34}{paper:>14}{quick:>14}   {description}");
@@ -17,7 +20,10 @@ fn main() {
     let quick = Hyperparameters::quick_test();
 
     println!("=== Table 1: hyperparameters (paper values vs. quick-run values) ===\n");
-    println!("{:<34}{:>14}{:>14}   {}", "hyperparameter", "paper", "quick", "description");
+    println!(
+        "{:<34}{:>14}{:>14}   description",
+        "hyperparameter", "paper", "quick"
+    );
     row(
         "action tick length",
         format!("{} s", paper.action_tick_length),
@@ -100,12 +106,34 @@ fn main() {
     // The hidden-layer width of the paper (600) derives from the observation
     // size; show the corresponding value for the bundled simulator.
     let target = SimulatedLustre::builder().build();
-    let obs = target.pis_per_node() * target.num_nodes() * quick.sampling_ticks_per_observation;
+    let obs = quick.observation_size(target.num_nodes(), target.pis_per_node());
     println!(
         "\nhidden layer size: equals the observation width — {} for the default \
          (compact-PI) simulator configuration, {} for the full 44-PI configuration \
          (paper: 600).",
         obs,
-        44 * 5 * paper.sampling_ticks_per_observation
+        paper.observation_size(5, 44)
     );
+
+    // The hyperparameters in action: every engine — the DQN and the three
+    // search comparators — driven through the same builder + Experiment code
+    // path on a short write-heavy run.
+    let scale = Scale::from_env();
+    let (train_ticks, measure_ticks) = match scale {
+        Scale::Quick => (1_500, 300),
+        Scale::Full => (scale.twelve_hours(), scale.measurement_ticks()),
+    };
+    eprintln!("\n[table1] engine line-up ({train_ticks} training ticks per engine)…");
+    let rows = compare_engines(
+        Workload::random_rw(0.1),
+        scale,
+        1000,
+        train_ticks,
+        measure_ticks,
+    );
+    print_engine_comparison(
+        "engine line-up under these hyperparameters (random 1:9, short run)",
+        &rows,
+    );
+    write_json("table1_engines", &rows);
 }

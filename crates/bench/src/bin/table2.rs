@@ -3,12 +3,15 @@
 //! Reproduces every row of the paper's Table 2 on the simulated cluster:
 //! training-step duration (single-threaded and multi-threaded CPU), replay-DB
 //! record counts and sizes, DNN model size, performance indicators per client,
-//! observation size, and the average monitoring-message size per client.
+//! observation size, and the average monitoring-message size per client —
+//! then compares the DRL engine against the three search comparators through
+//! the unified `TuningEngine` experiment path (the paper's future-work
+//! comparison).
 //!
 //! Run with `cargo run --release -p capes-bench --bin table2`.
 
 use capes::prelude::*;
-use capes_bench::{build_system, Scale};
+use capes_bench::{build_system, compare_engines, print_engine_comparison, write_json, Scale};
 use capes_drl::{DqnAgent, DqnAgentConfig};
 use capes_replay::ReplayConfig;
 use std::time::Instant;
@@ -30,9 +33,8 @@ fn main() {
 
     // Training-step duration on the paper-sized network (44 PIs × 5 clients ×
     // 10 ticks = 2200 inputs) and on the compact network actually used above.
-    let paper_db = capes_replay::ReplayDb::new(ReplayConfig::default());
-    drop(paper_db);
-    let compact_obs = system.agent().config().observation_size;
+    let agent = system.dqn_agent().expect("default engine is the DQN");
+    let compact_obs = agent.config().observation_size;
     let paper_obs = ReplayConfig::default().observation_size();
     let step_compact = time_training_step(compact_obs, 800);
     let step_paper = time_training_step(paper_obs, 30);
@@ -45,7 +47,7 @@ fn main() {
             db.config().observation_size(),
         )
     });
-    let model_bytes = system.agent().q_network().model_size_bytes();
+    let model_bytes = agent.q_network().model_size_bytes();
     let monitor_stats = system.monitor_stats();
     let mean_msg: f64 = monitor_stats
         .iter()
@@ -53,8 +55,11 @@ fn main() {
         .sum::<f64>()
         / monitor_stats.len() as f64;
 
-    println!("\n=== Table 2: technical measurements ({} monitoring agents) ===\n", monitor_stats.len());
-    println!("{:<46}{:>18}   {}", "measurement", "value", "paper reported");
+    println!(
+        "\n=== Table 2: technical measurements ({} monitoring agents) ===\n",
+        monitor_stats.len()
+    );
+    println!("{:<46}{:>18}   paper reported", "measurement", "value");
     println!(
         "{:<46}{:>15.4} s   ≈0.1 s (CPU)",
         format!("duration of training step ({}-input DNN)", paper_obs),
@@ -67,8 +72,7 @@ fn main() {
     );
     println!(
         "{:<46}{:>18}   250 k (70 hours)",
-        "number of records in the Replay DB",
-        db_records
+        "number of records in the Replay DB", db_records
     );
     println!(
         "{:<46}{:>15.1} MB   84 MB",
@@ -98,16 +102,34 @@ fn main() {
     println!("{:<46}{:>18}   1760", "observation size (floats)", obs_size);
     println!(
         "{:<46}{:>15.1} B   ≈186 B",
-        "average message size per client per second",
-        mean_msg
+        "average message size per client per second", mean_msg
     );
 
     let daemon = system.daemon_stats();
     println!(
         "{:<46}{:>18}   (not reported)",
-        "actions broadcast during the run",
-        daemon.actions_broadcast
+        "actions broadcast during the run", daemon.actions_broadcast
     );
+
+    // Engine comparison through the single TuningEngine code path: same
+    // cluster, same experiment plan, four engines.
+    let (train_ticks, measure_ticks) = match scale {
+        Scale::Quick => (2_000, 400),
+        Scale::Full => (scale.twelve_hours(), scale.measurement_ticks()),
+    };
+    eprintln!("\n[table2] engine comparison ({train_ticks} training ticks per engine)…");
+    let rows = compare_engines(
+        Workload::random_rw(0.1),
+        scale,
+        7100,
+        train_ticks,
+        measure_ticks,
+    );
+    print_engine_comparison(
+        "engine comparison (random 1:9, one generic experiment plan per engine)",
+        &rows,
+    );
+    write_json("table2_engines", &rows);
 }
 
 fn mb(bytes: usize) -> f64 {
@@ -138,15 +160,14 @@ fn time_training_step(observation_size: usize, iterations: usize) -> f64 {
     };
     let db = capes_replay::SharedReplayDb::new(config);
     for t in 0..300u64 {
-        let pis: Vec<f64> = (0..observation_size).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let pis: Vec<f64> = (0..observation_size)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         db.insert_snapshot(t, 0, pis);
         db.insert_objective(t, rng.gen_range(0.5..1.5));
         db.insert_action(t, rng.gen_range(0..5));
     }
-    let mut agent = DqnAgent::new(
-        DqnAgentConfig::paper_default(observation_size, 2),
-        3,
-    );
+    let mut agent = DqnAgent::new(DqnAgentConfig::paper_default(observation_size, 2), 3);
     // Warm up once (first minibatch pays allocation costs).
     let _ = agent.train_from_db(&db);
     let start = Instant::now();

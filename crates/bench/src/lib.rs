@@ -12,12 +12,17 @@
 //! | `fig4`   | Figure 4 | overfitting check: three later sessions reusing one model |
 //! | `fig5`   | Figure 5 | prediction error over the training session |
 //! | `fig6`   | Figure 6 | training-session throughput vs. the baselines |
-//! | `table1` | Table 1  | hyperparameters in force |
-//! | `table2` | Table 2  | technical measurements (training-step time, DB sizes, message sizes) |
+//! | `table1` | Table 1  | hyperparameters in force + engine line-up |
+//! | `table2` | Table 2  | technical measurements (training-step time, DB sizes, message sizes, engine comparison) |
 //!
 //! All binaries run a scaled-down configuration by default so the whole set
 //! finishes in minutes; set `CAPES_FULL=1` to run paper-scale durations
 //! (12 h / 24 h training = 43 200 / 86 400 simulated seconds).
+//!
+//! Everything is driven through the `capes` crate's builder + `Experiment`
+//! API; [`compare_engines`] runs the DRL engine and the three search
+//! comparators through one generic [`TuningEngine`] code path (the paper's
+//! future-work comparison).
 //!
 //! The `benches/` directory contains Criterion micro-benchmarks for the
 //! kernels behind Table 2 (forward/backward passes, training steps, minibatch
@@ -101,6 +106,15 @@ impl Bar {
         }
     }
 
+    /// Builds a bar from a session result with an overriding label.
+    pub fn from_session_labelled(label: impl Into<String>, result: &SessionResult) -> Self {
+        Bar {
+            label: label.into(),
+            mean: result.mean_throughput(),
+            ci: result.ci_half_width(),
+        }
+    }
+
     /// Builds a bar from a pre-computed confidence interval.
     pub fn from_interval(label: impl Into<String>, interval: &ConfidenceInterval) -> Self {
         Bar {
@@ -156,7 +170,7 @@ pub fn print_figure(title: &str, rows: &[FigureRow]) {
 
 /// Writes experiment output as JSON under `target/capes-results/` so
 /// EXPERIMENTS.md can reference machine-readable results.
-pub fn write_json(name: &str, rows: &[FigureRow]) {
+pub fn write_json<T: Serialize>(name: &str, rows: &T) {
     let dir = std::path::Path::new("target").join("capes-results");
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join(format!("{name}.json"));
@@ -167,25 +181,148 @@ pub fn write_json(name: &str, rows: &[FigureRow]) {
     }
 }
 
-/// Builds a CAPES system around the simulated cluster for one workload.
+/// Builds a CAPES system around the simulated cluster for one workload,
+/// using the default (DQN) engine.
 pub fn build_system(workload: Workload, scale: Scale, seed: u64) -> CapesSystem<SimulatedLustre> {
-    let target = SimulatedLustre::builder().workload(workload).seed(seed).build();
-    CapesSystem::new(target, scale.hyperparameters(), seed)
+    let target = SimulatedLustre::builder()
+        .workload(workload)
+        .seed(seed)
+        .build();
+    Capes::builder(target)
+        .hyperparams(scale.hyperparameters())
+        .seed(seed)
+        .build()
+        .expect("benchmark configuration is valid")
 }
 
 /// Runs the paper's standard experiment workflow for one workload: train for
-/// `train_ticks`, then measure baseline and tuned throughput.
+/// `train_ticks`, then measure baseline and tuned throughput — expressed as a
+/// declarative [`Experiment`] plan.
 pub fn train_then_measure(
     workload: Workload,
     train_ticks: u64,
     scale: Scale,
     seed: u64,
 ) -> (SessionResult, SessionResult, CapesSystem<SimulatedLustre>) {
-    let mut system = build_system(workload, scale, seed);
-    run_training_session(&mut system, train_ticks);
-    let baseline = run_baseline_session(&mut system, scale.measurement_ticks(), "baseline");
-    let tuned = run_tuning_session(&mut system, scale.measurement_ticks(), "tuned");
-    (baseline, tuned, system)
+    let mut experiment = Experiment::new(build_system(workload, scale, seed))
+        .phase(Phase::Train { ticks: train_ticks })
+        .phase(Phase::Baseline {
+            ticks: scale.measurement_ticks(),
+        })
+        .phase(Phase::Tuned {
+            ticks: scale.measurement_ticks(),
+            label: "tuned".into(),
+        });
+    let mut report = experiment.run();
+    let tuned = report.sessions.pop().expect("tuned phase ran");
+    let baseline = report.sessions.pop().expect("baseline phase ran");
+    (baseline, tuned, experiment.into_system())
+}
+
+/// One engine's outcome in the unified comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineRow {
+    /// Engine name as reported by [`TuningEngine::name`].
+    pub engine: String,
+    /// Mean baseline throughput, MB/s (defaults, engine off).
+    pub baseline_mean: f64,
+    /// Mean tuned throughput, MB/s (engine exploiting).
+    pub tuned_mean: f64,
+    /// Tuned improvement over baseline, percent.
+    pub improvement_pct: f64,
+    /// Exploration/training ticks the engine actually consumed: the training
+    /// phase length for the online DRL engine, the measured search cost for
+    /// comparators that converge early.
+    pub train_ticks: u64,
+    /// Parameter values the engine settled on.
+    pub final_params: Vec<f64>,
+}
+
+/// The engine line-up of the paper's future-work comparison: the DRL engine
+/// (`None` = the builder's default) plus the three search comparators wrapped
+/// as [`TuningEngine`]s.
+pub fn engine_lineup(seed: u64, eval_ticks: u64) -> Vec<Option<Box<dyn TuningEngine>>> {
+    vec![
+        None,
+        Some(Box::new(SearchEngine::new(StaticBaseline, eval_ticks))),
+        Some(Box::new(SearchEngine::new(
+            RandomSearch::new(40, seed ^ 0xface),
+            eval_ticks,
+        ))),
+        Some(Box::new(SearchEngine::new(
+            HillClimbing::new(40),
+            eval_ticks,
+        ))),
+    ]
+}
+
+/// Drives the DRL engine and the three search comparators through one
+/// generic baseline → train → tuned [`Experiment`] plan — the single
+/// [`TuningEngine`] code path used by `table1` and `table2`.
+pub fn compare_engines(
+    workload: Workload,
+    scale: Scale,
+    seed: u64,
+    train_ticks: u64,
+    measure_ticks: u64,
+) -> Vec<EngineRow> {
+    engine_lineup(seed, (measure_ticks / 8).max(10))
+        .into_iter()
+        .map(|engine| {
+            let target = SimulatedLustre::builder()
+                .workload(workload.clone())
+                .seed(seed)
+                .build();
+            let mut builder = Capes::builder(target)
+                .hyperparams(scale.hyperparameters())
+                .seed(seed);
+            if let Some(engine) = engine {
+                builder = builder.engine(engine);
+            }
+            let system = builder.build().expect("benchmark configuration is valid");
+            let name = system.engine().name().to_string();
+            let mut experiment = Experiment::new(system)
+                .phase(Phase::Baseline {
+                    ticks: measure_ticks,
+                })
+                .phase(Phase::Train { ticks: train_ticks })
+                .phase(Phase::Tuned {
+                    ticks: measure_ticks,
+                    label: "tuned".into(),
+                });
+            let report = experiment.run();
+            let ticks_consumed = experiment
+                .system()
+                .engine()
+                .exploration_ticks_used()
+                .unwrap_or(train_ticks);
+            let baseline = report.baseline().expect("baseline phase ran");
+            let tuned = report.session("tuned").expect("tuned phase ran");
+            EngineRow {
+                engine: name,
+                baseline_mean: baseline.mean_throughput(),
+                tuned_mean: tuned.mean_throughput(),
+                improvement_pct: tuned.improvement_over(baseline) * 100.0,
+                train_ticks: ticks_consumed,
+                final_params: tuned.final_params.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Prints an engine comparison as an aligned text table.
+pub fn print_engine_comparison(title: &str, rows: &[EngineRow]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<22}{:>16}{:>14}{:>14}{:>14}",
+        "engine", "baseline MB/s", "tuned MB/s", "improvement", "train ticks"
+    );
+    for row in rows {
+        println!(
+            "{:<22}{:>16.1}{:>14.1}{:>13.1}%{:>14}",
+            row.engine, row.baseline_mean, row.tuned_mean, row.improvement_pct, row.train_ticks
+        );
+    }
 }
 
 #[cfg(test)]
@@ -222,5 +359,21 @@ mod tests {
             ],
         };
         assert!((row.improvement_pct(1) - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_engines_drives_all_four_through_one_path() {
+        let rows = compare_engines(Workload::random_rw(0.1), Scale::Quick, 42, 400, 120);
+        assert_eq!(rows.len(), 4);
+        let names: Vec<&str> = rows.iter().map(|r| r.engine.as_str()).collect();
+        assert!(names.contains(&"deep RL (DQN)"));
+        assert!(names.contains(&"static defaults"));
+        assert!(names.contains(&"random search"));
+        assert!(names.contains(&"hill climbing"));
+        for row in &rows {
+            assert!(row.baseline_mean > 0.0, "{}: no baseline", row.engine);
+            assert!(row.tuned_mean > 0.0, "{}: no tuned mean", row.engine);
+            assert_eq!(row.final_params.len(), 2);
+        }
     }
 }

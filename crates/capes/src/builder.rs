@@ -1,0 +1,231 @@
+//! Builder-first construction of a CAPES deployment.
+//!
+//! Replaces the telescoping constructors (`CapesSystem::new`,
+//! `CapesSystem::with_objective_and_checker`) with one fallible builder:
+//!
+//! ```
+//! use capes::prelude::*;
+//!
+//! let target = SimulatedLustre::builder()
+//!     .workload(Workload::random_rw(0.1))
+//!     .seed(7)
+//!     .build();
+//! let system = Capes::builder(target)
+//!     .hyperparams(Hyperparameters::quick_test())
+//!     .objective(Objective::Throughput)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid configuration");
+//! assert_eq!(system.tick(), 0);
+//! ```
+//!
+//! Invalid configurations are reported as [`CapesError`] values instead of
+//! panics, and every part of the deployment — objective, Action Checker,
+//! tuning engine, tick observers — is optional with the paper's evaluation
+//! setup as the default.
+
+use crate::engine::{DrlEngine, TuningEngine};
+use crate::error::CapesError;
+use crate::experiment::TickObserver;
+use crate::hyperparams::Hyperparameters;
+use crate::objective::Objective;
+use crate::system::CapesSystem;
+use crate::target::TargetSystem;
+use capes_agents::ActionChecker;
+use capes_drl::DqnAgent;
+
+/// Entry point for the builder API.
+pub struct Capes;
+
+impl Capes {
+    /// Starts building a CAPES deployment around `target`.
+    pub fn builder<T: TargetSystem>(target: T) -> CapesBuilder<T> {
+        CapesBuilder {
+            target,
+            hyperparams: Hyperparameters::paper(),
+            objective: Objective::Throughput,
+            checker: ActionChecker::permissive(),
+            seed: 0,
+            engine: None,
+            observers: Vec::new(),
+        }
+    }
+}
+
+/// Configures and assembles a [`CapesSystem`].
+///
+/// Defaults match the paper's evaluation: Table-1 hyperparameters, the
+/// throughput objective, a permissive Action Checker and the DQN engine.
+pub struct CapesBuilder<T: TargetSystem> {
+    target: T,
+    hyperparams: Hyperparameters,
+    objective: Objective,
+    checker: ActionChecker,
+    seed: u64,
+    engine: Option<Box<dyn TuningEngine>>,
+    observers: Vec<Box<dyn TickObserver>>,
+}
+
+impl<T: TargetSystem> CapesBuilder<T> {
+    /// Sets the hyperparameters (default: [`Hyperparameters::paper`]).
+    #[must_use]
+    pub fn hyperparams(mut self, hyperparams: Hyperparameters) -> Self {
+        self.hyperparams = hyperparams;
+        self
+    }
+
+    /// Sets the objective function (default: [`Objective::Throughput`]).
+    #[must_use]
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the Action Checker (default: permissive).
+    #[must_use]
+    pub fn checker(mut self, checker: ActionChecker) -> Self {
+        self.checker = checker;
+        self
+    }
+
+    /// Sets the RNG seed shared by the engine and the system (default: 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the default DQN engine with any [`TuningEngine`] (e.g. the
+    /// search comparators wrapped in [`crate::engine::SearchEngine`]).
+    #[must_use]
+    pub fn engine(mut self, engine: Box<dyn TuningEngine>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Registers a per-tick observer; may be called repeatedly. A plain
+    /// `FnMut(PhaseKind, &SystemTick)` closure works.
+    #[must_use]
+    pub fn observer<O: TickObserver + 'static>(mut self, observer: O) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Validates the configuration and assembles the system.
+    ///
+    /// # Errors
+    ///
+    /// * [`CapesError::InvalidHyperparameter`] if any hyperparameter violates
+    ///   its constraint;
+    /// * [`CapesError::NoTunableParameters`] if the target exposes an empty
+    ///   tunable-spec list.
+    pub fn build(self) -> Result<CapesSystem<T>, CapesError> {
+        self.hyperparams.validate()?;
+        let specs = self.target.tunable_specs();
+        if specs.is_empty() {
+            return Err(CapesError::NoTunableParameters);
+        }
+        let engine = match self.engine {
+            Some(engine) => engine,
+            None => {
+                // The default engine: a freshly-initialised DQN sized for the
+                // target's observation width and parameter count.
+                let observation_size = self
+                    .hyperparams
+                    .observation_size(self.target.num_nodes(), self.target.pis_per_node());
+                let config = self.hyperparams.agent_config(observation_size, specs.len());
+                Box::new(DrlEngine::new(DqnAgent::new(config, self.seed ^ 0x5eed)))
+            }
+        };
+        Ok(CapesSystem::assemble(
+            self.target,
+            self.hyperparams,
+            self.objective,
+            self.checker,
+            self.seed,
+            engine,
+            self.observers,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SearchEngine;
+    use crate::target::test_target::QuadraticTarget;
+    use crate::target::{TargetTick, TunableSpec};
+    use crate::tuners::StaticBaseline;
+
+    /// A target with no tunable parameters (invalid for CAPES).
+    struct Untunable;
+
+    impl TargetSystem for Untunable {
+        fn num_nodes(&self) -> usize {
+            1
+        }
+        fn pis_per_node(&self) -> usize {
+            1
+        }
+        fn tunable_specs(&self) -> Vec<TunableSpec> {
+            Vec::new()
+        }
+        fn current_params(&self) -> Vec<f64> {
+            Vec::new()
+        }
+        fn apply_params(&mut self, _values: &[f64]) {}
+        fn step(&mut self) -> TargetTick {
+            TargetTick {
+                per_node_pis: vec![vec![0.0]],
+                throughput_mbps: 1.0,
+                latency_ms: 1.0,
+            }
+        }
+    }
+
+    #[test]
+    fn default_build_succeeds_with_dqn_engine() {
+        let system = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(Hyperparameters::quick_test())
+            .seed(1)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(system.engine().name(), "deep RL (DQN)");
+        assert!(system.dqn_agent().is_some());
+        assert_eq!(system.current_params(), vec![10.0]);
+    }
+
+    #[test]
+    fn invalid_hyperparameters_are_reported_not_panicked() {
+        let result = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(Hyperparameters {
+                discount_rate: 1.5,
+                ..Hyperparameters::paper()
+            })
+            .build();
+        match result {
+            Err(CapesError::InvalidHyperparameter { name, .. }) => {
+                assert_eq!(name, "discount_rate");
+            }
+            Err(other) => panic!("expected InvalidHyperparameter, got {other:?}"),
+            Ok(_) => panic!("expected InvalidHyperparameter, got a built system"),
+        }
+    }
+
+    #[test]
+    fn empty_tunable_specs_are_reported_not_panicked() {
+        let result = Capes::builder(Untunable).build();
+        assert!(matches!(result, Err(CapesError::NoTunableParameters)));
+    }
+
+    #[test]
+    fn custom_engine_is_used() {
+        let system = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(Hyperparameters::quick_test())
+            .engine(Box::new(SearchEngine::new(StaticBaseline, 10)))
+            .build()
+            .expect("valid configuration");
+        assert_eq!(system.engine().name(), "static defaults");
+        assert!(system.dqn_agent().is_none());
+    }
+}

@@ -1,0 +1,520 @@
+//! The unified tuning-engine interface.
+//!
+//! The paper's evaluation pits the DRL engine against search-based prior work
+//! (random search, hill climbing, static defaults). Before this module each
+//! comparator had its own driver loop; now every decision maker implements
+//! [`TuningEngine`] and [`crate::system::CapesSystem`] drives whichever engine
+//! it was built with through one generic per-tick code path — monitoring
+//! agents, Interface Daemon, Action Checker and Replay DB stay identical
+//! across engines, exactly as the paper's architecture intends.
+//!
+//! Two engine families ship with the crate:
+//!
+//! * [`DrlEngine`] — the deep-Q-network engine (paper §3.4–§3.6), wrapping
+//!   [`capes_drl::DqnAgent`];
+//! * [`SearchEngine`] — an online evaluator for classic one-shot search
+//!   methods; any [`SearchStrategy`] (the comparators in [`crate::tuners`])
+//!   plugs into it.
+//!
+//! Because actions are proposed once per tick *after* the tick has been
+//! measured, the first measurement attributed to a fresh search candidate
+//! still reflects its predecessor's parameters; with evaluation windows of
+//! tens of ticks the bias is negligible (and matches the paper's one-second
+//! action loop).
+
+use crate::system::SystemTick;
+use crate::target::{TargetSystem, TunableSpec};
+use crate::tuners::TunerResult;
+use capes_drl::{ActionSpace, DqnAgent};
+use capes_replay::{Observation, SharedReplayDb};
+use std::any::Any;
+
+/// Everything an engine may inspect when proposing an action for one tick.
+#[derive(Debug)]
+pub struct EngineContext<'a> {
+    /// Current action tick.
+    pub tick: u64,
+    /// The flattened observation ending at this tick, if the replay DB has
+    /// accumulated enough history to build one.
+    pub observation: Option<&'a Observation>,
+    /// Parameter values the target system is currently using.
+    pub current_params: &'a [f64],
+    /// The tunable-parameter specifications of the target.
+    pub specs: &'a [TunableSpec],
+    /// `true` during training/search phases (the engine may explore),
+    /// `false` during tuned measurements (the engine should exploit).
+    pub explore: bool,
+}
+
+/// An engine's decision for one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProposedAction {
+    /// Index in the `2P + 1` discrete action space, when the engine reasons
+    /// in ±step actions (the DRL engine). Recorded in the Replay DB.
+    pub action_index: Option<usize>,
+    /// Whether the proposal was exploratory.
+    pub explored: bool,
+    /// Absolute parameter values the target should use next.
+    pub params: Vec<f64>,
+}
+
+/// A decision maker the CAPES system can be built around.
+///
+/// Implemented by the DQN-backed [`DrlEngine`] and by [`SearchEngine`] for
+/// the three search comparators, so sessions, experiments and benches drive
+/// any engine through a single generic code path.
+pub trait TuningEngine: Any {
+    /// Human-readable engine name used in logs and benchmark output.
+    fn name(&self) -> &str;
+
+    /// Proposes the parameter values for the next tick.
+    fn propose_action(&mut self, ctx: &EngineContext<'_>) -> ProposedAction;
+
+    /// Receives the measured outcome of a tick (called once per tick, after
+    /// the measurement that the engine's previous proposal influenced).
+    fn observe(&mut self, tick: &SystemTick);
+
+    /// Runs one training step against the replay database, returning the
+    /// step's prediction error. Engines that do not learn return `None`.
+    fn train_step(&mut self, db: &SharedReplayDb) -> Option<f64>;
+
+    /// The engine's own estimate of the best parameter vector, if it keeps
+    /// one (`None` means "whatever the target currently uses").
+    fn current_params(&self) -> Option<Vec<f64>>;
+
+    /// Signals a scheduled workload change (paper §3.6). Default: ignored.
+    fn notify_workload_change(&mut self, _tick: u64, _bump_ticks: u64) {}
+
+    /// `true` once the engine has finished searching and further exploration
+    /// ticks would not change its proposal. Always `false` for online
+    /// learners.
+    fn is_converged(&self) -> bool {
+        false
+    }
+
+    /// Exploration ticks the engine actually consumed searching, when it
+    /// tracks them (`None` for online learners, which use every training
+    /// tick they are given).
+    fn exploration_ticks_used(&self) -> Option<u64> {
+        None
+    }
+
+    /// Upcast for engine-specific access (e.g. checkpointing the DQN).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+// ---------------------------------------------------------------------------
+// The DRL engine.
+// ---------------------------------------------------------------------------
+
+/// The deep-Q-network engine: ε-greedy ±step actions plus experience-replay
+/// training (paper §3.4–§3.7).
+#[derive(Debug, Clone)]
+pub struct DrlEngine {
+    agent: DqnAgent,
+    action_space: ActionSpace,
+}
+
+impl DrlEngine {
+    /// Wraps a DQN agent as a tuning engine.
+    pub fn new(agent: DqnAgent) -> Self {
+        DrlEngine {
+            action_space: agent.action_space(),
+            agent,
+        }
+    }
+
+    /// The wrapped agent.
+    pub fn agent(&self) -> &DqnAgent {
+        &self.agent
+    }
+
+    /// Mutable access to the wrapped agent.
+    pub fn agent_mut(&mut self) -> &mut DqnAgent {
+        &mut self.agent
+    }
+
+    /// Replaces the wrapped agent (checkpoint restoration).
+    pub fn replace_agent(&mut self, agent: DqnAgent) {
+        self.action_space = agent.action_space();
+        self.agent = agent;
+    }
+}
+
+impl TuningEngine for DrlEngine {
+    fn name(&self) -> &str {
+        "deep RL (DQN)"
+    }
+
+    fn propose_action(&mut self, ctx: &EngineContext<'_>) -> ProposedAction {
+        let decision = self.agent.decide(ctx.observation, ctx.tick, !ctx.explore);
+        let directions = self.action_space.direction_vector(decision.action);
+        let params: Vec<f64> = ctx
+            .current_params
+            .iter()
+            .zip(directions.iter())
+            .zip(ctx.specs.iter())
+            .map(|((&value, &dir), spec)| spec.clamp(value + dir * spec.step))
+            .collect();
+        ProposedAction {
+            action_index: Some(decision.action),
+            explored: decision.explored,
+            params,
+        }
+    }
+
+    fn observe(&mut self, _tick: &SystemTick) {
+        // The DQN learns from the replay DB, not from direct feedback.
+    }
+
+    fn train_step(&mut self, db: &SharedReplayDb) -> Option<f64> {
+        match self.agent.train_from_db(db) {
+            Ok(Some(report)) => Some(report.prediction_error),
+            _ => None,
+        }
+    }
+
+    fn current_params(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    fn notify_workload_change(&mut self, tick: u64, bump_ticks: u64) {
+        self.agent.notify_workload_change(tick, bump_ticks);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Search engines.
+// ---------------------------------------------------------------------------
+
+/// A candidate-proposing search method (the strategy half of
+/// [`SearchEngine`]). Implemented by the comparators in [`crate::tuners`].
+pub trait SearchStrategy {
+    /// Name used in logs and benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// The first candidate to evaluate (default: the target's defaults).
+    fn initial_candidate(&mut self, specs: &[TunableSpec]) -> Vec<f64> {
+        specs.iter().map(|s| s.default).collect()
+    }
+
+    /// Given the score of the last candidate and the running best, produces
+    /// the next candidate to evaluate, or `None` when the search is done.
+    fn next_candidate(
+        &mut self,
+        specs: &[TunableSpec],
+        last: &[f64],
+        last_score: f64,
+        best: (&[f64], f64),
+        evaluations: usize,
+    ) -> Option<Vec<f64>>;
+}
+
+/// Drives any [`SearchStrategy`] through the [`TuningEngine`] interface:
+/// each candidate is held for a fixed evaluation window of exploration ticks,
+/// scored by mean objective value, and the best candidate wins. Once the
+/// strategy stops proposing candidates the engine is converged and proposes
+/// the best parameters forever (its "tuned" policy).
+#[derive(Debug, Clone)]
+pub struct SearchEngine<S: SearchStrategy> {
+    strategy: S,
+    eval_ticks: u64,
+    specs: Vec<TunableSpec>,
+    current: Vec<f64>,
+    started: bool,
+    exploring: bool,
+    ticks_in_candidate: u64,
+    score_acc: f64,
+    best: Option<(Vec<f64>, f64)>,
+    evaluations: usize,
+    ticks_used: u64,
+    converged: bool,
+}
+
+impl<S: SearchStrategy> SearchEngine<S> {
+    /// Wraps `strategy`, evaluating each candidate for `eval_ticks` ticks.
+    ///
+    /// # Panics
+    /// Panics if `eval_ticks` is zero.
+    pub fn new(strategy: S, eval_ticks: u64) -> Self {
+        assert!(
+            eval_ticks > 0,
+            "evaluation window must be at least one tick"
+        );
+        SearchEngine {
+            strategy,
+            eval_ticks,
+            specs: Vec::new(),
+            current: Vec::new(),
+            started: false,
+            exploring: false,
+            ticks_in_candidate: 0,
+            score_acc: 0.0,
+            best: None,
+            evaluations: 0,
+            ticks_used: 0,
+            converged: false,
+        }
+    }
+
+    /// The best `(params, mean objective)` found so far.
+    pub fn best(&self) -> Option<(&[f64], f64)> {
+        self.best.as_ref().map(|(p, s)| (p.as_slice(), *s))
+    }
+
+    /// Candidate evaluations completed so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Exploration ticks consumed so far (the tuning cost).
+    pub fn ticks_used(&self) -> u64 {
+        self.ticks_used
+    }
+
+    /// The wrapped strategy.
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// Summarises the finished search as a [`TunerResult`].
+    pub fn result(&self) -> TunerResult {
+        let (best_params, best_throughput) = match &self.best {
+            Some((p, s)) => (p.clone(), *s),
+            None => (self.current.clone(), 0.0),
+        };
+        TunerResult {
+            best_params,
+            best_throughput,
+            evaluations: self.evaluations,
+            ticks_used: self.ticks_used,
+        }
+    }
+
+    fn finish_candidate(&mut self) {
+        let score = self.score_acc / self.ticks_in_candidate.max(1) as f64;
+        self.evaluations += 1;
+        let improved = match &self.best {
+            Some((_, best_score)) => score > *best_score,
+            None => true,
+        };
+        if improved {
+            self.best = Some((self.current.clone(), score));
+        }
+        let best_ref = self.best.as_ref().expect("best set above");
+        let next = self.strategy.next_candidate(
+            &self.specs,
+            &self.current,
+            score,
+            (&best_ref.0, best_ref.1),
+            self.evaluations,
+        );
+        match next {
+            Some(candidate) => {
+                self.current = candidate;
+                self.ticks_in_candidate = 0;
+                self.score_acc = 0.0;
+            }
+            None => self.converged = true,
+        }
+    }
+}
+
+impl<S: SearchStrategy + 'static> TuningEngine for SearchEngine<S> {
+    fn name(&self) -> &str {
+        self.strategy.name()
+    }
+
+    fn propose_action(&mut self, ctx: &EngineContext<'_>) -> ProposedAction {
+        if !self.started {
+            self.specs = ctx.specs.to_vec();
+            self.current = self.strategy.initial_candidate(ctx.specs);
+            self.started = true;
+        }
+        self.exploring = ctx.explore && !self.converged;
+        let params = if self.exploring {
+            self.current.clone()
+        } else {
+            // Exploit: the best candidate found so far (or the current one if
+            // nothing has finished evaluating yet).
+            self.best
+                .as_ref()
+                .map(|(p, _)| p.clone())
+                .unwrap_or_else(|| self.current.clone())
+        };
+        ProposedAction {
+            action_index: None,
+            explored: self.exploring,
+            params,
+        }
+    }
+
+    fn observe(&mut self, tick: &SystemTick) {
+        if !self.exploring {
+            return;
+        }
+        self.score_acc += tick.objective;
+        self.ticks_in_candidate += 1;
+        self.ticks_used += 1;
+        if self.ticks_in_candidate >= self.eval_ticks {
+            self.finish_candidate();
+        }
+    }
+
+    fn train_step(&mut self, _db: &SharedReplayDb) -> Option<f64> {
+        None
+    }
+
+    fn current_params(&self) -> Option<Vec<f64>> {
+        self.best.as_ref().map(|(p, _)| p.clone())
+    }
+
+    fn is_converged(&self) -> bool {
+        self.converged
+    }
+
+    fn exploration_ticks_used(&self) -> Option<u64> {
+        Some(self.ticks_used)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Drives a search engine directly against a bare target system (no
+/// monitoring/daemon pipeline), until the strategy converges or `max_ticks`
+/// is spent. This is the legacy `Tuner::tune` code path, reimplemented on the
+/// engine interface so batch and online searches share one implementation.
+pub fn run_search<T: TargetSystem, S: SearchStrategy + 'static>(
+    engine: &mut SearchEngine<S>,
+    target: &mut T,
+    max_ticks: u64,
+) -> TunerResult {
+    let specs = target.tunable_specs();
+    let mut tick = 0u64;
+    while !engine.is_converged() && tick < max_ticks {
+        let current = target.current_params();
+        let proposal = engine.propose_action(&EngineContext {
+            tick,
+            observation: None,
+            current_params: &current,
+            specs: &specs,
+            explore: true,
+        });
+        target.apply_params(&proposal.params);
+        let measured = target.step();
+        engine.observe(&SystemTick {
+            tick,
+            throughput_mbps: measured.throughput_mbps,
+            objective: measured.throughput_mbps,
+            action: None,
+            explored: proposal.explored,
+            prediction_error: None,
+        });
+        tick += 1;
+    }
+    // Leave the target configured with the best parameters found.
+    if let Some((best, _)) = engine.best() {
+        let best = best.to_vec();
+        target.apply_params(&best);
+    }
+    engine.result()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::test_target::QuadraticTarget;
+    use crate::tuners::{RandomSearch, StaticBaseline};
+    use capes_drl::DqnAgentConfig;
+
+    #[test]
+    fn drl_engine_proposes_step_actions_within_bounds() {
+        let agent = DqnAgent::new(DqnAgentConfig::paper_default(6, 1), 3);
+        let mut engine = DrlEngine::new(agent);
+        let specs = vec![TunableSpec {
+            name: "knob".into(),
+            min: 0.0,
+            max: 100.0,
+            step: 2.0,
+            default: 10.0,
+        }];
+        for tick in 0..50 {
+            let proposal = engine.propose_action(&EngineContext {
+                tick,
+                observation: None,
+                current_params: &[10.0],
+                specs: &specs,
+                explore: true,
+            });
+            assert!(proposal.action_index.is_some());
+            let p = proposal.params[0];
+            assert!(
+                p == 8.0 || p == 10.0 || p == 12.0,
+                "±one step from 10, got {p}"
+            );
+        }
+        // Without an observation and without exploration, the engine holds.
+        let proposal = engine.propose_action(&EngineContext {
+            tick: 99,
+            observation: None,
+            current_params: &[10.0],
+            specs: &specs,
+            explore: false,
+        });
+        assert_eq!(proposal.params, vec![10.0]);
+        assert!(!proposal.explored);
+        assert_eq!(engine.name(), "deep RL (DQN)");
+        assert!(!engine.is_converged());
+    }
+
+    #[test]
+    fn search_engine_converges_and_reports_best() {
+        let mut engine = SearchEngine::new(RandomSearch::new(25, 9), 10);
+        let mut target = QuadraticTarget::new(60.0);
+        let result = run_search(&mut engine, &mut target, 100_000);
+        assert!(engine.is_converged());
+        assert_eq!(result.evaluations, 26, "defaults + 25 candidates");
+        assert_eq!(result.ticks_used, 26 * 10);
+        assert!(result.best_throughput > 0.0);
+        // The target was left configured with the best parameters.
+        assert_eq!(target.current_params(), result.best_params);
+        // Once converged, exploitation proposes the best candidate.
+        let specs = target.tunable_specs();
+        let proposal = engine.propose_action(&EngineContext {
+            tick: 0,
+            observation: None,
+            current_params: &result.best_params,
+            specs: &specs,
+            explore: true,
+        });
+        assert!(!proposal.explored);
+        assert_eq!(proposal.params, result.best_params);
+    }
+
+    #[test]
+    fn static_baseline_engine_evaluates_once() {
+        let mut engine = SearchEngine::new(StaticBaseline, 20);
+        let mut target = QuadraticTarget::new(40.0);
+        let result = run_search(&mut engine, &mut target, 100_000);
+        assert_eq!(result.evaluations, 1);
+        assert_eq!(result.best_params, vec![10.0]);
+        assert_eq!(engine.name(), "static defaults");
+    }
+}

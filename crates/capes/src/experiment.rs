@@ -1,0 +1,360 @@
+//! Declarative experiment plans.
+//!
+//! The paper's evaluation workflow (Appendix A.4) is always some arrangement
+//! of three phases: *train* (CAPES on, ε-greedy actions, 12–24 h), *baseline*
+//! (CAPES off, default parameters) and *tuned* (trained policy acting
+//! greedily). [`Experiment`] encodes that workflow declaratively:
+//!
+//! ```
+//! use capes::prelude::*;
+//!
+//! let target = SimulatedLustre::builder().seed(7).build();
+//! let system = Capes::builder(target)
+//!     .hyperparams(Hyperparameters::quick_test())
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//! let report = Experiment::new(system)
+//!     .phase(Phase::Baseline { ticks: 40 })
+//!     .phase(Phase::Train { ticks: 60 })
+//!     .phase(Phase::Tuned { ticks: 40, label: "tuned".into() })
+//!     .run();
+//! assert_eq!(report.sessions.len(), 3);
+//! ```
+//!
+//! The resulting [`ExperimentReport`] aggregates the per-phase
+//! [`SessionResult`]s, computes improvements over the baseline and serializes
+//! to JSON for the figure binaries.
+
+use crate::session::SessionResult;
+use crate::system::{CapesSystem, SystemTick};
+use crate::target::TargetSystem;
+use serde::{Deserialize, Serialize};
+
+/// The kind of work a phase performs (also tags every [`SessionResult`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Parameters reset to defaults; no engine involvement.
+    Baseline,
+    /// The engine explores/learns while the system serves the workload.
+    Train,
+    /// The engine exploits what it has learnt; no training.
+    Tuned,
+}
+
+impl PhaseKind {
+    /// Lower-case label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PhaseKind::Baseline => "baseline",
+            PhaseKind::Train => "training",
+            PhaseKind::Tuned => "tuned",
+        }
+    }
+}
+
+/// One phase of an experiment plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Reset parameters to their defaults and measure without tuning.
+    Baseline {
+        /// Phase length in ticks (simulated seconds).
+        ticks: u64,
+    },
+    /// Online training/search: exploratory actions plus training steps.
+    Train {
+        /// Phase length in ticks.
+        ticks: u64,
+    },
+    /// Measure with the engine exploiting (greedy policy / best candidate).
+    Tuned {
+        /// Phase length in ticks.
+        ticks: u64,
+        /// Label attached to the resulting session (e.g. `"after 12h"`).
+        label: String,
+    },
+}
+
+impl Phase {
+    /// The phase's kind.
+    pub fn kind(&self) -> PhaseKind {
+        match self {
+            Phase::Baseline { .. } => PhaseKind::Baseline,
+            Phase::Train { .. } => PhaseKind::Train,
+            Phase::Tuned { .. } => PhaseKind::Tuned,
+        }
+    }
+
+    /// The phase's length in ticks.
+    pub fn ticks(&self) -> u64 {
+        match self {
+            Phase::Baseline { ticks } | Phase::Train { ticks } | Phase::Tuned { ticks, .. } => {
+                *ticks
+            }
+        }
+    }
+
+    /// The label the phase's session will carry.
+    pub fn label(&self) -> String {
+        match self {
+            Phase::Tuned { label, .. } => label.clone(),
+            other => other.kind().label().to_string(),
+        }
+    }
+}
+
+/// Streaming consumer of per-tick telemetry during any phase.
+///
+/// Observers are registered on the builder
+/// ([`crate::builder::CapesBuilder::observer`]) and invoked by the system for
+/// every tick it runs, so monitoring dashboards and bench harnesses can watch
+/// a run without polling. A plain `FnMut(PhaseKind, &SystemTick)` closure is
+/// an observer.
+pub trait TickObserver {
+    /// Called when a phase starts.
+    fn on_phase_start(&mut self, _kind: PhaseKind, _label: &str) {}
+
+    /// Called for every tick the system runs.
+    fn on_tick(&mut self, kind: PhaseKind, tick: &SystemTick);
+
+    /// Called when a phase completes, with the phase's session result.
+    fn on_phase_end(&mut self, _kind: PhaseKind, _result: &SessionResult) {}
+}
+
+impl<F: FnMut(PhaseKind, &SystemTick)> TickObserver for F {
+    fn on_tick(&mut self, kind: PhaseKind, tick: &SystemTick) {
+        self(kind, tick)
+    }
+}
+
+/// A declarative experiment: a system plus an ordered list of phases.
+pub struct Experiment<T: TargetSystem> {
+    system: CapesSystem<T>,
+    phases: Vec<Phase>,
+}
+
+impl<T: TargetSystem> Experiment<T> {
+    /// Starts an experiment plan around an assembled system.
+    pub fn new(system: CapesSystem<T>) -> Self {
+        Experiment {
+            system,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Appends a phase to the plan.
+    #[must_use]
+    pub fn phase(mut self, phase: Phase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// The phases queued so far.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Read access to the underlying system.
+    pub fn system(&self) -> &CapesSystem<T> {
+        &self.system
+    }
+
+    /// Mutable access to the underlying system (e.g. to change workloads or
+    /// restore checkpoints between `run` calls).
+    pub fn system_mut(&mut self) -> &mut CapesSystem<T> {
+        &mut self.system
+    }
+
+    /// Consumes the experiment, returning the system (e.g. to checkpoint it).
+    pub fn into_system(self) -> CapesSystem<T> {
+        self.system
+    }
+
+    /// Runs every queued phase in order and drains the plan, leaving the
+    /// experiment ready for further `phase(..)` / `run()` rounds on the same
+    /// system (the Figure-2 "train 12 h, measure, train 12 h more, measure"
+    /// protocol).
+    pub fn run(&mut self) -> ExperimentReport {
+        let phases = std::mem::take(&mut self.phases);
+        let mut sessions = Vec::with_capacity(phases.len());
+        for phase in &phases {
+            sessions.push(self.system.run_phase(phase));
+        }
+        ExperimentReport { sessions }
+    }
+}
+
+/// The aggregated outcome of an experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// One session result per executed phase, in plan order.
+    pub sessions: Vec<SessionResult>,
+}
+
+impl ExperimentReport {
+    /// The first baseline session, if the plan had one.
+    pub fn baseline(&self) -> Option<&SessionResult> {
+        self.sessions.iter().find(|s| s.kind == PhaseKind::Baseline)
+    }
+
+    /// The session with the given label.
+    pub fn session(&self, label: &str) -> Option<&SessionResult> {
+        self.sessions.iter().find(|s| s.label == label)
+    }
+
+    /// Relative improvement of the labelled session over the baseline
+    /// (`Some(0.45)` means 45 % faster). `None` if either session is missing.
+    pub fn improvement_over_baseline(&self, label: &str) -> Option<f64> {
+        let baseline = self.baseline()?;
+        let session = self.session(label)?;
+        Some(session.improvement_over(baseline))
+    }
+
+    /// `(label, improvement)` for every non-baseline session, in plan order.
+    pub fn improvements_over_baseline(&self) -> Vec<(String, f64)> {
+        let Some(baseline) = self.baseline() else {
+            return Vec::new();
+        };
+        self.sessions
+            .iter()
+            .filter(|s| s.kind != PhaseKind::Baseline)
+            .map(|s| (s.label.clone(), s.improvement_over(baseline)))
+            .collect()
+    }
+
+    /// Paper-style multi-line summary of every session.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for session in &self.sessions {
+            out.push_str(&session.summary());
+            if let Some(baseline) = self.baseline() {
+                if session.kind != PhaseKind::Baseline {
+                    out.push_str(&format!(
+                        "  ({:+.1}% vs baseline)",
+                        session.improvement_over(baseline) * 100.0
+                    ));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Parses a report back from [`ExperimentReport::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Capes;
+    use crate::hyperparams::Hyperparameters;
+    use crate::target::test_target::QuadraticTarget;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn quick_system() -> CapesSystem<QuadraticTarget> {
+        Capes::builder(QuadraticTarget::new(55.0))
+            .hyperparams(Hyperparameters {
+                sampling_ticks_per_observation: 3,
+                exploration_period_ticks: 200,
+                adam_learning_rate: 2e-3,
+                train_steps_per_tick: 2,
+                ..Hyperparameters::quick_test()
+            })
+            .seed(11)
+            .build()
+            .expect("valid system")
+    }
+
+    #[test]
+    fn phases_run_in_order_and_fill_the_report() {
+        let mut experiment = Experiment::new(quick_system())
+            .phase(Phase::Baseline { ticks: 50 })
+            .phase(Phase::Train { ticks: 120 })
+            .phase(Phase::Tuned {
+                ticks: 50,
+                label: "tuned".into(),
+            });
+        let report = experiment.run();
+        assert_eq!(report.sessions.len(), 3);
+        assert_eq!(report.sessions[0].kind, PhaseKind::Baseline);
+        assert_eq!(report.sessions[1].kind, PhaseKind::Train);
+        assert_eq!(report.sessions[2].kind, PhaseKind::Tuned);
+        assert_eq!(report.sessions[0].throughput_series.len(), 50);
+        assert_eq!(report.sessions[1].throughput_series.len(), 120);
+        assert!(report.baseline().is_some());
+        assert!(report.session("tuned").is_some());
+        assert!(report.improvement_over_baseline("tuned").is_some());
+        assert_eq!(report.improvements_over_baseline().len(), 2);
+        assert!(report.summary().contains("baseline"));
+        // The plan drained; a second run with new phases reuses the system.
+        assert!(experiment.phases().is_empty());
+        let report2 = experiment.phase(Phase::Train { ticks: 30 }).run();
+        assert_eq!(report2.sessions.len(), 1);
+    }
+
+    #[test]
+    fn phase_accessors() {
+        assert_eq!(Phase::Baseline { ticks: 5 }.kind(), PhaseKind::Baseline);
+        assert_eq!(Phase::Train { ticks: 7 }.ticks(), 7);
+        let tuned = Phase::Tuned {
+            ticks: 9,
+            label: "after 12h".into(),
+        };
+        assert_eq!(tuned.label(), "after 12h");
+        assert_eq!(Phase::Train { ticks: 1 }.label(), "training");
+        assert_eq!(PhaseKind::Tuned.label(), "tuned");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut experiment = Experiment::new(quick_system())
+            .phase(Phase::Baseline { ticks: 30 })
+            .phase(Phase::Tuned {
+                ticks: 30,
+                label: "t".into(),
+            });
+        let report = experiment.run();
+        let json = report.to_json();
+        let back = ExperimentReport::from_json(&json).expect("round trip");
+        assert_eq!(back.sessions.len(), report.sessions.len());
+        assert_eq!(back.sessions[0].kind, PhaseKind::Baseline);
+        assert_eq!(back.sessions[1].label, "t");
+        assert!(
+            (back.sessions[0].mean_throughput() - report.sessions[0].mean_throughput()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn observers_stream_every_tick() {
+        let seen: Rc<RefCell<Vec<(PhaseKind, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = seen.clone();
+        let system = Capes::builder(QuadraticTarget::new(50.0))
+            .hyperparams(Hyperparameters::quick_test())
+            .seed(3)
+            .observer(move |kind: PhaseKind, tick: &SystemTick| {
+                sink.borrow_mut().push((kind, tick.tick));
+            })
+            .build()
+            .expect("valid system");
+        let mut experiment = Experiment::new(system)
+            .phase(Phase::Baseline { ticks: 10 })
+            .phase(Phase::Train { ticks: 15 });
+        experiment.run();
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 25);
+        assert!(seen[..10].iter().all(|(k, _)| *k == PhaseKind::Baseline));
+        assert!(seen[10..].iter().all(|(k, _)| *k == PhaseKind::Train));
+        // Ticks are globally monotonic across phases.
+        assert!(seen.windows(2).all(|w| w[1].1 == w[0].1 + 1));
+    }
+}

@@ -1,5 +1,6 @@
 //! The hyperparameters of Table 1.
 
+use crate::error::CapesError;
 use capes_drl::{DqnAgentConfig, EpsilonSchedule, TrainerConfig};
 use serde::{Deserialize, Serialize};
 
@@ -101,23 +102,107 @@ impl Hyperparameters {
         }
     }
 
-    /// Validates the hyperparameters, panicking on the first invalid value.
-    pub fn validate(&self) {
-        assert!(self.action_tick_length > 0 && self.sampling_tick_length > 0);
-        assert!(self.sampling_ticks_per_observation > 0);
-        assert!((0.0..=1.0).contains(&self.epsilon_initial));
-        assert!((0.0..=1.0).contains(&self.epsilon_final));
-        assert!(self.epsilon_final <= self.epsilon_initial);
-        assert!(self.exploration_period_ticks > 0);
-        assert!((0.0..1.0).contains(&self.discount_rate));
-        assert!(self.minibatch_size > 0);
-        assert!((0.0..1.0).contains(&self.missing_entry_tolerance));
-        assert!(self.num_hidden_layers >= 1);
-        assert!(self.adam_learning_rate > 0.0);
-        assert!((0.0..=1.0).contains(&self.target_update_rate));
-        assert!(self.replay_capacity_ticks > self.sampling_ticks_per_observation);
-        assert!(self.reward_scale > 0.0);
-        assert!(self.train_steps_per_tick > 0);
+    /// Validates the hyperparameters, reporting the first invalid value as a
+    /// typed [`CapesError::InvalidHyperparameter`] so callers can recover
+    /// (previously this asserted).
+    pub fn validate(&self) -> Result<(), CapesError> {
+        fn invalid(name: &'static str, reason: &str) -> CapesError {
+            CapesError::InvalidHyperparameter {
+                name,
+                reason: reason.to_string(),
+            }
+        }
+        let checks: [(&'static str, bool, &str); 16] = [
+            (
+                "action_tick_length",
+                self.action_tick_length > 0,
+                "must be positive",
+            ),
+            (
+                "sampling_tick_length",
+                self.sampling_tick_length > 0,
+                "must be positive",
+            ),
+            (
+                "sampling_ticks_per_observation",
+                self.sampling_ticks_per_observation > 0,
+                "must be positive",
+            ),
+            (
+                "epsilon_initial",
+                (0.0..=1.0).contains(&self.epsilon_initial),
+                "must lie in [0, 1]",
+            ),
+            (
+                "epsilon_final",
+                (0.0..=1.0).contains(&self.epsilon_final),
+                "must lie in [0, 1]",
+            ),
+            (
+                "epsilon_final",
+                self.epsilon_final <= self.epsilon_initial,
+                "must not exceed epsilon_initial",
+            ),
+            (
+                "exploration_period_ticks",
+                self.exploration_period_ticks > 0,
+                "must be positive",
+            ),
+            (
+                "discount_rate",
+                (0.0..1.0).contains(&self.discount_rate),
+                "must lie in [0, 1)",
+            ),
+            (
+                "minibatch_size",
+                self.minibatch_size > 0,
+                "must be positive",
+            ),
+            (
+                "missing_entry_tolerance",
+                (0.0..1.0).contains(&self.missing_entry_tolerance),
+                "must lie in [0, 1)",
+            ),
+            (
+                "num_hidden_layers",
+                self.num_hidden_layers >= 1,
+                "need at least one hidden layer",
+            ),
+            (
+                "adam_learning_rate",
+                self.adam_learning_rate > 0.0,
+                "must be positive",
+            ),
+            (
+                "target_update_rate",
+                (0.0..=1.0).contains(&self.target_update_rate),
+                "must lie in [0, 1]",
+            ),
+            (
+                "replay_capacity_ticks",
+                self.replay_capacity_ticks > self.sampling_ticks_per_observation,
+                "must exceed sampling_ticks_per_observation",
+            ),
+            ("reward_scale", self.reward_scale > 0.0, "must be positive"),
+            (
+                "train_steps_per_tick",
+                self.train_steps_per_tick > 0,
+                "must be positive",
+            ),
+        ];
+        for (name, ok, reason) in checks {
+            if !ok {
+                return Err(invalid(name, reason));
+            }
+        }
+        Ok(())
+    }
+
+    /// Width of the flattened observation for a target with `num_nodes` nodes
+    /// reporting `pis_per_node` indicators each (Table 1's "sampling ticks
+    /// per observation" × nodes × PIs).
+    pub fn observation_size(&self, num_nodes: usize, pis_per_node: usize) -> usize {
+        self.sampling_ticks_per_observation * num_nodes * pis_per_node
     }
 
     /// Derives the DRL agent configuration for a target with the given
@@ -149,7 +234,7 @@ mod tests {
     #[test]
     fn paper_values_match_table_1() {
         let hp = Hyperparameters::paper();
-        hp.validate();
+        hp.validate().expect("paper values are valid");
         assert_eq!(hp.action_tick_length, 1);
         assert_eq!(hp.sampling_tick_length, 1);
         assert_eq!(hp.sampling_ticks_per_observation, 10);
@@ -167,7 +252,7 @@ mod tests {
     #[test]
     fn quick_test_is_valid_and_faster() {
         let hp = Hyperparameters::quick_test();
-        hp.validate();
+        hp.validate().expect("quick_test values are valid");
         assert!(hp.exploration_period_ticks < Hyperparameters::paper().exploration_period_ticks);
         assert!(hp.train_steps_per_tick >= Hyperparameters::paper().train_steps_per_tick);
         assert!(hp.reward_scale < 1.0);
@@ -190,13 +275,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn invalid_hyperparameters_rejected() {
+    fn invalid_hyperparameters_rejected_with_typed_error() {
         let hp = Hyperparameters {
             discount_rate: 1.5,
             ..Hyperparameters::paper()
         };
-        hp.validate();
+        match hp.validate() {
+            Err(CapesError::InvalidHyperparameter { name, reason }) => {
+                assert_eq!(name, "discount_rate");
+                assert!(reason.contains("[0, 1)"));
+            }
+            other => panic!("expected InvalidHyperparameter, got {other:?}"),
+        }
+        let hp = Hyperparameters {
+            epsilon_final: 0.9,
+            epsilon_initial: 0.5,
+            ..Hyperparameters::paper()
+        };
+        assert!(matches!(
+            hp.validate(),
+            Err(CapesError::InvalidHyperparameter {
+                name: "epsilon_final",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn observation_size_follows_table_1() {
+        let hp = Hyperparameters::paper();
+        // The paper's full configuration: 5 clients × 44 PIs × 10 ticks.
+        assert_eq!(hp.observation_size(5, 44), 2200);
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * [`target::TargetSystem`] — the adapter interface of the paper's
 //!   Appendix A: anything that can report per-node performance indicators and
 //!   accept parameter values can be tuned;
+//! * [`builder::Capes`] — the fallible builder assembling a deployment
+//!   (objective, Action Checker, tuning engine, observers all optional);
+//! * [`error::CapesError`] — typed errors instead of assembly-time panics;
 //! * [`hyperparams::Hyperparameters`] — every hyperparameter of Table 1 with
 //!   the paper's values as defaults;
 //! * [`objective`] — single- and multi-objective reward functions (§3.2);
@@ -16,9 +19,12 @@
 //!   [`capes_simstore`] cluster simulator as a target system (the analogue of
 //!   the paper's Lustre adapter);
 //! * [`system::CapesSystem`] — Monitoring Agents + Interface Daemon + Replay
-//!   DB + DRL engine wired around a target system (Figure 1);
-//! * [`session`] — training / tuning / baseline session runners used by every
-//!   experiment;
+//!   DB + a pluggable tuning engine wired around a target system (Figure 1);
+//! * [`engine::TuningEngine`] — the unified engine interface implemented by
+//!   the DQN engine and the search comparators;
+//! * [`experiment::Experiment`] — declarative baseline/train/tuned phase
+//!   plans producing JSON-serializable [`experiment::ExperimentReport`]s,
+//!   with [`experiment::TickObserver`] streaming per-tick telemetry;
 //! * [`tuners`] — comparator tuners (static defaults, random search, hill
 //!   climbing) representing the search-based prior work discussed in §5.
 //!
@@ -33,16 +39,36 @@
 //!     .seed(7)
 //!     .build();
 //!
-//! // Scale the paper's hyperparameters down so this doc-test runs quickly.
-//! let hp = Hyperparameters::quick_test();
-//! let mut system = CapesSystem::new(target, hp, 7);
+//! // Assemble CAPES around it. `quick_test()` scales the paper's
+//! // hyperparameters down so this doc-test runs quickly; invalid
+//! // configurations come back as typed errors instead of panics.
+//! let system = Capes::builder(target)
+//!     .hyperparams(Hyperparameters::quick_test())
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid configuration");
 //!
-//! // A (very) short training session followed by a tuned measurement.
-//! let training = run_training_session(&mut system, 60);
-//! assert!(training.mean_throughput() > 0.0);
+//! // The paper's evaluation workflow as a declarative plan: measure the
+//! // baseline, train (very briefly, for the doc-test), measure tuned.
+//! let report = Experiment::new(system)
+//!     .phase(Phase::Baseline { ticks: 30 })
+//!     .phase(Phase::Train { ticks: 60 })
+//!     .phase(Phase::Tuned { ticks: 30, label: "tuned".into() })
+//!     .run();
+//!
+//! assert_eq!(report.sessions.len(), 3);
+//! assert!(report.baseline().unwrap().mean_throughput() > 0.0);
+//! assert!(report.improvement_over_baseline("tuned").is_some());
+//! // Reports serialize to JSON for the figure binaries.
+//! let json = report.to_json();
+//! assert!(ExperimentReport::from_json(&json).is_ok());
 //! ```
 
 pub mod adapter;
+pub mod builder;
+pub mod engine;
+pub mod error;
+pub mod experiment;
 pub mod hyperparams;
 pub mod objective;
 pub mod session;
@@ -51,22 +77,39 @@ pub mod target;
 pub mod tuners;
 
 pub use adapter::SimulatedLustre;
+pub use builder::{Capes, CapesBuilder};
+pub use engine::{DrlEngine, EngineContext, ProposedAction, SearchEngine, TuningEngine};
+pub use error::CapesError;
+pub use experiment::{Experiment, ExperimentReport, Phase, PhaseKind, TickObserver};
 pub use hyperparams::Hyperparameters;
 pub use objective::Objective;
-pub use session::{run_baseline_session, run_training_session, run_tuning_session, SessionResult};
-pub use system::CapesSystem;
+pub use session::SessionResult;
+#[allow(deprecated)]
+pub use session::{run_baseline_session, run_training_session, run_tuning_session};
+pub use system::{CapesSystem, SystemTick};
 pub use target::{TargetSystem, TargetTick, TunableSpec};
 
-/// Convenient glob import for examples and benchmarks.
+/// Convenient glob import for examples, benchmarks and downstream crates.
+///
+/// Brings in the builder-first construction API ([`Capes`],
+/// [`CapesBuilder`], [`CapesError`]), the declarative experiment API
+/// ([`Experiment`], [`Phase`], [`PhaseKind`], [`ExperimentReport`],
+/// [`TickObserver`]), the unified engine interface ([`TuningEngine`],
+/// [`DrlEngine`], [`SearchEngine`]), the comparator tuners, the bundled
+/// simulator adapter, and the simulator's configuration types.
 pub mod prelude {
     pub use crate::adapter::SimulatedLustre;
+    pub use crate::builder::{Capes, CapesBuilder};
+    pub use crate::engine::{DrlEngine, SearchEngine, TuningEngine};
+    pub use crate::error::CapesError;
+    pub use crate::experiment::{Experiment, ExperimentReport, Phase, PhaseKind, TickObserver};
     pub use crate::hyperparams::Hyperparameters;
     pub use crate::objective::Objective;
-    pub use crate::session::{
-        run_baseline_session, run_training_session, run_tuning_session, SessionResult,
-    };
-    pub use crate::system::CapesSystem;
+    pub use crate::session::SessionResult;
+    #[allow(deprecated)]
+    pub use crate::session::{run_baseline_session, run_training_session, run_tuning_session};
+    pub use crate::system::{CapesSystem, SystemTick};
     pub use crate::target::{TargetSystem, TargetTick, TunableSpec};
-    pub use crate::tuners::{HillClimbing, RandomSearch, StaticBaseline, Tuner};
+    pub use crate::tuners::{HillClimbing, RandomSearch, StaticBaseline, Tuner, TunerResult};
     pub use capes_simstore::{ClusterConfig, PiMode, TunableParams, Workload};
 }

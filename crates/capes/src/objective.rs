@@ -10,9 +10,10 @@ use crate::target::TargetTick;
 use serde::{Deserialize, Serialize};
 
 /// A reward function over one tick of target-system behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Objective {
     /// Reward = aggregate throughput in MB/s (the paper's evaluation).
+    #[default]
     Throughput,
     /// Reward = −latency in ms (for latency-sensitive systems).
     NegativeLatency,
@@ -24,12 +25,6 @@ pub enum Objective {
         /// Weight applied to latency (ms), subtracted.
         latency_weight: f64,
     },
-}
-
-impl Default for Objective {
-    fn default() -> Self {
-        Objective::Throughput
-    }
 }
 
 impl Objective {

@@ -1,8 +1,14 @@
-//! Session runners: the paper's evaluation workflow (Appendix A.4) is
-//! "turn on CAPES and train for 12–24 hours, turn it off and measure the
-//! baseline, turn it on and measure the tuned performance". These helpers run
-//! each of those phases and attach Pilot-style statistics to the results.
+//! Session results and the legacy session runners.
+//!
+//! The paper's evaluation workflow (Appendix A.4) is "turn on CAPES and train
+//! for 12–24 hours, turn it off and measure the baseline, turn it on and
+//! measure the tuned performance". Those phases are now expressed
+//! declaratively with [`crate::experiment::Experiment`] and
+//! [`crate::experiment::Phase`]; the free `run_*_session` functions remain as
+//! thin deprecated shims over [`crate::system::CapesSystem::run_phase`] for
+//! one release.
 
+use crate::experiment::{Phase, PhaseKind};
 use crate::system::CapesSystem;
 use crate::target::TargetSystem;
 use capes_stats::{analyze, AnalysisConfig, AnalysisReport};
@@ -11,6 +17,8 @@ use serde::{Deserialize, Serialize};
 /// The outcome of one measurement or training session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SessionResult {
+    /// The kind of phase that produced this session.
+    pub kind: PhaseKind,
     /// Human-readable label ("baseline", "tuned after 12 h", …).
     pub label: String,
     /// Per-second aggregate throughput, MB/s.
@@ -55,7 +63,8 @@ impl SessionResult {
         )
     }
 
-    fn from_series(
+    pub(crate) fn from_series(
+        kind: PhaseKind,
         label: impl Into<String>,
         series: Vec<f64>,
         prediction_errors: Vec<(u64, f64)>,
@@ -63,6 +72,7 @@ impl SessionResult {
     ) -> Self {
         let analysis = analyze(&series, &AnalysisConfig::default());
         SessionResult {
+            kind,
             label: label.into(),
             throughput_series: series,
             prediction_errors,
@@ -72,109 +82,143 @@ impl SessionResult {
     }
 }
 
-/// Runs `ticks` seconds of online training (ε-greedy actions plus training
+/// Runs `ticks` seconds of online training (exploratory actions plus training
 /// steps), as the paper does for 12–24 hours before measuring.
+#[deprecated(note = "use `Experiment::new(system).phase(Phase::Train { ticks }).run()` instead")]
 pub fn run_training_session<T: TargetSystem>(
     system: &mut CapesSystem<T>,
     ticks: u64,
 ) -> SessionResult {
-    let errors_before = system.prediction_errors().len();
-    let mut series = Vec::with_capacity(ticks as usize);
-    for _ in 0..ticks {
-        series.push(system.training_tick().throughput_mbps);
-    }
-    let prediction_errors = system.prediction_errors()[errors_before..].to_vec();
-    SessionResult::from_series("training", series, prediction_errors, system.current_params())
+    system.run_phase(&Phase::Train { ticks })
 }
 
 /// Runs `ticks` seconds with the trained policy acting greedily (the "tuned"
 /// measurements of Figures 2–4).
+#[deprecated(
+    note = "use `Experiment::new(system).phase(Phase::Tuned { ticks, label }).run()` instead"
+)]
 pub fn run_tuning_session<T: TargetSystem>(
     system: &mut CapesSystem<T>,
     ticks: u64,
     label: impl Into<String>,
 ) -> SessionResult {
-    let mut series = Vec::with_capacity(ticks as usize);
-    for _ in 0..ticks {
-        series.push(system.tuning_tick().throughput_mbps);
-    }
-    SessionResult::from_series(label, series, Vec::new(), system.current_params())
+    system.run_phase(&Phase::Tuned {
+        ticks,
+        label: label.into(),
+    })
 }
 
 /// Resets the parameters to their defaults and runs `ticks` seconds without
 /// any tuning (the "baseline, default Lustre settings" measurements).
+#[deprecated(note = "use `Experiment::new(system).phase(Phase::Baseline { ticks }).run()` instead")]
 pub fn run_baseline_session<T: TargetSystem>(
     system: &mut CapesSystem<T>,
     ticks: u64,
     label: impl Into<String>,
 ) -> SessionResult {
-    system.reset_params_to_defaults();
-    let mut series = Vec::with_capacity(ticks as usize);
-    for _ in 0..ticks {
-        series.push(system.baseline_tick().throughput_mbps);
-    }
-    SessionResult::from_series(label, series, Vec::new(), system.current_params())
+    let mut result = system.run_phase(&Phase::Baseline { ticks });
+    result.label = label.into();
+    result
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::Capes;
     use crate::hyperparams::Hyperparameters;
     use crate::target::test_target::QuadraticTarget;
 
     fn system() -> CapesSystem<QuadraticTarget> {
-        let hp = Hyperparameters {
-            sampling_ticks_per_observation: 3,
-            exploration_period_ticks: 200,
-            adam_learning_rate: 2e-3,
-            train_steps_per_tick: 2,
-            ..Hyperparameters::quick_test()
-        };
-        CapesSystem::new(QuadraticTarget::new(55.0), hp, 11)
+        Capes::builder(QuadraticTarget::new(55.0))
+            .hyperparams(Hyperparameters {
+                sampling_ticks_per_observation: 3,
+                exploration_period_ticks: 200,
+                adam_learning_rate: 2e-3,
+                train_steps_per_tick: 2,
+                ..Hyperparameters::quick_test()
+            })
+            .seed(11)
+            .build()
+            .expect("valid configuration")
     }
 
     #[test]
-    fn sessions_produce_series_and_statistics() {
+    fn phases_produce_series_and_statistics() {
         let mut sys = system();
-        let baseline = run_baseline_session(&mut sys, 120, "baseline");
+        let baseline = sys.run_phase(&Phase::Baseline { ticks: 120 });
+        assert_eq!(baseline.kind, PhaseKind::Baseline);
         assert_eq!(baseline.throughput_series.len(), 120);
         assert!(baseline.mean_throughput() > 0.0);
         assert!(baseline.prediction_errors.is_empty());
         assert!(baseline.summary().contains("baseline"));
         assert_eq!(baseline.final_params, vec![10.0]);
 
-        let training = run_training_session(&mut sys, 300);
+        let training = sys.run_phase(&Phase::Train { ticks: 300 });
+        assert_eq!(training.kind, PhaseKind::Train);
         assert_eq!(training.throughput_series.len(), 300);
         assert!(!training.prediction_errors.is_empty());
 
-        let tuned = run_tuning_session(&mut sys, 120, "tuned");
+        let tuned = sys.run_phase(&Phase::Tuned {
+            ticks: 120,
+            label: "tuned".into(),
+        });
+        assert_eq!(tuned.kind, PhaseKind::Tuned);
         assert_eq!(tuned.throughput_series.len(), 120);
         assert!(tuned.label == "tuned");
     }
 
     #[test]
     fn improvement_is_relative_to_baseline() {
-        let base = SessionResult::from_series("b", vec![100.0; 64], Vec::new(), vec![]);
-        let better = SessionResult::from_series("t", vec![145.0; 64], Vec::new(), vec![]);
+        let base = SessionResult::from_series(
+            PhaseKind::Baseline,
+            "b",
+            vec![100.0; 64],
+            Vec::new(),
+            vec![],
+        );
+        let better =
+            SessionResult::from_series(PhaseKind::Tuned, "t", vec![145.0; 64], Vec::new(), vec![]);
         let improvement = better.improvement_over(&base);
         assert!((improvement - 0.45).abs() < 1e-9);
         assert_eq!(base.improvement_over(&base), 0.0);
     }
 
     #[test]
-    fn baseline_session_resets_parameters() {
+    fn baseline_phase_resets_parameters() {
         let mut sys = system();
         sys.target_mut().apply_params(&[90.0]);
-        let baseline = run_baseline_session(&mut sys, 30, "baseline");
+        let baseline = sys.run_phase(&Phase::Baseline { ticks: 30 });
         assert_eq!(baseline.final_params, vec![10.0], "defaults restored first");
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let mut sys = system();
+        let baseline = run_baseline_session(&mut sys, 30, "custom baseline label");
+        assert_eq!(baseline.label, "custom baseline label");
+        assert_eq!(baseline.kind, PhaseKind::Baseline);
+        let training = run_training_session(&mut sys, 40);
+        assert_eq!(training.kind, PhaseKind::Train);
+        assert_eq!(training.label, "training");
+        let tuned = run_tuning_session(&mut sys, 30, "tuned");
+        assert_eq!(tuned.kind, PhaseKind::Tuned);
+        assert_eq!(tuned.throughput_series.len(), 30);
+    }
+
+    #[test]
     fn serde_round_trip() {
-        let r = SessionResult::from_series("x", vec![1.0, 2.0, 3.0, 4.0], vec![(0, 0.5)], vec![8.0]);
+        let r = SessionResult::from_series(
+            PhaseKind::Train,
+            "x",
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![(0, 0.5)],
+            vec![8.0],
+        );
         let json = serde_json::to_string(&r).unwrap();
         let back: SessionResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back.label, "x");
+        assert_eq!(back.kind, PhaseKind::Train);
         assert_eq!(back.throughput_series.len(), 4);
     }
 }

@@ -1,31 +1,28 @@
 //! The assembled CAPES system (Figure 1): Monitoring Agents feeding an
-//! Interface Daemon that writes the Replay DB, a DRL engine that trains on it
-//! and suggests actions, an Action Checker screening those actions, and a
-//! Control Agent applying them to the target system.
+//! Interface Daemon that writes the Replay DB, a pluggable [`TuningEngine`]
+//! that proposes actions (and, for the DQN, trains on the Replay DB), an
+//! Action Checker screening those actions, and a Control Agent applying them
+//! to the target system.
+//!
+//! Systems are assembled through [`crate::builder::Capes::builder`]; the old
+//! telescoping constructors remain as deprecated shims.
 
+use crate::engine::{DrlEngine, EngineContext, TuningEngine};
+use crate::error::CapesError;
+use crate::experiment::{Phase, PhaseKind, TickObserver};
 use crate::hyperparams::Hyperparameters;
 use crate::objective::Objective;
+use crate::session::SessionResult;
 use crate::target::{TargetSystem, TunableSpec};
-use capes_agents::{ActionChecker, ActionMessage, ControlAgent, InterfaceDaemon, Message, MonitoringAgent};
-use capes_drl::{ActionSpace, DqnAgent};
+use capes_agents::{
+    ActionChecker, ActionMessage, ControlAgent, InterfaceDaemon, Message, MonitoringAgent,
+};
+use capes_drl::DqnAgent;
 use capes_replay::{ReplayConfig, SharedReplayDb};
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::path::Path;
 use std::sync::Arc;
-
-/// How a tick is driven.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TickMode {
-    /// ε-greedy actions plus training steps (the paper's training session).
-    Training,
-    /// Greedy actions, no training (measuring tuned performance).
-    Tuning,
-    /// No actions at all (measuring the untuned baseline).
-    Baseline,
-}
 
 /// Everything that happened during one system tick.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,13 +33,17 @@ pub struct SystemTick {
     pub throughput_mbps: f64,
     /// Objective-function output (the reward source).
     pub objective: f64,
-    /// Action index chosen this tick, if any.
+    /// Action index chosen this tick, if the engine reasons in the discrete
+    /// `2P + 1` action space.
     pub action: Option<usize>,
-    /// Whether the action was exploratory (random).
+    /// Whether the action was exploratory.
     pub explored: bool,
     /// Prediction error of the training step(s) run this tick, if any.
     pub prediction_error: Option<f64>,
 }
+
+/// The boxed parameter-setter closure the Control Agent drives.
+type ParamSetter = Box<dyn FnMut(&[f64]) + Send>;
 
 /// The CAPES system wired around a target system.
 pub struct CapesSystem<T: TargetSystem> {
@@ -53,33 +54,31 @@ pub struct CapesSystem<T: TargetSystem> {
     daemon: InterfaceDaemon,
     monitors: Vec<MonitoringAgent>,
     control_rx: Receiver<ActionMessage>,
-    control_agent: ControlAgent<Box<dyn FnMut(&[f64]) + Send>>,
+    control_agent: ControlAgent<ParamSetter>,
     staged_params: Arc<Mutex<Option<Vec<f64>>>>,
-    agent: DqnAgent,
-    action_space: ActionSpace,
+    engine: Box<dyn TuningEngine>,
+    observers: Vec<Box<dyn TickObserver>>,
     specs: Vec<TunableSpec>,
     tick: u64,
-    rng: StdRng,
     throughput_history: Vec<f64>,
     prediction_errors: Vec<(u64, f64)>,
 }
 
 impl<T: TargetSystem> CapesSystem<T> {
     /// Builds a CAPES deployment around `target` with the default
-    /// (throughput) objective and a permissive Action Checker, matching the
-    /// paper's evaluation configuration.
+    /// (throughput) objective and a permissive Action Checker.
+    #[deprecated(note = "use `Capes::builder(target)…build()` instead")]
     pub fn new(target: T, hyperparams: Hyperparameters, seed: u64) -> Self {
-        Self::with_objective_and_checker(
-            target,
-            hyperparams,
-            Objective::Throughput,
-            ActionChecker::permissive(),
-            seed,
-        )
+        crate::builder::Capes::builder(target)
+            .hyperparams(hyperparams)
+            .seed(seed)
+            .build()
+            .expect("invalid CAPES configuration")
     }
 
     /// Fully-configurable constructor: custom objective function and Action
     /// Checker.
+    #[deprecated(note = "use `Capes::builder(target)…build()` instead")]
     pub fn with_objective_and_checker(
         target: T,
         hyperparams: Hyperparameters,
@@ -87,11 +86,30 @@ impl<T: TargetSystem> CapesSystem<T> {
         checker: ActionChecker,
         seed: u64,
     ) -> Self {
-        hyperparams.validate();
+        crate::builder::Capes::builder(target)
+            .hyperparams(hyperparams)
+            .objective(objective)
+            .checker(checker)
+            .seed(seed)
+            .build()
+            .expect("invalid CAPES configuration")
+    }
+
+    /// Wires the deployment together. Called by the builder, which has
+    /// already validated the hyperparameters and the tunable-spec list.
+    pub(crate) fn assemble(
+        target: T,
+        hyperparams: Hyperparameters,
+        objective: Objective,
+        checker: ActionChecker,
+        _seed: u64,
+        engine: Box<dyn TuningEngine>,
+        observers: Vec<Box<dyn TickObserver>>,
+    ) -> Self {
         let num_nodes = target.num_nodes();
         let pis_per_node = target.pis_per_node();
         let specs = target.tunable_specs();
-        assert!(!specs.is_empty(), "target has no tunable parameters");
+        debug_assert!(!specs.is_empty(), "builder validates the spec list");
 
         let replay_config = ReplayConfig {
             num_nodes,
@@ -107,16 +125,13 @@ impl<T: TargetSystem> CapesSystem<T> {
         daemon.register_control_channel(control_tx);
         let staged_params: Arc<Mutex<Option<Vec<f64>>>> = Arc::new(Mutex::new(None));
         let staging = staged_params.clone();
-        let setter: Box<dyn FnMut(&[f64]) + Send> =
+        let setter: ParamSetter =
             Box::new(move |values: &[f64]| *staging.lock() = Some(values.to_vec()));
         let control_agent = ControlAgent::new(0, setter);
 
-        let monitors = (0..num_nodes).map(|n| MonitoringAgent::new(n, 0.0)).collect();
-
-        let observation_size = replay_config.observation_size();
-        let agent_config = hyperparams.agent_config(observation_size, specs.len());
-        let agent = DqnAgent::new(agent_config, seed ^ 0x5eed);
-        let action_space = ActionSpace::new(specs.len());
+        let monitors = (0..num_nodes)
+            .map(|n| MonitoringAgent::new(n, 0.0))
+            .collect();
 
         CapesSystem {
             target,
@@ -128,11 +143,10 @@ impl<T: TargetSystem> CapesSystem<T> {
             control_rx,
             control_agent,
             staged_params,
-            agent,
-            action_space,
+            engine,
+            observers,
             specs,
             tick: 0,
-            rng: StdRng::seed_from_u64(seed),
             throughput_history: Vec::new(),
             prediction_errors: Vec::new(),
         }
@@ -158,9 +172,28 @@ impl<T: TargetSystem> CapesSystem<T> {
         &self.db
     }
 
-    /// The DRL agent.
-    pub fn agent(&self) -> &DqnAgent {
-        &self.agent
+    /// The tuning engine driving this system.
+    pub fn engine(&self) -> &dyn TuningEngine {
+        self.engine.as_ref()
+    }
+
+    /// Mutable access to the tuning engine.
+    pub fn engine_mut(&mut self) -> &mut dyn TuningEngine {
+        self.engine.as_mut()
+    }
+
+    /// The DQN agent, when the system runs the DRL engine (`None` for the
+    /// search comparators).
+    pub fn dqn_agent(&self) -> Option<&DqnAgent> {
+        self.engine
+            .as_any()
+            .downcast_ref::<DrlEngine>()
+            .map(DrlEngine::agent)
+    }
+
+    /// Registers an additional per-tick observer at runtime.
+    pub fn add_observer<O: TickObserver + 'static>(&mut self, observer: O) {
+        self.observers.push(Box::new(observer));
     }
 
     /// Current tick (seconds since the system was assembled).
@@ -189,50 +222,118 @@ impl<T: TargetSystem> CapesSystem<T> {
     pub fn reset_params_to_defaults(&mut self) {
         let defaults: Vec<f64> = self.specs.iter().map(|s| s.default).collect();
         self.target.apply_params(&defaults);
+        // The reset bypasses the control path, so the Control Agent's
+        // deduplication cache no longer matches the target: without this, an
+        // engine re-proposing its previous parameters after a baseline phase
+        // would be deduplicated and the target would stay at the defaults.
+        self.control_agent.invalidate_cache();
     }
 
-    /// Signals a scheduled workload change: exploration is bumped back up
-    /// (paper §3.6) and the daemon is informed.
+    /// Signals a scheduled workload change: the engine is informed (the DQN
+    /// bumps exploration back up, paper §3.6) and so is the daemon.
     pub fn notify_workload_change(&mut self) {
-        self.agent
+        self.engine
             .notify_workload_change(self.tick, self.hyperparams.workload_change_bump_ticks);
-        self.daemon.ingest(&Message::WorkloadChange { tick: self.tick });
+        self.daemon
+            .ingest(&Message::WorkloadChange { tick: self.tick });
     }
 
-    /// One training tick: measure, store, act ε-greedily, train.
+    /// One training tick: measure, store, explore, train.
     pub fn training_tick(&mut self) -> SystemTick {
-        self.run_tick(TickMode::Training)
+        self.run_tick(PhaseKind::Train)
     }
 
-    /// One tuning tick: measure, store, act greedily, no training.
+    /// One tuning tick: measure, store, exploit, no training.
     pub fn tuning_tick(&mut self) -> SystemTick {
-        self.run_tick(TickMode::Tuning)
+        self.run_tick(PhaseKind::Tuned)
     }
 
     /// One baseline tick: measure and store only; parameters stay untouched.
     pub fn baseline_tick(&mut self) -> SystemTick {
-        self.run_tick(TickMode::Baseline)
+        self.run_tick(PhaseKind::Baseline)
     }
 
-    /// Saves the DRL agent's networks to a checkpoint file.
-    pub fn save_checkpoint<P: AsRef<Path>>(&self, path: P) -> Result<(), std::io::Error> {
-        self.agent.save_checkpoint(path)
+    /// Runs one phase of an experiment plan and returns its session result.
+    /// This is the single code path behind [`crate::experiment::Experiment`]
+    /// and the deprecated free session runners.
+    pub fn run_phase(&mut self, phase: &Phase) -> SessionResult {
+        let kind = phase.kind();
+        let label = phase.label();
+        for observer in &mut self.observers {
+            observer.on_phase_start(kind, &label);
+        }
+        if kind == PhaseKind::Baseline {
+            self.reset_params_to_defaults();
+        }
+        let errors_before = self.prediction_errors.len();
+        let ticks = phase.ticks();
+        let mut series = Vec::with_capacity(ticks as usize);
+        for _ in 0..ticks {
+            series.push(self.run_tick(kind).throughput_mbps);
+        }
+        let prediction_errors = if kind == PhaseKind::Train {
+            self.prediction_errors[errors_before..].to_vec()
+        } else {
+            Vec::new()
+        };
+        let result = SessionResult::from_series(
+            kind,
+            label,
+            series,
+            prediction_errors,
+            self.current_params(),
+        );
+        for observer in &mut self.observers {
+            observer.on_phase_end(kind, &result);
+        }
+        result
     }
 
-    /// Replaces the DRL agent with one restored from a checkpoint (the
-    /// Figure-4 protocol: reuse a trained model in a later session).
+    /// Saves the engine's learned model to a checkpoint file.
+    ///
+    /// # Errors
+    /// [`CapesError::EngineUnsupported`] if the engine has no persistable
+    /// model; [`CapesError::Checkpoint`] on I/O failure.
+    pub fn save_checkpoint<P: AsRef<Path>>(&self, path: P) -> Result<(), CapesError> {
+        let agent = self
+            .dqn_agent()
+            .ok_or_else(|| CapesError::EngineUnsupported {
+                engine: self.engine.name().to_string(),
+                operation: "checkpointing",
+            })?;
+        agent.save_checkpoint(path).map_err(CapesError::from)
+    }
+
+    /// Replaces the DRL engine's agent with one restored from a checkpoint
+    /// (the Figure-4 protocol: reuse a trained model in a later session).
+    ///
+    /// # Errors
+    /// [`CapesError::EngineUnsupported`] if the engine is not the DRL engine;
+    /// [`CapesError::CheckpointMismatch`] if the checkpoint was trained for a
+    /// different observation size; [`CapesError::Checkpoint`] on I/O failure.
     pub fn restore_checkpoint<P: AsRef<Path>>(
         &mut self,
         path: P,
         seed: u64,
-    ) -> Result<(), std::io::Error> {
+    ) -> Result<(), CapesError> {
         let restored = DqnAgent::load_checkpoint(path, seed)?;
-        assert_eq!(
-            restored.config().observation_size,
-            self.agent.config().observation_size,
-            "checkpoint was trained for a different observation size"
-        );
-        self.agent = restored;
+        let engine_name = self.engine.name().to_string();
+        let engine = self.engine.as_any_mut().downcast_mut::<DrlEngine>().ok_or(
+            CapesError::EngineUnsupported {
+                engine: engine_name,
+                operation: "checkpoint restoration",
+            },
+        )?;
+        let expected = engine.agent().config().observation_size;
+        let actual = restored.config().observation_size;
+        if expected != actual {
+            return Err(CapesError::CheckpointMismatch {
+                reason: format!(
+                    "checkpoint was trained for observation size {actual}, system uses {expected}"
+                ),
+            });
+        }
+        engine.replace_agent(restored);
         Ok(())
     }
 
@@ -246,7 +347,7 @@ impl<T: TargetSystem> CapesSystem<T> {
         self.monitors.iter().map(|m| m.stats()).collect()
     }
 
-    fn run_tick(&mut self, mode: TickMode) -> SystemTick {
+    fn run_tick(&mut self, kind: PhaseKind) -> SystemTick {
         // 1. Let the target system run for one second and measure it.
         let tick_data = self.target.step();
         assert_eq!(
@@ -271,42 +372,30 @@ impl<T: TargetSystem> CapesSystem<T> {
             });
         }
 
-        // 3. Decide on an action (unless this is a baseline measurement).
+        // 3. Ask the engine for an action (unless this is a baseline
+        //    measurement), then route it through the daemon — Action Checker
+        //    included — and let the Control Agent apply whatever arrives.
         let mut chosen_action = None;
         let mut explored = false;
-        if mode != TickMode::Baseline {
+        if kind != PhaseKind::Baseline {
             let observation = self.db.observation_at(self.tick);
-            let (action, was_random) = match (&observation, mode) {
-                (Some(obs), TickMode::Training) => {
-                    let decision = self.agent.select_action(obs, self.tick);
-                    (decision.action, decision.explored)
-                }
-                (Some(obs), _) => (self.agent.greedy_action(obs), false),
-                (None, TickMode::Training) => {
-                    // Not enough history for an observation yet: explore.
-                    (self.rng.gen_range(0..self.action_space.len()), true)
-                }
-                (None, _) => (self.action_space.encode(capes_drl::Action::Null), false),
-            };
-            chosen_action = Some(action);
-            explored = was_random;
-
-            // Translate the action into absolute parameter values.
-            let directions = self.action_space.direction_vector(action);
             let current = self.target.current_params();
-            let proposed: Vec<f64> = current
-                .iter()
-                .zip(directions.iter())
-                .zip(self.specs.iter())
-                .map(|((&value, &dir), spec)| spec.clamp(value + dir * spec.step))
-                .collect();
+            let proposal = self.engine.propose_action(&EngineContext {
+                tick: self.tick,
+                observation: observation.as_ref(),
+                current_params: &current,
+                specs: &self.specs,
+                explore: kind == PhaseKind::Train,
+            });
+            chosen_action = proposal.action_index;
+            explored = proposal.explored;
 
-            // Broadcast through the daemon (Action Checker included), then let
-            // the Control Agent apply whatever arrives.
             self.daemon.broadcast_action(ActionMessage {
                 tick: self.tick,
-                action_index: action,
-                parameter_values: proposed,
+                // Engines that do not reason in the discrete space (the
+                // search comparators) record the NULL action.
+                action_index: proposal.action_index.unwrap_or(0),
+                parameter_values: proposal.params,
             });
             while let Ok(message) = self.control_rx.try_recv() {
                 self.control_agent.handle(&message);
@@ -316,14 +405,14 @@ impl<T: TargetSystem> CapesSystem<T> {
             }
         }
 
-        // 4. Training steps (experience replay).
+        // 4. Training steps (experience replay) for engines that learn.
         let mut prediction_error = None;
-        if mode == TickMode::Training {
+        if kind == PhaseKind::Train {
             let mut sum = 0.0;
             let mut count = 0usize;
             for _ in 0..self.hyperparams.train_steps_per_tick {
-                if let Ok(Some(report)) = self.agent.train_from_db(&self.db) {
-                    sum += report.prediction_error;
+                if let Some(error) = self.engine.train_step(&self.db) {
+                    sum += error;
                     count += 1;
                 }
             }
@@ -342,6 +431,15 @@ impl<T: TargetSystem> CapesSystem<T> {
             explored,
             prediction_error,
         };
+        // 5. Feedback: the engine observes the measured outcome (search
+        //    engines score their candidates with it) and registered observers
+        //    stream the tick.
+        if kind != PhaseKind::Baseline {
+            self.engine.observe(&result);
+        }
+        for observer in &mut self.observers {
+            observer.on_tick(kind, &result);
+        }
         self.tick += 1;
         result
     }
@@ -350,27 +448,40 @@ impl<T: TargetSystem> CapesSystem<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::Capes;
+    use crate::engine::SearchEngine;
     use crate::target::test_target::QuadraticTarget;
+    use crate::tuners::{HillClimbing, RandomSearch};
 
-    fn quick_system(optimum: f64, seed: u64) -> CapesSystem<QuadraticTarget> {
-        let hp = Hyperparameters {
+    fn quick_hyperparams() -> Hyperparameters {
+        Hyperparameters {
             sampling_ticks_per_observation: 3,
             exploration_period_ticks: 200,
             adam_learning_rate: 2e-3,
             train_steps_per_tick: 2,
             ..Hyperparameters::quick_test()
-        };
-        CapesSystem::new(QuadraticTarget::new(optimum), hp, seed)
+        }
+    }
+
+    fn quick_system(optimum: f64, seed: u64) -> CapesSystem<QuadraticTarget> {
+        Capes::builder(QuadraticTarget::new(optimum))
+            .hyperparams(quick_hyperparams())
+            .seed(seed)
+            .build()
+            .expect("valid configuration")
     }
 
     #[test]
     fn system_assembles_with_correct_dimensions() {
         let system = quick_system(60.0, 1);
-        assert_eq!(system.agent().config().observation_size, 3 * 1 * 2);
-        assert_eq!(system.agent().action_space().len(), 3);
+        let agent = system.dqn_agent().expect("default engine is the DQN");
+        // 3 sampling ticks × 1 node × 2 PIs per node.
+        assert_eq!(agent.config().observation_size, 6);
+        assert_eq!(agent.action_space().len(), 3);
         assert_eq!(system.current_params(), vec![10.0]);
         assert_eq!(system.tick(), 0);
         assert!(system.throughput_history().is_empty());
+        assert_eq!(system.engine().name(), "deep RL (DQN)");
     }
 
     #[test]
@@ -400,7 +511,7 @@ mod tests {
         }
         assert!(saw_training, "training steps should have run");
         assert!(!system.prediction_errors().is_empty());
-        assert!(system.agent().training_steps() > 0);
+        assert!(system.dqn_agent().unwrap().training_steps() > 0);
         // Actions were recorded in the replay DB.
         let recorded = system
             .replay_db()
@@ -476,10 +587,32 @@ mod tests {
         let mut fresh = quick_system(60.0, 7);
         fresh.restore_checkpoint(&path, 8).unwrap();
         assert_eq!(
-            fresh.agent().q_network().observation_size(),
-            system.agent().q_network().observation_size()
+            fresh.dqn_agent().unwrap().q_network().observation_size(),
+            system.dqn_agent().unwrap().q_network().observation_size()
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpointing_a_search_engine_is_a_typed_error() {
+        let mut system = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(quick_hyperparams())
+            .engine(Box::new(SearchEngine::new(HillClimbing::new(10), 5)))
+            .build()
+            .unwrap();
+        let err = system
+            .save_checkpoint("/tmp/never-written.json")
+            .unwrap_err();
+        assert!(matches!(err, CapesError::EngineUnsupported { .. }));
+        let err = system
+            .restore_checkpoint("/tmp/never-read.json", 1)
+            .unwrap_err();
+        // Load fails before the engine check (file missing) — either way a
+        // typed error comes back.
+        assert!(matches!(
+            err,
+            CapesError::Checkpoint(_) | CapesError::EngineUnsupported { .. }
+        ));
     }
 
     #[test]
@@ -496,5 +629,69 @@ mod tests {
         assert_eq!(monitor_stats.len(), 1);
         assert_eq!(monitor_stats[0].reports, 20);
         assert!(monitor_stats[0].mean_bytes_per_report() > 0.0);
+    }
+
+    #[test]
+    fn tuned_phase_after_baseline_reapplies_the_engines_parameters() {
+        // Regression test: `reset_params_to_defaults` bypasses the control
+        // path, so a Train → Baseline → Tuned plan with an engine that
+        // re-proposes its previous best must still get those parameters
+        // applied during the tuned phase (the Control Agent's deduplication
+        // cache is invalidated by the reset).
+        let mut system = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(quick_hyperparams())
+            .engine(Box::new(SearchEngine::new(RandomSearch::new(20, 3), 10)))
+            .build()
+            .unwrap();
+        for _ in 0..300 {
+            system.training_tick();
+        }
+        assert!(system.engine().is_converged());
+        let best = system.engine().current_params().expect("search has a best");
+        assert_ne!(best, vec![10.0], "search should have moved off the default");
+        // Baseline phase: parameters reset to defaults outside the control
+        // path.
+        let baseline = system.run_phase(&Phase::Baseline { ticks: 5 });
+        assert_eq!(baseline.final_params, vec![10.0]);
+        assert_eq!(system.current_params(), vec![10.0]);
+        // Tuned: the engine re-proposes `best`; it must take effect again.
+        system.tuning_tick();
+        assert_eq!(
+            system.current_params(),
+            best,
+            "tuned phase must re-apply the engine's parameters after a baseline reset"
+        );
+    }
+
+    #[test]
+    fn search_engine_drives_through_the_same_system_path() {
+        // A search comparator plugged into the full pipeline: training ticks
+        // walk its candidates through daemon + checker, tuned ticks exploit
+        // the best candidate found.
+        let mut system = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(quick_hyperparams())
+            .engine(Box::new(SearchEngine::new(RandomSearch::new(30, 5), 10)))
+            .build()
+            .unwrap();
+        for _ in 0..400 {
+            system.training_tick();
+        }
+        assert!(
+            system.engine().is_converged(),
+            "31 candidates × 10 ticks < 400"
+        );
+        let best = system
+            .engine()
+            .current_params()
+            .expect("search engines expose their best");
+        let t = system.tuning_tick();
+        assert!(!t.explored);
+        assert_eq!(system.current_params(), best);
+        // The random search on an easy 1-D surface lands near the optimum.
+        assert!(
+            (best[0] - 60.0).abs() < 40.0,
+            "best candidate {} should be near 60",
+            best[0]
+        );
     }
 }

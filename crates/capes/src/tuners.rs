@@ -5,8 +5,7 @@
 //! methods (hill climbing, evolutionary strategies) that sweep parameter
 //! values against a repeatable workload. Its future work explicitly asks for a
 //! comparison of CAPES against "the best results from other automatic tuning
-//! methods". These tuners implement that comparison on the same
-//! [`TargetSystem`] interface CAPES uses:
+//! methods". These tuners implement that comparison:
 //!
 //! * [`StaticBaseline`] — keep the defaults (the paper's baseline);
 //! * [`RandomSearch`] — sample uniformly random parameter vectors and keep the
@@ -14,10 +13,16 @@
 //! * [`HillClimbing`] — greedy coordinate steps from the defaults, the classic
 //!   one-time search approach.
 //!
-//! All of them evaluate a candidate by running the target for a fixed number
-//! of ticks and averaging throughput — exactly the "tweak-benchmark cycle" the
-//! paper argues is too slow, which the benchmark harness quantifies.
+//! Each comparator is a [`SearchStrategy`]: wrapped in
+//! [`crate::engine::SearchEngine`] it implements the same
+//! [`crate::engine::TuningEngine`] interface as the DRL engine, so the
+//! benchmark harness drives CAPES and all three comparators through one code
+//! path. The legacy [`Tuner`] trait remains for one-shot batch tuning against
+//! a bare target and is itself implemented on top of the engine interface —
+//! exactly the "tweak-benchmark cycle" the paper argues is too slow, which
+//! the benchmark harness quantifies.
 
+use crate::engine::{run_search, SearchEngine, SearchStrategy};
 use crate::target::{TargetSystem, TunableSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,7 +41,8 @@ pub struct TunerResult {
     pub ticks_used: u64,
 }
 
-/// A parameter tuner that can be compared against CAPES.
+/// A parameter tuner that can be compared against CAPES with a one-shot
+/// batch run against a bare target system.
 pub trait Tuner {
     /// Runs the tuner against `target`, evaluating each candidate for
     /// `eval_ticks` seconds, and returns the best configuration found.
@@ -46,46 +52,52 @@ pub trait Tuner {
     fn name(&self) -> &'static str;
 }
 
-fn evaluate<T: TargetSystem>(target: &mut T, params: &[f64], eval_ticks: u64) -> f64 {
-    target.apply_params(params);
-    let mut sum = 0.0;
-    for _ in 0..eval_ticks {
-        sum += target.step().throughput_mbps;
-    }
-    sum / eval_ticks.max(1) as f64
-}
-
 /// Keeps the default parameter values (the untuned baseline of every figure).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StaticBaseline;
 
+impl SearchStrategy for StaticBaseline {
+    fn name(&self) -> &'static str {
+        "static defaults"
+    }
+
+    fn next_candidate(
+        &mut self,
+        _specs: &[TunableSpec],
+        _last: &[f64],
+        _last_score: f64,
+        _best: (&[f64], f64),
+        _evaluations: usize,
+    ) -> Option<Vec<f64>> {
+        // One evaluation of the defaults, then done.
+        None
+    }
+}
+
 impl Tuner for StaticBaseline {
     fn tune<T: TargetSystem>(&mut self, target: &mut T, eval_ticks: u64) -> TunerResult {
-        let defaults: Vec<f64> = target.tunable_specs().iter().map(|s| s.default).collect();
-        let throughput = evaluate(target, &defaults, eval_ticks);
-        TunerResult {
-            best_params: defaults,
-            best_throughput: throughput,
-            evaluations: 1,
-            ticks_used: eval_ticks,
-        }
+        let mut engine = SearchEngine::new(*self, eval_ticks);
+        run_search(&mut engine, target, eval_ticks)
     }
 
     fn name(&self) -> &'static str {
-        "static defaults"
+        SearchStrategy::name(self)
     }
 }
 
 /// Uniform random search over the parameter space.
 #[derive(Debug, Clone)]
 pub struct RandomSearch {
-    /// Number of random candidates to evaluate.
+    /// Number of random candidates to evaluate (on top of the defaults).
     pub candidates: usize,
     rng: StdRng,
 }
 
 impl RandomSearch {
     /// Creates a random search evaluating `candidates` configurations.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is zero.
     pub fn new(candidates: usize, seed: u64) -> Self {
         assert!(candidates > 0);
         RandomSearch {
@@ -106,28 +118,37 @@ impl RandomSearch {
     }
 }
 
+impl SearchStrategy for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random search"
+    }
+
+    fn next_candidate(
+        &mut self,
+        specs: &[TunableSpec],
+        _last: &[f64],
+        _last_score: f64,
+        _best: (&[f64], f64),
+        evaluations: usize,
+    ) -> Option<Vec<f64>> {
+        // The first evaluation was the defaults; then `candidates` randoms.
+        if evaluations <= self.candidates {
+            Some(self.random_params(specs))
+        } else {
+            None
+        }
+    }
+}
+
 impl Tuner for RandomSearch {
     fn tune<T: TargetSystem>(&mut self, target: &mut T, eval_ticks: u64) -> TunerResult {
-        let specs = target.tunable_specs();
-        let defaults: Vec<f64> = specs.iter().map(|s| s.default).collect();
-        let mut best_params = defaults.clone();
-        let mut best_throughput = evaluate(target, &defaults, eval_ticks);
-        let mut ticks = eval_ticks;
-        for _ in 0..self.candidates {
-            let candidate = self.random_params(&specs);
-            let throughput = evaluate(target, &candidate, eval_ticks);
-            ticks += eval_ticks;
-            if throughput > best_throughput {
-                best_throughput = throughput;
-                best_params = candidate;
-            }
-        }
-        TunerResult {
-            best_params,
-            best_throughput,
-            evaluations: self.candidates + 1,
-            ticks_used: ticks,
-        }
+        let mut engine = SearchEngine::new(self.clone(), eval_ticks);
+        let budget = (self.candidates as u64 + 1) * eval_ticks;
+        let result = run_search(&mut engine, target, budget);
+        // Carry the advanced RNG state back, so repeated `tune` calls on one
+        // RandomSearch draw fresh candidate sequences.
+        self.rng = engine.strategy().rng.clone();
+        result
     }
 
     fn name(&self) -> &'static str {
@@ -142,67 +163,120 @@ impl Tuner for RandomSearch {
 pub struct HillClimbing {
     /// Maximum number of candidate evaluations.
     pub max_evaluations: usize,
+    position: Option<HillPosition>,
+}
+
+#[derive(Debug, Clone)]
+struct HillPosition {
+    current: Vec<f64>,
+    current_score: f64,
+    queue: Vec<Vec<f64>>,
+    round_best: Option<(Vec<f64>, f64)>,
 }
 
 impl HillClimbing {
     /// Creates a hill climber with the given evaluation budget.
+    ///
+    /// # Panics
+    /// Panics if `max_evaluations` is zero.
     pub fn new(max_evaluations: usize) -> Self {
         assert!(max_evaluations > 0);
-        HillClimbing { max_evaluations }
+        HillClimbing {
+            max_evaluations,
+            position: None,
+        }
+    }
+
+    /// Neighbours of `current` (± one step per parameter), in coordinate
+    /// order, most-recently-generated last so `Vec::pop` walks them in order.
+    fn neighbours(specs: &[TunableSpec], current: &[f64]) -> Vec<Vec<f64>> {
+        let mut queue = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            for direction in [-1.0, 1.0] {
+                let mut candidate = current.to_vec();
+                candidate[i] = spec.clamp(candidate[i] + direction * spec.step);
+                if candidate != current {
+                    queue.push(candidate);
+                }
+            }
+        }
+        queue.reverse();
+        queue
+    }
+}
+
+impl SearchStrategy for HillClimbing {
+    fn name(&self) -> &'static str {
+        "hill climbing"
+    }
+
+    fn next_candidate(
+        &mut self,
+        specs: &[TunableSpec],
+        last: &[f64],
+        last_score: f64,
+        _best: (&[f64], f64),
+        evaluations: usize,
+    ) -> Option<Vec<f64>> {
+        let position = match &mut self.position {
+            None => {
+                // `last` was the starting position (the defaults).
+                self.position = Some(HillPosition {
+                    current: last.to_vec(),
+                    current_score: last_score,
+                    queue: Self::neighbours(specs, last),
+                    round_best: None,
+                });
+                self.position.as_mut().expect("just set")
+            }
+            Some(position) => {
+                // `last` was a neighbour; track the best of this round.
+                let improves_round = position
+                    .round_best
+                    .as_ref()
+                    .map(|(_, s)| last_score > *s)
+                    .unwrap_or(true);
+                if improves_round {
+                    position.round_best = Some((last.to_vec(), last_score));
+                }
+                position
+            }
+        };
+
+        loop {
+            if evaluations >= self.max_evaluations {
+                // Budget spent: stop proposing. The engine's global best
+                // already covers any improving neighbour from the truncated
+                // round, so the outcome matches the batch algorithm's
+                // "move, then break".
+                return None;
+            }
+            if let Some(candidate) = position.queue.pop() {
+                return Some(candidate);
+            }
+            // Round complete: move or converge.
+            match position.round_best.take() {
+                Some((params, score)) if score > position.current_score => {
+                    position.current = params;
+                    position.current_score = score;
+                    position.queue = Self::neighbours(specs, &position.current);
+                    if position.queue.is_empty() {
+                        return None;
+                    }
+                }
+                _ => return None,
+            }
+        }
     }
 }
 
 impl Tuner for HillClimbing {
     fn tune<T: TargetSystem>(&mut self, target: &mut T, eval_ticks: u64) -> TunerResult {
-        let specs = target.tunable_specs();
-        let mut current: Vec<f64> = specs.iter().map(|s| s.default).collect();
-        let mut current_score = evaluate(target, &current, eval_ticks);
-        let mut evaluations = 1usize;
-        let mut ticks = eval_ticks;
-
-        loop {
-            let mut best_neighbour: Option<(Vec<f64>, f64)> = None;
-            for (i, spec) in specs.iter().enumerate() {
-                for direction in [-1.0, 1.0] {
-                    if evaluations >= self.max_evaluations {
-                        break;
-                    }
-                    let mut candidate = current.clone();
-                    candidate[i] = spec.clamp(candidate[i] + direction * spec.step);
-                    if candidate == current {
-                        continue;
-                    }
-                    let score = evaluate(target, &candidate, eval_ticks);
-                    evaluations += 1;
-                    ticks += eval_ticks;
-                    if best_neighbour
-                        .as_ref()
-                        .map(|(_, s)| score > *s)
-                        .unwrap_or(true)
-                    {
-                        best_neighbour = Some((candidate, score));
-                    }
-                }
-            }
-            match best_neighbour {
-                Some((params, score)) if score > current_score => {
-                    current = params;
-                    current_score = score;
-                }
-                _ => break,
-            }
-            if evaluations >= self.max_evaluations {
-                break;
-            }
-        }
-        // Leave the target configured with the best parameters found.
-        target.apply_params(&current);
-        TunerResult {
-            best_params: current,
-            best_throughput: current_score,
-            evaluations,
-            ticks_used: ticks,
-        }
+        // A fresh strategy per run: the search state is not reusable.
+        let strategy = HillClimbing::new(self.max_evaluations);
+        let mut engine = SearchEngine::new(strategy, eval_ticks);
+        let budget = self.max_evaluations as u64 * eval_ticks;
+        run_search(&mut engine, target, budget)
     }
 
     fn name(&self) -> &'static str {
@@ -221,7 +295,7 @@ mod tests {
         let result = StaticBaseline.tune(&mut target, 20);
         assert_eq!(result.best_params, vec![10.0]);
         assert_eq!(result.evaluations, 1);
-        assert_eq!(StaticBaseline.name(), "static defaults");
+        assert_eq!(Tuner::name(&StaticBaseline), "static defaults");
     }
 
     #[test]
@@ -251,7 +325,7 @@ mod tests {
             result.best_params[0]
         );
         assert!(result.evaluations <= 200);
-        assert_eq!(climber.name(), "hill climbing");
+        assert_eq!(Tuner::name(&climber), "hill climbing");
         // The target is left configured with the tuned value.
         assert_eq!(target.current_params(), result.best_params);
     }
@@ -262,5 +336,20 @@ mod tests {
         let mut climber = HillClimbing::new(5);
         let result = climber.tune(&mut target, 5);
         assert!(result.evaluations <= 5);
+    }
+
+    #[test]
+    fn tuner_and_engine_paths_agree() {
+        // The batch Tuner API and the TuningEngine API are the same
+        // implementation; a hill climb through either must land on the same
+        // configuration for the same (deterministic) target.
+        let mut batch_target = QuadraticTarget::new(40.0);
+        let batch = HillClimbing::new(60).tune(&mut batch_target, 15);
+
+        let mut engine = SearchEngine::new(HillClimbing::new(60), 15);
+        let mut engine_target = QuadraticTarget::new(40.0);
+        let engine_result = run_search(&mut engine, &mut engine_target, 60 * 15);
+        assert_eq!(batch.best_params, engine_result.best_params);
+        assert_eq!(batch.evaluations, engine_result.evaluations);
     }
 }

@@ -68,7 +68,7 @@ impl ActionSpace {
             return Action::Null;
         }
         let param = (index - 1) / 2;
-        if (index - 1) % 2 == 0 {
+        if (index - 1).is_multiple_of(2) {
             Action::Increase { param }
         } else {
             Action::Decrease { param }

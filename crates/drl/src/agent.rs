@@ -135,6 +135,40 @@ impl DqnAgent {
         self.trainer.online().best_action(observation)
     }
 
+    /// Full decision procedure for one action tick, covering the cold-start
+    /// cases an engine otherwise has to special-case:
+    ///
+    /// * with an observation: ε-greedy selection (training) or the greedy
+    ///   action (`greedy = true`, tuning);
+    /// * without an observation (not enough history yet): a uniformly random
+    ///   exploratory action while training, the NULL action while tuning.
+    pub fn decide(
+        &mut self,
+        observation: Option<&Observation>,
+        tick: u64,
+        greedy: bool,
+    ) -> ActionDecision {
+        let eps = self.epsilon.value_at(tick);
+        match (observation, greedy) {
+            (Some(obs), false) => self.select_action(obs, tick),
+            (Some(obs), true) => ActionDecision {
+                action: self.greedy_action(obs),
+                explored: false,
+                epsilon: eps,
+            },
+            (None, false) => ActionDecision {
+                action: self.rng.gen_range(0..self.action_space.len()),
+                explored: true,
+                epsilon: eps,
+            },
+            (None, true) => ActionDecision {
+                action: self.action_space.encode(crate::Action::Null),
+                explored: false,
+                epsilon: eps,
+            },
+        }
+    }
+
     /// Signals a scheduled workload change at `tick`; exploration is bumped
     /// back up for `duration_ticks` ticks (paper §3.6).
     pub fn notify_workload_change(&mut self, tick: u64, duration_ticks: u64) {
@@ -167,8 +201,8 @@ impl DqnAgent {
             target: self.trainer.target().clone(),
             training_steps: self.trainer.steps(),
         };
-        let json = serde_json::to_string(&checkpoint)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let json =
+            serde_json::to_string(&checkpoint).map_err(|e| std::io::Error::other(e.to_string()))?;
         if let Some(parent) = path.as_ref().parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
@@ -228,7 +262,13 @@ mod tests {
         assert_eq!(c.minibatch_size, 32);
         assert_eq!(c.trainer.discount_rate, 0.99);
         assert_eq!(c.epsilon.initial, 1.0);
-        let agent = DqnAgent::new(DqnAgentConfig { observation_size: 20, ..c }, 1);
+        let agent = DqnAgent::new(
+            DqnAgentConfig {
+                observation_size: 20,
+                ..c
+            },
+            1,
+        );
         assert_eq!(agent.action_space().len(), 5);
     }
 
@@ -254,6 +294,31 @@ mod tests {
     }
 
     #[test]
+    fn decide_covers_all_cold_start_cases() {
+        let mut agent = DqnAgent::new(small_config(), 7);
+        let o = obs(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        // Greedy with an observation mirrors greedy_action.
+        let d = agent.decide(Some(&o), 10_000, true);
+        assert!(!d.explored);
+        assert_eq!(d.action, agent.greedy_action(&o));
+        // No observation while tuning: the NULL action (index 0), no
+        // exploration.
+        let d = agent.decide(None, 10_000, true);
+        assert_eq!(d.action, 0);
+        assert!(!d.explored);
+        // No observation while training: uniformly random exploration.
+        let d = agent.decide(None, 0, false);
+        assert!(d.explored);
+        assert!(d.action < agent.action_space().len());
+        // With an observation while training: ε-greedy (ε=1 at tick 0 means
+        // essentially always explored).
+        let explored = (0..100)
+            .filter(|_| agent.decide(Some(&o), 0, false).explored)
+            .count();
+        assert!(explored > 80);
+    }
+
+    #[test]
     fn workload_change_bumps_exploration() {
         let mut agent = DqnAgent::new(small_config(), 4);
         let o = obs(&[0.0; 6]);
@@ -265,7 +330,10 @@ mod tests {
         let after = (0..300)
             .filter(|_| agent.select_action(&o, 50_000).explored)
             .count();
-        assert!(after > before, "bump must raise exploration ({before} → {after})");
+        assert!(
+            after > before,
+            "bump must raise exploration ({before} → {after})"
+        );
     }
 
     #[test]

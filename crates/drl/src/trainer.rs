@@ -307,8 +307,7 @@ mod tests {
     #[test]
     fn target_network_lags_behind_online_network() {
         let mut rng = StdRng::seed_from_u64(13);
-        let mut trainer =
-            Trainer::with_new_network(4, 3, TrainerConfig::default(), &mut rng);
+        let mut trainer = Trainer::with_new_network(4, 3, TrainerConfig::default(), &mut rng);
         assert_eq!(trainer.online().distance_to(trainer.target()), 0.0);
         let batch = synthetic_batch(&mut rng, 8);
         trainer.train_step(&batch);
@@ -331,11 +330,9 @@ mod tests {
     #[test]
     fn report_contains_reward_statistics() {
         let mut rng = StdRng::seed_from_u64(14);
-        let mut trainer =
-            Trainer::with_new_network(4, 3, TrainerConfig::default(), &mut rng);
+        let mut trainer = Trainer::with_new_network(4, 3, TrainerConfig::default(), &mut rng);
         let batch = synthetic_batch(&mut rng, 32);
-        let expected_mean: f64 =
-            batch.transitions.iter().map(|t| t.reward).sum::<f64>() / 32.0;
+        let expected_mean: f64 = batch.transitions.iter().map(|t| t.reward).sum::<f64>() / 32.0;
         let report = trainer.train_step(&batch);
         assert!((report.mean_reward - expected_mean).abs() < 1e-12);
         assert!(report.loss >= 0.0);
@@ -346,8 +343,7 @@ mod tests {
     #[test]
     fn restore_networks_resets_optimizer_but_keeps_weights() {
         let mut rng = StdRng::seed_from_u64(15);
-        let mut trainer =
-            Trainer::with_new_network(4, 3, TrainerConfig::default(), &mut rng);
+        let mut trainer = Trainer::with_new_network(4, 3, TrainerConfig::default(), &mut rng);
         let snapshot_online = trainer.online().clone();
         let snapshot_target = trainer.target().clone();
         let batch = synthetic_batch(&mut rng, 8);

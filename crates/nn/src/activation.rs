@@ -74,9 +74,10 @@ mod tests {
     #[test]
     fn forward_known_values() {
         let z = Matrix::row_vector(&[-1.0, 0.0, 2.0]);
-        assert!(Activation::Tanh
-            .forward(&z)
-            .approx_eq(&Matrix::row_vector(&[(-1.0f64).tanh(), 0.0, 2.0f64.tanh()]), 1e-12));
+        assert!(Activation::Tanh.forward(&z).approx_eq(
+            &Matrix::row_vector(&[(-1.0f64).tanh(), 0.0, 2.0f64.tanh()]),
+            1e-12
+        ));
         assert!(Activation::Relu
             .forward(&z)
             .approx_eq(&Matrix::row_vector(&[0.0, 0.0, 2.0]), 1e-12));

@@ -133,10 +133,7 @@ impl Dense {
         let d_weights = x.matmul_transpose_a(&dz);
         let d_bias = dz.sum_rows();
         let d_input = dz.matmul_transpose_b(&self.weights);
-        (
-            d_input,
-            LayerGrads { d_weights, d_bias },
-        )
+        (d_input, LayerGrads { d_weights, d_bias })
     }
 
     /// Applies pre-computed parameter deltas: `W += scale * dW`, `b += scale * db`.

@@ -28,7 +28,11 @@ impl Mlp {
     ///
     /// # Panics
     /// Panics if fewer than two widths are given.
-    pub fn new<R: Rng + ?Sized>(dims: &[usize], hidden_activation: Activation, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        dims: &[usize],
+        hidden_activation: Activation,
+        rng: &mut R,
+    ) -> Self {
         assert!(dims.len() >= 2, "need at least input and output widths");
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
@@ -203,10 +207,7 @@ mod tests {
         assert_eq!(n.layers().len(), 3);
         assert_eq!(n.layers()[2].activation, Activation::Identity);
         assert_eq!(n.layers()[0].activation, Activation::Tanh);
-        assert_eq!(
-            n.parameter_count(),
-            (5 * 8 + 8) + (8 * 8 + 8) + (8 * 3 + 3)
-        );
+        assert_eq!(n.parameter_count(), (5 * 8 + 8) + (8 * 8 + 8) + (8 * 3 + 3));
         assert_eq!(n.model_size_bytes(), n.parameter_count() * 8);
         assert_eq!(n.parameter_shapes().len(), 6);
     }

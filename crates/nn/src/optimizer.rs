@@ -53,7 +53,12 @@ impl Optimizer for Sgd {
         );
         let lr = self.learning_rate;
         let mu = self.momentum;
-        for (i, (layer, g)) in network.layers_mut().iter_mut().zip(grads.iter()).enumerate() {
+        for (i, (layer, g)) in network
+            .layers_mut()
+            .iter_mut()
+            .zip(grads.iter())
+            .enumerate()
+        {
             for (param, grad, vel_idx) in [
                 (&mut layer.weights, &g.d_weights, 2 * i),
                 (&mut layer.bias, &g.d_bias, 2 * i + 1),
@@ -154,7 +159,12 @@ impl Optimizer for Adam {
         let bias1 = 1.0 - b1.powi(t);
         let bias2 = 1.0 - b2.powi(t);
 
-        for (i, (layer, g)) in network.layers_mut().iter_mut().zip(grads.iter()).enumerate() {
+        for (i, (layer, g)) in network
+            .layers_mut()
+            .iter_mut()
+            .zip(grads.iter())
+            .enumerate()
+        {
             for (param, grad, idx) in [
                 (&mut layer.weights, &g.d_weights, 2 * i),
                 (&mut layer.bias, &g.d_bias, 2 * i + 1),
@@ -196,12 +206,7 @@ mod tests {
 
     /// Trains a tiny regression problem and returns the final loss.
     fn train<O: Optimizer>(mut opt: O, net: &mut Mlp, iterations: usize) -> f64 {
-        let x = Matrix::from_rows(&[
-            &[0.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-        ]);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
         // XOR-like target — nonlinear, so the hidden layer must be used.
         let t = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
         let mut last = f64::MAX;
@@ -301,8 +306,14 @@ mod tests {
 
         let mut unclipped_net = make_net();
         let mut clipped_net = make_net();
-        let mut unclipped =
-            Adam::with_config(0.1, 0.9, 0.999, 1e-8, None, unclipped_net.parameter_shapes());
+        let mut unclipped = Adam::with_config(
+            0.1,
+            0.9,
+            0.999,
+            1e-8,
+            None,
+            unclipped_net.parameter_shapes(),
+        );
         let mut clipped = Adam::with_config(
             0.1,
             0.9,

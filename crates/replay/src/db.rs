@@ -197,7 +197,8 @@ impl ReplayDb {
         }
         let start = tick + 1 - s;
         let total_slots = self.config.ticks_per_observation * self.config.num_nodes;
-        let max_missing = (total_slots as f64 * self.config.missing_entry_tolerance).floor() as usize;
+        let max_missing =
+            (total_slots as f64 * self.config.missing_entry_tolerance).floor() as usize;
 
         let width = self.config.num_nodes * self.config.pis_per_node;
         let mut features = Matrix::zeros(1, self.config.ticks_per_observation * width);
@@ -332,7 +333,11 @@ mod tests {
         let obs = db.observation_at(10).unwrap();
         assert_eq!(obs.size(), 4 * 2 * 3);
         // Row 0 of the stack is tick 7 (oldest), last row is tick 10.
-        assert_eq!(obs.features[(0, 0)], 7.0, "first feature is tick 7, node 0, PI 0");
+        assert_eq!(
+            obs.features[(0, 0)],
+            7.0,
+            "first feature is tick 7, node 0, PI 0"
+        );
         let width = 2 * 3;
         assert_eq!(obs.features[(0, 3 * width)], 10.0, "last row is tick 10");
         // Node 1's PI 1 in the last row.
@@ -342,7 +347,10 @@ mod tests {
     #[test]
     fn observation_requires_full_window() {
         let db = filled_db(20);
-        assert!(db.observation_at(2).is_none(), "window would start before tick 0");
+        assert!(
+            db.observation_at(2).is_none(),
+            "window would start before tick 0"
+        );
         assert!(db.observation_at(3).is_some());
     }
 

@@ -43,7 +43,10 @@ impl fmt::Display for MinibatchError {
             MinibatchError::NotEnoughData => {
                 write!(f, "replay database does not span a full observation window")
             }
-            MinibatchError::TooSparse { collected, requested } => write!(
+            MinibatchError::TooSparse {
+                collected,
+                requested,
+            } => write!(
                 f,
                 "could not fill minibatch: {collected}/{requested} usable transitions found"
             ),
@@ -68,7 +71,9 @@ impl ReplayDb {
         rng: &mut R,
     ) -> Result<Minibatch, MinibatchError> {
         assert!(n > 0, "minibatch size must be positive");
-        let (lo, hi) = self.sampleable_range().ok_or(MinibatchError::NotEnoughData)?;
+        let (lo, hi) = self
+            .sampleable_range()
+            .ok_or(MinibatchError::NotEnoughData)?;
         if hi <= lo {
             return Err(MinibatchError::NotEnoughData);
         }
@@ -88,7 +93,9 @@ impl ReplayDb {
                     continue;
                 }
                 // has_transition_data guarantees all of these succeed.
-                let state = self.observation_at(t).expect("checked by has_transition_data");
+                let state = self
+                    .observation_at(t)
+                    .expect("checked by has_transition_data");
                 let next_state = self
                     .observation_at(t + 1)
                     .expect("checked by has_transition_data");
@@ -166,8 +173,18 @@ mod tests {
         let db = filled_db(2000);
         let mut rng = StdRng::seed_from_u64(2);
         let batch = db.construct_minibatch(256, &mut rng).unwrap();
-        let min = batch.transitions.iter().map(|t| t.state.tick).min().unwrap();
-        let max = batch.transitions.iter().map(|t| t.state.tick).max().unwrap();
+        let min = batch
+            .transitions
+            .iter()
+            .map(|t| t.state.tick)
+            .min()
+            .unwrap();
+        let max = batch
+            .transitions
+            .iter()
+            .map(|t| t.state.tick)
+            .max()
+            .unwrap();
         assert!(
             max - min > 1000,
             "uniform sampling should span most of the DB ({min}..{max})"
@@ -196,7 +213,10 @@ mod tests {
         }
         let mut rng = StdRng::seed_from_u64(4);
         match db.construct_minibatch(8, &mut rng).unwrap_err() {
-            MinibatchError::TooSparse { collected, requested } => {
+            MinibatchError::TooSparse {
+                collected,
+                requested,
+            } => {
                 assert_eq!(collected, 0);
                 assert_eq!(requested, 8);
             }

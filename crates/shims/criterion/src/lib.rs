@@ -1,0 +1,236 @@
+//! Offline micro-benchmark harness exposing the subset of the `criterion`
+//! API this workspace uses (`Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, the `criterion_group!`/`criterion_main!`
+//! macros).
+//!
+//! Instead of criterion's full statistical machinery, each benchmark is warmed
+//! up briefly and then timed over a fixed number of sampled batches; the
+//! median per-iteration time is printed. `--bench` / `--test` CLI flags from
+//! `cargo bench` / `cargo test` are accepted; under `cargo test` (or with
+//! `CRITERION_QUICK=1`) each benchmark runs a single iteration so the bench
+//! targets double as smoke tests.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter rendering alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    quick: bool,
+    samples: usize,
+    last_nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            std::hint::black_box(routine());
+            self.last_nanos_per_iter = f64::NAN;
+            return;
+        }
+        // Warm-up: run until ~20ms of work or 3 iterations, whichever first.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u32;
+        while warmup_iters < 3 || warmup_start.elapsed() < Duration::from_millis(20) {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        // Choose a batch size so each sample takes ≈10ms.
+        let batch = ((0.01 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.last_nanos_per_iter = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos.is_nan() {
+        "smoke-run".to_string()
+    } else if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1e3)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1e6)
+    } else {
+        format!("{:.3} s", nanos / 1e9)
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo bench` passes --bench; `cargo test` passes --test. Any other
+        // free argument acts as a name filter, like criterion's CLI.
+        let quick = args.iter().any(|a| a == "--test")
+            || std::env::var("CRITERION_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false);
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+        Criterion { quick, filter }
+    }
+}
+
+impl Criterion {
+    fn should_run(&self, label: &str) -> bool {
+        self.filter
+            .as_deref()
+            .map(|f| label.contains(f))
+            .unwrap_or(true)
+    }
+
+    fn run_one(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.should_run(label) {
+            return;
+        }
+        let mut bencher = Bencher {
+            quick: self.quick,
+            samples: 11,
+            last_nanos_per_iter: f64::NAN,
+        };
+        f(&mut bencher);
+        println!(
+            "{label:<50} {:>14}",
+            format_time(bencher.last_nanos_per_iter)
+        );
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&label, &mut f);
+        self
+    }
+
+    /// Runs one benchmark that receives a reference to its input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,264 @@
+//! Offline property-testing harness exposing the subset of the `proptest`
+//! API this workspace uses: the `proptest!` macro, `Strategy` with
+//! `prop_map`, range and tuple strategies, `any::<T>()`,
+//! `prop::collection::vec`, `ProptestConfig::with_cases` and the
+//! `prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking: each case draws fresh inputs
+//! from a deterministic RNG seeded per test function, and a failing case
+//! reports its case index so the run can be reproduced.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $index:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$index.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Strategy for "any value of `T`" (uniform over the full domain).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Produces the `any::<T>()` strategy.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Types `any::<T>()` can produce.
+pub trait ArbitraryValue: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl ArbitraryValue for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl ArbitraryValue for u32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Finite, moderately sized floats: the workspace's properties are
+        // numeric identities where NaN/inf would only test float semantics.
+        rng.gen_range(-1e6..1e6)
+    }
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+
+    /// Strategy producing a `Vec` of exactly `len` elements.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Produces a vector strategy with an exact length.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The namespace `proptest::prelude::prop` re-exports.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` underneath).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests.
+///
+/// Each property becomes a `#[test]` that draws `config.cases` input tuples
+/// from its strategies using a deterministic per-test seed.
+#[macro_export]
+macro_rules! proptest {
+    (@config ($config:expr)) => {};
+    (@config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $config;
+            // Deterministic per-test seed derived from the test name.
+            let seed = {
+                let name = stringify!($name);
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+                h
+            };
+            let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+            for case in 0..config.cases {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    $(let $pat = ($strategy).generate(&mut rng);)+
+                    $body
+                }));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest {}: case {case}/{} failed (seed {seed})",
+                        stringify!($name),
+                        config.cases
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    // With a leading config attribute.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    // Without one.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+// The macro needs a path to the rand shim from the caller's crate.
+#[doc(hidden)]
+pub use rand as __rand;

@@ -1,0 +1,457 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Supports the shapes this workspace actually derives on:
+//!
+//! * structs with named fields (including `#[serde(skip)]` fields, which are
+//!   omitted on serialize and `Default`-initialised on deserialize);
+//! * enums with unit, newtype, tuple and struct variants.
+//!
+//! Generic types, tuple structs and other serde attributes are rejected with
+//! a compile error. The macros are written against `proc_macro` directly (no
+//! `syn`/`quote`, which are unavailable offline): the input item is parsed by
+//! a small token walker and the impl is emitted as a source string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Consumes leading attributes starting at `i`; returns the next index and
+/// whether any of the attributes was exactly `#[serde(skip)]`.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(attr_name)) = inner.first() {
+                    if attr_name.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            let arg = args.stream().to_string();
+                            if arg.trim() == "skip" {
+                                skip = true;
+                            } else {
+                                // Any other serde attribute is unsupported; flag
+                                // it loudly rather than silently mis-serializing.
+                                panic!("serde shim derive: unsupported attribute #[serde({arg})]");
+                            }
+                        }
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+/// Parses the fields of a braced field list: `pub name: Type, ...`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, skip) = skip_attributes(&tokens, i);
+        i = next;
+        if i >= tokens.len() {
+            break;
+        }
+        // Optional visibility: `pub` or `pub(...)`.
+        if let TokenTree::Ident(ident) = &tokens[i] {
+            if ident.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field {name}, found {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple-variant payload (top-level commas + 1).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for (index, token) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if index == tokens.len() - 1 {
+                        trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attributes(&tokens, i);
+        i = next;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Expect a comma (or end of stream).
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => {
+                return Err(format!(
+                    "expected ',' after variant {name}, found {other:?}"
+                ))
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        let (next, _) = skip_attributes(&tokens, i);
+        i = next;
+        match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" {
+                    break;
+                }
+                // Visibility or other modifiers; skip.
+                i += 1;
+            }
+            Some(TokenTree::Group(_)) | Some(TokenTree::Punct(_)) | Some(TokenTree::Literal(_)) => {
+                i += 1;
+            }
+            None => return Err("no struct or enum found".into()),
+        }
+    }
+    let is_struct = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type {name} is not supported by the serde shim derive"
+            ));
+        }
+    }
+    // Find the body (the first brace group).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| {
+            format!("tuple/unit struct {name} is not supported by the serde shim derive")
+        })?;
+    if is_struct {
+        Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for field in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "entries.push(({:?}.to_string(), serde::Serialize::to_value(&self.{})));\n",
+                    field.name, field.name
+                ));
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut entries: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Map(entries)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Str({vname:?}.to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => serde::Value::Map(vec![({vname:?}.to_string(), \
+                         serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => serde::Value::Map(vec![({vname:?}.to_string(), \
+                             serde::Value::Seq(vec![{}]))]),\n",
+                            binders.join(", "),
+                            values.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), serde::Serialize::to_value({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => serde::Value::Map(vec![({vname:?}.to_string(), \
+                             serde::Value::Map(vec![{}]))]),\n",
+                            binders.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_named_field_build(type_label: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        if field.skip {
+            inits.push_str(&format!(
+                "{}: std::default::Default::default(),\n",
+                field.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{field}: match serde::map_get({source}, {field_str:?}) {{\n\
+                     Some(v) => serde::Deserialize::from_value(v)?,\n\
+                     None => return Err(serde::DeError::custom(concat!(\n\
+                         {type_label:?}, \": missing field \", {field_str:?}))),\n\
+                 }},\n",
+                field = field.name,
+                field_str = field.name,
+            ));
+        }
+    }
+    inits
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits = gen_named_field_build(name, fields, "entries");
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         let entries = value.as_map().ok_or_else(|| \
+                             serde::DeError::custom(concat!({name:?}, \": expected object\")))?;\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => Ok({name}::{vname}),\n"
+                    )),
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "{vname:?} => Ok({name}::{vname}(serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("serde::Deserialize::from_value(&seq[{k}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let seq = payload.as_seq().ok_or_else(|| \
+                                     serde::DeError::custom(\"expected tuple variant array\"))?;\n\
+                                 if seq.len() != {n} {{\n\
+                                     return Err(serde::DeError::custom(\"wrong tuple variant arity\"));\n\
+                                 }}\n\
+                                 Ok({name}::{vname}({}))\n\
+                             }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits = gen_named_field_build(name, fields, "entries");
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let entries = payload.as_map().ok_or_else(|| \
+                                     serde::DeError::custom(\"expected struct variant object\"))?;\n\
+                                 Ok({name}::{vname} {{\n{inits}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         match value {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(serde::DeError::custom(format!(\n\
+                                     concat!({name:?}, \": unknown variant {{}}\"), other))),\n\
+                             }},\n\
+                             serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (key, payload) = &entries[0];\n\
+                                 let _ = payload;\n\
+                                 match key.as_str() {{\n\
+                                     {data_arms}\
+                                     other => Err(serde::DeError::custom(format!(\n\
+                                         concat!({name:?}, \": unknown variant {{}}\"), other))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(serde::DeError::custom(concat!({name:?}, \": expected variant\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(message) => compile_error(&message),
+    }
+}
+
+/// Derives `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(message) => compile_error(&message),
+    }
+}

@@ -118,7 +118,9 @@ impl Cluster {
                 active_threads: 0.0,
             })
             .collect();
-        let servers = (0..config.num_servers).map(|_| ServerState::new()).collect();
+        let servers = (0..config.num_servers)
+            .map(|_| ServerState::new())
+            .collect();
         Cluster {
             config,
             disk,
@@ -237,8 +239,7 @@ impl Cluster {
                 + (1.0 - read_frac) * self.config.disk_seq_write_mbps * TYPICAL_WRITE_EFF)
                 * n_servers
                 / n_clients;
-            let saturation =
-                (((issued_mb / fair_share_mbps.max(1.0)) - 0.8) / 0.4).clamp(0.0, 1.0);
+            let saturation = (((issued_mb / fair_share_mbps.max(1.0)) - 0.8) / 0.4).clamp(0.0, 1.0);
             let little = reqs_per_osc * NOMINAL_SERVICE_S;
             outstanding_per_osc[i] = (little * (1.0 - saturation) + w * saturation).min(w);
         }
@@ -350,9 +351,9 @@ impl Cluster {
             let per_osc_read = client.read_mbps / oscs;
             let per_osc_write = client.write_mbps / oscs;
             // Dirty bytes: the backlog the rate limiter / window is holding back.
-            let backlog_mb =
-                (issued_write[i] - client.write_mbps).max(0.0) * NOMINAL_SERVICE_S / oscs
-                    + per_osc_write * 0.05;
+            let backlog_mb = (issued_write[i] - client.write_mbps).max(0.0) * NOMINAL_SERVICE_S
+                / oscs
+                + per_osc_write * 0.05;
             let served_reqs_per_osc = (per_osc_read + per_osc_write) / stripe;
             let issued_reqs_per_osc = (issued_read[i] + issued_write[i]) / stripe / oscs;
             let reply_gap_ms = if served_reqs_per_osc > 0.0 {
@@ -399,7 +400,9 @@ impl Cluster {
     /// Runs `ticks` simulated seconds and returns the per-tick aggregate
     /// throughput series (useful for baseline measurements).
     pub fn run(&mut self, ticks: u64) -> Vec<f64> {
-        (0..ticks).map(|_| self.step().aggregate_throughput()).collect()
+        (0..ticks)
+            .map(|_| self.step().aggregate_throughput())
+            .collect()
     }
 
     /// The raw (un-normalised) performance-indicator vector of `client` for
@@ -409,7 +412,10 @@ impl Cluster {
     /// # Panics
     /// Panics if `client` is out of range or no tick has been simulated yet.
     pub fn performance_indicators(&self, client: usize) -> Vec<f64> {
-        assert!(client < self.config.num_clients, "client index out of range");
+        assert!(
+            client < self.config.num_clients,
+            "client index out of range"
+        );
         assert!(
             self.last_stats.is_some(),
             "no tick has been simulated yet; call step() first"
@@ -455,11 +461,7 @@ impl Cluster {
                     agg[idx] /= n;
                 }
                 let mut pis = agg.to_vec();
-                pis.extend_from_slice(&[
-                    self.params.io_rate_limit,
-                    c.active_threads,
-                    hour as f64,
-                ]);
+                pis.extend_from_slice(&[self.params.io_rate_limit, c.active_threads, hour as f64]);
                 pis
             }
         }
@@ -469,11 +471,7 @@ impl Cluster {
     /// the fixed scales of [`indicators::pi_scales`]), ready for the DNN.
     pub fn normalized_indicators(&self, client: usize) -> Vec<f64> {
         let mut pis = self.performance_indicators(client);
-        indicators::normalize_pis(
-            &mut pis,
-            self.config.pi_mode,
-            self.config.oscs_per_client(),
-        );
+        indicators::normalize_pis(&mut pis, self.config.pi_mode, self.config.oscs_per_client());
         pis
     }
 }
@@ -651,8 +649,14 @@ mod tests {
             .map(|w| throughput_at(Workload::random_rw(0.1), w as f64 * 2.0, 2000.0, 12))
             .fold(0.0f64, f64::max);
         let high = throughput_at(Workload::random_rw(0.1), 200.0, 2000.0, 12);
-        assert!(peak > low, "peak {peak:.1} must beat the minimum window {low:.1}");
-        assert!(peak > high, "peak {peak:.1} must beat the maximum window {high:.1}");
+        assert!(
+            peak > low,
+            "peak {peak:.1} must beat the minimum window {low:.1}"
+        );
+        assert!(
+            peak > high,
+            "peak {peak:.1} must beat the maximum window {high:.1}"
+        );
     }
 
     #[test]
@@ -717,8 +721,14 @@ mod tests {
         let mut c = cluster_with(Workload::fileserver(), TunableParams::defaults(), 21);
         c.perturb_session(1.0, 60 * 24 * 7);
         let perturbed = mean_throughput(&mut c, 60);
-        assert!(perturbed > base * 0.7, "perturbation must not collapse the system");
-        assert!(perturbed < base * 1.05, "fragmentation should not speed things up");
+        assert!(
+            perturbed > base * 0.7,
+            "perturbation must not collapse the system"
+        );
+        assert!(
+            perturbed < base * 1.05,
+            "fragmentation should not speed things up"
+        );
     }
 
     #[test]

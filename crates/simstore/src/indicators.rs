@@ -164,7 +164,9 @@ mod tests {
 
     #[test]
     fn normalisation_brings_values_near_unit_range() {
-        let mut pis = vec![8.0, 40.0, 80.0, 16.0, 32.0, 5.0, 3.0, 2.0, 1.2, 2000.0, 5.0, 13.0];
+        let mut pis = vec![
+            8.0, 40.0, 80.0, 16.0, 32.0, 5.0, 3.0, 2.0, 1.2, 2000.0, 5.0, 13.0,
+        ];
         normalize_pis(&mut pis, PiMode::Compact, 4);
         assert!(pis.iter().all(|&v| (0.0..=2.0).contains(&v)), "{pis:?}");
     }

@@ -150,7 +150,11 @@ mod tests {
         let mut s = ServerState::new();
         assert_eq!(s.process_time_ratio(), 1.0, "no data yet");
         s.record_tick(10.0, 20.0, 50.0, 50.0);
-        assert_eq!(s.process_time_ratio(), 1.0, "first tick defines the minimum");
+        assert_eq!(
+            s.process_time_ratio(),
+            1.0,
+            "first tick defines the minimum"
+        );
         s.record_tick(40.0, 60.0, 30.0, 30.0);
         assert!((s.process_time_ratio() - 3.0).abs() < 1e-12);
         s.record_tick(10.0, 10.0, 60.0, 60.0);

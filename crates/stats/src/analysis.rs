@@ -53,7 +53,10 @@ impl AnalysisReport {
     /// Formats the interval the way the paper reports throughput numbers,
     /// e.g. `"123.4 ± 5.6"`.
     pub fn formatted(&self) -> String {
-        format!("{:.1} ± {:.1}", self.interval.mean, self.interval.half_width)
+        format!(
+            "{:.1} ± {:.1}",
+            self.interval.mean, self.interval.half_width
+        )
     }
 }
 
@@ -107,8 +110,9 @@ mod tests {
             let prev = *correlated.last().unwrap();
             correlated.push(300.0 + 0.97 * (prev - 300.0) + rng.gen_range(-2.0..2.0));
         }
-        let independent: Vec<f64> =
-            (0..4096).map(|_| 300.0 + rng.gen_range(-10.0..10.0)).collect();
+        let independent: Vec<f64> = (0..4096)
+            .map(|_| 300.0 + rng.gen_range(-10.0..10.0))
+            .collect();
         let cfg = AnalysisConfig::default();
         let corr_report = analyze(&correlated, &cfg);
         let indep_report = analyze(&independent, &cfg);

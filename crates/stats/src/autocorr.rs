@@ -62,7 +62,9 @@ mod tests {
 
     #[test]
     fn alternating_series_has_negative_autocorrelation() {
-        let xs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r1 = autocorrelation(&xs, 1);
         assert!(r1 < -0.9);
     }
@@ -87,7 +89,13 @@ mod tests {
         let xs: Vec<f64> = (0..1200)
             .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 10.0).sin())
             .collect();
-        assert!(autocorrelation(&xs, 10) > 0.9, "strong correlation at the period");
-        assert!(autocorrelation(&xs, 5) < -0.9, "anti-correlation at half period");
+        assert!(
+            autocorrelation(&xs, 10) > 0.9,
+            "strong correlation at the period"
+        );
+        assert!(
+            autocorrelation(&xs, 5) < -0.9,
+            "anti-correlation at half period"
+        );
     }
 }

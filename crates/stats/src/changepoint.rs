@@ -121,7 +121,10 @@ mod tests {
             t.warmup_removed
         );
         let m = crate::summary::mean(&t.steady_state);
-        assert!((m - 100.0).abs() < 2.0, "steady-state mean {m} should be ~100");
+        assert!(
+            (m - 100.0).abs() < 2.0,
+            "steady-state mean {m} should be ~100"
+        );
     }
 
     #[test]

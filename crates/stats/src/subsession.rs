@@ -32,8 +32,15 @@ pub struct SubsessionResult {
 /// Each merge round halves the number of samples by averaging pairs. Merging
 /// stops early (with `converged == false`) if fewer than `min_samples` merged
 /// samples would remain, because a CI over a handful of points is meaningless.
-pub fn subsession_analysis(samples: &[f64], confidence: f64, min_samples: usize) -> SubsessionResult {
-    assert!(min_samples >= 2, "need at least two samples for an interval");
+pub fn subsession_analysis(
+    samples: &[f64],
+    confidence: f64,
+    min_samples: usize,
+) -> SubsessionResult {
+    assert!(
+        min_samples >= 2,
+        "need at least two samples for an interval"
+    );
     let mut merged: Vec<f64> = samples.to_vec();
     let mut merge_factor = 1usize;
 
@@ -77,7 +84,9 @@ mod tests {
     #[test]
     fn iid_series_needs_no_merging() {
         let mut rng = StdRng::seed_from_u64(3);
-        let xs: Vec<f64> = (0..2000).map(|_| 100.0 + rng.gen_range(-5.0..5.0)).collect();
+        let xs: Vec<f64> = (0..2000)
+            .map(|_| 100.0 + rng.gen_range(-5.0..5.0))
+            .collect();
         let r = subsession_analysis(&xs, 0.95, 10);
         assert!(r.converged);
         assert_eq!(r.merge_factor, 1);

@@ -106,6 +106,7 @@ pub fn t_critical(df: usize, confidence: f64) -> f64 {
 
 /// Standard-normal quantile function (inverse CDF) using Acklam's rational
 /// approximation (relative error below 1.15e-9 over the full range).
+#[allow(clippy::excessive_precision)] // Acklam's published coefficients, verbatim
 pub fn normal_quantile(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
     // Coefficients for the central and tail regions.

@@ -111,7 +111,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let m = Matrix::random_init(200, 200, WeightInit::HeNormal, &mut rng);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
             / (m.len() - 1) as f64;
         let expected_var = 2.0 / 200.0;
         assert!(mean.abs() < 0.01, "mean should be near zero, got {mean}");

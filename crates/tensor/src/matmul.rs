@@ -131,13 +131,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols(), v.len(), "matvec dimension mismatch");
         (0..self.rows())
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v.iter())
-                    .map(|(&a, &b)| a * b)
-                    .sum()
-            })
+            .map(|r| self.row(r).iter().zip(v.iter()).map(|(&a, &b)| a * b).sum())
             .collect()
     }
 }
@@ -160,14 +154,7 @@ fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
 
 /// Blocked i-k-j kernel operating on raw slices. Writes into `out`, which must
 /// be zero-initialised and have exactly `rows_a * cols_b` elements.
-fn gemm_rows(
-    a: &[f64],
-    b: &[f64],
-    out: &mut [f64],
-    rows_a: usize,
-    cols_a: usize,
-    cols_b: usize,
-) {
+fn gemm_rows(a: &[f64], b: &[f64], out: &mut [f64], rows_a: usize, cols_a: usize, cols_b: usize) {
     debug_assert_eq!(a.len(), rows_a * cols_a);
     debug_assert_eq!(out.len(), rows_a * cols_b);
     for kk in (0..cols_a).step_by(BLOCK) {
@@ -274,7 +261,13 @@ mod tests {
     #[test]
     fn strategies_agree_on_odd_shapes() {
         let mut rng = StdRng::seed_from_u64(2);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 65, 9), (64, 64, 64), (70, 130, 33)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (17, 65, 9),
+            (64, 64, 64),
+            (70, 130, 33),
+        ] {
             let a = random_matrix(&mut rng, m, k);
             let b = random_matrix(&mut rng, k, n);
             let reference = a.matmul_with(&b, MatmulStrategy::Naive);

@@ -77,12 +77,18 @@ impl Matrix {
 
     /// Largest element (returns `-inf` only if all entries are `-inf`).
     pub fn max(&self) -> f64 {
-        self.as_slice().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Smallest element.
     pub fn min(&self) -> f64 {
-        self.as_slice().iter().copied().fold(f64::INFINITY, f64::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Frobenius norm (√Σx²).
@@ -111,7 +117,10 @@ impl Matrix {
 
     /// Maximum value within row `r`.
     pub fn max_row(&self, r: usize) -> f64 {
-        self.row(r).iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.row(r)
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Per-column mean as a `1 × cols` row vector.

@@ -1,6 +1,6 @@
 //! Property-based tests for the matrix algebra kernels.
 
-use capes_tensor::{Matrix, MatmulStrategy};
+use capes_tensor::{MatmulStrategy, Matrix};
 use proptest::prelude::*;
 
 /// Strategy producing a matrix of the given shape with bounded entries.

@@ -5,7 +5,9 @@
 //! This example writes such an adapter for a small synthetic system that is
 //! *not* the bundled cluster simulator: a key-value cache server whose
 //! throughput depends on two knobs (cache size and worker threads) with an
-//! interior optimum and noisy measurements.
+//! interior optimum and noisy measurements. The same system is then tuned by
+//! the DRL engine and by the hill-climbing comparator — both driven through
+//! the unified `TuningEngine` experiment path.
 //!
 //! Run with `cargo run --release --example custom_system`.
 
@@ -104,24 +106,40 @@ impl TargetSystem for CacheServer {
     }
 }
 
+/// Baseline → train → tuned on the cache server with the given engine
+/// (`None` = the default DRL engine): one generic code path for every engine.
+fn tune_with(engine: Option<Box<dyn TuningEngine>>, train_ticks: u64) -> ExperimentReport {
+    let mut builder = Capes::builder(CacheServer::new())
+        .hyperparams(Hyperparameters::quick_test())
+        .seed(7);
+    if let Some(engine) = engine {
+        builder = builder.engine(engine);
+    }
+    let system = builder.build().expect("valid configuration");
+    let mut experiment = Experiment::new(system)
+        .phase(Phase::Baseline { ticks: 400 })
+        .phase(Phase::Train { ticks: train_ticks })
+        .phase(Phase::Tuned {
+            ticks: 400,
+            label: "tuned".into(),
+        });
+    experiment.run()
+}
+
 fn main() {
     let train_ticks: u64 = std::env::var("CAPES_TRAIN_TICKS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(8_000);
 
-    let target = CacheServer::new();
-    println!("target system : {}", target.describe());
+    println!("target system : {}", CacheServer::new().describe());
 
-    let mut system = CapesSystem::new(target, Hyperparameters::quick_test(), 7);
-
-    let baseline = run_baseline_session(&mut system, 400, "baseline (defaults)");
+    // CAPES with the DRL engine.
+    println!("training the DRL engine for {train_ticks} ticks…");
+    let report = tune_with(None, train_ticks);
+    let baseline = report.baseline().expect("baseline ran");
+    let tuned = report.session("tuned").expect("tuned ran");
     println!("  {}", baseline.summary());
-
-    println!("training for {train_ticks} ticks…");
-    run_training_session(&mut system, train_ticks);
-
-    let tuned = run_tuning_session(&mut system, 400, "tuned (CAPES)");
     println!("  {}", tuned.summary());
     println!(
         "  tuned knobs: cache = {:.0} MB, workers = {:.0}",
@@ -129,15 +147,22 @@ fn main() {
     );
     println!(
         "  improvement over baseline: {:+.1}%",
-        tuned.improvement_over(&baseline) * 100.0
+        report.improvement_over_baseline("tuned").unwrap_or(0.0) * 100.0
     );
 
-    // For comparison, run the classic search-based tuners on the same system
-    // (the "one-time search" prior-work class discussed in §5 of the paper).
-    let mut fresh = CacheServer::new();
-    let hill = HillClimbing::new(60).tune(&mut fresh, 30);
+    // For comparison, the classic search-based tuner on the same system and
+    // through the same experiment plan (the "one-time search" prior-work
+    // class discussed in §5 of the paper).
+    let search_report = tune_with(
+        Some(Box::new(SearchEngine::new(HillClimbing::new(60), 30))),
+        60 * 30,
+    );
+    let search_tuned = search_report.session("tuned").expect("tuned ran");
     println!(
-        "  hill climbing found {:.0} ops/s with cache = {:.0} MB, workers = {:.0} ({} evaluations)",
-        hill.best_throughput, hill.best_params[0], hill.best_params[1], hill.evaluations
+        "  hill climbing reached {:.0} ops/s with cache = {:.0} MB, workers = {:.0} ({:+.1}% vs its baseline)",
+        search_tuned.mean_throughput(),
+        search_tuned.final_params[0],
+        search_tuned.final_params[1],
+        search_report.improvement_over_baseline("tuned").unwrap_or(0.0) * 100.0
     );
 }

@@ -5,11 +5,15 @@
 //! describes how the Interface Daemon bumps ε back up to 0.2 whenever the job
 //! scheduler starts a new workload. This example alternates between a
 //! write-heavy random workload and the sequential-write workload, notifying
-//! CAPES at each switch, and reports per-phase throughput.
+//! CAPES at each switch, and reports per-phase throughput. A `TickObserver`
+//! registered on the builder streams exploration telemetry as the run
+//! progresses.
 //!
 //! Run with `cargo run --release --example dynamic_workload`.
 
 use capes::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 fn main() {
     let phase_ticks: u64 = std::env::var("CAPES_PHASE_TICKS")
@@ -21,7 +25,21 @@ fn main() {
         .workload(Workload::random_rw(0.1))
         .seed(5)
         .build();
-    let mut system = CapesSystem::new(target, Hyperparameters::quick_test(), 5);
+
+    // A per-tick observer counting exploratory actions: monitoring consumers
+    // see the stream live instead of polling the system.
+    let explored: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+    let sink = explored.clone();
+    let system = Capes::builder(target)
+        .hyperparams(Hyperparameters::quick_test())
+        .seed(5)
+        .observer(move |_kind: PhaseKind, tick: &SystemTick| {
+            if tick.explored {
+                *sink.borrow_mut() += 1;
+            }
+        })
+        .build()
+        .expect("valid configuration");
 
     let phases = [
         ("random 1:9", Workload::random_rw(0.1)),
@@ -31,22 +49,29 @@ fn main() {
     ];
 
     println!("alternating workloads, {phase_ticks} ticks per phase\n");
+    let mut experiment = Experiment::new(system);
     for (i, (label, workload)) in phases.into_iter().enumerate() {
         if i > 0 {
             // The job scheduler tells CAPES that a new workload is starting;
             // exploration is bumped so the policy adapts instead of being
             // stuck in the previous workload's local maximum.
+            let system = experiment.system_mut();
             system.target_mut().cluster_mut().set_workload(workload);
             system.notify_workload_change();
         }
-        let result = run_training_session(&mut system, phase_ticks);
+        let explored_before = *explored.borrow();
+        experiment = experiment.phase(Phase::Train { ticks: phase_ticks });
+        let report = experiment.run();
+        let result = &report.sessions[0];
+        let explored_in_phase = *explored.borrow() - explored_before;
         println!(
-            "phase {:>20}: {:>7.1} ± {:.1} MB/s   (window = {:.0}, rate limit = {:.0})",
+            "phase {:>20}: {:>7.1} ± {:.1} MB/s   (window = {:.0}, rate limit = {:.0}, {} exploratory ticks)",
             label,
             result.mean_throughput(),
             result.ci_half_width(),
             result.final_params[0],
             result.final_params[1],
+            explored_in_phase,
         );
     }
 

@@ -30,30 +30,51 @@ fn main() {
         .build();
     println!("target system : {}", target.describe());
 
-    let mut system = CapesSystem::new(target, Hyperparameters::quick_test(), 99);
+    let system = Capes::builder(target)
+        .hyperparams(Hyperparameters::quick_test())
+        .seed(99)
+        .build()
+        .expect("valid configuration");
 
     println!("training on the fileserver workload for {train_ticks} simulated seconds…");
-    let training = run_training_session(&mut system, train_ticks);
-    println!("  training mean throughput: {:.1} MB/s", training.mean_throughput());
-    system.save_checkpoint(&checkpoint).expect("checkpoint save");
+    let mut experiment = Experiment::new(system).phase(Phase::Train { ticks: train_ticks });
+    let report = experiment.run();
+    println!(
+        "  training mean throughput: {:.1} MB/s",
+        report.sessions[0].mean_throughput()
+    );
+    experiment
+        .system()
+        .save_checkpoint(&checkpoint)
+        .expect("checkpoint save");
     println!("  model checkpoint written to {}", checkpoint.display());
 
     // Three later sessions, each with drifted cluster state, as in Figure 4.
     for (i, fragmentation) in [0.0, 0.5, 1.0].into_iter().enumerate() {
         println!("\nsession {} (fragmentation {:.1}):", i + 1, fragmentation);
-        system
+        experiment
+            .system_mut()
             .target_mut()
             .cluster_mut()
             .perturb_session(fragmentation, 60 * 24 * (i as u64 + 1));
         // Each session: two hours of baseline, two hours of tuned measurement
         // in the paper; scaled down here.
-        let baseline = run_baseline_session(&mut system, measure_ticks, "baseline");
-        let tuned = run_tuning_session(&mut system, measure_ticks, "tuned");
+        experiment = experiment
+            .phase(Phase::Baseline {
+                ticks: measure_ticks,
+            })
+            .phase(Phase::Tuned {
+                ticks: measure_ticks,
+                label: "tuned".into(),
+            });
+        let report = experiment.run();
+        let baseline = report.baseline().expect("baseline ran");
+        let tuned = report.session("tuned").expect("tuned ran");
         println!("  {}", baseline.summary());
         println!("  {}", tuned.summary());
         println!(
             "  improvement: {:+.1}%  (window = {:.0}, rate limit = {:.0})",
-            tuned.improvement_over(&baseline) * 100.0,
+            report.improvement_over_baseline("tuned").unwrap_or(0.0) * 100.0,
             tuned.final_params[0],
             tuned.final_params[1]
         );

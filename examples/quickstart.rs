@@ -1,13 +1,14 @@
 //! Quickstart: tune the simulated Lustre cluster's congestion window and I/O
 //! rate limit with CAPES and compare against the untuned baseline.
 //!
-//! This follows the paper's evaluation workflow (Appendix A.4):
+//! This follows the paper's evaluation workflow (Appendix A.4), expressed as
+//! a declarative `Experiment` plan:
 //!
 //! 1. set up the target system (here: the bundled cluster simulator running
 //!    the write-heavy 1:9 random read/write workload);
-//! 2. run an online training session;
-//! 3. measure the baseline with default parameters;
-//! 4. measure the tuned performance.
+//! 2. assemble CAPES around it with the fallible builder;
+//! 3. run an online training phase, then measure the default-parameter
+//!    baseline and the tuned performance.
 //!
 //! Run with `cargo run --release --example quickstart`. Set `CAPES_TRAIN_TICKS`
 //! to lengthen the training session (43 200 reproduces the paper's 12-hour
@@ -36,24 +37,35 @@ fn main() {
 
     // 2. Assemble CAPES around it. `quick_test()` keeps the paper's algorithmic
     //    hyperparameters (γ, α, minibatch size, ε schedule shape) but shortens
-    //    the exploration period so a laptop-scale run converges.
-    let hp = Hyperparameters::quick_test();
-    let mut system = CapesSystem::new(target, hp, 2017);
+    //    the exploration period so a laptop-scale run converges. Invalid
+    //    configurations come back as typed `CapesError`s instead of panics.
+    let system = Capes::builder(target)
+        .hyperparams(Hyperparameters::quick_test())
+        .seed(2017)
+        .build()
+        .expect("valid configuration");
 
-    // 3. Online training session.
+    // 3. The paper's workflow as one declarative plan.
     println!("training for {train_ticks} simulated seconds…");
-    let training = run_training_session(&mut system, train_ticks);
+    let mut experiment = Experiment::new(system)
+        .phase(Phase::Train { ticks: train_ticks })
+        .phase(Phase::Baseline {
+            ticks: measure_ticks,
+        })
+        .phase(Phase::Tuned {
+            ticks: measure_ticks,
+            label: "tuned (CAPES)".into(),
+        });
+    let report = experiment.run();
+
+    let training = &report.sessions[0];
     println!(
         "  training session mean throughput: {:.1} MB/s (overall, including exploration)",
         training.mean_throughput()
     );
-
-    // 4. Baseline measurement with default Lustre settings.
-    let baseline = run_baseline_session(&mut system, measure_ticks, "baseline (defaults)");
+    let baseline = report.baseline().expect("baseline phase ran");
     println!("  {}", baseline.summary());
-
-    // 5. Tuned measurement with the trained policy acting greedily.
-    let tuned = run_tuning_session(&mut system, measure_ticks, "tuned (CAPES)");
+    let tuned = report.session("tuned (CAPES)").expect("tuned phase ran");
     println!("  {}", tuned.summary());
     println!(
         "  final parameter values: max_rpcs_in_flight = {:.0}, io_rate_limit = {:.0}",
@@ -61,6 +73,9 @@ fn main() {
     );
     println!(
         "  improvement over baseline: {:+.1}%",
-        tuned.improvement_over(&baseline) * 100.0
+        report
+            .improvement_over_baseline("tuned (CAPES)")
+            .unwrap_or(0.0)
+            * 100.0
     );
 }

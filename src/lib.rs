@@ -4,6 +4,12 @@
 //! directories have a host package; it simply re-exports the workspace crates
 //! so examples and integration tests can reach every public API through one
 //! dependency.
+//!
+//! The typical entry point is the [`capes`] crate's prelude, re-exported here
+//! as [`prelude`]: the [`capes::builder::Capes`] builder assembles a system,
+//! [`capes::experiment::Experiment`] runs declarative baseline/train/tuned
+//! plans over it, and [`capes::engine::TuningEngine`] lets the DRL engine and
+//! the search comparators share one driver.
 
 pub use capes;
 pub use capes_agents as agents;
@@ -13,3 +19,6 @@ pub use capes_replay as replay;
 pub use capes_simstore as simstore;
 pub use capes_stats as stats;
 pub use capes_tensor as tensor;
+
+/// The `capes` crate's prelude, re-exported for convenience.
+pub use capes::prelude;

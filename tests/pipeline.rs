@@ -23,7 +23,8 @@ fn simulator_pis_flow_through_wire_daemon_and_replay_into_the_dqn() {
         capacity_ticks: 10_000,
     };
     let db = SharedReplayDb::new(replay_config);
-    let mut daemon = InterfaceDaemon::new(db.clone(), config.num_clients, ActionChecker::permissive());
+    let mut daemon =
+        InterfaceDaemon::new(db.clone(), config.num_clients, ActionChecker::permissive());
     let mut monitors: Vec<MonitoringAgent> = (0..config.num_clients)
         .map(|n| MonitoringAgent::new(n, 0.0))
         .collect();
@@ -87,7 +88,11 @@ fn wire_values_survive_the_f32_round_trip_well_enough_for_observations() {
     let frame = encode_message(&Message::Report(report));
     let decoded = capes_agents::decode_message(&frame).unwrap();
     if let Message::Report(r) = decoded {
-        assert_eq!(r.changed.len(), pis.len(), "first report carries everything");
+        assert_eq!(
+            r.changed.len(),
+            pis.len(),
+            "first report carries everything"
+        );
         for (index, value) in r.changed {
             let err = (value - pis[index as usize]).abs();
             assert!(err < 1e-3, "PI {index} error {err} too large");
