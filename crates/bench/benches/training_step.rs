@@ -1,9 +1,13 @@
 //! Criterion benchmark for the full DQN training step (minibatch sampling +
 //! Bellman targets + backpropagation + Adam + target-network update) — the
-//! "duration of training step" row of Table 2 — plus action-selection latency.
+//! "duration of training step" row of Table 2 — plus action-selection
+//! latency, GEMM kernel strategies (persistent pool vs per-call thread
+//! spawning vs single-threaded), and the allocation-free vs legacy training
+//! paths. Medians are recorded in `BENCH_train_step.json` at the repo root.
 
 use capes_drl::{DqnAgent, DqnAgentConfig};
 use capes_replay::{ReplayConfig, SharedReplayDb};
+use capes_tensor::{MatmulStrategy, Matrix};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,13 +36,74 @@ fn filled_db(observation_size: usize, ticks: u64) -> SharedReplayDb {
 fn bench_training_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("dqn_training_step");
     group.sample_size(10);
-    for &(label, obs) in &[("compact_240", 240usize), ("paper_2200", 2200usize)] {
+    for &(label, obs) in &[
+        ("compact_240", 240usize),
+        ("table2_600", 600usize),
+        ("paper_2200", 2200usize),
+    ] {
         let db = filled_db(obs, 500);
         let mut agent = DqnAgent::new(DqnAgentConfig::paper_default(obs, 2), 1);
         group.bench_with_input(BenchmarkId::new("minibatch_32", label), &obs, |bench, _| {
             bench.iter(|| black_box(agent.train_from_db(&db).unwrap()))
         });
     }
+    group.finish();
+}
+
+/// Pooled-vs-scoped-vs-blocked GEMM on the training-step shapes: the batch
+/// forward product (32 × 600 · 600 × 600) and a square hidden-layer-sized
+/// product. On multi-core hosts this isolates the thread-spawn latency the
+/// persistent pool eliminates; on single-core hosts both parallel strategies
+/// degenerate to the blocked kernel.
+fn bench_gemm_strategies(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut group = c.benchmark_group("gemm");
+    for &(label, m, k, n) in &[
+        ("batch_32x600x600", 32usize, 600usize, 600usize),
+        ("square_600x600x600", 600, 600, 600),
+    ] {
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let mut out = Matrix::zeros(m, n);
+        for (name, strategy) in [
+            ("blocked", MatmulStrategy::Blocked),
+            ("scoped_threads", MatmulStrategy::Threaded),
+            ("pooled", MatmulStrategy::Pooled),
+        ] {
+            group.bench_function(BenchmarkId::new(name, label), |bench| {
+                bench.iter(|| {
+                    a.matmul_into_with(&b, &mut out, strategy);
+                    black_box(out.get(0, 0))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Allocation-free vs legacy training path on the Table 2 shape: the fast
+/// path samples into a persistent `ReplayBatch` and trains through reused
+/// workspaces; the legacy path materialises a `Minibatch` of boxed
+/// transitions first (the pre-optimization behaviour of `train_from_db`).
+fn bench_train_paths(c: &mut Criterion) {
+    let obs = 600usize;
+    let db = filled_db(obs, 500);
+    let mut group = c.benchmark_group("train_paths_600");
+    group.sample_size(10);
+
+    let mut fast_agent = DqnAgent::new(DqnAgentConfig::paper_default(obs, 2), 3);
+    group.bench_function("alloc_free", |bench| {
+        bench.iter(|| black_box(fast_agent.train_from_db(&db).unwrap()))
+    });
+
+    let mut legacy_agent = DqnAgent::new(DqnAgentConfig::paper_default(obs, 2), 3);
+    let mut rng = StdRng::seed_from_u64(5);
+    group.bench_function("legacy_minibatch", |bench| {
+        bench.iter(|| {
+            let batch = db.construct_minibatch(32, &mut rng).unwrap();
+            black_box(legacy_agent.train_on_batch(&batch))
+        })
+    });
     group.finish();
 }
 
@@ -55,5 +120,11 @@ fn bench_action_selection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training_step, bench_action_selection);
+criterion_group!(
+    benches,
+    bench_training_step,
+    bench_gemm_strategies,
+    bench_train_paths,
+    bench_action_selection
+);
 criterion_main!(benches);

@@ -9,7 +9,7 @@ use crate::action::ActionSpace;
 use crate::epsilon::EpsilonSchedule;
 use crate::qnet::QNetwork;
 use crate::trainer::{TrainReport, Trainer, TrainerConfig};
-use capes_replay::{Minibatch, MinibatchError, Observation, SharedReplayDb};
+use capes_replay::{Minibatch, MinibatchError, Observation, ReplayBatch, SharedReplayDb};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -74,6 +74,9 @@ pub struct DqnAgent {
     trainer: Trainer,
     epsilon: EpsilonSchedule,
     rng: StdRng,
+    /// Persistent minibatch buffers, allocated on the first training call and
+    /// refilled in place every tick (see [`ReplayBatch`]).
+    batch_buf: Option<ReplayBatch>,
 }
 
 impl DqnAgent {
@@ -88,6 +91,7 @@ impl DqnAgent {
             epsilon: config.epsilon,
             config,
             rng,
+            batch_buf: None,
         }
     }
 
@@ -178,12 +182,21 @@ impl DqnAgent {
     /// Performs one training step on a minibatch drawn from the shared replay
     /// database. Returns `Ok(None)` silently if the database cannot yet
     /// produce a full minibatch (normal at the start of a training session).
+    ///
+    /// This is the system's hot path (one call per tick, forever): sampling
+    /// encodes transitions straight into the agent's persistent
+    /// [`ReplayBatch`] and the training step runs through the trainer's
+    /// persistent workspaces, so at steady state the whole call performs zero
+    /// heap allocations.
     pub fn train_from_db(
         &mut self,
         db: &SharedReplayDb,
     ) -> Result<Option<TrainReport>, MinibatchError> {
-        match db.construct_minibatch(self.config.minibatch_size, &mut self.rng) {
-            Ok(batch) => Ok(Some(self.train_on_batch(&batch))),
+        let batch = self.batch_buf.get_or_insert_with(|| {
+            ReplayBatch::new(self.config.minibatch_size, self.config.observation_size)
+        });
+        match db.construct_minibatch_into(batch, &mut self.rng) {
+            Ok(()) => Ok(Some(self.trainer.train_step_batch(batch))),
             Err(MinibatchError::NotEnoughData) | Err(MinibatchError::TooSparse { .. }) => Ok(None),
         }
     }
@@ -229,6 +242,7 @@ impl DqnAgent {
             trainer,
             epsilon: checkpoint.config.epsilon,
             rng: StdRng::seed_from_u64(seed),
+            batch_buf: None,
         })
     }
 }

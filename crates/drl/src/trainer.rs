@@ -6,8 +6,8 @@
 //! network: `θ⁻ ← θ⁻ (1 − α) + θ α`.
 
 use crate::qnet::QNetwork;
-use capes_nn::{Adam, Loss, MseLoss, Optimizer};
-use capes_replay::Minibatch;
+use capes_nn::{Adam, Optimizer, Workspace};
+use capes_replay::{Minibatch, ReplayBatch};
 use capes_tensor::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -66,6 +66,54 @@ pub struct TrainReport {
     pub step: u64,
 }
 
+/// Persistent buffers for the allocation-free training step: workspaces for
+/// the online and target networks, plus stacking buffers built only when a
+/// legacy [`Minibatch`] of individual transitions is handed in (the hot
+/// [`ReplayBatch`] path carries its own matrices and never allocates them).
+/// Sized lazily on the first step and reused for every step after (the
+/// "warm-up" after which the hot path performs zero heap allocations).
+#[derive(Debug, Clone)]
+struct TrainerScratch {
+    ws_online: Workspace,
+    ws_target: Workspace,
+    stack: Option<StackingBufs>,
+}
+
+/// Batch-shaped buffers the legacy [`Trainer::train_step`] wrapper stacks a
+/// [`Minibatch`]'s transitions into.
+#[derive(Debug, Clone)]
+struct StackingBufs {
+    states: Matrix,
+    next_states: Matrix,
+    actions: Vec<usize>,
+    rewards: Vec<f64>,
+}
+
+impl StackingBufs {
+    fn new(batch: usize, obs: usize) -> Self {
+        StackingBufs {
+            states: Matrix::zeros(batch, obs),
+            next_states: Matrix::zeros(batch, obs),
+            actions: vec![0; batch],
+            rewards: vec![0.0; batch],
+        }
+    }
+}
+
+impl TrainerScratch {
+    fn new(online: &QNetwork, batch: usize) -> Self {
+        TrainerScratch {
+            ws_online: Workspace::new(online.mlp(), batch),
+            ws_target: Workspace::new(online.mlp(), batch),
+            stack: None,
+        }
+    }
+
+    fn matches(&self, online: &QNetwork, batch: usize) -> bool {
+        self.ws_online.matches(online.mlp(), batch)
+    }
+}
+
 /// Owns the online network, the target network and the optimizer state.
 #[derive(Debug, Clone)]
 pub struct Trainer {
@@ -74,6 +122,7 @@ pub struct Trainer {
     optimizer: Adam,
     config: TrainerConfig,
     steps: u64,
+    scratch: Option<Box<TrainerScratch>>,
 }
 
 impl Trainer {
@@ -96,6 +145,7 @@ impl Trainer {
             optimizer,
             config,
             steps: 0,
+            scratch: None,
         }
     }
 
@@ -147,55 +197,166 @@ impl Trainer {
         self.target = target;
     }
 
-    /// Performs one training step on a minibatch (Equation 1) and soft-updates
-    /// the target network.
+    /// Performs one training step on a legacy minibatch of individual
+    /// transitions (Equation 1) and soft-updates the target network.
+    ///
+    /// This is a thin wrapper over the allocation-free core: the transitions
+    /// are stacked into the trainer's persistent batch buffers, so after the
+    /// first call the step itself performs no heap allocations. Callers that
+    /// also want allocation-free *sampling* should use
+    /// [`Trainer::train_step_batch`] with a [`ReplayBatch`].
     pub fn train_step(&mut self, batch: &Minibatch) -> TrainReport {
         assert!(!batch.transitions.is_empty(), "empty minibatch");
         let n = batch.transitions.len();
         let obs_size = self.online.observation_size();
-        let num_actions = self.online.num_actions();
+        self.ensure_scratch(n);
+        let scratch = self.scratch.as_mut().expect("scratch just ensured");
+        let stack = scratch
+            .stack
+            .get_or_insert_with(|| StackingBufs::new(n, obs_size));
+        if stack.states.shape() != (n, obs_size) {
+            *stack = StackingBufs::new(n, obs_size);
+        }
 
-        // Stack states and next states into (n × obs_size) matrices.
-        let mut states = Matrix::zeros(n, obs_size);
-        let mut next_states = Matrix::zeros(n, obs_size);
+        // Stack states and next states into the persistent (n × obs_size)
+        // matrices.
         for (i, tr) in batch.transitions.iter().enumerate() {
             assert_eq!(tr.state.size(), obs_size, "state width mismatch");
             assert_eq!(tr.next_state.size(), obs_size, "next-state width mismatch");
-            states.copy_row_from(i, &tr.state.features, 0);
-            next_states.copy_row_from(i, &tr.next_state.features, 0);
+            stack.states.copy_row_from(i, &tr.state.features, 0);
+            stack
+                .next_states
+                .copy_row_from(i, &tr.next_state.features, 0);
+            stack.actions[i] = tr.action;
+            stack.rewards[i] = tr.reward;
         }
 
-        // Bellman targets from the target network: r + γ max_a' Q(s', a'; θ⁻).
-        let next_q = self.target.q_values_batch(&next_states);
-        let predictions = self.online.mlp_mut().forward(&states);
-        let mut targets = predictions.clone();
-        let mut abs_error_sum = 0.0;
-        let mut reward_sum = 0.0;
-        for (i, tr) in batch.transitions.iter().enumerate() {
-            assert!(tr.action < num_actions, "action index out of range");
-            let bellman = tr.reward + self.config.discount_rate * next_q.max_row(i);
-            abs_error_sum += (predictions[(i, tr.action)] - bellman).abs();
-            reward_sum += tr.reward;
-            targets[(i, tr.action)] = bellman;
+        let TrainerScratch {
+            ws_online,
+            ws_target,
+            stack,
+        } = &mut **scratch;
+        let StackingBufs {
+            states,
+            next_states,
+            actions,
+            rewards,
+        } = stack.as_mut().expect("stacking buffers just ensured");
+        Self::train_core(
+            &mut self.online,
+            &mut self.target,
+            &mut self.optimizer,
+            &self.config,
+            &mut self.steps,
+            states,
+            next_states,
+            actions,
+            rewards,
+            ws_online,
+            ws_target,
+        )
+    }
+
+    /// Performs one training step on a pre-encoded [`ReplayBatch`] — the
+    /// fully allocation-free path: after the first call sized for this batch
+    /// shape, no heap allocation occurs anywhere in the step.
+    pub fn train_step_batch(&mut self, batch: &ReplayBatch) -> TrainReport {
+        assert_eq!(
+            batch.observation_size(),
+            self.online.observation_size(),
+            "batch observation width does not match the network"
+        );
+        self.ensure_scratch(batch.len());
+        let scratch = self.scratch.as_mut().expect("scratch just ensured");
+        Self::train_core(
+            &mut self.online,
+            &mut self.target,
+            &mut self.optimizer,
+            &self.config,
+            &mut self.steps,
+            batch.states(),
+            batch.next_states(),
+            batch.actions(),
+            batch.rewards(),
+            &mut scratch.ws_online,
+            &mut scratch.ws_target,
+        )
+    }
+
+    fn ensure_scratch(&mut self, batch: usize) {
+        let fits = self
+            .scratch
+            .as_ref()
+            .is_some_and(|s| s.matches(&self.online, batch));
+        if !fits {
+            self.scratch = Some(Box::new(TrainerScratch::new(&self.online, batch)));
         }
+    }
+
+    /// The training step itself, operating entirely on caller-provided
+    /// buffers: forward both networks through their workspaces, form the
+    /// Bellman targets, inject the (sparse) MSE gradient, backpropagate and
+    /// update. Free function over destructured fields so the legacy wrapper
+    /// can borrow the batch out of `self.scratch` at the same time.
+    #[allow(clippy::too_many_arguments)]
+    fn train_core(
+        online: &mut QNetwork,
+        target: &mut QNetwork,
+        optimizer: &mut Adam,
+        config: &TrainerConfig,
+        steps: &mut u64,
+        states: &Matrix,
+        next_states: &Matrix,
+        actions: &[usize],
+        rewards: &[f64],
+        ws_online: &mut Workspace,
+        ws_target: &mut Workspace,
+    ) -> TrainReport {
+        let n = states.rows();
+        let num_actions = online.num_actions();
+
+        // Bellman targets from the target network: r + γ max_a' Q(s', a'; θ⁻).
+        target.mlp().forward_into(next_states, ws_target);
+        online.mlp().forward_into(states, ws_online);
 
         // Only the entries belonging to the taken actions differ between
         // predictions and targets, so the MSE gradient is zero everywhere
-        // else — exactly the per-action loss of Equation 1.
-        let (loss, dloss) = MseLoss.loss_and_grad(&predictions, &targets);
-        let grads = self.online.mlp_mut().backward(&dloss);
-        self.optimizer.step(self.online.mlp_mut(), &grads);
+        // else — exactly the per-action loss of Equation 1. The gradient is
+        // written sparsely, straight into the workspace's output-delta
+        // buffer.
+        let mut loss = 0.0;
+        let mut abs_error_sum = 0.0;
+        let mut reward_sum = 0.0;
+        {
+            let next_q = ws_target.output();
+            let (predictions, delta) = ws_online.output_and_delta_mut();
+            delta.as_mut_slice().fill(0.0);
+            let denom = (n * num_actions) as f64;
+            for i in 0..n {
+                let action = actions[i];
+                assert!(action < num_actions, "action index out of range");
+                let bellman = rewards[i] + config.discount_rate * next_q.max_row(i);
+                let error = predictions[(i, action)] - bellman;
+                abs_error_sum += error.abs();
+                reward_sum += rewards[i];
+                loss += error * error;
+                delta[(i, action)] = 2.0 * error / denom;
+            }
+            loss /= denom;
+        }
+
+        online.mlp().backward_into(states, ws_online);
+        optimizer.step(online.mlp_mut(), ws_online.grads());
 
         // θ⁻ ← θ⁻ (1 − α) + θ α
-        self.target
-            .soft_update_from(&self.online, self.config.target_update_rate);
+        target.soft_update_from(online, config.target_update_rate);
 
-        self.steps += 1;
+        *steps += 1;
         TrainReport {
             loss,
             prediction_error: abs_error_sum / n as f64,
             mean_reward: reward_sum / n as f64,
-            step: self.steps,
+            step: *steps,
         }
     }
 }
@@ -351,6 +512,57 @@ mod tests {
         assert!(trainer.online().distance_to(&snapshot_online) > 0.0);
         trainer.restore_networks(snapshot_online.clone(), snapshot_target);
         assert_eq!(trainer.online().distance_to(&snapshot_online), 0.0);
+    }
+
+    #[test]
+    fn batch_path_matches_legacy_path() {
+        // Two trainers with identical seeds; one consumes Minibatch
+        // transitions, the other a pre-encoded ReplayBatch carrying the same
+        // data. Reports and resulting parameters must agree.
+        let mut rng = StdRng::seed_from_u64(21);
+        let config = TrainerConfig {
+            learning_rate: 1e-3,
+            ..Default::default()
+        };
+        let mut legacy = Trainer::with_new_network(4, 3, config, &mut rng);
+        let mut fast = legacy.clone();
+        let mut batch_rng = StdRng::seed_from_u64(22);
+        for _ in 0..5 {
+            let batch = synthetic_batch(&mut batch_rng, 16);
+            let legacy_report = legacy.train_step(&batch);
+            let encoded = {
+                let mut states = Matrix::zeros(16, 4);
+                let mut next_states = Matrix::zeros(16, 4);
+                let mut actions = vec![0usize; 16];
+                let mut rewards = vec![0.0; 16];
+                for (i, tr) in batch.transitions.iter().enumerate() {
+                    states.copy_row_from(i, &tr.state.features, 0);
+                    next_states.copy_row_from(i, &tr.next_state.features, 0);
+                    actions[i] = tr.action;
+                    rewards[i] = tr.reward;
+                }
+                capes_replay::ReplayBatch::from_parts(states, next_states, actions, rewards)
+            };
+            let fast_report = fast.train_step_batch(&encoded);
+            assert!((legacy_report.loss - fast_report.loss).abs() < 1e-12);
+            assert!((legacy_report.prediction_error - fast_report.prediction_error).abs() < 1e-12);
+            assert_eq!(legacy_report.step, fast_report.step);
+        }
+        assert!(legacy.online().distance_to(fast.online()) < 1e-12);
+        assert!(legacy.target().distance_to(fast.target()) < 1e-12);
+    }
+
+    #[test]
+    fn scratch_is_reused_across_steps_and_resized_on_batch_change() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut trainer = Trainer::with_new_network(4, 3, TrainerConfig::default(), &mut rng);
+        let small = synthetic_batch(&mut rng, 8);
+        let large = synthetic_batch(&mut rng, 16);
+        trainer.train_step(&small);
+        trainer.train_step(&large);
+        trainer.train_step(&small);
+        assert_eq!(trainer.steps(), 3);
+        assert!(trainer.online().mlp().is_finite());
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Counting-allocator proof that the training hot path is allocation-free.
+//!
+//! This binary installs a `#[global_allocator]` that counts every allocation
+//! and deallocation, warms up the full per-tick training path
+//! (`DqnAgent::train_from_db`: Algorithm-1 sampling → batch encoding →
+//! forward/backward → Adam → target soft-update) on the Table 2 shape
+//! (600-feature observations, minibatch 32), and then asserts that further
+//! steps perform **zero** heap allocations. This is the acceptance gate for
+//! the zero-allocation tentpole: any accidental clone, temporary matrix or
+//! per-dispatch boxing in the hot path fails this test.
+//!
+//! The test lives in its own integration-test binary so no concurrently
+//! running test can perturb the counters.
+
+use capes_drl::{DqnAgent, DqnAgentConfig};
+use capes_replay::{ReplayConfig, SharedReplayDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+/// Table 2 shape: 600-feature observations, one node reporting 600 PIs per
+/// tick so each observation is a single snapshot row.
+fn table2_db(ticks: u64) -> SharedReplayDb {
+    let mut rng = StdRng::seed_from_u64(7);
+    let db = SharedReplayDb::new(ReplayConfig {
+        num_nodes: 1,
+        pis_per_node: 600,
+        ticks_per_observation: 1,
+        missing_entry_tolerance: 0.2,
+        capacity_ticks: ticks as usize + 10,
+    });
+    for t in 0..ticks {
+        let pis: Vec<f64> = (0..600).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        db.insert_snapshot(t, 0, pis);
+        db.insert_objective(t, rng.gen_range(0.5..1.5));
+        db.insert_action(t, rng.gen_range(0..5));
+    }
+    db
+}
+
+#[test]
+fn steady_state_train_step_performs_zero_heap_allocations() {
+    // Exercise the pooled GEMM dispatch path even on single-core hosts: the
+    // pool reads CAPES_THREADS once, on first use, which happens below during
+    // warm-up. Channel-based dispatch must also be allocation-free.
+    std::env::set_var("CAPES_THREADS", "2");
+
+    let db = table2_db(300);
+    let mut agent = DqnAgent::new(DqnAgentConfig::paper_default(600, 2), 1);
+
+    // Warm-up: sizes the agent's ReplayBatch, the trainer's workspaces and
+    // the worker pool. Everything after this must reuse those buffers.
+    for _ in 0..3 {
+        agent
+            .train_from_db(&db)
+            .expect("sampling must succeed")
+            .expect("db has enough data to train");
+    }
+
+    let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+    let deallocs_before = DEALLOCATIONS.load(Ordering::SeqCst);
+
+    const STEPS: u64 = 10;
+    let mut last_step = 0;
+    for _ in 0..STEPS {
+        let report = agent
+            .train_from_db(&db)
+            .expect("sampling must succeed")
+            .expect("db has enough data to train");
+        last_step = report.step;
+    }
+
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - allocs_before;
+    let deallocs = DEALLOCATIONS.load(Ordering::SeqCst) - deallocs_before;
+
+    assert_eq!(last_step, 3 + STEPS, "all steps must have trained");
+    assert_eq!(
+        allocs, 0,
+        "steady-state train_from_db must not allocate ({allocs} allocations over {STEPS} steps)"
+    );
+    assert_eq!(
+        deallocs, 0,
+        "steady-state train_from_db must not free ({deallocs} deallocations over {STEPS} steps)"
+    );
+}

@@ -47,6 +47,64 @@ impl Activation {
         }
     }
 
+    /// Applies the activation element-wise, writing into a caller-owned
+    /// output matrix (allocation-free).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn forward_into(&self, z: &Matrix, out: &mut Matrix) {
+        assert_eq!(z.shape(), out.shape(), "activation shape mismatch");
+        let src = z.as_slice();
+        let dst = out.as_mut_slice();
+        match self {
+            Activation::Identity => dst.copy_from_slice(src),
+            _ => {
+                for (o, &x) in dst.iter_mut().zip(src) {
+                    *o = self.apply_scalar(x);
+                }
+            }
+        }
+    }
+
+    /// In-place backward kernel: `d ⊙= σ'`, with the derivative expressed as
+    /// a function of the activation **output** `a = σ(z)` rather than the
+    /// pre-activation. For every activation in this crate the derivative has
+    /// a closed form in the output (`1 − a²` for tanh, `a(1 − a)` for
+    /// sigmoid, `[a > 0]` for ReLU), which saves re-evaluating the
+    /// transcendental in the hot backward path.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn apply_derivative_from_output(&self, output: &Matrix, d: &mut Matrix) {
+        assert_eq!(
+            output.shape(),
+            d.shape(),
+            "activation derivative shape mismatch"
+        );
+        let a = output.as_slice();
+        let dst = d.as_mut_slice();
+        match self {
+            Activation::Tanh => {
+                for (g, &y) in dst.iter_mut().zip(a) {
+                    *g *= 1.0 - y * y;
+                }
+            }
+            Activation::Relu => {
+                for (g, &y) in dst.iter_mut().zip(a) {
+                    if y <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            Activation::Sigmoid => {
+                for (g, &y) in dst.iter_mut().zip(a) {
+                    *g *= y * (1.0 - y);
+                }
+            }
+            Activation::Identity => {}
+        }
+    }
+
     /// Scalar forward evaluation, handy for tests.
     pub fn apply_scalar(&self, x: f64) -> f64 {
         match self {
@@ -114,6 +172,39 @@ mod tests {
         let d = Activation::Tanh.derivative(&z);
         assert!(d.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert_eq!(d[(0, 2)], 1.0, "derivative at 0 is exactly 1");
+    }
+
+    #[test]
+    fn forward_into_matches_forward() {
+        let z = Matrix::row_vector(&[-2.0, -0.5, 0.0, 0.7, 3.0]);
+        for a in [
+            Activation::Tanh,
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
+            let mut out = Matrix::filled(1, 5, f64::NAN);
+            a.forward_into(&z, &mut out);
+            assert!(out.approx_eq(&a.forward(&z), 1e-12), "{a:?}");
+        }
+    }
+
+    #[test]
+    fn derivative_from_output_matches_derivative_from_preactivation() {
+        let z = Matrix::row_vector(&[-2.0, -0.5, 0.0, 0.7, 3.0]);
+        for a in [
+            Activation::Tanh,
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
+            let output = a.forward(&z);
+            let upstream = Matrix::row_vector(&[0.3, -1.2, 2.0, 0.5, -0.8]);
+            let mut d = upstream.clone();
+            a.apply_derivative_from_output(&output, &mut d);
+            let expected = upstream.hadamard(&a.derivative(&z));
+            assert!(d.approx_eq(&expected, 1e-12), "{a:?}");
+        }
     }
 
     #[test]

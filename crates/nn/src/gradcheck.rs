@@ -4,7 +4,7 @@
 //! network against central finite differences. Exposed publicly so downstream
 //! crates (and users extending the network) can check their own architectures.
 
-use crate::{Loss, Mlp};
+use crate::{Loss, Mlp, Workspace};
 use capes_tensor::Matrix;
 
 /// Result of a gradient check.
@@ -29,6 +29,11 @@ impl GradCheckReport {
 /// Compares the analytic gradients of `network` against central finite
 /// differences for the given input/target batch and loss.
 ///
+/// The analytic gradients are produced by the workspace-based
+/// [`Mlp::backward_into`] path — the one the training hot loop actually
+/// runs — so this check validates the allocation-free kernels, not just the
+/// legacy allocating ones.
+///
 /// `max_params_per_matrix` bounds how many entries of each parameter matrix
 /// are probed (probing all 600×600 entries of a CAPES-sized layer would be
 /// needlessly slow); entries are sampled deterministically with a stride.
@@ -42,9 +47,13 @@ pub fn check_gradients<L: Loss>(
     assert!(max_params_per_matrix > 0);
     let h = 1e-5;
 
-    let pred = network.forward(x);
-    let (_, dloss) = loss.loss_and_grad(&pred, target);
-    let grads = network.backward(&dloss);
+    let mut ws = Workspace::new(network, x.rows());
+    network.forward_into(x, &mut ws);
+    let (pred, dloss_buf) = ws.output_and_delta_mut();
+    let dloss = loss.grad(pred, target);
+    dloss_buf.copy_from(&dloss);
+    network.backward_into(x, &mut ws);
+    let grads = ws.grads();
 
     let mut max_abs: f64 = 0.0;
     let mut max_rel: f64 = 0.0;

@@ -107,6 +107,54 @@ impl Dense {
         self.activation.forward(&z)
     }
 
+    /// Allocation-free forward pass writing the pre-activation into `preact`
+    /// and the activated output into `out` (both `batch × output_dim`). The
+    /// layer itself stays immutable: callers own the intermediates (see
+    /// [`crate::Workspace`]) instead of this layer caching clones of them.
+    pub fn forward_into(&self, x: &Matrix, preact: &mut Matrix, out: &mut Matrix) {
+        assert_eq!(
+            x.cols(),
+            self.input_dim(),
+            "input width {} does not match layer input dim {}",
+            x.cols(),
+            self.input_dim()
+        );
+        x.affine_into(&self.weights, &self.bias, preact);
+        self.activation.forward_into(preact, out);
+    }
+
+    /// Allocation-free backward pass against caller-owned buffers.
+    ///
+    /// * `input` / `output` are the values seen during the matching
+    ///   [`Dense::forward_into`] call;
+    /// * `d_out` holds `∂L/∂output` on entry and is overwritten in place with
+    ///   `∂L/∂z` (the pre-activation gradient);
+    /// * the parameter gradients are written into `grads`;
+    /// * `∂L/∂input` is written into `d_input` when provided — the first
+    ///   layer of a network can pass `None` and skip that GEMM entirely.
+    pub fn backward_into(
+        &self,
+        input: &Matrix,
+        output: &Matrix,
+        d_out: &mut Matrix,
+        d_input: Option<&mut Matrix>,
+        grads: &mut LayerGrads,
+    ) {
+        assert_eq!(
+            d_out.shape(),
+            (input.rows(), self.output_dim()),
+            "gradient shape mismatch"
+        );
+        // dL/dz = dL/dout ⊙ σ'(z), with σ' expressed in the output.
+        self.activation.apply_derivative_from_output(output, d_out);
+        // dL/dW = xᵀ · dz ; dL/db = Σ_batch dz ; dL/dx = dz · Wᵀ
+        input.matmul_transpose_a_into(d_out, &mut grads.d_weights);
+        d_out.sum_rows_into(&mut grads.d_bias);
+        if let Some(di) = d_input {
+            d_out.matmul_transpose_b_into(&self.weights, di);
+        }
+    }
+
     /// Backward pass. `d_out` is the gradient of the loss with respect to the
     /// layer output; returns the gradient with respect to the layer input and
     /// the parameter gradients.
@@ -266,6 +314,31 @@ mod tests {
             let numeric = (plus - minus) / (2.0 * h);
             assert!((dx[(0, c)] - numeric).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn into_paths_match_the_allocating_paths() {
+        let mut l = layer(4, 3, Activation::Tanh);
+        let x = Matrix::from_rows(&[&[0.5, -0.3, 0.8, 0.1], &[0.2, 0.9, -0.7, -0.4]]);
+        let mut preact = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(2, 3);
+        l.forward_into(&x, &mut preact, &mut out);
+        let legacy = l.forward(&x);
+        assert!(out.approx_eq(&legacy, 1e-12));
+
+        let d_out = Matrix::from_rows(&[&[1.0, -0.5, 0.3], &[0.2, 0.8, -1.1]]);
+        let (legacy_dx, legacy_grads) = l.backward(&d_out);
+
+        let mut dz = d_out.clone();
+        let mut dx = Matrix::zeros(2, 4);
+        let mut grads = LayerGrads {
+            d_weights: Matrix::zeros(4, 3),
+            d_bias: Matrix::zeros(1, 3),
+        };
+        l.backward_into(&x, &out, &mut dz, Some(&mut dx), &mut grads);
+        assert!(dx.approx_eq(&legacy_dx, 1e-9));
+        assert!(grads.d_weights.approx_eq(&legacy_grads.d_weights, 1e-9));
+        assert!(grads.d_bias.approx_eq(&legacy_grads.d_bias, 1e-9));
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod layer;
 pub mod loss;
 pub mod mlp;
 pub mod optimizer;
+pub mod workspace;
 
 pub use activation::Activation;
 pub use checkpoint::{load_mlp, save_mlp, CheckpointError};
@@ -57,3 +58,4 @@ pub use layer::{Dense, LayerGrads};
 pub use loss::{HuberLoss, Loss, MseLoss};
 pub use mlp::{Mlp, MlpGrads};
 pub use optimizer::{Adam, Optimizer, Sgd};
+pub use workspace::Workspace;

@@ -28,8 +28,13 @@ pub struct MseLoss;
 impl Loss for MseLoss {
     fn loss(&self, prediction: &Matrix, target: &Matrix) -> f64 {
         assert_eq!(prediction.shape(), target.shape(), "loss shape mismatch");
-        let diff = prediction.sub(target);
-        diff.as_slice().iter().map(|d| d * d).sum::<f64>() / prediction.len() as f64
+        let total: f64 = prediction
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| (p - t) * (p - t))
+            .sum();
+        total / prediction.len() as f64
     }
 
     fn grad(&self, prediction: &Matrix, target: &Matrix) -> Matrix {

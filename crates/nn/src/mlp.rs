@@ -1,6 +1,6 @@
 //! Multi-layered perceptron: the network class used for the CAPES Q-network.
 
-use crate::{Activation, Dense, LayerGrads};
+use crate::{Activation, Dense, LayerGrads, Workspace};
 use capes_tensor::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -136,6 +136,50 @@ impl Mlp {
         h
     }
 
+    /// Allocation-free forward pass through a [`Workspace`], which is resized
+    /// on the fly if the batch shape changed. Works on `&self` (nothing is
+    /// cached in the layers), so it serves both training and target-network
+    /// inference. Returns the network output, which lives in the workspace.
+    pub fn forward_into<'w>(&self, x: &Matrix, ws: &'w mut Workspace) -> &'w Matrix {
+        ws.ensure(self, x.rows());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = ws.acts.split_at_mut(i);
+            let input: &Matrix = if i == 0 { x } else { &done[i - 1] };
+            layer.forward_into(input, &mut ws.preacts[i], &mut rest[0]);
+        }
+        ws.output()
+    }
+
+    /// Allocation-free backward pass through a [`Workspace`].
+    ///
+    /// The caller must have run [`Mlp::forward_into`] on the same workspace
+    /// with the same `x`, and written the gradient of the loss with respect
+    /// to the network output into [`Workspace::output_delta_mut`]. The
+    /// per-layer parameter gradients are left in [`Workspace::grads`]. The
+    /// input gradient of the first layer is not computed (no caller needs
+    /// `∂L/∂x` during training).
+    ///
+    /// # Panics
+    /// Panics if the workspace shapes do not match the network and `x`.
+    pub fn backward_into(&self, x: &Matrix, ws: &mut Workspace) {
+        assert!(
+            ws.matches(self, x.rows()),
+            "workspace does not match the network/batch; run forward_into first"
+        );
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let input: &Matrix = if i == 0 { x } else { &ws.acts[i - 1] };
+            let output = &ws.acts[i];
+            let (before, rest) = ws.deltas.split_at_mut(i);
+            let d_out = &mut rest[0];
+            let d_input = if i == 0 {
+                None
+            } else {
+                Some(&mut before[i - 1])
+            };
+            layer.backward_into(input, output, d_out, d_input, &mut ws.grads[i]);
+        }
+    }
+
     /// Backward pass. `d_output` is the gradient of the loss with respect to
     /// the network output; returns per-layer gradients ordered input → output.
     ///
@@ -245,6 +289,48 @@ mod tests {
             assert_eq!(g.d_weights.shape(), l.weights.shape());
             assert_eq!(g.d_bias.shape(), l.bias.shape());
         }
+    }
+
+    #[test]
+    fn workspace_forward_matches_legacy_forward() {
+        let mut n = net();
+        let x = Matrix::from_rows(&[&[0.1, 0.2, -0.3, 0.4, 0.0], &[1.0, -1.0, 0.5, 0.2, 0.9]]);
+        let legacy = n.forward(&x);
+        let mut ws = Workspace::new(&n, 2);
+        let out = n.forward_into(&x, &mut ws).clone();
+        assert!(out.approx_eq(&legacy, 1e-12));
+    }
+
+    #[test]
+    fn workspace_backward_matches_legacy_backward() {
+        let mut n = net();
+        let x = Matrix::from_rows(&[
+            &[0.1, 0.2, -0.3, 0.4, 0.0],
+            &[1.0, -1.0, 0.5, 0.2, 0.9],
+            &[-0.2, 0.7, 0.3, -0.8, 0.5],
+        ]);
+        let d_out = Matrix::from_rows(&[&[1.0, -0.5, 0.3], &[0.2, 0.8, -1.1], &[0.0, 0.4, 0.9]]);
+
+        let _ = n.forward(&x);
+        let legacy = n.backward(&d_out);
+
+        let mut ws = Workspace::new(&n, 3);
+        n.forward_into(&x, &mut ws);
+        ws.output_delta_mut().copy_from(&d_out);
+        n.backward_into(&x, &mut ws);
+        for (g, lg) in ws.grads().iter().zip(&legacy) {
+            assert!(g.d_weights.approx_eq(&lg.d_weights, 1e-9));
+            assert!(g.d_bias.approx_eq(&lg.d_bias, 1e-9));
+        }
+    }
+
+    #[test]
+    fn workspace_forward_resizes_for_new_batch_shapes() {
+        let n = net();
+        let mut ws = Workspace::new(&n, 2);
+        let out = n.forward_into(&Matrix::ones(4, 5), &mut ws);
+        assert_eq!(out.shape(), (4, 3));
+        assert_eq!(ws.batch(), 4);
     }
 
     #[test]

@@ -169,19 +169,30 @@ impl Optimizer for Adam {
                 (&mut layer.weights, &g.d_weights, 2 * i),
                 (&mut layer.bias, &g.d_bias, 2 * i + 1),
             ] {
-                let mut grad = grad.clone();
-                if let Some(clip) = self.grad_clip {
-                    grad.clip_norm(clip);
-                }
+                // Gradient clipping is folded into the update as a scale
+                // factor instead of materialising a clipped copy, keeping the
+                // step allocation-free.
+                let scale = match self.grad_clip {
+                    Some(clip) => {
+                        let norm = grad.frobenius_norm();
+                        if norm > clip && norm > 0.0 {
+                            clip / norm
+                        } else {
+                            1.0
+                        }
+                    }
+                    None => 1.0,
+                };
                 let m = &mut self.m[idx];
                 let v = &mut self.v[idx];
                 let pslice = param.as_mut_slice();
-                for (((p, &g), m_e), v_e) in pslice
+                for (((p, &raw_g), m_e), v_e) in pslice
                     .iter_mut()
                     .zip(grad.as_slice())
                     .zip(m.as_mut_slice().iter_mut())
                     .zip(v.as_mut_slice().iter_mut())
                 {
+                    let g = raw_g * scale;
                     *m_e = b1 * *m_e + (1.0 - b1) * g;
                     *v_e = b2 * *v_e + (1.0 - b2) * g * g;
                     let m_hat = *m_e / bias1;

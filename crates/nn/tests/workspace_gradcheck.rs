@@ -1,0 +1,46 @@
+//! Property test: the workspace-based backward path (the allocation-free
+//! kernels the training hot loop runs) produces gradients that pass the
+//! finite-difference check across random architectures, batch sizes,
+//! activations and losses. `nn::gradcheck::check_gradients` itself routes
+//! through `Mlp::forward_into` / `Mlp::backward_into`, so this exercises the
+//! workspace path end to end.
+
+use capes_nn::gradcheck::check_gradients;
+use capes_nn::{Activation, HuberLoss, Mlp, MseLoss};
+use capes_tensor::{Matrix, WeightInit};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn workspace_backward_passes_gradcheck(
+        (hidden1, hidden2) in (2usize..9, 2usize..9),
+        batch in 1usize..5,
+        use_huber in any::<bool>(),
+        tanh_hidden in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let activation = if tanh_hidden {
+            Activation::Tanh
+        } else {
+            Activation::Sigmoid
+        };
+        let mut net = Mlp::new(&[5, hidden1, hidden2, 3], activation, &mut rng);
+        let x = Matrix::random_init(batch, 5, WeightInit::Uniform { limit: 1.0 }, &mut rng);
+        let t = Matrix::random_init(batch, 3, WeightInit::Uniform { limit: 2.0 }, &mut rng);
+        let report = if use_huber {
+            check_gradients(&mut net, &HuberLoss { delta: 0.7 }, &x, &t, 25)
+        } else {
+            check_gradients(&mut net, &MseLoss, &x, &t, 25)
+        };
+        prop_assert!(report.checked > 10);
+        prop_assert!(
+            report.passes(1e-3),
+            "workspace gradcheck failed: {report:?} (hidden {hidden1}/{hidden2}, batch {batch})"
+        );
+    }
+}

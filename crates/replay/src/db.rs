@@ -191,9 +191,32 @@ impl ReplayDb {
     /// than `missing_entry_tolerance` of the per-node entries in the window
     /// are missing, or if the window reaches beyond the data currently stored.
     pub fn observation_at(&self, tick: Tick) -> Option<Observation> {
+        let mut features = Matrix::zeros(1, self.config.observation_size());
+        if self.write_observation(tick, features.as_mut_slice()) {
+            Some(Observation { tick, features })
+        } else {
+            None
+        }
+    }
+
+    /// Allocation-free variant of [`ReplayDb::observation_at`]: writes the
+    /// flattened observation ending at `tick` into `out` and returns `true`,
+    /// or returns `false` if no complete-enough observation exists. Every
+    /// slot of `out` is overwritten on success, so the buffer may be reused
+    /// across calls without clearing (this is what
+    /// [`ReplayDb::construct_minibatch_into`] does with its batch rows).
+    ///
+    /// # Panics
+    /// Panics if `out.len()` differs from the configured observation size.
+    pub fn write_observation(&self, tick: Tick, out: &mut [f64]) -> bool {
+        assert_eq!(
+            out.len(),
+            self.config.observation_size(),
+            "observation buffer width mismatch"
+        );
         let s = self.config.ticks_per_observation as u64;
         if tick + 1 < s {
-            return None;
+            return false;
         }
         let start = tick + 1 - s;
         let total_slots = self.config.ticks_per_observation * self.config.num_nodes;
@@ -201,7 +224,7 @@ impl ReplayDb {
             (total_slots as f64 * self.config.missing_entry_tolerance).floor() as usize;
 
         let width = self.config.num_nodes * self.config.pis_per_node;
-        let mut features = Matrix::zeros(1, self.config.ticks_per_observation * width);
+        let pis = self.config.pis_per_node;
         let mut missing = 0usize;
 
         for (row, t) in (start..=tick).enumerate() {
@@ -213,22 +236,21 @@ impl ReplayDb {
                     None => {
                         missing += 1;
                         if missing > max_missing {
-                            return None;
+                            return false;
                         }
                         // Fill from the node's most recent earlier snapshot.
                         self.latest_snapshot_before(t, node)
                     }
                 };
-                if let Some(v) = values {
-                    let base = row * width + node * self.config.pis_per_node;
-                    for (i, &x) in v.iter().enumerate() {
-                        features[(0, base + i)] = x;
-                    }
+                let base = row * width + node * pis;
+                match values {
+                    Some(v) => out[base..base + pis].copy_from_slice(v),
+                    // No earlier snapshot exists either: zero the slot.
+                    None => out[base..base + pis].fill(0.0),
                 }
-                // If no earlier snapshot exists either, the slot stays zero.
             }
         }
-        Some(Observation { tick, features })
+        true
     }
 
     /// `true` if a complete-enough observation can be built at `tick` *and*

@@ -28,6 +28,6 @@ pub mod record;
 pub mod shared;
 
 pub use db::{ReplayConfig, ReplayDb};
-pub use minibatch::{Minibatch, MinibatchError};
+pub use minibatch::{Minibatch, MinibatchError, ReplayBatch};
 pub use record::{NodeId, Observation, Tick, Transition};
 pub use shared::SharedReplayDb;

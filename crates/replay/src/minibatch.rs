@@ -6,7 +6,8 @@
 //! collected.
 
 use crate::db::ReplayDb;
-use crate::record::Transition;
+use crate::record::{Tick, Transition};
+use capes_tensor::Matrix;
 use rand::Rng;
 use std::fmt;
 
@@ -18,6 +19,111 @@ pub struct Minibatch {
     /// How many candidate timestamps were drawn to fill the batch — a measure
     /// of how sparse the usable data still is.
     pub timestamps_drawn: usize,
+}
+
+/// Caller-owned, reusable batch buffers filled by
+/// [`ReplayDb::construct_minibatch_into`].
+///
+/// Instead of materialising one [`Transition`] (four heap allocations) per
+/// sampled timestamp and then copying the rows *again* into training
+/// matrices, the sampler encodes states and next-states straight from the
+/// ring buffer into these matrices. A trainer allocates one `ReplayBatch` at
+/// start-up and refills it every tick with zero allocator traffic.
+#[derive(Debug, Clone)]
+pub struct ReplayBatch {
+    pub(crate) states: Matrix,
+    pub(crate) next_states: Matrix,
+    pub(crate) actions: Vec<usize>,
+    pub(crate) rewards: Vec<f64>,
+    pub(crate) ticks: Vec<Tick>,
+    pub(crate) timestamps_drawn: usize,
+}
+
+impl ReplayBatch {
+    /// Allocates buffers for `n` transitions of `observation_size` features.
+    pub fn new(n: usize, observation_size: usize) -> Self {
+        assert!(n > 0, "minibatch size must be positive");
+        assert!(observation_size > 0, "observation size must be positive");
+        ReplayBatch {
+            states: Matrix::zeros(n, observation_size),
+            next_states: Matrix::zeros(n, observation_size),
+            actions: vec![0; n],
+            rewards: vec![0.0; n],
+            ticks: vec![0; n],
+            timestamps_drawn: 0,
+        }
+    }
+
+    /// Builds a batch from pre-stacked matrices — for synthetic training
+    /// loops and tests that do not sample from a replay database.
+    ///
+    /// # Panics
+    /// Panics if the row counts of the four parts disagree.
+    pub fn from_parts(
+        states: Matrix,
+        next_states: Matrix,
+        actions: Vec<usize>,
+        rewards: Vec<f64>,
+    ) -> Self {
+        assert_eq!(states.shape(), next_states.shape(), "state shape mismatch");
+        assert_eq!(states.rows(), actions.len(), "action count mismatch");
+        assert_eq!(states.rows(), rewards.len(), "reward count mismatch");
+        let n = states.rows();
+        ReplayBatch {
+            states,
+            next_states,
+            actions,
+            rewards,
+            ticks: vec![0; n],
+            timestamps_drawn: 0,
+        }
+    }
+
+    /// Number of transitions the batch holds.
+    pub fn len(&self) -> usize {
+        self.states.rows()
+    }
+
+    /// Always `false`: a batch cannot be constructed empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Observation width of each state row.
+    pub fn observation_size(&self) -> usize {
+        self.states.cols()
+    }
+
+    /// Sampled states, one per row.
+    pub fn states(&self) -> &Matrix {
+        &self.states
+    }
+
+    /// Sampled next-states, one per row.
+    pub fn next_states(&self) -> &Matrix {
+        &self.next_states
+    }
+
+    /// Action index of each sampled transition.
+    pub fn actions(&self) -> &[usize] {
+        &self.actions
+    }
+
+    /// Reward of each sampled transition.
+    pub fn rewards(&self) -> &[f64] {
+        &self.rewards
+    }
+
+    /// State tick of each sampled transition.
+    pub fn ticks(&self) -> &[Tick] {
+        &self.ticks
+    }
+
+    /// Candidate timestamps drawn by the last successful fill — the same
+    /// sparsity measure as [`Minibatch::timestamps_drawn`].
+    pub fn timestamps_drawn(&self) -> usize {
+        self.timestamps_drawn
+    }
 }
 
 /// Why a minibatch could not be constructed.
@@ -120,6 +226,77 @@ impl ReplayDb {
             transitions,
             timestamps_drawn: drawn,
         })
+    }
+
+    /// Allocation-free Algorithm 1: fills every row of `batch` with a sampled
+    /// transition, encoding states and next-states straight from the ring
+    /// buffer into the batch matrices. Sampling semantics (uniform timestamp
+    /// draws, the "contains enough data" filter, the iteration budget) match
+    /// [`ReplayDb::construct_minibatch`] exactly; given the same RNG state
+    /// the two draw the same transitions.
+    ///
+    /// On error the batch contents are unspecified and must not be trained
+    /// on.
+    ///
+    /// # Panics
+    /// Panics if `batch`'s observation width differs from this database's.
+    pub fn construct_minibatch_into<R: Rng + ?Sized>(
+        &self,
+        batch: &mut ReplayBatch,
+        rng: &mut R,
+    ) -> Result<(), MinibatchError> {
+        assert_eq!(
+            batch.observation_size(),
+            self.config().observation_size(),
+            "batch observation width does not match the database configuration"
+        );
+        let n = batch.len();
+        let (lo, hi) = self
+            .sampleable_range()
+            .ok_or(MinibatchError::NotEnoughData)?;
+        if hi <= lo {
+            return Err(MinibatchError::NotEnoughData);
+        }
+
+        let mut filled = 0usize;
+        let mut drawn = 0usize;
+        let budget = n * 200;
+
+        // Same round structure as `construct_minibatch`: the budget is
+        // checked once per round of `n - filled` draws (so a round may
+        // overshoot it, exactly like the legacy loop), keeping the two
+        // samplers draw-for-draw identical under the same RNG state.
+        while filled < n && drawn < budget {
+            let samples_needed = n - filled;
+            for _ in 0..samples_needed {
+                let t = rng.gen_range(lo..=hi);
+                drawn += 1;
+                let (Some(action), Some(reward)) = (self.action_at(t), self.reward_at(t)) else {
+                    continue;
+                };
+                // A rejected candidate may leave a partially written row
+                // behind; the next candidate overwrites every slot of it.
+                if !self.write_observation(t, batch.states.row_mut(filled)) {
+                    continue;
+                }
+                if !self.write_observation(t + 1, batch.next_states.row_mut(filled)) {
+                    continue;
+                }
+                batch.actions[filled] = action;
+                batch.rewards[filled] = reward;
+                batch.ticks[filled] = t;
+                filled += 1;
+            }
+        }
+
+        batch.timestamps_drawn = drawn;
+        if filled < n {
+            return Err(MinibatchError::TooSparse {
+                collected: filled,
+                requested: n,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -242,6 +419,90 @@ mod tests {
             batch.transitions.iter().map(|t| t.state.tick).collect();
         assert!(distinct.len() > 16);
         let _ = &mut db;
+    }
+
+    #[test]
+    fn into_path_samples_the_same_transitions_as_the_allocating_path() {
+        let db = filled_db(300);
+        let obs_size = config().observation_size();
+        let legacy = db
+            .construct_minibatch(32, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let mut batch = ReplayBatch::new(32, obs_size);
+        db.construct_minibatch_into(&mut batch, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(batch.len(), 32);
+        assert_eq!(batch.timestamps_drawn(), legacy.timestamps_drawn);
+        for (i, tr) in legacy.transitions.iter().enumerate() {
+            assert_eq!(batch.ticks()[i], tr.state.tick);
+            assert_eq!(batch.actions()[i], tr.action);
+            assert_eq!(batch.rewards()[i], tr.reward);
+            assert_eq!(batch.states().row(i), tr.state.features.as_slice());
+            assert_eq!(
+                batch.next_states().row(i),
+                tr.next_state.features.as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn into_path_overwrites_stale_buffer_contents() {
+        let db = filled_db(300);
+        let mut batch = ReplayBatch::new(8, config().observation_size());
+        batch.states.as_mut_slice().fill(f64::NAN);
+        batch.next_states.as_mut_slice().fill(f64::NAN);
+        let mut rng = StdRng::seed_from_u64(10);
+        db.construct_minibatch_into(&mut batch, &mut rng).unwrap();
+        assert!(batch.states().all_finite());
+        assert!(batch.next_states().all_finite());
+    }
+
+    #[test]
+    fn into_path_reports_not_enough_data() {
+        let db = ReplayDb::new(config());
+        let mut batch = ReplayBatch::new(8, config().observation_size());
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(
+            db.construct_minibatch_into(&mut batch, &mut rng)
+                .unwrap_err(),
+            MinibatchError::NotEnoughData
+        );
+    }
+
+    #[test]
+    fn into_path_reports_sparseness() {
+        let mut db = ReplayDb::new(config());
+        for t in 0..100u64 {
+            for n in 0..2 {
+                db.insert_snapshot(t, n, vec![1.0, 2.0, 3.0, 4.0]);
+            }
+            db.insert_objective(t, 1.0);
+            // No actions recorded at all.
+        }
+        let mut batch = ReplayBatch::new(8, config().observation_size());
+        let mut rng = StdRng::seed_from_u64(12);
+        match db
+            .construct_minibatch_into(&mut batch, &mut rng)
+            .unwrap_err()
+        {
+            MinibatchError::TooSparse {
+                collected,
+                requested,
+            } => {
+                assert_eq!(collected, 0);
+                assert_eq!(requested, 8);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width does not match")]
+    fn into_path_rejects_mismatched_batch_width() {
+        let db = filled_db(50);
+        let mut batch = ReplayBatch::new(4, 3);
+        let mut rng = StdRng::seed_from_u64(13);
+        let _ = db.construct_minibatch_into(&mut batch, &mut rng);
     }
 
     #[test]

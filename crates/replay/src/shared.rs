@@ -7,7 +7,7 @@
 //! reader-writer lock that can be cloned across the daemon and engine threads.
 
 use crate::db::{ReplayConfig, ReplayDb};
-use crate::minibatch::{Minibatch, MinibatchError};
+use crate::minibatch::{Minibatch, MinibatchError, ReplayBatch};
 use crate::record::{NodeId, Observation, Tick};
 use parking_lot::RwLock;
 use rand::Rng;
@@ -62,6 +62,17 @@ impl SharedReplayDb {
         rng: &mut R,
     ) -> Result<Minibatch, MinibatchError> {
         self.inner.read().construct_minibatch(n, rng)
+    }
+
+    /// Reader-side: fills a caller-owned [`ReplayBatch`] per Algorithm 1
+    /// without allocating (see
+    /// [`crate::db::ReplayDb::construct_minibatch_into`]).
+    pub fn construct_minibatch_into<R: Rng + ?Sized>(
+        &self,
+        batch: &mut ReplayBatch,
+        rng: &mut R,
+    ) -> Result<(), MinibatchError> {
+        self.inner.read().construct_minibatch_into(batch, rng)
     }
 
     /// Reader-side: latest tick with data.

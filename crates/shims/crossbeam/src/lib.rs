@@ -1,32 +1,57 @@
-//! Offline subset of `crossbeam`: multi-producer channels built on
-//! `std::sync::mpsc`. Only the `channel::unbounded` API surface this
-//! workspace uses is provided.
+//! Offline subset of `crossbeam`: multi-producer multi-consumer channels.
+//!
+//! Two flavors mirror `crossbeam-channel`:
+//!
+//! * [`channel::unbounded`] — a growable FIFO; `send` never blocks.
+//! * [`channel::bounded`] — a fixed-capacity ring buffer pre-allocated at
+//!   construction; `send` blocks while the channel is full and performs **no
+//!   heap allocation**, which is what the persistent GEMM worker pool in
+//!   `capes-tensor` relies on for its allocation-free dispatch path.
+//!
+//! Both halves are cloneable (MPMC), matching the upstream crate.
 
-/// MPMC-ish channels (MPSC underneath, which is all this workspace needs).
+/// MPMC channels.
 pub mod channel {
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
 
-    /// Sending half of an unbounded channel.
-    #[derive(Debug)]
-    pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+    struct State<T> {
+        queue: VecDeque<T>,
+        /// `Some(cap)` for bounded channels; `None` for unbounded.
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
     }
 
-    impl<T> Clone for Sender<T> {
-        fn clone(&self) -> Self {
-            Sender {
-                inner: self.inner.clone(),
-            }
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
         }
     }
 
-    /// Receiving half of an unbounded channel.
-    #[derive(Debug)]
-    pub struct Receiver<T> {
-        inner: mpsc::Receiver<T>,
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
     }
 
-    /// Error returned when the receiving half has been dropped.
+    /// Error returned when every receiver has been dropped.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
@@ -43,31 +68,132 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: match capacity {
+                    // The ring never grows past `cap`, so this is the only
+                    // allocation the channel ever performs.
+                    Some(cap) => VecDeque::with_capacity(cap.max(1)),
+                    None => VecDeque::new(),
+                },
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        new_channel(None)
+    }
+
+    /// Creates a bounded channel whose buffer is allocated once, up front.
+    /// Sending blocks while `cap` messages are in flight. A capacity of zero
+    /// is rounded up to one (the shim has no rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap.max(1)))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.not_full.notify_all();
+            }
+        }
     }
 
     impl<T> Sender<T> {
-        /// Sends a message, failing only if the receiver was dropped.
+        /// Sends a message, blocking while a bounded channel is full. Fails
+        /// only if every receiver was dropped.
         pub fn send(&self, message: T) -> Result<(), SendError<T>> {
-            self.inner.send(message).map_err(|e| SendError(e.0))
+            let mut state = self.shared.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(message));
+                }
+                let full = state.capacity.is_some_and(|cap| state.queue.len() >= cap);
+                if !full {
+                    state.queue.push_back(message);
+                    drop(state);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.shared.not_full.wait(state).unwrap();
+            }
         }
     }
 
     impl<T> Receiver<T> {
         /// Receives without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.inner.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut state = self.shared.state.lock().unwrap();
+            match state.queue.pop_front() {
+                Some(v) => {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    Ok(v)
+                }
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
 
         /// Blocks until a message arrives or every sender is dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner.recv().map_err(|_| RecvError)
+            let mut state = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.not_empty.wait(state).unwrap();
+            }
         }
 
         /// Drains currently queued messages without blocking.
@@ -79,7 +205,9 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, TryRecvError};
+    use super::channel::{bounded, unbounded, TryRecvError};
+    use std::thread;
+    use std::time::Duration;
 
     #[test]
     fn round_trip_and_clone() {
@@ -93,5 +221,65 @@ mod tests {
         drop(tx);
         drop(tx2);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_round_trip() {
+        let (tx, rx) = bounded(2);
+        tx.send(10).unwrap();
+        tx.send(20).unwrap();
+        assert_eq!(rx.recv().unwrap(), 10);
+        assert_eq!(rx.recv().unwrap(), 20);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let sender = thread::spawn(move || {
+            // Blocks until the main thread drains the first message.
+            tx.send(2).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn receiver_clone_is_mpmc() {
+        let (tx, rx) = bounded(8);
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        assert_eq!(a + b, 3);
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn cross_thread_ping_pong() {
+        let (tx, rx) = bounded(4);
+        let worker = thread::spawn(move || {
+            let mut total = 0u64;
+            while let Ok(v) = rx.recv() {
+                total += v;
+            }
+            total
+        });
+        for i in 0..100u64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(worker.join().unwrap(), 4950);
     }
 }

@@ -28,10 +28,12 @@ pub mod init;
 pub mod matmul;
 pub mod matrix;
 pub mod ops;
+pub mod pool;
 
 pub use init::WeightInit;
 pub use matmul::MatmulStrategy;
 pub use matrix::Matrix;
+pub use pool::WorkerPool;
 
 /// Absolute tolerance used throughout the workspace when comparing floating
 /// point results of linear-algebra kernels.
@@ -46,7 +48,8 @@ pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
     if a.is_nan() && b.is_nan() {
         return true;
     }
-    (a - b).abs() <= tol
+    // Exact equality also covers matching infinities, where `a - b` is NaN.
+    a == b || (a - b).abs() <= tol
 }
 
 #[cfg(test)]

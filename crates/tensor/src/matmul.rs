@@ -1,20 +1,30 @@
 //! General matrix multiplication kernels.
 //!
-//! Three strategies are provided:
+//! Four strategies are provided:
 //!
 //! * [`MatmulStrategy::Naive`] — textbook triple loop, used as the reference
 //!   implementation in tests.
-//! * [`MatmulStrategy::Blocked`] — cache-blocked `i-k-j` loop order that walks
-//!   both operands row-major; this is the default for small problems.
-//! * [`MatmulStrategy::Threaded`] — the blocked kernel with the output rows
-//!   partitioned across `std::thread::scope` workers. Used for minibatch
-//!   training steps where the operand shapes (e.g. 32 × 600 · 600 × 600)
-//!   justify the spawn cost.
+//! * [`MatmulStrategy::Blocked`] — cache-blocked kernel with a rank-4 inner
+//!   update that walks both operands row-major; the default for small
+//!   problems.
+//! * [`MatmulStrategy::Threaded`] — the blocked kernel with output rows
+//!   partitioned across `std::thread::scope` workers, re-spawned per call.
+//!   Kept as the comparison baseline for the pooled kernel (see the
+//!   `training_step` bench).
+//! * [`MatmulStrategy::Pooled`] — the blocked kernel dispatched onto the
+//!   persistent worker pool ([`crate::pool`]); no spawn cost and no heap
+//!   allocation per call. This is what the dispatcher picks for large
+//!   problems.
 //!
-//! The dispatcher [`Matrix::matmul`] picks a strategy from the problem size so
-//! callers normally never mention strategies explicitly.
+//! Every product also has an `_into` variant that writes into a caller-owned
+//! output matrix, so steady-state callers (the DQN training step) never touch
+//! the allocator. [`Matrix::affine_into`] fuses the GEMM with a bias-row
+//! broadcast by seeding the output with the bias instead of zeros.
+//!
+//! The kernels propagate non-finite values exactly like the naive reference:
+//! `0 · NaN` is `NaN`, never silently skipped.
 
-use crate::Matrix;
+use crate::{pool, Matrix};
 
 /// Which GEMM kernel to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,16 +33,41 @@ pub enum MatmulStrategy {
     Naive,
     /// Cache-blocked single-threaded kernel.
     Blocked,
-    /// Cache-blocked kernel with rows split across threads.
+    /// Cache-blocked kernel with rows split across freshly spawned threads.
     Threaded,
+    /// Cache-blocked kernel with rows split across the persistent pool.
+    Pooled,
 }
 
-/// Block edge (in elements) for the cache-blocked kernels. 64×64 f64 blocks
-/// are 32 KiB, which fits comfortably in L1 on every target we care about.
+/// Block edge (in elements) over the inner dimension for the cache-blocked
+/// kernels: a 64-row panel of a 600-wide B matrix is ~300 KiB, which stays
+/// resident in L2 while the panel is swept once per output row.
 const BLOCK: usize = 64;
 
-/// FLOP threshold above which the dispatcher switches to the threaded kernel.
-const THREADED_FLOP_THRESHOLD: usize = 4_000_000;
+/// FLOP threshold above which the dispatcher parallelises across the pool.
+const PARALLEL_FLOP_THRESHOLD: usize = 4_000_000;
+
+/// Minimum output rows per pool chunk; splitting finer than this costs more
+/// in dispatch than it recovers in parallelism.
+const MIN_ROWS_PER_CHUNK: usize = 4;
+
+/// Raw `*mut f64` that may cross threads: the pool guarantees the chunks
+/// written through it are disjoint row ranges.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Mutable slice of `len` elements starting `offset` elements in.
+    ///
+    /// # Safety
+    /// The caller must guarantee the range is in bounds and not aliased by
+    /// any concurrently accessed range.
+    unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [f64] {
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(offset), len) }
+    }
+}
 
 impl Matrix {
     /// `self · other`, dispatching to a kernel based on the problem size.
@@ -40,17 +75,36 @@ impl Matrix {
     /// # Panics
     /// Panics if the inner dimensions do not agree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self · other` written into `out` (shape `self.rows × other.cols`),
+    /// dispatching on problem size. Allocation-free.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         let flops = self.rows() * self.cols() * other.cols();
-        let strategy = if flops >= THREADED_FLOP_THRESHOLD {
-            MatmulStrategy::Threaded
+        let strategy = if flops >= PARALLEL_FLOP_THRESHOLD {
+            MatmulStrategy::Pooled
         } else {
             MatmulStrategy::Blocked
         };
-        self.matmul_with(other, strategy)
+        self.matmul_into_with(other, out, strategy);
     }
 
     /// `self · other` with an explicit kernel choice.
     pub fn matmul_with(&self, other: &Matrix, strategy: MatmulStrategy) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        self.matmul_into_with(other, &mut out, strategy);
+        out
+    }
+
+    /// `self · other` written into `out` with an explicit kernel choice.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not agree or `out` has the wrong
+    /// shape.
+    pub fn matmul_into_with(&self, other: &Matrix, out: &mut Matrix, strategy: MatmulStrategy) {
         assert_eq!(
             self.cols(),
             other.rows(),
@@ -58,10 +112,72 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
+        assert_eq!(
+            out.shape(),
+            (self.rows(), other.cols()),
+            "matmul output shape mismatch"
+        );
         match strategy {
-            MatmulStrategy::Naive => matmul_naive(self, other),
-            MatmulStrategy::Blocked => matmul_blocked(self, other),
-            MatmulStrategy::Threaded => matmul_threaded(self, other),
+            MatmulStrategy::Naive => matmul_naive(self, other, out),
+            MatmulStrategy::Blocked => {
+                out.as_mut_slice().fill(0.0);
+                let (m, k) = self.shape();
+                let n = other.cols();
+                gemm_rows(
+                    self.as_slice(),
+                    other.as_slice(),
+                    out.as_mut_slice(),
+                    m,
+                    k,
+                    n,
+                );
+            }
+            MatmulStrategy::Threaded => matmul_threaded(self, other, out),
+            MatmulStrategy::Pooled => matmul_pooled(self, other, out),
+        }
+    }
+
+    /// Fused affine map `self · w + bias` (bias broadcast over rows) written
+    /// into `out` — the dense-layer forward pass in one kernel. The fusion is
+    /// free: the GEMM accumulates into an output seeded with the bias instead
+    /// of zeros.
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch; `bias` must be `1 × w.cols()`.
+    pub fn affine_into(&self, w: &Matrix, bias: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols(),
+            w.rows(),
+            "affine dimension mismatch: {:?} · {:?}",
+            self.shape(),
+            w.shape()
+        );
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), w.cols(), "bias width mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows(), w.cols()),
+            "affine output shape mismatch"
+        );
+        let (m, k) = self.shape();
+        let n = w.cols();
+        // Seed every output row with the bias; the GEMM accumulates on top.
+        let bias_row = bias.as_slice();
+        for r in 0..m {
+            out.row_mut(r).copy_from_slice(bias_row);
+        }
+        let flops = m * k * n;
+        if flops >= PARALLEL_FLOP_THRESHOLD && pool::global().threads() > 1 {
+            let a_s = self.as_slice();
+            let b_s = w.as_slice();
+            let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+            pool::global().run(m, MIN_ROWS_PER_CHUNK, |start, end| {
+                let rows = end - start;
+                let chunk = unsafe { out_ptr.slice_mut(start * n, rows * n) };
+                gemm_rows(&a_s[start * k..end * k], b_s, chunk, rows, k, n);
+            });
+        } else {
+            gemm_rows(self.as_slice(), w.as_slice(), out.as_mut_slice(), m, k, n);
         }
     }
 
@@ -70,6 +186,14 @@ impl Matrix {
     /// Backpropagation through a dense layer needs `dY · Wᵀ`; computing it
     /// directly keeps both operands in row-major order.
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        self.matmul_transpose_b_into(other, &mut out);
+        out
+    }
+
+    /// `self · otherᵀ` written into `out` (shape `self.rows × other.rows`).
+    /// Allocation-free; parallelised over the pool for large problems.
+    pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
             other.cols(),
@@ -77,28 +201,40 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
+        assert_eq!(
+            out.shape(),
+            (self.rows(), other.rows()),
+            "matmul_transpose_b output shape mismatch"
+        );
         let (m, k) = self.shape();
         let n = other.rows();
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, out_v) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for p in 0..k {
-                    acc += a_row[p] * b_row[p];
-                }
-                *out_v = acc;
-            }
+        let a_s = self.as_slice();
+        let b_s = other.as_slice();
+        let flops = m * k * n;
+        if flops >= PARALLEL_FLOP_THRESHOLD && pool::global().threads() > 1 {
+            let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+            pool::global().run(m, MIN_ROWS_PER_CHUNK, |start, end| {
+                let rows = end - start;
+                let chunk = unsafe { out_ptr.slice_mut(start * n, rows * n) };
+                gemm_tb_rows(&a_s[start * k..end * k], b_s, chunk, rows, k, n);
+            });
+        } else {
+            gemm_tb_rows(a_s, b_s, out.as_mut_slice(), m, k, n);
         }
-        out
     }
 
     /// `selfᵀ · other` without materialising the transpose.
     ///
     /// Backpropagation needs `Xᵀ · dY` for the weight gradient.
     pub fn matmul_transpose_a(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols(), other.cols());
+        self.matmul_transpose_a_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ · other` written into `out` (shape `self.cols × other.cols`).
+    /// Allocation-free; parallelised over the pool for large problems.
+    pub fn matmul_transpose_a_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows(),
             other.rows(),
@@ -106,24 +242,27 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
+        assert_eq!(
+            out.shape(),
+            (self.cols(), other.cols()),
+            "matmul_transpose_a output shape mismatch"
+        );
         let (n, m) = self.shape();
         let p = other.cols();
-        let mut out = Matrix::zeros(m, p);
-        // i-k-j order: accumulate outer products row by row, all row-major.
-        for r in 0..n {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a_val) in a_row.iter().enumerate() {
-                if a_val == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (j, &b_val) in b_row.iter().enumerate() {
-                    out_row[j] += a_val * b_val;
-                }
-            }
+        out.as_mut_slice().fill(0.0);
+        let a_s = self.as_slice();
+        let b_s = other.as_slice();
+        let flops = n * m * p;
+        if flops >= PARALLEL_FLOP_THRESHOLD && pool::global().threads() > 1 {
+            let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+            pool::global().run(m, MIN_ROWS_PER_CHUNK, |start, end| {
+                let rows = end - start;
+                let chunk = unsafe { out_ptr.slice_mut(start * p, rows * p) };
+                gemm_ta_rows(a_s, b_s, chunk, start, end, n, m, p);
+            });
+        } else {
+            gemm_ta_rows(a_s, b_s, out.as_mut_slice(), 0, m, n, m, p);
         }
-        out
     }
 
     /// Matrix–vector product `self · v` where `v` is a plain slice of length
@@ -136,10 +275,9 @@ impl Matrix {
     }
 }
 
-fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+fn matmul_naive(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     let (m, k) = a.shape();
     let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
     for i in 0..m {
         for j in 0..n {
             let mut acc = 0.0;
@@ -149,52 +287,157 @@ fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
             out.set(i, j, acc);
         }
     }
-    out
 }
 
-/// Blocked i-k-j kernel operating on raw slices. Writes into `out`, which must
-/// be zero-initialised and have exactly `rows_a * cols_b` elements.
+/// Cache-blocked accumulating kernel: `out += a · b` over raw slices. `out`
+/// must hold exactly `rows_a × cols_b` elements (callers seed it with zeros
+/// or, for the fused affine path, with the broadcast bias).
+///
+/// The inner update is rank-4: four rows of `b` are combined per sweep of the
+/// output row, which quarters the traffic on `out` and gives the
+/// autovectorizer four independent streams. All subslices carry exact lengths
+/// so the inner loops compile without bounds checks.
 fn gemm_rows(a: &[f64], b: &[f64], out: &mut [f64], rows_a: usize, cols_a: usize, cols_b: usize) {
     debug_assert_eq!(a.len(), rows_a * cols_a);
     debug_assert_eq!(out.len(), rows_a * cols_b);
     for kk in (0..cols_a).step_by(BLOCK) {
         let k_end = (kk + BLOCK).min(cols_a);
-        for jj in (0..cols_b).step_by(BLOCK) {
-            let j_end = (jj + BLOCK).min(cols_b);
-            for i in 0..rows_a {
-                let a_row = &a[i * cols_a..(i + 1) * cols_a];
-                let out_row = &mut out[i * cols_b..(i + 1) * cols_b];
-                for p in kk..k_end {
-                    let a_val = a_row[p];
-                    if a_val == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[p * cols_b..(p + 1) * cols_b];
-                    for j in jj..j_end {
-                        out_row[j] += a_val * b_row[j];
-                    }
+        for i in 0..rows_a {
+            let a_row = &a[i * cols_a..][..cols_a];
+            let out_row = &mut out[i * cols_b..][..cols_b];
+            let mut p = kk;
+            while p + 4 <= k_end {
+                let (v0, v1, v2, v3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+                let b0 = &b[p * cols_b..][..cols_b];
+                let b1 = &b[(p + 1) * cols_b..][..cols_b];
+                let b2 = &b[(p + 2) * cols_b..][..cols_b];
+                let b3 = &b[(p + 3) * cols_b..][..cols_b];
+                for j in 0..cols_b {
+                    out_row[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
                 }
+                p += 4;
+            }
+            while p < k_end {
+                let v = a_row[p];
+                let b_row = &b[p * cols_b..][..cols_b];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += v * bv;
+                }
+                p += 1;
             }
         }
     }
 }
 
-fn matmul_blocked(a: &Matrix, b: &Matrix) -> Matrix {
-    let (m, k) = a.shape();
-    let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
-    gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
-    out
+/// Dot product with four independent accumulators (ILP + vectorization).
+#[inline]
+fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut c0 = 0.0;
+    let mut c1 = 0.0;
+    let mut c2 = 0.0;
+    let mut c3 = 0.0;
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        c0 += xa[0] * xb[0];
+        c1 += xa[1] * xb[1];
+        c2 += xa[2] * xb[2];
+        c3 += xa[3] * xb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    (c0 + c2) + (c1 + c3) + tail
 }
 
-fn matmul_threaded(a: &Matrix, b: &Matrix) -> Matrix {
+/// `out = a · bᵀ` over raw slices: row `i` of `out` holds the dot products of
+/// row `i` of `a` with every row of `b`. `out` must hold exactly
+/// `rows_a × rows_b` elements.
+fn gemm_tb_rows(a: &[f64], b: &[f64], out: &mut [f64], rows_a: usize, cols: usize, rows_b: usize) {
+    debug_assert_eq!(a.len(), rows_a * cols);
+    debug_assert_eq!(out.len(), rows_a * rows_b);
+    for i in 0..rows_a {
+        let a_row = &a[i * cols..][..cols];
+        let out_row = &mut out[i * rows_b..][..rows_b];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = dot4(a_row, &b[j * cols..][..cols]);
+        }
+    }
+}
+
+/// Accumulating `out[i_start..i_end] += (aᵀ · b)[i_start..i_end]` over raw
+/// slices, where `a` is `n × m` and `b` is `n × p`. `out` holds the rows
+/// `i_start..i_end` of the `m × p` product. The reduction dimension `n` is
+/// unrolled by 4, keeping the output row resident while four `b` rows stream.
+#[allow(clippy::too_many_arguments)]
+fn gemm_ta_rows(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    i_start: usize,
+    i_end: usize,
+    n: usize,
+    m: usize,
+    p: usize,
+) {
+    debug_assert_eq!(a.len(), n * m);
+    debug_assert_eq!(b.len(), n * p);
+    debug_assert_eq!(out.len(), (i_end - i_start) * p);
+    for i in i_start..i_end {
+        let out_row = &mut out[(i - i_start) * p..][..p];
+        let mut r = 0;
+        while r + 4 <= n {
+            let (v0, v1, v2, v3) = (
+                a[r * m + i],
+                a[(r + 1) * m + i],
+                a[(r + 2) * m + i],
+                a[(r + 3) * m + i],
+            );
+            let b0 = &b[r * p..][..p];
+            let b1 = &b[(r + 1) * p..][..p];
+            let b2 = &b[(r + 2) * p..][..p];
+            let b3 = &b[(r + 3) * p..][..p];
+            for j in 0..p {
+                out_row[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
+            }
+            r += 4;
+        }
+        while r < n {
+            let v = a[r * m + i];
+            let b_row = &b[r * p..][..p];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += v * bv;
+            }
+            r += 1;
+        }
+    }
+}
+
+fn matmul_pooled(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    out.as_mut_slice().fill(0.0);
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+    pool::global().run(m, MIN_ROWS_PER_CHUNK, |start, end| {
+        let rows = end - start;
+        let chunk = unsafe { out_ptr.slice_mut(start * n, rows * n) };
+        gemm_rows(&a_s[start * k..end * k], b_s, chunk, rows, k, n);
+    });
+}
+
+fn matmul_threaded(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     let (m, k) = a.shape();
     let n = b.cols();
     let threads = available_threads().min(m).max(1);
+    out.as_mut_slice().fill(0.0);
     if threads <= 1 {
-        return matmul_blocked(a, b);
+        gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+        return;
     }
-    let mut out = Matrix::zeros(m, n);
     let rows_per = m.div_ceil(threads);
     let a_slice = a.as_slice();
     let b_slice = b.as_slice();
@@ -215,10 +458,9 @@ fn matmul_threaded(a: &Matrix, b: &Matrix) -> Matrix {
             }
         });
     }
-    out
 }
 
-/// Number of worker threads to use for the threaded kernel.
+/// Number of worker threads available to the threaded kernel.
 pub fn available_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -228,8 +470,16 @@ pub fn available_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::WorkerPool;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    const ALL_STRATEGIES: [MatmulStrategy; 4] = [
+        MatmulStrategy::Naive,
+        MatmulStrategy::Blocked,
+        MatmulStrategy::Threaded,
+        MatmulStrategy::Pooled,
+    ];
 
     fn random_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
         Matrix::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-1.0..1.0)).collect())
@@ -240,11 +490,7 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         let expected = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]);
-        for strategy in [
-            MatmulStrategy::Naive,
-            MatmulStrategy::Blocked,
-            MatmulStrategy::Threaded,
-        ] {
+        for strategy in ALL_STRATEGIES {
             assert!(a.matmul_with(&b, strategy).approx_eq(&expected, 1e-12));
         }
     }
@@ -271,11 +517,67 @@ mod tests {
             let a = random_matrix(&mut rng, m, k);
             let b = random_matrix(&mut rng, k, n);
             let reference = a.matmul_with(&b, MatmulStrategy::Naive);
-            let blocked = a.matmul_with(&b, MatmulStrategy::Blocked);
-            let threaded = a.matmul_with(&b, MatmulStrategy::Threaded);
-            assert!(blocked.approx_eq(&reference, 1e-9), "blocked {m}x{k}x{n}");
-            assert!(threaded.approx_eq(&reference, 1e-9), "threaded {m}x{k}x{n}");
+            for strategy in [
+                MatmulStrategy::Blocked,
+                MatmulStrategy::Threaded,
+                MatmulStrategy::Pooled,
+            ] {
+                let got = a.matmul_with(&b, strategy);
+                assert!(got.approx_eq(&reference, 1e-9), "{strategy:?} {m}x{k}x{n}");
+            }
         }
+    }
+
+    #[test]
+    fn matmul_into_reuses_output_buffer() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = random_matrix(&mut rng, 9, 14);
+        let b = random_matrix(&mut rng, 14, 6);
+        // Poisoned output: every kernel must fully overwrite it.
+        let mut out = Matrix::filled(9, 6, f64::NAN);
+        let reference = a.matmul_with(&b, MatmulStrategy::Naive);
+        for strategy in ALL_STRATEGIES {
+            a.matmul_into_with(&b, &mut out, strategy);
+            assert!(out.approx_eq(&reference, 1e-9), "{strategy:?}");
+            out.as_mut_slice().fill(f64::NAN);
+        }
+    }
+
+    #[test]
+    fn affine_into_matches_matmul_plus_broadcast() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = random_matrix(&mut rng, 5, 11);
+        let w = random_matrix(&mut rng, 11, 7);
+        let bias = random_matrix(&mut rng, 1, 7);
+        let mut out = Matrix::filled(5, 7, f64::NAN);
+        x.affine_into(&w, &bias, &mut out);
+        let reference = x
+            .matmul_with(&w, MatmulStrategy::Naive)
+            .add_row_broadcast(&bias);
+        assert!(out.approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn non_finite_operands_propagate_like_the_naive_kernel() {
+        // Regression: the blocked kernels used to skip `a == 0.0` entries,
+        // silently turning `0 · NaN` and `0 · ∞` into `0` and diverging from
+        // the reference implementation on poisoned inputs.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[f64::NAN, 3.0], &[4.0, f64::INFINITY]]);
+        let reference = a.matmul_with(&b, MatmulStrategy::Naive);
+        assert!(reference[(0, 0)].is_nan(), "0·NaN + 1·4 must be NaN");
+        for strategy in [
+            MatmulStrategy::Blocked,
+            MatmulStrategy::Threaded,
+            MatmulStrategy::Pooled,
+        ] {
+            let got = a.matmul_with(&b, strategy);
+            assert!(got.approx_eq(&reference, 1e-9), "{strategy:?}");
+        }
+        // And the transpose-A kernel, which had the same skip.
+        let direct = a.matmul_transpose_a(&b);
+        let explicit = a.transpose().matmul_with(&b, MatmulStrategy::Naive);
+        assert!(direct.approx_eq(&explicit, 1e-9));
     }
 
     #[test]
@@ -291,6 +593,43 @@ mod tests {
         let direct_a = a.matmul_transpose_a(&c);
         let explicit_a = a.transpose().matmul_with(&c, MatmulStrategy::Naive);
         assert!(direct_a.approx_eq(&explicit_a, 1e-9));
+    }
+
+    #[test]
+    fn transpose_into_variants_overwrite_poisoned_buffers() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = random_matrix(&mut rng, 8, 13);
+        let b = random_matrix(&mut rng, 5, 13);
+        let mut out = Matrix::filled(8, 5, f64::NAN);
+        a.matmul_transpose_b_into(&b, &mut out);
+        assert!(out.approx_eq(&a.matmul_with(&b.transpose(), MatmulStrategy::Naive), 1e-9));
+
+        let c = random_matrix(&mut rng, 8, 4);
+        let mut out_a = Matrix::filled(13, 4, f64::NAN);
+        a.matmul_transpose_a_into(&c, &mut out_a);
+        assert!(out_a.approx_eq(&a.transpose().matmul_with(&c, MatmulStrategy::Naive), 1e-9));
+    }
+
+    #[test]
+    fn pooled_chunks_agree_with_reference_on_a_multithreaded_pool() {
+        // The global pool may be single-threaded on small hosts; drive the
+        // chunked kernels through a local 4-way pool to exercise real
+        // cross-thread dispatch.
+        let pool = WorkerPool::new(4);
+        let mut rng = StdRng::seed_from_u64(15);
+        let (m, k, n) = (37, 23, 19);
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let mut out = Matrix::zeros(m, n);
+        let a_s = a.as_slice();
+        let b_s = b.as_slice();
+        let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+        pool.run(m, 1, |start, end| {
+            let rows = end - start;
+            let chunk = unsafe { out_ptr.slice_mut(start * n, rows * n) };
+            gemm_rows(&a_s[start * k..end * k], b_s, chunk, rows, k, n);
+        });
+        assert!(out.approx_eq(&a.matmul_with(&b, MatmulStrategy::Naive), 1e-9));
     }
 
     #[test]
@@ -311,6 +650,15 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn wrong_output_shape_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 3);
+        a.matmul_into(&b, &mut out);
     }
 
     #[test]

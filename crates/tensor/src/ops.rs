@@ -21,6 +21,30 @@ impl Matrix {
         self.zip_map(other, |a, b| a * b)
     }
 
+    /// In-place element-wise (Hadamard) product `self ⊙= other`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn hadamard_assign(&mut self, other: &Matrix) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "hadamard_assign shape mismatch"
+        );
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a *= b;
+        }
+    }
+
+    /// Copies every element of `other` into `self` without reallocating.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "copy_from shape mismatch");
+        self.as_mut_slice().copy_from_slice(other.as_slice());
+    }
+
     /// Multiplies every element by `k`.
     pub fn scale(&self, k: f64) -> Matrix {
         self.map(|x| x * k)
@@ -140,12 +164,27 @@ impl Matrix {
     /// bias gradients over a minibatch).
     pub fn sum_rows(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols());
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Per-column sum written into a caller-owned `1 × cols` row vector.
+    ///
+    /// # Panics
+    /// Panics if `out` is not `1 × self.cols()`.
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (1, self.cols()),
+            "sum_rows_into output shape mismatch"
+        );
+        let acc = out.as_mut_slice();
+        acc.fill(0.0);
         for r in 0..self.rows() {
-            for c in 0..self.cols() {
-                out[(0, c)] += self.get(r, c);
+            for (a, &x) in acc.iter_mut().zip(self.row(r)) {
+                *a += x;
             }
         }
-        out
     }
 
     /// Adds the `1 × cols` row vector `bias` to every row of the matrix.

@@ -1,0 +1,290 @@
+//! Persistent worker pool used by the GEMM kernels.
+//!
+//! The original threaded kernel spawned OS threads through
+//! `std::thread::scope` on every call — fine for one-off products, but the
+//! DQN training step multiplies a dozen large matrices per tick, forever, and
+//! the spawn/join cost dominated. [`WorkerPool`] spawns its workers once and
+//! dispatches row-range jobs over pre-allocated bounded channels (see the
+//! crossbeam shim), so the steady-state dispatch path performs **zero heap
+//! allocations**: a job is a `Copy` struct pushed into a fixed ring buffer.
+//!
+//! The process-wide pool ([`global`]) sizes itself from the `CAPES_THREADS`
+//! environment variable when set (total parallelism including the calling
+//! thread), falling back to `std::thread::available_parallelism`. With one
+//! thread the pool degenerates to running the job inline, so single-core
+//! hosts pay nothing for the machinery.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::{Mutex, OnceLock};
+
+/// A row-range job: an erased `Fn(usize, usize)` invoked as
+/// `call(ctx, start, end)`. The dispatcher blocks until every job it sent has
+/// been acknowledged, so `ctx` (a pointer to a caller-stack closure) never
+/// outlives the closure it points to.
+#[derive(Clone, Copy)]
+struct Task {
+    call: unsafe fn(*const (), usize, usize),
+    ctx: *const (),
+    start: usize,
+    end: usize,
+}
+
+// Safety: the pointers inside a Task are only dereferenced while the
+// dispatching thread is blocked in `WorkerPool::run`, which keeps the
+// referents alive; the closure is required to be `Sync`.
+unsafe impl Send for Task {}
+
+unsafe fn trampoline<F: Fn(usize, usize) + Sync>(ctx: *const (), start: usize, end: usize) {
+    let f = unsafe { &*(ctx as *const F) };
+    f(start, end);
+}
+
+/// A fixed set of worker threads executing row-range jobs.
+pub struct WorkerPool {
+    /// One single-slot channel per worker; a worker only ever holds one job.
+    task_txs: Vec<Sender<Task>>,
+    /// Acknowledgement channel; the payload is `true` if the chunk panicked.
+    done_rx: Receiver<bool>,
+    /// Serialises dispatches so concurrent callers (e.g. parallel tests)
+    /// cannot interleave jobs and acknowledgements.
+    dispatch: Mutex<()>,
+    /// Total parallelism including the calling thread.
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` total parallelism (the calling thread
+    /// participates, so `threads - 1` workers are spawned; `threads <= 1`
+    /// spawns none and [`WorkerPool::run`] executes inline).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let (done_tx, done_rx) = bounded::<bool>(workers.max(1));
+        let mut task_txs = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = bounded::<Task>(1);
+            let done = done_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("capes-gemm-{i}"))
+                .spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        // Contain panics so a failing chunk cannot kill the
+                        // worker: the dispatcher must always receive its ack
+                        // (otherwise it would block forever), and the worker
+                        // must stay usable for the next dispatch. The panic
+                        // flag travels back in the ack and is re-raised on
+                        // the dispatching thread.
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                                (task.call)(task.ctx, task.start, task.end)
+                            }));
+                        if done.send(result.is_err()).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("failed to spawn GEMM worker");
+            task_txs.push(tx);
+        }
+        WorkerPool {
+            task_txs,
+            done_rx,
+            dispatch: Mutex::new(()),
+            threads,
+        }
+    }
+
+    /// Total parallelism of the pool (workers + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `0..rows` into contiguous chunks of at least `min_rows` and runs
+    /// `f(start, end)` on each, using the pool's workers plus the calling
+    /// thread. Blocks until every chunk has completed. Runs inline when the
+    /// pool is single-threaded or the problem is too small to split.
+    pub fn run<F: Fn(usize, usize) + Sync>(&self, rows: usize, min_rows: usize, f: F) {
+        if rows == 0 {
+            return;
+        }
+        let max_parts = rows.div_ceil(min_rows.max(1));
+        let parts = self.threads.min(max_parts);
+        if parts <= 1 {
+            f(0, rows);
+            return;
+        }
+        // The guard protects no data (the mutex only serialises dispatches),
+        // so a poison left by a previous dispatch's propagated panic is
+        // harmless — recover it.
+        let _guard = self
+            .dispatch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let chunk = rows.div_ceil(parts);
+        let ctx = &f as *const F as *const ();
+        let mut dispatched = 0usize;
+        let mut send_failed = false;
+        for i in 0..parts - 1 {
+            let start = i * chunk;
+            let end = ((i + 1) * chunk).min(rows);
+            if start >= end {
+                break;
+            }
+            if self.task_txs[i]
+                .send(Task {
+                    call: trampoline::<F>,
+                    ctx,
+                    start,
+                    end,
+                })
+                .is_err()
+            {
+                // Cannot happen while the pool is alive (workers contain
+                // panics and never exit their loop), but if it ever did we
+                // must still drain the already-dispatched acks below before
+                // unwinding: workers hold a raw pointer into this frame.
+                send_failed = true;
+                break;
+            }
+            dispatched += 1;
+        }
+        // The calling thread takes the tail chunk while workers run theirs.
+        // Its panic (if any) must not unwind past this frame before every
+        // worker has acknowledged: `f` lives on this stack and workers hold a
+        // raw pointer to it, so unwinding early would be a use-after-free.
+        let tail = (parts - 1) * chunk;
+        let caller_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if !send_failed && tail < rows {
+                f(tail, rows);
+            }
+        }));
+        let mut worker_panicked = false;
+        for _ in 0..dispatched {
+            worker_panicked |= self.done_rx.recv().expect("GEMM worker disappeared");
+        }
+        assert!(!send_failed, "GEMM worker disappeared");
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(!worker_panicked, "a GEMM pool worker chunk panicked");
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Parallelism configured for this process: `CAPES_THREADS` when set to a
+/// positive integer, otherwise the hardware thread count.
+pub fn configured_threads() -> usize {
+    std::env::var("CAPES_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(crate::matmul::available_threads)
+}
+
+/// The process-wide pool, created on first use with [`configured_threads`]
+/// workers. `CAPES_THREADS` is read once, at initialisation.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(configured_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_row_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let rows = 103;
+        let hits: Vec<AtomicUsize> = (0..rows).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(rows, 1, |start, end| {
+            for h in &hits[start..end] {
+                h.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let count = AtomicUsize::new(0);
+        pool.run(10, 1, |start, end| {
+            count.fetch_add(end - start, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn small_problems_are_not_split() {
+        let pool = WorkerPool::new(8);
+        let calls = AtomicUsize::new(0);
+        pool.run(5, 8, |start, end| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!((start, end), (0, 5));
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_dispatches() {
+        let pool = WorkerPool::new(3);
+        for round in 1..=20usize {
+            let total = AtomicUsize::new(0);
+            pool.run(round * 7, 1, |start, end| {
+                total.fetch_add(end - start, Ordering::SeqCst);
+            });
+            assert_eq!(total.load(Ordering::SeqCst), round * 7);
+        }
+    }
+
+    #[test]
+    fn panicking_chunk_propagates_and_leaves_the_pool_usable() {
+        let pool = WorkerPool::new(3);
+        // A chunk panics on a worker (or the caller); run must surface the
+        // panic on the dispatching thread without deadlocking or leaving a
+        // dangling job behind.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(30, 1, |start, _end| {
+                if start == 0 {
+                    panic!("chunk failure");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the chunk panic must propagate");
+        // The pool must still dispatch correctly afterwards.
+        let total = AtomicUsize::new(0);
+        pool.run(30, 1, |start, end| {
+            total.fetch_add(end - start, Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 30);
+    }
+
+    #[test]
+    fn zero_rows_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        pool.run(0, 1, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn global_pool_is_initialised_once() {
+        let a = global() as *const WorkerPool;
+        let b = global() as *const WorkerPool;
+        assert_eq!(a, b);
+        assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: every `_into` kernel and the fused affine path must match
+//! the naive reference within 1e-9 across random shapes.
+
+use capes_tensor::{MatmulStrategy, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(seed: u64, r: usize, c: usize) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-2.0..2.0)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_into_matches_naive_for_every_strategy(
+        (m, k, n) in (1usize..40, 1usize..70, 1usize..40),
+        seed in any::<u64>(),
+    ) {
+        let a = random_matrix(seed, m, k);
+        let b = random_matrix(seed.wrapping_add(1), k, n);
+        let reference = a.matmul_with(&b, MatmulStrategy::Naive);
+        let mut out = Matrix::filled(m, n, f64::NAN);
+        for strategy in [
+            MatmulStrategy::Blocked,
+            MatmulStrategy::Threaded,
+            MatmulStrategy::Pooled,
+        ] {
+            a.matmul_into_with(&b, &mut out, strategy);
+            prop_assert!(out.approx_eq(&reference, 1e-9), "{strategy:?} {m}x{k}x{n}");
+        }
+        // The auto-dispatching into-variant as well.
+        out.as_mut_slice().fill(f64::NAN);
+        a.matmul_into(&b, &mut out);
+        prop_assert!(out.approx_eq(&reference, 1e-9), "auto {m}x{k}x{n}");
+    }
+
+    #[test]
+    fn affine_into_matches_naive_matmul_plus_broadcast(
+        (m, k, n) in (1usize..40, 1usize..70, 1usize..40),
+        seed in any::<u64>(),
+    ) {
+        let x = random_matrix(seed, m, k);
+        let w = random_matrix(seed.wrapping_add(1), k, n);
+        let bias = random_matrix(seed.wrapping_add(2), 1, n);
+        let mut out = Matrix::filled(m, n, f64::NAN);
+        x.affine_into(&w, &bias, &mut out);
+        let reference = x
+            .matmul_with(&w, MatmulStrategy::Naive)
+            .add_row_broadcast(&bias);
+        prop_assert!(out.approx_eq(&reference, 1e-9), "affine {m}x{k}x{n}");
+    }
+
+    #[test]
+    fn transpose_b_into_matches_explicit_transpose(
+        (m, k, n) in (1usize..40, 1usize..70, 1usize..40),
+        seed in any::<u64>(),
+    ) {
+        let a = random_matrix(seed, m, k);
+        let b = random_matrix(seed.wrapping_add(1), n, k);
+        let mut out = Matrix::filled(m, n, f64::NAN);
+        a.matmul_transpose_b_into(&b, &mut out);
+        let reference = a.matmul_with(&b.transpose(), MatmulStrategy::Naive);
+        prop_assert!(out.approx_eq(&reference, 1e-9), "tb {m}x{k}x{n}");
+    }
+
+    #[test]
+    fn transpose_a_into_matches_explicit_transpose(
+        (m, k, n) in (1usize..40, 1usize..70, 1usize..40),
+        seed in any::<u64>(),
+    ) {
+        let a = random_matrix(seed, k, m);
+        let b = random_matrix(seed.wrapping_add(1), k, n);
+        let mut out = Matrix::filled(m, n, f64::NAN);
+        a.matmul_transpose_a_into(&b, &mut out);
+        let reference = a.transpose().matmul_with(&b, MatmulStrategy::Naive);
+        prop_assert!(out.approx_eq(&reference, 1e-9), "ta {m}x{k}x{n}");
+    }
+
+    #[test]
+    fn sum_rows_into_matches_sum_rows(
+        (m, n) in (1usize..30, 1usize..30),
+        seed in any::<u64>(),
+    ) {
+        let a = random_matrix(seed, m, n);
+        let mut out = Matrix::filled(1, n, f64::NAN);
+        a.sum_rows_into(&mut out);
+        prop_assert!(out.approx_eq(&a.sum_rows(), 1e-9));
+    }
+
+    #[test]
+    fn hadamard_assign_matches_hadamard(
+        (m, n) in (1usize..30, 1usize..30),
+        seed in any::<u64>(),
+    ) {
+        let a = random_matrix(seed, m, n);
+        let b = random_matrix(seed.wrapping_add(1), m, n);
+        let mut c = a.clone();
+        c.hadamard_assign(&b);
+        prop_assert!(c.approx_eq(&a.hadamard(&b), 1e-12));
+    }
+}
