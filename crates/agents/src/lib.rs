@@ -27,4 +27,4 @@ pub use control::ControlAgent;
 pub use interface::{InterfaceDaemon, InterfaceStats};
 pub use message::{ActionMessage, Message, PiReport};
 pub use monitoring::MonitoringAgent;
-pub use wire::{decode_message, encode_message, WireError};
+pub use wire::{decode_message, encode_message, get_varint, put_varint, WireError};

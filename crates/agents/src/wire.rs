@@ -150,7 +150,10 @@ pub fn decode_message(frame: &[u8]) -> Result<Message, WireError> {
     }
 }
 
-fn put_varint(buf: &mut BytesMut, mut value: u64) {
+/// Appends `value` as a LEB128-style varint. Public so envelope protocols
+/// layered on top of this codec (the fleet's cluster-multiplexed frames) can
+/// reuse the same integer encoding.
+pub fn put_varint(buf: &mut BytesMut, mut value: u64) {
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
@@ -162,7 +165,8 @@ fn put_varint(buf: &mut BytesMut, mut value: u64) {
     }
 }
 
-fn get_varint(buf: &mut &[u8]) -> Result<u64, WireError> {
+/// Reads a varint written by [`put_varint`], advancing `buf` past it.
+pub fn get_varint(buf: &mut &[u8]) -> Result<u64, WireError> {
     let mut value = 0u64;
     for shift in 0..10 {
         if !buf.has_remaining() {

@@ -1,0 +1,106 @@
+//! Criterion benchmark for the fleet decision path: one batched forward pass
+//! for N clusters vs N sequential single-cluster decisions, plus the full
+//! fleet tick end-to-end. Medians are recorded in `BENCH_fleet_step.json` at
+//! the repo root.
+//!
+//! The batched path's advantage is weight reuse: a 1-row Q-network forward is
+//! memory-bound (it streams every weight matrix once per decision), while an
+//! N-row GEMM streams them once per *tick* — so batched decide wins even on a
+//! single core.
+
+use capes::{Hyperparameters, Phase, PhaseKind};
+use capes_drl::{ActionDecision, DqnAgent, DqnAgentConfig};
+use capes_fleet::{Fleet, FleetPlan, ScenarioSpec};
+use capes_replay::Observation;
+use capes_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const FLEET_SIZE: usize = 8;
+/// The compact-PI observation width of the paper's 5-client testbed
+/// (10 sampling ticks × 5 clients × 12 PIs — ROADMAP's 600-feature shape).
+const OBS: usize = 600;
+
+fn observations(rng: &mut StdRng) -> Matrix {
+    Matrix::from_vec(
+        FLEET_SIZE,
+        OBS,
+        (0..FLEET_SIZE * OBS)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect(),
+    )
+}
+
+/// Greedy decisions so every row exercises the forward pass (exploration
+/// skips the network and would make both sides trivially cheap).
+fn bench_decide(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let stacked = observations(&mut rng);
+    let has_obs = vec![true; FLEET_SIZE];
+    let mut group = c.benchmark_group("fleet_step");
+
+    let mut batched_agent = DqnAgent::new(DqnAgentConfig::paper_default(OBS, 2), 1);
+    let mut decisions: Vec<ActionDecision> = Vec::with_capacity(FLEET_SIZE);
+    group.bench_function(format!("batched_decide_{FLEET_SIZE}x{OBS}"), |bench| {
+        bench.iter(|| {
+            batched_agent.decide_batch(&stacked, &has_obs, 100_000, true, &mut decisions);
+            black_box(decisions.last().map(|d| d.action))
+        })
+    });
+
+    let mut sequential_agent = DqnAgent::new(DqnAgentConfig::paper_default(OBS, 2), 1);
+    let rows: Vec<Observation> = (0..FLEET_SIZE)
+        .map(|r| Observation {
+            tick: 0,
+            features: Matrix::row_vector(stacked.row(r)),
+        })
+        .collect();
+    group.bench_function(format!("sequential_decide_{FLEET_SIZE}x{OBS}"), |bench| {
+        bench.iter(|| {
+            let mut last = 0usize;
+            for row in &rows {
+                last = sequential_agent.decide(Some(row), 100_000, true).action;
+            }
+            black_box(last)
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end fleet tick (measure → batched decide → scatter → train →
+/// finish) on an 8-cluster heterogeneous fleet, tuned phase.
+fn bench_fleet_tick(c: &mut Criterion) {
+    let hp = Hyperparameters {
+        sampling_ticks_per_observation: 3,
+        ..Hyperparameters::quick_test()
+    };
+    let mut daemon = Fleet::builder()
+        .hyperparams(hp)
+        .seed(9)
+        .scenarios(ScenarioSpec::heterogeneous_mix(FLEET_SIZE))
+        .build()
+        .expect("valid fleet");
+    // Warm past cold start so every tick carries observations.
+    daemon.run(&FleetPlan::new().phase(Phase::Train { ticks: 12 }));
+
+    let mut group = c.benchmark_group("fleet_step");
+    group.sample_size(10);
+    group.bench_function(format!("fleet_tick_tuned_{FLEET_SIZE}_clusters"), |bench| {
+        bench.iter(|| {
+            daemon.tick_all(PhaseKind::Tuned);
+            black_box(daemon.cluster_ticks())
+        })
+    });
+    group.bench_function(format!("fleet_tick_train_{FLEET_SIZE}_clusters"), |bench| {
+        bench.iter(|| {
+            daemon.tick_all(PhaseKind::Train);
+            black_box(daemon.cluster_ticks())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decide, bench_fleet_tick);
+criterion_main!(benches);

@@ -29,7 +29,7 @@ use crate::error::CapesError;
 use crate::experiment::TickObserver;
 use crate::hyperparams::Hyperparameters;
 use crate::objective::Objective;
-use crate::system::CapesSystem;
+use crate::system::{CapesSystem, Transport};
 use crate::target::TargetSystem;
 use capes_agents::ActionChecker;
 use capes_drl::DqnAgent;
@@ -48,6 +48,7 @@ impl Capes {
             seed: 0,
             engine: None,
             observers: Vec::new(),
+            transport: Transport::InProcess,
         }
     }
 }
@@ -64,6 +65,7 @@ pub struct CapesBuilder<T: TargetSystem> {
     seed: u64,
     engine: Option<Box<dyn TuningEngine>>,
     observers: Vec<Box<dyn TickObserver>>,
+    transport: Transport,
 }
 
 impl<T: TargetSystem> CapesBuilder<T> {
@@ -111,6 +113,15 @@ impl<T: TargetSystem> CapesBuilder<T> {
         self
     }
 
+    /// Sets the monitoring transport (default: [`Transport::InProcess`]).
+    /// [`Transport::Wire`] routes every monitoring message through the binary
+    /// wire codec, exactly as a networked deployment would.
+    #[must_use]
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// Validates the configuration and assembles the system.
     ///
     /// # Errors
@@ -145,6 +156,7 @@ impl<T: TargetSystem> CapesBuilder<T> {
             self.seed,
             engine,
             self.observers,
+            self.transport,
         ))
     }
 }

@@ -144,6 +144,25 @@ impl DrlEngine {
     }
 }
 
+/// Maps a discrete `2P + 1` action index onto the absolute parameter vector
+/// the target should use next: ±one `step` on the touched parameter, clamped
+/// into its spec range. Shared by [`DrlEngine::propose_action`] and the fleet
+/// daemon's batched scatter path so both produce identical proposals.
+pub fn step_params(
+    space: &ActionSpace,
+    action: usize,
+    current: &[f64],
+    specs: &[TunableSpec],
+) -> Vec<f64> {
+    let directions = space.direction_vector(action);
+    current
+        .iter()
+        .zip(directions.iter())
+        .zip(specs.iter())
+        .map(|((&value, &dir), spec)| spec.clamp(value + dir * spec.step))
+        .collect()
+}
+
 impl TuningEngine for DrlEngine {
     fn name(&self) -> &str {
         "deep RL (DQN)"
@@ -151,18 +170,15 @@ impl TuningEngine for DrlEngine {
 
     fn propose_action(&mut self, ctx: &EngineContext<'_>) -> ProposedAction {
         let decision = self.agent.decide(ctx.observation, ctx.tick, !ctx.explore);
-        let directions = self.action_space.direction_vector(decision.action);
-        let params: Vec<f64> = ctx
-            .current_params
-            .iter()
-            .zip(directions.iter())
-            .zip(ctx.specs.iter())
-            .map(|((&value, &dir), spec)| spec.clamp(value + dir * spec.step))
-            .collect();
         ProposedAction {
             action_index: Some(decision.action),
             explored: decision.explored,
-            params,
+            params: step_params(
+                &self.action_space,
+                decision.action,
+                ctx.current_params,
+                ctx.specs,
+            ),
         }
     }
 
@@ -386,6 +402,54 @@ impl<S: SearchStrategy + 'static> TuningEngine for SearchEngine<S> {
 
     fn exploration_ticks_used(&self) -> Option<u64> {
         Some(self.ticks_used)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The null engine.
+// ---------------------------------------------------------------------------
+
+/// An engine that never proposes a change and never trains: every proposal
+/// holds the target's current parameters.
+///
+/// Use it for deployments whose decisions are made *outside* the system's
+/// per-tick loop — the fleet daemon drives its member systems this way (one
+/// shared DQN decides for every cluster in a single batched forward pass and
+/// the resulting actions are applied through
+/// [`crate::system::CapesSystem::apply_action`]) — or for pure monitoring
+/// setups that want the agents/daemon/replay pipeline without any tuning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullEngine;
+
+impl TuningEngine for NullEngine {
+    fn name(&self) -> &str {
+        "external"
+    }
+
+    fn propose_action(&mut self, ctx: &EngineContext<'_>) -> ProposedAction {
+        ProposedAction {
+            action_index: None,
+            explored: false,
+            params: ctx.current_params.to_vec(),
+        }
+    }
+
+    fn observe(&mut self, _tick: &SystemTick) {}
+
+    fn train_step(&mut self, _db: &SharedReplayDb) -> Option<f64> {
+        None
+    }
+
+    fn current_params(&self) -> Option<Vec<f64>> {
+        None
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -78,7 +78,9 @@ pub mod tuners;
 
 pub use adapter::SimulatedLustre;
 pub use builder::{Capes, CapesBuilder};
-pub use engine::{DrlEngine, EngineContext, ProposedAction, SearchEngine, TuningEngine};
+pub use engine::{
+    step_params, DrlEngine, EngineContext, NullEngine, ProposedAction, SearchEngine, TuningEngine,
+};
 pub use error::CapesError;
 pub use experiment::{Experiment, ExperimentReport, Phase, PhaseKind, TickObserver};
 pub use hyperparams::Hyperparameters;
@@ -86,7 +88,7 @@ pub use objective::Objective;
 pub use session::SessionResult;
 #[allow(deprecated)]
 pub use session::{run_baseline_session, run_training_session, run_tuning_session};
-pub use system::{CapesSystem, SystemTick};
+pub use system::{CapesSystem, SystemTick, TickMeasurement, Transport};
 pub use target::{TargetSystem, TargetTick, TunableSpec};
 
 /// Convenient glob import for examples, benchmarks and downstream crates.
@@ -100,7 +102,7 @@ pub use target::{TargetSystem, TargetTick, TunableSpec};
 pub mod prelude {
     pub use crate::adapter::SimulatedLustre;
     pub use crate::builder::{Capes, CapesBuilder};
-    pub use crate::engine::{DrlEngine, SearchEngine, TuningEngine};
+    pub use crate::engine::{DrlEngine, NullEngine, SearchEngine, TuningEngine};
     pub use crate::error::CapesError;
     pub use crate::experiment::{Experiment, ExperimentReport, Phase, PhaseKind, TickObserver};
     pub use crate::hyperparams::Hyperparameters;
@@ -108,7 +110,7 @@ pub mod prelude {
     pub use crate::session::SessionResult;
     #[allow(deprecated)]
     pub use crate::session::{run_baseline_session, run_training_session, run_tuning_session};
-    pub use crate::system::{CapesSystem, SystemTick};
+    pub use crate::system::{CapesSystem, SystemTick, TickMeasurement, Transport};
     pub use crate::target::{TargetSystem, TargetTick, TunableSpec};
     pub use crate::tuners::{HillClimbing, RandomSearch, StaticBaseline, Tuner, TunerResult};
     pub use capes_simstore::{ClusterConfig, PiMode, TunableParams, Workload};

@@ -63,7 +63,11 @@ impl SessionResult {
         )
     }
 
-    pub(crate) fn from_series(
+    /// Builds a session result from a measured throughput series, running the
+    /// Pilot-style statistical analysis. Public so external phase drivers
+    /// (the fleet daemon) can assemble results through the exact code path
+    /// [`CapesSystem::run_phase`](crate::system::CapesSystem::run_phase) uses.
+    pub fn from_series(
         kind: PhaseKind,
         label: impl Into<String>,
         series: Vec<f64>,

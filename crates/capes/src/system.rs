@@ -7,22 +7,37 @@
 //! Systems are assembled through [`crate::builder::Capes::builder`]; the old
 //! telescoping constructors remain as deprecated shims.
 
-use crate::engine::{DrlEngine, EngineContext, TuningEngine};
+use crate::engine::{DrlEngine, EngineContext, ProposedAction, TuningEngine};
 use crate::error::CapesError;
 use crate::experiment::{Phase, PhaseKind, TickObserver};
 use crate::hyperparams::Hyperparameters;
 use crate::objective::Objective;
 use crate::session::SessionResult;
 use crate::target::{TargetSystem, TunableSpec};
+use capes_agents::wire::encode_message;
 use capes_agents::{
     ActionChecker, ActionMessage, ControlAgent, InterfaceDaemon, Message, MonitoringAgent,
 };
 use capes_drl::DqnAgent;
-use capes_replay::{ReplayConfig, SharedReplayDb};
+use capes_replay::{Observation, ReplayConfig, SharedReplayDb};
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 use std::path::Path;
 use std::sync::Arc;
+
+/// How monitoring traffic travels from the agents to the Interface Daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Decoded [`Message`] values are handed to the daemon directly (the
+    /// historical in-process default; PI values keep full `f64` precision).
+    #[default]
+    InProcess,
+    /// Every message is encoded into its binary wire frame and decoded by the
+    /// daemon — the paper's deployment shape. PI values round-trip through
+    /// `f32` exactly as they would over the network, and the daemon's
+    /// byte counters (Table 2) accumulate real frame sizes.
+    Wire,
+}
 
 /// Everything that happened during one system tick.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +57,25 @@ pub struct SystemTick {
     pub prediction_error: Option<f64>,
 }
 
+/// The measurement half of one tick, produced by
+/// [`CapesSystem::begin_tick`] and consumed by [`CapesSystem::finish_tick`].
+///
+/// External drivers (the fleet daemon) run many systems' measurement stages
+/// first, decide for all of them in one batched forward pass, and only then
+/// apply actions and finish the ticks.
+#[derive(Debug, Clone)]
+pub struct TickMeasurement {
+    /// The tick this measurement belongs to.
+    pub tick: u64,
+    /// Aggregate throughput achieved by the target system, MB/s.
+    pub throughput_mbps: f64,
+    /// Objective-function output (the reward source), before reward scaling.
+    pub objective: f64,
+    /// The flattened observation ending at this tick, if the Replay DB has
+    /// enough history (`None` during baseline phases, which never decide).
+    pub observation: Option<Observation>,
+}
+
 /// The boxed parameter-setter closure the Control Agent drives.
 type ParamSetter = Box<dyn FnMut(&[f64]) + Send>;
 
@@ -59,6 +93,7 @@ pub struct CapesSystem<T: TargetSystem> {
     engine: Box<dyn TuningEngine>,
     observers: Vec<Box<dyn TickObserver>>,
     specs: Vec<TunableSpec>,
+    transport: Transport,
     tick: u64,
     throughput_history: Vec<f64>,
     prediction_errors: Vec<(u64, f64)>,
@@ -97,6 +132,7 @@ impl<T: TargetSystem> CapesSystem<T> {
 
     /// Wires the deployment together. Called by the builder, which has
     /// already validated the hyperparameters and the tunable-spec list.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         target: T,
         hyperparams: Hyperparameters,
@@ -105,6 +141,7 @@ impl<T: TargetSystem> CapesSystem<T> {
         _seed: u64,
         engine: Box<dyn TuningEngine>,
         observers: Vec<Box<dyn TickObserver>>,
+        transport: Transport,
     ) -> Self {
         let num_nodes = target.num_nodes();
         let pis_per_node = target.pis_per_node();
@@ -146,6 +183,7 @@ impl<T: TargetSystem> CapesSystem<T> {
             engine,
             observers,
             specs,
+            transport,
             tick: 0,
             throughput_history: Vec::new(),
             prediction_errors: Vec::new(),
@@ -212,6 +250,17 @@ impl<T: TargetSystem> CapesSystem<T> {
         &self.prediction_errors
     }
 
+    /// The tunable-parameter specifications of the target (validated at
+    /// build time).
+    pub fn specs(&self) -> &[TunableSpec] {
+        &self.specs
+    }
+
+    /// The monitoring transport the system was built with.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
     /// The parameter values the target system is currently using.
     pub fn current_params(&self) -> Vec<f64> {
         self.target.current_params()
@@ -259,9 +308,7 @@ impl<T: TargetSystem> CapesSystem<T> {
     pub fn run_phase(&mut self, phase: &Phase) -> SessionResult {
         let kind = phase.kind();
         let label = phase.label();
-        for observer in &mut self.observers {
-            observer.on_phase_start(kind, &label);
-        }
+        self.notify_phase_start(kind, &label);
         if kind == PhaseKind::Baseline {
             self.reset_params_to_defaults();
         }
@@ -283,10 +330,25 @@ impl<T: TargetSystem> CapesSystem<T> {
             prediction_errors,
             self.current_params(),
         );
-        for observer in &mut self.observers {
-            observer.on_phase_end(kind, &result);
-        }
+        self.notify_phase_end(kind, &result);
         result
+    }
+
+    /// Invokes every observer's phase-start hook. Exposed so external phase
+    /// drivers (the fleet daemon) can mirror [`CapesSystem::run_phase`]'s
+    /// observer protocol while owning the tick loop themselves.
+    pub fn notify_phase_start(&mut self, kind: PhaseKind, label: &str) {
+        for observer in &mut self.observers {
+            observer.on_phase_start(kind, label);
+        }
+    }
+
+    /// Invokes every observer's phase-end hook (see
+    /// [`CapesSystem::notify_phase_start`]).
+    pub fn notify_phase_end(&mut self, kind: PhaseKind, result: &SessionResult) {
+        for observer in &mut self.observers {
+            observer.on_phase_end(kind, result);
+        }
     }
 
     /// Saves the engine's learned model to a checkpoint file.
@@ -347,7 +409,25 @@ impl<T: TargetSystem> CapesSystem<T> {
         self.monitors.iter().map(|m| m.stats()).collect()
     }
 
-    fn run_tick(&mut self, kind: PhaseKind) -> SystemTick {
+    // -----------------------------------------------------------------------
+    // Staged tick API.
+    //
+    // One tick = begin_tick (measure + store) → decide + apply_action
+    // (skipped for baselines) → training → finish_tick (feedback +
+    // bookkeeping). `run_tick` composes the stages with the in-system engine;
+    // external drivers such as the fleet daemon interleave the stages of many
+    // systems so that all of their decisions collapse into one batched
+    // forward pass.
+    // -----------------------------------------------------------------------
+
+    /// Measurement stage of one tick: lets the target run for one second,
+    /// routes the Monitoring Agents' differential reports and the objective
+    /// through the Interface Daemon into the Replay DB (over the configured
+    /// [`Transport`]), and — except for baseline measurements, which never
+    /// decide — assembles the observation ending at this tick.
+    ///
+    /// Must be paired with exactly one [`CapesSystem::finish_tick`] call.
+    pub fn begin_tick(&mut self, kind: PhaseKind) -> TickMeasurement {
         // 1. Let the target system run for one second and measure it.
         let tick_data = self.target.step();
         assert_eq!(
@@ -364,76 +444,108 @@ impl<T: TargetSystem> CapesSystem<T> {
         let per_node_objective = scaled_objective / self.monitors.len() as f64;
         for (node, monitor) in self.monitors.iter_mut().enumerate() {
             let report = monitor.sample(self.tick, &tick_data.per_node_pis[node]);
-            self.daemon.ingest(&Message::Report(report));
-            self.daemon.ingest(&Message::Objective {
-                tick: self.tick,
-                node,
-                value: per_node_objective,
-            });
+            Self::route(self.transport, &mut self.daemon, &Message::Report(report));
+            Self::route(
+                self.transport,
+                &mut self.daemon,
+                &Message::Objective {
+                    tick: self.tick,
+                    node,
+                    value: per_node_objective,
+                },
+            );
         }
 
-        // 3. Ask the engine for an action (unless this is a baseline
-        //    measurement), then route it through the daemon — Action Checker
-        //    included — and let the Control Agent apply whatever arrives.
-        let mut chosen_action = None;
-        let mut explored = false;
-        if kind != PhaseKind::Baseline {
-            let observation = self.db.observation_at(self.tick);
-            let current = self.target.current_params();
-            let proposal = self.engine.propose_action(&EngineContext {
-                tick: self.tick,
-                observation: observation.as_ref(),
-                current_params: &current,
-                specs: &self.specs,
-                explore: kind == PhaseKind::Train,
-            });
-            chosen_action = proposal.action_index;
-            explored = proposal.explored;
-
-            self.daemon.broadcast_action(ActionMessage {
-                tick: self.tick,
-                // Engines that do not reason in the discrete space (the
-                // search comparators) record the NULL action.
-                action_index: proposal.action_index.unwrap_or(0),
-                parameter_values: proposal.params,
-            });
-            while let Ok(message) = self.control_rx.try_recv() {
-                self.control_agent.handle(&message);
-            }
-            if let Some(values) = self.staged_params.lock().take() {
-                self.target.apply_params(&values);
-            }
-        }
-
-        // 4. Training steps (experience replay) for engines that learn.
-        let mut prediction_error = None;
-        if kind == PhaseKind::Train {
-            let mut sum = 0.0;
-            let mut count = 0usize;
-            for _ in 0..self.hyperparams.train_steps_per_tick {
-                if let Some(error) = self.engine.train_step(&self.db) {
-                    sum += error;
-                    count += 1;
-                }
-            }
-            if count > 0 {
-                let mean = sum / count as f64;
-                prediction_error = Some(mean);
-                self.prediction_errors.push((self.tick, mean));
-            }
-        }
-
-        let result = SystemTick {
+        let observation = if kind == PhaseKind::Baseline {
+            None
+        } else {
+            self.db.observation_at(self.tick)
+        };
+        TickMeasurement {
             tick: self.tick,
             throughput_mbps: tick_data.throughput_mbps,
             objective: objective_value,
-            action: chosen_action,
+            observation,
+        }
+    }
+
+    /// Hands a message to the daemon over the configured transport.
+    fn route(transport: Transport, daemon: &mut InterfaceDaemon, message: &Message) {
+        match transport {
+            Transport::InProcess => daemon.ingest(message),
+            Transport::Wire => {
+                let frame = encode_message(message);
+                daemon
+                    .ingest_frame(&frame)
+                    .expect("self-encoded frames always decode");
+            }
+        }
+    }
+
+    /// Action stage of one tick: routes a proposal through the Interface
+    /// Daemon (Action Checker included) and lets the Control Agent apply
+    /// whatever arrives. Call between [`CapesSystem::begin_tick`] and
+    /// [`CapesSystem::finish_tick`]; baseline ticks skip it. Takes the
+    /// proposal by value so its parameter vector moves into the action
+    /// message instead of being re-allocated every tick.
+    pub fn apply_action(&mut self, proposal: ProposedAction) {
+        self.daemon.broadcast_action(ActionMessage {
+            tick: self.tick,
+            // Engines that do not reason in the discrete space (the
+            // search comparators) record the NULL action.
+            action_index: proposal.action_index.unwrap_or(0),
+            parameter_values: proposal.params,
+        });
+        while let Ok(message) = self.control_rx.try_recv() {
+            self.control_agent.handle(&message);
+        }
+        if let Some(values) = self.staged_params.lock().take() {
+            self.target.apply_params(&values);
+        }
+    }
+
+    /// Training stage of one tick: runs the configured number of training
+    /// steps against the Replay DB through the in-system engine, returning
+    /// the mean prediction error of the steps that actually trained. Engines
+    /// that do not learn (and databases still warming up) yield `None`.
+    ///
+    /// External drivers that train a *shared* agent (the fleet daemon's
+    /// round-robin over cluster shards) skip this and pass their own error
+    /// into [`CapesSystem::finish_tick`].
+    pub fn engine_train_tick(&mut self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for _ in 0..self.hyperparams.train_steps_per_tick {
+            if let Some(error) = self.engine.train_step(&self.db) {
+                sum += error;
+                count += 1;
+            }
+        }
+        (count > 0).then(|| sum / count as f64)
+    }
+
+    /// Feedback stage of one tick: records the prediction error, streams the
+    /// assembled [`SystemTick`] to the engine (non-baseline) and every
+    /// registered observer, and advances the tick counter.
+    pub fn finish_tick(
+        &mut self,
+        kind: PhaseKind,
+        measurement: &TickMeasurement,
+        action: Option<usize>,
+        explored: bool,
+        prediction_error: Option<f64>,
+    ) -> SystemTick {
+        if let Some(error) = prediction_error {
+            self.prediction_errors.push((measurement.tick, error));
+        }
+        let result = SystemTick {
+            tick: measurement.tick,
+            throughput_mbps: measurement.throughput_mbps,
+            objective: measurement.objective,
+            action,
             explored,
             prediction_error,
         };
-        // 5. Feedback: the engine observes the measured outcome (search
-        //    engines score their candidates with it) and registered observers
-        //    stream the tick.
         if kind != PhaseKind::Baseline {
             self.engine.observe(&result);
         }
@@ -442,6 +554,38 @@ impl<T: TargetSystem> CapesSystem<T> {
         }
         self.tick += 1;
         result
+    }
+
+    fn run_tick(&mut self, kind: PhaseKind) -> SystemTick {
+        let measurement = self.begin_tick(kind);
+        let mut chosen_action = None;
+        let mut explored = false;
+        if kind != PhaseKind::Baseline {
+            let current = self.target.current_params();
+            let engine = &mut self.engine;
+            let proposal = engine.propose_action(&EngineContext {
+                tick: measurement.tick,
+                observation: measurement.observation.as_ref(),
+                current_params: &current,
+                specs: &self.specs,
+                explore: kind == PhaseKind::Train,
+            });
+            chosen_action = proposal.action_index;
+            explored = proposal.explored;
+            self.apply_action(proposal);
+        }
+        let prediction_error = if kind == PhaseKind::Train {
+            self.engine_train_tick()
+        } else {
+            None
+        };
+        self.finish_tick(
+            kind,
+            &measurement,
+            chosen_action,
+            explored,
+            prediction_error,
+        )
     }
 }
 
@@ -613,6 +757,84 @@ mod tests {
             err,
             CapesError::Checkpoint(_) | CapesError::EngineUnsupported { .. }
         ));
+    }
+
+    #[test]
+    fn wire_transport_runs_the_same_pipeline_through_the_codec() {
+        let mut system = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(quick_hyperparams())
+            .seed(2)
+            .transport(Transport::Wire)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(system.transport(), Transport::Wire);
+        for _ in 0..60 {
+            let t = system.training_tick();
+            assert!(t.action.is_some());
+        }
+        let stats = system.daemon_stats();
+        assert_eq!(stats.reports_received, 60);
+        // In-process ingestion never counts bytes; the wire transport must.
+        assert!(stats.bytes_received > 0, "wire frames carry real bytes");
+        assert_eq!(system.replay_db().len(), 60);
+    }
+
+    #[test]
+    fn null_engine_system_monitors_without_tuning() {
+        let mut system = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(quick_hyperparams())
+            .engine(Box::new(crate::engine::NullEngine))
+            .build()
+            .expect("valid configuration");
+        assert_eq!(system.engine().name(), "external");
+        for _ in 0..40 {
+            let t = system.training_tick();
+            assert!(t.action.is_none());
+            assert!(!t.explored);
+            assert!(t.prediction_error.is_none());
+        }
+        // Proposals hold the current parameters, so nothing ever moves …
+        assert_eq!(system.current_params(), vec![10.0]);
+        // … but the monitoring pipeline still fills the replay DB.
+        assert_eq!(system.replay_db().len(), 40);
+    }
+
+    #[test]
+    fn staged_tick_api_composes_like_run_tick() {
+        // Drive one system through the staged API with an external decision
+        // and verify the bookkeeping matches a run_tick-driven system.
+        let mut system = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(quick_hyperparams())
+            .engine(Box::new(crate::engine::NullEngine))
+            .seed(5)
+            .build()
+            .unwrap();
+        let specs = system.specs().to_vec();
+        for tick in 0..30u64 {
+            let m = system.begin_tick(PhaseKind::Train);
+            assert_eq!(m.tick, tick);
+            // External decision: always push the knob up one step.
+            let params = crate::engine::step_params(
+                &capes_drl::ActionSpace::new(specs.len()),
+                1,
+                &system.current_params(),
+                &specs,
+            );
+            let proposal = crate::engine::ProposedAction {
+                action_index: Some(1),
+                explored: false,
+                params,
+            };
+            system.apply_action(proposal);
+            let st = system.finish_tick(PhaseKind::Train, &m, Some(1), false, Some(0.25));
+            assert_eq!(st.tick, tick);
+            assert_eq!(st.prediction_error, Some(0.25));
+        }
+        assert_eq!(system.tick(), 30);
+        assert_eq!(system.prediction_errors().len(), 30);
+        // 30 up-steps of 2.0 from 10.0, clamped at 70 — the external actions
+        // were applied through the daemon + control path.
+        assert_eq!(system.current_params(), vec![70.0]);
     }
 
     #[test]

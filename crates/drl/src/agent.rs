@@ -7,9 +7,11 @@
 
 use crate::action::ActionSpace;
 use crate::epsilon::EpsilonSchedule;
-use crate::qnet::QNetwork;
+use crate::qnet::{best_action_in_row, QNetwork};
 use crate::trainer::{TrainReport, Trainer, TrainerConfig};
+use capes_nn::Workspace;
 use capes_replay::{Minibatch, MinibatchError, Observation, ReplayBatch, SharedReplayDb};
+use capes_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -77,6 +79,15 @@ pub struct DqnAgent {
     /// Persistent minibatch buffers, allocated on the first training call and
     /// refilled in place every tick (see [`ReplayBatch`]).
     batch_buf: Option<ReplayBatch>,
+    /// Persistent single-row inference workspace behind [`DqnAgent::decide`]
+    /// and [`DqnAgent::select_action`]: at steady state a greedy decision
+    /// performs zero heap allocations.
+    decide_ws: Option<Box<Workspace>>,
+    /// Persistent fleet-sized inference workspace behind
+    /// [`DqnAgent::decide_batch`]. Kept separate from `decide_ws` so
+    /// interleaving single and batched decisions does not thrash either
+    /// buffer set.
+    fleet_ws: Option<Box<Workspace>>,
 }
 
 impl DqnAgent {
@@ -92,6 +103,8 @@ impl DqnAgent {
             config,
             rng,
             batch_buf: None,
+            decide_ws: None,
+            fleet_ws: None,
         }
     }
 
@@ -116,6 +129,10 @@ impl DqnAgent {
     }
 
     /// ε-greedy action selection for the observation at action tick `tick`.
+    ///
+    /// Greedy evaluations run through the agent's persistent inference
+    /// workspace: after the first call, a decision performs zero heap
+    /// allocations (the exploration branch never touches the network at all).
     pub fn select_action(&mut self, observation: &Observation, tick: u64) -> ActionDecision {
         let eps = self.epsilon.value_at(tick);
         if self.rng.gen::<f64>() < eps {
@@ -126,7 +143,7 @@ impl DqnAgent {
             }
         } else {
             ActionDecision {
-                action: self.trainer.online().best_action(observation),
+                action: self.greedy_into_workspace(observation),
                 explored: false,
                 epsilon: eps,
             }
@@ -134,9 +151,20 @@ impl DqnAgent {
     }
 
     /// Greedy action (no exploration) — used once training is complete and the
-    /// agent is only tuning.
+    /// agent is only tuning. Allocating convenience (`&self`); the decision
+    /// hot path ([`DqnAgent::decide`]) uses the persistent workspace instead.
     pub fn greedy_action(&self, observation: &Observation) -> usize {
         self.trainer.online().best_action(observation)
+    }
+
+    /// Greedy action through the persistent single-row inference workspace.
+    fn greedy_into_workspace(&mut self, observation: &Observation) -> usize {
+        let online = self.trainer.online();
+        let ws = self
+            .decide_ws
+            .get_or_insert_with(|| Box::new(Workspace::new_inference(online.mlp(), 1)));
+        let q = online.q_values_into(&observation.features, ws);
+        best_action_in_row(q, 0)
     }
 
     /// Full decision procedure for one action tick, covering the cold-start
@@ -156,7 +184,7 @@ impl DqnAgent {
         match (observation, greedy) {
             (Some(obs), false) => self.select_action(obs, tick),
             (Some(obs), true) => ActionDecision {
-                action: self.greedy_action(obs),
+                action: self.greedy_into_workspace(obs),
                 explored: false,
                 epsilon: eps,
             },
@@ -170,6 +198,96 @@ impl DqnAgent {
                 explored: false,
                 epsilon: eps,
             },
+        }
+    }
+
+    /// Batched [`DqnAgent::decide`] for a fleet of deployments sharing this
+    /// agent: one forward pass over all observation rows instead of one GEMM
+    /// dispatch per cluster.
+    ///
+    /// `observations` stacks one row per cluster; row `i` is meaningful only
+    /// when `has_obs[i]` is `true` (cold-start clusters keep whatever bytes
+    /// the buffer held — they are forwarded but never read). Decisions are
+    /// appended to `out` (cleared first), one per row, in row order, and each
+    /// row replicates [`DqnAgent::decide`] exactly — same RNG consumption,
+    /// same ε, same greedy tie-breaking — so a one-cluster fleet is
+    /// bit-identical to the single-decision path. At steady state the call
+    /// performs zero heap allocations (the workspace and `out`'s capacity
+    /// persist).
+    ///
+    /// # Panics
+    /// Panics if the row count differs from `has_obs.len()` or the column
+    /// count differs from the configured observation size.
+    pub fn decide_batch(
+        &mut self,
+        observations: &Matrix,
+        has_obs: &[bool],
+        tick: u64,
+        greedy: bool,
+        out: &mut Vec<ActionDecision>,
+    ) {
+        assert_eq!(
+            observations.rows(),
+            has_obs.len(),
+            "one has_obs flag per observation row required"
+        );
+        assert_eq!(
+            observations.cols(),
+            self.config.observation_size,
+            "observation width {} does not match the agent's {}",
+            observations.cols(),
+            self.config.observation_size
+        );
+        out.clear();
+        let eps = self.epsilon.value_at(tick);
+        // The forward pass consumes no randomness, so running it up front for
+        // every row (even rows that will explore) leaves the RNG stream
+        // identical to N sequential `decide` calls.
+        let q = if has_obs.iter().any(|&b| b) {
+            let online = self.trainer.online();
+            let ws = self.fleet_ws.get_or_insert_with(|| {
+                Box::new(Workspace::new_inference(online.mlp(), observations.rows()))
+            });
+            Some(online.q_values_into(observations, ws))
+        } else {
+            None
+        };
+        let rng = &mut self.rng;
+        let null_action = self.action_space.encode(crate::Action::Null);
+        for (row, &has) in has_obs.iter().enumerate() {
+            let decision = match (has, greedy) {
+                (true, false) => {
+                    if rng.gen::<f64>() < eps {
+                        ActionDecision {
+                            action: rng.gen_range(0..self.action_space.len()),
+                            explored: true,
+                            epsilon: eps,
+                        }
+                    } else {
+                        ActionDecision {
+                            action: best_action_in_row(q.expect("row has an observation"), row),
+                            explored: false,
+                            epsilon: eps,
+                        }
+                    }
+                }
+                (true, true) => ActionDecision {
+                    action: best_action_in_row(q.expect("row has an observation"), row),
+                    explored: false,
+                    epsilon: eps,
+                },
+                (false, false) => ActionDecision {
+                    action: rng.gen_range(0..self.action_space.len()),
+                    explored: true,
+                    epsilon: eps,
+                },
+                (false, true) => ActionDecision {
+                    action: null_action,
+                    explored: false,
+                    epsilon: eps,
+                },
+            };
+            out.push(decision);
         }
     }
 
@@ -243,6 +361,8 @@ impl DqnAgent {
             epsilon: checkpoint.config.epsilon,
             rng: StdRng::seed_from_u64(seed),
             batch_buf: None,
+            decide_ws: None,
+            fleet_ws: None,
         })
     }
 }
@@ -330,6 +450,62 @@ mod tests {
             .filter(|_| agent.decide(Some(&o), 0, false).explored)
             .count();
         assert!(explored > 80);
+    }
+
+    #[test]
+    fn decide_batch_matches_sequential_decides() {
+        // A batched decision over N rows must replicate N sequential decides
+        // on a cloned agent: same actions, same explored flags, same RNG
+        // consumption afterwards.
+        let mut batched = DqnAgent::new(small_config(), 11);
+        let mut sequential = batched.clone();
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| {
+                (0..6)
+                    .map(|j| ((i * 7 + j * 3) % 10) as f64 / 10.0 - 0.4)
+                    .collect()
+            })
+            .collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let stacked = Matrix::from_rows(&row_refs);
+        let has_obs = [true, true, false, true, false, true];
+        for (tick, greedy) in [(0u64, false), (500, false), (10_000, false), (10_000, true)] {
+            let mut out = Vec::new();
+            batched.decide_batch(&stacked, &has_obs, tick, greedy, &mut out);
+            assert_eq!(out.len(), 6);
+            for (i, d) in out.iter().enumerate() {
+                let o = obs(&rows[i]);
+                let observation = if has_obs[i] { Some(&o) } else { None };
+                let expected = sequential.decide(observation, tick, greedy);
+                assert_eq!(d.action, expected.action, "row {i} tick {tick}");
+                assert_eq!(d.explored, expected.explored, "row {i} tick {tick}");
+                assert_eq!(d.epsilon, expected.epsilon, "row {i} tick {tick}");
+            }
+        }
+        // Both RNGs are in the same state: the next decisions still agree.
+        let o = obs(&rows[0]);
+        let mut out = Vec::new();
+        batched.decide_batch(&stacked, &[true; 6], 50, false, &mut out);
+        for (i, d) in out.iter().enumerate() {
+            let o_i = obs(&rows[i]);
+            let e = sequential.decide(Some(&o_i), 50, false);
+            assert_eq!((d.action, d.explored), (e.action, e.explored));
+        }
+        assert_eq!(
+            batched.decide(Some(&o), 99, true).action,
+            sequential.decide(Some(&o), 99, true).action
+        );
+    }
+
+    #[test]
+    fn workspace_decide_matches_allocating_greedy_action() {
+        let mut agent = DqnAgent::new(small_config(), 31);
+        for i in 0..20 {
+            let values: Vec<f64> = (0..6).map(|j| ((i + j) as f64).sin()).collect();
+            let o = obs(&values);
+            let via_workspace = agent.decide(Some(&o), 10_000, true).action;
+            assert_eq!(via_workspace, agent.greedy_action(&o));
+        }
     }
 
     #[test]

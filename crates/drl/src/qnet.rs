@@ -5,11 +5,29 @@
 //! of candidate actions, and parameterises the network as a two-hidden-layer
 //! tanh MLP whose hidden layers are as wide as the input (Table 1).
 
-use capes_nn::{Activation, Mlp};
+use capes_nn::{Activation, Mlp, Workspace};
 use capes_replay::Observation;
 use capes_tensor::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Index of the maximal entry of `row` of a Q-value matrix, with the same
+/// tie-breaking as [`QNetwork::best_action`] (`Iterator::max_by`: when several
+/// entries compare equal, the last one wins). Shared by the single-decision
+/// and batched-decision paths so they pick identical actions.
+pub fn best_action_in_row(q: &Matrix, row: usize) -> usize {
+    let values = q.row(row);
+    let mut best = 0usize;
+    for (j, v) in values.iter().enumerate().skip(1) {
+        let cmp = values[best]
+            .partial_cmp(v)
+            .unwrap_or(std::cmp::Ordering::Equal);
+        if cmp != std::cmp::Ordering::Greater {
+            best = j;
+        }
+    }
+    best
+}
 
 /// A Q-network: maps a flattened observation to a vector of Q-values, one per
 /// action.
@@ -88,6 +106,25 @@ impl QNetwork {
     /// Q-values for a batch of observations stacked as rows (no gradients).
     pub fn q_values_batch(&self, observations: &Matrix) -> Matrix {
         self.network.forward_inference(observations)
+    }
+
+    /// Allocation-free batched Q-values: one forward pass through a
+    /// caller-owned [`Workspace`] for any number of observation rows. This is
+    /// the inference hot path behind [`crate::DqnAgent::decide`] and
+    /// [`crate::DqnAgent::decide_batch`]; the returned matrix lives in the
+    /// workspace.
+    ///
+    /// # Panics
+    /// Panics if the column count differs from the network's input width.
+    pub fn q_values_into<'w>(&self, observations: &Matrix, ws: &'w mut Workspace) -> &'w Matrix {
+        assert_eq!(
+            observations.cols(),
+            self.observation_size(),
+            "observation width {} does not match the network input {}",
+            observations.cols(),
+            self.observation_size()
+        );
+        self.network.forward_into(observations, ws)
     }
 
     /// Index of the greedy (highest-Q) action for an observation.
@@ -171,6 +208,36 @@ mod tests {
             assert!((batch_q[(0, i)] - qa[i]).abs() < 1e-12);
             assert!((batch_q[(1, i)] - qb[i]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn workspace_q_values_match_inference_and_argmax_agrees() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let q = QNetwork::new(6, 5, &mut rng);
+        let rows = Matrix::from_rows(&[
+            &[0.1, -0.2, 0.3, 0.0, 0.5, -0.4],
+            &[0.9, 0.9, -0.9, 0.2, -0.1, 0.0],
+            &[0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ]);
+        let legacy = q.q_values_batch(&rows);
+        let mut ws = Workspace::new(q.mlp(), 3);
+        let fast = q.q_values_into(&rows, &mut ws);
+        assert!(fast.approx_eq(&legacy, 1e-12));
+        for r in 0..3 {
+            let obs = Observation {
+                tick: 0,
+                features: Matrix::row_vector(rows.row(r)),
+            };
+            assert_eq!(best_action_in_row(fast, r), q.best_action(&obs));
+        }
+    }
+
+    #[test]
+    fn best_action_in_row_breaks_ties_like_max_by() {
+        let q = Matrix::from_rows(&[&[1.0, 3.0, 3.0, 2.0], &[5.0, 5.0, 5.0, 5.0]]);
+        // Iterator::max_by keeps the last of equal maxima.
+        assert_eq!(best_action_in_row(&q, 0), 2);
+        assert_eq!(best_action_in_row(&q, 1), 3);
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! The test lives in its own integration-test binary so no concurrently
 //! running test can perturb the counters.
 
-use capes_drl::{DqnAgent, DqnAgentConfig};
-use capes_replay::{ReplayConfig, SharedReplayDb};
+use capes_drl::{ActionDecision, DqnAgent, DqnAgentConfig};
+use capes_replay::{Observation, ReplayConfig, SharedReplayDb};
+use capes_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -107,5 +108,61 @@ fn steady_state_train_step_performs_zero_heap_allocations() {
     assert_eq!(
         deallocs, 0,
         "steady-state train_from_db must not free ({deallocs} deallocations over {STEPS} steps)"
+    );
+
+    // --- Decision paths (same binary so the counters stay unperturbed) ---
+    //
+    // `decide` routes greedy evaluations through the agent's persistent
+    // single-row inference workspace and `decide_batch` through the
+    // fleet-sized one; after a warm-up call, both must be allocation-free for
+    // every cold-start/greedy/ε-greedy arm.
+    let mut rng = StdRng::seed_from_u64(11);
+    let observation = Observation {
+        tick: 0,
+        features: Matrix::row_vector(
+            &(0..600)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect::<Vec<_>>(),
+        ),
+    };
+    let fleet_rows = 8usize;
+    let mut stacked = Matrix::zeros(fleet_rows, 600);
+    for r in 0..fleet_rows {
+        stacked
+            .row_mut(r)
+            .copy_from_slice(observation.features.row(0));
+    }
+    let has_obs = vec![true, true, false, true, true, false, true, true];
+    let mut decisions: Vec<ActionDecision> = Vec::with_capacity(fleet_rows);
+
+    // Warm-up: sizes both inference workspaces and the decision buffer.
+    let _ = agent.decide(Some(&observation), 10_000, true);
+    let _ = agent.decide(Some(&observation), 10_000, false);
+    agent.decide_batch(&stacked, &has_obs, 10_000, false, &mut decisions);
+
+    let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+    let deallocs_before = DEALLOCATIONS.load(Ordering::SeqCst);
+
+    for tick in 0..50u64 {
+        let _ = agent.decide(Some(&observation), 10_000 + tick, tick % 2 == 0);
+        let _ = agent.decide(None, tick, tick % 2 == 1);
+        agent.decide_batch(
+            &stacked,
+            &has_obs,
+            10_000 + tick,
+            tick % 3 == 0,
+            &mut decisions,
+        );
+    }
+
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - allocs_before;
+    let deallocs = DEALLOCATIONS.load(Ordering::SeqCst) - deallocs_before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state decide/decide_batch must not allocate ({allocs} allocations)"
+    );
+    assert_eq!(
+        deallocs, 0,
+        "steady-state decide/decide_batch must not free ({deallocs} deallocations)"
     );
 }

@@ -1,0 +1,655 @@
+//! The fleet daemon: N tuning sessions, one batched decision path.
+//!
+//! Every member cluster is a full vertical CAPES slice — a seeded simulated
+//! cluster, Monitoring Agents and a Control Agent speaking the binary wire
+//! protocol through a per-cluster Interface Daemon into the cluster's own
+//! replay shard. What the members do *not* own is a decision maker: per fleet
+//! tick the daemon
+//!
+//! 1. runs every cluster's measurement stage
+//!    ([`CapesSystem::begin_tick`]) and gathers the observation vectors into
+//!    one matrix per *profile* (clusters sharing an observation geometry),
+//! 2. runs **one batched forward pass** per profile through that profile's
+//!    shared [`DqnAgent`] ([`DqnAgent::decide_batch`]) — the ROADMAP's 1-row
+//!    `q_values` hot path widened into an N-row GEMM riding the pooled
+//!    kernels,
+//! 3. scatters the resulting actions back through each cluster's Interface
+//!    Daemon / Action Checker / Control Agent (optionally over
+//!    cluster-multiplexed wire frames, [`crate::wire`]), and
+//! 4. round-robins `train_from_db` across the cluster replay shards so each
+//!    profile's agent learns from every cluster it serves.
+//!
+//! A fleet of one cluster is bit-identical to a standalone
+//! [`capes::Experiment`] under the same seeds — the integration tests hold
+//! the two JSON reports equal — so the fleet layer adds scale without
+//! changing the algorithm.
+
+use crate::report::{ClusterReport, FleetPlan, FleetReport};
+use crate::scenario::ScenarioSpec;
+use crate::wire::{encode_cluster_frame, FrameRouter};
+use capes::{
+    step_params, Capes, CapesError, CapesSystem, Hyperparameters, NullEngine, PhaseKind,
+    ProposedAction, SessionResult, SimulatedLustre, TickMeasurement, Transport,
+};
+use capes_agents::{ActionMessage, Message};
+use capes_drl::{ActionDecision, DqnAgent};
+use capes_tensor::Matrix;
+use std::fmt;
+use std::time::Instant;
+
+/// Errors from assembling or running a fleet.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The fleet has no member clusters.
+    EmptyFleet,
+    /// A member system failed to assemble.
+    Capes(CapesError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::EmptyFleet => write!(f, "a fleet needs at least one scenario"),
+            FleetError::Capes(e) => write!(f, "member system failed to assemble: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Capes(e) => Some(e),
+            FleetError::EmptyFleet => None,
+        }
+    }
+}
+
+impl From<CapesError> for FleetError {
+    fn from(e: CapesError) -> Self {
+        FleetError::Capes(e)
+    }
+}
+
+/// Entry point for the fleet builder API (mirrors [`capes::Capes`]).
+pub struct Fleet;
+
+impl Fleet {
+    /// Starts building a fleet daemon.
+    pub fn builder() -> FleetBuilder {
+        FleetBuilder {
+            hyperparams: Hyperparameters::paper(),
+            seed: 0,
+            transport: Transport::Wire,
+            scenarios: Vec::new(),
+        }
+    }
+}
+
+/// Configures and assembles a [`FleetDaemon`].
+pub struct FleetBuilder {
+    hyperparams: Hyperparameters,
+    seed: u64,
+    transport: Transport,
+    scenarios: Vec<ScenarioSpec>,
+}
+
+impl FleetBuilder {
+    /// Sets the hyperparameters shared by every profile agent (default:
+    /// [`Hyperparameters::paper`]).
+    #[must_use]
+    pub fn hyperparams(mut self, hyperparams: Hyperparameters) -> Self {
+        self.hyperparams = hyperparams;
+        self
+    }
+
+    /// Sets the fleet seed: profile agents and (unpinned) cluster simulations
+    /// derive their seeds from it deterministically.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the transport (default: [`Transport::Wire`] — monitoring reports
+    /// travel as binary frames and actions as cluster-multiplexed fleet
+    /// frames, the deployment shape of the paper scaled out).
+    #[must_use]
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Appends one member cluster.
+    #[must_use]
+    pub fn scenario(mut self, spec: ScenarioSpec) -> Self {
+        self.scenarios.push(spec);
+        self
+    }
+
+    /// Appends many member clusters.
+    #[must_use]
+    pub fn scenarios<I: IntoIterator<Item = ScenarioSpec>>(mut self, specs: I) -> Self {
+        self.scenarios.extend(specs);
+        self
+    }
+
+    /// Validates and assembles the fleet.
+    ///
+    /// # Errors
+    /// [`FleetError::EmptyFleet`] without scenarios; [`FleetError::Capes`]
+    /// when a member system rejects the configuration.
+    pub fn build(self) -> Result<FleetDaemon, FleetError> {
+        if self.scenarios.is_empty() {
+            return Err(FleetError::EmptyFleet);
+        }
+        let mut profiles: Vec<Profile> = Vec::new();
+        let mut sessions: Vec<ClusterSession> = Vec::with_capacity(self.scenarios.len());
+        for (index, spec) in self.scenarios.iter().enumerate() {
+            let seed = spec.effective_seed(self.seed, index);
+            let target = spec.build_target(self.seed, index);
+            let system = Capes::builder(target)
+                .hyperparams(self.hyperparams)
+                .seed(seed)
+                .engine(Box::new(NullEngine))
+                .transport(self.transport)
+                .build()?;
+            let observation_size = spec.observation_size(&self.hyperparams);
+            let num_params = system.specs().len();
+            let profile = match profiles
+                .iter()
+                .position(|p| p.observation_size == observation_size && p.num_params == num_params)
+            {
+                Some(existing) => existing,
+                None => {
+                    // Profile 0's agent seed matches the seed formula of the
+                    // default single-system engine, which is what makes a
+                    // one-cluster fleet bit-identical to an `Experiment`.
+                    let agent_seed = (self.seed ^ 0x5eed)
+                        .wrapping_add((profiles.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                    let config = self.hyperparams.agent_config(observation_size, num_params);
+                    profiles.push(Profile {
+                        observation_size,
+                        num_params,
+                        agent: DqnAgent::new(config, agent_seed),
+                        batch: Matrix::zeros(1, 1),
+                        has_obs: Vec::new(),
+                        decisions: Vec::new(),
+                        members: 0,
+                    });
+                    profiles.len() - 1
+                }
+            };
+            let row = profiles[profile].members;
+            profiles[profile].members += 1;
+            let scenario = format!(
+                "{} · {} clients × {} servers · seed {}",
+                spec.workload_label(),
+                spec.num_clients,
+                spec.num_servers,
+                seed
+            );
+            sessions.push(ClusterSession {
+                name: spec.name.clone(),
+                scenario,
+                system,
+                profile,
+                row,
+                series: Vec::new(),
+                errors_before: 0,
+            });
+        }
+        for profile in &mut profiles {
+            profile.batch = Matrix::zeros(profile.members, profile.observation_size);
+            profile.has_obs = vec![false; profile.members];
+            profile.decisions = Vec::with_capacity(profile.members);
+        }
+        let num_clusters = sessions.len();
+        Ok(FleetDaemon {
+            hyperparams: self.hyperparams,
+            transport: self.transport,
+            sessions,
+            profiles,
+            measurements: (0..num_clusters).map(|_| None).collect(),
+            router: FrameRouter::new(num_clusters),
+            bus: Vec::new(),
+            pending_actions: (0..num_clusters).map(|_| None).collect(),
+            tick: 0,
+            train_cursor: 0,
+            cluster_ticks: 0,
+        })
+    }
+}
+
+/// One member cluster: a full CAPES vertical slice minus the decision maker.
+struct ClusterSession {
+    name: String,
+    scenario: String,
+    system: CapesSystem<SimulatedLustre>,
+    /// Which profile (shared agent + batch buffers) this cluster belongs to.
+    profile: usize,
+    /// This cluster's row in the profile's observation batch.
+    row: usize,
+    /// Throughput series of the in-progress phase.
+    series: Vec<f64>,
+    /// Prediction-error count at the start of the in-progress phase.
+    errors_before: usize,
+}
+
+/// A group of clusters sharing one observation geometry and therefore one
+/// DQN: their observations stack into `batch` and one
+/// [`DqnAgent::decide_batch`] call decides for all of them.
+struct Profile {
+    observation_size: usize,
+    num_params: usize,
+    agent: DqnAgent,
+    batch: Matrix,
+    has_obs: Vec<bool>,
+    decisions: Vec<ActionDecision>,
+    members: usize,
+}
+
+/// The multi-cluster tuning service (see the module docs for the tick
+/// pipeline).
+pub struct FleetDaemon {
+    hyperparams: Hyperparameters,
+    transport: Transport,
+    sessions: Vec<ClusterSession>,
+    profiles: Vec<Profile>,
+    /// Per-cluster measurement of the in-flight tick (reused every tick).
+    measurements: Vec<Option<TickMeasurement>>,
+    /// Demultiplexer for the wire-mode action bus.
+    router: FrameRouter,
+    /// Wire-mode action bus: cluster-multiplexed frames of this tick.
+    bus: Vec<bytes::Bytes>,
+    /// Actions decoded off the bus awaiting application, per cluster.
+    pending_actions: Vec<Option<ActionMessage>>,
+    tick: u64,
+    train_cursor: usize,
+    cluster_ticks: u64,
+}
+
+impl FleetDaemon {
+    /// Number of member clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Number of profiles (distinct observation geometries, each with its own
+    /// shared agent).
+    pub fn num_profiles(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Member cluster names, in scenario order.
+    pub fn cluster_names(&self) -> Vec<&str> {
+        self.sessions.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Global fleet tick (every cluster has advanced this many seconds).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Cluster-ticks executed so far (clusters × ticks).
+    pub fn cluster_ticks(&self) -> u64 {
+        self.cluster_ticks
+    }
+
+    /// The hyperparameters in force.
+    pub fn hyperparams(&self) -> &Hyperparameters {
+        &self.hyperparams
+    }
+
+    /// Read access to a member system (diagnostics, tests).
+    pub fn system(&self, cluster: usize) -> &CapesSystem<SimulatedLustre> {
+        &self.sessions[cluster].system
+    }
+
+    /// The profile agent serving `cluster`.
+    pub fn agent_for(&self, cluster: usize) -> &DqnAgent {
+        &self.profiles[self.sessions[cluster].profile].agent
+    }
+
+    /// Advances the whole fleet by one tick of the given phase kind: measure
+    /// everywhere, decide per profile in one batched forward pass, scatter
+    /// actions, train round-robin, finish everywhere.
+    pub fn tick_all(&mut self, kind: PhaseKind) {
+        let FleetDaemon {
+            sessions,
+            profiles,
+            measurements,
+            router,
+            bus,
+            pending_actions,
+            transport,
+            hyperparams,
+            tick,
+            train_cursor,
+            cluster_ticks,
+            ..
+        } = self;
+
+        // 1. Measurement: every cluster steps, monitors report, observations
+        //    gather into the profile batches.
+        for (i, session) in sessions.iter_mut().enumerate() {
+            let measurement = session.system.begin_tick(kind);
+            if kind != PhaseKind::Baseline {
+                let profile = &mut profiles[session.profile];
+                match &measurement.observation {
+                    Some(obs) => {
+                        profile.batch.copy_row_from(session.row, &obs.features, 0);
+                        profile.has_obs[session.row] = true;
+                    }
+                    None => profile.has_obs[session.row] = false,
+                }
+            }
+            measurements[i] = Some(measurement);
+        }
+
+        if kind != PhaseKind::Baseline {
+            // 2. Decision: one batched forward pass per profile.
+            let greedy = kind == PhaseKind::Tuned;
+            for profile in profiles.iter_mut() {
+                let Profile {
+                    agent,
+                    batch,
+                    has_obs,
+                    decisions,
+                    ..
+                } = profile;
+                agent.decide_batch(batch, has_obs, *tick, greedy, decisions);
+            }
+
+            // 3. Scatter: map each decision onto absolute parameter values
+            //    and route it through the cluster's daemon + checker +
+            //    control agent — over the cluster-multiplexed action bus in
+            //    wire mode.
+            match *transport {
+                Transport::InProcess => {
+                    for session in sessions.iter_mut() {
+                        let profile = &profiles[session.profile];
+                        let decision = profile.decisions[session.row];
+                        let current = session.system.current_params();
+                        let params = step_params(
+                            &profile.agent.action_space(),
+                            decision.action,
+                            &current,
+                            session.system.specs(),
+                        );
+                        session.system.apply_action(ProposedAction {
+                            action_index: Some(decision.action),
+                            explored: decision.explored,
+                            params,
+                        });
+                    }
+                }
+                Transport::Wire => {
+                    bus.clear();
+                    for (i, session) in sessions.iter().enumerate() {
+                        let profile = &profiles[session.profile];
+                        let decision = profile.decisions[session.row];
+                        let current = session.system.current_params();
+                        let params = step_params(
+                            &profile.agent.action_space(),
+                            decision.action,
+                            &current,
+                            session.system.specs(),
+                        );
+                        bus.push(encode_cluster_frame(
+                            i as u32,
+                            &Message::Action(ActionMessage {
+                                tick: session.system.tick(),
+                                action_index: decision.action,
+                                parameter_values: params,
+                            }),
+                        ));
+                    }
+                    for frame in bus.drain(..) {
+                        router
+                            .route(&frame, |cluster, message| {
+                                if let Message::Action(action) = message {
+                                    pending_actions[cluster] = Some(action);
+                                }
+                            })
+                            .expect("self-encoded fleet frames always route");
+                    }
+                    for (i, session) in sessions.iter_mut().enumerate() {
+                        let action = pending_actions[i]
+                            .take()
+                            .expect("every cluster received its action");
+                        let decision = profiles[session.profile].decisions[session.row];
+                        session.system.apply_action(ProposedAction {
+                            action_index: Some(action.action_index),
+                            explored: decision.explored,
+                            params: action.parameter_values,
+                        });
+                    }
+                }
+            }
+        }
+
+        // 4. Training: round-robin one cluster shard per tick into its
+        //    profile's shared agent.
+        let mut trained: Option<(usize, f64)> = None;
+        if kind == PhaseKind::Train {
+            let shard = *train_cursor % sessions.len();
+            *train_cursor += 1;
+            let session = &sessions[shard];
+            let db = session.system.replay_db().clone();
+            let agent = &mut profiles[session.profile].agent;
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for _ in 0..hyperparams.train_steps_per_tick {
+                if let Ok(Some(report)) = agent.train_from_db(&db) {
+                    sum += report.prediction_error;
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                trained = Some((shard, sum / count as f64));
+            }
+        }
+
+        // 5. Feedback: finish every cluster's tick.
+        for (i, session) in sessions.iter_mut().enumerate() {
+            let measurement = measurements[i].take().expect("measured above");
+            let (action, explored) = if kind == PhaseKind::Baseline {
+                (None, false)
+            } else {
+                let decision = profiles[session.profile].decisions[session.row];
+                (Some(decision.action), decision.explored)
+            };
+            let error = trained.and_then(|(shard, e)| (shard == i).then_some(e));
+            let system_tick =
+                session
+                    .system
+                    .finish_tick(kind, &measurement, action, explored, error);
+            session.series.push(system_tick.throughput_mbps);
+            *cluster_ticks += 1;
+        }
+        *tick += 1;
+    }
+
+    /// Runs a fleet plan to completion: every phase advances all clusters in
+    /// lockstep, and every cluster contributes one
+    /// [`capes::ExperimentReport`]-shaped aggregate to the returned
+    /// [`FleetReport`].
+    pub fn run(&mut self, plan: &FleetPlan) -> FleetReport {
+        let started = Instant::now();
+        let ticks_before = self.cluster_ticks;
+        let mut per_cluster: Vec<Vec<SessionResult>> =
+            (0..self.sessions.len()).map(|_| Vec::new()).collect();
+        for phase in &plan.phases {
+            let kind = phase.kind();
+            let label = phase.label();
+            for session in &mut self.sessions {
+                session.system.notify_phase_start(kind, &label);
+                if kind == PhaseKind::Baseline {
+                    session.system.reset_params_to_defaults();
+                }
+                session.errors_before = session.system.prediction_errors().len();
+                session.series.clear();
+            }
+            for _ in 0..phase.ticks() {
+                self.tick_all(kind);
+            }
+            for (i, session) in self.sessions.iter_mut().enumerate() {
+                let prediction_errors = if kind == PhaseKind::Train {
+                    session.system.prediction_errors()[session.errors_before..].to_vec()
+                } else {
+                    Vec::new()
+                };
+                let result = SessionResult::from_series(
+                    kind,
+                    label.clone(),
+                    std::mem::take(&mut session.series),
+                    prediction_errors,
+                    session.system.current_params(),
+                );
+                session.system.notify_phase_end(kind, &result);
+                per_cluster[i].push(result);
+            }
+        }
+        let elapsed_seconds = started.elapsed().as_secs_f64();
+        let cluster_ticks = self.cluster_ticks - ticks_before;
+        FleetReport {
+            clusters: self
+                .sessions
+                .iter()
+                .zip(per_cluster)
+                .map(|(session, sessions)| ClusterReport {
+                    name: session.name.clone(),
+                    scenario: session.scenario.clone(),
+                    report: capes::ExperimentReport { sessions },
+                })
+                .collect(),
+            cluster_ticks,
+            elapsed_seconds,
+            cluster_ticks_per_sec: if elapsed_seconds > 0.0 {
+                cluster_ticks as f64 / elapsed_seconds
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capes::Phase;
+    use capes_simstore::Workload;
+
+    fn quick_hp() -> Hyperparameters {
+        Hyperparameters {
+            sampling_ticks_per_observation: 3,
+            exploration_period_ticks: 300,
+            adam_learning_rate: 2e-3,
+            ..Hyperparameters::quick_test()
+        }
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        assert!(matches!(
+            Fleet::builder().build(),
+            Err(FleetError::EmptyFleet)
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_fleet_groups_profiles_by_geometry() {
+        let daemon = Fleet::builder()
+            .hyperparams(quick_hp())
+            .seed(3)
+            .scenarios([
+                ScenarioSpec::new("a", Workload::random_rw(0.1)).clients(2),
+                ScenarioSpec::new("b", Workload::fileserver()).clients(2),
+                ScenarioSpec::new("c", Workload::sequential_write()).clients(3),
+            ])
+            .build()
+            .expect("valid fleet");
+        assert_eq!(daemon.num_clusters(), 3);
+        // Two clusters share the 2-client geometry; the third has its own.
+        assert_eq!(daemon.num_profiles(), 2);
+        assert_eq!(daemon.cluster_names(), vec!["a", "b", "c"]);
+        assert_eq!(
+            daemon.agent_for(0).config().observation_size,
+            daemon.agent_for(1).config().observation_size
+        );
+        assert_ne!(
+            daemon.agent_for(0).config().observation_size,
+            daemon.agent_for(2).config().observation_size
+        );
+    }
+
+    #[test]
+    fn fleet_run_produces_one_report_per_cluster() {
+        let mut daemon = Fleet::builder()
+            .hyperparams(quick_hp())
+            .seed(11)
+            .scenarios([
+                ScenarioSpec::new("w", Workload::random_rw(0.1)).clients(2),
+                ScenarioSpec::new("r", Workload::random_rw(0.9)).clients(2),
+            ])
+            .build()
+            .unwrap();
+        let plan = FleetPlan::new()
+            .phase(Phase::Baseline { ticks: 10 })
+            .phase(Phase::Train { ticks: 30 })
+            .phase(Phase::Tuned {
+                ticks: 10,
+                label: "tuned".into(),
+            });
+        let report = daemon.run(&plan);
+        assert_eq!(report.clusters.len(), 2);
+        assert_eq!(report.cluster_ticks, 2 * 50);
+        assert!(report.cluster_ticks_per_sec > 0.0);
+        for cluster in &report.clusters {
+            assert_eq!(cluster.report.sessions.len(), 3);
+            assert_eq!(cluster.report.sessions[0].throughput_series.len(), 10);
+            assert_eq!(cluster.report.sessions[1].throughput_series.len(), 30);
+            assert!(cluster.report.baseline().is_some());
+        }
+        assert!(report.cluster("w").is_some());
+        assert!(report.summary().contains("cluster-ticks"));
+        // Training happened: the shared agent stepped, and prediction errors
+        // were recorded against round-robin shards.
+        assert!(daemon.agent_for(0).training_steps() > 0);
+        // Reports round-trip through JSON.
+        let back = FleetReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(back.clusters.len(), 2);
+        assert_eq!(back.cluster_ticks, report.cluster_ticks);
+    }
+
+    #[test]
+    fn in_process_and_wire_transports_agree_on_actions() {
+        // The action downlink is f64-lossless over the wire, and the PI uplink
+        // is the only lossy leg — so two fleets differing *only* in transport
+        // still produce identical action traces while their stored PI values
+        // differ in f32 rounding. Spot-check the action trace.
+        let build = |transport| {
+            Fleet::builder()
+                .hyperparams(quick_hp())
+                .seed(5)
+                .transport(transport)
+                .scenario(ScenarioSpec::new("w", Workload::random_rw(0.1)).clients(2))
+                .build()
+                .unwrap()
+        };
+        let mut wire = build(Transport::Wire);
+        let mut inproc = build(Transport::InProcess);
+        for _ in 0..40 {
+            wire.tick_all(PhaseKind::Train);
+            inproc.tick_all(PhaseKind::Train);
+        }
+        // ε-greedy exploration dominates early training and consumes the RNG
+        // identically; both fleets must have applied the same parameters.
+        assert_eq!(
+            wire.system(0).current_params(),
+            inproc.system(0).current_params()
+        );
+        assert!(wire.system(0).daemon_stats().bytes_received > 0);
+        assert_eq!(inproc.system(0).daemon_stats().bytes_received, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Fleet plans and reports.
+
+use capes::{ExperimentReport, Phase};
+use serde::{Deserialize, Serialize};
+
+/// A declarative fleet run: the same ordered phase list an
+/// [`capes::Experiment`] takes, executed on every member cluster in lockstep
+/// (one fleet tick advances every cluster by one second).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetPlan {
+    /// Phases, executed in order across the whole fleet.
+    pub phases: Vec<Phase>,
+}
+
+impl FleetPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FleetPlan { phases: Vec::new() }
+    }
+
+    /// Appends a phase.
+    #[must_use]
+    pub fn phase(mut self, phase: Phase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Total ticks the plan will run per cluster.
+    pub fn total_ticks(&self) -> u64 {
+        self.phases.iter().map(Phase::ticks).sum()
+    }
+}
+
+/// One member cluster's outcome within a [`FleetReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Cluster name from its [`crate::ScenarioSpec`].
+    pub name: String,
+    /// Human-readable scenario description (workload, geometry, seed).
+    pub scenario: String,
+    /// The cluster's per-phase sessions — the same aggregate a standalone
+    /// [`capes::Experiment`] run produces.
+    pub report: ExperimentReport,
+}
+
+/// The aggregated outcome of one fleet run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// One entry per member cluster, in scenario order.
+    pub clusters: Vec<ClusterReport>,
+    /// Cluster-ticks executed (clusters × plan ticks).
+    pub cluster_ticks: u64,
+    /// Wall-clock seconds the run took.
+    pub elapsed_seconds: f64,
+    /// Fleet throughput: cluster-ticks per wall-clock second.
+    pub cluster_ticks_per_sec: f64,
+}
+
+impl FleetReport {
+    /// The report of the cluster named `name`, if present.
+    pub fn cluster(&self, name: &str) -> Option<&ClusterReport> {
+        self.clusters.iter().find(|c| c.name == name)
+    }
+
+    /// `(cluster name, improvement of the labelled session over that
+    /// cluster's baseline)` for every cluster that measured both.
+    pub fn improvements_over_baseline(&self, label: &str) -> Vec<(String, f64)> {
+        self.clusters
+            .iter()
+            .filter_map(|c| {
+                c.report
+                    .improvement_over_baseline(label)
+                    .map(|imp| (c.name.clone(), imp))
+            })
+            .collect()
+    }
+
+    /// Multi-line, per-cluster summary plus the fleet throughput line.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for cluster in &self.clusters {
+            out.push_str(&format!("=== {} ({})\n", cluster.name, cluster.scenario));
+            out.push_str(&cluster.report.summary());
+        }
+        out.push_str(&format!(
+            "fleet: {} cluster-ticks in {:.2}s ({:.0} cluster-ticks/s)\n",
+            self.cluster_ticks, self.elapsed_seconds, self.cluster_ticks_per_sec
+        ));
+        out
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Parses a report back from [`FleetReport::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_accumulates_phases_and_ticks() {
+        let plan = FleetPlan::new()
+            .phase(Phase::Baseline { ticks: 10 })
+            .phase(Phase::Train { ticks: 25 })
+            .phase(Phase::Tuned {
+                ticks: 5,
+                label: "tuned".into(),
+            });
+        assert_eq!(plan.phases.len(), 3);
+        assert_eq!(plan.total_ticks(), 40);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FleetPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

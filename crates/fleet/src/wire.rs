@@ -1,0 +1,220 @@
+//! Cluster-multiplexed wire frames.
+//!
+//! The single-cluster wire protocol ([`capes_agents::wire`]) has no notion of
+//! *which* cluster a frame belongs to — the paper never needed one. A fleet
+//! daemon carrying many clusters' traffic over one bus wraps every frame in a
+//! one-byte-tag envelope carrying the cluster id as a varint:
+//!
+//! ```text
+//! fleet_frame := 0xF7 varint(cluster_id) inner_frame
+//! ```
+//!
+//! The envelope tag is outside the value range of the inner protocol's tags,
+//! so a stray un-enveloped frame is rejected rather than mis-routed.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use capes_agents::wire::{decode_message, encode_message, get_varint, put_varint, WireError};
+use capes_agents::Message;
+
+/// Leading byte of every fleet-enveloped frame (outside the inner protocol's
+/// tag space).
+pub const FLEET_FRAME_TAG: u8 = 0xF7;
+
+/// Encodes `message` as a fleet frame addressed to/from `cluster`.
+pub fn encode_cluster_frame(cluster: u32, message: &Message) -> Bytes {
+    let inner = encode_message(message);
+    let mut buf = BytesMut::with_capacity(inner.len() + 6);
+    buf.put_u8(FLEET_FRAME_TAG);
+    put_varint(&mut buf, cluster as u64);
+    buf.put_slice(&inner);
+    buf.freeze()
+}
+
+/// Decodes a fleet frame back into its cluster id and message.
+pub fn decode_cluster_frame(frame: &[u8]) -> Result<(u32, Message), WireError> {
+    let mut buf = frame;
+    if buf.is_empty() {
+        return Err(WireError::Truncated);
+    }
+    let tag = buf.get_u8();
+    if tag != FLEET_FRAME_TAG {
+        return Err(WireError::UnknownTag(tag));
+    }
+    let cluster = get_varint(&mut buf)?;
+    if cluster > u32::MAX as u64 {
+        return Err(WireError::MalformedVarint);
+    }
+    let message = decode_message(buf)?;
+    Ok((cluster as u32, message))
+}
+
+/// Errors from routing a fleet frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The envelope or its inner frame could not be decoded.
+    Wire(WireError),
+    /// The frame decoded fine but names a cluster the router does not own —
+    /// a bus misconfiguration, kept distinct from codec corruption.
+    UnknownCluster {
+        /// The cluster id the frame was addressed to.
+        cluster: u32,
+        /// How many clusters the router owns (valid ids are `0..num_clusters`).
+        num_clusters: usize,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Wire(e) => write!(f, "fleet frame decode failed: {e}"),
+            RouteError::UnknownCluster {
+                cluster,
+                num_clusters,
+            } => write!(
+                f,
+                "fleet frame addressed to cluster {cluster}, but this router owns {num_clusters}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouteError::Wire(e) => Some(e),
+            RouteError::UnknownCluster { .. } => None,
+        }
+    }
+}
+
+impl From<WireError> for RouteError {
+    fn from(e: WireError) -> Self {
+        RouteError::Wire(e)
+    }
+}
+
+/// Demultiplexes fleet frames to per-cluster sinks: each decoded frame is
+/// handed to `sink(cluster, message)`; frames naming a cluster outside
+/// `0..num_clusters` are rejected.
+pub struct FrameRouter {
+    num_clusters: usize,
+    routed: u64,
+}
+
+impl FrameRouter {
+    /// A router for a fleet of `num_clusters` clusters.
+    pub fn new(num_clusters: usize) -> Self {
+        assert!(num_clusters > 0, "a fleet has at least one cluster");
+        FrameRouter {
+            num_clusters,
+            routed: 0,
+        }
+    }
+
+    /// Frames successfully routed so far.
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Decodes `frame` and hands the message to `sink`.
+    ///
+    /// # Errors
+    /// [`RouteError::UnknownCluster`] if the frame names a cluster this
+    /// router does not own, [`RouteError::Wire`] on any decode error.
+    pub fn route<F: FnMut(usize, Message)>(
+        &mut self,
+        frame: &[u8],
+        mut sink: F,
+    ) -> Result<(), RouteError> {
+        let (cluster, message) = decode_cluster_frame(frame)?;
+        if cluster as usize >= self.num_clusters {
+            return Err(RouteError::UnknownCluster {
+                cluster,
+                num_clusters: self.num_clusters,
+            });
+        }
+        self.routed += 1;
+        sink(cluster as usize, message);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capes_agents::message::{ActionMessage, PiReport};
+
+    fn action(tick: u64) -> Message {
+        Message::Action(ActionMessage {
+            tick,
+            action_index: 3,
+            parameter_values: vec![8.0, 2000.0],
+        })
+    }
+
+    #[test]
+    fn envelope_round_trips_every_cluster_id_width() {
+        for cluster in [0u32, 1, 127, 128, 300, 65_535, u32::MAX] {
+            let frame = encode_cluster_frame(cluster, &action(42));
+            let (back, message) = decode_cluster_frame(&frame).unwrap();
+            assert_eq!(back, cluster);
+            assert_eq!(message, action(42));
+        }
+    }
+
+    #[test]
+    fn inner_frames_without_envelope_are_rejected_not_misrouted() {
+        let bare = capes_agents::wire::encode_message(&action(1));
+        assert!(matches!(
+            decode_cluster_frame(&bare),
+            Err(WireError::UnknownTag(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_envelopes_are_rejected() {
+        let frame = encode_cluster_frame(5, &action(1));
+        for cut in [0usize, 1, 2] {
+            assert!(decode_cluster_frame(&frame[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn router_rejects_out_of_range_clusters() {
+        let mut router = FrameRouter::new(4);
+        let ok = encode_cluster_frame(3, &action(7));
+        let bad = encode_cluster_frame(4, &action(7));
+        let mut seen = Vec::new();
+        router.route(&ok, |c, m| seen.push((c, m))).unwrap();
+        assert_eq!(
+            router.route(&bad, |c, m| seen.push((c, m))),
+            Err(RouteError::UnknownCluster {
+                cluster: 4,
+                num_clusters: 4
+            })
+        );
+        // A codec failure reports as Wire, not as a cluster problem.
+        assert!(matches!(
+            router.route(&[0x00, 0x01], |c, m| seen.push((c, m))),
+            Err(RouteError::Wire(WireError::UnknownTag(_)))
+        ));
+        assert_eq!(router.routed(), 1);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0, 3);
+    }
+
+    #[test]
+    fn reports_survive_the_envelope_with_wire_precision() {
+        let report = Message::Report(PiReport {
+            tick: 9,
+            node: 2,
+            total_pis: 4,
+            changed: vec![(0, 1.5), (3, -2.25)],
+        });
+        let frame = encode_cluster_frame(11, &report);
+        let (cluster, back) = decode_cluster_frame(&frame).unwrap();
+        assert_eq!(cluster, 11);
+        // 1.5 and -2.25 are exactly representable in f32, so equality holds.
+        assert_eq!(back, report);
+    }
+}

@@ -166,6 +166,10 @@ impl Mlp {
             ws.matches(self, x.rows()),
             "workspace does not match the network/batch; run forward_into first"
         );
+        assert!(
+            ws.supports_backward(),
+            "inference-only workspace cannot run backward_into (built with Workspace::new_inference)"
+        );
         for (i, layer) in self.layers.iter().enumerate().rev() {
             let input: &Matrix = if i == 0 { x } else { &ws.acts[i - 1] };
             let output = &ws.acts[i];

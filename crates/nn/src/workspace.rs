@@ -54,22 +54,62 @@ impl Workspace {
         }
     }
 
-    /// Re-allocates only if the network architecture or batch size no longer
-    /// matches; the steady-state call is a cheap shape comparison.
-    pub fn ensure(&mut self, network: &Mlp, batch: usize) {
-        if !self.matches(network, batch) {
-            *self = Workspace::new(network, batch);
+    /// Allocates forward-only buffers: per-layer pre-activations and
+    /// activations, but no backward-pass deltas or parameter gradients —
+    /// roughly the model size again in savings. [`crate::Mlp::forward_into`]
+    /// runs entirely inside such a workspace (this is what the DQN decision
+    /// paths use); calling [`crate::Mlp::backward_into`] on one panics.
+    pub fn new_inference(network: &Mlp, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        let layers = network.layers();
+        let mut preacts = Vec::with_capacity(layers.len());
+        let mut acts = Vec::with_capacity(layers.len());
+        for l in layers {
+            let width = l.output_dim();
+            preacts.push(Matrix::zeros(batch, width));
+            acts.push(Matrix::zeros(batch, width));
+        }
+        Workspace {
+            batch,
+            preacts,
+            acts,
+            deltas: Vec::new(),
+            grads: Vec::new(),
         }
     }
 
-    /// `true` if the buffers fit `network` at `batch` rows.
+    /// Re-allocates only if the network architecture or batch size no longer
+    /// matches; the steady-state call is a cheap shape comparison. An
+    /// inference-only workspace ([`Workspace::new_inference`]) is rebuilt as
+    /// inference-only.
+    pub fn ensure(&mut self, network: &Mlp, batch: usize) {
+        if !self.matches(network, batch) {
+            *self = if self.grads.is_empty() && !self.acts.is_empty() {
+                Workspace::new_inference(network, batch)
+            } else {
+                Workspace::new(network, batch)
+            };
+        }
+    }
+
+    /// `true` if the buffers fit `network` at `batch` rows (for an
+    /// inference-only workspace, "fit" covers the forward pass only).
     pub fn matches(&self, network: &Mlp, batch: usize) -> bool {
         let layers = network.layers();
         self.batch == batch
             && self.acts.len() == layers.len()
+            && layers
+                .iter()
+                .zip(&self.acts)
+                .all(|(l, a)| a.cols() == l.output_dim())
             && layers.iter().zip(&self.grads).all(|(l, g)| {
                 g.d_weights.shape() == l.weights.shape() && g.d_bias.shape() == l.bias.shape()
             })
+    }
+
+    /// `true` if this workspace also carries the backward-pass buffers.
+    pub fn supports_backward(&self) -> bool {
+        !self.grads.is_empty()
     }
 
     /// Batch size the buffers are sized for.
@@ -157,5 +197,40 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_rejected() {
         let _ = Workspace::new(&net(), 0);
+    }
+
+    #[test]
+    fn inference_workspace_forwards_without_backward_buffers() {
+        let n = net();
+        let mut ws = Workspace::new_inference(&n, 3);
+        assert!(ws.matches(&n, 3));
+        assert!(!ws.supports_backward());
+        let full = Workspace::new(&n, 3);
+        assert!(full.supports_backward());
+        let x = Matrix::ones(3, 4);
+        let out = n.forward_into(&x, &mut ws).clone();
+        let mut reference = Workspace::new(&n, 3);
+        assert!(out.approx_eq(n.forward_into(&x, &mut reference), 1e-15));
+        // `ensure` keeps an inference workspace inference-only across
+        // resizes.
+        ws.ensure(&n, 8);
+        assert_eq!(ws.batch(), 8);
+        assert!(!ws.supports_backward());
+        // A different architecture at equal batch/layer count must not match
+        // (the grads check is vacuous for inference workspaces, so the
+        // activation widths carry the architecture check).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let wide = Mlp::new(&[4, 10, 2], Activation::Tanh, &mut rng);
+        assert!(!ws.matches(&wide, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-only workspace")]
+    fn backward_into_rejects_inference_workspace() {
+        let n = net();
+        let mut ws = Workspace::new_inference(&n, 2);
+        let x = Matrix::ones(2, 4);
+        n.forward_into(&x, &mut ws);
+        n.backward_into(&x, &mut ws);
     }
 }

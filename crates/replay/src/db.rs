@@ -62,12 +62,63 @@ impl ReplayConfig {
     }
 }
 
+/// One ring slot: the snapshots of a single tick, flattened across nodes.
+///
+/// `data` is laid out `node-major` (`node × pis_per_node`) and is allocated
+/// the first time the slot is occupied; after that, re-occupying the slot for
+/// a newer tick reuses the buffers, so at steady state the snapshot store
+/// performs no per-tick allocation beyond the caller-provided PI vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TickSlot {
+    /// The tick currently stored in this slot, if any.
+    tick: Option<Tick>,
+    /// Flattened per-node PI vectors (`num_nodes × pis_per_node`).
+    data: Vec<f64>,
+    /// Which nodes have reported for this tick.
+    present: Vec<bool>,
+}
+
+impl TickSlot {
+    fn empty() -> Self {
+        TickSlot {
+            tick: None,
+            data: Vec::new(),
+            present: Vec::new(),
+        }
+    }
+
+    /// The PI slice `node` reported into this slot, if present.
+    #[inline]
+    fn node_pis(&self, node: NodeId, pis_per_node: usize) -> Option<&[f64]> {
+        if self.present[node] {
+            Some(&self.data[node * pis_per_node..][..pis_per_node])
+        } else {
+            None
+        }
+    }
+}
+
 /// In-memory, time-indexed replay store (paper §3.5).
+///
+/// Snapshots live in a flat ring of [`TickSlot`]s keyed by
+/// `tick % capacity_ticks`, so the per-(tick, node) lookups that dominate
+/// observation assembly (and therefore Algorithm-1 sampling) are one modulo
+/// and one bounds check instead of two B-tree probes. A side `BTreeMap`
+/// tracks which ticks are occupied, purely for the ordered queries
+/// (earliest/latest tick, backward fill of missing entries).
+///
+/// Eviction is implicit: inserting tick `t` into an occupied slot retires the
+/// tick that lived there (`t − capacity` when ticks arrive densely), exactly
+/// the retention window the explicit eviction loop used to enforce.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReplayDb {
     config: ReplayConfig,
-    /// Per-tick, per-node performance-indicator vectors.
-    snapshots: BTreeMap<Tick, BTreeMap<NodeId, Vec<f64>>>,
+    /// Ring of per-tick snapshot slots, indexed by `tick % capacity_ticks`.
+    /// Grown lazily up to `capacity_ticks` entries.
+    slots: Vec<TickSlot>,
+    /// Occupied ticks → number of node snapshots present (ordered index for
+    /// `earliest_tick`/`latest_tick` and backward fills).
+    occupied: BTreeMap<Tick, u32>,
     /// Per-tick scalar objective value (e.g. aggregate throughput in MB/s).
     objectives: BTreeMap<Tick, f64>,
     /// Per-tick action index.
@@ -85,7 +136,8 @@ impl ReplayDb {
         config.validate();
         ReplayDb {
             config,
-            snapshots: BTreeMap::new(),
+            slots: Vec::new(),
+            occupied: BTreeMap::new(),
             objectives: BTreeMap::new(),
             actions: BTreeMap::new(),
             total_inserted: 0,
@@ -115,9 +167,67 @@ impl ReplayDb {
             self.config.pis_per_node,
             pis.len()
         );
-        self.snapshots.entry(tick).or_default().insert(node, pis);
+        let idx = self.slot_index(tick);
+        if self.slots.len() <= idx {
+            self.slots.resize_with(idx + 1, TickSlot::empty);
+        }
+        // Implicit eviction: a slot collision with an *older* occupant means
+        // that occupant has fallen out of the retention window. A collision
+        // with a newer occupant means the incoming tick itself is expired —
+        // a report delayed by more than `capacity` ticks — and is dropped,
+        // exactly as the legacy store's oldest-first eviction would have
+        // discarded it immediately after insertion.
+        if let Some(old) = self.slots[idx].tick {
+            if old > tick {
+                self.total_inserted += 1;
+                return;
+            }
+            if old < tick {
+                self.occupied.remove(&old);
+                self.objectives.remove(&old);
+                self.actions.remove(&old);
+                self.slots[idx].tick = None;
+            }
+        }
+        let width = self.config.num_nodes * self.config.pis_per_node;
+        let slot = &mut self.slots[idx];
+        if slot.tick.is_none() {
+            slot.tick = Some(tick);
+            slot.data.resize(width, 0.0);
+            slot.present.clear();
+            slot.present.resize(self.config.num_nodes, false);
+            self.occupied.insert(tick, 0);
+        }
+        if !slot.present[node] {
+            slot.present[node] = true;
+            *self
+                .occupied
+                .get_mut(&tick)
+                .expect("occupied entry created above") += 1;
+        }
+        slot.data[node * self.config.pis_per_node..][..self.config.pis_per_node]
+            .copy_from_slice(&pis);
         self.total_inserted += 1;
-        self.evict_if_needed();
+    }
+
+    #[inline]
+    fn slot_index(&self, tick: Tick) -> usize {
+        (tick % self.config.capacity_ticks as u64) as usize
+    }
+
+    /// The slot holding `tick`, if that tick is currently retained.
+    #[inline]
+    fn slot_for(&self, tick: Tick) -> Option<&TickSlot> {
+        self.slots
+            .get(self.slot_index(tick))
+            .filter(|s| s.tick == Some(tick))
+    }
+
+    /// The PI vector `node` reported at `tick`, if retained.
+    #[inline]
+    fn node_pis(&self, tick: Tick, node: NodeId) -> Option<&[f64]> {
+        self.slot_for(tick)
+            .and_then(|s| s.node_pis(node, self.config.pis_per_node))
     }
 
     /// Records the objective-function output (e.g. aggregate throughput) of
@@ -150,22 +260,22 @@ impl ReplayDb {
 
     /// Latest tick for which any snapshot has been recorded.
     pub fn latest_tick(&self) -> Option<Tick> {
-        self.snapshots.keys().next_back().copied()
+        self.occupied.keys().next_back().copied()
     }
 
     /// Earliest tick still retained.
     pub fn earliest_tick(&self) -> Option<Tick> {
-        self.snapshots.keys().next().copied()
+        self.occupied.keys().next().copied()
     }
 
     /// Number of ticks currently retained.
     pub fn len(&self) -> usize {
-        self.snapshots.len()
+        self.occupied.len()
     }
 
     /// `true` if no snapshots have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.snapshots.is_empty()
+        self.occupied.is_empty()
     }
 
     /// Total snapshot rows ever inserted (including evicted ones).
@@ -177,7 +287,7 @@ impl ReplayDb {
     /// the way Table 2 reports "total size of the Replay DB in memory".
     pub fn memory_bytes(&self) -> usize {
         let per_snapshot = self.config.pis_per_node * std::mem::size_of::<f64>();
-        let snapshot_rows: usize = self.snapshots.values().map(BTreeMap::len).sum();
+        let snapshot_rows: usize = self.occupied.values().map(|&n| n as usize).sum();
         snapshot_rows * per_snapshot
             + self.objectives.len() * std::mem::size_of::<(Tick, f64)>()
             + self.actions.len() * std::mem::size_of::<(Tick, usize)>()
@@ -228,10 +338,10 @@ impl ReplayDb {
         let mut missing = 0usize;
 
         for (row, t) in (start..=tick).enumerate() {
-            let tick_data = self.snapshots.get(&t);
+            let tick_slot = self.slot_for(t);
             for node in 0..self.config.num_nodes {
-                let slot = tick_data.and_then(|m| m.get(&node));
-                let values: Option<&Vec<f64>> = match slot {
+                let direct = tick_slot.and_then(|s| s.node_pis(node, pis));
+                let values: Option<&[f64]> = match direct {
                     Some(v) => Some(v),
                     None => {
                         missing += 1;
@@ -275,23 +385,11 @@ impl ReplayDb {
         Some((min, latest.saturating_sub(1)))
     }
 
-    fn latest_snapshot_before(&self, tick: Tick, node: NodeId) -> Option<&Vec<f64>> {
-        self.snapshots
+    fn latest_snapshot_before(&self, tick: Tick, node: NodeId) -> Option<&[f64]> {
+        self.occupied
             .range(..tick)
             .rev()
-            .find_map(|(_, nodes)| nodes.get(&node))
-    }
-
-    fn evict_if_needed(&mut self) {
-        while self.snapshots.len() > self.config.capacity_ticks {
-            if let Some((&oldest, _)) = self.snapshots.iter().next() {
-                self.snapshots.remove(&oldest);
-                self.objectives.remove(&oldest);
-                self.actions.remove(&oldest);
-            } else {
-                break;
-            }
-        }
+            .find_map(|(&t, _)| self.node_pis(t, node))
     }
 }
 
@@ -433,6 +531,37 @@ mod tests {
         // Old objectives/actions for evicted ticks are gone too.
         assert!(db.objective_at(10).is_none());
         assert!(db.action_at(10).is_none());
+    }
+
+    #[test]
+    fn expired_late_arrivals_never_evict_newer_data() {
+        // A report delayed by more than `capacity` ticks collides with the
+        // slot of a newer tick; it must be dropped (as the legacy store's
+        // oldest-first eviction would have done immediately), never destroy
+        // the newer tick's data.
+        let mut db = ReplayDb::new(ReplayConfig {
+            capacity_ticks: 50,
+            ..small_config()
+        });
+        for t in 0..120u64 {
+            for n in 0..2 {
+                db.insert_snapshot(t, n, vec![t as f64, n as f64, 0.0]);
+            }
+            db.insert_objective(t, t as f64);
+            db.insert_action(t, 0);
+        }
+        // Tick 60 shares slot 60 % 50 = 10 with retained tick 110.
+        db.insert_snapshot(60, 0, vec![-1.0, -1.0, -1.0]);
+        assert_eq!(db.len(), 50, "stale insert must not change retention");
+        assert_eq!(db.earliest_tick(), Some(70));
+        assert_eq!(db.objective_at(110), Some(110.0), "newer data survives");
+        assert_eq!(db.action_at(110), Some(0));
+        let mut out = vec![0.0; db.config().observation_size()];
+        assert!(db.write_observation(110, &mut out));
+        assert!(
+            out.iter().all(|&v| v >= 0.0),
+            "stale PI values must not leak into observations"
+        );
     }
 
     #[test]

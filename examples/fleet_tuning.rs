@@ -1,0 +1,73 @@
+//! Fleet mode: eight heterogeneous clusters tuned by one daemon.
+//!
+//! The paper deploys one CAPES instance per storage cluster; the fleet daemon
+//! scales that out — every member cluster keeps its own monitoring agents,
+//! wire-framed reports, Interface Daemon and replay shard, while all clusters
+//! sharing an observation geometry are decided by **one** shared DQN in a
+//! single batched forward pass per tick. Clusters with different geometries
+//! (here: different client counts) automatically get their own per-profile
+//! agent.
+//!
+//! Run with `cargo run --release --example fleet_tuning`. Ticks can be scaled
+//! with `CAPES_FLEET_TRAIN_TICKS` / `CAPES_FLEET_MEASURE_TICKS`.
+
+use capes::{Hyperparameters, Phase};
+use capes_fleet::{Fleet, FleetPlan, ScenarioSpec};
+
+fn env_ticks(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let train_ticks = env_ticks("CAPES_FLEET_TRAIN_TICKS", 2_500);
+    let measure_ticks = env_ticks("CAPES_FLEET_MEASURE_TICKS", 300);
+
+    // Eight clusters cycling the paper's workload families and read/write
+    // mixes with varying client counts — one run exercises many scenarios.
+    let scenarios = ScenarioSpec::heterogeneous_mix(8);
+    let mut daemon = Fleet::builder()
+        .hyperparams(Hyperparameters::quick_test())
+        .seed(7)
+        .scenarios(scenarios)
+        .build()
+        .expect("valid fleet");
+    println!(
+        "fleet: {} clusters across {} profiles (shared DQN per profile)",
+        daemon.num_clusters(),
+        daemon.num_profiles()
+    );
+    for name in daemon.cluster_names() {
+        println!("  · {name}");
+    }
+
+    println!(
+        "\nrunning baseline {measure_ticks} / train {train_ticks} / tuned {measure_ticks} \
+         ticks across the fleet…"
+    );
+    let report = daemon.run(
+        &FleetPlan::new()
+            .phase(Phase::Baseline {
+                ticks: measure_ticks,
+            })
+            .phase(Phase::Train { ticks: train_ticks })
+            .phase(Phase::Tuned {
+                ticks: measure_ticks,
+                label: "tuned".into(),
+            }),
+    );
+
+    println!("\n{}", report.summary());
+    println!("improvements over each cluster's baseline:");
+    for (name, improvement) in report.improvements_over_baseline("tuned") {
+        println!("  {name:<22} {:+.1} %", improvement * 100.0);
+    }
+
+    // Fleet reports serialize like experiment reports; drop one next to the
+    // binary for the figure tooling.
+    let path = std::env::temp_dir().join("capes-fleet-report.json");
+    std::fs::write(&path, report.to_json()).expect("report write");
+    println!("\nfleet report written to {}", path.display());
+}
