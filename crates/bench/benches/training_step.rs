@@ -78,7 +78,59 @@ fn bench_gemm_strategies(c: &mut Criterion) {
             });
         }
     }
+    // The k-blocked `a · bᵀ` kernel on the backward-pass shapes: dY (32 × n)
+    // against a square weight matrix (n × n) read as its transpose, compared
+    // with the pre-blocking kernel (one full-width dot product per output
+    // element — it streamed the whole weight matrix once per output row; on
+    // the paper_2200 shape that is a 38 MB matrix re-read 32 times).
+    for &(label, m, k) in &[
+        ("transpose_b_32x600x600", 32usize, 600usize),
+        ("transpose_b_32x2200x2200", 32, 2200),
+    ] {
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let w = Matrix::from_vec(k, k, (0..k * k).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let mut out = Matrix::zeros(m, k);
+        group.bench_function(BenchmarkId::new("k_blocked", label), |bench| {
+            bench.iter(|| {
+                a.matmul_transpose_b_into(&w, &mut out);
+                black_box(out.get(0, 0))
+            })
+        });
+        group.bench_function(BenchmarkId::new("unblocked_reference", label), |bench| {
+            bench.iter(|| {
+                unblocked_tb(a.as_slice(), w.as_slice(), out.as_mut_slice(), m, k, k);
+                black_box(out.get(0, 0))
+            })
+        });
+    }
     group.finish();
+}
+
+/// The pre-blocking `a · bᵀ` kernel, kept as the bench baseline: one
+/// four-accumulator dot product over the full reduction dimension per output
+/// element.
+fn unblocked_tb(a: &[f64], b: &[f64], out: &mut [f64], rows_a: usize, cols: usize, rows_b: usize) {
+    for i in 0..rows_a {
+        let a_row = &a[i * cols..][..cols];
+        let out_row = &mut out[i * rows_b..][..rows_b];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * cols..][..cols];
+            let (mut c0, mut c1, mut c2, mut c3) = (0.0, 0.0, 0.0, 0.0);
+            let mut ca = a_row.chunks_exact(4);
+            let mut cb = b_row.chunks_exact(4);
+            for (xa, xb) in (&mut ca).zip(&mut cb) {
+                c0 += xa[0] * xb[0];
+                c1 += xa[1] * xb[1];
+                c2 += xa[2] * xb[2];
+                c3 += xa[3] * xb[3];
+            }
+            let mut tail = 0.0;
+            for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+                tail += x * y;
+            }
+            *o = (c0 + c2) + (c1 + c3) + tail;
+        }
+    }
 }
 
 /// Allocation-free vs legacy training path on the Table 2 shape: the fast

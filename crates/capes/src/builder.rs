@@ -32,7 +32,8 @@ use crate::objective::Objective;
 use crate::system::{CapesSystem, Transport};
 use crate::target::TargetSystem;
 use capes_agents::ActionChecker;
-use capes_drl::DqnAgent;
+use capes_drl::{DqnAgent, SamplingScope};
+use capes_replay::SharedReplayDb;
 
 /// Entry point for the builder API.
 pub struct Capes;
@@ -49,6 +50,8 @@ impl Capes {
             engine: None,
             observers: Vec::new(),
             transport: Transport::InProcess,
+            replay_db: None,
+            sampling_scope: None,
         }
     }
 }
@@ -66,6 +69,8 @@ pub struct CapesBuilder<T: TargetSystem> {
     engine: Option<Box<dyn TuningEngine>>,
     observers: Vec<Box<dyn TickObserver>>,
     transport: Transport,
+    replay_db: Option<SharedReplayDb>,
+    sampling_scope: Option<SamplingScope>,
 }
 
 impl<T: TargetSystem> CapesBuilder<T> {
@@ -122,6 +127,29 @@ impl<T: TargetSystem> CapesBuilder<T> {
         self
     }
 
+    /// Supplies the replay store to write into — an arena stripe view. By
+    /// default the system builds its own standalone one-stripe arena; a
+    /// fleet passes each member a stripe of the shared fleet arena here, so
+    /// all clusters store experience in one striped structure. The stripe's
+    /// configuration must match what the system would derive for its target
+    /// (checked in [`CapesBuilder::build`]).
+    #[must_use]
+    pub fn replay_db(mut self, db: SharedReplayDb) -> Self {
+        self.replay_db = Some(db);
+        self
+    }
+
+    /// Sets the replay [`SamplingScope`] of the DRL engine (default:
+    /// [`SamplingScope::Own`]). [`SamplingScope::Profile`] makes training
+    /// steps sample a weighted stripe set of the replay arena — experience
+    /// sharing across the clusters of one profile. Ignored by engines that do
+    /// not learn from the replay database.
+    #[must_use]
+    pub fn sampling_scope(mut self, scope: SamplingScope) -> Self {
+        self.sampling_scope = Some(scope);
+        self
+    }
+
     /// Validates the configuration and assembles the system.
     ///
     /// # Errors
@@ -129,14 +157,51 @@ impl<T: TargetSystem> CapesBuilder<T> {
     /// * [`CapesError::InvalidHyperparameter`] if any hyperparameter violates
     ///   its constraint;
     /// * [`CapesError::NoTunableParameters`] if the target exposes an empty
-    ///   tunable-spec list.
+    ///   tunable-spec list;
+    /// * [`CapesError::ReplayConfigMismatch`] if a supplied replay stripe was
+    ///   configured for a different geometry than the target needs;
+    /// * [`CapesError::InvalidSamplingScope`] if a profile scope's weight
+    ///   vector does not fit the system's arena.
     pub fn build(self) -> Result<CapesSystem<T>, CapesError> {
         self.hyperparams.validate()?;
         let specs = self.target.tunable_specs();
         if specs.is_empty() {
             return Err(CapesError::NoTunableParameters);
         }
-        let engine = match self.engine {
+        if let Some(db) = &self.replay_db {
+            let expected = self
+                .hyperparams
+                .replay_config(self.target.num_nodes(), self.target.pis_per_node());
+            let provided = db.with_read(|db| *db.config());
+            if provided != expected {
+                return Err(CapesError::ReplayConfigMismatch {
+                    reason: format!("expected {expected:?}, stripe holds {provided:?}"),
+                });
+            }
+        }
+        if let Some(SamplingScope::Profile { weights }) = &self.sampling_scope {
+            // Without an external stripe the system builds a one-stripe arena.
+            let stripes = self
+                .replay_db
+                .as_ref()
+                .map_or(1, |db| db.arena().num_stripes());
+            if weights.len() != stripes {
+                return Err(CapesError::InvalidSamplingScope {
+                    reason: format!(
+                        "scope carries {} weights but the arena has {stripes} stripes",
+                        weights.len()
+                    ),
+                });
+            }
+            if weights.iter().any(|w| !w.is_finite() || *w < 0.0)
+                || weights.iter().all(|&w| w <= 0.0)
+            {
+                return Err(CapesError::InvalidSamplingScope {
+                    reason: "weights must be finite, non-negative and not all zero".into(),
+                });
+            }
+        }
+        let mut engine = match self.engine {
             Some(engine) => engine,
             None => {
                 // The default engine: a freshly-initialised DQN sized for the
@@ -148,6 +213,11 @@ impl<T: TargetSystem> CapesBuilder<T> {
                 Box::new(DrlEngine::new(DqnAgent::new(config, self.seed ^ 0x5eed)))
             }
         };
+        if let Some(scope) = self.sampling_scope {
+            if let Some(drl) = engine.as_any_mut().downcast_mut::<DrlEngine>() {
+                drl.set_scope(scope);
+            }
+        }
         Ok(CapesSystem::assemble(
             self.target,
             self.hyperparams,
@@ -157,6 +227,7 @@ impl<T: TargetSystem> CapesBuilder<T> {
             engine,
             self.observers,
             self.transport,
+            self.replay_db,
         ))
     }
 }
@@ -228,6 +299,76 @@ mod tests {
     fn empty_tunable_specs_are_reported_not_panicked() {
         let result = Capes::builder(Untunable).build();
         assert!(matches!(result, Err(CapesError::NoTunableParameters)));
+    }
+
+    #[test]
+    fn external_arena_stripe_is_used_as_the_replay_store() {
+        let hp = Hyperparameters::quick_test();
+        // QuadraticTarget: 1 node × 2 PIs.
+        let arena = capes_replay::ReplayArena::uniform(hp.replay_config(1, 2), 3);
+        let system = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(hp)
+            .replay_db(arena.stripe(2))
+            .build()
+            .expect("matching stripe config");
+        assert_eq!(system.replay_db().stripe_index(), 2);
+        assert_eq!(system.replay_db().arena().num_stripes(), 3);
+    }
+
+    #[test]
+    fn mismatched_replay_stripe_is_a_typed_error() {
+        let hp = Hyperparameters::quick_test();
+        let wrong = capes_replay::ReplayConfig {
+            pis_per_node: 7,
+            ..hp.replay_config(1, 2)
+        };
+        let result = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(hp)
+            .replay_db(capes_replay::SharedReplayDb::new(wrong))
+            .build();
+        assert!(matches!(
+            result,
+            Err(CapesError::ReplayConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn profile_scope_weights_are_validated_against_the_arena() {
+        // Two weights against the default one-stripe arena.
+        let result = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(Hyperparameters::quick_test())
+            .sampling_scope(SamplingScope::Profile {
+                weights: vec![1.0, 1.0],
+            })
+            .build();
+        assert!(matches!(
+            result,
+            Err(CapesError::InvalidSamplingScope { .. })
+        ));
+        // All-zero weights are rejected too.
+        let result = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(Hyperparameters::quick_test())
+            .sampling_scope(SamplingScope::Profile { weights: vec![0.0] })
+            .build();
+        assert!(matches!(
+            result,
+            Err(CapesError::InvalidSamplingScope { .. })
+        ));
+    }
+
+    #[test]
+    fn sampling_scope_reaches_the_default_drl_engine() {
+        let system = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(Hyperparameters::quick_test())
+            .sampling_scope(SamplingScope::Profile { weights: vec![1.0] })
+            .build()
+            .expect("valid configuration");
+        let engine = system
+            .engine()
+            .as_any()
+            .downcast_ref::<DrlEngine>()
+            .expect("default engine is the DQN");
+        assert!(matches!(engine.scope(), SamplingScope::Profile { .. }));
     }
 
     #[test]

@@ -49,6 +49,18 @@ pub enum CapesError {
         /// Description of the incompatibility.
         reason: String,
     },
+    /// An externally-supplied replay store (an arena stripe) was configured
+    /// for a different geometry than the one the target system needs.
+    ReplayConfigMismatch {
+        /// Description of the mismatch (expected vs provided configuration).
+        reason: String,
+    },
+    /// A configured replay sampling scope cannot be used with the system's
+    /// arena (wrong weight count, or no positive weight).
+    InvalidSamplingScope {
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CapesError {
@@ -70,6 +82,12 @@ impl fmt::Display for CapesError {
             CapesError::Checkpoint(e) => write!(f, "checkpoint I/O failed: {e}"),
             CapesError::CheckpointMismatch { reason } => {
                 write!(f, "checkpoint incompatible with this system: {reason}")
+            }
+            CapesError::ReplayConfigMismatch { reason } => {
+                write!(f, "replay store incompatible with this system: {reason}")
+            }
+            CapesError::InvalidSamplingScope { reason } => {
+                write!(f, "invalid replay sampling scope: {reason}")
             }
         }
     }

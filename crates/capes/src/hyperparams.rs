@@ -205,6 +205,25 @@ impl Hyperparameters {
         self.sampling_ticks_per_observation * num_nodes * pis_per_node
     }
 
+    /// Derives the replay-store configuration for a target with `num_nodes`
+    /// nodes reporting `pis_per_node` indicators each. Single source of truth
+    /// shared by [`crate::system::CapesSystem`] and external arena builders
+    /// (the fleet daemon), so a pre-built arena stripe always matches what
+    /// the member system would have built for itself.
+    pub fn replay_config(
+        &self,
+        num_nodes: usize,
+        pis_per_node: usize,
+    ) -> capes_replay::ReplayConfig {
+        capes_replay::ReplayConfig {
+            num_nodes,
+            pis_per_node,
+            ticks_per_observation: self.sampling_ticks_per_observation,
+            missing_entry_tolerance: self.missing_entry_tolerance,
+            capacity_ticks: self.replay_capacity_ticks,
+        }
+    }
+
     /// Derives the DRL agent configuration for a target with the given
     /// observation width and parameter count.
     pub fn agent_config(&self, observation_size: usize, num_params: usize) -> DqnAgentConfig {

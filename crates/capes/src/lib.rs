@@ -91,6 +91,12 @@ pub use session::{run_baseline_session, run_training_session, run_tuning_session
 pub use system::{CapesSystem, SystemTick, TickMeasurement, Transport};
 pub use target::{TargetSystem, TargetTick, TunableSpec};
 
+// Replay-layer types that surface through the builder API (`replay_db`,
+// `sampling_scope`): re-exported so downstream crates need not depend on
+// capes-drl / capes-replay directly to configure experience sharing.
+pub use capes_drl::SamplingScope;
+pub use capes_replay::{ReplayArena, SharedReplayDb, StripeStats};
+
 /// Convenient glob import for examples, benchmarks and downstream crates.
 ///
 /// Brings in the builder-first construction API ([`Capes`],
@@ -113,5 +119,7 @@ pub mod prelude {
     pub use crate::system::{CapesSystem, SystemTick, TickMeasurement, Transport};
     pub use crate::target::{TargetSystem, TargetTick, TunableSpec};
     pub use crate::tuners::{HillClimbing, RandomSearch, StaticBaseline, Tuner, TunerResult};
+    pub use capes_drl::SamplingScope;
+    pub use capes_replay::{ReplayArena, SharedReplayDb};
     pub use capes_simstore::{ClusterConfig, PiMode, TunableParams, Workload};
 }

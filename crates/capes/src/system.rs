@@ -19,7 +19,7 @@ use capes_agents::{
     ActionChecker, ActionMessage, ControlAgent, InterfaceDaemon, Message, MonitoringAgent,
 };
 use capes_drl::DqnAgent;
-use capes_replay::{Observation, ReplayConfig, SharedReplayDb};
+use capes_replay::{Observation, SharedReplayDb};
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 use std::path::Path;
@@ -131,7 +131,10 @@ impl<T: TargetSystem> CapesSystem<T> {
     }
 
     /// Wires the deployment together. Called by the builder, which has
-    /// already validated the hyperparameters and the tunable-spec list.
+    /// already validated the hyperparameters, the tunable-spec list and (when
+    /// supplied) the external replay stripe's configuration. `replay_db` is
+    /// the arena stripe to write into; `None` builds a standalone one-stripe
+    /// arena.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         target: T,
@@ -142,20 +145,16 @@ impl<T: TargetSystem> CapesSystem<T> {
         engine: Box<dyn TuningEngine>,
         observers: Vec<Box<dyn TickObserver>>,
         transport: Transport,
+        replay_db: Option<SharedReplayDb>,
     ) -> Self {
         let num_nodes = target.num_nodes();
         let pis_per_node = target.pis_per_node();
         let specs = target.tunable_specs();
         debug_assert!(!specs.is_empty(), "builder validates the spec list");
 
-        let replay_config = ReplayConfig {
-            num_nodes,
-            pis_per_node,
-            ticks_per_observation: hyperparams.sampling_ticks_per_observation,
-            missing_entry_tolerance: hyperparams.missing_entry_tolerance,
-            capacity_ticks: hyperparams.replay_capacity_ticks,
-        };
-        let db = SharedReplayDb::new(replay_config);
+        let db = replay_db.unwrap_or_else(|| {
+            SharedReplayDb::new(hyperparams.replay_config(num_nodes, pis_per_node))
+        });
         let mut daemon = InterfaceDaemon::new(db.clone(), num_nodes, checker);
 
         let (control_tx, control_rx) = unbounded();

@@ -10,7 +10,9 @@ use crate::epsilon::EpsilonSchedule;
 use crate::qnet::{best_action_in_row, QNetwork};
 use crate::trainer::{TrainReport, Trainer, TrainerConfig};
 use capes_nn::Workspace;
-use capes_replay::{Minibatch, MinibatchError, Observation, ReplayBatch, SharedReplayDb};
+use capes_replay::{
+    Minibatch, MinibatchError, Observation, ReplayArena, ReplayBatch, SharedReplayDb,
+};
 use capes_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -54,6 +56,40 @@ struct AgentCheckpoint {
     online: QNetwork,
     target: QNetwork,
     training_steps: u64,
+}
+
+/// Where a training step draws its experience from.
+///
+/// The replay layer stores every cluster's experience in one
+/// [`ReplayArena`] striped by cluster; an agent serving several clusters of
+/// one *profile* (same observation geometry) may either keep each training
+/// call on the caller's own stripe — the pre-arena behaviour, bit-identical
+/// RNG consumption — or sample across the profile's stripes with per-cluster
+/// weights (transfer learning between clusters running one policy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SamplingScope {
+    /// Sample only the stripe behind the [`SharedReplayDb`] handed to the
+    /// training call. Default; identical to pre-arena training.
+    Own,
+    /// Sample across the arena with one relative weight per stripe (zero
+    /// excludes a stripe). A weight vector with exactly one positive entry
+    /// consumes the RNG identically to [`SamplingScope::Own`] on that stripe.
+    Profile {
+        /// Relative draw probability of each arena stripe.
+        weights: Vec<f64>,
+    },
+}
+
+impl SamplingScope {
+    /// A profile scope weighting every listed stripe equally within an arena
+    /// of `num_stripes` stripes.
+    pub fn uniform_over(num_stripes: usize, members: &[usize]) -> Self {
+        let mut weights = vec![0.0; num_stripes];
+        for &stripe in members {
+            weights[stripe] = 1.0;
+        }
+        SamplingScope::Profile { weights }
+    }
 }
 
 /// The decision made by [`DqnAgent::select_action`].
@@ -319,6 +355,40 @@ impl DqnAgent {
         }
     }
 
+    /// [`DqnAgent::train_from_db`] over a weighted stripe set of the replay
+    /// arena: the minibatch is drawn across every positively-weighted stripe
+    /// (see [`ReplayArena::construct_minibatch_weighted_into`]). Like
+    /// `train_from_db`, the call is allocation-free at steady state and
+    /// returns `Ok(None)` while the weighted stripes cannot yet fill a batch.
+    pub fn train_weighted(
+        &mut self,
+        arena: &ReplayArena,
+        weights: &[f64],
+    ) -> Result<Option<TrainReport>, MinibatchError> {
+        let batch = self.batch_buf.get_or_insert_with(|| {
+            ReplayBatch::new(self.config.minibatch_size, self.config.observation_size)
+        });
+        match arena.construct_minibatch_weighted_into(weights, batch, &mut self.rng) {
+            Ok(()) => Ok(Some(self.trainer.train_step_batch(batch))),
+            Err(MinibatchError::NotEnoughData) | Err(MinibatchError::TooSparse { .. }) => Ok(None),
+        }
+    }
+
+    /// Scope-dispatching training step: [`SamplingScope::Own`] trains from
+    /// `db`'s own stripe exactly like [`DqnAgent::train_from_db`] (same RNG
+    /// stream, same transitions); [`SamplingScope::Profile`] samples `db`'s
+    /// arena with the scope's stripe weights.
+    pub fn train_scoped(
+        &mut self,
+        db: &SharedReplayDb,
+        scope: &SamplingScope,
+    ) -> Result<Option<TrainReport>, MinibatchError> {
+        match scope {
+            SamplingScope::Own => self.train_from_db(db),
+            SamplingScope::Profile { weights } => self.train_weighted(db.arena(), weights),
+        }
+    }
+
     /// Performs one training step on an explicit minibatch.
     pub fn train_on_batch(&mut self, batch: &Minibatch) -> TrainReport {
         self.trainer.train_step(batch)
@@ -549,6 +619,88 @@ mod tests {
         let report = agent.train_from_db(&db).unwrap().expect("should train now");
         assert_eq!(report.step, 1);
         assert_eq!(agent.training_steps(), 1);
+    }
+
+    fn filled_arena(stripes: usize, ticks: u64) -> capes_replay::ReplayArena {
+        let arena = capes_replay::ReplayArena::uniform(
+            ReplayConfig {
+                num_nodes: 2,
+                pis_per_node: 3,
+                ticks_per_observation: 1,
+                missing_entry_tolerance: 0.2,
+                capacity_ticks: 1000,
+            },
+            stripes,
+        );
+        for s in 0..stripes {
+            let view = arena.stripe(s);
+            for t in 0..ticks {
+                for n in 0..2 {
+                    view.insert_snapshot(t, n, vec![s as f64, n as f64, t as f64 % 7.0]);
+                }
+                view.insert_objective(t, 100.0 + s as f64);
+                view.insert_action(t, (t % 5) as usize);
+            }
+        }
+        arena
+    }
+
+    #[test]
+    fn own_scope_matches_train_from_db_exactly() {
+        let arena = filled_arena(2, 200);
+        let db = arena.stripe(0);
+        let mut direct = DqnAgent::new(small_config(), 21);
+        let mut scoped = direct.clone();
+        for _ in 0..5 {
+            let a = direct.train_from_db(&db).unwrap().expect("trains");
+            let b = scoped
+                .train_scoped(&db, &SamplingScope::Own)
+                .unwrap()
+                .expect("trains");
+            assert_eq!(a.step, b.step);
+            assert_eq!(a.prediction_error, b.prediction_error);
+            assert_eq!(a.loss, b.loss);
+        }
+    }
+
+    #[test]
+    fn one_hot_profile_scope_matches_own_scope() {
+        let arena = filled_arena(3, 200);
+        let db = arena.stripe(1);
+        let one_hot = SamplingScope::uniform_over(3, &[1]);
+        let mut own = DqnAgent::new(small_config(), 22);
+        let mut profiled = own.clone();
+        for _ in 0..5 {
+            let a = own.train_scoped(&db, &SamplingScope::Own).unwrap().unwrap();
+            let b = profiled.train_scoped(&db, &one_hot).unwrap().unwrap();
+            assert_eq!(a.prediction_error, b.prediction_error);
+            assert_eq!(a.loss, b.loss);
+        }
+    }
+
+    #[test]
+    fn profile_scope_trains_across_stripes() {
+        let arena = filled_arena(2, 200);
+        let db = arena.stripe(0);
+        let mut agent = DqnAgent::new(small_config(), 23);
+        let scope = SamplingScope::uniform_over(2, &[0, 1]);
+        let report = agent.train_scoped(&db, &scope).unwrap().expect("trains");
+        assert_eq!(report.step, 1);
+        // An empty arena yields no training step, like an empty DB.
+        let empty = capes_replay::ReplayArena::uniform(
+            ReplayConfig {
+                num_nodes: 2,
+                pis_per_node: 3,
+                ticks_per_observation: 1,
+                missing_entry_tolerance: 0.2,
+                capacity_ticks: 1000,
+            },
+            2,
+        );
+        assert!(agent
+            .train_scoped(&empty.stripe(0), &scope)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

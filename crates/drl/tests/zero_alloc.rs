@@ -12,8 +12,8 @@
 //! The test lives in its own integration-test binary so no concurrently
 //! running test can perturb the counters.
 
-use capes_drl::{ActionDecision, DqnAgent, DqnAgentConfig};
-use capes_replay::{Observation, ReplayConfig, SharedReplayDb};
+use capes_drl::{ActionDecision, DqnAgent, DqnAgentConfig, SamplingScope};
+use capes_replay::{Observation, ReplayArena, ReplayConfig, SharedReplayDb};
 use capes_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -164,5 +164,74 @@ fn steady_state_train_step_performs_zero_heap_allocations() {
     assert_eq!(
         deallocs, 0,
         "steady-state decide/decide_batch must not free ({deallocs} deallocations)"
+    );
+
+    // --- Arena training paths (same binary, same reason) ---
+    //
+    // `train_scoped` through a multi-stripe arena must stay allocation-free
+    // at steady state under both scopes: `Own` (single-stripe sampling) and
+    // `Profile` (weighted stripe-set sampling, which read-locks one stripe
+    // per candidate draw but allocates nothing).
+    let mut rng = StdRng::seed_from_u64(13);
+    let arena = ReplayArena::uniform(
+        ReplayConfig {
+            num_nodes: 1,
+            pis_per_node: 600,
+            ticks_per_observation: 1,
+            missing_entry_tolerance: 0.2,
+            capacity_ticks: 400,
+        },
+        2,
+    );
+    for stripe in 0..2 {
+        let view = arena.stripe(stripe);
+        for t in 0..300u64 {
+            let pis: Vec<f64> = (0..600).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            view.insert_snapshot(t, 0, pis);
+            view.insert_objective(t, rng.gen_range(0.5..1.5));
+            view.insert_action(t, rng.gen_range(0..5));
+        }
+    }
+    let own_view = arena.stripe(0);
+    let profile_scope = SamplingScope::Profile {
+        weights: vec![3.0, 1.0],
+    };
+    let mut arena_agent = DqnAgent::new(DqnAgentConfig::paper_default(600, 2), 2);
+    // Warm-up sizes the batch buffers and trainer workspaces for both scopes.
+    for _ in 0..2 {
+        arena_agent
+            .train_scoped(&own_view, &SamplingScope::Own)
+            .expect("sampling must succeed")
+            .expect("stripe has enough data");
+        arena_agent
+            .train_scoped(&own_view, &profile_scope)
+            .expect("sampling must succeed")
+            .expect("arena has enough data");
+    }
+
+    let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+    let deallocs_before = DEALLOCATIONS.load(Ordering::SeqCst);
+    let mut last_step = 0;
+    for _ in 0..5 {
+        arena_agent
+            .train_scoped(&own_view, &SamplingScope::Own)
+            .expect("sampling must succeed")
+            .expect("stripe has enough data");
+        last_step = arena_agent
+            .train_scoped(&own_view, &profile_scope)
+            .expect("sampling must succeed")
+            .expect("arena has enough data")
+            .step;
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - allocs_before;
+    let deallocs = DEALLOCATIONS.load(Ordering::SeqCst) - deallocs_before;
+    assert_eq!(last_step, 4 + 10, "all arena steps must have trained");
+    assert_eq!(
+        allocs, 0,
+        "steady-state arena train_scoped must not allocate ({allocs} allocations)"
+    );
+    assert_eq!(
+        deallocs, 0,
+        "steady-state arena train_scoped must not free ({deallocs} deallocations)"
     );
 }

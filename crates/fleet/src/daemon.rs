@@ -16,15 +16,28 @@
 //! 3. scatters the resulting actions back through each cluster's Interface
 //!    Daemon / Action Checker / Control Agent (optionally over
 //!    cluster-multiplexed wire frames, [`crate::wire`]), and
-//! 4. round-robins `train_from_db` across the cluster replay shards so each
-//!    profile's agent learns from every cluster it serves.
+//! 4. round-robins training across the clusters: each fleet tick trains one
+//!    cluster's profile agent, sampling that cluster's arena stripe — or, with
+//!    experience sharing enabled for the profile
+//!    ([`crate::report::ExperienceSharing`]), a weighted set of the profile's
+//!    stripes.
+//!
+//! Experience lives in **one** fleet-wide
+//! [`ReplayArena`](capes_replay::ReplayArena) striped by cluster
+//! (replacing the per-cluster `SharedReplayDb` shards of the pre-arena
+//! daemon): every member system is built over a stripe view of the shared
+//! arena, so its monitoring pipeline — wire frames included — writes straight
+//! into its stripe, and cross-cluster sampling needs no data movement at all.
 //!
 //! A fleet of one cluster is bit-identical to a standalone
 //! [`capes::Experiment`] under the same seeds — the integration tests hold
-//! the two JSON reports equal — so the fleet layer adds scale without
-//! changing the algorithm.
+//! the two JSON reports equal — and a fleet with sharing disabled is
+//! bit-identical to the sharded pre-arena fleet, so the layer adds scale and
+//! transfer learning without changing the algorithm.
 
-use crate::report::{ClusterReport, FleetPlan, FleetReport};
+use crate::report::{
+    ClusterReport, ExperienceSharing, FleetPlan, FleetReport, ProfileSharing, StripeOccupancy,
+};
 use crate::scenario::ScenarioSpec;
 use crate::wire::{encode_cluster_frame, FrameRouter};
 use capes::{
@@ -33,6 +46,7 @@ use capes::{
 };
 use capes_agents::{ActionMessage, Message};
 use capes_drl::{ActionDecision, DqnAgent};
+use capes_replay::ReplayArena;
 use capes_tensor::Matrix;
 use std::fmt;
 use std::time::Instant;
@@ -142,6 +156,19 @@ impl FleetBuilder {
         if self.scenarios.is_empty() {
             return Err(FleetError::EmptyFleet);
         }
+        // One fleet-wide replay arena, striped by cluster: stripe i carries
+        // cluster i's geometry. Members are built over stripe views, so the
+        // builder's config check guarantees each stripe matches what the
+        // member would have derived for itself.
+        let arena = ReplayArena::new(
+            self.scenarios
+                .iter()
+                .map(|spec| {
+                    self.hyperparams
+                        .replay_config(spec.num_clients, spec.pis_per_client())
+                })
+                .collect::<Vec<_>>(),
+        );
         let mut profiles: Vec<Profile> = Vec::new();
         let mut sessions: Vec<ClusterSession> = Vec::with_capacity(self.scenarios.len());
         for (index, spec) in self.scenarios.iter().enumerate() {
@@ -152,6 +179,7 @@ impl FleetBuilder {
                 .seed(seed)
                 .engine(Box::new(NullEngine))
                 .transport(self.transport)
+                .replay_db(arena.stripe(index))
                 .build()?;
             let observation_size = spec.observation_size(&self.hyperparams);
             let num_params = system.specs().len();
@@ -174,13 +202,13 @@ impl FleetBuilder {
                         batch: Matrix::zeros(1, 1),
                         has_obs: Vec::new(),
                         decisions: Vec::new(),
-                        members: 0,
+                        stripe_members: Vec::new(),
                     });
                     profiles.len() - 1
                 }
             };
-            let row = profiles[profile].members;
-            profiles[profile].members += 1;
+            let row = profiles[profile].stripe_members.len();
+            profiles[profile].stripe_members.push(index);
             let scenario = format!(
                 "{} · {} clients × {} servers · seed {}",
                 spec.workload_label(),
@@ -199,16 +227,21 @@ impl FleetBuilder {
             });
         }
         for profile in &mut profiles {
-            profile.batch = Matrix::zeros(profile.members, profile.observation_size);
-            profile.has_obs = vec![false; profile.members];
-            profile.decisions = Vec::with_capacity(profile.members);
+            let members = profile.stripe_members.len();
+            profile.batch = Matrix::zeros(members, profile.observation_size);
+            profile.has_obs = vec![false; members];
+            profile.decisions = Vec::with_capacity(members);
         }
         let num_clusters = sessions.len();
+        let num_profiles = profiles.len();
         Ok(FleetDaemon {
             hyperparams: self.hyperparams,
             transport: self.transport,
             sessions,
             profiles,
+            arena,
+            profile_sharing: vec![ExperienceSharing::Disabled; num_profiles],
+            weights_buf: vec![0.0; num_clusters],
             measurements: (0..num_clusters).map(|_| None).collect(),
             router: FrameRouter::new(num_clusters),
             bus: Vec::new(),
@@ -245,7 +278,9 @@ struct Profile {
     batch: Matrix,
     has_obs: Vec<bool>,
     decisions: Vec<ActionDecision>,
-    members: usize,
+    /// Arena stripes (= cluster indices) of the member clusters, in row
+    /// order — the stripe set experience sharing samples across.
+    stripe_members: Vec<usize>,
 }
 
 /// The multi-cluster tuning service (see the module docs for the tick
@@ -255,6 +290,12 @@ pub struct FleetDaemon {
     transport: Transport,
     sessions: Vec<ClusterSession>,
     profiles: Vec<Profile>,
+    /// The fleet-wide replay arena; stripe `i` belongs to cluster `i`.
+    arena: ReplayArena,
+    /// Experience-sharing mode per profile (default: disabled).
+    profile_sharing: Vec<ExperienceSharing>,
+    /// Persistent stripe-weight buffer for shared training draws.
+    weights_buf: Vec<f64>,
     /// Per-cluster measurement of the in-flight tick (reused every tick).
     measurements: Vec<Option<TickMeasurement>>,
     /// Demultiplexer for the wire-mode action bus.
@@ -310,6 +351,53 @@ impl FleetDaemon {
         &self.profiles[self.sessions[cluster].profile].agent
     }
 
+    /// The fleet-wide replay arena (stripe `i` belongs to cluster `i`).
+    pub fn arena(&self) -> &ReplayArena {
+        &self.arena
+    }
+
+    /// Profile index serving `cluster`.
+    pub fn profile_of(&self, cluster: usize) -> usize {
+        self.sessions[cluster].profile
+    }
+
+    /// Member clusters (= arena stripes) of `profile`, in row order.
+    pub fn profile_members(&self, profile: usize) -> &[usize] {
+        &self.profiles[profile].stripe_members
+    }
+
+    /// Sets the experience-sharing mode of one profile (see
+    /// [`ExperienceSharing`]); [`FleetDaemon::run`] applies a plan's sharing
+    /// table through this.
+    ///
+    /// # Panics
+    /// Panics if `profile` is out of range or a [`ExperienceSharing::SelfBiased`]
+    /// weight is negative, non-finite, or both weights are zero.
+    pub fn set_profile_sharing(&mut self, profile: usize, mode: ExperienceSharing) {
+        assert!(
+            profile < self.profiles.len(),
+            "profile {profile} out of range ({} profiles)",
+            self.profiles.len()
+        );
+        if let ExperienceSharing::SelfBiased { own, peers } = mode {
+            assert!(
+                own.is_finite() && peers.is_finite() && own >= 0.0 && peers >= 0.0,
+                "sharing weights must be finite and non-negative"
+            );
+            assert!(own + peers > 0.0, "sharing weights must not both be zero");
+            assert!(
+                own > 0.0 || self.profiles[profile].stripe_members.len() > 1,
+                "own weight 0 on a single-member profile would leave nothing to sample"
+            );
+        }
+        self.profile_sharing[profile] = mode;
+    }
+
+    /// The experience-sharing mode of `profile`.
+    pub fn profile_sharing(&self, profile: usize) -> ExperienceSharing {
+        self.profile_sharing[profile]
+    }
+
     /// Advances the whole fleet by one tick of the given phase kind: measure
     /// everywhere, decide per profile in one batched forward pass, scatter
     /// actions, train round-robin, finish everywhere.
@@ -317,6 +405,9 @@ impl FleetDaemon {
         let FleetDaemon {
             sessions,
             profiles,
+            arena,
+            profile_sharing,
+            weights_buf,
             measurements,
             router,
             bus,
@@ -428,19 +519,45 @@ impl FleetDaemon {
             }
         }
 
-        // 4. Training: round-robin one cluster shard per tick into its
-        //    profile's shared agent.
+        // 4. Training: round-robin one cluster per tick into its profile's
+        //    shared agent — from the cluster's own arena stripe, or, with
+        //    sharing enabled for the profile, from a weighted set of the
+        //    profile's stripes.
         let mut trained: Option<(usize, f64)> = None;
         if kind == PhaseKind::Train {
             let shard = *train_cursor % sessions.len();
             *train_cursor += 1;
             let session = &sessions[shard];
-            let db = session.system.replay_db().clone();
-            let agent = &mut profiles[session.profile].agent;
+            let profile = &mut profiles[session.profile];
+            let mode = profile_sharing[session.profile];
+            let shared_weights = match mode {
+                ExperienceSharing::Disabled => None,
+                ExperienceSharing::Uniform => {
+                    weights_buf.iter_mut().for_each(|w| *w = 0.0);
+                    for &stripe in &profile.stripe_members {
+                        weights_buf[stripe] = 1.0;
+                    }
+                    Some(&*weights_buf)
+                }
+                ExperienceSharing::SelfBiased { own, peers } => {
+                    weights_buf.iter_mut().for_each(|w| *w = 0.0);
+                    for &stripe in &profile.stripe_members {
+                        weights_buf[stripe] = peers;
+                    }
+                    weights_buf[shard] = own;
+                    Some(&*weights_buf)
+                }
+            };
+            let agent = &mut profile.agent;
+            let db = session.system.replay_db();
             let mut sum = 0.0;
             let mut count = 0usize;
             for _ in 0..hyperparams.train_steps_per_tick {
-                if let Ok(Some(report)) = agent.train_from_db(&db) {
+                let result = match shared_weights {
+                    None => agent.train_from_db(db),
+                    Some(weights) => agent.train_weighted(arena, weights),
+                };
+                if let Ok(Some(report)) = result {
                     sum += report.prediction_error;
                     count += 1;
                 }
@@ -473,8 +590,19 @@ impl FleetDaemon {
     /// Runs a fleet plan to completion: every phase advances all clusters in
     /// lockstep, and every cluster contributes one
     /// [`capes::ExperimentReport`]-shaped aggregate to the returned
-    /// [`FleetReport`].
+    /// [`FleetReport`]. The plan's experience-sharing table is applied to the
+    /// profiles first: profiles the plan does not list are reset to
+    /// [`ExperienceSharing::Disabled`] (a plan fully describes the sharing
+    /// configuration of its run — state set through
+    /// [`FleetDaemon::set_profile_sharing`] only outlives externally-driven
+    /// [`FleetDaemon::tick_all`] loops, never a `run`).
     pub fn run(&mut self, plan: &FleetPlan) -> FleetReport {
+        self.profile_sharing
+            .iter_mut()
+            .for_each(|mode| *mode = ExperienceSharing::Disabled);
+        for &ProfileSharing { profile, mode } in &plan.sharing {
+            self.set_profile_sharing(profile, mode);
+        }
         let started = Instant::now();
         let ticks_before = self.cluster_ticks;
         let mut per_cluster: Vec<Vec<SessionResult>> =
@@ -521,6 +649,20 @@ impl FleetDaemon {
                     name: session.name.clone(),
                     scenario: session.scenario.clone(),
                     report: capes::ExperimentReport { sessions },
+                })
+                .collect(),
+            arena: self
+                .sessions
+                .iter()
+                .enumerate()
+                .map(|(i, session)| {
+                    let stats = self.arena.stripe_stats(i);
+                    StripeOccupancy {
+                        cluster: session.name.clone(),
+                        occupied_ticks: stats.occupied_ticks,
+                        evicted_ticks: stats.evicted_ticks,
+                        total_inserted: stats.total_inserted,
+                    }
                 })
                 .collect(),
             cluster_ticks,
@@ -620,6 +762,124 @@ mod tests {
         let back = FleetReport::from_json(&report.to_json()).expect("round trip");
         assert_eq!(back.clusters.len(), 2);
         assert_eq!(back.cluster_ticks, report.cluster_ticks);
+    }
+
+    #[test]
+    fn one_member_profile_sharing_is_identical_to_disabled() {
+        // A profile of one cluster has a single-stripe set; enabling sharing
+        // must consume the RNG identically to the disabled path, so the runs
+        // are bit-identical.
+        let build = || {
+            Fleet::builder()
+                .hyperparams(quick_hp())
+                .seed(13)
+                .scenario(ScenarioSpec::new("solo", Workload::random_rw(0.1)).clients(2))
+                .build()
+                .unwrap()
+        };
+        let plan = |sharing: Option<ExperienceSharing>| {
+            let mut plan = FleetPlan::new()
+                .phase(Phase::Baseline { ticks: 10 })
+                .phase(Phase::Train { ticks: 40 })
+                .phase(Phase::Tuned {
+                    ticks: 10,
+                    label: "tuned".into(),
+                });
+            if let Some(mode) = sharing {
+                plan = plan.share(0, mode);
+            }
+            plan
+        };
+        let disabled = build().run(&plan(None));
+        let uniform = build().run(&plan(Some(ExperienceSharing::Uniform)));
+        assert_eq!(
+            disabled.clusters[0].report.to_json(),
+            uniform.clusters[0].report.to_json(),
+            "single-member sharing must be bit-identical to disabled"
+        );
+    }
+
+    #[test]
+    fn shared_profile_trains_across_member_stripes() {
+        let mut daemon = Fleet::builder()
+            .hyperparams(quick_hp())
+            .seed(17)
+            .scenarios([
+                ScenarioSpec::new("w", Workload::random_rw(0.1)).clients(2),
+                ScenarioSpec::new("r", Workload::random_rw(0.9)).clients(2),
+                ScenarioSpec::new("f", Workload::fileserver()).clients(2),
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(daemon.num_profiles(), 1, "equal geometry shares a profile");
+        assert_eq!(daemon.profile_members(0), &[0, 1, 2]);
+        assert_eq!(daemon.profile_sharing(0), ExperienceSharing::Disabled);
+        let report = daemon.run(
+            &FleetPlan::new()
+                .phase(Phase::Baseline { ticks: 8 })
+                .phase(Phase::Train { ticks: 40 })
+                .phase(Phase::Tuned {
+                    ticks: 8,
+                    label: "tuned".into(),
+                })
+                .share(
+                    0,
+                    ExperienceSharing::SelfBiased {
+                        own: 2.0,
+                        peers: 1.0,
+                    },
+                ),
+        );
+        assert!(matches!(
+            daemon.profile_sharing(0),
+            ExperienceSharing::SelfBiased { .. }
+        ));
+        assert!(daemon.agent_for(0).training_steps() > 0);
+        // Arena occupancy is reported per stripe, in cluster order.
+        assert_eq!(report.arena.len(), 3);
+        for (occ, name) in report.arena.iter().zip(["w", "r", "f"]) {
+            assert_eq!(occ.cluster, name);
+            assert_eq!(occ.occupied_ticks, 56, "every tick is retained");
+            assert_eq!(occ.evicted_ticks, 0);
+            assert!(occ.total_inserted >= 2 * 56);
+        }
+        assert!(report.summary().contains("arena: 3 stripes"));
+        // Reports with arena stats still round-trip.
+        let back = FleetReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(back.arena.len(), 3);
+        assert_eq!(back.arena[1].occupied_ticks, 56);
+    }
+
+    #[test]
+    fn run_resets_sharing_for_profiles_the_plan_does_not_list() {
+        let mut daemon = Fleet::builder()
+            .hyperparams(quick_hp())
+            .seed(29)
+            .scenarios([
+                ScenarioSpec::new("a", Workload::random_rw(0.1)).clients(2),
+                ScenarioSpec::new("b", Workload::random_rw(0.9)).clients(2),
+            ])
+            .build()
+            .unwrap();
+        let shared_plan = FleetPlan::new()
+            .phase(Phase::Train { ticks: 5 })
+            .share(0, ExperienceSharing::Uniform);
+        daemon.run(&shared_plan);
+        assert_eq!(daemon.profile_sharing(0), ExperienceSharing::Uniform);
+        // A later plan without a sharing table runs fully disabled again.
+        daemon.run(&FleetPlan::new().phase(Phase::Train { ticks: 5 }));
+        assert_eq!(daemon.profile_sharing(0), ExperienceSharing::Disabled);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sharing_rejects_unknown_profiles() {
+        let mut daemon = Fleet::builder()
+            .hyperparams(quick_hp())
+            .scenario(ScenarioSpec::new("w", Workload::random_rw(0.1)).clients(2))
+            .build()
+            .unwrap();
+        daemon.set_profile_sharing(5, ExperienceSharing::Uniform);
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub mod scenario;
 pub mod wire;
 
 pub use daemon::{Fleet, FleetBuilder, FleetDaemon, FleetError};
-pub use report::{ClusterReport, FleetPlan, FleetReport};
+pub use report::{
+    ClusterReport, ExperienceSharing, FleetPlan, FleetReport, ProfileSharing, StripeOccupancy,
+};
 pub use scenario::ScenarioSpec;
 pub use wire::{
     decode_cluster_frame, encode_cluster_frame, FrameRouter, RouteError, FLEET_FRAME_TAG,

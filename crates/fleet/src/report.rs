@@ -3,25 +3,77 @@
 use capes::{ExperimentReport, Phase};
 use serde::{Deserialize, Serialize};
 
+/// How the clusters of one profile share experience through the fleet's
+/// replay arena.
+///
+/// Sharing shapes only the *training* draws of the profile's shared DQN;
+/// monitoring, decisions and the per-cluster stripes themselves are
+/// unaffected. With sharing disabled (the default) every training call
+/// samples the round-robin cluster's own stripe exactly as the pre-arena
+/// fleet did — bit-identical reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum ExperienceSharing {
+    /// Each training call samples only the round-robin cluster's own stripe
+    /// (the default; pre-arena behaviour).
+    #[default]
+    Disabled,
+    /// Every member cluster's stripe is sampled with equal weight —
+    /// full experience pooling across the profile.
+    Uniform,
+    /// The round-robin cluster's stripe is weighted `own`, every other
+    /// member stripe `peers` — transfer learning that still favours local
+    /// experience. `own` and `peers` must be non-negative, finite and not
+    /// both zero.
+    SelfBiased {
+        /// Relative weight of the cluster currently being trained for.
+        own: f64,
+        /// Relative weight of each of its profile peers.
+        peers: f64,
+    },
+}
+
+/// One profile's experience-sharing setting inside a [`FleetPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSharing {
+    /// Profile index (see [`crate::FleetDaemon::num_profiles`]).
+    pub profile: usize,
+    /// Sharing mode for that profile.
+    pub mode: ExperienceSharing,
+}
+
 /// A declarative fleet run: the same ordered phase list an
 /// [`capes::Experiment`] takes, executed on every member cluster in lockstep
-/// (one fleet tick advances every cluster by one second).
+/// (one fleet tick advances every cluster by one second), plus the
+/// experience-sharing configuration of each profile.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FleetPlan {
     /// Phases, executed in order across the whole fleet.
     pub phases: Vec<Phase>,
+    /// Per-profile experience-sharing settings; profiles not listed stay at
+    /// [`ExperienceSharing::Disabled`].
+    pub sharing: Vec<ProfileSharing>,
 }
 
 impl FleetPlan {
-    /// An empty plan.
+    /// An empty plan (no phases, sharing disabled everywhere).
     pub fn new() -> Self {
-        FleetPlan { phases: Vec::new() }
+        FleetPlan {
+            phases: Vec::new(),
+            sharing: Vec::new(),
+        }
     }
 
     /// Appends a phase.
     #[must_use]
     pub fn phase(mut self, phase: Phase) -> Self {
         self.phases.push(phase);
+        self
+    }
+
+    /// Sets the experience-sharing mode of one profile.
+    #[must_use]
+    pub fn share(mut self, profile: usize, mode: ExperienceSharing) -> Self {
+        self.sharing.push(ProfileSharing { profile, mode });
         self
     }
 
@@ -43,11 +95,26 @@ pub struct ClusterReport {
     pub report: ExperimentReport,
 }
 
+/// Occupancy of one arena stripe at the end of a fleet run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StripeOccupancy {
+    /// Name of the cluster the stripe belongs to.
+    pub cluster: String,
+    /// Ticks currently holding snapshot data.
+    pub occupied_ticks: u64,
+    /// Snapshot ticks retired by ring-slot collisions.
+    pub evicted_ticks: u64,
+    /// Snapshot rows ever inserted into the stripe.
+    pub total_inserted: u64,
+}
+
 /// The aggregated outcome of one fleet run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetReport {
     /// One entry per member cluster, in scenario order.
     pub clusters: Vec<ClusterReport>,
+    /// Replay-arena occupancy, one entry per stripe in cluster order.
+    pub arena: Vec<StripeOccupancy>,
     /// Cluster-ticks executed (clusters × plan ticks).
     pub cluster_ticks: u64,
     /// Wall-clock seconds the run took.
@@ -75,7 +142,8 @@ impl FleetReport {
             .collect()
     }
 
-    /// Multi-line, per-cluster summary plus the fleet throughput line.
+    /// Multi-line, per-cluster summary plus the fleet throughput and arena
+    /// occupancy lines.
     pub fn summary(&self) -> String {
         let mut out = String::new();
         for cluster in &self.clusters {
@@ -85,6 +153,12 @@ impl FleetReport {
         out.push_str(&format!(
             "fleet: {} cluster-ticks in {:.2}s ({:.0} cluster-ticks/s)\n",
             self.cluster_ticks, self.elapsed_seconds, self.cluster_ticks_per_sec
+        ));
+        let occupied: u64 = self.arena.iter().map(|s| s.occupied_ticks).sum();
+        let evicted: u64 = self.arena.iter().map(|s| s.evicted_ticks).sum();
+        out.push_str(&format!(
+            "arena: {} stripes, {occupied} occupied ticks, {evicted} evictions\n",
+            self.arena.len()
         ));
         out
     }
@@ -115,6 +189,26 @@ mod tests {
             });
         assert_eq!(plan.phases.len(), 3);
         assert_eq!(plan.total_ticks(), 40);
+        assert!(plan.sharing.is_empty(), "sharing defaults to disabled");
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FleetPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn sharing_config_round_trips_through_json() {
+        let plan = FleetPlan::new()
+            .phase(Phase::Train { ticks: 10 })
+            .share(0, ExperienceSharing::Uniform)
+            .share(
+                2,
+                ExperienceSharing::SelfBiased {
+                    own: 3.0,
+                    peers: 1.0,
+                },
+            );
+        assert_eq!(plan.sharing.len(), 2);
+        assert_eq!(ExperienceSharing::default(), ExperienceSharing::Disabled);
         let json = serde_json::to_string(&plan).unwrap();
         let back: FleetPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);

@@ -62,20 +62,36 @@ impl ReplayConfig {
     }
 }
 
-/// One ring slot: the snapshots of a single tick, flattened across nodes.
+/// One ring slot: everything recorded for a single tick, flattened — the
+/// per-node snapshots *and* the tick's objective value and action index.
 ///
 /// `data` is laid out `node-major` (`node × pis_per_node`) and is allocated
 /// the first time the slot is occupied; after that, re-occupying the slot for
 /// a newer tick reuses the buffers, so at steady state the snapshot store
 /// performs no per-tick allocation beyond the caller-provided PI vectors.
+///
+/// The objective and action records carry their own tick tags
+/// (`objective_tick`/`action_tick`) independent of the snapshot tick: each of
+/// the three record kinds occupies the slot on its own schedule, exactly as
+/// the former side `BTreeMap`s held them under independent keys. A lookup is
+/// therefore one index computation plus one tag comparison — no tree probes
+/// anywhere on the sampling path.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct TickSlot {
-    /// The tick currently stored in this slot, if any.
+    /// The tick whose snapshots are stored in this slot, if any.
     tick: Option<Tick>,
     /// Flattened per-node PI vectors (`num_nodes × pis_per_node`).
     data: Vec<f64>,
     /// Which nodes have reported for this tick.
     present: Vec<bool>,
+    /// The tick whose objective value is stored in this slot, if any.
+    objective_tick: Option<Tick>,
+    /// Objective value of `objective_tick`.
+    objective: f64,
+    /// The tick whose action is stored in this slot, if any.
+    action_tick: Option<Tick>,
+    /// Action index performed at `action_tick`.
+    action: usize,
 }
 
 impl TickSlot {
@@ -84,6 +100,10 @@ impl TickSlot {
             tick: None,
             data: Vec::new(),
             present: Vec::new(),
+            objective_tick: None,
+            objective: 0.0,
+            action_tick: None,
+            action: 0,
         }
     }
 
@@ -100,29 +120,35 @@ impl TickSlot {
 
 /// In-memory, time-indexed replay store (paper §3.5).
 ///
-/// Snapshots live in a flat ring of [`TickSlot`]s keyed by
-/// `tick % capacity_ticks`, so the per-(tick, node) lookups that dominate
-/// observation assembly (and therefore Algorithm-1 sampling) are one modulo
-/// and one bounds check instead of two B-tree probes. A side `BTreeMap`
-/// tracks which ticks are occupied, purely for the ordered queries
-/// (earliest/latest tick, backward fill of missing entries).
+/// Every per-tick record — node snapshots, objective value, action index —
+/// lives in a single flat ring of [`TickSlot`]s keyed by
+/// `tick % capacity_ticks`, so each lookup on the sampling path is one modulo
+/// and one bounds check. The side `objectives`/`actions` maps the earlier
+/// revisions kept are gone; [`ReplayDb::has_transition_data`] in particular
+/// is now a fully flat slot probe (no tree lookups, no observation
+/// materialisation). A side `BTreeMap` tracks which ticks hold snapshots,
+/// purely for the ordered queries (earliest/latest tick, backward fill of
+/// missing entries) — it is never consulted by the flat probes.
 ///
 /// Eviction is implicit: inserting tick `t` into an occupied slot retires the
-/// tick that lived there (`t − capacity` when ticks arrive densely), exactly
-/// the retention window the explicit eviction loop used to enforce.
+/// record that lived there (`t − capacity` when ticks arrive densely),
+/// exactly the retention window the explicit eviction loop used to enforce.
+/// Retired snapshot ticks are counted in [`ReplayDb::evicted_ticks`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReplayDb {
     config: ReplayConfig,
-    /// Ring of per-tick snapshot slots, indexed by `tick % capacity_ticks`.
+    /// Ring of per-tick slots, indexed by `tick % capacity_ticks`.
     /// Grown lazily up to `capacity_ticks` entries.
     slots: Vec<TickSlot>,
     /// Occupied ticks → number of node snapshots present (ordered index for
     /// `earliest_tick`/`latest_tick` and backward fills).
     occupied: BTreeMap<Tick, u32>,
-    /// Per-tick scalar objective value (e.g. aggregate throughput in MB/s).
-    objectives: BTreeMap<Tick, f64>,
-    /// Per-tick action index.
-    actions: BTreeMap<Tick, usize>,
+    /// Objective records currently retained (memory accounting).
+    num_objectives: usize,
+    /// Action records currently retained (memory accounting).
+    num_actions: usize,
+    /// Snapshot ticks retired by ring-slot collisions.
+    evicted_ticks: u64,
     /// Total snapshot rows ever inserted (for Table-2 style accounting).
     total_inserted: u64,
 }
@@ -138,8 +164,9 @@ impl ReplayDb {
             config,
             slots: Vec::new(),
             occupied: BTreeMap::new(),
-            objectives: BTreeMap::new(),
-            actions: BTreeMap::new(),
+            num_objectives: 0,
+            num_actions: 0,
+            evicted_ticks: 0,
             total_inserted: 0,
         }
     }
@@ -184,9 +211,20 @@ impl ReplayDb {
             }
             if old < tick {
                 self.occupied.remove(&old);
-                self.objectives.remove(&old);
-                self.actions.remove(&old);
-                self.slots[idx].tick = None;
+                let slot = &mut self.slots[idx];
+                slot.tick = None;
+                // The retired tick's objective/action share this slot (same
+                // residue class); retire them with it, as the legacy store's
+                // eviction loop pruned its side maps.
+                if slot.objective_tick == Some(old) {
+                    slot.objective_tick = None;
+                    self.num_objectives -= 1;
+                }
+                if slot.action_tick == Some(old) {
+                    slot.action_tick = None;
+                    self.num_actions -= 1;
+                }
+                self.evicted_ticks += 1;
             }
         }
         let width = self.config.num_nodes * self.config.pis_per_node;
@@ -230,26 +268,67 @@ impl ReplayDb {
             .and_then(|s| s.node_pis(node, self.config.pis_per_node))
     }
 
+    /// The slot at `tick`'s ring position, grown into existence if needed.
+    fn slot_at_mut(&mut self, tick: Tick) -> &mut TickSlot {
+        let idx = self.slot_index(tick);
+        if self.slots.len() <= idx {
+            self.slots.resize_with(idx + 1, TickSlot::empty);
+        }
+        &mut self.slots[idx]
+    }
+
     /// Records the objective-function output (e.g. aggregate throughput) of
     /// `tick`. The reward of an action taken at `t` is the objective at
     /// `t + 1` (paper §3.2).
+    ///
+    /// The record lives inline in `tick`'s ring slot: an arrival more than
+    /// `capacity` ticks late collides with a newer tick's record and is
+    /// dropped (the retention window would have evicted it immediately
+    /// anyway), while a collision with an older record retires that record.
     pub fn insert_objective(&mut self, tick: Tick, value: f64) {
-        self.objectives.insert(tick, value);
+        let slot = self.slot_at_mut(tick);
+        match slot.objective_tick {
+            Some(old) if old > tick => return,
+            Some(_) => {}
+            None => self.num_objectives += 1,
+        }
+        let slot = self.slot_at_mut(tick);
+        slot.objective_tick = Some(tick);
+        slot.objective = value;
     }
 
-    /// Records the action index performed at `tick`.
+    /// Records the action index performed at `tick` (retention rules as in
+    /// [`ReplayDb::insert_objective`]).
     pub fn insert_action(&mut self, tick: Tick, action: usize) {
-        self.actions.insert(tick, action);
+        let slot = self.slot_at_mut(tick);
+        match slot.action_tick {
+            Some(old) if old > tick => return,
+            Some(_) => {}
+            None => self.num_actions += 1,
+        }
+        let slot = self.slot_at_mut(tick);
+        slot.action_tick = Some(tick);
+        slot.action = action;
     }
 
-    /// The action recorded at `tick`, if any.
+    /// The action recorded at `tick`, if retained — one index computation and
+    /// one tag comparison.
+    #[inline]
     pub fn action_at(&self, tick: Tick) -> Option<usize> {
-        self.actions.get(&tick).copied()
+        self.slots
+            .get(self.slot_index(tick))
+            .filter(|s| s.action_tick == Some(tick))
+            .map(|s| s.action)
     }
 
-    /// The objective value recorded at `tick`, if any.
+    /// The objective value recorded at `tick`, if retained — one index
+    /// computation and one tag comparison.
+    #[inline]
     pub fn objective_at(&self, tick: Tick) -> Option<f64> {
-        self.objectives.get(&tick).copied()
+        self.slots
+            .get(self.slot_index(tick))
+            .filter(|s| s.objective_tick == Some(tick))
+            .map(|s| s.objective)
     }
 
     /// Reward of an action taken at `tick`: the objective value one tick
@@ -283,14 +362,20 @@ impl ReplayDb {
         self.total_inserted
     }
 
+    /// Snapshot ticks retired by ring-slot collisions (the implicit-eviction
+    /// counter behind the arena's occupancy report).
+    pub fn evicted_ticks(&self) -> u64 {
+        self.evicted_ticks
+    }
+
     /// Approximate memory footprint of the retained data in bytes, reported
     /// the way Table 2 reports "total size of the Replay DB in memory".
     pub fn memory_bytes(&self) -> usize {
         let per_snapshot = self.config.pis_per_node * std::mem::size_of::<f64>();
         let snapshot_rows: usize = self.occupied.values().map(|&n| n as usize).sum();
         snapshot_rows * per_snapshot
-            + self.objectives.len() * std::mem::size_of::<(Tick, f64)>()
-            + self.actions.len() * std::mem::size_of::<(Tick, usize)>()
+            + self.num_objectives * std::mem::size_of::<(Tick, f64)>()
+            + self.num_actions * std::mem::size_of::<(Tick, usize)>()
     }
 
     /// Builds the observation ending at `tick` (inclusive), following the
@@ -363,14 +448,44 @@ impl ReplayDb {
         true
     }
 
+    /// `true` if a complete-enough observation *could* be assembled at `tick`
+    /// — the acceptance half of [`ReplayDb::write_observation`] (window not
+    /// starting before tick 0, missing entries within tolerance) without
+    /// touching any PI data. Runs entirely on flat slot probes.
+    pub fn can_build_observation(&self, tick: Tick) -> bool {
+        let s = self.config.ticks_per_observation as u64;
+        if tick + 1 < s {
+            return false;
+        }
+        let start = tick + 1 - s;
+        let total_slots = self.config.ticks_per_observation * self.config.num_nodes;
+        let max_missing =
+            (total_slots as f64 * self.config.missing_entry_tolerance).floor() as usize;
+        let mut missing = 0usize;
+        for t in start..=tick {
+            match self.slot_for(t) {
+                Some(slot) => missing += slot.present.iter().filter(|&&p| !p).count(),
+                None => missing += self.config.num_nodes,
+            }
+            if missing > max_missing {
+                return false;
+            }
+        }
+        true
+    }
+
     /// `true` if a complete-enough observation can be built at `tick` *and*
     /// the action and reward needed to form a transition are present — the
     /// "Replay DB contains enough data at tᵢ" check of Algorithm 1.
+    ///
+    /// Every constituent check is a flat slot probe (one index computation
+    /// each; no tree lookups, no observation materialisation), so the
+    /// rejection path of the sampling loop costs O(window) slot reads.
     pub fn has_transition_data(&self, tick: Tick) -> bool {
-        self.actions.contains_key(&tick)
-            && self.objectives.contains_key(&(tick + 1))
-            && self.observation_at(tick).is_some()
-            && self.observation_at(tick + 1).is_some()
+        self.action_at(tick).is_some()
+            && self.objective_at(tick + 1).is_some()
+            && self.can_build_observation(tick)
+            && self.can_build_observation(tick + 1)
     }
 
     /// Ticks eligible for sampling: ticks with a recorded action whose
@@ -503,10 +618,19 @@ mod tests {
 
     #[test]
     fn has_transition_data_needs_action_and_next_objective() {
-        let mut db = filled_db(20);
+        // Like `filled_db(20)` but with no action recorded at tick 11 →
+        // tick 11 is not sampleable.
+        let mut db = ReplayDb::new(small_config());
+        for t in 0..20u64 {
+            for n in 0..2 {
+                db.insert_snapshot(t, n, vec![t as f64, n as f64, t as f64 + n as f64]);
+            }
+            db.insert_objective(t, 100.0 + t as f64);
+            if t != 11 {
+                db.insert_action(t, (t % 5) as usize);
+            }
+        }
         assert!(db.has_transition_data(10));
-        // Remove the action at tick 11 → tick 11 is no longer sampleable.
-        db.actions.remove(&11);
         assert!(!db.has_transition_data(11));
         assert!(db.has_transition_data(12));
         // Latest tick has no next observation.
@@ -531,6 +655,28 @@ mod tests {
         // Old objectives/actions for evicted ticks are gone too.
         assert!(db.objective_at(10).is_none());
         assert!(db.action_at(10).is_none());
+        // 200 dense ticks through a 50-slot ring retire 150 snapshot ticks.
+        assert_eq!(db.evicted_ticks(), 150);
+    }
+
+    #[test]
+    fn stale_objectives_and_actions_never_evict_newer_records() {
+        let mut db = ReplayDb::new(ReplayConfig {
+            capacity_ticks: 50,
+            ..small_config()
+        });
+        for t in 0..120u64 {
+            db.insert_objective(t, t as f64);
+            db.insert_action(t, (t % 3) as usize);
+        }
+        // Tick 60 shares slot 10 with retained tick 110: the stale arrivals
+        // must be dropped, not destroy the newer records.
+        db.insert_objective(60, -1.0);
+        db.insert_action(60, 9);
+        assert_eq!(db.objective_at(110), Some(110.0));
+        assert_eq!(db.action_at(110), Some(2));
+        assert!(db.objective_at(60).is_none());
+        assert!(db.action_at(60).is_none());
     }
 
     #[test]

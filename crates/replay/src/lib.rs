@@ -17,16 +17,23 @@
 //! paper's 20 % missing-entry tolerance, and JSON persistence so a replay
 //! database can be saved and reloaded between sessions.
 //!
-//! Only the Interface Daemon writes to the database; the DRL engine reads from
-//! it. [`SharedReplayDb`] wraps the store in a single-writer / multi-reader
-//! lock to mirror that arrangement.
+//! Storage is organised as a [`ReplayArena`]: a fleet-wide store striped by
+//! cluster, where every per-tick record (snapshots, objective, action) lives
+//! inline in a flat ring slot. Only each cluster's Interface Daemon writes to
+//! its stripe; DRL engines read from one stripe ([`SharedReplayDb`], a stripe
+//! view — a standalone deployment is a one-stripe arena) or sample across a
+//! weighted stripe set
+//! ([`ReplayArena::construct_minibatch_weighted_into`], the transfer-learning
+//! path for clusters sharing one DQN).
 
+pub mod arena;
 pub mod db;
 pub mod minibatch;
 pub mod persist;
 pub mod record;
 pub mod shared;
 
+pub use arena::{ReplayArena, StripeStats};
 pub use db::{ReplayConfig, ReplayDb};
 pub use minibatch::{Minibatch, MinibatchError, ReplayBatch};
 pub use record::{NodeId, Observation, Tick, Transition};

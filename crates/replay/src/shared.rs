@@ -1,58 +1,78 @@
-//! Single-writer / multi-reader wrapper around the replay database.
+//! Single-writer / multi-reader stripe view of the replay arena.
 //!
 //! In the paper's architecture only the Interface Daemon writes to the Replay
 //! DB while the DRL Engine reads from it ("it is the only component that needs
 //! to write to the Replay DB … greatly reducing the overhead of locking the
-//! Replay DB", §3.3). [`SharedReplayDb`] encodes that arrangement with a
-//! reader-writer lock that can be cloned across the daemon and engine threads.
+//! Replay DB", §3.3). [`SharedReplayDb`] encodes that arrangement as a view of
+//! **one stripe** of a [`ReplayArena`]: a standalone deployment is simply a
+//! one-stripe arena, while a fleet hands each cluster a view of its own stripe
+//! of the shared arena. The handle clones cheaply across the daemon and engine
+//! threads, exactly like the pre-arena lock wrapper it replaces.
 
+use crate::arena::ReplayArena;
 use crate::db::{ReplayConfig, ReplayDb};
 use crate::minibatch::{Minibatch, MinibatchError, ReplayBatch};
 use crate::record::{NodeId, Observation, Tick};
-use parking_lot::RwLock;
 use rand::Rng;
-use std::sync::Arc;
 
-/// A cheaply-clonable handle to a replay database shared between the Interface
+/// A cheaply-clonable handle to one arena stripe, shared between the Interface
 /// Daemon (writer) and the DRL Engine (reader).
 #[derive(Debug, Clone)]
 pub struct SharedReplayDb {
-    inner: Arc<RwLock<ReplayDb>>,
+    arena: ReplayArena,
+    stripe: usize,
 }
 
 impl SharedReplayDb {
-    /// Creates a new shared database with the given configuration.
+    /// Creates a standalone shared database: a fresh one-stripe arena with
+    /// the given configuration.
     pub fn new(config: ReplayConfig) -> Self {
-        SharedReplayDb {
-            inner: Arc::new(RwLock::new(ReplayDb::new(config))),
-        }
+        ReplayArena::single(config).stripe(0)
     }
 
-    /// Wraps an existing database (e.g. one loaded from disk).
+    /// Wraps an existing database (e.g. one loaded from disk) as a
+    /// one-stripe arena.
     pub fn from_db(db: ReplayDb) -> Self {
-        SharedReplayDb {
-            inner: Arc::new(RwLock::new(db)),
-        }
+        ReplayArena::from_dbs([db]).stripe(0)
+    }
+
+    /// Internal constructor used by [`ReplayArena::stripe`].
+    pub(crate) fn from_arena(arena: ReplayArena, stripe: usize) -> Self {
+        SharedReplayDb { arena, stripe }
+    }
+
+    /// The arena this view belongs to.
+    pub fn arena(&self) -> &ReplayArena {
+        &self.arena
+    }
+
+    /// The index of the stripe this view reads and writes.
+    pub fn stripe_index(&self) -> usize {
+        self.stripe
     }
 
     /// Writer-side: records a node's PI snapshot.
     pub fn insert_snapshot(&self, tick: Tick, node: NodeId, pis: Vec<f64>) {
-        self.inner.write().insert_snapshot(tick, node, pis);
+        self.arena
+            .with_write(self.stripe, |db| db.insert_snapshot(tick, node, pis));
     }
 
     /// Writer-side: records the objective value of a tick.
     pub fn insert_objective(&self, tick: Tick, value: f64) {
-        self.inner.write().insert_objective(tick, value);
+        self.arena
+            .with_write(self.stripe, |db| db.insert_objective(tick, value));
     }
 
     /// Writer-side: records the action performed at a tick.
     pub fn insert_action(&self, tick: Tick, action: usize) {
-        self.inner.write().insert_action(tick, action);
+        self.arena
+            .with_write(self.stripe, |db| db.insert_action(tick, action));
     }
 
     /// Reader-side: builds the observation ending at `tick`.
     pub fn observation_at(&self, tick: Tick) -> Option<Observation> {
-        self.inner.read().observation_at(tick)
+        self.arena
+            .with_read(self.stripe, |db| db.observation_at(tick))
     }
 
     /// Reader-side: samples a minibatch per Algorithm 1.
@@ -61,7 +81,8 @@ impl SharedReplayDb {
         n: usize,
         rng: &mut R,
     ) -> Result<Minibatch, MinibatchError> {
-        self.inner.read().construct_minibatch(n, rng)
+        self.arena
+            .with_read(self.stripe, |db| db.construct_minibatch(n, rng))
     }
 
     /// Reader-side: fills a caller-owned [`ReplayBatch`] per Algorithm 1
@@ -72,32 +93,33 @@ impl SharedReplayDb {
         batch: &mut ReplayBatch,
         rng: &mut R,
     ) -> Result<(), MinibatchError> {
-        self.inner.read().construct_minibatch_into(batch, rng)
+        self.arena
+            .with_read(self.stripe, |db| db.construct_minibatch_into(batch, rng))
     }
 
     /// Reader-side: latest tick with data.
     pub fn latest_tick(&self) -> Option<Tick> {
-        self.inner.read().latest_tick()
+        self.arena.with_read(self.stripe, |db| db.latest_tick())
     }
 
     /// Reader-side: number of retained ticks.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.arena.with_read(self.stripe, |db| db.len())
     }
 
     /// Reader-side: `true` if nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.arena.with_read(self.stripe, |db| db.is_empty())
     }
 
-    /// Runs `f` with read access to the underlying database.
+    /// Runs `f` with read access to the underlying stripe.
     pub fn with_read<T>(&self, f: impl FnOnce(&ReplayDb) -> T) -> T {
-        f(&self.inner.read())
+        self.arena.with_read(self.stripe, f)
     }
 
-    /// Runs `f` with write access to the underlying database.
+    /// Runs `f` with write access to the underlying stripe.
     pub fn with_write<T>(&self, f: impl FnOnce(&mut ReplayDb) -> T) -> T {
-        f(&mut self.inner.write())
+        self.arena.with_write(self.stripe, f)
     }
 }
 
@@ -122,6 +144,8 @@ mod tests {
     fn basic_write_then_read() {
         let shared = SharedReplayDb::new(config());
         assert!(shared.is_empty());
+        assert_eq!(shared.arena().num_stripes(), 1);
+        assert_eq!(shared.stripe_index(), 0);
         for t in 0..20u64 {
             for n in 0..2 {
                 shared.insert_snapshot(t, n, vec![1.0, 2.0, 3.0]);
@@ -175,6 +199,17 @@ mod tests {
         // After the writer finishes, sampling must succeed.
         let mut rng = StdRng::seed_from_u64(99);
         assert!(shared.construct_minibatch(32, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn stripe_views_of_one_arena_stay_independent() {
+        let arena = ReplayArena::uniform(config(), 2);
+        let a = arena.stripe(0);
+        let b = arena.stripe(1);
+        a.insert_snapshot(0, 0, vec![1.0, 1.0, 1.0]);
+        assert_eq!(a.len(), 1);
+        assert!(b.is_empty(), "writes to one stripe never leak into another");
+        assert_eq!(b.stripe_index(), 1);
     }
 
     #[test]

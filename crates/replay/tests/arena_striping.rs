@@ -1,0 +1,163 @@
+//! Stripe-boundary semantics of the replay arena.
+//!
+//! Three guarantees the fleet relies on:
+//!
+//! 1. **Late arrivals older than the ring never evict newer data** — a
+//!    snapshot, objective or action delayed past the retention window
+//!    collides with a newer tick's slot and must be dropped, in every stripe
+//!    independently.
+//! 2. **Slot collisions across stripes are impossible** — a ring index is
+//!    local to its stripe, so the same tick (or colliding residue classes)
+//!    written into two stripes never interferes.
+//! 3. **A degenerate stripe set is a single stripe** — sampling with weights
+//!    `[1, 0, …, 0]` consumes the RNG identically to single-stripe sampling
+//!    and draws the exact same transitions.
+
+use capes_replay::{ReplayArena, ReplayBatch, ReplayConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config(capacity: usize) -> ReplayConfig {
+    ReplayConfig {
+        num_nodes: 2,
+        pis_per_node: 3,
+        ticks_per_observation: 4,
+        missing_entry_tolerance: 0.2,
+        capacity_ticks: capacity,
+    }
+}
+
+fn fill_stripe(arena: &ReplayArena, stripe: usize, ticks: u64, offset: f64) {
+    let view = arena.stripe(stripe);
+    for t in 0..ticks {
+        for n in 0..2 {
+            view.insert_snapshot(t, n, vec![offset + t as f64, n as f64, 0.0]);
+        }
+        view.insert_objective(t, offset + t as f64);
+        view.insert_action(t, (t % 5) as usize);
+    }
+}
+
+#[test]
+fn late_arrivals_older_than_the_ring_never_evict_newer_data() {
+    let arena = ReplayArena::uniform(config(50), 2);
+    fill_stripe(&arena, 0, 120, 0.0);
+    fill_stripe(&arena, 1, 120, 0.0);
+    // Tick 60 shares slot 60 % 50 = 10 with retained tick 110 in stripe 0.
+    let stale = arena.stripe(0);
+    stale.insert_snapshot(60, 0, vec![-1.0, -1.0, -1.0]);
+    stale.insert_objective(60, -1.0);
+    stale.insert_action(60, 9);
+    for stripe in 0..2 {
+        arena.with_read(stripe, |db| {
+            assert_eq!(db.len(), 50, "stale inserts must not change retention");
+            assert_eq!(db.earliest_tick(), Some(70));
+            assert_eq!(
+                db.objective_at(110),
+                Some(110.0),
+                "newer objective survives"
+            );
+            assert_eq!(db.action_at(110), Some(0), "newer action survives");
+            assert!(db.objective_at(60).is_none(), "stale objective dropped");
+            assert!(db.action_at(60).is_none(), "stale action dropped");
+            let mut out = vec![0.0; db.config().observation_size()];
+            assert!(db.write_observation(110, &mut out));
+            assert!(
+                out.iter().all(|&v| v >= 0.0),
+                "stale PI values must not leak into observations"
+            );
+        });
+    }
+    // The stale snapshot row still counts toward ingest accounting.
+    assert_eq!(arena.stripe_stats(0).total_inserted, 241);
+    assert_eq!(arena.stripe_stats(1).total_inserted, 240);
+}
+
+#[test]
+fn slot_collisions_across_stripes_are_impossible() {
+    // Stripes with *different* capacities: tick 60 maps to slot 10 in the
+    // 50-slot stripe and slot 60 in the 100-slot stripe. Writes to colliding
+    // residue classes of one stripe must never disturb the other.
+    let arena = ReplayArena::new([config(50), config(100)]);
+    fill_stripe(&arena, 0, 120, 0.0);
+    fill_stripe(&arena, 1, 120, 1000.0);
+    arena.with_read(0, |db| {
+        assert_eq!(db.len(), 50);
+        assert_eq!(db.evicted_ticks(), 70);
+    });
+    arena.with_read(1, |db| {
+        assert_eq!(db.len(), 100, "the wider stripe evicts on its own schedule");
+        assert_eq!(db.evicted_ticks(), 20);
+        assert_eq!(db.objective_at(110), Some(1110.0));
+    });
+    // Hammer one stripe's colliding residue class; the other stripe's slot
+    // for the same residue is untouched.
+    let writer = arena.stripe(0);
+    for round in 0..5u64 {
+        writer.insert_snapshot(120 + round * 50, 0, vec![9.0, 9.0, 9.0]);
+    }
+    arena.with_read(1, |db| {
+        assert_eq!(db.len(), 100);
+        assert_eq!(db.latest_tick(), Some(119));
+        let mut out = vec![0.0; db.config().observation_size()];
+        assert!(db.write_observation(119, &mut out));
+        assert!(out.iter().all(|&v| v == 0.0 || v >= 1.0), "no 9.0 leakage");
+    });
+}
+
+#[test]
+fn one_hot_stripe_set_draws_the_exact_single_stripe_transitions() {
+    let arena = ReplayArena::uniform(config(10_000), 4);
+    for stripe in 0..4 {
+        fill_stripe(&arena, stripe, 300, stripe as f64 * 1000.0);
+    }
+    let obs = config(10_000).observation_size();
+
+    let mut single = ReplayBatch::new(32, obs);
+    arena
+        .stripe(0)
+        .construct_minibatch_into(&mut single, &mut StdRng::seed_from_u64(42))
+        .expect("single-stripe sample");
+
+    let mut one_hot = ReplayBatch::new(32, obs);
+    arena
+        .construct_minibatch_weighted_into(
+            &[1.0, 0.0, 0.0, 0.0],
+            &mut one_hot,
+            &mut StdRng::seed_from_u64(42),
+        )
+        .expect("one-hot stripe-set sample");
+
+    assert_eq!(one_hot.timestamps_drawn(), single.timestamps_drawn());
+    assert_eq!(one_hot.ticks(), single.ticks());
+    assert_eq!(one_hot.actions(), single.actions());
+    assert_eq!(one_hot.rewards(), single.rewards());
+    for row in 0..32 {
+        assert_eq!(one_hot.states().row(row), single.states().row(row));
+        assert_eq!(
+            one_hot.next_states().row(row),
+            single.next_states().row(row)
+        );
+    }
+
+    // And the RNG streams stay aligned afterwards: a second draw from each
+    // still matches.
+    let mut rng_a = StdRng::seed_from_u64(42);
+    let mut rng_b = StdRng::seed_from_u64(42);
+    arena
+        .stripe(2)
+        .construct_minibatch_into(&mut single, &mut rng_a)
+        .unwrap();
+    arena
+        .construct_minibatch_weighted_into(&[0.0, 0.0, 5.0, 0.0], &mut one_hot, &mut rng_b)
+        .unwrap();
+    assert_eq!(one_hot.ticks(), single.ticks());
+    assert_eq!(rng_a, rng_b, "identical RNG consumption");
+    assert!(
+        one_hot
+            .rewards()
+            .iter()
+            .all(|&r| (2000.0..2300.0).contains(&r)),
+        "one-hot weight on stripe 2 draws only stripe 2 experience"
+    );
+}

@@ -354,15 +354,29 @@ fn dot4(a: &[f64], b: &[f64]) -> f64 {
 
 /// `out = a · bᵀ` over raw slices: row `i` of `out` holds the dot products of
 /// row `i` of `a` with every row of `b`. `out` must hold exactly
-/// `rows_a × rows_b` elements.
+/// `rows_a × rows_b` elements (it is zeroed and accumulated into).
+///
+/// Blocked the way [`gemm_rows`] is, in both the reduction dimension and
+/// `b`'s rows: each [`BLOCK`] × [`BLOCK`] panel of `b` (~32 KiB, resident in
+/// L1/L2) is reused across every row of `a` before the kernel moves on. The
+/// un-blocked kernel streamed the whole of `b` once per output row — on the
+/// paper's 2200-obs backward pass that is a ~39 MB weight matrix re-read
+/// `rows_a` times; blocking reads it once.
 fn gemm_tb_rows(a: &[f64], b: &[f64], out: &mut [f64], rows_a: usize, cols: usize, rows_b: usize) {
     debug_assert_eq!(a.len(), rows_a * cols);
     debug_assert_eq!(out.len(), rows_a * rows_b);
-    for i in 0..rows_a {
-        let a_row = &a[i * cols..][..cols];
-        let out_row = &mut out[i * rows_b..][..rows_b];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            *o = dot4(a_row, &b[j * cols..][..cols]);
+    out.fill(0.0);
+    for kk in (0..cols).step_by(BLOCK) {
+        let k_end = (kk + BLOCK).min(cols);
+        for jj in (0..rows_b).step_by(BLOCK) {
+            let j_end = (jj + BLOCK).min(rows_b);
+            for i in 0..rows_a {
+                let a_seg = &a[i * cols + kk..i * cols + k_end];
+                let out_seg = &mut out[i * rows_b + jj..i * rows_b + j_end];
+                for (j, o) in (jj..j_end).zip(out_seg.iter_mut()) {
+                    *o += dot4(a_seg, &b[j * cols + kk..j * cols + k_end]);
+                }
+            }
         }
     }
 }

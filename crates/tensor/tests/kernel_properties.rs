@@ -67,6 +67,23 @@ proptest! {
     }
 
     #[test]
+    fn k_blocked_transpose_b_matches_naive_across_block_boundaries(
+        (m, k, n) in (1usize..12, 1usize..300, 1usize..12),
+        seed in any::<u64>(),
+    ) {
+        // The k-blocked kernel sweeps the reduction dimension in 64-wide
+        // panels; `k` up to 300 exercises 1–5 panels including ragged tails,
+        // so every accumulate-across-panels path is compared against the
+        // naive reference.
+        let a = random_matrix(seed, m, k);
+        let b = random_matrix(seed.wrapping_add(1), n, k);
+        let mut out = Matrix::filled(m, n, f64::NAN);
+        a.matmul_transpose_b_into(&b, &mut out);
+        let reference = a.matmul_with(&b.transpose(), MatmulStrategy::Naive);
+        prop_assert!(out.approx_eq(&reference, 1e-9), "blocked tb {m}x{k}x{n}");
+    }
+
+    #[test]
     fn transpose_a_into_matches_explicit_transpose(
         (m, k, n) in (1usize..40, 1usize..70, 1usize..40),
         seed in any::<u64>(),

@@ -1,18 +1,26 @@
-//! Fleet mode: eight heterogeneous clusters tuned by one daemon.
+//! Fleet mode: eight heterogeneous clusters tuned by one daemon, then eight
+//! same-profile clusters sharing experience through the replay arena.
 //!
 //! The paper deploys one CAPES instance per storage cluster; the fleet daemon
 //! scales that out — every member cluster keeps its own monitoring agents,
-//! wire-framed reports, Interface Daemon and replay shard, while all clusters
-//! sharing an observation geometry are decided by **one** shared DQN in a
-//! single batched forward pass per tick. Clusters with different geometries
-//! (here: different client counts) automatically get their own per-profile
-//! agent.
+//! wire-framed reports and Interface Daemon writing into its own stripe of
+//! **one** fleet-wide replay arena, while all clusters sharing an observation
+//! geometry are decided by **one** shared DQN in a single batched forward
+//! pass per tick. Clusters with different geometries (here: different client
+//! counts) automatically get their own per-profile agent.
+//!
+//! The second stage shows the arena's transfer-learning path: eight clusters
+//! of one profile (equal geometry, different workloads) train their shared
+//! DQN on a self-biased weighted set of all eight stripes
+//! ([`capes_fleet::ExperienceSharing`]), so every cluster learns from the
+//! whole profile's experience.
 //!
 //! Run with `cargo run --release --example fleet_tuning`. Ticks can be scaled
 //! with `CAPES_FLEET_TRAIN_TICKS` / `CAPES_FLEET_MEASURE_TICKS`.
 
 use capes::{Hyperparameters, Phase};
-use capes_fleet::{Fleet, FleetPlan, ScenarioSpec};
+use capes_fleet::{ExperienceSharing, Fleet, FleetPlan, ScenarioSpec};
+use capes_simstore::Workload;
 
 fn env_ticks(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -70,4 +78,52 @@ fn main() {
     let path = std::env::temp_dir().join("capes-fleet-report.json");
     std::fs::write(&path, report.to_json()).expect("report write");
     println!("\nfleet report written to {}", path.display());
+
+    // ------------------------------------------------------------------
+    // Stage 2: one profile, eight clusters, experience sharing enabled.
+    //
+    // Equal geometry puts all eight clusters into a single profile (one
+    // shared DQN); the fleet plan turns on self-biased sharing so every
+    // training draw samples the trained cluster's own stripe at 3× the
+    // weight of each of its seven peers.
+    // ------------------------------------------------------------------
+    let mixes = [0.1, 0.2, 0.3, 0.4, 0.6, 0.7, 0.8, 0.9];
+    let mut shared = Fleet::builder()
+        .hyperparams(Hyperparameters::quick_test())
+        .seed(11)
+        .scenarios(
+            mixes
+                .iter()
+                .map(|&rw| ScenarioSpec::new(format!("rw-{rw:.1}"), Workload::random_rw(rw))),
+        )
+        .build()
+        .expect("valid fleet");
+    assert_eq!(shared.num_profiles(), 1, "equal geometry is one profile");
+    println!(
+        "\nshared-experience fleet: {} clusters in one profile, self-biased sampling",
+        shared.num_clusters()
+    );
+    let shared_report = shared.run(
+        &FleetPlan::new()
+            .phase(Phase::Baseline {
+                ticks: measure_ticks,
+            })
+            .phase(Phase::Train { ticks: train_ticks })
+            .phase(Phase::Tuned {
+                ticks: measure_ticks,
+                label: "tuned".into(),
+            })
+            .share(
+                0,
+                ExperienceSharing::SelfBiased {
+                    own: 3.0,
+                    peers: 1.0,
+                },
+            ),
+    );
+    println!("\n{}", shared_report.summary());
+    println!("improvements over each cluster's baseline (shared experience):");
+    for (name, improvement) in shared_report.improvements_over_baseline("tuned") {
+        println!("  {name:<22} {:+.1} %", improvement * 100.0);
+    }
 }
