@@ -19,6 +19,16 @@ use std::collections::HashMap;
 pub struct InterfaceStats {
     /// PI reports ingested.
     pub reports_received: u64,
+    /// PI reports and objectives dropped for naming an unknown node or (for
+    /// reports) carrying the wrong indicator count — decodable frames whose
+    /// *content* is inconsistent with the deployment (a misconfigured or
+    /// corrupted sender must never crash the daemon or poison the store).
+    pub reports_rejected: u64,
+    /// Reports/objectives dropped for carrying a tick further than one
+    /// retention window ahead of the newest tick seen — a corrupt far-future
+    /// tick would otherwise poison the store's retention bookkeeping and
+    /// its sampleable range permanently.
+    pub implausible_ticks_rejected: u64,
     /// Objective messages ingested.
     pub objectives_received: u64,
     /// Total encoded bytes of all ingested messages.
@@ -43,6 +53,23 @@ pub struct InterfaceDaemon {
     control_channels: Vec<Sender<ActionMessage>>,
     /// Number of nodes expected to report an objective each tick.
     expected_nodes: usize,
+    /// Replay-store geometry, cached so corrupt reports can be screened
+    /// without touching the stripe lock.
+    db_nodes: usize,
+    db_pis_per_node: usize,
+    /// Retention window of the store, bounding how far ahead of the newest
+    /// tick seen an incoming tick may plausibly be.
+    db_capacity: u64,
+    /// Newest tick seen on any accepted report/objective (the plausibility
+    /// baseline; the first message pins it).
+    newest_tick: Option<u64>,
+    /// The tick whose snapshots are currently staged, if any.
+    staged_tick: Option<u64>,
+    /// Staged (node, reconstructed PI vector) entries of `staged_tick`;
+    /// the first `staged_len` entries are live, the rest are retained
+    /// buffers from earlier ticks awaiting reuse.
+    staged: Vec<(usize, Vec<f64>)>,
+    staged_len: usize,
     stats: InterfaceStats,
 }
 
@@ -52,6 +79,13 @@ impl InterfaceDaemon {
     /// ([`ActionChecker::permissive`] reproduces the paper's evaluation setup).
     pub fn new(db: SharedReplayDb, expected_nodes: usize, checker: ActionChecker) -> Self {
         assert!(expected_nodes > 0, "need at least one monitored node");
+        let (db_nodes, db_pis_per_node, db_capacity) = db.with_read(|db| {
+            (
+                db.config().num_nodes,
+                db.config().pis_per_node,
+                db.config().capacity_ticks as u64,
+            )
+        });
         InterfaceDaemon {
             db,
             checker,
@@ -59,6 +93,13 @@ impl InterfaceDaemon {
             pending_objectives: HashMap::new(),
             control_channels: Vec::new(),
             expected_nodes,
+            db_nodes,
+            db_pis_per_node,
+            db_capacity,
+            newest_tick: None,
+            staged_tick: None,
+            staged: Vec::new(),
+            staged_len: 0,
             stats: InterfaceStats::default(),
         }
     }
@@ -86,12 +127,49 @@ impl InterfaceDaemon {
         Ok(())
     }
 
+    /// Accepts `tick` if it is not implausibly far in the future — within
+    /// one retention window of the newest tick seen (the first message pins
+    /// the baseline) — advancing the baseline as ticks progress. A corrupt
+    /// far-future tick that passed the codec would otherwise poison the
+    /// store permanently: its record bricks a ring slot (every later tick
+    /// mapping there looks "expired") and stretches the sampleable range so
+    /// wide that minibatch draws essentially never land on real data.
+    fn tick_plausible(&mut self, tick: u64) -> bool {
+        match self.newest_tick {
+            Some(newest) if tick > newest.saturating_add(self.db_capacity) => {
+                self.stats.implausible_ticks_rejected += 1;
+                false
+            }
+            Some(newest) => {
+                if tick > newest {
+                    self.newest_tick = Some(tick);
+                }
+                true
+            }
+            None => {
+                self.newest_tick = Some(tick);
+                true
+            }
+        }
+    }
+
     /// Ingests a decoded message.
     pub fn ingest(&mut self, message: &Message) {
         match message {
             Message::Report(report) => self.ingest_report(report),
             Message::Objective { tick, node, value } => {
                 self.stats.objectives_received += 1;
+                // Same content screening as reports: an objective from an
+                // unknown node would otherwise count toward the expected
+                // quorum and fold a bogus value into the tick's aggregate
+                // reward while a real node's value is still outstanding.
+                if *node >= self.db_nodes {
+                    self.stats.reports_rejected += 1;
+                    return;
+                }
+                if !self.tick_plausible(*tick) {
+                    return;
+                }
                 self.pending_objectives
                     .entry(*tick)
                     .or_default()
@@ -142,20 +220,69 @@ impl InterfaceDaemon {
 
     fn ingest_report(&mut self, report: &PiReport) {
         self.stats.reports_received += 1;
+        // Content hardening: a decodable frame can still carry a node id or
+        // indicator count the replay store was never configured for —
+        // passing either through would panic inside the store. Corrupt or
+        // misconfigured senders are dropped and counted instead.
+        if report.node >= self.db_nodes || report.total_pis != self.db_pis_per_node {
+            self.stats.reports_rejected += 1;
+            return;
+        }
+        if !self.tick_plausible(report.tick) {
+            return;
+        }
         let state = self
             .node_state
             .entry(report.node)
             .or_insert_with(|| vec![0.0; report.total_pis]);
-        if state.len() != report.total_pis {
-            state.resize(report.total_pis, 0.0);
-        }
         for &(index, value) in &report.changed {
             if let Some(slot) = state.get_mut(index as usize) {
                 *slot = value;
             }
         }
-        self.db
-            .insert_snapshot(report.tick, report.node, state.clone());
+        // Group commit: snapshots stage per tick and flush to the replay
+        // store under one write-lock acquisition — when the expected node
+        // count has reported, when the tick changes, or when the driver
+        // calls `flush_snapshots` at the end of its measurement stage.
+        if self.staged_tick != Some(report.tick) {
+            self.flush_snapshots();
+            self.staged_tick = Some(report.tick);
+        }
+        let state = self
+            .node_state
+            .get(&report.node)
+            .expect("node state created above");
+        if self.staged_len == self.staged.len() {
+            self.staged.push((report.node, state.clone()));
+        } else {
+            let entry = &mut self.staged[self.staged_len];
+            entry.0 = report.node;
+            entry.1.clear();
+            entry.1.extend_from_slice(state);
+        }
+        self.staged_len += 1;
+        if self.staged_len >= self.expected_nodes {
+            self.flush_snapshots();
+        }
+    }
+
+    /// Commits any staged snapshots to the replay store (one write-lock
+    /// acquisition for the whole tick) and clears the stage. Drivers call
+    /// this after routing a tick's monitoring traffic so partially-reporting
+    /// ticks become visible before the observation is assembled; a no-op
+    /// when nothing is staged.
+    pub fn flush_snapshots(&mut self) {
+        if let Some(tick) = self.staged_tick.take() {
+            if self.staged_len > 0 {
+                self.db.insert_tick_group(
+                    tick,
+                    self.staged[..self.staged_len]
+                        .iter()
+                        .map(|(node, pis)| (*node, pis.as_slice())),
+                );
+            }
+            self.staged_len = 0;
+        }
     }
 
     /// Writes the aggregate objective for `tick` once every node has reported
@@ -310,6 +437,112 @@ mod tests {
             parameter_values: vec![2.0],
         });
         assert_eq!(rx.recv().unwrap().parameter_values, vec![8.0]);
+    }
+
+    #[test]
+    fn snapshots_group_commit_per_tick() {
+        let shared = db(3, 2);
+        let mut daemon = InterfaceDaemon::new(shared.clone(), 3, ActionChecker::permissive());
+        let report = |tick: u64, node: usize| {
+            Message::Report(PiReport {
+                tick,
+                node,
+                total_pis: 2,
+                changed: vec![(0, tick as f64), (1, node as f64)],
+            })
+        };
+        // Two of three nodes report: the group stays staged (no store write
+        // yet — the write lock has not been taken for this tick).
+        daemon.ingest(&report(0, 0));
+        daemon.ingest(&report(0, 1));
+        shared.with_read(|db| assert_eq!(db.total_inserted(), 0, "staged, not committed"));
+        // The third report completes the group and commits it in one go.
+        daemon.ingest(&report(0, 2));
+        shared.with_read(|db| {
+            assert_eq!(db.total_inserted(), 3);
+            assert_eq!(db.len(), 1);
+        });
+        // A partial tick flushes when the next tick's traffic arrives…
+        daemon.ingest(&report(1, 0));
+        daemon.ingest(&report(2, 0));
+        shared.with_read(|db| assert_eq!(db.total_inserted(), 4, "tick 1 flushed by tick 2"));
+        // …or when the driver flushes explicitly at the end of its stage.
+        daemon.flush_snapshots();
+        shared.with_read(|db| assert_eq!(db.total_inserted(), 5));
+        // Flushing with nothing staged is a no-op.
+        daemon.flush_snapshots();
+        shared.with_read(|db| assert_eq!(db.total_inserted(), 5));
+    }
+
+    #[test]
+    fn corrupt_report_content_is_dropped_not_panicking() {
+        let shared = db(2, 3);
+        let mut daemon = InterfaceDaemon::new(shared.clone(), 2, ActionChecker::permissive());
+        // Node id beyond the store's configuration (a corrupt or misrouted
+        // frame): dropped and counted, never a panic inside the store.
+        daemon.ingest(&Message::Report(PiReport {
+            tick: 0,
+            node: 9,
+            total_pis: 3,
+            changed: vec![(0, 1.0)],
+        }));
+        // Indicator count that disagrees with the deployment: same.
+        daemon.ingest(&Message::Report(PiReport {
+            tick: 0,
+            node: 0,
+            total_pis: 4096,
+            changed: vec![],
+        }));
+        assert_eq!(daemon.stats().reports_rejected, 2);
+        assert_eq!(daemon.stats().reports_received, 2);
+        daemon.flush_snapshots();
+        shared.with_read(|db| assert_eq!(db.total_inserted(), 0));
+        // A well-formed report afterwards still lands.
+        daemon.ingest(&Message::Report(PiReport {
+            tick: 0,
+            node: 0,
+            total_pis: 3,
+            changed: vec![(0, 1.0)],
+        }));
+        daemon.flush_snapshots();
+        shared.with_read(|db| assert_eq!(db.total_inserted(), 1));
+    }
+
+    #[test]
+    fn implausible_future_ticks_are_dropped_not_stored() {
+        // db() uses capacity_ticks = 1000, so anything more than 1000 ticks
+        // ahead of the newest tick seen is implausible for a 1-tick/second
+        // monitoring stream and must not reach the store (where it would
+        // poison the retention bookkeeping and the sampleable range).
+        let shared = db(1, 2);
+        let mut daemon = InterfaceDaemon::new(shared.clone(), 1, ActionChecker::permissive());
+        let report = |tick: u64| {
+            Message::Report(PiReport {
+                tick,
+                node: 0,
+                total_pis: 2,
+                changed: vec![(0, 1.0)],
+            })
+        };
+        daemon.ingest(&report(5)); // pins the baseline
+        daemon.ingest(&report(5 + 1_000_000)); // corrupt far-future tick
+        daemon.ingest(&Message::Objective {
+            tick: 5 + 2_000_000,
+            node: 0,
+            value: 1.0,
+        });
+        assert_eq!(daemon.stats().implausible_ticks_rejected, 2);
+        daemon.flush_snapshots();
+        shared.with_read(|db| {
+            assert_eq!(db.latest_tick(), Some(5), "future tick never stored");
+            assert!(db.objective_at(5 + 2_000_000).is_none());
+        });
+        // Ticks within the window keep flowing and advance the baseline.
+        daemon.ingest(&report(900));
+        daemon.ingest(&report(1850));
+        daemon.flush_snapshots();
+        shared.with_read(|db| assert_eq!(db.latest_tick(), Some(1850)));
+        assert_eq!(daemon.stats().implausible_ticks_rejected, 2);
     }
 
     #[test]

@@ -22,12 +22,18 @@ use std::fmt;
 /// Errors produced when decoding a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
-    /// The buffer ended before the frame was complete.
+    /// The buffer ended before the frame was complete. Also returned when a
+    /// length prefix promises more payload than the buffer holds — the
+    /// decoder sizes nothing from a count it has not yet covered with bytes,
+    /// so a corrupt count can never trigger a huge allocation.
     Truncated,
     /// The leading tag byte does not name a known message type.
     UnknownTag(u8),
     /// A varint ran past its maximum length.
     MalformedVarint,
+    /// A decoded field exceeds its protocol range (e.g. a PI index beyond
+    /// 16 bits); the payload names the field.
+    Overflow(&'static str),
 }
 
 impl fmt::Display for WireError {
@@ -36,6 +42,7 @@ impl fmt::Display for WireError {
             WireError::Truncated => write!(f, "frame truncated"),
             WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#x}"),
             WireError::MalformedVarint => write!(f, "malformed varint"),
+            WireError::Overflow(field) => write!(f, "field {field} out of protocol range"),
         }
     }
 }
@@ -98,14 +105,23 @@ pub fn decode_message(frame: &[u8]) -> Result<Message, WireError> {
             let node = get_varint(&mut buf)? as usize;
             let total_pis = get_varint(&mut buf)? as usize;
             let count = get_varint(&mut buf)? as usize;
+            // Every changed entry occupies at least 5 bytes (1-byte index
+            // varint + f32); a count the remaining payload cannot possibly
+            // cover is corruption, detected *before* sizing the vector.
+            if count > buf.remaining() / 5 {
+                return Err(WireError::Truncated);
+            }
             let mut changed = Vec::with_capacity(count);
             for _ in 0..count {
-                let index = get_varint(&mut buf)? as u16;
+                let index = get_varint(&mut buf)?;
+                if index > u16::MAX as u64 {
+                    return Err(WireError::Overflow("pi index"));
+                }
                 if buf.remaining() < 4 {
                     return Err(WireError::Truncated);
                 }
                 let value = buf.get_f32() as f64;
-                changed.push((index, value));
+                changed.push((index as u16, value));
             }
             Ok(Message::Report(PiReport {
                 tick,
@@ -130,6 +146,10 @@ pub fn decode_message(frame: &[u8]) -> Result<Message, WireError> {
             let tick = get_varint(&mut buf)?;
             let action_index = get_varint(&mut buf)? as usize;
             let count = get_varint(&mut buf)? as usize;
+            // Each parameter is 8 bytes; see the report-count check above.
+            if count > buf.remaining() / 8 {
+                return Err(WireError::Truncated);
+            }
             let mut parameter_values = Vec::with_capacity(count);
             for _ in 0..count {
                 if buf.remaining() < 8 {
@@ -270,6 +290,51 @@ mod tests {
             decode_message(&[0x7f, 0, 0]),
             Err(WireError::UnknownTag(0x7f))
         );
+    }
+
+    #[test]
+    fn huge_report_count_is_rejected_before_allocation() {
+        // tag, tick=1, node=1, total_pis=1, count=u64::MAX: a corrupt count
+        // must fail fast as Truncated, not attempt a giant Vec (which would
+        // abort the process — a remote-triggerable crash).
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_REPORT);
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, u64::MAX);
+        let frame = buf.freeze();
+        assert_eq!(decode_message(&frame), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn huge_action_count_is_rejected_before_allocation() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_ACTION);
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, u64::MAX / 2);
+        let frame = buf.freeze();
+        assert_eq!(decode_message(&frame), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn oversized_pi_index_is_rejected() {
+        // A PI index wider than 16 bits used to be silently truncated with
+        // `as u16`, remapping the value onto a different indicator.
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_REPORT);
+        put_varint(&mut buf, 1); // tick
+        put_varint(&mut buf, 0); // node
+        put_varint(&mut buf, 44); // total_pis
+        put_varint(&mut buf, 1); // count
+        put_varint(&mut buf, u16::MAX as u64 + 7); // index out of range
+        buf.put_f32(1.5);
+        let frame = buf.freeze();
+        assert_eq!(decode_message(&frame), Err(WireError::Overflow("pi index")));
+        assert!(WireError::Overflow("pi index")
+            .to_string()
+            .contains("pi index"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use capes_drl::{DqnAgent, DqnAgentConfig};
 use capes_replay::{ReplayConfig, SharedReplayDb};
+use capes_tensor::simd::{self, SimdLevel};
 use capes_tensor::{MatmulStrategy, Matrix};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -78,6 +79,51 @@ fn bench_gemm_strategies(c: &mut Criterion) {
             });
         }
     }
+    // The explicit SIMD inner kernels against the portable scalar fallback,
+    // on raw slices at a pinned level (no dispatch threshold, no pool):
+    // `gemm/simd/*` is the detected vector level — AVX2+FMA where the CPU
+    // has it, otherwise it degenerates to the scalar kernel and the two
+    // entries read equal — and `gemm/simd_scalar/*` pins the fallback on the
+    // same shapes (what `CAPES_SIMD=off` dispatches).
+    for &(label, m, k, n) in &[
+        ("batch_32x600x600", 32usize, 600usize, 600usize),
+        ("square_600x600x600", 600, 600, 600),
+    ] {
+        let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut out = vec![0.0; m * n];
+        for (name, level) in [
+            ("simd", simd::detected_level()),
+            ("simd_scalar", SimdLevel::Scalar),
+        ] {
+            group.bench_function(BenchmarkId::new(name, label), |bench| {
+                bench.iter(|| {
+                    out.fill(0.0);
+                    simd::gemm_rows_with(level, &a, &b, &mut out, m, k, n);
+                    black_box(out[0])
+                })
+            });
+        }
+    }
+    {
+        // And the transpose-B kernel (the backward input-gradient product).
+        let (m, k) = (32usize, 600usize);
+        let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let w: Vec<f64> = (0..k * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut out = vec![0.0; m * k];
+        for (name, level) in [
+            ("simd", simd::detected_level()),
+            ("simd_scalar", SimdLevel::Scalar),
+        ] {
+            group.bench_function(BenchmarkId::new(name, "transpose_b_32x600x600"), |bench| {
+                bench.iter(|| {
+                    simd::gemm_tb_rows_with(level, &a, &w, &mut out, m, k, k);
+                    black_box(out[0])
+                })
+            });
+        }
+    }
+
     // The k-blocked `a · bᵀ` kernel on the backward-pass shapes: dY (32 × n)
     // against a square weight matrix (n × n) read as its transpose, compared
     // with the pre-blocking kernel (one full-width dot product per output

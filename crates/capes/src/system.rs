@@ -454,6 +454,10 @@ impl<T: TargetSystem> CapesSystem<T> {
                 },
             );
         }
+        // Commit the tick's staged snapshots in one group (normally a no-op:
+        // the daemon flushes itself once the expected node count reports;
+        // this covers targets where some nodes skipped the tick).
+        self.daemon.flush_snapshots();
 
         let observation = if kind == PhaseKind::Baseline {
             None

@@ -131,4 +131,62 @@ proptest! {
         bad[0] ^= 0xff;
         prop_assert!(decode_cluster_frame(&bad).is_err());
     }
+
+    /// Arbitrary byte corruption anywhere in a fleet frame must never panic,
+    /// abort (e.g. by allocating from a corrupt length prefix) or deliver to
+    /// a cluster outside the router: every outcome is a clean `Ok` (the
+    /// corruption landed in a payload value) or a `RouteError`.
+    #[test]
+    fn flipped_bytes_never_panic_or_escape_the_router(
+        seed in any::<u64>(),
+        cluster in 0u32..8,
+        flips in prop::collection::vec((any::<u32>(), any::<u32>()), 3),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = encode_cluster_frame(cluster, &random_message(&mut rng));
+        let mut bad = frame.to_vec();
+        let len = bad.len();
+        for &(pos, xor) in &flips {
+            bad[pos as usize % len] ^= (xor & 0xff) as u8;
+        }
+        let mut router = FrameRouter::new(8);
+        let mut delivered_to: Vec<usize> = Vec::new();
+        let result = router.route(&bad, |c, _| delivered_to.push(c));
+        match result {
+            Ok(()) => prop_assert!(delivered_to.iter().all(|&c| c < 8)),
+            Err(_) => prop_assert!(delivered_to.is_empty(), "errors must not deliver"),
+        }
+    }
+}
+
+/// A fleet frame whose inner report claims a gigantic changed-entry count
+/// must fail as a decode error before any allocation is sized from it — the
+/// pre-hardening decoder passed the count straight to
+/// `Vec::with_capacity`, an abort a single corrupt frame could trigger.
+#[test]
+fn huge_inner_count_is_a_clean_wire_error() {
+    use bytes::{BufMut, BytesMut};
+    use capes_agents::wire::{put_varint, WireError};
+    use capes_fleet::RouteError;
+    let mut buf = BytesMut::new();
+    buf.put_u8(0xF7); // fleet envelope tag
+    put_varint(&mut buf, 3); // cluster id
+    buf.put_u8(0x01); // inner TAG_REPORT
+    put_varint(&mut buf, 9); // tick
+    put_varint(&mut buf, 0); // node
+    put_varint(&mut buf, 44); // total_pis
+    put_varint(&mut buf, u64::MAX); // corrupt count
+    let frame = buf.freeze();
+    assert_eq!(
+        decode_cluster_frame(&frame),
+        Err(WireError::Truncated),
+        "corrupt counts must be detected before allocation"
+    );
+    let mut router = FrameRouter::new(8);
+    let result = router.route(&frame, |_, _| panic!("must not deliver"));
+    assert!(matches!(
+        result,
+        Err(RouteError::Wire(WireError::Truncated))
+    ));
+    assert_eq!(router.routed(), 0);
 }

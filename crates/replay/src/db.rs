@@ -3,7 +3,6 @@
 use crate::record::{NodeId, Observation, Tick};
 use capes_tensor::Matrix;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Static configuration of a [`ReplayDb`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -125,10 +124,13 @@ impl TickSlot {
 /// `tick % capacity_ticks`, so each lookup on the sampling path is one modulo
 /// and one bounds check. The side `objectives`/`actions` maps the earlier
 /// revisions kept are gone; [`ReplayDb::has_transition_data`] in particular
-/// is now a fully flat slot probe (no tree lookups, no observation
-/// materialisation). A side `BTreeMap` tracks which ticks hold snapshots,
-/// purely for the ordered queries (earliest/latest tick, backward fill of
-/// missing entries) — it is never consulted by the flat probes.
+/// is a fully flat slot probe (no tree lookups, no observation
+/// materialisation). The `occupied` `BTreeMap` earlier revisions kept for
+/// the ordered queries is gone too: earliest/latest tick and the retained
+/// tick/row counts are plain maintained scalars, and the backward fill of
+/// missing entries ([`ReplayDb::latest_snapshot_before`]) runs on a per-node
+/// last-reported-tick index plus flat ring probes — the store contains no
+/// tree at all.
 ///
 /// Eviction is implicit: inserting tick `t` into an occupied slot retires the
 /// record that lived there (`t − capacity` when ticks arrive densely),
@@ -140,9 +142,21 @@ pub struct ReplayDb {
     /// Ring of per-tick slots, indexed by `tick % capacity_ticks`.
     /// Grown lazily up to `capacity_ticks` entries.
     slots: Vec<TickSlot>,
-    /// Occupied ticks → number of node snapshots present (ordered index for
-    /// `earliest_tick`/`latest_tick` and backward fills).
-    occupied: BTreeMap<Tick, u32>,
+    /// Earliest snapshot tick still retained (kept exact on every insert and
+    /// eviction; see [`ReplayDb::restore_earliest_after`]).
+    earliest: Option<Tick>,
+    /// Latest snapshot tick retained (eviction only ever retires older
+    /// ticks, so this is monotone).
+    latest: Option<Tick>,
+    /// Number of ticks currently holding snapshot data.
+    occupied_ticks: usize,
+    /// Node snapshot rows currently present across all slots (memory
+    /// accounting — the per-tick counts the old ordered index carried).
+    snapshot_rows: usize,
+    /// Per-node tick of the newest snapshot ever accepted (the flat backward
+    /// fill's starting point; may point at since-evicted data, which the
+    /// fill path re-validates against the ring).
+    node_latest: Vec<Option<Tick>>,
     /// Objective records currently retained (memory accounting).
     num_objectives: usize,
     /// Action records currently retained (memory accounting).
@@ -163,7 +177,11 @@ impl ReplayDb {
         ReplayDb {
             config,
             slots: Vec::new(),
-            occupied: BTreeMap::new(),
+            earliest: None,
+            latest: None,
+            occupied_ticks: 0,
+            snapshot_rows: 0,
+            node_latest: vec![None; config.num_nodes],
             num_objectives: 0,
             num_actions: 0,
             evicted_ticks: 0,
@@ -182,6 +200,18 @@ impl ReplayDb {
     /// Panics if the node id or PI vector width does not match the
     /// configuration.
     pub fn insert_snapshot(&mut self, tick: Tick, node: NodeId, pis: Vec<f64>) {
+        self.insert_snapshot_from(tick, node, &pis);
+    }
+
+    /// [`ReplayDb::insert_snapshot`] from a borrowed PI slice — the
+    /// group-commit ingest path stages reconstructed vectors in reusable
+    /// buffers and copies them straight into the ring, so nothing is moved
+    /// or re-allocated per record.
+    ///
+    /// # Panics
+    /// Panics if the node id or PI vector width does not match the
+    /// configuration.
+    pub fn insert_snapshot_from(&mut self, tick: Tick, node: NodeId, pis: &[f64]) {
         assert!(
             node < self.config.num_nodes,
             "node {node} out of range ({} nodes)",
@@ -204,15 +234,17 @@ impl ReplayDb {
         // a report delayed by more than `capacity` ticks — and is dropped,
         // exactly as the legacy store's oldest-first eviction would have
         // discarded it immediately after insertion.
+        let mut evicted_earliest = None;
         if let Some(old) = self.slots[idx].tick {
             if old > tick {
                 self.total_inserted += 1;
                 return;
             }
             if old < tick {
-                self.occupied.remove(&old);
                 let slot = &mut self.slots[idx];
                 slot.tick = None;
+                self.occupied_ticks -= 1;
+                self.snapshot_rows -= slot.present.iter().filter(|&&p| p).count();
                 // The retired tick's objective/action share this slot (same
                 // residue class); retire them with it, as the legacy store's
                 // eviction loop pruned its side maps.
@@ -225,6 +257,9 @@ impl ReplayDb {
                     self.num_actions -= 1;
                 }
                 self.evicted_ticks += 1;
+                if self.earliest == Some(old) {
+                    evicted_earliest = Some(old);
+                }
             }
         }
         let width = self.config.num_nodes * self.config.pis_per_node;
@@ -234,18 +269,75 @@ impl ReplayDb {
             slot.data.resize(width, 0.0);
             slot.present.clear();
             slot.present.resize(self.config.num_nodes, false);
-            self.occupied.insert(tick, 0);
+            self.occupied_ticks += 1;
         }
         if !slot.present[node] {
             slot.present[node] = true;
-            *self
-                .occupied
-                .get_mut(&tick)
-                .expect("occupied entry created above") += 1;
+            self.snapshot_rows += 1;
         }
         slot.data[node * self.config.pis_per_node..][..self.config.pis_per_node]
-            .copy_from_slice(&pis);
+            .copy_from_slice(pis);
         self.total_inserted += 1;
+        // Ordered-index bookkeeping: latest is monotone, the per-node latest
+        // seeds the flat backward fill, and earliest either extends downward
+        // (a late-but-retained arrival) or needs restoring after its slot
+        // was just retired.
+        self.latest = Some(self.latest.map_or(tick, |l| l.max(tick)));
+        if self.node_latest[node].is_none_or(|t| t < tick) {
+            self.node_latest[node] = Some(tick);
+        }
+        match evicted_earliest {
+            Some(old) => self.restore_earliest_after(old),
+            None => self.earliest = Some(self.earliest.map_or(tick, |e| e.min(tick))),
+        }
+    }
+
+    /// Group commit: records one tick's snapshots for many nodes in a single
+    /// call. Behaviour (retention, eviction, counters) is identical to
+    /// calling [`ReplayDb::insert_snapshot_from`] once per entry in order —
+    /// the point is the *locking* layer above: a
+    /// [`crate::SharedReplayDb::insert_tick_group`] takes the stripe write
+    /// lock once per tick instead of once per (tick, node).
+    ///
+    /// # Panics
+    /// Panics if any node id or PI width does not match the configuration.
+    pub fn insert_tick_group<'a, I>(&mut self, tick: Tick, entries: I)
+    where
+        I: IntoIterator<Item = (NodeId, &'a [f64])>,
+    {
+        for (node, pis) in entries {
+            self.insert_snapshot_from(tick, node, pis);
+        }
+    }
+
+    /// How far [`ReplayDb::restore_earliest_after`] walks tick space before
+    /// falling back to a full slot sweep. Dense histories (the operational
+    /// case: one record per second per node) find the next retained tick on
+    /// the first probe.
+    const EARLIEST_SCAN_PROBES: u64 = 64;
+
+    /// Recomputes `earliest` after the previous minimum was evicted: a short
+    /// forward scan in tick space (flat ring probes, immediate hit for dense
+    /// histories), then a one-pass sweep of the slot tags for pathological
+    /// sparse histories — never a tree, cost bounded by the ring length.
+    fn restore_earliest_after(&mut self, evicted: Tick) {
+        if self.occupied_ticks == 0 {
+            self.earliest = None;
+            return;
+        }
+        let latest = self.latest.expect("occupied ring has a latest tick");
+        let scan_end = evicted
+            .saturating_add(Self::EARLIEST_SCAN_PROBES)
+            .min(latest);
+        let mut t = evicted + 1;
+        while t <= scan_end {
+            if self.slot_for(t).is_some() {
+                self.earliest = Some(t);
+                return;
+            }
+            t += 1;
+        }
+        self.earliest = self.slots.iter().filter_map(|s| s.tick).min();
     }
 
     #[inline]
@@ -339,22 +431,22 @@ impl ReplayDb {
 
     /// Latest tick for which any snapshot has been recorded.
     pub fn latest_tick(&self) -> Option<Tick> {
-        self.occupied.keys().next_back().copied()
+        self.latest
     }
 
     /// Earliest tick still retained.
     pub fn earliest_tick(&self) -> Option<Tick> {
-        self.occupied.keys().next().copied()
+        self.earliest
     }
 
     /// Number of ticks currently retained.
     pub fn len(&self) -> usize {
-        self.occupied.len()
+        self.occupied_ticks
     }
 
     /// `true` if no snapshots have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.occupied.is_empty()
+        self.occupied_ticks == 0
     }
 
     /// Total snapshot rows ever inserted (including evicted ones).
@@ -372,8 +464,7 @@ impl ReplayDb {
     /// the way Table 2 reports "total size of the Replay DB in memory".
     pub fn memory_bytes(&self) -> usize {
         let per_snapshot = self.config.pis_per_node * std::mem::size_of::<f64>();
-        let snapshot_rows: usize = self.occupied.values().map(|&n| n as usize).sum();
-        snapshot_rows * per_snapshot
+        self.snapshot_rows * per_snapshot
             + self.num_objectives * std::mem::size_of::<(Tick, f64)>()
             + self.num_actions * std::mem::size_of::<(Tick, usize)>()
     }
@@ -500,11 +591,49 @@ impl ReplayDb {
         Some((min, latest.saturating_sub(1)))
     }
 
+    /// How far [`ReplayDb::latest_snapshot_before`] walks tick space before
+    /// falling back to a one-pass slot sweep. Dense histories hit on the
+    /// first probe; the cap keeps the fill bounded even when a corrupt or
+    /// far-future tick poisoned the per-node index (ticks arrive off the
+    /// wire, so a numeric gap of 2⁴⁰ must not become a 2⁴⁰-step walk).
+    const FILL_SCAN_PROBES: u64 = 128;
+
+    /// The node's most recent snapshot strictly before `tick`, used to
+    /// backward-fill missing observation entries.
+    ///
+    /// Fully flat: the per-node last-reported tick bounds the search from
+    /// above (a node that never reported answers in O(1), and in the common
+    /// dense case the first ring probe hits), the walk down is a plain slot
+    /// probe per step, and pathological gaps degrade to one sweep over the
+    /// slot tags — cost is bounded by the ring length, never by the numeric
+    /// tick distance, and the tree-walk over the old `occupied` map is gone.
     fn latest_snapshot_before(&self, tick: Tick, node: NodeId) -> Option<&[f64]> {
-        self.occupied
-            .range(..tick)
-            .rev()
-            .find_map(|(&t, _)| self.node_pis(t, node))
+        let newest = self.node_latest[node]?;
+        let earliest = self.earliest?;
+        let upper = newest.min(tick.checked_sub(1)?);
+        let scan_floor = upper.saturating_sub(Self::FILL_SCAN_PROBES);
+        let mut t = upper;
+        loop {
+            if let Some(pis) = self.node_pis(t, node) {
+                return Some(pis);
+            }
+            if t <= earliest {
+                return None;
+            }
+            if t <= scan_floor {
+                break;
+            }
+            t -= 1;
+        }
+        // Pathological gap (sparse history or a poisoned per-node index):
+        // one pass over the slot tags finds the node's newest retained
+        // snapshot at or below `upper` exactly.
+        let best = self
+            .slots
+            .iter()
+            .filter_map(|s| s.tick.filter(|&t| t <= upper && s.present[node]))
+            .max()?;
+        self.node_pis(best, node)
     }
 }
 
@@ -708,6 +837,42 @@ mod tests {
             out.iter().all(|&v| v >= 0.0),
             "stale PI values must not leak into observations"
         );
+    }
+
+    #[test]
+    fn backward_fill_is_bounded_under_a_poisoned_node_index() {
+        // Ticks arrive off the wire, so a corrupt far-future tick can pass
+        // the daemon's content checks and poison `node_latest` before the
+        // record itself is evicted. The fill must stay bounded by the ring
+        // length — a 2⁴⁰-wide numeric gap must not become a 2⁴⁰-step walk —
+        // and still find the node's genuinely retained older snapshot.
+        let mut db = ReplayDb::new(ReplayConfig {
+            capacity_ticks: 50,
+            missing_entry_tolerance: 0.5,
+            ..small_config()
+        });
+        for t in 0..8u64 {
+            db.insert_snapshot(t, 0, vec![t as f64, 0.0, 0.0]);
+            db.insert_snapshot(t, 1, vec![t as f64, 1.0, 1.0]);
+        }
+        let huge = 1u64 << 40; // multiple of 50 ⇒ slot 0, colliding with tick 0
+        db.insert_snapshot(huge, 0, vec![-1.0, -1.0, -1.0]);
+        // Node 1 keeps reporting in the same residue neighbourhood, evicting
+        // node 0's huge-tick snapshot while node_latest[0] still points at
+        // it; node 0 itself goes silent.
+        for t in huge + 49..=huge + 52 {
+            db.insert_snapshot(t, 1, vec![t as f64, 1.0, 1.0]);
+        }
+        // Node 0's entries for the whole window are missing; the fill must
+        // complete (bounded by the ring, not the 2⁴⁰ tick gap) and reach
+        // node 0's newest retained snapshot, tick 7.
+        let obs = db
+            .observation_at(huge + 52)
+            .expect("within tolerance: only node 0's rows are missing");
+        let width = 2 * 3;
+        for row in 0..4 {
+            assert_eq!(obs.features[(0, row * width)], 7.0, "filled from tick 7");
+        }
     }
 
     #[test]

@@ -57,6 +57,21 @@ impl SharedReplayDb {
             .with_write(self.stripe, |db| db.insert_snapshot(tick, node, pis));
     }
 
+    /// Writer-side group commit: records one tick's snapshots for many nodes
+    /// under a **single** write-lock acquisition. Store contents, eviction
+    /// and counters are identical to one [`SharedReplayDb::insert_snapshot`]
+    /// call per entry (in entry order); the difference is lock traffic — a
+    /// monitoring pipeline covering N nodes takes 1 stripe write lock per
+    /// tick instead of N. This is the path the Interface Daemon's per-tick
+    /// ingest batching commits through.
+    pub fn insert_tick_group<'a, I>(&self, tick: Tick, entries: I)
+    where
+        I: IntoIterator<Item = (NodeId, &'a [f64])>,
+    {
+        self.arena
+            .with_write(self.stripe, |db| db.insert_tick_group(tick, entries));
+    }
+
     /// Writer-side: records the objective value of a tick.
     pub fn insert_objective(&self, tick: Tick, value: f64) {
         self.arena

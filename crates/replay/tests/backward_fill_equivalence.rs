@@ -1,0 +1,213 @@
+//! Equivalence of the flat backward-fill path against the ordered-index
+//! store it replaced.
+//!
+//! PR 5 deleted the `occupied` `BTreeMap` from `ReplayDb`: earliest/latest
+//! and the retained counts became maintained scalars, and
+//! `latest_snapshot_before` (the backward fill of missing observation
+//! entries) became a per-node last-reported-tick index plus flat ring
+//! probes. This suite reimplements the *old* semantics verbatim — a
+//! `BTreeMap` of retained ticks with ring eviction, and a reverse tree walk
+//! for the fill — and drives both stores through randomized histories
+//! covering exactly the hazards the flat path must absorb:
+//!
+//! * **sparse reporting** — nodes that skip ticks, report rarely, or never
+//!   report at all (the fill must reach arbitrarily far back, or give up);
+//! * **stale arrivals** — reports delayed beyond the retention window
+//!   (dropped) and late-but-retained reports (accepted, may *lower* the
+//!   earliest tick);
+//! * **eviction of the earliest tick** — including gaps after it, which is
+//!   where a maintained minimum can silently go wrong.
+//!
+//! Every observation over the full tick range, plus the ordered queries and
+//! the memory accounting, must agree exactly.
+
+use capes_replay::{ReplayConfig, ReplayDb};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Verbatim reimplementation of the pre-PR 5 snapshot store: ring-keyed
+/// retention over a `BTreeMap` ordered index, with the backward fill walking
+/// the tree in reverse.
+struct LegacyStore {
+    config: ReplayConfig,
+    /// tick → (node → PI vector); the ordered index the old store kept.
+    snaps: BTreeMap<u64, BTreeMap<usize, Vec<f64>>>,
+    /// ring slot → retained tick (the old store's slot-tag array).
+    slot_of: BTreeMap<usize, u64>,
+    evicted: u64,
+    total_inserted: u64,
+}
+
+impl LegacyStore {
+    fn new(config: ReplayConfig) -> Self {
+        LegacyStore {
+            config,
+            snaps: BTreeMap::new(),
+            slot_of: BTreeMap::new(),
+            evicted: 0,
+            total_inserted: 0,
+        }
+    }
+
+    fn insert(&mut self, tick: u64, node: usize, pis: Vec<f64>) {
+        self.total_inserted += 1;
+        let slot = (tick % self.config.capacity_ticks as u64) as usize;
+        if let Some(&t0) = self.slot_of.get(&slot) {
+            if t0 > tick {
+                return; // expired late arrival: dropped
+            }
+            if t0 < tick {
+                self.snaps.remove(&t0); // implicit eviction
+                self.evicted += 1;
+            }
+        }
+        self.slot_of.insert(slot, tick);
+        self.snaps.entry(tick).or_default().insert(node, pis);
+    }
+
+    fn latest_snapshot_before(&self, tick: u64, node: usize) -> Option<&[f64]> {
+        self.snaps
+            .range(..tick)
+            .rev()
+            .find_map(|(_, nodes)| nodes.get(&node).map(|v| v.as_slice()))
+    }
+
+    fn node_pis(&self, tick: u64, node: usize) -> Option<&[f64]> {
+        self.snaps
+            .get(&tick)
+            .and_then(|nodes| nodes.get(&node).map(|v| v.as_slice()))
+    }
+
+    /// The old `write_observation`, including tolerance accounting and
+    /// zero-fill for nodes with no earlier snapshot.
+    fn observation(&self, tick: u64) -> Option<Vec<f64>> {
+        let c = &self.config;
+        let s = c.ticks_per_observation as u64;
+        if tick + 1 < s {
+            return None;
+        }
+        let start = tick + 1 - s;
+        let total_slots = c.ticks_per_observation * c.num_nodes;
+        let max_missing = (total_slots as f64 * c.missing_entry_tolerance).floor() as usize;
+        let width = c.num_nodes * c.pis_per_node;
+        let mut out = vec![0.0; c.observation_size()];
+        let mut missing = 0usize;
+        for (row, t) in (start..=tick).enumerate() {
+            for node in 0..c.num_nodes {
+                let direct = self.node_pis(t, node);
+                let values = match direct {
+                    Some(v) => Some(v),
+                    None => {
+                        missing += 1;
+                        if missing > max_missing {
+                            return None;
+                        }
+                        self.latest_snapshot_before(t, node)
+                    }
+                };
+                let base = row * width + node * c.pis_per_node;
+                match values {
+                    Some(v) => out[base..base + c.pis_per_node].copy_from_slice(v),
+                    None => out[base..base + c.pis_per_node].fill(0.0),
+                }
+            }
+        }
+        Some(out)
+    }
+
+    fn earliest(&self) -> Option<u64> {
+        self.snaps.keys().next().copied()
+    }
+
+    fn latest(&self) -> Option<u64> {
+        self.snaps.keys().next_back().copied()
+    }
+
+    fn snapshot_rows(&self) -> usize {
+        self.snaps.values().map(|nodes| nodes.len()).sum()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flat_fill_matches_the_ordered_index_store(
+        seed in any::<u64>(),
+        num_nodes in 2usize..5,
+        capacity in 8usize..40,
+        steps in 20usize..160,
+        stale_bias in 0u32..4,
+    ) {
+        let config = ReplayConfig {
+            num_nodes,
+            pis_per_node: 2,
+            ticks_per_observation: 3,
+            missing_entry_tolerance: 0.4,
+            capacity_ticks: capacity.max(4),
+        };
+        let mut db = ReplayDb::new(config);
+        let mut legacy = LegacyStore::new(config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut current = 0u64;
+        for _ in 0..steps {
+            // Advance time most of the time; sometimes revisit an old or
+            // even expired tick (stale arrival), sometimes jump ahead
+            // (sparse gap, possibly evicting the earliest tick past a gap).
+            let tick = match rng.gen_range(0..6u32) {
+                0 if stale_bias > 0 => {
+                    let back = rng.gen_range(0..(2 * capacity as u64 + 1));
+                    current.saturating_sub(back)
+                }
+                1 => {
+                    current += rng.gen_range(2..(capacity as u64 / 2 + 3));
+                    current
+                }
+                _ => {
+                    current += 1;
+                    current
+                }
+            };
+            for node in 0..num_nodes {
+                // Sparse reporting: each node reports with its own bias;
+                // node 0 reports rarely so the fill must reach far back.
+                let reports = if node == 0 {
+                    rng.gen_range(0..4u32) == 0
+                } else {
+                    rng.gen_range(0..4u32) != 0
+                };
+                if reports {
+                    let pis = vec![tick as f64, node as f64 * 10.0];
+                    db.insert_snapshot(tick, node, pis.clone());
+                    legacy.insert(tick, node, pis);
+                }
+            }
+        }
+
+        // Ordered queries agree.
+        prop_assert_eq!(db.earliest_tick(), legacy.earliest());
+        prop_assert_eq!(db.latest_tick(), legacy.latest());
+        prop_assert_eq!(db.len(), legacy.snaps.len());
+        prop_assert_eq!(db.evicted_ticks(), legacy.evicted);
+        prop_assert_eq!(db.total_inserted(), legacy.total_inserted);
+        prop_assert_eq!(
+            db.memory_bytes(),
+            legacy.snapshot_rows() * config.pis_per_node * std::mem::size_of::<f64>()
+        );
+
+        // Every observation over the whole lived range agrees, including the
+        // backward-filled and zero-filled entries.
+        let hi = legacy.latest().unwrap_or(0) + 2;
+        let mut buf = vec![0.0; config.observation_size()];
+        for t in 0..=hi {
+            let expected = legacy.observation(t);
+            let got = db.write_observation(t, &mut buf);
+            prop_assert_eq!(got, expected.is_some(), "acceptance differs at tick {}", t);
+            if let Some(expected) = expected {
+                prop_assert_eq!(&buf, &expected, "observation differs at tick {}", t);
+            }
+        }
+    }
+}

@@ -29,11 +29,13 @@ pub mod matmul;
 pub mod matrix;
 pub mod ops;
 pub mod pool;
+pub mod simd;
 
 pub use init::WeightInit;
 pub use matmul::MatmulStrategy;
 pub use matrix::Matrix;
 pub use pool::WorkerPool;
+pub use simd::SimdLevel;
 
 /// Absolute tolerance used throughout the workspace when comparing floating
 /// point results of linear-algebra kernels.

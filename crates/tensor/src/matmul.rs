@@ -23,7 +23,14 @@
 //!
 //! The kernels propagate non-finite values exactly like the naive reference:
 //! `0 · NaN` is `NaN`, never silently skipped.
+//!
+//! The inner kernels themselves live in [`crate::simd`]: every strategy
+//! (blocked, threaded, pooled) calls through the runtime-dispatched
+//! entry points there, so single-threaded and pool-chunked products alike
+//! run the AVX2+FMA vector kernels when the CPU supports them (and the
+//! portable scalar kernels otherwise, or under `CAPES_SIMD=off`).
 
+use crate::simd::{gemm_rows, gemm_ta_rows, gemm_tb_rows};
 use crate::{pool, Matrix};
 
 /// Which GEMM kernel to run.
@@ -38,11 +45,6 @@ pub enum MatmulStrategy {
     /// Cache-blocked kernel with rows split across the persistent pool.
     Pooled,
 }
-
-/// Block edge (in elements) over the inner dimension for the cache-blocked
-/// kernels: a 64-row panel of a 600-wide B matrix is ~300 KiB, which stays
-/// resident in L2 while the panel is swept once per output row.
-const BLOCK: usize = 64;
 
 /// FLOP threshold above which the dispatcher parallelises across the pool.
 const PARALLEL_FLOP_THRESHOLD: usize = 4_000_000;
@@ -285,146 +287,6 @@ fn matmul_naive(a: &Matrix, b: &Matrix, out: &mut Matrix) {
                 acc += a.get(i, p) * b.get(p, j);
             }
             out.set(i, j, acc);
-        }
-    }
-}
-
-/// Cache-blocked accumulating kernel: `out += a · b` over raw slices. `out`
-/// must hold exactly `rows_a × cols_b` elements (callers seed it with zeros
-/// or, for the fused affine path, with the broadcast bias).
-///
-/// The inner update is rank-4: four rows of `b` are combined per sweep of the
-/// output row, which quarters the traffic on `out` and gives the
-/// autovectorizer four independent streams. All subslices carry exact lengths
-/// so the inner loops compile without bounds checks.
-fn gemm_rows(a: &[f64], b: &[f64], out: &mut [f64], rows_a: usize, cols_a: usize, cols_b: usize) {
-    debug_assert_eq!(a.len(), rows_a * cols_a);
-    debug_assert_eq!(out.len(), rows_a * cols_b);
-    for kk in (0..cols_a).step_by(BLOCK) {
-        let k_end = (kk + BLOCK).min(cols_a);
-        for i in 0..rows_a {
-            let a_row = &a[i * cols_a..][..cols_a];
-            let out_row = &mut out[i * cols_b..][..cols_b];
-            let mut p = kk;
-            while p + 4 <= k_end {
-                let (v0, v1, v2, v3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
-                let b0 = &b[p * cols_b..][..cols_b];
-                let b1 = &b[(p + 1) * cols_b..][..cols_b];
-                let b2 = &b[(p + 2) * cols_b..][..cols_b];
-                let b3 = &b[(p + 3) * cols_b..][..cols_b];
-                for j in 0..cols_b {
-                    out_row[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
-                }
-                p += 4;
-            }
-            while p < k_end {
-                let v = a_row[p];
-                let b_row = &b[p * cols_b..][..cols_b];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += v * bv;
-                }
-                p += 1;
-            }
-        }
-    }
-}
-
-/// Dot product with four independent accumulators (ILP + vectorization).
-#[inline]
-fn dot4(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut c0 = 0.0;
-    let mut c1 = 0.0;
-    let mut c2 = 0.0;
-    let mut c3 = 0.0;
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
-    for (xa, xb) in (&mut ca).zip(&mut cb) {
-        c0 += xa[0] * xb[0];
-        c1 += xa[1] * xb[1];
-        c2 += xa[2] * xb[2];
-        c3 += xa[3] * xb[3];
-    }
-    let mut tail = 0.0;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += x * y;
-    }
-    (c0 + c2) + (c1 + c3) + tail
-}
-
-/// `out = a · bᵀ` over raw slices: row `i` of `out` holds the dot products of
-/// row `i` of `a` with every row of `b`. `out` must hold exactly
-/// `rows_a × rows_b` elements (it is zeroed and accumulated into).
-///
-/// Blocked the way [`gemm_rows`] is, in both the reduction dimension and
-/// `b`'s rows: each [`BLOCK`] × [`BLOCK`] panel of `b` (~32 KiB, resident in
-/// L1/L2) is reused across every row of `a` before the kernel moves on. The
-/// un-blocked kernel streamed the whole of `b` once per output row — on the
-/// paper's 2200-obs backward pass that is a ~39 MB weight matrix re-read
-/// `rows_a` times; blocking reads it once.
-fn gemm_tb_rows(a: &[f64], b: &[f64], out: &mut [f64], rows_a: usize, cols: usize, rows_b: usize) {
-    debug_assert_eq!(a.len(), rows_a * cols);
-    debug_assert_eq!(out.len(), rows_a * rows_b);
-    out.fill(0.0);
-    for kk in (0..cols).step_by(BLOCK) {
-        let k_end = (kk + BLOCK).min(cols);
-        for jj in (0..rows_b).step_by(BLOCK) {
-            let j_end = (jj + BLOCK).min(rows_b);
-            for i in 0..rows_a {
-                let a_seg = &a[i * cols + kk..i * cols + k_end];
-                let out_seg = &mut out[i * rows_b + jj..i * rows_b + j_end];
-                for (j, o) in (jj..j_end).zip(out_seg.iter_mut()) {
-                    *o += dot4(a_seg, &b[j * cols + kk..j * cols + k_end]);
-                }
-            }
-        }
-    }
-}
-
-/// Accumulating `out[i_start..i_end] += (aᵀ · b)[i_start..i_end]` over raw
-/// slices, where `a` is `n × m` and `b` is `n × p`. `out` holds the rows
-/// `i_start..i_end` of the `m × p` product. The reduction dimension `n` is
-/// unrolled by 4, keeping the output row resident while four `b` rows stream.
-#[allow(clippy::too_many_arguments)]
-fn gemm_ta_rows(
-    a: &[f64],
-    b: &[f64],
-    out: &mut [f64],
-    i_start: usize,
-    i_end: usize,
-    n: usize,
-    m: usize,
-    p: usize,
-) {
-    debug_assert_eq!(a.len(), n * m);
-    debug_assert_eq!(b.len(), n * p);
-    debug_assert_eq!(out.len(), (i_end - i_start) * p);
-    for i in i_start..i_end {
-        let out_row = &mut out[(i - i_start) * p..][..p];
-        let mut r = 0;
-        while r + 4 <= n {
-            let (v0, v1, v2, v3) = (
-                a[r * m + i],
-                a[(r + 1) * m + i],
-                a[(r + 2) * m + i],
-                a[(r + 3) * m + i],
-            );
-            let b0 = &b[r * p..][..p];
-            let b1 = &b[(r + 1) * p..][..p];
-            let b2 = &b[(r + 2) * p..][..p];
-            let b3 = &b[(r + 3) * p..][..p];
-            for j in 0..p {
-                out_row[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
-            }
-            r += 4;
-        }
-        while r < n {
-            let v = a[r * m + i];
-            let b_row = &b[r * p..][..p];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += v * bv;
-            }
-            r += 1;
         }
     }
 }

@@ -189,10 +189,16 @@ pub fn configured_threads() -> usize {
 }
 
 /// The process-wide pool, created on first use with [`configured_threads`]
-/// workers. `CAPES_THREADS` is read once, at initialisation.
+/// workers. `CAPES_THREADS` is read once, at initialisation — as is the SIMD
+/// kernel level ([`crate::simd::active_level`], honouring `CAPES_SIMD`),
+/// which is warmed here so both process-wide choices are pinned together
+/// before the first dispatch.
 pub fn global() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
-    POOL.get_or_init(|| WorkerPool::new(configured_threads()))
+    POOL.get_or_init(|| {
+        let _ = crate::simd::active_level();
+        WorkerPool::new(configured_threads())
+    })
 }
 
 #[cfg(test)]

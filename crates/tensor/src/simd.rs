@@ -1,0 +1,943 @@
+//! Explicit SIMD GEMM inner kernels with runtime dispatch.
+//!
+//! The blocked kernels in [`crate::matmul`] are bounds-check-free and rank-4
+//! unrolled, but at the x86-64 *baseline* target (SSE2) the autovectorizer
+//! can only emit 2-wide f64 arithmetic and no fused multiply-adds. This
+//! module provides hand-written AVX2+FMA inner kernels (4-wide `f64x4`
+//! FMAs) for all three GEMM shapes the training step uses —
+//!
+//! * `out += a · b` ([`gemm_rows_with`], also the fused-affine kernel:
+//!   `affine_into` seeds `out` with the bias and accumulates on top),
+//! * `out[i_start..i_end] += (aᵀ · b)[i_start..i_end]`
+//!   ([`gemm_ta_rows_with`], the weight-gradient product), and
+//! * `out = a · bᵀ` ([`gemm_tb_rows_with`], the input-gradient product)
+//!
+//! — selected **once per process** and cached: the first dispatch (the
+//! worker-pool initialisation warms it) probes the CPU via
+//! `is_x86_feature_detected!` and honours the `CAPES_SIMD` environment
+//! variable:
+//!
+//! | `CAPES_SIMD`                  | effect                                   |
+//! |-------------------------------|------------------------------------------|
+//! | unset / `auto`                | use AVX2+FMA when the CPU supports both  |
+//! | `off` / `scalar` / `0`        | always use the portable scalar kernels   |
+//! | `avx2` / `fma` / `on`         | request AVX2+FMA (clamped to what the CPU supports — never unsound) |
+//! | anything else                 | scalar kernels + a one-time warning (a typo in the kill switch fails safe) |
+//!
+//! The scalar arm is byte-for-byte the pre-SIMD blocked kernel, so forcing
+//! `CAPES_SIMD=off` reproduces the previous releases' results bit-for-bit.
+//! The vector arm contracts each multiply-add into one FMA (one rounding
+//! instead of two), so its results can differ from the scalar arm in the
+//! final ulp — the property tests bound the difference against the naive
+//! reference. Non-finite operands propagate exactly like the naive kernel in
+//! both arms: every product is computed, `0 · NaN` is `NaN`, never skipped.
+//! Remainder columns/rows that do not fill a 4-lane vector are handled with
+//! scalar-FMA tails inside the vector arm, and every load/store is unaligned
+//! (`loadu`/`storeu`), so kernels accept arbitrary sub-slices.
+//!
+//! All three kernels chunk by *output rows* only, and every output element is
+//! computed by exactly one instruction sequence regardless of the chunking —
+//! which is why the pooled (multi-threaded) and single-threaded dispatch
+//! agree bit-for-bit (property-tested).
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Which inner-kernel implementation the GEMMs run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar kernels (rank-4 unrolled, autovectorized at whatever
+    /// baseline the build targets). Bit-identical to the pre-SIMD kernels.
+    Scalar,
+    /// Hand-written AVX2 kernels with FMA contraction (x86-64 only).
+    Avx2Fma,
+}
+
+impl fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimdLevel::Scalar => write!(f, "scalar"),
+            SimdLevel::Avx2Fma => write!(f, "avx2+fma"),
+        }
+    }
+}
+
+/// Block edge (in elements) over the inner dimension for the cache-blocked
+/// kernels: a 64-row panel of a 600-wide B matrix is ~300 KiB, which stays
+/// resident in L2 while the panel is swept once per output row.
+pub(crate) const BLOCK: usize = 64;
+
+/// The highest level this CPU can run, probed with
+/// `is_x86_feature_detected!`. Non-x86-64 targets always report
+/// [`SimdLevel::Scalar`].
+pub fn detected_level() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+            return SimdLevel::Avx2Fma;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// The level every auto-dispatching kernel in this process uses, selected on
+/// first call (the GEMM pool initialisation warms it) and cached for the
+/// process lifetime: the `CAPES_SIMD` override when set (see the module
+/// docs), otherwise [`detected_level`]. Requests for a level the CPU cannot
+/// run are clamped to [`SimdLevel::Scalar`], never dispatched unsoundly —
+/// and a value the switch does not recognise degrades to the scalar kernels
+/// (with a one-time warning) rather than silently enabling the vector path:
+/// the override exists as a kill switch, so a typo must fail safe.
+pub fn active_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        match std::env::var("CAPES_SIMD")
+            .map(|v| v.to_ascii_lowercase())
+            .as_deref()
+        {
+            Ok("off" | "scalar" | "0" | "false") => SimdLevel::Scalar,
+            // An explicit vector request still goes through detection: a
+            // level the CPU cannot run must never be dispatched.
+            Ok("avx2" | "fma" | "on" | "1" | "true" | "auto") | Err(_) => detected_level(),
+            Ok(other) => {
+                eprintln!(
+                    "capes-tensor: unrecognised CAPES_SIMD value {other:?}; \
+                     falling back to the scalar kernels (use off/scalar or avx2/auto)"
+                );
+                SimdLevel::Scalar
+            }
+        }
+    })
+}
+
+/// Cache-blocked accumulating kernel `out += a · b` over raw slices, at an
+/// explicit [`SimdLevel`]: `a` is `rows_a × cols_a`, `b` is
+/// `cols_a × cols_b`, `out` holds exactly `rows_a × cols_b` elements (callers
+/// seed it with zeros or, for the fused affine path, with the broadcast
+/// bias).
+///
+/// A [`SimdLevel::Avx2Fma`] request on a build or CPU that cannot run it
+/// (non-x86-64, or x86-64 without AVX2+FMA) silently degrades to the scalar
+/// kernels, mirroring [`active_level`]'s clamping — the function is safe to
+/// call with any level anywhere.
+///
+/// # Panics
+/// Panics if any slice length disagrees with the dimensions (the vector arm
+/// relies on the exact lengths for memory safety).
+pub fn gemm_rows_with(
+    level: SimdLevel,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    rows_a: usize,
+    cols_a: usize,
+    cols_b: usize,
+) {
+    assert_eq!(a.len(), rows_a * cols_a, "gemm_rows: a length mismatch");
+    assert_eq!(b.len(), cols_a * cols_b, "gemm_rows: b length mismatch");
+    assert_eq!(out.len(), rows_a * cols_b, "gemm_rows: out length mismatch");
+    match level {
+        // Safety: the guard re-confirms the CPU runs AVX2+FMA (std caches
+        // the probe); lengths were asserted above.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
+            avx2::gemm_rows(a, b, out, rows_a, cols_a, cols_b)
+        },
+        _ => gemm_rows_scalar(a, b, out, rows_a, cols_a, cols_b),
+    }
+}
+
+/// Accumulating `out[i_start..i_end] += (aᵀ · b)[i_start..i_end]` over raw
+/// slices at an explicit [`SimdLevel`], where `a` is `n × m` and `b` is
+/// `n × p`; `out` holds the rows `i_start..i_end` of the `m × p` product.
+///
+/// Unrunnable level requests degrade to the scalar kernel as in
+/// [`gemm_rows_with`].
+///
+/// # Panics
+/// Panics if any slice length disagrees with the dimensions or the row range
+/// is out of bounds.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_ta_rows_with(
+    level: SimdLevel,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    i_start: usize,
+    i_end: usize,
+    n: usize,
+    m: usize,
+    p: usize,
+) {
+    assert!(
+        i_start <= i_end && i_end <= m,
+        "gemm_ta_rows: bad row range"
+    );
+    assert_eq!(a.len(), n * m, "gemm_ta_rows: a length mismatch");
+    assert_eq!(b.len(), n * p, "gemm_ta_rows: b length mismatch");
+    assert_eq!(
+        out.len(),
+        (i_end - i_start) * p,
+        "gemm_ta_rows: out length mismatch"
+    );
+    match level {
+        // Safety: as in `gemm_rows_with`.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
+            avx2::gemm_ta_rows(a, b, out, i_start, i_end, n, m, p)
+        },
+        _ => gemm_ta_rows_scalar(a, b, out, i_start, i_end, n, m, p),
+    }
+}
+
+/// `out = a · bᵀ` over raw slices at an explicit [`SimdLevel`]: row `i` of
+/// `out` holds the dot products of row `i` of `a` with every row of `b`
+/// (`out` is zeroed and accumulated into, panel by panel).
+///
+/// Unrunnable level requests degrade to the scalar kernel as in
+/// [`gemm_rows_with`].
+///
+/// # Panics
+/// Panics if any slice length disagrees with the dimensions.
+pub fn gemm_tb_rows_with(
+    level: SimdLevel,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    rows_a: usize,
+    cols: usize,
+    rows_b: usize,
+) {
+    assert_eq!(a.len(), rows_a * cols, "gemm_tb_rows: a length mismatch");
+    assert_eq!(b.len(), rows_b * cols, "gemm_tb_rows: b length mismatch");
+    assert_eq!(
+        out.len(),
+        rows_a * rows_b,
+        "gemm_tb_rows: out length mismatch"
+    );
+    match level {
+        // Safety: as in `gemm_rows_with`.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
+            avx2::gemm_tb_rows(a, b, out, rows_a, cols, rows_b)
+        },
+        _ => gemm_tb_rows_scalar(a, b, out, rows_a, cols, rows_b),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Auto-dispatching crate-internal entry points (what `matmul.rs` calls).
+// ---------------------------------------------------------------------------
+
+#[inline]
+pub(crate) fn gemm_rows(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    rows_a: usize,
+    cols_a: usize,
+    cols_b: usize,
+) {
+    gemm_rows_with(active_level(), a, b, out, rows_a, cols_a, cols_b);
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn gemm_ta_rows(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    i_start: usize,
+    i_end: usize,
+    n: usize,
+    m: usize,
+    p: usize,
+) {
+    gemm_ta_rows_with(active_level(), a, b, out, i_start, i_end, n, m, p);
+}
+
+#[inline]
+pub(crate) fn gemm_tb_rows(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    rows_a: usize,
+    cols: usize,
+    rows_b: usize,
+) {
+    gemm_tb_rows_with(active_level(), a, b, out, rows_a, cols, rows_b);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arm — byte-for-byte the pre-SIMD blocked kernels.
+// ---------------------------------------------------------------------------
+
+/// The inner update is rank-4: four rows of `b` are combined per sweep of the
+/// output row, which quarters the traffic on `out` and gives the
+/// autovectorizer four independent streams. All subslices carry exact lengths
+/// so the inner loops compile without bounds checks.
+fn gemm_rows_scalar(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    rows_a: usize,
+    cols_a: usize,
+    cols_b: usize,
+) {
+    for kk in (0..cols_a).step_by(BLOCK) {
+        let k_end = (kk + BLOCK).min(cols_a);
+        for i in 0..rows_a {
+            let a_row = &a[i * cols_a..][..cols_a];
+            let out_row = &mut out[i * cols_b..][..cols_b];
+            let mut p = kk;
+            while p + 4 <= k_end {
+                let (v0, v1, v2, v3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+                let b0 = &b[p * cols_b..][..cols_b];
+                let b1 = &b[(p + 1) * cols_b..][..cols_b];
+                let b2 = &b[(p + 2) * cols_b..][..cols_b];
+                let b3 = &b[(p + 3) * cols_b..][..cols_b];
+                for j in 0..cols_b {
+                    out_row[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
+                }
+                p += 4;
+            }
+            while p < k_end {
+                let v = a_row[p];
+                let b_row = &b[p * cols_b..][..cols_b];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += v * bv;
+                }
+                p += 1;
+            }
+        }
+    }
+}
+
+/// The reduction dimension `n` is unrolled by 4, keeping the output row
+/// resident while four `b` rows stream.
+#[allow(clippy::too_many_arguments)]
+fn gemm_ta_rows_scalar(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    i_start: usize,
+    i_end: usize,
+    n: usize,
+    m: usize,
+    p: usize,
+) {
+    for i in i_start..i_end {
+        let out_row = &mut out[(i - i_start) * p..][..p];
+        let mut r = 0;
+        while r + 4 <= n {
+            let (v0, v1, v2, v3) = (
+                a[r * m + i],
+                a[(r + 1) * m + i],
+                a[(r + 2) * m + i],
+                a[(r + 3) * m + i],
+            );
+            let b0 = &b[r * p..][..p];
+            let b1 = &b[(r + 1) * p..][..p];
+            let b2 = &b[(r + 2) * p..][..p];
+            let b3 = &b[(r + 3) * p..][..p];
+            for j in 0..p {
+                out_row[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
+            }
+            r += 4;
+        }
+        while r < n {
+            let v = a[r * m + i];
+            let b_row = &b[r * p..][..p];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += v * bv;
+            }
+            r += 1;
+        }
+    }
+}
+
+/// Dot product with four independent accumulators (ILP + vectorization).
+#[inline]
+fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut c0 = 0.0;
+    let mut c1 = 0.0;
+    let mut c2 = 0.0;
+    let mut c3 = 0.0;
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        c0 += xa[0] * xb[0];
+        c1 += xa[1] * xb[1];
+        c2 += xa[2] * xb[2];
+        c3 += xa[3] * xb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    (c0 + c2) + (c1 + c3) + tail
+}
+
+/// Blocked in both the reduction dimension and `b`'s rows: each
+/// [`BLOCK`] × [`BLOCK`] panel of `b` (~32 KiB, resident in L1/L2) is reused
+/// across every row of `a` before the kernel moves on.
+fn gemm_tb_rows_scalar(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    rows_a: usize,
+    cols: usize,
+    rows_b: usize,
+) {
+    out.fill(0.0);
+    for kk in (0..cols).step_by(BLOCK) {
+        let k_end = (kk + BLOCK).min(cols);
+        for jj in (0..rows_b).step_by(BLOCK) {
+            let j_end = (jj + BLOCK).min(rows_b);
+            for i in 0..rows_a {
+                let a_seg = &a[i * cols + kk..i * cols + k_end];
+                let out_seg = &mut out[i * rows_b + jj..i * rows_b + j_end];
+                for (j, o) in (jj..j_end).zip(out_seg.iter_mut()) {
+                    *o += dot4(a_seg, &b[j * cols + kk..j * cols + k_end]);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA arm.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::BLOCK;
+    use std::arch::x86_64::*;
+
+    /// Scalar fused multiply-add `a * b + c` via the FMA unit (one rounding),
+    /// used for remainder lanes so every column of a row gets identical
+    /// contraction semantics.
+    ///
+    /// # Safety
+    /// The CPU must support FMA.
+    #[target_feature(enable = "fma")]
+    #[inline]
+    unsafe fn fmadd_sd(a: f64, b: f64, c: f64) -> f64 {
+        _mm_cvtsd_f64(_mm_fmadd_sd(_mm_set_sd(a), _mm_set_sd(b), _mm_set_sd(c)))
+    }
+
+    /// Register-tiled panel driver shared by the `out += a · b` and
+    /// `out += aᵀ · b` kernels, which differ only in how the broadcast
+    /// operand walks `a`.
+    ///
+    /// Computes `out[t][j] += Σ_q a_elem(t, q) · b[q][j]` for `t` in
+    /// `0..rows`, `j` in `0..cols` and `q` in `0..steps`, where
+    /// `a_elem(t, q) = *a.add(t * a_row_stride + q * a_step)`, `b` rows are
+    /// `b_stride` apart and `out` rows are `cols_out` apart.
+    ///
+    /// The tile shape is 4 output rows × 8 columns: the eight accumulators
+    /// live in registers for the whole reduction sweep and every 64-byte
+    /// b-row fragment loaded is reused across all four output rows, which
+    /// quarters the L2 traffic per FMA compared with a row-at-a-time sweep —
+    /// that traffic, not the ALUs, is what bounds the un-tiled kernel.
+    /// Remainder rows fall back to 1×8 tiles and remainder columns to 4-wide
+    /// and scalar-FMA lanes, so every shape is handled and every output
+    /// element is produced by one in-order FMA chain regardless of how
+    /// callers chunk the rows (this is what keeps pooled and single-threaded
+    /// dispatch bit-identical).
+    ///
+    /// # Safety
+    /// The CPU must support AVX2+FMA, and every `a`/`b`/`out` index reachable
+    /// from the dimensions above must be in bounds of the allocations the
+    /// pointers came from.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn panel(
+        a: *const f64,
+        a_row_stride: usize,
+        a_step: usize,
+        b: *const f64,
+        b_stride: usize,
+        out: *mut f64,
+        cols_out: usize,
+        rows: usize,
+        cols: usize,
+        steps: usize,
+    ) {
+        let mut t = 0usize;
+        while t + 4 <= rows {
+            let a0 = a.add(t * a_row_stride);
+            let a1 = a.add((t + 1) * a_row_stride);
+            let a2 = a.add((t + 2) * a_row_stride);
+            let a3 = a.add((t + 3) * a_row_stride);
+            let o0 = out.add(t * cols_out);
+            let o1 = out.add((t + 1) * cols_out);
+            let o2 = out.add((t + 2) * cols_out);
+            let o3 = out.add((t + 3) * cols_out);
+            let mut j = 0usize;
+            while j + 8 <= cols {
+                let mut acc00 = _mm256_loadu_pd(o0.add(j));
+                let mut acc01 = _mm256_loadu_pd(o0.add(j + 4));
+                let mut acc10 = _mm256_loadu_pd(o1.add(j));
+                let mut acc11 = _mm256_loadu_pd(o1.add(j + 4));
+                let mut acc20 = _mm256_loadu_pd(o2.add(j));
+                let mut acc21 = _mm256_loadu_pd(o2.add(j + 4));
+                let mut acc30 = _mm256_loadu_pd(o3.add(j));
+                let mut acc31 = _mm256_loadu_pd(o3.add(j + 4));
+                let mut bp = b.add(j);
+                let mut off = 0usize;
+                for _ in 0..steps {
+                    let bv0 = _mm256_loadu_pd(bp);
+                    let bv1 = _mm256_loadu_pd(bp.add(4));
+                    let v0 = _mm256_broadcast_sd(&*a0.add(off));
+                    acc00 = _mm256_fmadd_pd(v0, bv0, acc00);
+                    acc01 = _mm256_fmadd_pd(v0, bv1, acc01);
+                    let v1 = _mm256_broadcast_sd(&*a1.add(off));
+                    acc10 = _mm256_fmadd_pd(v1, bv0, acc10);
+                    acc11 = _mm256_fmadd_pd(v1, bv1, acc11);
+                    let v2 = _mm256_broadcast_sd(&*a2.add(off));
+                    acc20 = _mm256_fmadd_pd(v2, bv0, acc20);
+                    acc21 = _mm256_fmadd_pd(v2, bv1, acc21);
+                    let v3 = _mm256_broadcast_sd(&*a3.add(off));
+                    acc30 = _mm256_fmadd_pd(v3, bv0, acc30);
+                    acc31 = _mm256_fmadd_pd(v3, bv1, acc31);
+                    bp = bp.add(b_stride);
+                    off += a_step;
+                }
+                _mm256_storeu_pd(o0.add(j), acc00);
+                _mm256_storeu_pd(o0.add(j + 4), acc01);
+                _mm256_storeu_pd(o1.add(j), acc10);
+                _mm256_storeu_pd(o1.add(j + 4), acc11);
+                _mm256_storeu_pd(o2.add(j), acc20);
+                _mm256_storeu_pd(o2.add(j + 4), acc21);
+                _mm256_storeu_pd(o3.add(j), acc30);
+                _mm256_storeu_pd(o3.add(j + 4), acc31);
+                j += 8;
+            }
+            if j < cols {
+                row_tail(a0, a_step, b, b_stride, o0, j, cols, steps);
+                row_tail(a1, a_step, b, b_stride, o1, j, cols, steps);
+                row_tail(a2, a_step, b, b_stride, o2, j, cols, steps);
+                row_tail(a3, a_step, b, b_stride, o3, j, cols, steps);
+            }
+            t += 4;
+        }
+        // Remainder rows stream each b-row contiguously (broadcast-sweep like
+        // the scalar kernel) instead of walking b_stride-strided column
+        // strips: a lone row — the 1-row inference forward pass — has no
+        // register reuse to win, and the strided walk defeats the hardware
+        // prefetcher on large matrices. The per-element FMA chain is the same
+        // p-ordered sequence either way, so results stay bit-identical to the
+        // tiled path regardless of where row chunking lands.
+        while t < rows {
+            let a_row = a.add(t * a_row_stride);
+            let o_row = out.add(t * cols_out);
+            let mut bp = b;
+            let mut off = 0usize;
+            for _ in 0..steps {
+                let v = _mm256_broadcast_sd(&*a_row.add(off));
+                let mut j = 0usize;
+                while j + 8 <= cols {
+                    let acc0 = _mm256_fmadd_pd(
+                        v,
+                        _mm256_loadu_pd(bp.add(j)),
+                        _mm256_loadu_pd(o_row.add(j)),
+                    );
+                    let acc1 = _mm256_fmadd_pd(
+                        v,
+                        _mm256_loadu_pd(bp.add(j + 4)),
+                        _mm256_loadu_pd(o_row.add(j + 4)),
+                    );
+                    _mm256_storeu_pd(o_row.add(j), acc0);
+                    _mm256_storeu_pd(o_row.add(j + 4), acc1);
+                    j += 8;
+                }
+                if j + 4 <= cols {
+                    let acc = _mm256_fmadd_pd(
+                        v,
+                        _mm256_loadu_pd(bp.add(j)),
+                        _mm256_loadu_pd(o_row.add(j)),
+                    );
+                    _mm256_storeu_pd(o_row.add(j), acc);
+                    j += 4;
+                }
+                while j < cols {
+                    *o_row.add(j) = fmadd_sd(*a_row.add(off), *bp.add(j), *o_row.add(j));
+                    j += 1;
+                }
+                bp = bp.add(b_stride);
+                off += a_step;
+            }
+            t += 1;
+        }
+    }
+
+    /// Remainder columns `j0..cols` of one output row: a 4-wide vector lane
+    /// while one fits, then scalar-FMA lanes.
+    ///
+    /// # Safety
+    /// As in [`panel`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn row_tail(
+        a_row: *const f64,
+        a_step: usize,
+        b: *const f64,
+        b_stride: usize,
+        out_row: *mut f64,
+        j0: usize,
+        cols: usize,
+        steps: usize,
+    ) {
+        let mut j = j0;
+        if j + 4 <= cols {
+            let mut acc = _mm256_loadu_pd(out_row.add(j));
+            let mut bp = b.add(j);
+            let mut off = 0usize;
+            for _ in 0..steps {
+                let v = _mm256_broadcast_sd(&*a_row.add(off));
+                acc = _mm256_fmadd_pd(v, _mm256_loadu_pd(bp), acc);
+                bp = bp.add(b_stride);
+                off += a_step;
+            }
+            _mm256_storeu_pd(out_row.add(j), acc);
+            j += 4;
+        }
+        while j < cols {
+            let mut acc = *out_row.add(j);
+            let mut bp = b.add(j);
+            let mut off = 0usize;
+            for _ in 0..steps {
+                acc = fmadd_sd(*a_row.add(off), *bp, acc);
+                bp = bp.add(b_stride);
+                off += a_step;
+            }
+            *out_row.add(j) = acc;
+            j += 1;
+        }
+    }
+
+    /// AVX2+FMA arm of [`super::gemm_rows_with`]: the scalar kernel's k-panel
+    /// blocking with the register-tiled [`panel`] microkernel inside (the
+    /// broadcast operand walks row `i` of `a`, one element per step).
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 and FMA; slice lengths must match the
+    /// dimensions exactly (asserted by the caller).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn gemm_rows(
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+        rows_a: usize,
+        cols_a: usize,
+        cols_b: usize,
+    ) {
+        for kk in (0..cols_a).step_by(BLOCK) {
+            let k_end = (kk + BLOCK).min(cols_a);
+            panel(
+                a.as_ptr().add(kk),
+                cols_a,
+                1,
+                b.as_ptr().add(kk * cols_b),
+                cols_b,
+                out.as_mut_ptr(),
+                cols_b,
+                rows_a,
+                cols_b,
+                k_end - kk,
+            );
+        }
+    }
+
+    /// AVX2+FMA arm of [`super::gemm_ta_rows_with`]: the same [`panel`]
+    /// microkernel with the broadcast operand walking a *column* of `a`
+    /// (stride `m` per reduction step, stride 1 between output rows).
+    ///
+    /// # Safety
+    /// As in [`gemm_rows`]; additionally `i_start..i_end` must lie within
+    /// `0..m`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn gemm_ta_rows(
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+        i_start: usize,
+        i_end: usize,
+        n: usize,
+        m: usize,
+        p: usize,
+    ) {
+        panel(
+            a.as_ptr().add(i_start),
+            1,
+            m,
+            b.as_ptr(),
+            p,
+            out.as_mut_ptr(),
+            p,
+            i_end - i_start,
+            p,
+            n,
+        );
+    }
+
+    /// FMA dot product over `len` doubles: one 256-bit accumulator chain,
+    /// horizontal sum, scalar-FMA tail. Deliberately the *same* per-element
+    /// accumulation order as [`dot_2x4`], so an output element lands on the
+    /// same bits whether its row happened to be tiled in a pair or fell into
+    /// a remainder lane — row chunking (the pooled dispatch) moves that
+    /// boundary around.
+    ///
+    /// # Safety
+    /// `a` and `b` must be valid for `len` reads; CPU must support AVX2+FMA.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    unsafe fn dot(a: *const f64, b: *const f64, len: usize) -> f64 {
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i + 4 <= len {
+            acc = _mm256_fmadd_pd(_mm256_loadu_pd(a.add(i)), _mm256_loadu_pd(b.add(i)), acc);
+            i += 4;
+        }
+        let mut sum = hsum(acc);
+        while i < len {
+            sum = fmadd_sd(*a.add(i), *b.add(i), sum);
+            i += 1;
+        }
+        sum
+    }
+
+    /// Horizontal sum of a 256-bit accumulator: `(l0 + l2) + (l1 + l3)`.
+    ///
+    /// # Safety
+    /// CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn hsum(acc: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(acc);
+        let hi = _mm256_extractf128_pd(acc, 1);
+        let pair = _mm_add_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)))
+    }
+
+    /// AVX2+FMA arm of [`super::gemm_tb_rows_with`]: identical panel blocking
+    /// to the scalar kernel, with the per-panel work register-tiled 2 a-rows
+    /// × 4 b-rows — eight dot-product accumulators whose a/b segment loads
+    /// are shared pairwise, lifting the kernel off the load ports. Remainder
+    /// a-rows and b-rows run the plain segment [`dot`].
+    ///
+    /// # Safety
+    /// As in [`gemm_rows`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn gemm_tb_rows(
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+        rows_a: usize,
+        cols: usize,
+        rows_b: usize,
+    ) {
+        out.fill(0.0);
+        let a_ptr = a.as_ptr();
+        let b_ptr = b.as_ptr();
+        let out_ptr = out.as_mut_ptr();
+        for kk in (0..cols).step_by(BLOCK) {
+            let k_end = (kk + BLOCK).min(cols);
+            let seg = k_end - kk;
+            for jj in (0..rows_b).step_by(BLOCK) {
+                let j_end = (jj + BLOCK).min(rows_b);
+                let mut i = 0usize;
+                while i + 2 <= rows_a {
+                    let a0 = a_ptr.add(i * cols + kk);
+                    let a1 = a_ptr.add((i + 1) * cols + kk);
+                    let o0 = out_ptr.add(i * rows_b);
+                    let o1 = out_ptr.add((i + 1) * rows_b);
+                    let mut j = jj;
+                    while j + 4 <= j_end {
+                        dot_2x4(
+                            a0,
+                            a1,
+                            b_ptr.add(j * cols + kk),
+                            cols,
+                            seg,
+                            o0.add(j),
+                            o1.add(j),
+                        );
+                        j += 4;
+                    }
+                    while j < j_end {
+                        let bj = b_ptr.add(j * cols + kk);
+                        *o0.add(j) += dot(a0, bj, seg);
+                        *o1.add(j) += dot(a1, bj, seg);
+                        j += 1;
+                    }
+                    i += 2;
+                }
+                if i < rows_a {
+                    let a0 = a_ptr.add(i * cols + kk);
+                    let o0 = out_ptr.add(i * rows_b);
+                    for j in jj..j_end {
+                        *o0.add(j) += dot(a0, b_ptr.add(j * cols + kk), seg);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Eight simultaneous segment dots: a-rows `a0`/`a1` against four
+    /// consecutive b-rows (`b0` plus `b_stride` apart), each pair sharing its
+    /// operand loads. Accumulates the horizontal sums into
+    /// `o0[0..4]`/`o1[0..4]`.
+    ///
+    /// # Safety
+    /// As in [`panel`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    unsafe fn dot_2x4(
+        a0: *const f64,
+        a1: *const f64,
+        b0: *const f64,
+        b_stride: usize,
+        len: usize,
+        o0: *mut f64,
+        o1: *mut f64,
+    ) {
+        let b1 = b0.add(b_stride);
+        let b2 = b0.add(2 * b_stride);
+        let b3 = b0.add(3 * b_stride);
+        let mut acc00 = _mm256_setzero_pd();
+        let mut acc01 = _mm256_setzero_pd();
+        let mut acc02 = _mm256_setzero_pd();
+        let mut acc03 = _mm256_setzero_pd();
+        let mut acc10 = _mm256_setzero_pd();
+        let mut acc11 = _mm256_setzero_pd();
+        let mut acc12 = _mm256_setzero_pd();
+        let mut acc13 = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i + 4 <= len {
+            let va0 = _mm256_loadu_pd(a0.add(i));
+            let va1 = _mm256_loadu_pd(a1.add(i));
+            let vb0 = _mm256_loadu_pd(b0.add(i));
+            acc00 = _mm256_fmadd_pd(va0, vb0, acc00);
+            acc10 = _mm256_fmadd_pd(va1, vb0, acc10);
+            let vb1 = _mm256_loadu_pd(b1.add(i));
+            acc01 = _mm256_fmadd_pd(va0, vb1, acc01);
+            acc11 = _mm256_fmadd_pd(va1, vb1, acc11);
+            let vb2 = _mm256_loadu_pd(b2.add(i));
+            acc02 = _mm256_fmadd_pd(va0, vb2, acc02);
+            acc12 = _mm256_fmadd_pd(va1, vb2, acc12);
+            let vb3 = _mm256_loadu_pd(b3.add(i));
+            acc03 = _mm256_fmadd_pd(va0, vb3, acc03);
+            acc13 = _mm256_fmadd_pd(va1, vb3, acc13);
+            i += 4;
+        }
+        let mut s00 = hsum(acc00);
+        let mut s01 = hsum(acc01);
+        let mut s02 = hsum(acc02);
+        let mut s03 = hsum(acc03);
+        let mut s10 = hsum(acc10);
+        let mut s11 = hsum(acc11);
+        let mut s12 = hsum(acc12);
+        let mut s13 = hsum(acc13);
+        while i < len {
+            let x0 = *a0.add(i);
+            let x1 = *a1.add(i);
+            s00 = fmadd_sd(x0, *b0.add(i), s00);
+            s01 = fmadd_sd(x0, *b1.add(i), s01);
+            s02 = fmadd_sd(x0, *b2.add(i), s02);
+            s03 = fmadd_sd(x0, *b3.add(i), s03);
+            s10 = fmadd_sd(x1, *b0.add(i), s10);
+            s11 = fmadd_sd(x1, *b1.add(i), s11);
+            s12 = fmadd_sd(x1, *b2.add(i), s12);
+            s13 = fmadd_sd(x1, *b3.add(i), s13);
+            i += 1;
+        }
+        *o0 += s00;
+        *o0.add(1) += s01;
+        *o0.add(2) += s02;
+        *o0.add(3) += s03;
+        *o1 += s10;
+        *o1.add(1) += s11;
+        *o1.add(2) += s12;
+        *o1.add(3) += s13;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_level_is_cached_and_runnable() {
+        let level = active_level();
+        assert_eq!(level, active_level(), "selection happens once");
+        // Whatever was selected must actually run.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0; 4];
+        gemm_rows_with(level, &a, &b, &mut out, 2, 2, 2);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn detected_level_never_exceeds_the_cpu() {
+        // On x86-64 this asserts the probe agrees with std's detection macro;
+        // elsewhere it must be scalar.
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(
+            detected_level() == SimdLevel::Avx2Fma,
+            std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+        );
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(detected_level(), SimdLevel::Scalar);
+    }
+
+    #[test]
+    fn levels_display_for_diagnostics() {
+        assert_eq!(SimdLevel::Scalar.to_string(), "scalar");
+        assert_eq!(SimdLevel::Avx2Fma.to_string(), "avx2+fma");
+    }
+
+    #[test]
+    fn scalar_kernels_handle_degenerate_shapes() {
+        // 1×1×1 and empty-ish edges through every public kernel.
+        let mut out = [0.0];
+        gemm_rows_with(SimdLevel::Scalar, &[3.0], &[4.0], &mut out, 1, 1, 1);
+        assert_eq!(out, [12.0]);
+        let mut out_ta = [0.0];
+        gemm_ta_rows_with(
+            SimdLevel::Scalar,
+            &[3.0],
+            &[4.0],
+            &mut out_ta,
+            0,
+            1,
+            1,
+            1,
+            1,
+        );
+        assert_eq!(out_ta, [12.0]);
+        let mut out_tb = [f64::NAN];
+        gemm_tb_rows_with(SimdLevel::Scalar, &[3.0], &[4.0], &mut out_tb, 1, 1, 1);
+        assert_eq!(out_tb, [12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_lengths_panic_before_any_unsafe_code() {
+        let mut out = [0.0; 3];
+        gemm_rows_with(
+            SimdLevel::Scalar,
+            &[1.0, 2.0],
+            &[1.0, 2.0],
+            &mut out,
+            2,
+            2,
+            2,
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! Property tests for the explicit SIMD kernels (`capes_tensor::simd`).
+//!
+//! Three families of guarantees:
+//!
+//! 1. **Reference equivalence** — at every runnable [`SimdLevel`], each
+//!    kernel matches a naive triple-loop reference within 1e-9 across
+//!    odd/prime shapes (remainder rows and columns included) and on
+//!    sub-slices taken at odd element offsets (8-byte-aligned but not
+//!    32-byte-aligned, which is what the unaligned `loadu`/`storeu` paths
+//!    must absorb).
+//! 2. **Non-finite propagation** — `NaN`/`±∞` operands (including `0 · NaN`)
+//!    land exactly where the naive reference puts them, at every level.
+//! 3. **Chunking invariance** — splitting the output rows across a real
+//!    multi-threaded worker pool produces bit-for-bit the same output as one
+//!    single-threaded call, at every level (the pooled dispatch only moves
+//!    row boundaries around, and every element's FMA chain is
+//!    boundary-independent by construction).
+//!
+//! The `CAPES_SIMD=off` arm of CI runs this whole suite (and everything
+//! else) with the scalar kernels dispatched, so both sides of the runtime
+//! switch stay covered; `runnable_levels` additionally pins the scalar arm
+//! in-process on every host.
+
+use capes_tensor::simd::{
+    self, active_level, detected_level, gemm_rows_with, gemm_ta_rows_with, gemm_tb_rows_with,
+    SimdLevel,
+};
+use capes_tensor::WorkerPool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every level this host can actually run: scalar always, the vector arm
+/// when detection says so.
+fn runnable_levels() -> Vec<SimdLevel> {
+    let mut levels = vec![SimdLevel::Scalar];
+    if detected_level() == SimdLevel::Avx2Fma {
+        levels.push(SimdLevel::Avx2Fma);
+    }
+    levels
+}
+
+fn random_vec(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(-2.0..2.0)).collect()
+}
+
+/// A buffer whose payload starts `offset` elements in, so the payload slice
+/// is 8-byte-aligned but (for odd offsets) not 32-byte-aligned.
+fn offset_vec(rng: &mut StdRng, len: usize, offset: usize) -> Vec<f64> {
+    random_vec(rng, len + offset)
+}
+
+fn naive_gemm(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn approx(a: f64, b: f64) -> bool {
+    capes_tensor::approx_eq(a, b, 1e-9)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `out += a · b` at every runnable level vs the naive reference, on
+    /// unaligned sub-slices and shapes that exercise every remainder lane
+    /// (rows % 4, cols % 8, cols % 4, k % 4).
+    #[test]
+    fn gemm_rows_matches_naive_at_every_level(
+        (m, k, n) in (1usize..23, 1usize..80, 1usize..37),
+        (off_a, off_b, off_out) in (0usize..3, 0usize..3, 0usize..3),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = offset_vec(&mut rng, m * k, off_a);
+        let b = offset_vec(&mut rng, k * n, off_b);
+        let reference = naive_gemm(&a[off_a..], &b[off_b..], m, k, n);
+        for level in runnable_levels() {
+            let mut out = offset_vec(&mut rng, m * n, off_out);
+            out[off_out..].fill(0.0);
+            gemm_rows_with(level, &a[off_a..], &b[off_b..], &mut out[off_out..], m, k, n);
+            for (got, want) in out[off_out..].iter().zip(&reference) {
+                prop_assert!(approx(*got, *want), "{level} {m}x{k}x{n}: {got} vs {want}");
+            }
+        }
+    }
+
+    /// `out += aᵀ · b` at every runnable level vs the naive reference.
+    #[test]
+    fn gemm_ta_rows_matches_naive_at_every_level(
+        (n, m, p) in (1usize..40, 1usize..23, 1usize..37),
+        off in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = offset_vec(&mut rng, n * m, off); // a is n × m, read transposed
+        let b = random_vec(&mut rng, n * p);
+        // Reference: aᵀ (m × n) · b (n × p).
+        let mut at = vec![0.0; m * n];
+        for r in 0..n {
+            for c in 0..m {
+                at[c * n + r] = a[off + r * m + c];
+            }
+        }
+        let reference = naive_gemm(&at, &b, m, n, p);
+        for level in runnable_levels() {
+            let mut out = vec![0.0; m * p];
+            gemm_ta_rows_with(level, &a[off..], &b, &mut out, 0, m, n, m, p);
+            for (got, want) in out.iter().zip(&reference) {
+                prop_assert!(approx(*got, *want), "{level} ta {n}x{m}x{p}: {got} vs {want}");
+            }
+        }
+    }
+
+    /// `out = a · bᵀ` at every runnable level vs the naive reference, across
+    /// panel boundaries of the two-level blocking (k up to 200 spans 1–4
+    /// panels with ragged tails).
+    #[test]
+    fn gemm_tb_rows_matches_naive_at_every_level(
+        (m, k, n) in (1usize..14, 1usize..200, 1usize..90),
+        off in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = offset_vec(&mut rng, m * k, off);
+        let b = random_vec(&mut rng, n * k); // b is n × k, read transposed
+        let mut bt = vec![0.0; k * n];
+        for r in 0..n {
+            for c in 0..k {
+                bt[c * n + r] = b[r * k + c];
+            }
+        }
+        let reference = naive_gemm(&a[off..], &bt, m, k, n);
+        for level in runnable_levels() {
+            let mut out = vec![f64::NAN; m * n];
+            gemm_tb_rows_with(level, &a[off..], &b, &mut out, m, k, n);
+            for (got, want) in out.iter().zip(&reference) {
+                prop_assert!(approx(*got, *want), "{level} tb {m}x{k}x{n}: {got} vs {want}");
+            }
+        }
+    }
+
+    /// Non-finite operands (NaN, ±∞, and `0 · NaN` in particular) propagate
+    /// exactly like the naive reference at every level: no kernel may skip a
+    /// product or lose a poison value in any remainder lane.
+    #[test]
+    fn non_finite_operands_propagate_at_every_level(
+        (m, k, n) in (1usize..10, 1usize..40, 1usize..20),
+        poisons in prop::collection::vec((0usize..400, 0usize..3), 4),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = random_vec(&mut rng, m * k);
+        let mut b = random_vec(&mut rng, k * n);
+        // Sprinkle NaN/∞ and matching zeros so 0 · NaN paths exist.
+        for &(pos, kind) in &poisons {
+            let poison = match kind {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            };
+            let b_pos = pos % (k * n);
+            b[b_pos] = poison;
+            let row = b_pos / n; // b row = reduction index
+            a[(pos % m) * k + row] = 0.0; // force a 0 · poison product
+        }
+        let reference = naive_gemm(&a, &b, m, k, n);
+        for level in runnable_levels() {
+            let mut out = vec![0.0; m * n];
+            gemm_rows_with(level, &a, &b, &mut out, m, k, n);
+            for (got, want) in out.iter().zip(&reference) {
+                prop_assert!(
+                    approx(*got, *want),
+                    "{level} {m}x{k}x{n} non-finite: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    /// Chunking the output rows across a real 4-thread pool is bit-for-bit
+    /// identical to one single-threaded call, at every runnable level and
+    /// for every kernel — the pooled dispatch must not perturb a single ulp.
+    #[test]
+    fn pooled_chunking_is_bit_identical_at_every_level(
+        (m, k, n) in (2usize..24, 1usize..70, 1usize..30),
+        seed in any::<u64>(),
+    ) {
+        let pool = WorkerPool::new(4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_vec(&mut rng, m * k);
+        let b = random_vec(&mut rng, k * n);
+        for level in runnable_levels() {
+            // Single-threaded reference run.
+            let mut whole = vec![0.0; m * n];
+            gemm_rows_with(level, &a, &b, &mut whole, m, k, n);
+            // Chunked run over the pool (min 1 row per chunk → maximal
+            // boundary movement).
+            let mut chunked = vec![0.0; m * n];
+            let out_ptr = SendPtr(chunked.as_mut_ptr());
+            pool.run(m, 1, |start, end| {
+                let rows = end - start;
+                let chunk = unsafe { out_ptr.slice_mut(start * n, rows * n) };
+                gemm_rows_with(level, &a[start * k..end * k], &b, chunk, rows, k, n);
+            });
+            prop_assert!(bits_equal(&whole, &chunked), "{level} gemm_rows chunked");
+
+            // Transpose-A: chunk the output rows of the m × p product.
+            let ta_a = random_vec(&mut StdRng::seed_from_u64(seed ^ 1), k * m);
+            let mut ta_whole = vec![0.0; m * n];
+            gemm_ta_rows_with(level, &ta_a, &b[..k * n], &mut ta_whole, 0, m, k, m, n);
+            let mut ta_chunked = vec![0.0; m * n];
+            let ta_ptr = SendPtr(ta_chunked.as_mut_ptr());
+            pool.run(m, 1, |start, end| {
+                let rows = end - start;
+                let chunk = unsafe { ta_ptr.slice_mut(start * n, rows * n) };
+                gemm_ta_rows_with(level, &ta_a, &b[..k * n], chunk, start, end, k, m, n);
+            });
+            prop_assert!(bits_equal(&ta_whole, &ta_chunked), "{level} gemm_ta chunked");
+
+            // Transpose-B: chunk a's rows.
+            let tb_b = random_vec(&mut StdRng::seed_from_u64(seed ^ 2), n * k);
+            let mut tb_whole = vec![0.0; m * n];
+            gemm_tb_rows_with(level, &a, &tb_b, &mut tb_whole, m, k, n);
+            let mut tb_chunked = vec![0.0; m * n];
+            let tb_ptr = SendPtr(tb_chunked.as_mut_ptr());
+            pool.run(m, 1, |start, end| {
+                let rows = end - start;
+                let chunk = unsafe { tb_ptr.slice_mut(start * n, rows * n) };
+                gemm_tb_rows_with(level, &a[start * k..end * k], &tb_b, chunk, rows, k, n);
+            });
+            prop_assert!(bits_equal(&tb_whole, &tb_chunked), "{level} gemm_tb chunked");
+        }
+    }
+}
+
+/// Exact bitwise equality (NaNs compare equal to themselves by bit pattern).
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Raw pointer wrapper for disjoint row-range writes across pool threads
+/// (mirrors the one the production dispatch uses).
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+impl SendPtr {
+    /// # Safety
+    /// The range must be in bounds and disjoint from concurrent accesses.
+    unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [f64] {
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(offset), len) }
+    }
+}
+
+/// The dispatched Matrix-level kernels and the level-explicit slice kernels
+/// must agree bit-for-bit: whatever `active_level()` resolved to (auto-detect
+/// normally, scalar under `CAPES_SIMD=off` in the dedicated CI pass) is
+/// exactly what `MatmulStrategy::Blocked`/`Pooled` run.
+#[test]
+fn dispatched_matrix_kernels_match_the_active_level_bitwise() {
+    use capes_tensor::{MatmulStrategy, Matrix};
+    let mut rng = StdRng::seed_from_u64(99);
+    let (m, k, n) = (13, 77, 21);
+    let a = Matrix::from_vec(m, k, random_vec(&mut rng, m * k));
+    let b = Matrix::from_vec(k, n, random_vec(&mut rng, k * n));
+    let level = active_level();
+
+    let mut expected = vec![0.0; m * n];
+    gemm_rows_with(level, a.as_slice(), b.as_slice(), &mut expected, m, k, n);
+    for strategy in [MatmulStrategy::Blocked, MatmulStrategy::Pooled] {
+        let got = a.matmul_with(&b, strategy);
+        assert!(
+            bits_equal(got.as_slice(), &expected),
+            "{strategy:?} must dispatch to the active SIMD level ({level})"
+        );
+    }
+
+    // Under CAPES_SIMD=off the active level must be scalar even on AVX2
+    // hosts; otherwise it must be whatever detection found.
+    match std::env::var("CAPES_SIMD").as_deref() {
+        Ok("off") | Ok("scalar") | Ok("0") | Ok("false") => {
+            assert_eq!(level, SimdLevel::Scalar, "CAPES_SIMD=off must force scalar");
+        }
+        _ => assert_eq!(level, simd::detected_level()),
+    }
+}
+
+/// The fused affine kernel rides `gemm_rows`, so it must match
+/// bias-broadcast + explicit-level GEMM bit-for-bit at the active level.
+#[test]
+fn affine_into_rides_the_active_level_bitwise() {
+    use capes_tensor::Matrix;
+    let mut rng = StdRng::seed_from_u64(7);
+    let (m, k, n) = (9, 33, 14);
+    let x = Matrix::from_vec(m, k, random_vec(&mut rng, m * k));
+    let w = Matrix::from_vec(k, n, random_vec(&mut rng, k * n));
+    let bias = Matrix::from_vec(1, n, random_vec(&mut rng, n));
+    let mut out = Matrix::filled(m, n, f64::NAN);
+    x.affine_into(&w, &bias, &mut out);
+
+    let mut expected = vec![0.0; m * n];
+    for r in 0..m {
+        expected[r * n..(r + 1) * n].copy_from_slice(bias.as_slice());
+    }
+    gemm_rows_with(
+        active_level(),
+        x.as_slice(),
+        w.as_slice(),
+        &mut expected,
+        m,
+        k,
+        n,
+    );
+    assert!(bits_equal(out.as_slice(), &expected));
+}
