@@ -27,4 +27,7 @@ pub use control::ControlAgent;
 pub use interface::{InterfaceDaemon, InterfaceStats};
 pub use message::{ActionMessage, Message, PiReport};
 pub use monitoring::MonitoringAgent;
-pub use wire::{decode_message, encode_message, get_varint, put_varint, WireError};
+pub use wire::{
+    decode_cluster_frame, decode_message, encode_cluster_frame, encode_message, get_varint,
+    put_varint, WireError, FLEET_FRAME_TAG,
+};

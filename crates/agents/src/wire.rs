@@ -201,6 +201,56 @@ pub fn get_varint(buf: &mut &[u8]) -> Result<u64, WireError> {
     Err(WireError::MalformedVarint)
 }
 
+// ---------------------------------------------------------------------------
+// Cluster-multiplexed envelope.
+//
+// The single-cluster protocol above has no notion of *which* cluster a frame
+// belongs to — the paper never needed one. Multi-cluster carriers (the fleet
+// daemon's action bus, the socket server's ingest path) wrap every frame in a
+// one-byte-tag envelope carrying the cluster id as a varint:
+//
+// ```text
+// fleet_frame := 0xF7 varint(cluster_id) inner_frame
+// ```
+//
+// The envelope tag is outside the value range of the inner protocol's tags,
+// so a stray un-enveloped frame is rejected rather than mis-routed. The codec
+// lives here (not in the fleet crate) so every transport layer decodes
+// through the one hardened implementation.
+// ---------------------------------------------------------------------------
+
+/// Leading byte of every fleet-enveloped frame (outside the inner protocol's
+/// tag space).
+pub const FLEET_FRAME_TAG: u8 = 0xF7;
+
+/// Encodes `message` as a fleet frame addressed to/from `cluster`.
+pub fn encode_cluster_frame(cluster: u32, message: &Message) -> Bytes {
+    let inner = encode_message(message);
+    let mut buf = BytesMut::with_capacity(inner.len() + 6);
+    buf.put_u8(FLEET_FRAME_TAG);
+    put_varint(&mut buf, cluster as u64);
+    buf.put_slice(&inner);
+    buf.freeze()
+}
+
+/// Decodes a fleet frame back into its cluster id and message.
+pub fn decode_cluster_frame(frame: &[u8]) -> Result<(u32, Message), WireError> {
+    let mut buf = frame;
+    if buf.is_empty() {
+        return Err(WireError::Truncated);
+    }
+    let tag = buf.get_u8();
+    if tag != FLEET_FRAME_TAG {
+        return Err(WireError::UnknownTag(tag));
+    }
+    let cluster = get_varint(&mut buf)?;
+    if cluster > u32::MAX as u64 {
+        return Err(WireError::MalformedVarint);
+    }
+    let message = decode_message(buf)?;
+    Ok((cluster as u32, message))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,132 @@
+//! Criterion benchmark for the socket ingest path: a [`capes_net`] reactor
+//! server fed by 1024 concurrent loopback connections (the acceptance floor
+//! is 1000), each carrying length-prefixed monitoring frames. Every iteration
+//! pushes one burst across all connections and drains it from the bounded
+//! ingress channel; after the timed runs the server counters are asserted —
+//! **zero** well-formed frames may be dropped, shed or miscounted. Medians
+//! are recorded in `BENCH_net_ingest.json` at the repo root.
+//!
+//! `CAPES_NET_CONNS` overrides the connection count (CI's quick-mode soak
+//! runs 512 to stay inside the runner's budget); the default exercises the
+//! full 1024.
+
+#[cfg(target_os = "linux")]
+mod ingest {
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    use capes_agents::message::PiReport;
+    use capes_agents::Message;
+    use capes_fleet::encode_cluster_frame;
+    use capes_net::{encode_frame_into, FleetServer, NetConfig};
+    use criterion::Criterion;
+    use std::hint::black_box;
+
+    /// Frames each connection contributes per timed burst.
+    const FRAMES_PER_CONN: usize = 8;
+    /// Writer threads the connections are sharded across (each shard's
+    /// frames interleave with every other shard's at the reactor).
+    const WRITERS: usize = 8;
+
+    fn connection_count() -> usize {
+        std::env::var("CAPES_NET_CONNS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1024)
+    }
+
+    /// A representative monitoring report frame for `cluster`, fully encoded
+    /// (envelope + length prefix) so the timed loop is pure I/O.
+    fn encoded_report(cluster: u32, tick: u64) -> Vec<u8> {
+        let message = Message::Report(PiReport {
+            tick,
+            node: cluster as usize,
+            total_pis: 12,
+            changed: (0..12u16).map(|pi| (pi, 0.25 + pi as f64)).collect(),
+        });
+        let mut framed = Vec::new();
+        encode_frame_into(&mut framed, &encode_cluster_frame(cluster, &message));
+        framed
+    }
+
+    pub fn bench_ingest(c: &mut Criterion) {
+        let conns = connection_count();
+        let config = NetConfig {
+            num_clusters: Some(conns),
+            ingress_capacity: (2 * conns * FRAMES_PER_CONN).max(1024),
+            ..NetConfig::default()
+        };
+        let (handle, ingress) = FleetServer::spawn("127.0.0.1:0", config).expect("spawn server");
+
+        // One connection per simulated cluster, each with its burst
+        // pre-encoded.
+        let mut pairs: Vec<(TcpStream, Vec<u8>)> = (0..conns)
+            .map(|cluster| {
+                let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut burst = Vec::new();
+                for tick in 0..FRAMES_PER_CONN {
+                    burst.extend_from_slice(&encoded_report(cluster as u32, tick as u64));
+                }
+                (stream, burst)
+            })
+            .collect();
+        let burst_bytes: usize = pairs.iter().map(|(_, b)| b.len()).sum();
+        let total_frames = conns * FRAMES_PER_CONN;
+
+        let mut group = c.benchmark_group("net_ingest");
+        group.sample_size(10);
+        let mut bursts = 0u64;
+        group.bench_function(
+            format!("burst_{conns}conns_x{FRAMES_PER_CONN}frames"),
+            |bench| {
+                bench.iter(|| {
+                    bursts += 1;
+                    std::thread::scope(|scope| {
+                        let shard = conns.div_ceil(WRITERS);
+                        for chunk in pairs.chunks_mut(shard) {
+                            scope.spawn(move || {
+                                for (stream, burst) in chunk {
+                                    stream.write_all(burst).expect("burst write");
+                                }
+                            });
+                        }
+                        // Drain the whole burst while the writers push — the
+                        // bounded channel backpressures the reactor otherwise.
+                        for _ in 0..total_frames {
+                            black_box(ingress.recv().expect("server alive"));
+                        }
+                    });
+                })
+            },
+        );
+        group.finish();
+
+        // Zero-drop acceptance: every well-formed frame sent arrived,
+        // nothing was shed, nothing failed to decode.
+        let stats = handle.stats();
+        assert_eq!(stats.accepted, conns as u64, "all connections accepted");
+        assert_eq!(stats.active, conns as u64, "no connection lost");
+        assert_eq!(
+            stats.frames_in,
+            bursts * total_frames as u64,
+            "dropped well-formed frames"
+        );
+        assert_eq!(stats.decode_errors, 0);
+        assert_eq!(stats.shed_backpressure, 0);
+        assert_eq!(stats.shed_idle, 0);
+        assert_eq!(stats.disconnects, 0);
+        eprintln!(
+            "net_ingest: {conns} connections, {total_frames} frames/burst, \
+             {burst_bytes} bytes/burst, {bursts} bursts, 0 dropped"
+        );
+    }
+}
+
+#[cfg(target_os = "linux")]
+criterion::criterion_group!(benches, ingest::bench_ingest);
+#[cfg(target_os = "linux")]
+criterion::criterion_main!(benches);
+
+#[cfg(not(target_os = "linux"))]
+fn main() {}

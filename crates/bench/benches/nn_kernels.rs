@@ -2,11 +2,12 @@
 //! Table-2 training-step measurements: GEMM strategies, forward passes and
 //! full forward+backward passes at the paper's network sizes.
 
-use capes_nn::{Loss, Mlp, MseLoss};
+use capes_nn::{Adam, Loss, Mlp, MseLoss, Optimizer};
+use capes_tensor::simd::{adam_update_with, detected_level, AdamStep, SimdLevel};
 use capes_tensor::{MatmulStrategy, Matrix};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn bench_matmul(c: &mut Criterion) {
@@ -58,5 +59,59 @@ fn bench_forward_backward(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_forward, bench_forward_backward);
+fn bench_adam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adam_update");
+    let mut rng = StdRng::seed_from_u64(4);
+    // Both SIMD arms of the raw slice kernel at the paper network's largest
+    // parameter tensor (2200 × 400 first-layer weights), then the full
+    // optimizer step end-to-end.
+    let len = 2200 * 400;
+    let grads: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let step = AdamStep {
+        learning_rate: 1e-4,
+        beta1: 0.9,
+        beta2: 0.999,
+        epsilon: 1e-8,
+        bias1: 1.0 - 0.9f64.powi(10),
+        bias2: 1.0 - 0.999f64.powi(10),
+        scale: 1.0,
+    };
+    let mut levels = vec![("scalar", SimdLevel::Scalar)];
+    if detected_level() == SimdLevel::Avx2Fma {
+        levels.push(("avx2", SimdLevel::Avx2Fma));
+    }
+    for (label, level) in levels {
+        let mut params = vec![0.0f64; len];
+        let mut m = vec![0.0f64; len];
+        let mut v = vec![0.0f64; len];
+        group.bench_with_input(BenchmarkId::new(label, "880k"), &level, |bench, &level| {
+            bench.iter(|| {
+                adam_update_with(level, &mut params, &grads, &mut m, &mut v, &step);
+                black_box(params.last());
+            })
+        });
+    }
+    let mut net = Mlp::capes_q_network(2200, 5, &mut rng);
+    let mut adam = Adam::new(1e-4, net.parameter_shapes());
+    let x = Matrix::random_init(32, 2200, capes_tensor::WeightInit::XavierUniform, &mut rng);
+    let t = Matrix::zeros(32, 5);
+    let pred = net.forward(&x);
+    let (_, d) = MseLoss.loss_and_grad(&pred, &t);
+    let net_grads = net.backward(&d);
+    group.bench_function("optimizer_step_paper_2200", |bench| {
+        bench.iter(|| {
+            adam.step(&mut net, &net_grads);
+            black_box(adam.steps());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_forward,
+    bench_forward_backward,
+    bench_adam
+);
 criterion_main!(benches);

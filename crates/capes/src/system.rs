@@ -37,6 +37,15 @@ pub enum Transport {
     /// `f32` exactly as they would over the network, and the daemon's
     /// byte counters (Table 2) accumulate real frame sizes.
     Wire,
+    /// Messages leave the system entirely: they are staged in an outbox for
+    /// an external driver (the fleet daemon's socket front end) to transmit
+    /// over real TCP connections, and the decoded replies come back through
+    /// [`CapesSystem::ingest_message`]. A system on this transport must be
+    /// driven through the staged [`CapesSystem::measure_tick`] /
+    /// [`CapesSystem::complete_measurement`] API — the one-shot
+    /// [`CapesSystem::begin_tick`] cannot complete a tick whose traffic is
+    /// still in flight.
+    Socket,
 }
 
 /// Everything that happened during one system tick.
@@ -94,6 +103,9 @@ pub struct CapesSystem<T: TargetSystem> {
     observers: Vec<Box<dyn TickObserver>>,
     specs: Vec<TunableSpec>,
     transport: Transport,
+    /// Messages staged for an external transmitter ([`Transport::Socket`]
+    /// only); always empty on the in-process transports.
+    outbox: Vec<Message>,
     tick: u64,
     throughput_history: Vec<f64>,
     prediction_errors: Vec<(u64, f64)>,
@@ -183,6 +195,7 @@ impl<T: TargetSystem> CapesSystem<T> {
             observers,
             specs,
             transport,
+            outbox: Vec::new(),
             tick: 0,
             throughput_history: Vec::new(),
             prediction_errors: Vec::new(),
@@ -426,7 +439,32 @@ impl<T: TargetSystem> CapesSystem<T> {
     /// decide — assembles the observation ending at this tick.
     ///
     /// Must be paired with exactly one [`CapesSystem::finish_tick`] call.
+    /// Not available on [`Transport::Socket`] — that transport's traffic is
+    /// still in flight when this function would need it stored; socket
+    /// drivers call [`CapesSystem::measure_tick`], deliver/ingest the
+    /// traffic, then [`CapesSystem::complete_measurement`].
     pub fn begin_tick(&mut self, kind: PhaseKind) -> TickMeasurement {
+        assert!(
+            self.transport != Transport::Socket,
+            "begin_tick cannot complete a socket tick; use measure_tick + complete_measurement"
+        );
+        let mut measurement = self.measure_tick();
+        self.complete_measurement(kind, &mut measurement);
+        measurement
+    }
+
+    /// First half of the measurement stage: lets the target run for one
+    /// second and routes the Monitoring Agents' differential reports and the
+    /// objective over the configured [`Transport`]. On the in-process
+    /// transports the messages land in the daemon immediately; on
+    /// [`Transport::Socket`] they are staged in the outbox
+    /// ([`CapesSystem::drain_outbox`]) and the measurement is incomplete
+    /// until every message has come back through
+    /// [`CapesSystem::ingest_message`] and
+    /// [`CapesSystem::complete_measurement`] has run.
+    ///
+    /// The returned measurement's `observation` is `None` until completed.
+    pub fn measure_tick(&mut self) -> TickMeasurement {
         // 1. Let the target system run for one second and measure it.
         let tick_data = self.target.step();
         assert_eq!(
@@ -443,10 +481,16 @@ impl<T: TargetSystem> CapesSystem<T> {
         let per_node_objective = scaled_objective / self.monitors.len() as f64;
         for (node, monitor) in self.monitors.iter_mut().enumerate() {
             let report = monitor.sample(self.tick, &tick_data.per_node_pis[node]);
-            Self::route(self.transport, &mut self.daemon, &Message::Report(report));
             Self::route(
                 self.transport,
                 &mut self.daemon,
+                &mut self.outbox,
+                &Message::Report(report),
+            );
+            Self::route(
+                self.transport,
+                &mut self.daemon,
+                &mut self.outbox,
                 &Message::Objective {
                     tick: self.tick,
                     node,
@@ -454,26 +498,60 @@ impl<T: TargetSystem> CapesSystem<T> {
                 },
             );
         }
-        // Commit the tick's staged snapshots in one group (normally a no-op:
-        // the daemon flushes itself once the expected node count reports;
-        // this covers targets where some nodes skipped the tick).
-        self.daemon.flush_snapshots();
-
-        let observation = if kind == PhaseKind::Baseline {
-            None
-        } else {
-            self.db.observation_at(self.tick)
-        };
         TickMeasurement {
             tick: self.tick,
             throughput_mbps: tick_data.throughput_mbps,
             objective: objective_value,
-            observation,
+            observation: None,
         }
     }
 
+    /// Second half of the measurement stage: commits the tick's snapshots
+    /// and — except for baseline measurements, which never decide — fills in
+    /// the observation ending at this tick. On [`Transport::Socket`] call
+    /// this only after every message of the tick has been ingested.
+    pub fn complete_measurement(&mut self, kind: PhaseKind, measurement: &mut TickMeasurement) {
+        // Commit the tick's staged snapshots in one group (normally a no-op:
+        // the daemon flushes itself once the expected node count reports;
+        // this covers targets where some nodes skipped the tick).
+        self.daemon.flush_snapshots();
+        measurement.observation = if kind == PhaseKind::Baseline {
+            None
+        } else {
+            self.db.observation_at(measurement.tick)
+        };
+    }
+
+    /// Hands a decoded message straight to the Interface Daemon — the return
+    /// path for [`Transport::Socket`], whose traffic is decoded by the
+    /// socket server rather than the daemon itself. The f32 wire rounding
+    /// has already happened during encoding, so the stored values are
+    /// bit-identical to [`Transport::Wire`]'s.
+    pub fn ingest_message(&mut self, message: &Message) {
+        self.daemon.ingest(message);
+    }
+
+    /// Drains the outbox of messages staged by [`Transport::Socket`]
+    /// measurement ticks, in routing order.
+    pub fn drain_outbox<F: FnMut(Message)>(&mut self, mut transmit: F) {
+        for message in self.outbox.drain(..) {
+            transmit(message);
+        }
+    }
+
+    /// Number of monitoring agents (one per target node) — the per-tick
+    /// socket traffic is two messages (report + objective) per monitor.
+    pub fn num_monitors(&self) -> usize {
+        self.monitors.len()
+    }
+
     /// Hands a message to the daemon over the configured transport.
-    fn route(transport: Transport, daemon: &mut InterfaceDaemon, message: &Message) {
+    fn route(
+        transport: Transport,
+        daemon: &mut InterfaceDaemon,
+        outbox: &mut Vec<Message>,
+        message: &Message,
+    ) {
         match transport {
             Transport::InProcess => daemon.ingest(message),
             Transport::Wire => {
@@ -482,6 +560,7 @@ impl<T: TargetSystem> CapesSystem<T> {
                     .ingest_frame(&frame)
                     .expect("self-encoded frames always decode");
             }
+            Transport::Socket => outbox.push(message.clone()),
         }
     }
 

@@ -36,7 +36,8 @@
 //! transfer learning without changing the algorithm.
 
 use crate::report::{
-    ClusterReport, ExperienceSharing, FleetPlan, FleetReport, ProfileSharing, StripeOccupancy,
+    ClusterReport, ExperienceSharing, FleetPlan, FleetReport, NetReport, ProfileSharing,
+    StripeOccupancy,
 };
 use crate::scenario::ScenarioSpec;
 use crate::wire::{encode_cluster_frame, FrameRouter};
@@ -58,6 +59,11 @@ pub enum FleetError {
     EmptyFleet,
     /// A member system failed to assemble.
     Capes(CapesError),
+    /// [`Transport::Socket`] was requested but the crate was built without
+    /// the `net` feature.
+    SocketUnsupported,
+    /// The socket front end failed to start (bind, epoll, or connect).
+    Socket(std::io::Error),
 }
 
 impl fmt::Display for FleetError {
@@ -65,6 +71,10 @@ impl fmt::Display for FleetError {
         match self {
             FleetError::EmptyFleet => write!(f, "a fleet needs at least one scenario"),
             FleetError::Capes(e) => write!(f, "member system failed to assemble: {e}"),
+            FleetError::SocketUnsupported => {
+                write!(f, "socket transport requires capes-fleet's `net` feature")
+            }
+            FleetError::Socket(e) => write!(f, "socket front end failed to start: {e}"),
         }
     }
 }
@@ -73,7 +83,8 @@ impl std::error::Error for FleetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FleetError::Capes(e) => Some(e),
-            FleetError::EmptyFleet => None,
+            FleetError::Socket(e) => Some(e),
+            FleetError::EmptyFleet | FleetError::SocketUnsupported => None,
         }
     }
 }
@@ -232,6 +243,23 @@ impl FleetBuilder {
             profile.has_obs = vec![false; members];
             profile.decisions = Vec::with_capacity(members);
         }
+        // Socket transport: spawn the reactor server and one loopback client
+        // per cluster. Per-tick uplink volume is two messages (report +
+        // objective) per monitor.
+        #[cfg(feature = "net")]
+        let socket = if self.transport == Transport::Socket {
+            let expected: Vec<usize> = sessions
+                .iter()
+                .map(|s| 2 * s.system.num_monitors())
+                .collect();
+            Some(crate::socket::SocketFront::new(expected).map_err(FleetError::Socket)?)
+        } else {
+            None
+        };
+        #[cfg(not(feature = "net"))]
+        if self.transport == Transport::Socket {
+            return Err(FleetError::SocketUnsupported);
+        }
         let num_clusters = sessions.len();
         let num_profiles = profiles.len();
         Ok(FleetDaemon {
@@ -249,6 +277,8 @@ impl FleetBuilder {
             tick: 0,
             train_cursor: 0,
             cluster_ticks: 0,
+            #[cfg(feature = "net")]
+            socket,
         })
     }
 }
@@ -307,6 +337,9 @@ pub struct FleetDaemon {
     tick: u64,
     train_cursor: usize,
     cluster_ticks: u64,
+    /// The socket front end ([`Transport::Socket`] only).
+    #[cfg(feature = "net")]
+    socket: Option<crate::socket::SocketFront>,
 }
 
 impl FleetDaemon {
@@ -398,6 +431,14 @@ impl FleetDaemon {
         self.profile_sharing[profile]
     }
 
+    /// The loopback address of the socket front end, when the fleet runs on
+    /// [`Transport::Socket`] (diagnostics; extra monitoring connections may
+    /// attach here).
+    #[cfg(feature = "net")]
+    pub fn socket_addr(&self) -> Option<std::net::SocketAddr> {
+        self.socket.as_ref().map(|front| front.addr())
+    }
+
     /// Advances the whole fleet by one tick of the given phase kind: measure
     /// everywhere, decide per profile in one batched forward pass, scatter
     /// actions, train round-robin, finish everywhere.
@@ -420,11 +461,56 @@ impl FleetDaemon {
             ..
         } = self;
 
-        // 1. Measurement: every cluster steps, monitors report, observations
-        //    gather into the profile batches.
-        for (i, session) in sessions.iter_mut().enumerate() {
-            let measurement = session.system.begin_tick(kind);
-            if kind != PhaseKind::Baseline {
+        // 1. Measurement: every cluster steps, monitors report (in-process,
+        //    as wire frames, or over real sockets), observations gather into
+        //    the profile batches.
+        if *transport == Transport::Socket {
+            #[cfg(feature = "net")]
+            {
+                let front = self
+                    .socket
+                    .as_mut()
+                    .expect("socket transport always builds a socket front");
+                // 1a. Step every target and transmit its tick's monitoring
+                //     traffic on the cluster's loopback connection. The
+                //     measurement stays incomplete (no observation) until
+                //     the traffic lands back in the daemon.
+                for (i, session) in sessions.iter_mut().enumerate() {
+                    let measurement = session.system.measure_tick();
+                    let mut uplink_error: Option<std::io::Error> = None;
+                    session.system.drain_outbox(|message| {
+                        if uplink_error.is_none() {
+                            if let Err(e) = front.send_uplink(i, &message) {
+                                uplink_error = Some(e);
+                            }
+                        }
+                    });
+                    if let Some(e) = uplink_error {
+                        panic!("socket uplink for cluster {i} failed: {e}");
+                    }
+                    measurements[i] = Some(measurement);
+                }
+                // 1b. Drain exactly one tick's worth of decoded messages
+                //     from the server and ingest them in arrival order.
+                front.drain_tick(|cluster, message| {
+                    sessions[cluster].system.ingest_message(message);
+                });
+                // 1c. Commit snapshots and assemble observations.
+                for (i, session) in sessions.iter_mut().enumerate() {
+                    let measurement = measurements[i].as_mut().expect("measured above");
+                    session.system.complete_measurement(kind, measurement);
+                }
+            }
+            #[cfg(not(feature = "net"))]
+            unreachable!("socket transport cannot be built without the net feature");
+        } else {
+            for (i, session) in sessions.iter_mut().enumerate() {
+                measurements[i] = Some(session.system.begin_tick(kind));
+            }
+        }
+        if kind != PhaseKind::Baseline {
+            for (i, session) in sessions.iter().enumerate() {
+                let measurement = measurements[i].as_ref().expect("measured above");
                 let profile = &mut profiles[session.profile];
                 match &measurement.observation {
                     Some(obs) => {
@@ -434,7 +520,6 @@ impl FleetDaemon {
                     None => profile.has_obs[session.row] = false,
                 }
             }
-            measurements[i] = Some(measurement);
         }
 
         if kind != PhaseKind::Baseline {
@@ -515,6 +600,48 @@ impl FleetDaemon {
                             params: action.parameter_values,
                         });
                     }
+                }
+                Transport::Socket => {
+                    #[cfg(feature = "net")]
+                    {
+                        let front = self
+                            .socket
+                            .as_mut()
+                            .expect("socket transport always builds a socket front");
+                        // Queue every cluster's action on the server-side
+                        // downlink first, then read them back — the reactor
+                        // flushes all connections concurrently.
+                        for (i, session) in sessions.iter().enumerate() {
+                            let profile = &profiles[session.profile];
+                            let decision = profile.decisions[session.row];
+                            let current = session.system.current_params();
+                            let params = step_params(
+                                &profile.agent.action_space(),
+                                decision.action,
+                                &current,
+                                session.system.specs(),
+                            );
+                            front.send_action(
+                                i,
+                                ActionMessage {
+                                    tick: session.system.tick(),
+                                    action_index: decision.action,
+                                    parameter_values: params,
+                                },
+                            );
+                        }
+                        for (i, session) in sessions.iter_mut().enumerate() {
+                            let action = front.recv_action(i);
+                            let decision = profiles[session.profile].decisions[session.row];
+                            session.system.apply_action(ProposedAction {
+                                action_index: Some(action.action_index),
+                                explored: decision.explored,
+                                params: action.parameter_values,
+                            });
+                        }
+                    }
+                    #[cfg(not(feature = "net"))]
+                    unreachable!("socket transport cannot be built without the net feature");
                 }
             }
         }
@@ -672,6 +799,45 @@ impl FleetDaemon {
             } else {
                 0.0
             },
+            net: self.net_report(),
+        }
+    }
+
+    /// Connection/ingest health for the report. Counters are zero (and
+    /// `enabled` false) on the in-process transports; `reports_rejected`
+    /// aggregates the member daemons' ingest rejections on every transport.
+    pub fn net_report(&self) -> NetReport {
+        let reports_rejected = self
+            .sessions
+            .iter()
+            .map(|s| s.system.daemon_stats().reports_rejected)
+            .sum();
+        #[cfg(feature = "net")]
+        if let Some(front) = &self.socket {
+            let stats = front.stats();
+            // Per-tick rates are over the fleet's whole lifetime — the
+            // counters span every run of this daemon.
+            let ticks = self.tick.max(1) as f64;
+            return NetReport {
+                enabled: true,
+                accepted: stats.accepted,
+                active: stats.active,
+                shed_backpressure: stats.shed_backpressure,
+                shed_idle: stats.shed_idle,
+                disconnects: stats.disconnects,
+                decode_errors: stats.decode_errors,
+                reports_rejected,
+                frames_in: stats.frames_in,
+                frames_out: stats.frames_out,
+                bytes_in: stats.bytes_in,
+                bytes_out: stats.bytes_out,
+                bytes_in_per_tick: stats.bytes_in as f64 / ticks,
+                bytes_out_per_tick: stats.bytes_out as f64 / ticks,
+            };
+        }
+        NetReport {
+            reports_rejected,
+            ..NetReport::default()
         }
     }
 }

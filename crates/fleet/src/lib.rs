@@ -43,11 +43,14 @@
 pub mod daemon;
 pub mod report;
 pub mod scenario;
+#[cfg(feature = "net")]
+mod socket;
 pub mod wire;
 
 pub use daemon::{Fleet, FleetBuilder, FleetDaemon, FleetError};
 pub use report::{
-    ClusterReport, ExperienceSharing, FleetPlan, FleetReport, ProfileSharing, StripeOccupancy,
+    ClusterReport, ExperienceSharing, FleetPlan, FleetReport, NetReport, ProfileSharing,
+    StripeOccupancy,
 };
 pub use scenario::ScenarioSpec;
 pub use wire::{

@@ -108,6 +108,44 @@ pub struct StripeOccupancy {
     pub total_inserted: u64,
 }
 
+/// Connection and ingest health of the fleet's network front end (ISSUE 6).
+///
+/// Always present in a [`FleetReport`]; on the in-process transports every
+/// counter is zero and `enabled` is false. Counters cover the daemon's whole
+/// lifetime, not just the reported run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetReport {
+    /// Whether the fleet ran with the socket front end.
+    pub enabled: bool,
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections open when the report was taken.
+    pub active: u64,
+    /// Slow clients shed for exceeding the outbound buffer cap.
+    pub shed_backpressure: u64,
+    /// Connections shed for idling past the timeout.
+    pub shed_idle: u64,
+    /// Connections closed or errored from the peer side.
+    pub disconnects: u64,
+    /// Connections closed for framing/decode/routing violations.
+    pub decode_errors: u64,
+    /// Reports/objectives the member Interface Daemons rejected after decode
+    /// (unknown node, wrong indicator count) — transport-independent.
+    pub reports_rejected: u64,
+    /// Well-formed frames decoded and delivered to the ingest channel.
+    pub frames_in: u64,
+    /// Action frames queued for transmission.
+    pub frames_out: u64,
+    /// Raw bytes read off sockets.
+    pub bytes_in: u64,
+    /// Raw bytes written to sockets.
+    pub bytes_out: u64,
+    /// Mean inbound bytes per fleet tick.
+    pub bytes_in_per_tick: f64,
+    /// Mean outbound bytes per fleet tick.
+    pub bytes_out_per_tick: f64,
+}
+
 /// The aggregated outcome of one fleet run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -121,6 +159,8 @@ pub struct FleetReport {
     pub elapsed_seconds: f64,
     /// Fleet throughput: cluster-ticks per wall-clock second.
     pub cluster_ticks_per_sec: f64,
+    /// Network front-end health (zeros on in-process transports).
+    pub net: NetReport,
 }
 
 impl FleetReport {
@@ -160,6 +200,18 @@ impl FleetReport {
             "arena: {} stripes, {occupied} occupied ticks, {evicted} evictions\n",
             self.arena.len()
         ));
+        if self.net.enabled {
+            out.push_str(&format!(
+                "net: {} accepted, {} active, {} shed (backpressure), {} rejected, \
+                 {:.0}/{:.0} bytes per tick in/out\n",
+                self.net.accepted,
+                self.net.active,
+                self.net.shed_backpressure,
+                self.net.reports_rejected,
+                self.net.bytes_in_per_tick,
+                self.net.bytes_out_per_tick
+            ));
+        }
         out
     }
 
@@ -193,6 +245,47 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         let back: FleetPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn net_report_round_trips_through_json() {
+        let net = NetReport {
+            enabled: true,
+            accepted: 1024,
+            active: 1000,
+            shed_backpressure: 3,
+            shed_idle: 1,
+            disconnects: 20,
+            decode_errors: 2,
+            reports_rejected: 7,
+            frames_in: 123_456,
+            frames_out: 60_000,
+            bytes_in: 9_876_543,
+            bytes_out: 2_345_678,
+            bytes_in_per_tick: 1234.5,
+            bytes_out_per_tick: 678.25,
+        };
+        let report = FleetReport {
+            clusters: Vec::new(),
+            arena: Vec::new(),
+            cluster_ticks: 10,
+            elapsed_seconds: 1.0,
+            cluster_ticks_per_sec: 10.0,
+            net,
+        };
+        let back = FleetReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(back.net, net);
+        assert!(report.summary().contains("net: 1024 accepted"));
+        // The in-process default is all-zeros and disabled, and stays that
+        // way through JSON.
+        let quiet = FleetReport {
+            net: NetReport::default(),
+            ..report
+        };
+        let back = FleetReport::from_json(&quiet.to_json()).expect("round trip");
+        assert!(!back.net.enabled);
+        assert_eq!(back.net, NetReport::default());
+        assert!(!quiet.summary().contains("\nnet:"));
     }
 
     #[test]

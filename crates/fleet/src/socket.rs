@@ -1,0 +1,154 @@
+//! The fleet's socket front end (`net` feature): member clusters talk to the
+//! daemon over real loopback TCP through the [`capes_net`] reactor server.
+//!
+//! One blocking [`TcpStream`] per cluster plays the member's network stack:
+//! the daemon's tick loop writes the cluster's monitoring frames into it,
+//! the reactor server on the other end reassembles and decodes them, and the
+//! decoded messages come back through the bounded ingress channel in arrival
+//! order. Actions travel the other way — queued on the server by cluster id,
+//! read back off the client socket with a blocking frame read.
+//!
+//! Determinism: each cluster's traffic rides its own connection, so its
+//! per-cluster ingest order is exactly its send order — the same order the
+//! in-process transports use. Cross-cluster arrival interleaving varies run
+//! to run, but clusters do not share daemon state, so the fleet's results
+//! are bit-identical to [`capes::Transport::Wire`] (the integration tests
+//! hold the report JSON equal).
+//!
+//! Backpressure sizing: the ingress channel is provisioned for (at least)
+//! one full fleet tick of messages, and the tick loop fully drains it every
+//! tick, so the reactor thread never stalls mid-tick against the channel
+//! while the tick loop is still writing uplink frames — the pairing that
+//! would otherwise deadlock a single-threaded driver.
+
+use std::io;
+use std::net::TcpStream;
+
+use capes_agents::wire::{decode_cluster_frame, encode_cluster_frame};
+use capes_agents::{ActionMessage, Message};
+use capes_net::{read_frame, write_frame, FleetServer, NetConfig, NetStatsSnapshot, ServerHandle};
+use crossbeam::channel::Receiver;
+
+/// The server plus the member clusters' loopback connections.
+pub(crate) struct SocketFront {
+    handle: ServerHandle,
+    ingress: Receiver<(u32, Message)>,
+    /// One blocking connection per cluster, index = cluster id.
+    clients: Vec<TcpStream>,
+    /// Messages each cluster sends per measurement tick (2 × its monitors).
+    expected_per_tick: Vec<usize>,
+    /// Scratch for per-tick arrival counting.
+    counts: Vec<usize>,
+    /// Scratch for blocking frame reads.
+    read_buf: Vec<u8>,
+    max_frame_len: usize,
+}
+
+impl SocketFront {
+    /// Spawns the reactor server on an ephemeral loopback port and connects
+    /// one client stream per cluster. `expected_per_tick[i]` is cluster
+    /// `i`'s per-tick uplink message count; the ingress channel is sized to
+    /// hold a full tick with slack.
+    pub(crate) fn new(expected_per_tick: Vec<usize>) -> io::Result<Self> {
+        let num_clusters = expected_per_tick.len();
+        let tick_volume: usize = expected_per_tick.iter().sum();
+        let config = NetConfig {
+            num_clusters: Some(num_clusters),
+            ingress_capacity: (2 * tick_volume).max(1024),
+            ..NetConfig::default()
+        };
+        let max_frame_len = config.max_frame_len;
+        let (handle, ingress) = FleetServer::spawn("127.0.0.1:0", config)?;
+        let clients = (0..num_clusters)
+            .map(|_| {
+                let stream = TcpStream::connect(handle.local_addr())?;
+                stream.set_nodelay(true)?;
+                Ok(stream)
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(SocketFront {
+            handle,
+            ingress,
+            clients,
+            counts: vec![0; num_clusters],
+            expected_per_tick,
+            read_buf: Vec::new(),
+            max_frame_len,
+        })
+    }
+
+    /// Current server-side counters.
+    pub(crate) fn stats(&self) -> NetStatsSnapshot {
+        self.handle.stats()
+    }
+
+    /// The loopback address the server listens on.
+    pub(crate) fn addr(&self) -> std::net::SocketAddr {
+        self.handle.local_addr()
+    }
+
+    /// Writes one uplink message on `cluster`'s connection (blocking; the
+    /// reactor drains continuously, so loopback writes complete promptly).
+    pub(crate) fn send_uplink(&mut self, cluster: usize, message: &Message) -> io::Result<()> {
+        let frame = encode_cluster_frame(cluster as u32, message);
+        write_frame(&mut self.clients[cluster], &frame)
+    }
+
+    /// Receives exactly one measurement tick's traffic from the server's
+    /// ingress channel and hands each decoded message to
+    /// `deliver(cluster, message)` in arrival order, returning once every
+    /// cluster has produced its expected count.
+    ///
+    /// # Panics
+    /// Panics if the server thread died (the channel disconnects) — the
+    /// fleet cannot continue without its ingest path.
+    pub(crate) fn drain_tick<F: FnMut(usize, &Message)>(&mut self, mut deliver: F) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        let mut remaining: usize = self.expected_per_tick.iter().sum();
+        while remaining > 0 {
+            let (cluster, message) = self
+                .ingress
+                .recv()
+                .expect("socket server died mid-tick; ingest path lost");
+            let cluster = cluster as usize;
+            assert!(
+                self.counts[cluster] < self.expected_per_tick[cluster],
+                "cluster {cluster} sent more messages than one tick expects"
+            );
+            self.counts[cluster] += 1;
+            remaining -= 1;
+            deliver(cluster, &message);
+        }
+    }
+
+    /// Queues an action for `cluster` on the server-side downlink.
+    pub(crate) fn send_action(&self, cluster: usize, action: ActionMessage) {
+        assert!(
+            self.handle.send(cluster as u32, &Message::Action(action)),
+            "socket server died before the action downlink"
+        );
+    }
+
+    /// Blocks until `cluster`'s connection delivers its action frame and
+    /// decodes it.
+    ///
+    /// # Panics
+    /// Panics on I/O failure, on a frame that does not decode, or on a frame
+    /// addressed to a different cluster — all impossible without a server
+    /// bug, and unrecoverable mid-tick.
+    pub(crate) fn recv_action(&mut self, cluster: usize) -> ActionMessage {
+        read_frame(
+            &mut self.clients[cluster],
+            self.max_frame_len,
+            &mut self.read_buf,
+        )
+        .expect("action downlink read failed");
+        let (from, message) =
+            decode_cluster_frame(&self.read_buf).expect("self-encoded action frames decode");
+        assert_eq!(from as usize, cluster, "action frame crossed connections");
+        match message {
+            Message::Action(action) => action,
+            other => panic!("expected an action on the downlink, got {other:?}"),
+        }
+    }
+}

@@ -12,41 +12,12 @@
 //! The envelope tag is outside the value range of the inner protocol's tags,
 //! so a stray un-enveloped frame is rejected rather than mis-routed.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use capes_agents::wire::{decode_message, encode_message, get_varint, put_varint, WireError};
+use capes_agents::wire::WireError;
 use capes_agents::Message;
-
-/// Leading byte of every fleet-enveloped frame (outside the inner protocol's
-/// tag space).
-pub const FLEET_FRAME_TAG: u8 = 0xF7;
-
-/// Encodes `message` as a fleet frame addressed to/from `cluster`.
-pub fn encode_cluster_frame(cluster: u32, message: &Message) -> Bytes {
-    let inner = encode_message(message);
-    let mut buf = BytesMut::with_capacity(inner.len() + 6);
-    buf.put_u8(FLEET_FRAME_TAG);
-    put_varint(&mut buf, cluster as u64);
-    buf.put_slice(&inner);
-    buf.freeze()
-}
-
-/// Decodes a fleet frame back into its cluster id and message.
-pub fn decode_cluster_frame(frame: &[u8]) -> Result<(u32, Message), WireError> {
-    let mut buf = frame;
-    if buf.is_empty() {
-        return Err(WireError::Truncated);
-    }
-    let tag = buf.get_u8();
-    if tag != FLEET_FRAME_TAG {
-        return Err(WireError::UnknownTag(tag));
-    }
-    let cluster = get_varint(&mut buf)?;
-    if cluster > u32::MAX as u64 {
-        return Err(WireError::MalformedVarint);
-    }
-    let message = decode_message(buf)?;
-    Ok((cluster as u32, message))
-}
+// The envelope codec itself lives in `capes_agents::wire` (PR 6 moved it
+// there so the socket server decodes through the same hardened path without
+// a dependency cycle); re-exported here for source compatibility.
+pub use capes_agents::wire::{decode_cluster_frame, encode_cluster_frame, FLEET_FRAME_TAG};
 
 /// Errors from routing a fleet frame.
 #[derive(Debug, Clone, PartialEq, Eq)]

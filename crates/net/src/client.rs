@@ -1,0 +1,73 @@
+//! Blocking client-side frame I/O.
+//!
+//! The fleet's loopback clients (and the ingest bench) are simple blocking
+//! writers: they already pace themselves on the tick schedule, so async
+//! machinery on the client side would buy nothing. These helpers put the
+//! length prefix on outbound frames and strip it from inbound ones, with the
+//! same pre-allocation length check the server enforces.
+
+use std::io::{self, Read, Write};
+
+use crate::framing::LENGTH_PREFIX_BYTES;
+
+/// Writes `payload` to `w` as one length-prefixed frame.
+///
+/// # Errors
+/// Any I/O error from the underlying writer.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    assert!(
+        payload.len() <= u32::MAX as usize,
+        "frame payload exceeds u32 length prefix"
+    );
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame from `r` into `buf` (cleared first).
+///
+/// # Errors
+/// `InvalidData` if the prefix exceeds `max_frame_len` (checked before any
+/// allocation); otherwise any I/O error, including `UnexpectedEof` on a
+/// stream that ends mid-frame.
+pub fn read_frame<R: Read>(r: &mut R, max_frame_len: usize, buf: &mut Vec<u8>) -> io::Result<()> {
+    let mut prefix = [0u8; LENGTH_PREFIX_BYTES];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > max_frame_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {max_frame_len}"),
+        ));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_a_cursor() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"ping").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cursor = &wire[..];
+        let mut buf = Vec::new();
+        read_frame(&mut cursor, 64, &mut buf).unwrap();
+        assert_eq!(buf, b"ping");
+        read_frame(&mut cursor, 64, &mut buf).unwrap();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn oversized_inbound_prefix_is_invalid_data() {
+        let wire = u32::MAX.to_be_bytes();
+        let mut cursor = &wire[..];
+        let mut buf = Vec::new();
+        let err = read_frame(&mut cursor, 1024, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(buf.capacity() < 1024 * 1024);
+    }
+}

@@ -1,0 +1,574 @@
+//! The fleet socket server: one reactor thread multiplexing every
+//! monitoring/control connection over epoll.
+//!
+//! Design rules (ISSUE 6):
+//!
+//! - **Never block the training thread.** Decoded messages flow through a
+//!   *bounded* crossbeam channel; the training side drains it between steps.
+//!   If the channel fills, the reactor thread itself blocks on `send` — that
+//!   is the global backpressure valve, and it propagates to clients as TCP
+//!   flow control because the reactor stops reading.
+//! - **Never buffer a slow client without bound.** Outbound bytes per
+//!   connection are capped; a client that cannot drain its action frames is
+//!   shed with a counted disconnect instead of growing a queue.
+//! - **Never trust a length prefix.** All reassembly goes through
+//!   [`FrameReassembler`](crate::framing::FrameReassembler), which validates
+//!   against `max_frame_len` before allocating, and every frame decodes via
+//!   the hardened [`capes_agents::wire`] path.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use capes_agents::wire::encode_cluster_frame;
+use capes_agents::Message;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use reactor::{Events, Interest, Poll, TimerQueue, Token, Waker};
+use serde::{Deserialize, Serialize};
+
+use crate::conn::ConnState;
+use crate::framing::{encode_frame_into, DEFAULT_MAX_FRAME_LEN, LENGTH_PREFIX_BYTES};
+
+/// Tuning knobs for a [`FleetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Hard cap on a single frame's payload; oversized prefixes close the
+    /// connection before any allocation.
+    pub max_frame_len: usize,
+    /// Cap on *outbound* bytes buffered per connection. A client further
+    /// behind than this is shed (counted in `shed_backpressure`).
+    pub max_conn_buffered: usize,
+    /// Size of the read scratch buffer (one `read` syscall's worth).
+    pub read_chunk: usize,
+    /// Capacity of the bounded ingress channel handed to the consumer. Size
+    /// it to at least one tick's worth of traffic (2 × total monitors) or
+    /// the reactor will stall mid-tick waiting for the consumer.
+    pub ingress_capacity: usize,
+    /// When set, frames naming a cluster `>= num_clusters` are rejected and
+    /// the sending connection closed.
+    pub num_clusters: Option<usize>,
+    /// When set, connections silent for this long are shed
+    /// (counted in `shed_idle`).
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            max_conn_buffered: 256 * 1024,
+            read_chunk: 16 * 1024,
+            ingress_capacity: 4096,
+            num_clusters: None,
+            idle_timeout: None,
+        }
+    }
+}
+
+/// Monotonic counters maintained by the reactor thread, readable from any
+/// thread. `active` is a gauge; everything else only grows.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    shed_backpressure: AtomicU64,
+    shed_idle: AtomicU64,
+    disconnects: AtomicU64,
+    decode_errors: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+macro_rules! bump {
+    ($stats:expr, $field:ident) => {
+        $stats.$field.fetch_add(1, Ordering::Relaxed)
+    };
+    ($stats:expr, $field:ident, $n:expr) => {
+        $stats.$field.fetch_add($n as u64, Ordering::Relaxed)
+    };
+}
+
+impl NetStats {
+    /// A consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            shed_backpressure: self.shed_backpressure.load(Ordering::Relaxed),
+            shed_idle: self.shed_idle.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`NetStats`], serialisable into reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStatsSnapshot {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Connections shed because their outbound buffer exceeded the cap.
+    pub shed_backpressure: u64,
+    /// Connections shed for exceeding the idle timeout.
+    pub shed_idle: u64,
+    /// Connections that closed or errored from the peer side.
+    pub disconnects: u64,
+    /// Connections closed for framing/decode/routing violations.
+    pub decode_errors: u64,
+    /// Well-formed frames decoded and delivered to the ingress channel.
+    pub frames_in: u64,
+    /// Frames queued for transmission to clients.
+    pub frames_out: u64,
+    /// Raw bytes read off sockets.
+    pub bytes_in: u64,
+    /// Raw bytes written to sockets.
+    pub bytes_out: u64,
+}
+
+/// Commands from the owning thread to the reactor.
+enum ServerCmd {
+    /// Queue `frame` (already cluster-enveloped, not yet length-prefixed)
+    /// for the connection currently serving `cluster`.
+    Send { cluster: u32, frame: bytes::Bytes },
+    /// Stop the reactor and close every connection.
+    Shutdown,
+}
+
+/// Owner-side handle to a running [`FleetServer`]. Dropping it shuts the
+/// server down and joins the reactor thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    cmds: Sender<ServerCmd>,
+    waker: Arc<Waker>,
+    stats: Arc<NetStats>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener is bound to (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Queues `message` for the connection serving `cluster`. Returns
+    /// `false` if the reactor has already stopped. Delivery is best-effort:
+    /// if no connection has identified itself with that cluster id yet, the
+    /// frame is dropped by the reactor.
+    pub fn send(&self, cluster: u32, message: &Message) -> bool {
+        let frame = encode_cluster_frame(cluster, message);
+        if self.cmds.send(ServerCmd::Send { cluster, frame }).is_err() {
+            return false;
+        }
+        self.waker.wake().is_ok()
+    }
+
+    /// Stops the reactor, joins its thread, and returns the final counters.
+    pub fn shutdown(mut self) -> NetStatsSnapshot {
+        self.stop();
+        self.stats.snapshot()
+    }
+
+    fn stop(&mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = self.cmds.send(ServerCmd::Shutdown);
+            let _ = self.waker.wake();
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The socket front end. See the module docs for the design rules.
+pub struct FleetServer;
+
+impl FleetServer {
+    /// Binds `addr`, spawns the reactor thread, and returns the owner handle
+    /// plus the bounded ingress channel of decoded `(cluster, message)`
+    /// pairs.
+    ///
+    /// # Errors
+    /// Any I/O error from binding the listener or creating the epoll set.
+    pub fn spawn<A: ToSocketAddrs>(
+        addr: A,
+        config: NetConfig,
+    ) -> io::Result<(ServerHandle, Receiver<(u32, Message)>)> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let poll = Poll::new()?;
+        let waker = Arc::new(Waker::new(&poll, WAKER)?);
+        poll.register(listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
+
+        let (ingress_tx, ingress_rx) = bounded(config.ingress_capacity);
+        let (cmd_tx, cmd_rx) = unbounded();
+        let stats = Arc::new(NetStats::default());
+
+        let mut reactor_loop = ServerLoop {
+            poll,
+            listener,
+            conns: Vec::new(),
+            free: Vec::new(),
+            routes: HashMap::new(),
+            ingress: ingress_tx,
+            cmds: cmd_rx,
+            waker: Arc::clone(&waker),
+            stats: Arc::clone(&stats),
+            config,
+            timers: TimerQueue::default(),
+        };
+        let join = std::thread::Builder::new()
+            .name("capes-net-reactor".into())
+            .spawn(move || reactor_loop.run())?;
+
+        Ok((
+            ServerHandle {
+                addr,
+                cmds: cmd_tx,
+                waker,
+                stats,
+                join: Some(join),
+            },
+            ingress_rx,
+        ))
+    }
+}
+
+const LISTENER: Token = Token(0);
+const WAKER: Token = Token(1);
+const IDLE_SWEEP: Token = Token(2);
+const CONN_BASE: usize = 3;
+
+/// Why the reactor closed a connection; selects the counter to bump.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CloseReason {
+    PeerClosed,
+    ShedBackpressure,
+    ShedIdle,
+    Protocol,
+}
+
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Outbound bytes not yet written; `out[out_cursor..]` is pending.
+    out: Vec<u8>,
+    out_cursor: usize,
+    /// Whether the fd is currently registered with WRITABLE interest.
+    want_write: bool,
+    last_activity: Instant,
+}
+
+struct ServerLoop {
+    poll: Poll,
+    listener: TcpListener,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// cluster id → slab index of the connection that last spoke for it.
+    routes: HashMap<u32, usize>,
+    ingress: Sender<(u32, Message)>,
+    cmds: Receiver<ServerCmd>,
+    waker: Arc<Waker>,
+    stats: Arc<NetStats>,
+    config: NetConfig,
+    timers: TimerQueue,
+}
+
+impl ServerLoop {
+    fn run(&mut self) {
+        if let Some(idle) = self.config.idle_timeout {
+            self.timers
+                .schedule_after(idle.min(IDLE_SWEEP_MAX), IDLE_SWEEP);
+        }
+        let mut events = Events::with_capacity(1024);
+        loop {
+            let timeout = self.timers.next_timeout(Instant::now());
+            if self.poll.poll(&mut events, timeout).is_err() {
+                // Only unrecoverable epoll failures land here (EINTR is
+                // retried inside poll); nothing to do but stop serving.
+                return;
+            }
+            for event in events.iter() {
+                match event.token() {
+                    LISTENER => self.accept_ready(),
+                    WAKER => self.waker.drain(),
+                    Token(t) => {
+                        let idx = t - CONN_BASE;
+                        if event.is_readable() && !self.conn_readable(idx) {
+                            continue;
+                        }
+                        if event.is_writable() {
+                            self.conn_flush(idx);
+                        }
+                        if event.is_error() {
+                            self.close(idx, CloseReason::PeerClosed);
+                        }
+                    }
+                }
+            }
+            // Commands are drained every iteration, not only on wake: a
+            // wake that raced with a poll timeout must not strand a Send.
+            loop {
+                match self.cmds.try_recv() {
+                    Ok(ServerCmd::Send { cluster, frame }) => self.queue_frame(cluster, &frame),
+                    Ok(ServerCmd::Shutdown) => return,
+                    Err(_) => break,
+                }
+            }
+            let now = Instant::now();
+            while let Some(token) = self.timers.pop_expired(now) {
+                if token == IDLE_SWEEP {
+                    self.sweep_idle(now);
+                    if let Some(idle) = self.config.idle_timeout {
+                        self.timers
+                            .schedule_after(idle.min(IDLE_SWEEP_MAX), IDLE_SWEEP);
+                    }
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Action frames are latency-critical (they gate the next
+                    // tick); never let Nagle hold them.
+                    let _ = stream.set_nodelay(true);
+                    let idx = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    if self
+                        .poll
+                        .register(
+                            stream.as_raw_fd(),
+                            Token(CONN_BASE + idx),
+                            Interest::READABLE,
+                        )
+                        .is_err()
+                    {
+                        self.free.push(idx);
+                        continue;
+                    }
+                    self.conns[idx] = Some(Conn {
+                        stream,
+                        state: ConnState::new(self.config.max_frame_len),
+                        out: Vec::new(),
+                        out_cursor: 0,
+                        want_write: false,
+                        last_activity: Instant::now(),
+                    });
+                    bump!(self.stats, accepted);
+                    bump!(self.stats, active);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (EMFILE, aborted handshakes):
+                // drop this readiness round, the listener stays registered.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Drains readable bytes from connection `idx`. Returns `false` if the
+    /// connection was closed (its slab slot is gone).
+    fn conn_readable(&mut self, idx: usize) -> bool {
+        let mut chunk = vec![0u8; self.config.read_chunk];
+        loop {
+            let ServerLoop {
+                conns,
+                routes,
+                ingress,
+                stats,
+                config,
+                ..
+            } = self;
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                return false;
+            };
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.close(idx, CloseReason::PeerClosed);
+                    return false;
+                }
+                Ok(n) => {
+                    bump!(stats, bytes_in, n);
+                    conn.last_activity = Instant::now();
+                    let mut consumer_gone = false;
+                    let ingested =
+                        conn.state
+                            .ingest(&chunk[..n], config.num_clusters, |cluster, message| {
+                                bump!(stats, frames_in);
+                                routes.insert(cluster, idx);
+                                // A full channel blocks us here — that *is*
+                                // the backpressure valve. Err means the
+                                // consumer dropped the receiver: shut down.
+                                if ingress.send((cluster, message)).is_err() {
+                                    consumer_gone = true;
+                                }
+                            });
+                    if consumer_gone || ingested.is_err() {
+                        let reason = if consumer_gone {
+                            CloseReason::PeerClosed
+                        } else {
+                            CloseReason::Protocol
+                        };
+                        self.close(idx, reason);
+                        return false;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(idx, CloseReason::PeerClosed);
+                    return false;
+                }
+            }
+        }
+    }
+
+    fn queue_frame(&mut self, cluster: u32, frame: &[u8]) {
+        let Some(&idx) = self.routes.get(&cluster) else {
+            // No connection has spoken for this cluster yet; the caller's
+            // contract says delivery is best-effort, so drop silently.
+            return;
+        };
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        let pending = conn.out.len() - conn.out_cursor;
+        if pending + LENGTH_PREFIX_BYTES + frame.len() > self.config.max_conn_buffered {
+            self.close(idx, CloseReason::ShedBackpressure);
+            return;
+        }
+        // Reclaim consumed prefix before growing; keeps the buffer from
+        // creeping even when the client is only slightly behind.
+        if conn.out_cursor > 0 && conn.out_cursor == conn.out.len() {
+            conn.out.clear();
+            conn.out_cursor = 0;
+        } else if conn.out_cursor >= 4096 {
+            conn.out.drain(..conn.out_cursor);
+            conn.out_cursor = 0;
+        }
+        encode_frame_into(&mut conn.out, frame);
+        bump!(self.stats, frames_out);
+        self.conn_flush(idx);
+    }
+
+    /// Writes as much pending output as the socket accepts; registers for
+    /// WRITABLE readiness when the socket pushes back.
+    fn conn_flush(&mut self, idx: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            let pending = &conn.out[conn.out_cursor..];
+            if pending.is_empty() {
+                conn.out.clear();
+                conn.out_cursor = 0;
+                if conn.want_write {
+                    conn.want_write = false;
+                    let _ = self.poll.reregister(
+                        conn.stream.as_raw_fd(),
+                        Token(CONN_BASE + idx),
+                        Interest::READABLE,
+                    );
+                }
+                return;
+            }
+            match conn.stream.write(pending) {
+                Ok(0) => {
+                    self.close(idx, CloseReason::PeerClosed);
+                    return;
+                }
+                Ok(n) => {
+                    conn.out_cursor += n;
+                    conn.last_activity = Instant::now();
+                    bump!(self.stats, bytes_out, n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if !conn.want_write {
+                        conn.want_write = true;
+                        let _ = self.poll.reregister(
+                            conn.stream.as_raw_fd(),
+                            Token(CONN_BASE + idx),
+                            Interest::READABLE.add(Interest::WRITABLE),
+                        );
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(idx, CloseReason::PeerClosed);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn sweep_idle(&mut self, now: Instant) {
+        let Some(idle) = self.config.idle_timeout else {
+            return;
+        };
+        let stale: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| {
+                let conn = slot.as_ref()?;
+                (now.duration_since(conn.last_activity) >= idle).then_some(idx)
+            })
+            .collect();
+        for idx in stale {
+            self.close(idx, CloseReason::ShedIdle);
+        }
+    }
+
+    fn close(&mut self, idx: usize, reason: CloseReason) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        let _ = self.poll.deregister(conn.stream.as_raw_fd());
+        drop(conn);
+        self.routes.retain(|_, &mut v| v != idx);
+        self.free.push(idx);
+        self.stats.active.fetch_sub(1, Ordering::Relaxed);
+        match reason {
+            CloseReason::PeerClosed => bump!(self.stats, disconnects),
+            CloseReason::ShedBackpressure => bump!(self.stats, shed_backpressure),
+            CloseReason::ShedIdle => bump!(self.stats, shed_idle),
+            CloseReason::Protocol => bump!(self.stats, decode_errors),
+        };
+    }
+}
+
+/// Idle sweeps run at least this often so a freshly-stale connection is
+/// noticed within one period even if traffic keeps the poll loop busy.
+const IDLE_SWEEP_MAX: Duration = Duration::from_millis(500);

@@ -1,0 +1,221 @@
+//! End-to-end exercises of the reactor server over real loopback sockets.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use capes_agents::message::{ActionMessage, PiReport};
+use capes_agents::wire::encode_cluster_frame;
+use capes_agents::Message;
+use capes_net::{read_frame, write_frame, FleetServer, NetConfig};
+
+fn report(cluster: u32, tick: u64, node: usize) -> (Message, Vec<u8>) {
+    let message = Message::Report(PiReport {
+        tick,
+        node,
+        total_pis: 8,
+        changed: vec![(0, 1.25), (3, -0.5), (7, 1024.0)],
+    });
+    let frame = encode_cluster_frame(cluster, &message).to_vec();
+    (message, frame)
+}
+
+/// Waits until `cond` holds or panics after two seconds.
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn frames_flow_client_to_ingress_and_back() {
+    let (handle, ingress) =
+        FleetServer::spawn("127.0.0.1:0", NetConfig::default()).expect("spawn server");
+    let mut client = TcpStream::connect(handle.local_addr()).expect("connect");
+    client.set_nodelay(true).unwrap();
+
+    // Two frames in one write, a third split across two writes.
+    let (m0, f0) = report(0, 1, 0);
+    let (m1, f1) = report(0, 1, 1);
+    let (m2, f2) = report(0, 2, 0);
+    let mut buf = Vec::new();
+    capes_net::encode_frame_into(&mut buf, &f0);
+    capes_net::encode_frame_into(&mut buf, &f1);
+    let mut third = Vec::new();
+    capes_net::encode_frame_into(&mut third, &f2);
+    client.write_all(&buf).unwrap();
+    client.write_all(&third[..3]).unwrap();
+    client.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    client.write_all(&third[3..]).unwrap();
+
+    let mut got = Vec::new();
+    for _ in 0..3 {
+        got.push(ingress.recv_timeout_or_panic());
+    }
+    assert_eq!(got, vec![(0, m0), (0, m1), (0, m2)]);
+
+    // Downlink: the server learned cluster 0 lives on this connection.
+    let action = Message::Action(ActionMessage {
+        tick: 2,
+        action_index: 5,
+        parameter_values: vec![16.0, 4000.0],
+    });
+    assert!(handle.send(0, &action));
+    let mut frame = Vec::new();
+    read_frame(&mut client, 1 << 20, &mut frame).unwrap();
+    let (cluster, decoded) = capes_agents::wire::decode_cluster_frame(&frame).unwrap();
+    assert_eq!((cluster, decoded), (0, action));
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.frames_in, 3);
+    assert_eq!(stats.frames_out, 1);
+    assert_eq!(stats.decode_errors, 0);
+}
+
+#[test]
+fn corrupt_frame_closes_only_the_guilty_connection() {
+    let config = NetConfig {
+        num_clusters: Some(2),
+        ..NetConfig::default()
+    };
+    let (handle, ingress) = FleetServer::spawn("127.0.0.1:0", config).expect("spawn server");
+    let mut good = TcpStream::connect(handle.local_addr()).unwrap();
+    let mut evil = TcpStream::connect(handle.local_addr()).unwrap();
+    wait_for(|| handle.stats().accepted == 2, "both connections accepted");
+
+    // An oversized length prefix: rejected before allocation, connection
+    // closed, counted as a decode error.
+    evil.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    wait_for(
+        || handle.stats().decode_errors == 1,
+        "evil connection closed",
+    );
+
+    // The good connection is unaffected.
+    let (m, f) = report(1, 7, 0);
+    write_frame(&mut good, &f).unwrap();
+    assert_eq!(ingress.recv_timeout_or_panic(), (1, m));
+
+    // The evil socket reads EOF (server closed it).
+    let mut probe = [0u8; 1];
+    evil.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    assert_eq!(evil.read(&mut probe).unwrap_or(0), 0);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.decode_errors, 1);
+    assert_eq!(stats.frames_in, 1);
+}
+
+#[test]
+fn out_of_range_cluster_is_a_counted_protocol_error() {
+    let config = NetConfig {
+        num_clusters: Some(2),
+        ..NetConfig::default()
+    };
+    let (handle, _ingress) = FleetServer::spawn("127.0.0.1:0", config).unwrap();
+    let mut client = TcpStream::connect(handle.local_addr()).unwrap();
+    let (_, f) = report(9, 1, 0);
+    write_frame(&mut client, &f).unwrap();
+    wait_for(|| handle.stats().decode_errors == 1, "bad cluster rejected");
+    let stats = handle.shutdown();
+    assert_eq!(stats.frames_in, 0);
+}
+
+#[test]
+fn slow_client_is_shed_for_backpressure_without_hurting_others() {
+    let config = NetConfig {
+        // Tiny outbound cap so a non-reading client trips it quickly.
+        max_conn_buffered: 512,
+        ..NetConfig::default()
+    };
+    let (handle, ingress) = FleetServer::spawn("127.0.0.1:0", config).unwrap();
+    let mut stalled = TcpStream::connect(handle.local_addr()).unwrap();
+    let mut healthy = TcpStream::connect(handle.local_addr()).unwrap();
+    wait_for(|| handle.stats().accepted == 2, "both connections accepted");
+
+    // Each client identifies its cluster.
+    let (_, f0) = report(0, 1, 0);
+    let (_, f1) = report(1, 1, 0);
+    stalled
+        .write_all(&{
+            let mut b = Vec::new();
+            capes_net::encode_frame_into(&mut b, &f0);
+            b
+        })
+        .unwrap();
+    write_frame(&mut healthy, &f1).unwrap();
+    for _ in 0..2 {
+        ingress.recv_timeout_or_panic();
+    }
+
+    // The stalled client never reads. Pump action frames at it until the
+    // outbound cap (512 bytes) trips. Each frame is ~40 bytes, and loopback
+    // socket buffers absorb the first few hundred KiB, so keep sending.
+    let action = Message::Action(ActionMessage {
+        tick: 1,
+        action_index: 0,
+        parameter_values: vec![1.0; 8],
+    });
+    let mut sheds = 0;
+    for _ in 0..100_000 {
+        handle.send(0, &action);
+        if handle.stats().shed_backpressure == 1 {
+            sheds = 1;
+            break;
+        }
+    }
+    assert_eq!(sheds, 1, "stalled client was never shed");
+
+    // The healthy connection still round-trips.
+    let (m, f) = report(1, 2, 0);
+    write_frame(&mut healthy, &f).unwrap();
+    assert_eq!(ingress.recv_timeout_or_panic(), (1, m));
+    assert!(handle.send(1, &action));
+    let mut frame = Vec::new();
+    read_frame(&mut healthy, 1 << 20, &mut frame).unwrap();
+    let (cluster, decoded) = capes_agents::wire::decode_cluster_frame(&frame).unwrap();
+    assert_eq!((cluster, decoded), (1, action));
+
+    // And the stalled socket sees EOF once its kernel buffer drains.
+    drop(stalled);
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_are_swept() {
+    let config = NetConfig {
+        idle_timeout: Some(Duration::from_millis(50)),
+        ..NetConfig::default()
+    };
+    let (handle, _ingress) = FleetServer::spawn("127.0.0.1:0", config).unwrap();
+    let _client = TcpStream::connect(handle.local_addr()).unwrap();
+    wait_for(|| handle.stats().accepted == 1, "connection accepted");
+    wait_for(|| handle.stats().shed_idle == 1, "idle connection swept");
+    let stats = handle.shutdown();
+    assert_eq!(stats.active, 0);
+}
+
+/// `recv` with a deadline, panicking with context on timeout — keeps the
+/// individual tests free of unwrap-noise.
+trait RecvTimeout {
+    fn recv_timeout_or_panic(&self) -> (u32, Message);
+}
+
+impl RecvTimeout for crossbeam::channel::Receiver<(u32, Message)> {
+    fn recv_timeout_or_panic(&self) -> (u32, Message) {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match self.try_recv() {
+                Ok(v) => return v,
+                Err(_) => {
+                    assert!(Instant::now() < deadline, "timed out waiting for ingress");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+}

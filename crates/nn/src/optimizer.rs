@@ -5,6 +5,7 @@
 //! comparison point for the hyperparameter ablation benchmarks.
 
 use crate::{Mlp, MlpGrads};
+use capes_tensor::simd::{adam_update, AdamStep};
 use capes_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -183,22 +184,25 @@ impl Optimizer for Adam {
                     }
                     None => 1.0,
                 };
-                let m = &mut self.m[idx];
-                let v = &mut self.v[idx];
-                let pslice = param.as_mut_slice();
-                for (((p, &raw_g), m_e), v_e) in pslice
-                    .iter_mut()
-                    .zip(grad.as_slice())
-                    .zip(m.as_mut_slice().iter_mut())
-                    .zip(v.as_mut_slice().iter_mut())
-                {
-                    let g = raw_g * scale;
-                    *m_e = b1 * *m_e + (1.0 - b1) * g;
-                    *v_e = b2 * *v_e + (1.0 - b2) * g * g;
-                    let m_hat = *m_e / bias1;
-                    let v_hat = *v_e / bias2;
-                    *p -= lr * m_hat / (v_hat.sqrt() + eps);
-                }
+                // The fused element-wise kernel dispatches through the
+                // CAPES_SIMD runtime switch; both arms are bit-identical to
+                // the loop this replaced, so optimizer trajectories are
+                // unchanged at every level.
+                adam_update(
+                    param.as_mut_slice(),
+                    grad.as_slice(),
+                    self.m[idx].as_mut_slice(),
+                    self.v[idx].as_mut_slice(),
+                    &AdamStep {
+                        learning_rate: lr,
+                        beta1: b1,
+                        beta2: b2,
+                        epsilon: eps,
+                        bias1,
+                        bias2,
+                        scale,
+                    },
+                );
             }
         }
     }
@@ -350,6 +354,60 @@ mod tests {
         // Both updated, but they should now differ because one was clipped.
         assert!(unclipped_net.parameter_distance(&clipped_net) > 0.0);
         assert!(clipped_net.is_finite());
+    }
+
+    #[test]
+    fn adam_step_matches_the_reference_recurrence_bitwise() {
+        // Guard on the SIMD-kernel rewiring: one dispatched step must equal
+        // the textbook recurrence bit for bit, clipping included (the kernel
+        // promises bit-identity at every CAPES_SIMD level).
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = Mlp::new(&[3, 4, 2], Activation::Tanh, &mut rng);
+        let mut reference = net.clone();
+        let (lr, b1, b2, eps) = (0.01, 0.9, 0.999, 1e-8);
+        let clip = 1e-3; // small enough that these grads engage clipping
+        let mut adam = Adam::with_config(lr, b1, b2, eps, Some(clip), net.parameter_shapes());
+
+        let x = Matrix::filled(2, 3, 0.7);
+        let t = Matrix::zeros(2, 2);
+        let pred = net.forward(&x);
+        let (_, d) = MseLoss.loss_and_grad(&pred, &t);
+        let grads = net.backward(&d);
+        adam.step(&mut net, &grads);
+
+        let (bias1, bias2) = (1.0 - b1, 1.0 - b2); // t = 1
+        for (layer, g) in reference.layers_mut().iter_mut().zip(grads.iter()) {
+            for (param, grad) in [
+                (&mut layer.weights, &g.d_weights),
+                (&mut layer.bias, &g.d_bias),
+            ] {
+                let norm = grad.frobenius_norm();
+                let scale = if norm > clip && norm > 0.0 {
+                    clip / norm
+                } else {
+                    1.0
+                };
+                for (p, &raw_g) in param.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                    let g = raw_g * scale;
+                    // Fresh state (m = v = 0) written in the kernel's exact
+                    // evaluation order so ±0 signs match too.
+                    let m = b1 * 0.0 + (1.0 - b1) * g;
+                    let v = b2 * 0.0 + (1.0 - b2) * g * g;
+                    *p -= lr * (m / bias1) / ((v / bias2).sqrt() + eps);
+                }
+            }
+        }
+        for (got, want) in net.layers().iter().zip(reference.layers()) {
+            for (a, b) in [
+                (got.weights.as_slice(), want.weights.as_slice()),
+                (got.bias.as_slice(), want.bias.as_slice()),
+            ] {
+                assert!(
+                    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "dispatched Adam step diverged from the reference recurrence"
+                );
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,14 @@
 //! computed by exactly one instruction sequence regardless of the chunking —
 //! which is why the pooled (multi-threaded) and single-threaded dispatch
 //! agree bit-for-bit (property-tested).
+//!
+//! Besides the GEMMs, the module carries one element-wise training kernel:
+//! the fused Adam parameter update ([`adam_update_with`]). Unlike the GEMM
+//! vector arm, its AVX2 arm uses **no FMA contraction** — every operation
+//! (mul, add, div, sqrt, sub) is individually correctly rounded, in the same
+//! order as the scalar arm — so the two arms are **bit-identical**, not
+//! merely ulp-close (property-tested). Toggling `CAPES_SIMD` therefore never
+//! perturbs an optimizer trajectory on its own.
 
 use std::fmt;
 use std::sync::OnceLock;
@@ -225,6 +233,82 @@ pub fn gemm_tb_rows_with(
     }
 }
 
+/// Per-step constants of one Adam update, shared by every element the step
+/// touches: the optimizer computes the bias corrections and the clip scale
+/// once per step and the kernel applies them element-wise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamStep {
+    /// Step size `lr`.
+    pub learning_rate: f64,
+    /// First-moment decay `β₁`.
+    pub beta1: f64,
+    /// Second-moment decay `β₂`.
+    pub beta2: f64,
+    /// Numerical-stability constant `ε`.
+    pub epsilon: f64,
+    /// First-moment bias correction `1 − β₁ᵗ` for the current step `t`.
+    pub bias1: f64,
+    /// Second-moment bias correction `1 − β₂ᵗ` for the current step `t`.
+    pub bias2: f64,
+    /// Gradient scale applied before the update (`clip / ‖g‖` when gradient
+    /// clipping engages, `1.0` otherwise).
+    pub scale: f64,
+}
+
+/// Fused element-wise Adam update at an explicit [`SimdLevel`]:
+///
+/// ```text
+/// g   = grad[i] · scale
+/// m[i] = β₁·m[i] + (1 − β₁)·g
+/// v[i] = β₂·v[i] + (1 − β₂)·g·g
+/// params[i] −= lr · (m[i] / bias1) / (√(v[i] / bias2) + ε)
+/// ```
+///
+/// Both arms produce **bit-identical** results: the AVX2 arm uses only
+/// individually-rounded operations (no FMA contraction) in the scalar arm's
+/// exact evaluation order. Unrunnable level requests degrade to the scalar
+/// kernel as in [`gemm_rows_with`].
+///
+/// # Panics
+/// Panics if `grads`, `m` or `v` disagree with `params` in length.
+pub fn adam_update_with(
+    level: SimdLevel,
+    params: &mut [f64],
+    grads: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    step: &AdamStep,
+) {
+    assert_eq!(
+        grads.len(),
+        params.len(),
+        "adam_update: grads length mismatch"
+    );
+    assert_eq!(m.len(), params.len(), "adam_update: m length mismatch");
+    assert_eq!(v.len(), params.len(), "adam_update: v length mismatch");
+    match level {
+        // Safety: the guard re-confirms the CPU (the kernel only needs AVX2;
+        // the level implies it); lengths were asserted above.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
+            avx2::adam_update(params, grads, m, v, step)
+        },
+        _ => adam_update_scalar(params, grads, m, v, step),
+    }
+}
+
+/// Auto-dispatching [`adam_update_with`] at [`active_level`] — what the
+/// `capes-nn` Adam optimizer calls.
+pub fn adam_update(
+    params: &mut [f64],
+    grads: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    step: &AdamStep,
+) {
+    adam_update_with(active_level(), params, grads, m, v, step);
+}
+
 // ---------------------------------------------------------------------------
 // Auto-dispatching crate-internal entry points (what `matmul.rs` calls).
 // ---------------------------------------------------------------------------
@@ -353,6 +437,32 @@ fn gemm_ta_rows_scalar(
             }
             r += 1;
         }
+    }
+}
+
+/// Scalar arm of the Adam update — the reference evaluation order the vector
+/// arm reproduces bit-for-bit (and verbatim the loop the pre-SIMD optimizer
+/// ran).
+fn adam_update_scalar(
+    params: &mut [f64],
+    grads: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    s: &AdamStep,
+) {
+    let (b1, b2) = (s.beta1, s.beta2);
+    for (((p, &raw_g), m_e), v_e) in params
+        .iter_mut()
+        .zip(grads)
+        .zip(m.iter_mut())
+        .zip(v.iter_mut())
+    {
+        let g = raw_g * s.scale;
+        *m_e = b1 * *m_e + (1.0 - b1) * g;
+        *v_e = b2 * *v_e + (1.0 - b2) * g * g;
+        let m_hat = *m_e / s.bias1;
+        let v_hat = *v_e / s.bias2;
+        *p -= s.learning_rate * m_hat / (v_hat.sqrt() + s.epsilon);
     }
 }
 
@@ -787,6 +897,76 @@ mod avx2 {
         }
     }
 
+    /// AVX2 arm of [`super::adam_update_with`]: 4-wide lanes over the
+    /// element-wise update, remainder handed to the scalar arm.
+    ///
+    /// Deliberately **FMA-free**: mul, add, div, sqrt and sub are each
+    /// correctly rounded (IEEE 754), and the lane sequence is the scalar
+    /// arm's evaluation order operation for operation — `(1 − β)·g` products
+    /// first, then the add; `(lr·m̂)` before the divide — so every element
+    /// lands on the same bits the scalar arm produces. An FMA here would
+    /// save one rounding and break that equality.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2; the four slices must be equal-length
+    /// (asserted by the caller).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn adam_update(
+        params: &mut [f64],
+        grads: &[f64],
+        m: &mut [f64],
+        v: &mut [f64],
+        s: &super::AdamStep,
+    ) {
+        let n = params.len();
+        let lanes = n - n % 4;
+        let b1 = _mm256_set1_pd(s.beta1);
+        let b2 = _mm256_set1_pd(s.beta2);
+        let omb1 = _mm256_set1_pd(1.0 - s.beta1);
+        let omb2 = _mm256_set1_pd(1.0 - s.beta2);
+        let bias1 = _mm256_set1_pd(s.bias1);
+        let bias2 = _mm256_set1_pd(s.bias2);
+        let lr = _mm256_set1_pd(s.learning_rate);
+        let eps = _mm256_set1_pd(s.epsilon);
+        let scale = _mm256_set1_pd(s.scale);
+        let p_ptr = params.as_mut_ptr();
+        let g_ptr = grads.as_ptr();
+        let m_ptr = m.as_mut_ptr();
+        let v_ptr = v.as_mut_ptr();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let g = _mm256_mul_pd(_mm256_loadu_pd(g_ptr.add(i)), scale);
+            let mv = _mm256_add_pd(
+                _mm256_mul_pd(b1, _mm256_loadu_pd(m_ptr.add(i))),
+                _mm256_mul_pd(omb1, g),
+            );
+            let vv = _mm256_add_pd(
+                _mm256_mul_pd(b2, _mm256_loadu_pd(v_ptr.add(i))),
+                _mm256_mul_pd(_mm256_mul_pd(omb2, g), g),
+            );
+            _mm256_storeu_pd(m_ptr.add(i), mv);
+            _mm256_storeu_pd(v_ptr.add(i), vv);
+            let m_hat = _mm256_div_pd(mv, bias1);
+            let v_hat = _mm256_div_pd(vv, bias2);
+            let delta = _mm256_div_pd(
+                _mm256_mul_pd(lr, m_hat),
+                _mm256_add_pd(_mm256_sqrt_pd(v_hat), eps),
+            );
+            _mm256_storeu_pd(
+                p_ptr.add(i),
+                _mm256_sub_pd(_mm256_loadu_pd(p_ptr.add(i)), delta),
+            );
+            i += 4;
+        }
+        super::adam_update_scalar(
+            &mut params[lanes..],
+            &grads[lanes..],
+            &mut m[lanes..],
+            &mut v[lanes..],
+            s,
+        );
+    }
+
     /// Eight simultaneous segment dots: a-rows `a0`/`a1` against four
     /// consecutive b-rows (`b0` plus `b_stride` apart), each pair sharing its
     /// operand loads. Accumulates the horizontal sums into
@@ -924,6 +1104,90 @@ mod tests {
         let mut out_tb = [f64::NAN];
         gemm_tb_rows_with(SimdLevel::Scalar, &[3.0], &[4.0], &mut out_tb, 1, 1, 1);
         assert_eq!(out_tb, [12.0]);
+    }
+
+    #[test]
+    fn adam_update_applies_the_textbook_formula() {
+        // One element, first step, no clipping: hand-check the update.
+        let (lr, b1, b2, eps) = (0.1, 0.9, 0.999, 1e-8);
+        let step = AdamStep {
+            learning_rate: lr,
+            beta1: b1,
+            beta2: b2,
+            epsilon: eps,
+            bias1: 1.0 - b1,
+            bias2: 1.0 - b2,
+            scale: 1.0,
+        };
+        let mut p = [1.0];
+        let mut m = [0.0];
+        let mut v = [0.0];
+        adam_update_with(SimdLevel::Scalar, &mut p, &[0.5], &mut m, &mut v, &step);
+        // m = (1−β₁)·g, v = (1−β₂)·g²; bias corrections cancel on step 1, so
+        // m̂ = g, v̂ = g² and the update is lr·g/(|g|+ε) ≈ lr.
+        assert!((m[0] - (1.0 - b1) * 0.5).abs() < 1e-15);
+        assert!((v[0] - (1.0 - b2) * 0.25).abs() < 1e-15);
+        assert!((p[0] - (1.0 - lr)).abs() < 1e-8, "p = {}", p[0]);
+    }
+
+    #[test]
+    fn adam_update_gradient_scale_folds_in() {
+        let step = AdamStep {
+            learning_rate: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            bias1: 0.1,
+            bias2: 1e-3,
+            scale: 0.5,
+        };
+        let grads = [2.0, -4.0, 8.0];
+        let mut p_scaled = [0.0; 3];
+        let mut m_scaled = [0.0; 3];
+        let mut v_scaled = [0.0; 3];
+        adam_update_with(
+            SimdLevel::Scalar,
+            &mut p_scaled,
+            &grads,
+            &mut m_scaled,
+            &mut v_scaled,
+            &step,
+        );
+        // Same update on pre-scaled gradients with scale = 1.
+        let pre_scaled: Vec<f64> = grads.iter().map(|g| g * 0.5).collect();
+        let mut p_ref = [0.0; 3];
+        let mut m_ref = [0.0; 3];
+        let mut v_ref = [0.0; 3];
+        let unit = AdamStep { scale: 1.0, ..step };
+        adam_update_with(
+            SimdLevel::Scalar,
+            &mut p_ref,
+            &pre_scaled,
+            &mut m_ref,
+            &mut v_ref,
+            &unit,
+        );
+        assert_eq!(p_scaled, p_ref);
+        assert_eq!(m_scaled, m_ref);
+        assert_eq!(v_scaled, v_ref);
+    }
+
+    #[test]
+    #[should_panic(expected = "adam_update: m length mismatch")]
+    fn adam_update_rejects_mismatched_state() {
+        let step = AdamStep {
+            learning_rate: 0.1,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            bias1: 0.1,
+            bias2: 1e-3,
+            scale: 1.0,
+        };
+        let mut p = [0.0; 2];
+        let mut m = [0.0; 1];
+        let mut v = [0.0; 2];
+        adam_update_with(SimdLevel::Scalar, &mut p, &[0.0; 2], &mut m, &mut v, &step);
     }
 
     #[test]

@@ -22,8 +22,8 @@
 //! in-process on every host.
 
 use capes_tensor::simd::{
-    self, active_level, detected_level, gemm_rows_with, gemm_ta_rows_with, gemm_tb_rows_with,
-    SimdLevel,
+    self, active_level, adam_update_with, detected_level, gemm_rows_with, gemm_ta_rows_with,
+    gemm_tb_rows_with, AdamStep, SimdLevel,
 };
 use capes_tensor::WorkerPool;
 use proptest::prelude::*;
@@ -183,6 +183,59 @@ proptest! {
                     "{level} {m}x{k}x{n} non-finite: {got} vs {want}"
                 );
             }
+        }
+    }
+
+    /// The fused Adam update at every runnable level is **bit-identical** to
+    /// an independently-written scalar reference of the textbook recurrence —
+    /// stronger than the GEMM guarantee (ulp-close), because the vector arm
+    /// deliberately forgoes FMA. Lengths cross the 4-lane boundary in every
+    /// residue class, `t` exercises early (large-bias-correction) and late
+    /// steps, and `scale` covers clipped and unclipped gradients.
+    #[test]
+    fn adam_update_is_bit_identical_at_every_level(
+        len in 1usize..130,
+        t in 1i32..60,
+        clip in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p0 = random_vec(&mut rng, len);
+        let grads = random_vec(&mut rng, len);
+        let m0 = random_vec(&mut rng, len);
+        let v0: Vec<f64> = (0..len).map(|_| rng.gen_range(0.0..2.0)).collect();
+        let (b1, b2) = (0.9, 0.999);
+        let step = AdamStep {
+            learning_rate: 1e-3,
+            beta1: b1,
+            beta2: b2,
+            epsilon: 1e-8,
+            bias1: 1.0 - b1.powi(t),
+            bias2: 1.0 - b2.powi(t),
+            scale: if clip { 0.37 } else { 1.0 },
+        };
+
+        // Independent scalar reference (not the kernel's own scalar arm).
+        let mut p_ref = p0.clone();
+        let mut m_ref = m0.clone();
+        let mut v_ref = v0.clone();
+        for i in 0..len {
+            let g = grads[i] * step.scale;
+            m_ref[i] = b1 * m_ref[i] + (1.0 - b1) * g;
+            v_ref[i] = b2 * v_ref[i] + (1.0 - b2) * g * g;
+            let m_hat = m_ref[i] / step.bias1;
+            let v_hat = v_ref[i] / step.bias2;
+            p_ref[i] -= step.learning_rate * m_hat / (v_hat.sqrt() + step.epsilon);
+        }
+
+        for level in runnable_levels() {
+            let mut p = p0.clone();
+            let mut m = m0.clone();
+            let mut v = v0.clone();
+            adam_update_with(level, &mut p, &grads, &mut m, &mut v, &step);
+            prop_assert!(bits_equal(&p, &p_ref), "{level} len={len} t={t}: params diverged");
+            prop_assert!(bits_equal(&m, &m_ref), "{level} len={len} t={t}: m diverged");
+            prop_assert!(bits_equal(&v, &v_ref), "{level} len={len} t={t}: v diverged");
         }
     }
 
