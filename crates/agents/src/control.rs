@@ -2,6 +2,7 @@
 //! to its node (paper §3.7).
 
 use crate::message::ActionMessage;
+use capes_persist::Persist;
 use serde::{Deserialize, Serialize};
 
 /// Statistics kept by a control agent.
@@ -92,6 +93,50 @@ impl<F: FnMut(&[f64])> ControlAgent<F> {
         self.stats.applied += 1;
         true
     }
+
+    /// Serializes the agent's mutable state: the staleness/deduplication
+    /// caches and the counters. The node id and the setter are wiring,
+    /// re-established by whoever assembles the agent — without the caches a
+    /// restored agent would re-apply (or wrongly accept stale) actions the
+    /// original would have deduplicated, and its statistics would diverge.
+    pub fn encode_state(&self, w: &mut capes_persist::Writer) {
+        self.last_applied_tick.encode(w);
+        self.last_values.encode(w);
+        self.stats.encode(w);
+    }
+
+    /// Restores state captured by [`ControlAgent::encode_state`] into this
+    /// agent. On error nothing is overwritten.
+    pub fn decode_state(
+        &mut self,
+        r: &mut capes_persist::Reader<'_>,
+    ) -> Result<(), capes_persist::PersistError> {
+        let last_applied_tick = Option::<u64>::decode(r)?;
+        let last_values = Option::<Vec<f64>>::decode(r)?;
+        let stats = ControlStats::decode(r)?;
+        self.last_applied_tick = last_applied_tick;
+        self.last_values = last_values;
+        self.stats = stats;
+        Ok(())
+    }
+}
+
+impl Persist for ControlStats {
+    const MIN_SIZE: usize = 3 * 8;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_u64(self.received);
+        w.put_u64(self.applied);
+        w.put_u64(self.ignored_stale);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        Ok(ControlStats {
+            received: r.get_u64()?,
+            applied: r.get_u64()?,
+            ignored_stale: r.get_u64()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +179,30 @@ mod tests {
         assert_eq!(*count.borrow(), 1);
         assert_eq!(agent.stats().received, 2);
         assert_eq!(agent.stats().applied, 1);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_dedup_and_stats() {
+        let mut agent = ControlAgent::new(0, |_: &[f64]| {});
+        agent.handle(&action(3, &[8.0, 2000.0]));
+        agent.handle(&action(5, &[8.0, 2000.0])); // deduplicated
+        agent.handle(&action(1, &[9.0])); // stale
+        let mut w = capes_persist::Writer::new();
+        agent.encode_state(&mut w);
+        let count = Rc::new(RefCell::new(0u32));
+        let sink = count.clone();
+        let mut restored = ControlAgent::new(0, move |_: &[f64]| *sink.borrow_mut() += 1);
+        let mut r = capes_persist::Reader::new(w.as_slice());
+        restored.decode_state(&mut r).expect("state decodes");
+        r.finish().expect("nothing trails");
+        assert_eq!(restored.stats(), agent.stats());
+        assert_eq!(restored.last_values(), Some(&[8.0, 2000.0][..]));
+        // The restored dedup cache suppresses the re-proposal the original
+        // would have suppressed, and still drops stale ticks.
+        assert!(!restored.handle(&action(6, &[8.0, 2000.0])));
+        assert!(!restored.handle(&action(2, &[1.0])));
+        assert_eq!(*count.borrow(), 0);
+        assert_eq!(restored.stats().ignored_stale, 2);
     }
 
     #[test]

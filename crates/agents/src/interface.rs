@@ -9,6 +9,7 @@
 use crate::checker::{ActionChecker, CheckOutcome};
 use crate::message::{ActionMessage, Message, PiReport};
 use crate::wire::{decode_message, encode_message, WireError};
+use capes_persist::Persist;
 use capes_replay::SharedReplayDb;
 use crossbeam::channel::Sender;
 use serde::{Deserialize, Serialize};
@@ -39,6 +40,34 @@ pub struct InterfaceStats {
     pub actions_rejected: u64,
     /// Per-tick objective values aggregated and written to the Replay DB.
     pub objectives_recorded: u64,
+}
+
+impl Persist for InterfaceStats {
+    const MIN_SIZE: usize = 8 * 8;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_u64(self.reports_received);
+        w.put_u64(self.reports_rejected);
+        w.put_u64(self.implausible_ticks_rejected);
+        w.put_u64(self.objectives_received);
+        w.put_u64(self.bytes_received);
+        w.put_u64(self.actions_broadcast);
+        w.put_u64(self.actions_rejected);
+        w.put_u64(self.objectives_recorded);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        Ok(InterfaceStats {
+            reports_received: r.get_u64()?,
+            reports_rejected: r.get_u64()?,
+            implausible_ticks_rejected: r.get_u64()?,
+            objectives_received: r.get_u64()?,
+            bytes_received: r.get_u64()?,
+            actions_broadcast: r.get_u64()?,
+            actions_rejected: r.get_u64()?,
+            objectives_recorded: r.get_u64()?,
+        })
+    }
 }
 
 /// The Interface Daemon.
@@ -283,6 +312,102 @@ impl InterfaceDaemon {
             }
             self.staged_len = 0;
         }
+    }
+
+    /// Serialises the daemon's mutable ingest state — differential
+    /// reconstruction vectors, pending objective sums, tick plausibility
+    /// baseline, staged group commit and counters. The replay store itself,
+    /// the checker and the control channels are deliberately excluded: they
+    /// are wiring re-established by the host on restore, not state.
+    pub fn encode_state(&self, w: &mut capes_persist::Writer) {
+        // Geometry first, so a restore into a differently-shaped deployment
+        // fails loudly instead of poisoning the store.
+        w.put_usize(self.expected_nodes);
+        w.put_usize(self.db_nodes);
+        w.put_usize(self.db_pis_per_node);
+        w.put_u64(self.db_capacity);
+        self.node_state.encode(w);
+        self.pending_objectives.encode(w);
+        self.newest_tick.encode(w);
+        self.staged_tick.encode(w);
+        w.put_usize(self.staged_len);
+        for (node, pis) in &self.staged[..self.staged_len] {
+            w.put_usize(*node);
+            pis.encode(w);
+        }
+        self.stats.encode(w);
+    }
+
+    /// Restores state written by [`InterfaceDaemon::encode_state`] into this
+    /// daemon. The snapshot's geometry must match the daemon's replay store
+    /// and expected node count; per-node vectors are re-validated against the
+    /// store's indicator width before anything is overwritten.
+    pub fn decode_state(
+        &mut self,
+        r: &mut capes_persist::Reader<'_>,
+    ) -> Result<(), capes_persist::PersistError> {
+        let expected_nodes = r.get_usize()?;
+        let db_nodes = r.get_usize()?;
+        let db_pis_per_node = r.get_usize()?;
+        let db_capacity = r.get_u64()?;
+        if (expected_nodes, db_nodes, db_pis_per_node, db_capacity)
+            != (
+                self.expected_nodes,
+                self.db_nodes,
+                self.db_pis_per_node,
+                self.db_capacity,
+            )
+        {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "interface daemon snapshot geometry disagrees with the deployment",
+            });
+        }
+        let node_state = HashMap::<usize, Vec<f64>>::decode(r)?;
+        if node_state
+            .iter()
+            .any(|(node, pis)| *node >= db_nodes || pis.len() != db_pis_per_node)
+        {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "interface daemon node state outside the store geometry",
+            });
+        }
+        let pending_objectives = HashMap::<u64, HashMap<usize, f64>>::decode(r)?;
+        if pending_objectives
+            .values()
+            .any(|m| m.keys().any(|node| *node >= db_nodes))
+        {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "pending objective from a node outside the store geometry",
+            });
+        }
+        let newest_tick = Option::<u64>::decode(r)?;
+        let staged_tick = Option::<u64>::decode(r)?;
+        let staged_len = r.get_count(8 + <Vec<f64> as capes_persist::Persist>::MIN_SIZE)?;
+        let mut staged = Vec::with_capacity(staged_len);
+        for _ in 0..staged_len {
+            let node = r.get_usize()?;
+            let pis = Vec::<f64>::decode(r)?;
+            if node >= db_nodes || pis.len() != db_pis_per_node {
+                return Err(capes_persist::PersistError::BadValue {
+                    what: "staged snapshot outside the store geometry",
+                });
+            }
+            staged.push((node, pis));
+        }
+        if staged_len > 0 && staged_tick.is_none() {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "staged snapshots without a staged tick",
+            });
+        }
+        let stats = InterfaceStats::decode(r)?;
+        self.node_state = node_state;
+        self.pending_objectives = pending_objectives;
+        self.newest_tick = newest_tick;
+        self.staged_tick = staged_tick;
+        self.staged_len = staged.len();
+        self.staged = staged;
+        self.stats = stats;
+        Ok(())
     }
 
     /// Writes the aggregate objective for `tick` once every node has reported
@@ -543,6 +668,83 @@ mod tests {
         daemon.flush_snapshots();
         shared.with_read(|db| assert_eq!(db.latest_tick(), Some(1850)));
         assert_eq!(daemon.stats().implausible_ticks_rejected, 2);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_mid_tick() {
+        // Freeze the daemon mid-tick — a partially-staged snapshot group and
+        // a half-reported objective outstanding — and restore into a fresh
+        // daemon over an equally-shaped store. The remaining traffic must
+        // complete both exactly as it would have in the original.
+        let shared_a = db(2, 3);
+        let mut original = InterfaceDaemon::new(shared_a.clone(), 2, ActionChecker::permissive());
+        let report = |tick: u64, node: usize| {
+            Message::Report(PiReport {
+                tick,
+                node,
+                total_pis: 3,
+                changed: vec![(0, tick as f64), (2, node as f64 + 0.5)],
+            })
+        };
+        original.ingest(&report(0, 0));
+        original.ingest(&report(0, 1));
+        original.ingest(&report(1, 0)); // tick 1: one of two nodes staged
+        original.ingest(&Message::Objective {
+            tick: 1,
+            node: 0,
+            value: 40.0,
+        });
+
+        // Snapshot the store and the daemon state together, as a checkpoint
+        // does: the daemon state alone is only the in-flight ingest window.
+        let mut w = capes_persist::Writer::new();
+        shared_a.with_read(|db| db.encode(&mut w));
+        original.encode_state(&mut w);
+        let bytes = w.into_vec();
+        let mut r = capes_persist::Reader::new(&bytes);
+        let shared_b = SharedReplayDb::from_db(capes_replay::ReplayDb::decode(&mut r).unwrap());
+        let mut restored = InterfaceDaemon::new(shared_b.clone(), 2, ActionChecker::permissive());
+        restored.decode_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.stats(), original.stats());
+
+        for daemon in [&mut original, &mut restored] {
+            daemon.ingest(&report(1, 1));
+            daemon.ingest(&Message::Objective {
+                tick: 1,
+                node: 1,
+                value: 2.0,
+            });
+            daemon.flush_snapshots();
+        }
+        assert_eq!(restored.stats(), original.stats());
+        let read = |shared: &SharedReplayDb| {
+            shared.with_read(|db| {
+                assert_eq!(db.objective_at(1), Some(42.0));
+                db.observation_at(1).expect("both ticks stored").features
+            })
+        };
+        assert_eq!(read(&shared_a).as_slice(), read(&shared_b).as_slice());
+    }
+
+    #[test]
+    fn state_restore_rejects_mismatched_geometry() {
+        let mut original = InterfaceDaemon::new(db(2, 3), 2, ActionChecker::permissive());
+        original.ingest(&Message::Objective {
+            tick: 0,
+            node: 0,
+            value: 1.0,
+        });
+        let mut w = capes_persist::Writer::new();
+        original.encode_state(&mut w);
+        let bytes = w.into_vec();
+        // Same node count, different indicator width: refused up front.
+        let mut skewed = InterfaceDaemon::new(db(2, 4), 2, ActionChecker::permissive());
+        let err = skewed
+            .decode_state(&mut capes_persist::Reader::new(&bytes))
+            .unwrap_err();
+        assert!(err.to_string().contains("geometry"), "{err}");
+        assert_eq!(skewed.stats(), InterfaceStats::default(), "nothing loaded");
     }
 
     #[test]

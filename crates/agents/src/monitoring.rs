@@ -110,6 +110,53 @@ impl MonitoringAgent {
     }
 }
 
+impl capes_persist::Persist for MonitoringStats {
+    const MIN_SIZE: usize = 3 * 8;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_u64(self.reports);
+        w.put_u64(self.bytes_sent);
+        w.put_u64(self.indicators_sent);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        Ok(MonitoringStats {
+            reports: r.get_u64()?,
+            bytes_sent: r.get_u64()?,
+            indicators_sent: r.get_u64()?,
+        })
+    }
+}
+
+impl capes_persist::Persist for MonitoringAgent {
+    const MIN_SIZE: usize = 8 + 1 + 8 + <MonitoringStats as capes_persist::Persist>::MIN_SIZE;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_usize(self.node);
+        self.last_values.encode(w);
+        w.put_f64(self.threshold);
+        self.stats.encode(w);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let node = r.get_usize()?;
+        let last_values = Option::<Vec<f64>>::decode(r)?;
+        let threshold = r.get_f64()?;
+        let stats = MonitoringStats::decode(r)?;
+        if !(0.0..1.0).contains(&threshold) {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "monitoring threshold outside [0, 1)",
+            });
+        }
+        Ok(MonitoringAgent {
+            node,
+            last_values,
+            threshold,
+            stats,
+        })
+    }
+}
+
 fn is_unchanged(prev: f64, current: f64, threshold: f64) -> bool {
     if threshold == 0.0 {
         return prev == current;

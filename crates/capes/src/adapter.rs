@@ -122,6 +122,20 @@ impl TargetSystem for SimulatedLustre {
     }
 }
 
+impl capes_persist::Persist for SimulatedLustre {
+    const MIN_SIZE: usize = <Cluster as capes_persist::Persist>::MIN_SIZE;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        self.cluster.encode(w);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        Ok(SimulatedLustre {
+            cluster: Cluster::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,7 +14,7 @@ use crate::hyperparams::Hyperparameters;
 use crate::objective::Objective;
 use crate::session::SessionResult;
 use crate::target::{TargetSystem, TunableSpec};
-use capes_agents::wire::encode_message;
+use capes_agents::wire::{decode_message, encode_message};
 use capes_agents::{
     ActionChecker, ActionMessage, ControlAgent, InterfaceDaemon, Message, MonitoringAgent,
 };
@@ -638,6 +638,16 @@ impl<T: TargetSystem> CapesSystem<T> {
         result
     }
 
+    /// Wire format tag of a [`Transport`] (stable across releases — snapshot
+    /// compatibility depends on it).
+    fn transport_tag(transport: Transport) -> u8 {
+        match transport {
+            Transport::InProcess => 0,
+            Transport::Wire => 1,
+            Transport::Socket => 2,
+        }
+    }
+
     fn run_tick(&mut self, kind: PhaseKind) -> SystemTick {
         let measurement = self.begin_tick(kind);
         let mut chosen_action = None;
@@ -668,6 +678,146 @@ impl<T: TargetSystem> CapesSystem<T> {
             explored,
             prediction_error,
         )
+    }
+}
+
+impl<T: TargetSystem + capes_persist::Persist> CapesSystem<T> {
+    /// Serializes the system's full mutable state — target simulation,
+    /// Interface Daemon reconstruction/staging state, monitoring caches,
+    /// Control Agent caches, staged socket traffic, tick bookkeeping, and
+    /// (when the engine is the DRL engine) the complete agent including
+    /// optimizer moments and RNG streams — so a freshly-built system of the
+    /// same configuration resumes **bit-identically** after
+    /// [`CapesSystem::decode_state`].
+    ///
+    /// The replay store is deliberately *not* part of this payload: stores
+    /// may be stripes of a fleet-shared arena, so their owner (the fleet
+    /// daemon's checkpoint, or a standalone caller) persists them exactly
+    /// once alongside this state.
+    pub fn encode_state(&self, w: &mut capes_persist::Writer) {
+        use capes_persist::Persist;
+        w.put_u8(Self::transport_tag(self.transport));
+        w.put_u64(self.tick);
+        self.target.encode(w);
+        self.monitors.encode(w);
+        self.staged_params.lock().encode(w);
+        // Socket traffic staged for an external transmitter rides along as
+        // wire frames (empty at tick boundaries).
+        w.put_usize(self.outbox.len());
+        for message in &self.outbox {
+            w.put_bytes(&encode_message(message));
+        }
+        self.throughput_history.encode(w);
+        w.put_usize(self.prediction_errors.len());
+        for &(tick, error) in &self.prediction_errors {
+            w.put_u64(tick);
+            w.put_f64(error);
+        }
+        match self.dqn_agent() {
+            Some(agent) => {
+                w.put_u8(1);
+                agent.encode(w);
+            }
+            None => w.put_u8(0),
+        }
+        // The two subsystems whose decoders validate-then-assign internally
+        // go last, so every pure decode above them can fail before anything
+        // is mutated.
+        self.control_agent.encode_state(w);
+        self.daemon.encode_state(w);
+    }
+
+    /// Restores state captured by [`CapesSystem::encode_state`] into this
+    /// system, which must have been assembled with the same configuration
+    /// (transport, target geometry, hyperparameter-derived widths, engine
+    /// kind). Configuration skew is rejected with a typed error before any
+    /// state is overwritten; an error raised later (only possible for a
+    /// payload that was deliberately crafted to pass the container CRC)
+    /// leaves the system part-restored, and it must be discarded.
+    pub fn decode_state(
+        &mut self,
+        r: &mut capes_persist::Reader<'_>,
+    ) -> Result<(), capes_persist::PersistError> {
+        use capes_persist::{Persist, PersistError};
+        let tag = r.get_u8()?;
+        if tag != Self::transport_tag(self.transport) {
+            return Err(PersistError::BadValue {
+                what: "snapshot transport disagrees with the deployment",
+            });
+        }
+        let tick = r.get_u64()?;
+        let target = T::decode(r)?;
+        if target.num_nodes() != self.target.num_nodes()
+            || target.pis_per_node() != self.target.pis_per_node()
+        {
+            return Err(PersistError::BadValue {
+                what: "snapshot target geometry disagrees with the deployment",
+            });
+        }
+        let monitors = Vec::<MonitoringAgent>::decode(r)?;
+        if monitors.len() != self.monitors.len()
+            || monitors.iter().enumerate().any(|(i, m)| m.node() != i)
+        {
+            return Err(PersistError::BadValue {
+                what: "snapshot monitor set disagrees with the target geometry",
+            });
+        }
+        let staged = Option::<Vec<f64>>::decode(r)?;
+        let outbox_len = r.get_count(1)?;
+        let mut outbox = Vec::with_capacity(outbox_len);
+        for _ in 0..outbox_len {
+            let frame = r.get_bytes()?;
+            outbox.push(decode_message(frame).map_err(|_| PersistError::BadValue {
+                what: "staged outbox frame does not decode",
+            })?);
+        }
+        let throughput_history = Vec::<f64>::decode(r)?;
+        let errors_len = r.get_count(16)?;
+        let mut prediction_errors = Vec::with_capacity(errors_len);
+        for _ in 0..errors_len {
+            prediction_errors.push((r.get_u64()?, r.get_f64()?));
+        }
+        let agent = match r.get_u8()? {
+            0 => None,
+            1 => Some(DqnAgent::decode(r)?),
+            _ => {
+                return Err(PersistError::BadValue {
+                    what: "invalid engine-agent tag",
+                })
+            }
+        };
+        if agent.is_some() != self.dqn_agent().is_some() {
+            return Err(PersistError::BadValue {
+                what: "snapshot engine state disagrees with the deployment's engine",
+            });
+        }
+        if let (Some(restored), Some(current)) = (&agent, self.dqn_agent()) {
+            if restored.config().observation_size != current.config().observation_size
+                || restored.config().num_params != current.config().num_params
+            {
+                return Err(PersistError::BadValue {
+                    what: "snapshot agent geometry disagrees with the deployment",
+                });
+            }
+        }
+        // Everything pure decoded and validated; the two self-validating
+        // subsystem restores run next, then plain assignments that cannot
+        // fail.
+        self.control_agent.decode_state(r)?;
+        self.daemon.decode_state(r)?;
+        self.tick = tick;
+        self.target = target;
+        self.monitors = monitors;
+        *self.staged_params.lock() = staged;
+        self.outbox = outbox;
+        self.throughput_history = throughput_history;
+        self.prediction_errors = prediction_errors;
+        if let Some(agent) = agent {
+            if let Some(engine) = self.engine.as_any_mut().downcast_mut::<DrlEngine>() {
+                engine.replace_agent(agent);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -917,6 +1067,96 @@ mod tests {
         // 30 up-steps of 2.0 from 10.0, clamped at 70 — the external actions
         // were applied through the daemon + control path.
         assert_eq!(system.current_params(), vec![70.0]);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_bit_identically() {
+        use capes_persist::Persist;
+        let mut original = quick_system(60.0, 11);
+        for _ in 0..150 {
+            original.training_tick();
+        }
+        // Snapshot the replay store alongside the system state — exactly
+        // what the fleet checkpoint does with its arena.
+        let mut w = capes_persist::Writer::new();
+        original.replay_db().with_read(|db| db.encode(&mut w));
+        original.encode_state(&mut w);
+
+        // A fresh same-geometry system under a *different* seed: every
+        // divergent piece of state must be overwritten by the restore.
+        let mut restored = quick_system(60.0, 99);
+        let mut r = capes_persist::Reader::new(w.as_slice());
+        let db = capes_replay::ReplayDb::decode(&mut r).expect("store decodes");
+        restored.replay_db().with_write(|live| *live = db);
+        restored.decode_state(&mut r).expect("state decodes");
+        r.finish().expect("no trailing bytes");
+
+        assert_eq!(restored.tick(), original.tick());
+        assert_eq!(restored.current_params(), original.current_params());
+        for _ in 0..60 {
+            let a = original.training_tick();
+            let b = restored.training_tick();
+            assert_eq!(a, b, "restored system diverged at tick {}", a.tick);
+        }
+        assert_eq!(
+            original
+                .dqn_agent()
+                .unwrap()
+                .q_network()
+                .distance_to(restored.dqn_agent().unwrap().q_network()),
+            0.0,
+            "weights must stay bit-identical after resumed training"
+        );
+        assert_eq!(restored.prediction_errors(), original.prediction_errors());
+        assert_eq!(restored.daemon_stats(), original.daemon_stats());
+    }
+
+    #[test]
+    fn state_restore_rejects_configuration_skew_untouched() {
+        let mut original = quick_system(60.0, 12);
+        for _ in 0..30 {
+            original.training_tick();
+        }
+        let mut w = capes_persist::Writer::new();
+        original.encode_state(&mut w);
+
+        // Transport skew.
+        let mut wire = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(quick_hyperparams())
+            .seed(1)
+            .transport(Transport::Wire)
+            .build()
+            .unwrap();
+        let mut r = capes_persist::Reader::new(w.as_slice());
+        let err = wire.decode_state(&mut r).unwrap_err();
+        assert!(err.to_string().contains("transport"), "got: {err}");
+        assert_eq!(wire.tick(), 0, "nothing was overwritten");
+
+        // Observation-width skew (different sampling window → different
+        // agent geometry), detected before any assignment.
+        let mut narrow = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(Hyperparameters {
+                sampling_ticks_per_observation: 4,
+                ..quick_hyperparams()
+            })
+            .seed(1)
+            .build()
+            .unwrap();
+        let mut r = capes_persist::Reader::new(w.as_slice());
+        let err = narrow.decode_state(&mut r).unwrap_err();
+        assert!(err.to_string().contains("agent geometry"), "got: {err}");
+        assert_eq!(narrow.tick(), 0);
+        assert_eq!(narrow.daemon_stats(), Default::default());
+
+        // Engine skew: a search engine cannot absorb a DRL snapshot.
+        let mut search = Capes::builder(QuadraticTarget::new(60.0))
+            .hyperparams(quick_hyperparams())
+            .engine(Box::new(SearchEngine::new(HillClimbing::new(10), 5)))
+            .build()
+            .unwrap();
+        let mut r = capes_persist::Reader::new(w.as_slice());
+        let err = search.decode_state(&mut r).unwrap_err();
+        assert!(err.to_string().contains("engine"), "got: {err}");
     }
 
     #[test]

@@ -152,6 +152,36 @@ pub(crate) mod test_target {
         }
     }
 
+    impl capes_persist::Persist for QuadraticTarget {
+        const MIN_SIZE: usize = 3 * 8 + 8;
+
+        fn encode(&self, w: &mut capes_persist::Writer) {
+            w.put_f64(self.value);
+            w.put_f64(self.optimum);
+            w.put_f64(self.noise);
+            w.put_u64(self.rng_state);
+        }
+
+        fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+            let value = r.get_f64()?;
+            let optimum = r.get_f64()?;
+            let noise = r.get_f64()?;
+            let rng_state = r.get_u64()?;
+            if rng_state == 0 {
+                // xorshift sticks at zero forever.
+                return Err(capes_persist::PersistError::BadValue {
+                    what: "all-zero test-target RNG state",
+                });
+            }
+            Ok(QuadraticTarget {
+                value,
+                optimum,
+                noise,
+                rng_state,
+            })
+        }
+    }
+
     #[test]
     fn quadratic_target_peaks_at_its_optimum() {
         let mut t = QuadraticTarget::new(60.0);

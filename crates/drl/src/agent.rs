@@ -48,6 +48,40 @@ impl DqnAgentConfig {
     }
 }
 
+impl capes_persist::Persist for DqnAgentConfig {
+    const MIN_SIZE: usize = 3 * 8
+        + <TrainerConfig as capes_persist::Persist>::MIN_SIZE
+        + <EpsilonSchedule as capes_persist::Persist>::MIN_SIZE;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_usize(self.observation_size);
+        w.put_usize(self.num_params);
+        w.put_usize(self.minibatch_size);
+        self.trainer.encode(w);
+        self.epsilon.encode(w);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let observation_size = r.get_usize()?;
+        let num_params = r.get_usize()?;
+        let minibatch_size = r.get_usize()?;
+        let trainer = TrainerConfig::decode(r)?;
+        let epsilon = EpsilonSchedule::decode(r)?;
+        if observation_size == 0 || num_params == 0 || minibatch_size == 0 {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "zero observation size, parameter count or minibatch size",
+            });
+        }
+        Ok(DqnAgentConfig {
+            observation_size,
+            num_params,
+            minibatch_size,
+            trainer,
+            epsilon,
+        })
+    }
+}
+
 /// Checkpoint payload: both networks plus the configuration they were trained
 /// with.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -437,6 +471,56 @@ impl DqnAgent {
     }
 }
 
+impl capes_persist::Persist for DqnAgent {
+    const MIN_SIZE: usize = <DqnAgentConfig as capes_persist::Persist>::MIN_SIZE
+        + <Trainer as capes_persist::Persist>::MIN_SIZE
+        + <EpsilonSchedule as capes_persist::Persist>::MIN_SIZE
+        + 32;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        // Unlike the JSON checkpoint (which reseeds the RNG and resets the
+        // optimizer), this carries the full mutable state: a restored agent's
+        // future decisions and training steps are bit-identical.
+        self.config.encode(w);
+        self.trainer.encode(w);
+        self.epsilon.encode(w);
+        self.rng.state().encode(w);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let config = DqnAgentConfig::decode(r)?;
+        let trainer = Trainer::decode(r)?;
+        let epsilon = EpsilonSchedule::decode(r)?;
+        let rng_state = <[u64; 4]>::decode(r)?;
+        let action_space = ActionSpace::new(config.num_params);
+        if trainer.online().observation_size() != config.observation_size {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "trainer network width disagrees with the agent configuration",
+            });
+        }
+        if trainer.online().num_actions() != action_space.len() {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "trainer action count disagrees with the agent's action space",
+            });
+        }
+        if rng_state == [0u64; 4] {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "all-zero agent RNG state",
+            });
+        }
+        Ok(DqnAgent {
+            config,
+            action_space,
+            trainer,
+            epsilon,
+            rng: StdRng::from_state(rng_state),
+            batch_buf: None,
+            decide_ws: None,
+            fleet_ws: None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -720,5 +804,62 @@ mod tests {
     #[test]
     fn load_checkpoint_missing_file_errors() {
         assert!(DqnAgent::load_checkpoint("/nonexistent/agent.json", 1).is_err());
+    }
+
+    #[test]
+    fn persist_round_trip_resumes_bit_identically() {
+        use capes_persist::Persist;
+        // Train an agent mid-experiment, snapshot it, and require that the
+        // restored copy makes the same decisions AND takes the same Adam
+        // steps — the property the JSON checkpoint (reset optimizer, reseeded
+        // RNG) cannot provide.
+        let arena = filled_arena(2, 200);
+        let db = arena.stripe(0);
+        let mut original = DqnAgent::new(small_config(), 41);
+        for _ in 0..6 {
+            original.train_from_db(&db).unwrap().expect("trains");
+        }
+        let o = obs(&[0.3, 0.6, -0.4, 0.2, 0.0, 0.8]);
+        let _ = original.select_action(&o, 30); // move the RNG off its seed
+
+        let mut w = capes_persist::Writer::new();
+        original.encode(&mut w);
+        let bytes = w.into_vec();
+        let mut r = capes_persist::Reader::new(&bytes);
+        let mut restored = DqnAgent::decode(&mut r).unwrap();
+        r.finish().unwrap();
+
+        for tick in [35u64, 60, 90, 10_000] {
+            let a = original.select_action(&o, tick);
+            let b = restored.select_action(&o, tick);
+            assert_eq!(
+                (a.action, a.explored, a.epsilon),
+                (b.action, b.explored, b.epsilon)
+            );
+        }
+        for _ in 0..4 {
+            let a = original.train_from_db(&db).unwrap().expect("trains");
+            let b = restored.train_from_db(&db).unwrap().expect("trains");
+            assert_eq!(a, b, "restored training must be bit-identical");
+        }
+        assert_eq!(original.q_network().distance_to(restored.q_network()), 0.0);
+    }
+
+    #[test]
+    fn persist_rejects_network_that_disagrees_with_the_config() {
+        use capes_persist::Persist;
+        let agent = DqnAgent::new(small_config(), 42);
+        let mut w = capes_persist::Writer::new();
+        // Lie about the configured observation width: the decoded network no
+        // longer matches.
+        let mut config = *agent.config();
+        config.observation_size = 7;
+        config.encode(&mut w);
+        agent.trainer.encode(&mut w);
+        agent.epsilon.encode(&mut w);
+        agent.rng.state().encode(&mut w);
+        let bytes = w.into_vec();
+        let err = DqnAgent::decode(&mut capes_persist::Reader::new(&bytes)).unwrap_err();
+        assert!(err.to_string().contains("network width"), "{err}");
     }
 }

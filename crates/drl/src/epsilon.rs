@@ -85,6 +85,52 @@ impl EpsilonSchedule {
     }
 }
 
+impl capes_persist::Persist for EpsilonSchedule {
+    const MIN_SIZE: usize = 4 * 8 + 2 * 8;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_f64(self.initial);
+        w.put_f64(self.final_value);
+        w.put_u64(self.exploration_ticks);
+        w.put_f64(self.workload_change_value);
+        w.put_u64(self.bumped_until_tick);
+        w.put_f64(self.bumped_value);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let initial = r.get_f64()?;
+        let final_value = r.get_f64()?;
+        let exploration_ticks = r.get_u64()?;
+        let workload_change_value = r.get_f64()?;
+        let bumped_until_tick = r.get_u64()?;
+        let bumped_value = r.get_f64()?;
+        // `new`'s invariants as typed errors (NaN fails every range check).
+        if !((0.0..=1.0).contains(&initial)
+            && (0.0..=1.0).contains(&final_value)
+            && (0.0..=1.0).contains(&workload_change_value)
+            && (0.0..=1.0).contains(&bumped_value)
+            && final_value <= initial)
+        {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "epsilon schedule values outside [0, 1] or inverted",
+            });
+        }
+        if exploration_ticks == 0 {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "zero-length exploration period",
+            });
+        }
+        Ok(EpsilonSchedule {
+            initial,
+            final_value,
+            exploration_ticks,
+            workload_change_value,
+            bumped_until_tick,
+            bumped_value,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

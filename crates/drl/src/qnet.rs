@@ -156,6 +156,20 @@ impl QNetwork {
     }
 }
 
+impl capes_persist::Persist for QNetwork {
+    const MIN_SIZE: usize = <Mlp as capes_persist::Persist>::MIN_SIZE;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        self.network.encode(w);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        Ok(QNetwork {
+            network: Mlp::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,7 @@
 use crate::qnet::QNetwork;
 use capes_nn::{Adam, Optimizer, Workspace};
 use capes_replay::{Minibatch, ReplayBatch};
-use capes_tensor::Matrix;
+use capes_tensor::{simd, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -52,6 +52,51 @@ impl TrainerConfig {
     }
 }
 
+impl capes_persist::Persist for TrainerConfig {
+    const MIN_SIZE: usize = 3 * 8 + 1;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_f64(self.discount_rate);
+        w.put_f64(self.learning_rate);
+        w.put_f64(self.target_update_rate);
+        self.gradient_clip.encode(w);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let discount_rate = r.get_f64()?;
+        let learning_rate = r.get_f64()?;
+        let target_update_rate = r.get_f64()?;
+        let gradient_clip = Option::<f64>::decode(r)?;
+        // `validate`'s panics as typed errors (NaN fails every range check).
+        if !(0.0..1.0).contains(&discount_rate) {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "discount rate outside [0, 1)",
+            });
+        }
+        if learning_rate.is_nan() || learning_rate <= 0.0 {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "non-positive learning rate",
+            });
+        }
+        if !(0.0..=1.0).contains(&target_update_rate) {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "target update rate outside [0, 1]",
+            });
+        }
+        if gradient_clip.is_some_and(|c| c.is_nan() || c <= 0.0) {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "non-positive gradient clip",
+            });
+        }
+        Ok(TrainerConfig {
+            discount_rate,
+            learning_rate,
+            target_update_rate,
+            gradient_clip,
+        })
+    }
+}
+
 /// Outcome of one training step.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrainReport {
@@ -76,6 +121,9 @@ pub struct TrainReport {
 struct TrainerScratch {
     ws_online: Workspace,
     ws_target: Workspace,
+    /// Per-row Bellman targets, filled by the fused
+    /// [`capes_tensor::simd::bellman_targets`] kernel each step.
+    targets: Vec<f64>,
     stack: Option<StackingBufs>,
 }
 
@@ -105,6 +153,7 @@ impl TrainerScratch {
         TrainerScratch {
             ws_online: Workspace::new(online.mlp(), batch),
             ws_target: Workspace::new(online.mlp(), batch),
+            targets: vec![0.0; batch],
             stack: None,
         }
     }
@@ -234,6 +283,7 @@ impl Trainer {
         let TrainerScratch {
             ws_online,
             ws_target,
+            targets,
             stack,
         } = &mut **scratch;
         let StackingBufs {
@@ -254,6 +304,7 @@ impl Trainer {
             rewards,
             ws_online,
             ws_target,
+            targets,
         )
     }
 
@@ -280,6 +331,7 @@ impl Trainer {
             batch.rewards(),
             &mut scratch.ws_online,
             &mut scratch.ws_target,
+            &mut scratch.targets,
         )
     }
 
@@ -311,6 +363,7 @@ impl Trainer {
         rewards: &[f64],
         ws_online: &mut Workspace,
         ws_target: &mut Workspace,
+        targets: &mut Vec<f64>,
     ) -> TrainReport {
         let n = states.rows();
         let num_actions = online.num_actions();
@@ -329,13 +382,23 @@ impl Trainer {
         let mut reward_sum = 0.0;
         {
             let next_q = ws_target.output();
+            // r + γ max_a' through the CAPES_SIMD-dispatched fused kernel
+            // (bit-identical across levels).
+            targets.resize(n, 0.0);
+            simd::bellman_targets(
+                rewards,
+                next_q.as_slice(),
+                num_actions,
+                config.discount_rate,
+                targets,
+            );
             let (predictions, delta) = ws_online.output_and_delta_mut();
             delta.as_mut_slice().fill(0.0);
             let denom = (n * num_actions) as f64;
             for i in 0..n {
                 let action = actions[i];
                 assert!(action < num_actions, "action index out of range");
-                let bellman = rewards[i] + config.discount_rate * next_q.max_row(i);
+                let bellman = targets[i];
                 let error = predictions[(i, action)] - bellman;
                 abs_error_sum += error.abs();
                 reward_sum += rewards[i];
@@ -358,6 +421,52 @@ impl Trainer {
             mean_reward: reward_sum / n as f64,
             step: *steps,
         }
+    }
+}
+
+impl capes_persist::Persist for Trainer {
+    const MIN_SIZE: usize = 2 * <QNetwork as capes_persist::Persist>::MIN_SIZE
+        + <Adam as capes_persist::Persist>::MIN_SIZE
+        + <TrainerConfig as capes_persist::Persist>::MIN_SIZE
+        + 8;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        // The optimizer is carried verbatim (moments and step count) so a
+        // restored trainer takes bit-identical Adam steps — unlike
+        // `restore_networks`, which rebuilds it from scratch.
+        self.online.encode(w);
+        self.target.encode(w);
+        self.optimizer.encode(w);
+        self.config.encode(w);
+        w.put_u64(self.steps);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let online = QNetwork::decode(r)?;
+        let target = QNetwork::decode(r)?;
+        let optimizer = Adam::decode(r)?;
+        let config = TrainerConfig::decode(r)?;
+        let steps = r.get_u64()?;
+        let shapes = online.mlp().parameter_shapes();
+        if target.mlp().parameter_shapes() != shapes {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "trainer target network shape disagrees with the online network",
+            });
+        }
+        if !optimizer.matches_shapes(&shapes) {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "optimizer state shaped for a different network",
+            });
+        }
+        Ok(Trainer {
+            online,
+            target,
+            optimizer,
+            config,
+            steps,
+            // Scratch buffers are transient: rebuilt lazily on the first step.
+            scratch: None,
+        })
     }
 }
 

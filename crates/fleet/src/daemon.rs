@@ -36,8 +36,8 @@
 //! transfer learning without changing the algorithm.
 
 use crate::report::{
-    ClusterReport, ExperienceSharing, FleetPlan, FleetReport, NetReport, ProfileSharing,
-    StripeOccupancy,
+    ClusterReport, ExperienceSharing, FleetPlan, FleetReport, NetReport, PersistReport,
+    ProfileSharing, StripeOccupancy,
 };
 use crate::scenario::ScenarioSpec;
 use crate::wire::{encode_cluster_frame, FrameRouter};
@@ -45,11 +45,15 @@ use capes::{
     step_params, Capes, CapesError, CapesSystem, Hyperparameters, NullEngine, PhaseKind,
     ProposedAction, SessionResult, SimulatedLustre, TickMeasurement, Transport,
 };
+#[cfg(feature = "net")]
+use capes_agents::wire::encode_message;
 use capes_agents::{ActionMessage, Message};
 use capes_drl::{ActionDecision, DqnAgent};
+use capes_persist::{Persist, PersistError, RecordLogWriter};
 use capes_replay::ReplayArena;
 use capes_tensor::Matrix;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Errors from assembling or running a fleet.
@@ -64,6 +68,12 @@ pub enum FleetError {
     SocketUnsupported,
     /// The socket front end failed to start (bind, epoll, or connect).
     Socket(std::io::Error),
+    /// A checkpoint or record log could not be written, read or decoded.
+    Persist(PersistError),
+    /// Wire-traffic recording was requested on a transport that moves no
+    /// socket traffic ([`FleetDaemon::record_to`] needs
+    /// [`Transport::Socket`]).
+    RecordUnsupported,
 }
 
 impl fmt::Display for FleetError {
@@ -75,6 +85,10 @@ impl fmt::Display for FleetError {
                 write!(f, "socket transport requires capes-fleet's `net` feature")
             }
             FleetError::Socket(e) => write!(f, "socket front end failed to start: {e}"),
+            FleetError::Persist(e) => write!(f, "checkpoint/record persistence failed: {e}"),
+            FleetError::RecordUnsupported => {
+                write!(f, "wire-traffic recording requires the socket transport")
+            }
         }
     }
 }
@@ -84,7 +98,10 @@ impl std::error::Error for FleetError {
         match self {
             FleetError::Capes(e) => Some(e),
             FleetError::Socket(e) => Some(e),
-            FleetError::EmptyFleet | FleetError::SocketUnsupported => None,
+            FleetError::Persist(e) => Some(e),
+            FleetError::EmptyFleet
+            | FleetError::SocketUnsupported
+            | FleetError::RecordUnsupported => None,
         }
     }
 }
@@ -93,6 +110,28 @@ impl From<CapesError> for FleetError {
     fn from(e: CapesError) -> Self {
         FleetError::Capes(e)
     }
+}
+
+impl From<PersistError> for FleetError {
+    fn from(e: PersistError) -> Self {
+        FleetError::Persist(e)
+    }
+}
+
+/// The transport discriminant stored in fleet snapshots (shared with the
+/// member-system payloads, which use the same mapping).
+fn transport_tag(transport: Transport) -> u8 {
+    match transport {
+        Transport::InProcess => 0,
+        Transport::Wire => 1,
+        Transport::Socket => 2,
+    }
+}
+
+fn checkpoint_mismatch(reason: impl Into<String>) -> FleetError {
+    FleetError::Capes(CapesError::CheckpointMismatch {
+        reason: reason.into(),
+    })
 }
 
 /// Entry point for the fleet builder API (mirrors [`capes::Capes`]).
@@ -277,6 +316,9 @@ impl FleetBuilder {
             tick: 0,
             train_cursor: 0,
             cluster_ticks: 0,
+            persist: PersistReport::default(),
+            auto_checkpoint: None,
+            recorder: None,
             #[cfg(feature = "net")]
             socket,
         })
@@ -337,6 +379,12 @@ pub struct FleetDaemon {
     tick: u64,
     train_cursor: usize,
     cluster_ticks: u64,
+    /// Durability counters (process lifetime; never part of a snapshot).
+    persist: PersistReport,
+    /// Automatic checkpointing: every N fleet ticks, snapshot to the path.
+    auto_checkpoint: Option<(u64, PathBuf)>,
+    /// Wire-traffic recorder tapping the socket ingest path.
+    recorder: Option<RecordLogWriter>,
     /// The socket front end ([`Transport::Socket`] only).
     #[cfg(feature = "net")]
     socket: Option<crate::socket::SocketFront>,
@@ -439,10 +487,325 @@ impl FleetDaemon {
         self.socket.as_ref().map(|front| front.addr())
     }
 
+    /// Durability counters accumulated over this daemon's lifetime
+    /// (checkpoints written, restores, recorded frames).
+    pub fn persist_report(&self) -> PersistReport {
+        self.persist
+    }
+
+    /// Serializes the complete mid-experiment state of the fleet into a
+    /// crash-safe snapshot file: transport, tick counters, per-profile
+    /// experience sharing and DQN agents (weights, Adam state, ε-schedule
+    /// RNG), the whole replay arena, and every member system's state
+    /// (simulated cluster RNGs, monitors, interface daemon, control agent,
+    /// staged actions). [`FleetDaemon::restore`] of the file into an
+    /// identically-built fleet resumes bit-identically: the same future
+    /// reports and the same final weights as the uninterrupted run.
+    ///
+    /// The write is atomic (temp file + fsync + rename), so a crash leaves
+    /// the previous snapshot intact. Durability counters themselves are not
+    /// in the payload — a restored fleet's future snapshots stay
+    /// byte-identical to the original's.
+    pub fn checkpoint(&mut self, path: &Path) -> Result<(), FleetError> {
+        let mut w = capes_persist::Writer::new();
+        w.put_u8(transport_tag(self.transport));
+        w.put_u64(self.tick);
+        w.put_usize(self.train_cursor);
+        w.put_u64(self.cluster_ticks);
+        w.put_usize(self.profile_sharing.len());
+        for mode in &self.profile_sharing {
+            match *mode {
+                ExperienceSharing::Disabled => w.put_u8(0),
+                ExperienceSharing::Uniform => w.put_u8(1),
+                ExperienceSharing::SelfBiased { own, peers } => {
+                    w.put_u8(2);
+                    w.put_f64(own);
+                    w.put_f64(peers);
+                }
+            }
+        }
+        w.put_usize(self.profiles.len());
+        for profile in &self.profiles {
+            w.put_usize(profile.observation_size);
+            w.put_usize(profile.num_params);
+            profile.stripe_members.encode(&mut w);
+            profile.agent.encode(&mut w);
+        }
+        self.arena.encode(&mut w);
+        w.put_usize(self.sessions.len());
+        for session in &self.sessions {
+            w.put_str(&session.name);
+            session.series.encode(&mut w);
+            w.put_usize(session.errors_before);
+            // Each member system's state rides as one length-prefixed blob,
+            // so restore can collect and validate all of them before
+            // touching any session.
+            let mut sub = capes_persist::Writer::new();
+            session.system.encode_state(&mut sub);
+            w.put_bytes(sub.as_slice());
+        }
+        capes_persist::write_snapshot_file(path, w.as_slice())?;
+        self.persist.checkpoints_written += 1;
+        Ok(())
+    }
+
+    /// Restores a [`FleetDaemon::checkpoint`] snapshot into this fleet.
+    ///
+    /// The fleet must have been built with the same plan the snapshot was
+    /// taken under: same transport, same scenarios (names and geometry in
+    /// order), same replay configuration. Everything is decoded and
+    /// validated *before* any state is overwritten, so configuration skew —
+    /// wrong cluster count, wrong observation width, mismatched replay
+    /// capacity — is a typed error that leaves the fleet untouched:
+    /// [`CapesError::CheckpointMismatch`] for geometry disagreements,
+    /// [`CapesError::ReplayConfigMismatch`] for arena-stripe disagreements,
+    /// [`FleetError::Persist`] for corrupt or truncated files.
+    ///
+    /// One caveat: the per-session apply step runs after global validation,
+    /// so a deliberately crafted payload that passes its CRC and every
+    /// geometry check yet still fails mid-session leaves the daemon
+    /// part-restored. Such a daemon must be discarded, not run.
+    pub fn restore(&mut self, path: &Path) -> Result<(), FleetError> {
+        let payload = capes_persist::read_snapshot_file(path)?;
+        let mut r = capes_persist::Reader::new(&payload);
+
+        // Pure phase: decode and validate everything into locals.
+        let tag = r.get_u8()?;
+        if tag != transport_tag(self.transport) {
+            return Err(checkpoint_mismatch(format!(
+                "snapshot transport tag {tag} disagrees with the fleet's {:?} transport",
+                self.transport
+            )));
+        }
+        let tick = r.get_u64()?;
+        let train_cursor = r.get_usize()?;
+        let cluster_ticks = r.get_u64()?;
+        let sharing_len = r.get_count(1)?;
+        if sharing_len != self.profiles.len() {
+            return Err(checkpoint_mismatch(format!(
+                "snapshot holds sharing modes for {sharing_len} profiles, this fleet has {}",
+                self.profiles.len()
+            )));
+        }
+        let mut sharing = Vec::with_capacity(sharing_len);
+        for profile in &self.profiles {
+            let mode = match r.get_u8()? {
+                0 => ExperienceSharing::Disabled,
+                1 => ExperienceSharing::Uniform,
+                2 => {
+                    let own = r.get_f64()?;
+                    let peers = r.get_f64()?;
+                    if !own.is_finite() || !peers.is_finite() || own < 0.0 || peers < 0.0 {
+                        return Err(PersistError::BadValue {
+                            what: "non-finite or negative experience-sharing weight",
+                        }
+                        .into());
+                    }
+                    if own + peers <= 0.0 {
+                        return Err(PersistError::BadValue {
+                            what: "all-zero experience-sharing weights",
+                        }
+                        .into());
+                    }
+                    if own <= 0.0 && profile.stripe_members.len() <= 1 {
+                        return Err(PersistError::BadValue {
+                            what: "zero own-weight on a single-member profile",
+                        }
+                        .into());
+                    }
+                    ExperienceSharing::SelfBiased { own, peers }
+                }
+                _ => {
+                    return Err(PersistError::BadValue {
+                        what: "invalid experience-sharing tag",
+                    }
+                    .into())
+                }
+            };
+            sharing.push(mode);
+        }
+        let num_profiles = r.get_count(1)?;
+        if num_profiles != self.profiles.len() {
+            return Err(checkpoint_mismatch(format!(
+                "snapshot holds {num_profiles} profiles, this fleet has {}",
+                self.profiles.len()
+            )));
+        }
+        let mut agents = Vec::with_capacity(num_profiles);
+        for (i, profile) in self.profiles.iter().enumerate() {
+            let observation_size = r.get_usize()?;
+            let num_params = r.get_usize()?;
+            let stripe_members = Vec::<usize>::decode(&mut r)?;
+            if observation_size != profile.observation_size
+                || num_params != profile.num_params
+                || stripe_members != profile.stripe_members
+            {
+                return Err(checkpoint_mismatch(format!(
+                    "profile {i} geometry disagrees with the snapshot \
+                     (snapshot: {observation_size}-wide × {num_params} params over \
+                     {stripe_members:?}; fleet: {}-wide × {} params over {:?})",
+                    profile.observation_size, profile.num_params, profile.stripe_members
+                )));
+            }
+            let agent = DqnAgent::decode(&mut r)?;
+            if agent.config().observation_size != profile.observation_size
+                || agent.config().num_params != profile.num_params
+            {
+                return Err(checkpoint_mismatch(format!(
+                    "profile {i}'s snapshot agent was trained for a different geometry"
+                )));
+            }
+            agents.push(agent);
+        }
+        let arena = ReplayArena::decode(&mut r)?;
+        if arena.num_stripes() != self.arena.num_stripes() {
+            return Err(FleetError::Capes(CapesError::ReplayConfigMismatch {
+                reason: format!(
+                    "snapshot arena has {} stripes, this fleet has {}",
+                    arena.num_stripes(),
+                    self.arena.num_stripes()
+                ),
+            }));
+        }
+        for i in 0..arena.num_stripes() {
+            if arena.stripe_config(i) != self.arena.stripe_config(i) {
+                return Err(FleetError::Capes(CapesError::ReplayConfigMismatch {
+                    reason: format!(
+                        "replay configuration of arena stripe {i} disagrees with the snapshot"
+                    ),
+                }));
+            }
+        }
+        let num_sessions = r.get_count(1)?;
+        if num_sessions != self.sessions.len() {
+            return Err(checkpoint_mismatch(format!(
+                "snapshot holds {num_sessions} clusters, this fleet has {}",
+                self.sessions.len()
+            )));
+        }
+        let mut session_state = Vec::with_capacity(num_sessions);
+        for session in &self.sessions {
+            let name = r.get_str()?;
+            if name != session.name {
+                return Err(checkpoint_mismatch(format!(
+                    "snapshot cluster '{name}' does not match fleet cluster '{}'",
+                    session.name
+                )));
+            }
+            let series = Vec::<f64>::decode(&mut r)?;
+            let errors_before = r.get_usize()?;
+            let blob = r.get_bytes()?;
+            session_state.push((series, errors_before, blob));
+        }
+        r.finish()?;
+
+        // Apply phase: nothing above touched `self`.
+        self.arena.restore_from(&arena)?;
+        for (profile, agent) in self.profiles.iter_mut().zip(agents) {
+            profile.agent = agent;
+        }
+        self.profile_sharing = sharing;
+        for (session, (series, errors_before, blob)) in self.sessions.iter_mut().zip(session_state)
+        {
+            let mut sub = capes_persist::Reader::new(blob);
+            session.system.decode_state(&mut sub)?;
+            sub.finish()?;
+            session.series = series;
+            session.errors_before = errors_before;
+        }
+        self.tick = tick;
+        self.train_cursor = train_cursor;
+        self.cluster_ticks = cluster_ticks;
+        self.persist.restores += 1;
+        Ok(())
+    }
+
+    /// Enables automatic checkpointing: after every `every`-th fleet tick
+    /// the daemon snapshots itself to `path` (atomically replacing the
+    /// previous snapshot). A failed automatic checkpoint is counted in the
+    /// [`PersistReport`] and the run continues — durability must not take
+    /// the experiment down.
+    ///
+    /// # Panics
+    /// Panics if `every` is zero.
+    pub fn auto_checkpoint_every(&mut self, every: u64, path: impl Into<PathBuf>) {
+        assert!(every > 0, "auto-checkpoint interval must be positive");
+        self.auto_checkpoint = Some((every, path.into()));
+    }
+
+    /// Disables automatic checkpointing.
+    pub fn disable_auto_checkpoint(&mut self) {
+        self.auto_checkpoint = None;
+    }
+
+    /// Starts recording the fleet's inbound wire traffic to an append-only
+    /// log at `path`: every monitoring frame the socket front end delivers
+    /// is captured as a `(tick, cluster, frame)` record before it is
+    /// ingested. [`FleetDaemon::replay_traffic`] (or
+    /// [`crate::Replayer`]) feeds the log back through the same ingest path
+    /// deterministically.
+    ///
+    /// # Errors
+    /// [`FleetError::RecordUnsupported`] unless the fleet runs on
+    /// [`Transport::Socket`] — the other transports never cross the socket
+    /// ingest path; [`FleetError::Persist`] if the log cannot be created.
+    pub fn record_to(&mut self, path: &Path) -> Result<(), FleetError> {
+        if self.transport != Transport::Socket {
+            return Err(FleetError::RecordUnsupported);
+        }
+        self.recorder = Some(RecordLogWriter::create(path)?);
+        Ok(())
+    }
+
+    /// Stops recording, flushes and fsyncs the log, and returns the number
+    /// of records captured. Returns `Ok(0)` when no recording was active.
+    pub fn stop_recording(&mut self) -> Result<u64, FleetError> {
+        match self.recorder.take() {
+            Some(recorder) => Ok(recorder.finish()?),
+            None => Ok(0),
+        }
+    }
+
+    /// Feeds a recorded wire-traffic log back through the member systems'
+    /// ingest path ([`CapesSystem::ingest_message`]), in the captured
+    /// arrival order, and returns how many messages were delivered. Replay
+    /// reproduces the monitoring state a live socket fleet built from the
+    /// same traffic: the stored observations and objectives, the daemon
+    /// ingest statistics — without any socket in the loop.
+    pub fn replay_traffic(&mut self, path: &Path) -> Result<u64, FleetError> {
+        let mut replayer = crate::traffic::Replayer::open(path)?;
+        let mut delivered = 0u64;
+        while let Some((_tick, cluster, message)) = replayer.next_message()? {
+            let cluster = cluster as usize;
+            if cluster >= self.sessions.len() {
+                return Err(PersistError::mismatch(format!(
+                    "recorded frame addresses cluster {cluster}, this fleet has {}",
+                    self.sessions.len()
+                ))
+                .into());
+            }
+            self.sessions[cluster].system.ingest_message(&message);
+            delivered += 1;
+        }
+        Ok(delivered)
+    }
+
     /// Advances the whole fleet by one tick of the given phase kind: measure
     /// everywhere, decide per profile in one batched forward pass, scatter
     /// actions, train round-robin, finish everywhere.
     pub fn tick_all(&mut self, kind: PhaseKind) {
+        self.tick_inner(kind);
+        if let Some((every, path)) = self.auto_checkpoint.clone() {
+            if self.tick.is_multiple_of(every) {
+                match self.checkpoint(&path) {
+                    Ok(()) => self.persist.auto_checkpoints += 1,
+                    Err(_) => self.persist.auto_checkpoint_failures += 1,
+                }
+            }
+        }
+    }
+
+    fn tick_inner(&mut self, kind: PhaseKind) {
         let FleetDaemon {
             sessions,
             profiles,
@@ -491,10 +854,30 @@ impl FleetDaemon {
                     measurements[i] = Some(measurement);
                 }
                 // 1b. Drain exactly one tick's worth of decoded messages
-                //     from the server and ingest them in arrival order.
+                //     from the server and ingest them in arrival order. The
+                //     recorder taps the stream here, before ingest, so a
+                //     replayed log walks the exact same path.
+                let recorder = &mut self.recorder;
+                let persist = &mut self.persist;
+                let mut record_failed = false;
                 front.drain_tick(|cluster, message| {
+                    if let Some(rec) = recorder.as_mut() {
+                        match rec.append(*tick, cluster as u32, &encode_message(message)) {
+                            Ok(()) => persist.records_appended += 1,
+                            Err(_) => {
+                                persist.record_failures += 1;
+                                record_failed = true;
+                            }
+                        }
+                    }
                     sessions[cluster].system.ingest_message(message);
                 });
+                if record_failed {
+                    // A log with a failed append can no longer promise the
+                    // complete stream; stop recording rather than persist a
+                    // gap silently.
+                    *recorder = None;
+                }
                 // 1c. Commit snapshots and assemble observations.
                 for (i, session) in sessions.iter_mut().enumerate() {
                     let measurement = measurements[i].as_mut().expect("measured above");
@@ -800,6 +1183,7 @@ impl FleetDaemon {
                 0.0
             },
             net: self.net_report(),
+            persist: self.persist,
         }
     }
 
@@ -807,6 +1191,12 @@ impl FleetDaemon {
     /// `enabled` false) on the in-process transports; `reports_rejected`
     /// aggregates the member daemons' ingest rejections on every transport.
     pub fn net_report(&self) -> NetReport {
+        let transport = match self.transport {
+            Transport::InProcess => "in-process",
+            Transport::Wire => "wire",
+            Transport::Socket => "socket",
+        }
+        .to_string();
         let reports_rejected = self
             .sessions
             .iter()
@@ -819,6 +1209,7 @@ impl FleetDaemon {
             // counters span every run of this daemon.
             let ticks = self.tick.max(1) as f64;
             return NetReport {
+                transport,
                 enabled: true,
                 accepted: stats.accepted,
                 active: stats.active,
@@ -836,6 +1227,7 @@ impl FleetDaemon {
             };
         }
         NetReport {
+            transport,
             reports_rejected,
             ..NetReport::default()
         }

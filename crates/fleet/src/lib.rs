@@ -45,14 +45,16 @@ pub mod report;
 pub mod scenario;
 #[cfg(feature = "net")]
 mod socket;
+pub mod traffic;
 pub mod wire;
 
 pub use daemon::{Fleet, FleetBuilder, FleetDaemon, FleetError};
 pub use report::{
-    ClusterReport, ExperienceSharing, FleetPlan, FleetReport, NetReport, ProfileSharing,
-    StripeOccupancy,
+    ClusterReport, ExperienceSharing, FleetPlan, FleetReport, NetReport, PersistReport,
+    ProfileSharing, StripeOccupancy,
 };
 pub use scenario::ScenarioSpec;
+pub use traffic::Replayer;
 pub use wire::{
     decode_cluster_frame, encode_cluster_frame, FrameRouter, RouteError, FLEET_FRAME_TAG,
 };

@@ -113,8 +113,13 @@ pub struct StripeOccupancy {
 /// Always present in a [`FleetReport`]; on the in-process transports every
 /// counter is zero and `enabled` is false. Counters cover the daemon's whole
 /// lifetime, not just the reported run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NetReport {
+    /// Which transport the fleet ran on (`"in-process"`, `"wire"` or
+    /// `"socket"`). Only the socket transport measures connection counters,
+    /// so consumers need this tag to tell "no traffic" from "not measured":
+    /// a wire fleet moves real frames that never touch these counters.
+    pub transport: String,
     /// Whether the fleet ran with the socket front end.
     pub enabled: bool,
     /// Connections accepted over the server's lifetime.
@@ -146,6 +151,28 @@ pub struct NetReport {
     pub bytes_out_per_tick: f64,
 }
 
+/// Durability activity of one fleet daemon (ISSUE 7).
+///
+/// Counters cover the daemon's process lifetime. They are deliberately *not*
+/// part of the checkpoint payload: a restored daemon's future snapshot files
+/// must be byte-identical to the uninterrupted original's, and bookkeeping
+/// about checkpointing itself would diverge between the two.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistReport {
+    /// Snapshot files written successfully (manual and automatic).
+    pub checkpoints_written: u64,
+    /// Snapshots restored successfully.
+    pub restores: u64,
+    /// Automatic interval checkpoints that succeeded.
+    pub auto_checkpoints: u64,
+    /// Automatic interval checkpoints that failed (the run continues).
+    pub auto_checkpoint_failures: u64,
+    /// Wire frames appended to the traffic record log.
+    pub records_appended: u64,
+    /// Record-log append failures (recording stops at the first one).
+    pub record_failures: u64,
+}
+
 /// The aggregated outcome of one fleet run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -161,6 +188,8 @@ pub struct FleetReport {
     pub cluster_ticks_per_sec: f64,
     /// Network front-end health (zeros on in-process transports).
     pub net: NetReport,
+    /// Checkpoint/record activity (zeros when durability is unused).
+    pub persist: PersistReport,
 }
 
 impl FleetReport {
@@ -212,6 +241,17 @@ impl FleetReport {
                 self.net.bytes_out_per_tick
             ));
         }
+        if self.persist != PersistReport::default() {
+            out.push_str(&format!(
+                "persist: {} checkpoints ({} auto, {} failed), {} restores, \
+                 {} frames recorded\n",
+                self.persist.checkpoints_written,
+                self.persist.auto_checkpoints,
+                self.persist.auto_checkpoint_failures,
+                self.persist.restores,
+                self.persist.records_appended
+            ));
+        }
         out
     }
 
@@ -250,6 +290,7 @@ mod tests {
     #[test]
     fn net_report_round_trips_through_json() {
         let net = NetReport {
+            transport: "socket".into(),
             enabled: true,
             accepted: 1024,
             active: 1000,
@@ -271,21 +312,59 @@ mod tests {
             cluster_ticks: 10,
             elapsed_seconds: 1.0,
             cluster_ticks_per_sec: 10.0,
-            net,
+            net: net.clone(),
+            persist: PersistReport::default(),
         };
         let back = FleetReport::from_json(&report.to_json()).expect("round trip");
         assert_eq!(back.net, net);
         assert!(report.summary().contains("net: 1024 accepted"));
-        // The in-process default is all-zeros and disabled, and stays that
-        // way through JSON.
+        // The transport tag survives the round trip even when no counter was
+        // measured: a wire fleet reports "wire" with zeros, which consumers
+        // must not read as "socket fleet saw no traffic".
         let quiet = FleetReport {
-            net: NetReport::default(),
+            net: NetReport {
+                transport: "wire".into(),
+                ..NetReport::default()
+            },
             ..report
         };
         let back = FleetReport::from_json(&quiet.to_json()).expect("round trip");
         assert!(!back.net.enabled);
-        assert_eq!(back.net, NetReport::default());
+        assert_eq!(back.net.transport, "wire");
+        assert_eq!(back.net.accepted, 0);
         assert!(!quiet.summary().contains("\nnet:"));
+    }
+
+    #[test]
+    fn persist_report_round_trips_and_surfaces_in_summary() {
+        let persist = PersistReport {
+            checkpoints_written: 5,
+            restores: 1,
+            auto_checkpoints: 4,
+            auto_checkpoint_failures: 0,
+            records_appended: 2048,
+            record_failures: 0,
+        };
+        let report = FleetReport {
+            clusters: Vec::new(),
+            arena: Vec::new(),
+            cluster_ticks: 10,
+            elapsed_seconds: 1.0,
+            cluster_ticks_per_sec: 10.0,
+            net: NetReport::default(),
+            persist,
+        };
+        let back = FleetReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(back.persist, persist);
+        assert!(report
+            .summary()
+            .contains("persist: 5 checkpoints (4 auto, 0 failed), 1 restores"));
+        // A fleet that never touched durability stays silent about it.
+        let quiet = FleetReport {
+            persist: PersistReport::default(),
+            ..report
+        };
+        assert!(!quiet.summary().contains("persist:"));
     }
 
     #[test]

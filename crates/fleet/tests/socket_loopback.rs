@@ -65,7 +65,7 @@ fn socket_fleet_is_bit_identical_to_wire_fleet() {
     );
 
     // The socket run really went over sockets…
-    let net = socket_report.net;
+    let net = socket_report.net.clone();
     assert!(net.enabled);
     assert_eq!(net.accepted, 2, "one connection per cluster");
     assert_eq!(net.active, 2);

@@ -1,5 +1,10 @@
 //! Element-wise activation functions and their derivatives.
+//!
+//! The tanh paths route through the `CAPES_SIMD`-dispatched kernels in
+//! [`capes_tensor::simd`], which are bit-identical across dispatch levels —
+//! toggling the SIMD switch never changes a forward pass or a gradient.
 
+use capes_tensor::simd::{tanh_backward, tanh_forward, tanh_value};
 use capes_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -23,7 +28,11 @@ impl Activation {
     /// Applies the activation element-wise to a pre-activation matrix.
     pub fn forward(&self, z: &Matrix) -> Matrix {
         match self {
-            Activation::Tanh => z.map(f64::tanh),
+            Activation::Tanh => {
+                let mut out = Matrix::zeros(z.rows(), z.cols());
+                tanh_forward(z.as_slice(), out.as_mut_slice());
+                out
+            }
             Activation::Relu => z.map(|x| x.max(0.0)),
             Activation::Sigmoid => z.map(sigmoid),
             Activation::Identity => z.clone(),
@@ -35,7 +44,7 @@ impl Activation {
     pub fn derivative(&self, z: &Matrix) -> Matrix {
         match self {
             Activation::Tanh => z.map(|x| {
-                let t = x.tanh();
+                let t = tanh_value(x);
                 1.0 - t * t
             }),
             Activation::Relu => z.map(|x| if x > 0.0 { 1.0 } else { 0.0 }),
@@ -58,6 +67,7 @@ impl Activation {
         let dst = out.as_mut_slice();
         match self {
             Activation::Identity => dst.copy_from_slice(src),
+            Activation::Tanh => tanh_forward(src, dst),
             _ => {
                 for (o, &x) in dst.iter_mut().zip(src) {
                     *o = self.apply_scalar(x);
@@ -84,11 +94,7 @@ impl Activation {
         let a = output.as_slice();
         let dst = d.as_mut_slice();
         match self {
-            Activation::Tanh => {
-                for (g, &y) in dst.iter_mut().zip(a) {
-                    *g *= 1.0 - y * y;
-                }
-            }
+            Activation::Tanh => tanh_backward(a, dst),
             Activation::Relu => {
                 for (g, &y) in dst.iter_mut().zip(a) {
                     if y <= 0.0 {
@@ -108,7 +114,7 @@ impl Activation {
     /// Scalar forward evaluation, handy for tests.
     pub fn apply_scalar(&self, x: f64) -> f64 {
         match self {
-            Activation::Tanh => x.tanh(),
+            Activation::Tanh => tanh_value(x),
             Activation::Relu => x.max(0.0),
             Activation::Sigmoid => sigmoid(x),
             Activation::Identity => x,
@@ -118,6 +124,31 @@ impl Activation {
 
 fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
+}
+
+impl capes_persist::Persist for Activation {
+    const MIN_SIZE: usize = 1;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_u8(match self {
+            Activation::Tanh => 0,
+            Activation::Relu => 1,
+            Activation::Sigmoid => 2,
+            Activation::Identity => 3,
+        });
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        match r.get_u8()? {
+            0 => Ok(Activation::Tanh),
+            1 => Ok(Activation::Relu),
+            2 => Ok(Activation::Sigmoid),
+            3 => Ok(Activation::Identity),
+            _ => Err(capes_persist::PersistError::BadValue {
+                what: "unknown activation tag",
+            }),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -211,6 +211,32 @@ impl Dense {
     }
 }
 
+impl capes_persist::Persist for Dense {
+    // weights + bias (matrices) + activation tag. Forward caches are
+    // transient and deliberately not persisted, mirroring `#[serde(skip)]`.
+    const MIN_SIZE: usize = 49;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        self.weights.encode(w);
+        self.bias.encode(w);
+        self.activation.encode(w);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let weights = Matrix::decode(r)?;
+        let bias = Matrix::decode(r)?;
+        let activation = Activation::decode(r)?;
+        // The `from_parameters` invariants, as typed errors instead of
+        // panics: corrupt input must never abort the process.
+        if bias.rows() != 1 || bias.cols() != weights.cols() {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "dense bias shape disagrees with its weights",
+            });
+        }
+        Ok(Dense::from_parameters(weights, bias, activation))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -236,6 +236,33 @@ impl Mlp {
     }
 }
 
+impl capes_persist::Persist for Mlp {
+    const MIN_SIZE: usize = 8;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        self.layers.encode(w);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let layers = Vec::<Dense>::decode(r)?;
+        // The `from_layers` invariants as typed errors.
+        if layers.is_empty() {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "MLP with no layers",
+            });
+        }
+        if layers
+            .windows(2)
+            .any(|pair| pair[0].output_dim() != pair[1].input_dim())
+        {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "adjacent MLP layer dimensions disagree",
+            });
+        }
+        Ok(Mlp { layers })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

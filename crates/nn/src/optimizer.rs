@@ -144,6 +144,83 @@ impl Adam {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// `true` if the optimizer's moment estimates are shaped for a network
+    /// with the given [`Mlp::parameter_shapes`] — the compatibility check a
+    /// checkpoint restore performs before trusting loaded optimizer state.
+    pub fn matches_shapes(&self, parameter_shapes: &[(usize, usize)]) -> bool {
+        self.m.len() == parameter_shapes.len()
+            && self
+                .m
+                .iter()
+                .zip(parameter_shapes)
+                .all(|(m, &shape)| m.shape() == shape)
+    }
+}
+
+impl capes_persist::Persist for Adam {
+    const MIN_SIZE: usize = 57; // 4 f64s + clip tag + t + two Vec lengths
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_f64(self.learning_rate);
+        w.put_f64(self.beta1);
+        w.put_f64(self.beta2);
+        w.put_f64(self.epsilon);
+        self.grad_clip.encode(w);
+        w.put_u64(self.t);
+        self.m.encode(w);
+        self.v.encode(w);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        use capes_persist::PersistError::BadValue;
+        let learning_rate = r.get_f64()?;
+        let beta1 = r.get_f64()?;
+        let beta2 = r.get_f64()?;
+        let epsilon = r.get_f64()?;
+        let grad_clip = Option::<f64>::decode(r)?;
+        let t = r.get_u64()?;
+        let m = Vec::<Matrix>::decode(r)?;
+        let v = Vec::<Matrix>::decode(r)?;
+        // `with_config`'s invariants as typed errors.
+        if learning_rate.is_nan() || learning_rate <= 0.0 {
+            return Err(BadValue {
+                what: "Adam learning rate not positive",
+            });
+        }
+        if !((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2)) {
+            return Err(BadValue {
+                what: "Adam beta outside [0, 1)",
+            });
+        }
+        if epsilon.is_nan() || epsilon <= 0.0 {
+            return Err(BadValue {
+                what: "Adam epsilon not positive",
+            });
+        }
+        if let Some(c) = grad_clip {
+            if c.is_nan() || c <= 0.0 {
+                return Err(BadValue {
+                    what: "Adam gradient clip not positive",
+                });
+            }
+        }
+        if m.len() != v.len() || m.iter().zip(&v).any(|(a, b)| a.shape() != b.shape()) {
+            return Err(BadValue {
+                what: "Adam moment vectors disagree in shape",
+            });
+        }
+        Ok(Adam {
+            learning_rate,
+            beta1,
+            beta2,
+            epsilon,
+            grad_clip,
+            t,
+            m,
+            v,
+        })
+    }
 }
 
 impl Optimizer for Adam {

@@ -1,0 +1,489 @@
+//! The little-endian binary codec underneath snapshots and record logs.
+//!
+//! Encoding is infallible appends to a byte vector. Decoding treats the
+//! input as hostile: every read is bounds-checked, every collection count is
+//! validated against the bytes that remain **before** any allocation, floats
+//! travel as raw IEEE-754 bits (so infinities, NaNs and signed zeros
+//! round-trip exactly), and booleans and enum tags reject values outside
+//! their encoding. Iteration-order-dependent containers are written in
+//! sorted key order so that encoding the same logical state twice yields
+//! byte-identical output.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::error::PersistError;
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The bytes encoded so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a usize as a u64.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an f64 as its raw IEEE-754 bits.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as a single 0/1 byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends raw bytes with a u64 length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a string as length-prefixed UTF-8.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends raw bytes with no length prefix (for fixed-size fields).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Bounds-checked decoder over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes exactly `n` bytes, or fails without consuming anything.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if n > self.remaining() {
+            return Err(PersistError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, PersistError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, PersistError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a usize stored as a u64, rejecting values this platform cannot
+    /// represent.
+    pub fn get_usize(&mut self) -> Result<usize, PersistError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| PersistError::BadValue {
+            what: "usize out of platform range",
+        })
+    }
+
+    /// Reads an f64 from its raw IEEE-754 bits.
+    pub fn get_f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a bool, rejecting any byte other than 0 or 1.
+    pub fn get_bool(&mut self) -> Result<bool, PersistError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(PersistError::BadValue {
+                what: "bool byte not 0 or 1",
+            }),
+        }
+    }
+
+    /// Reads a collection count and validates that `count * min_elem_size`
+    /// bytes could actually be present, **before** the caller allocates.
+    pub fn get_count(&mut self, min_elem_size: usize) -> Result<usize, PersistError> {
+        let count = self.get_u64()?;
+        let per = min_elem_size.max(1) as u64;
+        let max = self.remaining() as u64 / per;
+        if count > max {
+            return Err(PersistError::CountTooLarge { count, max });
+        }
+        Ok(count as usize)
+    }
+
+    /// Reads length-prefixed raw bytes, validating the length against the
+    /// input before slicing.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], PersistError> {
+        let len = self.get_count(1)?;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, PersistError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| PersistError::BadValue {
+            what: "string is not valid UTF-8",
+        })
+    }
+
+    /// Succeeds only if every input byte has been consumed.
+    pub fn finish(&self) -> Result<(), PersistError> {
+        if self.remaining() != 0 {
+            return Err(PersistError::TrailingBytes {
+                count: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A type that can round-trip through the binary checkpoint codec.
+pub trait Persist: Sized {
+    /// Minimum bytes one encoded value occupies — lets collection decoders
+    /// bound a stored count against the remaining input before allocating.
+    const MIN_SIZE: usize = 1;
+
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Decodes one value, consuming exactly the bytes `encode` produced.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError>;
+}
+
+impl Persist for u8 {
+    const MIN_SIZE: usize = 1;
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.get_u8()
+    }
+}
+
+impl Persist for u32 {
+    const MIN_SIZE: usize = 4;
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.get_u32()
+    }
+}
+
+impl Persist for u64 {
+    const MIN_SIZE: usize = 8;
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.get_u64()
+    }
+}
+
+impl Persist for usize {
+    const MIN_SIZE: usize = 8;
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.get_usize()
+    }
+}
+
+impl Persist for f64 {
+    const MIN_SIZE: usize = 8;
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.get_f64()
+    }
+}
+
+impl Persist for bool {
+    const MIN_SIZE: usize = 1;
+    fn encode(&self, w: &mut Writer) {
+        w.put_bool(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.get_bool()
+    }
+}
+
+impl Persist for String {
+    const MIN_SIZE: usize = 8;
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.get_str()
+    }
+}
+
+impl Persist for [u64; 4] {
+    const MIN_SIZE: usize = 32;
+    fn encode(&self, w: &mut Writer) {
+        for v in self {
+            w.put_u64(*v);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok([r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?])
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    const MIN_SIZE: usize = 8;
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.len());
+        for v in self {
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let count = r.get_count(T::MIN_SIZE)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    const MIN_SIZE: usize = 1;
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(PersistError::BadValue {
+                what: "Option tag not 0 or 1",
+            }),
+        }
+    }
+}
+
+impl<K, V> Persist for HashMap<K, V>
+where
+    K: Persist + Ord + Hash + Clone,
+    V: Persist,
+{
+    const MIN_SIZE: usize = 8;
+    fn encode(&self, w: &mut Writer) {
+        // Sorted key order: HashMap iteration order is randomized per
+        // process, and identical state must encode to identical bytes.
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        w.put_usize(keys.len());
+        for k in keys {
+            k.encode(w);
+            self[k].encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let count = r.get_count(K::MIN_SIZE + V::MIN_SIZE)?;
+        let mut out = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Persist + PartialEq + std::fmt::Debug>(v: &T) {
+        let mut w = Writer::new();
+        v.encode(&mut w);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        let back = T::decode(&mut r).expect("decode");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(&0u8);
+        round_trip(&u32::MAX);
+        round_trip(&u64::MAX);
+        round_trip(&usize::MAX);
+        round_trip(&true);
+        round_trip(&false);
+        round_trip(&String::from("checkpoint"));
+        round_trip(&[1u64, 2, 3, 4]);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+        ] {
+            round_trip(&v);
+        }
+        // NaN compares unequal to itself, so check the bits directly.
+        let mut w = Writer::new();
+        f64::NAN.encode(&mut w);
+        let bytes = w.into_vec();
+        let back = f64::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(&vec![1.0f64, f64::INFINITY, -0.0]);
+        round_trip(&Vec::<u64>::new());
+        round_trip(&Some(vec![3u64, 4]));
+        round_trip(&Option::<u64>::None);
+        let mut m = HashMap::new();
+        m.insert(7usize, vec![1.0f64, 2.0]);
+        m.insert(3usize, vec![]);
+        round_trip(&m);
+    }
+
+    #[test]
+    fn hashmap_encoding_is_order_independent() {
+        let mut a = HashMap::new();
+        let mut b = HashMap::new();
+        for i in 0..64u64 {
+            a.insert(i, i * 3);
+        }
+        for i in (0..64u64).rev() {
+            b.insert(i, i * 3);
+        }
+        let (mut wa, mut wb) = (Writer::new(), Writer::new());
+        a.encode(&mut wa);
+        b.encode(&mut wb);
+        assert_eq!(wa.into_vec(), wb.into_vec());
+    }
+
+    #[test]
+    fn corrupt_count_rejected_before_allocation() {
+        // A Vec<f64> claiming u64::MAX elements with 0 payload bytes.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_vec();
+        let err = Vec::<f64>::decode(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, PersistError::CountTooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error() {
+        let mut w = Writer::new();
+        vec![1.0f64; 8].encode(&mut w);
+        let bytes = w.into_vec();
+        for cut in 0..bytes.len() - 1 {
+            let err = Vec::<f64>::decode(&mut Reader::new(&bytes[..cut]));
+            assert!(err.is_err(), "decode of {cut}-byte prefix succeeded");
+        }
+    }
+
+    #[test]
+    fn strict_bool_and_option_tags() {
+        assert!(matches!(
+            bool::decode(&mut Reader::new(&[2])),
+            Err(PersistError::BadValue { .. })
+        ));
+        assert!(matches!(
+            Option::<u8>::decode(&mut Reader::new(&[9, 0])),
+            Err(PersistError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = Reader::new(&[0, 1, 2]);
+        assert!(matches!(
+            r.finish(),
+            Err(PersistError::TrailingBytes { count: 3 })
+        ));
+    }
+}

@@ -1,0 +1,148 @@
+//! Typed errors for snapshot and record-log handling.
+//!
+//! Every way a file can be wrong — truncated, bit-flipped, mislabelled,
+//! claiming impossible sizes — maps to a distinct variant, and none of them
+//! is a panic: corrupt input is an expected condition for a daemon that
+//! reads its own state back after a crash.
+
+use std::fmt;
+
+/// Why a snapshot or record log could not be written or read.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic bytes — it is not a
+    /// snapshot / record log at all, or its first bytes were destroyed.
+    BadMagic {
+        /// The magic the reader expected.
+        expected: [u8; 8],
+        /// The bytes actually found.
+        found: [u8; 8],
+    },
+    /// The format version is one this build cannot read.
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The input ended before a complete value could be read — a truncated
+    /// or torn file.
+    UnexpectedEof {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that were actually left.
+        remaining: usize,
+    },
+    /// A stored length field disagrees with the bytes actually present.
+    CorruptLength {
+        /// Length the header claimed.
+        claimed: u64,
+        /// Length that is actually there.
+        actual: u64,
+    },
+    /// A collection count would require more bytes than the input holds.
+    /// Raised **before** any allocation, so a corrupt count costs nothing.
+    CountTooLarge {
+        /// The count the file claimed.
+        count: u64,
+        /// The largest count the remaining bytes could possibly encode.
+        max: u64,
+    },
+    /// The checksum over the payload does not match — bytes were flipped.
+    CrcMismatch {
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC computed over the bytes read.
+        computed: u32,
+    },
+    /// Decoding finished but input bytes were left over — the payload does
+    /// not have the structure its header claimed.
+    TrailingBytes {
+        /// Number of undecoded bytes.
+        count: usize,
+    },
+    /// A field held a value outside its valid encoding (a bool that is
+    /// neither 0 nor 1, an unknown enum tag, invalid UTF-8, …).
+    BadValue {
+        /// Which field or encoding rule was violated.
+        what: &'static str,
+    },
+    /// The file decoded cleanly but describes state incompatible with the
+    /// process trying to load it (wrong geometry, wrong config, …).
+    Mismatch {
+        /// Human-readable description of the incompatibility.
+        reason: String,
+    },
+}
+
+impl PersistError {
+    /// Convenience constructor for semantic incompatibilities.
+    pub fn mismatch(reason: impl Into<String>) -> Self {
+        PersistError::Mismatch {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic { expected, found } => write!(
+                f,
+                "bad magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                found
+            ),
+            PersistError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (supported: {supported})"
+                )
+            }
+            PersistError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} left"
+                )
+            }
+            PersistError::CorruptLength { claimed, actual } => {
+                write!(
+                    f,
+                    "corrupt length field: claimed {claimed} bytes, found {actual}"
+                )
+            }
+            PersistError::CountTooLarge { count, max } => {
+                write!(f, "count {count} exceeds what the input could hold ({max})")
+            }
+            PersistError::CrcMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            PersistError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after a complete decode")
+            }
+            PersistError::BadValue { what } => write!(f, "invalid encoded value: {what}"),
+            PersistError::Mismatch { reason } => write!(f, "incompatible state: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}

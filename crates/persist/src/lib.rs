@@ -1,0 +1,40 @@
+//! Durable binary persistence for CAPES checkpoints and wire-traffic logs.
+//!
+//! This crate is the trust boundary between the process and the disk. It
+//! provides:
+//!
+//! * a little-endian binary codec ([`Writer`] / [`Reader`]) whose decoding
+//!   side validates every length and count against the bytes actually
+//!   present **before** allocating — the same discipline the wire codec
+//!   applies to network input;
+//! * a [`Persist`] trait implemented by every checkpointable type in the
+//!   workspace;
+//! * a versioned, CRC-guarded snapshot container
+//!   (`CAPESNAP` magic + version + payload length + payload + CRC32), with
+//!   crash-safe atomic writes (write-to-temp + fsync + rename + directory
+//!   fsync) — a torn or truncated snapshot is detected and rejected, never
+//!   half-loaded; and
+//! * an append-only record log (`CAPESLOG`) of `(tick, cluster, frame)`
+//!   entries, each individually CRC-guarded, used to capture live socket
+//!   ingest traffic for deterministic offline replay.
+//!
+//! The format contains no timestamps or other ambient state: encoding the
+//! same logical state twice yields byte-identical output, which is what lets
+//! the equivalence suite compare whole checkpoints with `==`.
+
+mod codec;
+mod crc32;
+mod error;
+mod record;
+mod snapshot;
+
+pub use codec::{Persist, Reader, Writer};
+pub use crc32::crc32;
+pub use error::PersistError;
+pub use record::{
+    RecordEntry, RecordLogReader, RecordLogWriter, RECORD_LOG_MAGIC, RECORD_LOG_VERSION,
+};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, read_snapshot_file, write_atomic, write_snapshot_file,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};

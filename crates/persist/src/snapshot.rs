@@ -1,0 +1,207 @@
+//! The snapshot container and crash-safe file writes.
+//!
+//! ```text
+//! snapshot := magic[8] version:u32 payload_len:u64 payload[payload_len] crc:u32
+//! ```
+//!
+//! The CRC covers everything before it (magic, header and payload), so a bit
+//! flip anywhere in the file is detected. `payload_len` must agree exactly
+//! with the file size, so truncation and tacked-on garbage are both rejected
+//! before the payload is even looked at.
+//!
+//! Files are written via [`write_atomic`]: the bytes go to a temporary file
+//! in the same directory, are fsynced, and are renamed over the destination,
+//! followed by an fsync of the directory. A crash at any point leaves either
+//! the old snapshot or the new one — never a torn hybrid.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::crc32::crc32;
+use crate::error::PersistError;
+
+/// First eight bytes of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CAPESNAP";
+
+/// Snapshot format version written and accepted by this build.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Bytes of framing around the payload: magic + version + length + CRC.
+const OVERHEAD: usize = 8 + 4 + 8 + 4;
+
+/// Wraps `payload` in the versioned, CRC-guarded snapshot container.
+pub fn encode_snapshot(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + OVERHEAD);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates a snapshot container and returns its payload slice.
+///
+/// Magic, version, length agreement and CRC are all checked before a single
+/// payload byte is interpreted; any failure is a typed [`PersistError`].
+pub fn decode_snapshot(bytes: &[u8]) -> Result<&[u8], PersistError> {
+    if bytes.len() < OVERHEAD {
+        return Err(PersistError::UnexpectedEof {
+            needed: OVERHEAD,
+            remaining: bytes.len(),
+        });
+    }
+    let mut magic = [0u8; 8];
+    magic.copy_from_slice(&bytes[..8]);
+    if magic != SNAPSHOT_MAGIC {
+        return Err(PersistError::BadMagic {
+            expected: SNAPSHOT_MAGIC,
+            found: magic,
+        });
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version != SNAPSHOT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    let claimed = u64::from_le_bytes([
+        bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19],
+    ]);
+    let actual = (bytes.len() - OVERHEAD) as u64;
+    if claimed != actual {
+        return Err(PersistError::CorruptLength { claimed, actual });
+    }
+    let body_end = bytes.len() - 4;
+    let stored = u32::from_le_bytes([
+        bytes[body_end],
+        bytes[body_end + 1],
+        bytes[body_end + 2],
+        bytes[body_end + 3],
+    ]);
+    let computed = crc32(&bytes[..body_end]);
+    if stored != computed {
+        return Err(PersistError::CrcMismatch { stored, computed });
+    }
+    Ok(&bytes[20..body_end])
+}
+
+/// Writes `bytes` to `path` crash-safely: temp file in the same directory,
+/// fsync, atomic rename, directory fsync.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => Path::new(".").to_path_buf(),
+    };
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    // Persist the rename itself: fsync the containing directory. Some
+    // filesystems refuse to fsync a directory handle; that is not a torn
+    // write, so such errors are ignored.
+    if let Ok(d) = File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Encodes `payload` into the snapshot container and writes it atomically.
+pub fn write_snapshot_file(path: &Path, payload: &[u8]) -> Result<(), PersistError> {
+    write_atomic(path, &encode_snapshot(payload))
+}
+
+/// Reads a snapshot file and returns its validated payload.
+pub fn read_snapshot_file(path: &Path) -> Result<Vec<u8>, PersistError> {
+    let bytes = std::fs::read(path)?;
+    Ok(decode_snapshot(&bytes)?.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn container_round_trips() {
+        let payload = b"agent state goes here".to_vec();
+        let file = encode_snapshot(&payload);
+        assert_eq!(decode_snapshot(&file).unwrap(), &payload[..]);
+        assert_eq!(
+            decode_snapshot(&encode_snapshot(&[])).unwrap(),
+            &[] as &[u8]
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let file = encode_snapshot(b"0123456789abcdef");
+        for cut in 0..file.len() {
+            let err = decode_snapshot(&file[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let file = encode_snapshot(b"sensitive checkpoint bytes");
+        for byte in 0..file.len() {
+            for bit in 0..8 {
+                let mut corrupt = file.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    decode_snapshot(&corrupt).is_err(),
+                    "flip at {byte}:{bit} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_version_and_magic_are_typed() {
+        let file = encode_snapshot(b"x");
+        let mut wrong_magic = file.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            decode_snapshot(&wrong_magic),
+            Err(PersistError::BadMagic { .. })
+        ));
+        let mut wrong_version = file.clone();
+        wrong_version[8] = 0xFF;
+        // Re-CRC so the version check (not the CRC) is what fires.
+        let body_end = wrong_version.len() - 4;
+        let crc = crc32(&wrong_version[..body_end]).to_le_bytes();
+        wrong_version[body_end..].copy_from_slice(&crc);
+        assert!(matches!(
+            decode_snapshot(&wrong_version),
+            Err(PersistError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_cleans_up() {
+        let dir = std::env::temp_dir().join("capes-persist-test-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.bin");
+        write_snapshot_file(&path, b"first").unwrap();
+        assert_eq!(read_snapshot_file(&path).unwrap(), b"first");
+        write_snapshot_file(&path, b"second").unwrap();
+        assert_eq!(read_snapshot_file(&path).unwrap(), b"second");
+        assert!(!dir.join("snap.bin.tmp").exists(), "temp file left behind");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -155,6 +155,38 @@ impl ReplayArena {
             .collect()
     }
 
+    /// Overwrites every stripe's contents with `snapshot`'s, in stripe
+    /// order — the restore path: existing [`SharedReplayDb`] views (and the
+    /// member systems holding them) keep pointing at the same stripe locks
+    /// and see the restored data. Stripe count and per-stripe configuration
+    /// are validated before any stripe is touched, so a mismatching snapshot
+    /// leaves the arena unchanged.
+    ///
+    /// # Errors
+    /// [`capes_persist::PersistError::Mismatch`] when the snapshot's stripe
+    /// count or any stripe configuration disagrees with this arena's.
+    pub fn restore_from(&self, snapshot: &ReplayArena) -> Result<(), capes_persist::PersistError> {
+        if snapshot.num_stripes() != self.num_stripes() {
+            return Err(capes_persist::PersistError::mismatch(format!(
+                "snapshot holds {} arena stripes, this fleet has {}",
+                snapshot.num_stripes(),
+                self.num_stripes()
+            )));
+        }
+        for i in 0..self.num_stripes() {
+            if snapshot.stripe_config(i) != self.stripe_config(i) {
+                return Err(capes_persist::PersistError::mismatch(format!(
+                    "replay configuration of arena stripe {i} disagrees with the snapshot"
+                )));
+            }
+        }
+        for i in 0..self.num_stripes() {
+            let db = snapshot.stripes[i].read().clone();
+            *self.stripes[i].write() = db;
+        }
+        Ok(())
+    }
+
     /// Generalised Algorithm 1 over a stripe set: fills every row of `batch`
     /// with a transition sampled from the stripes carrying positive weight
     /// (see the module docs for the per-draw procedure and the single-stripe
@@ -292,6 +324,33 @@ impl ReplayArena {
     }
 }
 
+impl capes_persist::Persist for ReplayArena {
+    const MIN_SIZE: usize = 8;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        // One stripe read lock at a time, like the samplers — an encode
+        // racing live writers snapshots each stripe at some consistent point.
+        w.put_usize(self.stripes.len());
+        for stripe in self.stripes.iter() {
+            stripe.read().encode(w);
+        }
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let count = r.get_count(<ReplayDb as capes_persist::Persist>::MIN_SIZE)?;
+        if count == 0 {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "arena with no stripes",
+            });
+        }
+        let mut dbs = Vec::with_capacity(count);
+        for _ in 0..count {
+            dbs.push(ReplayDb::decode(r)?);
+        }
+        Ok(ReplayArena::from_dbs(dbs))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +398,43 @@ mod tests {
     fn out_of_range_stripe_panics() {
         let arena = ReplayArena::single(config());
         let _ = arena.stripe(1);
+    }
+
+    #[test]
+    fn restore_from_overlays_stripes_behind_live_views() {
+        use capes_persist::Persist;
+        let arena = ReplayArena::uniform(config(), 2);
+        fill_stripe(&arena, 0, 30, 0.0);
+        fill_stripe(&arena, 1, 30, 500.0);
+        let mut w = capes_persist::Writer::new();
+        arena.encode(&mut w);
+        // A live view taken *before* the restore must see the restored data.
+        let view = arena.stripe(1);
+        fill_stripe(&arena, 0, 50, 7.0);
+        fill_stripe(&arena, 1, 50, 7.0);
+        let mut r = capes_persist::Reader::new(w.as_slice());
+        let snapshot = ReplayArena::decode(&mut r).expect("snapshot decodes");
+        arena
+            .restore_from(&snapshot)
+            .expect("same geometry restores");
+        assert_eq!(arena.stripe(0).len(), 30);
+        assert_eq!(view.len(), 30, "pre-restore views track the overlay");
+        assert_eq!(view.with_read(|db| db.objective_at(4)), Some(504.0));
+        // A snapshot with the wrong stripe count is rejected untouched.
+        let skewed = ReplayArena::uniform(config(), 3);
+        let err = arena.restore_from(&skewed).unwrap_err();
+        assert!(err.to_string().contains("stripes"));
+        assert_eq!(arena.stripe(0).len(), 30);
+        // … and so is one with a different per-stripe configuration.
+        let narrow = ReplayArena::uniform(
+            ReplayConfig {
+                capacity_ticks: 500,
+                ..config()
+            },
+            2,
+        );
+        let err = arena.restore_from(&narrow).unwrap_err();
+        assert!(err.to_string().contains("configuration"));
     }
 
     #[test]

@@ -637,6 +637,138 @@ impl ReplayDb {
     }
 }
 
+impl capes_persist::Persist for ReplayConfig {
+    const MIN_SIZE: usize = 4 * 8 + 8;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_usize(self.num_nodes);
+        w.put_usize(self.pis_per_node);
+        w.put_usize(self.ticks_per_observation);
+        w.put_f64(self.missing_entry_tolerance);
+        w.put_usize(self.capacity_ticks);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let config = ReplayConfig {
+            num_nodes: r.get_usize()?,
+            pis_per_node: r.get_usize()?,
+            ticks_per_observation: r.get_usize()?,
+            missing_entry_tolerance: r.get_f64()?,
+            capacity_ticks: r.get_usize()?,
+        };
+        // `validate`'s invariants as typed errors instead of panics.
+        if config.num_nodes == 0
+            || config.pis_per_node == 0
+            || config.ticks_per_observation == 0
+            || config.capacity_ticks <= config.ticks_per_observation
+        {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "replay configuration geometry invalid",
+            });
+        }
+        if !(0.0..1.0).contains(&config.missing_entry_tolerance) {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "missing-entry tolerance outside [0, 1)",
+            });
+        }
+        Ok(config)
+    }
+}
+
+impl capes_persist::Persist for TickSlot {
+    const MIN_SIZE: usize = 1 + 8 + 8 + 1 + 8 + 1 + 8;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        self.tick.encode(w);
+        self.data.encode(w);
+        self.present.encode(w);
+        self.objective_tick.encode(w);
+        w.put_f64(self.objective);
+        self.action_tick.encode(w);
+        w.put_usize(self.action);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        Ok(TickSlot {
+            tick: Option::<Tick>::decode(r)?,
+            data: Vec::<f64>::decode(r)?,
+            present: Vec::<bool>::decode(r)?,
+            objective_tick: Option::<Tick>::decode(r)?,
+            objective: r.get_f64()?,
+            action_tick: Option::<Tick>::decode(r)?,
+            action: r.get_usize()?,
+        })
+    }
+}
+
+impl capes_persist::Persist for ReplayDb {
+    const MIN_SIZE: usize = ReplayConfig::MIN_SIZE;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        self.config.encode(w);
+        self.slots.encode(w);
+        self.earliest.encode(w);
+        self.latest.encode(w);
+        w.put_usize(self.occupied_ticks);
+        w.put_usize(self.snapshot_rows);
+        self.node_latest.encode(w);
+        w.put_usize(self.num_objectives);
+        w.put_usize(self.num_actions);
+        w.put_u64(self.evicted_ticks);
+        w.put_u64(self.total_inserted);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        use capes_persist::PersistError::BadValue;
+        let config = ReplayConfig::decode(r)?;
+        let slots = Vec::<TickSlot>::decode(r)?;
+        let earliest = Option::<Tick>::decode(r)?;
+        let latest = Option::<Tick>::decode(r)?;
+        let occupied_ticks = r.get_usize()?;
+        let snapshot_rows = r.get_usize()?;
+        let node_latest = Vec::<Option<Tick>>::decode(r)?;
+        let num_objectives = r.get_usize()?;
+        let num_actions = r.get_usize()?;
+        let evicted_ticks = r.get_u64()?;
+        let total_inserted = r.get_u64()?;
+        // The ring geometry must agree with the configuration before any
+        // indexing arithmetic trusts it.
+        if slots.len() > config.capacity_ticks {
+            return Err(BadValue {
+                what: "replay ring longer than its configured capacity",
+            });
+        }
+        if node_latest.len() != config.num_nodes {
+            return Err(BadValue {
+                what: "per-node index disagrees with the replay configuration",
+            });
+        }
+        let width = config.num_nodes * config.pis_per_node;
+        for slot in &slots {
+            let shaped = slot.data.len() == width && slot.present.len() == config.num_nodes;
+            let empty = slot.data.is_empty() && slot.present.is_empty();
+            if !(shaped || (empty && slot.tick.is_none())) {
+                return Err(BadValue {
+                    what: "replay slot shape disagrees with the configuration",
+                });
+            }
+        }
+        Ok(ReplayDb {
+            config,
+            slots,
+            earliest,
+            latest,
+            occupied_ticks,
+            snapshot_rows,
+            node_latest,
+            num_objectives,
+            num_actions,
+            evicted_ticks,
+            total_inserted,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

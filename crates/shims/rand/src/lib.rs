@@ -101,6 +101,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing. Restoring it with
+        /// [`StdRng::from_state`] resumes the stream exactly where it left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.state
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        /// The all-zero state is a xoshiro fixed point and is rejected.
+        pub fn from_state(state: [u64; 4]) -> Self {
+            assert!(state != [0, 0, 0, 0], "all-zero xoshiro state");
+            StdRng { state }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let [s0, s1, s2, s3] = self.state;

@@ -476,6 +476,130 @@ impl Cluster {
     }
 }
 
+impl capes_persist::Persist for TickStats {
+    const MIN_SIZE: usize = 8 + 2 * 8 + 8 + 3 * 8; // tick + 2 f64 + Vec len + 3 f64
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_u64(self.tick);
+        w.put_f64(self.aggregate_read_mbps);
+        w.put_f64(self.aggregate_write_mbps);
+        self.per_client_mbps.encode(w);
+        w.put_f64(self.mean_latency_ms);
+        w.put_f64(self.total_queue_depth);
+        w.put_f64(self.offered_mbps);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        Ok(TickStats {
+            tick: r.get_u64()?,
+            aggregate_read_mbps: r.get_f64()?,
+            aggregate_write_mbps: r.get_f64()?,
+            per_client_mbps: Vec::<f64>::decode(r)?,
+            mean_latency_ms: r.get_f64()?,
+            total_queue_depth: r.get_f64()?,
+            offered_mbps: r.get_f64()?,
+        })
+    }
+}
+
+impl capes_persist::Persist for ClientState {
+    const MIN_SIZE: usize = 8 + 3 * 8; // OSC Vec len + 3 f64
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        self.oscs.encode(w);
+        w.put_f64(self.read_mbps);
+        w.put_f64(self.write_mbps);
+        w.put_f64(self.active_threads);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        Ok(ClientState {
+            oscs: Vec::<OscState>::decode(r)?,
+            read_mbps: r.get_f64()?,
+            write_mbps: r.get_f64()?,
+            active_threads: r.get_f64()?,
+        })
+    }
+}
+
+impl capes_persist::Persist for Cluster {
+    const MIN_SIZE: usize = ClusterConfig::MIN_SIZE;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        self.config.encode(w);
+        self.disk.encode(w);
+        self.network.encode(w);
+        self.params.encode(w);
+        self.workload.encode(w);
+        self.clients.encode(w);
+        self.servers.encode(w);
+        w.put_u64(self.tick);
+        self.rng.state().encode(w);
+        w.put_u64(self.epoch_minutes);
+        w.put_f64(self.fragmentation);
+        self.last_stats.encode(w);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        use capes_persist::PersistError::BadValue;
+        let config = ClusterConfig::decode(r)?;
+        let disk = DiskModel::decode(r)?;
+        let network = NetworkModel::decode(r)?;
+        let params = TunableParams::decode(r)?;
+        let workload = Workload::decode(r)?;
+        let clients = Vec::<ClientState>::decode(r)?;
+        let servers = Vec::<ServerState>::decode(r)?;
+        let tick = r.get_u64()?;
+        let rng_state = <[u64; 4]>::decode(r)?;
+        let epoch_minutes = r.get_u64()?;
+        let fragmentation = r.get_f64()?;
+        let last_stats = Option::<TickStats>::decode(r)?;
+        // Geometry must agree with the configuration before any of it is used.
+        if clients.len() != config.num_clients {
+            return Err(BadValue {
+                what: "client count disagrees with the cluster configuration",
+            });
+        }
+        if clients
+            .iter()
+            .any(|c| c.oscs.len() != config.oscs_per_client())
+        {
+            return Err(BadValue {
+                what: "OSC count disagrees with the cluster configuration",
+            });
+        }
+        if servers.len() != config.num_servers {
+            return Err(BadValue {
+                what: "server count disagrees with the cluster configuration",
+            });
+        }
+        if rng_state == [0, 0, 0, 0] {
+            return Err(BadValue {
+                what: "all-zero cluster RNG state",
+            });
+        }
+        if !(0.0..=1.0).contains(&fragmentation) {
+            return Err(BadValue {
+                what: "fragmentation outside [0, 1]",
+            });
+        }
+        Ok(Cluster {
+            config,
+            disk,
+            network,
+            params,
+            workload,
+            clients,
+            servers,
+            tick,
+            rng: StdRng::from_state(rng_state),
+            epoch_minutes,
+            fragmentation,
+            last_stats,
+        })
+    }
+}
+
 /// Allocates shared disk time between reads and writes. Serving `x` MB of a
 /// class whose capacity is `cap` MB/s costs `x / cap` of the one-second tick;
 /// if the two classes together need more than one second, both are scaled
@@ -767,5 +891,49 @@ mod tests {
     fn indicators_before_first_tick_panic() {
         let c = Cluster::new(ClusterConfig::default(), Workload::fileserver(), 1);
         let _ = c.performance_indicators(0);
+    }
+
+    #[test]
+    fn persist_round_trip_resumes_bit_identically() {
+        use capes_persist::{Persist, Reader, Writer};
+
+        let mut original = cluster_with(Workload::fileserver(), TunableParams::defaults(), 77);
+        original.perturb_session(0.3, 45);
+        let _ = original.run(25);
+
+        let mut w = Writer::new();
+        original.encode(&mut w);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        let mut restored = Cluster::decode(&mut r).expect("decode");
+        r.finish().expect("no trailing bytes");
+
+        // The restored cluster must produce the exact same future: noise,
+        // interference and demand all come from the persisted RNG state.
+        for _ in 0..25 {
+            assert_eq!(original.step(), restored.step());
+        }
+        assert_eq!(
+            original.performance_indicators(1),
+            restored.performance_indicators(1)
+        );
+    }
+
+    #[test]
+    fn persist_rejects_geometry_that_disagrees_with_the_config() {
+        use capes_persist::{Persist, Reader, Writer};
+
+        let mut c = cluster_with(Workload::random_rw(0.5), TunableParams::defaults(), 5);
+        let _ = c.step();
+        // Drop a client behind the config's back, then snapshot.
+        c.clients.pop();
+        let mut w = Writer::new();
+        c.encode(&mut w);
+        let bytes = w.into_vec();
+        let err = Cluster::decode(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(
+            format!("{err}").contains("client count"),
+            "unexpected error: {err}"
+        );
     }
 }

@@ -137,6 +137,93 @@ impl ClusterConfig {
     }
 }
 
+impl capes_persist::Persist for PiMode {
+    const MIN_SIZE: usize = 1;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_u8(match self {
+            PiMode::Full => 0,
+            PiMode::Compact => 1,
+        });
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        match r.get_u8()? {
+            0 => Ok(PiMode::Full),
+            1 => Ok(PiMode::Compact),
+            _ => Err(capes_persist::PersistError::BadValue {
+                what: "unknown PI-mode tag",
+            }),
+        }
+    }
+}
+
+impl capes_persist::Persist for ClusterConfig {
+    const MIN_SIZE: usize = 2 * 8 + 12 * 8 + 1;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_usize(self.num_servers);
+        w.put_usize(self.num_clients);
+        w.put_f64(self.stripe_size_mb);
+        w.put_f64(self.disk_seq_read_mbps);
+        w.put_f64(self.disk_seq_write_mbps);
+        w.put_f64(self.disk_seek_ms);
+        w.put_f64(self.network_aggregate_mbps);
+        w.put_f64(self.network_per_client_mbps);
+        w.put_f64(self.network_base_latency_ms);
+        w.put_f64(self.write_cache_mb);
+        w.put_f64(self.server_congestion_knee);
+        w.put_f64(self.network_congestion_knee_mb);
+        w.put_f64(self.noise_level);
+        w.put_f64(self.interference_probability);
+        self.pi_mode.encode(w);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let config = ClusterConfig {
+            num_servers: r.get_usize()?,
+            num_clients: r.get_usize()?,
+            stripe_size_mb: r.get_f64()?,
+            disk_seq_read_mbps: r.get_f64()?,
+            disk_seq_write_mbps: r.get_f64()?,
+            disk_seek_ms: r.get_f64()?,
+            network_aggregate_mbps: r.get_f64()?,
+            network_per_client_mbps: r.get_f64()?,
+            network_base_latency_ms: r.get_f64()?,
+            write_cache_mb: r.get_f64()?,
+            server_congestion_knee: r.get_f64()?,
+            network_congestion_knee_mb: r.get_f64()?,
+            noise_level: r.get_f64()?,
+            interference_probability: r.get_f64()?,
+            pi_mode: PiMode::decode(r)?,
+        };
+        // `validate`'s invariants as typed errors instead of panics.
+        if config.num_servers == 0 || config.num_clients == 0 {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "cluster with zero servers or clients",
+            });
+        }
+        if !(config.stripe_size_mb > 0.0
+            && config.disk_seq_read_mbps > 0.0
+            && config.disk_seq_write_mbps > 0.0
+            && config.network_aggregate_mbps > 0.0
+            && config.network_per_client_mbps > 0.0)
+        {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "cluster bandwidth or stripe size not positive",
+            });
+        }
+        if !((0.0..0.5).contains(&config.noise_level)
+            && (0.0..1.0).contains(&config.interference_probability))
+        {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "cluster noise or interference outside its range",
+            });
+        }
+        Ok(config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

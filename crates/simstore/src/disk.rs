@@ -83,6 +83,35 @@ impl DiskModel {
     }
 }
 
+impl capes_persist::Persist for DiskModel {
+    const MIN_SIZE: usize = 32;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_f64(self.seq_read_mbps);
+        w.put_f64(self.seq_write_mbps);
+        w.put_f64(self.seek_ms);
+        w.put_f64(self.io_size_mb);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let seq_read_mbps = r.get_f64()?;
+        let seq_write_mbps = r.get_f64()?;
+        let seek_ms = r.get_f64()?;
+        let io_size_mb = r.get_f64()?;
+        if !(seq_read_mbps > 0.0 && seq_write_mbps > 0.0 && io_size_mb > 0.0 && seek_ms >= 0.0) {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "disk model constants outside their ranges",
+            });
+        }
+        Ok(DiskModel {
+            seq_read_mbps,
+            seq_write_mbps,
+            seek_ms,
+            io_size_mb,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

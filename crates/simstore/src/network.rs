@@ -67,6 +67,39 @@ impl NetworkModel {
     }
 }
 
+impl capes_persist::Persist for NetworkModel {
+    const MIN_SIZE: usize = 32;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_f64(self.aggregate_mbps);
+        w.put_f64(self.per_client_mbps);
+        w.put_f64(self.base_latency_ms);
+        w.put_f64(self.congestion_knee_mb);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let aggregate_mbps = r.get_f64()?;
+        let per_client_mbps = r.get_f64()?;
+        let base_latency_ms = r.get_f64()?;
+        let congestion_knee_mb = r.get_f64()?;
+        if !(aggregate_mbps > 0.0
+            && per_client_mbps > 0.0
+            && base_latency_ms >= 0.0
+            && congestion_knee_mb > 0.0)
+        {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "network model constants outside their ranges",
+            });
+        }
+        Ok(NetworkModel {
+            aggregate_mbps,
+            per_client_mbps,
+            base_latency_ms,
+            congestion_knee_mb,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -103,6 +103,36 @@ impl OscState {
     }
 }
 
+impl capes_persist::Persist for OscState {
+    const MIN_SIZE: usize = 7 * 8 + 2 * 9; // seven f64s + two EWMAs
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_f64(self.congestion_window);
+        w.put_f64(self.read_throughput);
+        w.put_f64(self.write_throughput);
+        w.put_f64(self.dirty_bytes_mb);
+        w.put_f64(self.max_write_cache_mb);
+        w.put_f64(self.ping_latency_ms);
+        self.ack_ewma.encode(w);
+        self.send_ewma.encode(w);
+        w.put_f64(self.process_time_ratio);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        Ok(OscState {
+            congestion_window: r.get_f64()?,
+            read_throughput: r.get_f64()?,
+            write_throughput: r.get_f64()?,
+            dirty_bytes_mb: r.get_f64()?,
+            max_write_cache_mb: r.get_f64()?,
+            ping_latency_ms: r.get_f64()?,
+            ack_ewma: Ewma::decode(r)?,
+            send_ewma: Ewma::decode(r)?,
+            process_time_ratio: r.get_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -129,6 +129,32 @@ impl Default for TunableParams {
     }
 }
 
+impl capes_persist::Persist for TunableParams {
+    const MIN_SIZE: usize = 16;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_f64(self.congestion_window);
+        w.put_f64(self.io_rate_limit);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        let congestion_window = r.get_f64()?;
+        let io_rate_limit = r.get_f64()?;
+        // Live parameters are always inside their specs (NaN fails `contains`).
+        if !Self::congestion_window_spec().contains(congestion_window)
+            || !Self::io_rate_limit_spec().contains(io_rate_limit)
+        {
+            return Err(capes_persist::PersistError::BadValue {
+                what: "tunable parameter outside its valid range",
+            });
+        }
+        Ok(TunableParams {
+            congestion_window,
+            io_rate_limit,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -71,6 +71,30 @@ impl Default for ServerState {
     }
 }
 
+impl capes_persist::Persist for ServerState {
+    const MIN_SIZE: usize = 40;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        w.put_f64(self.queue_depth);
+        w.put_f64(self.process_time_ms);
+        // `min_process_time_ms` is +∞ on a freshly-booted server — the binary
+        // f64 encoding carries it exactly (JSON could not).
+        w.put_f64(self.min_process_time_ms);
+        w.put_f64(self.read_served_mb);
+        w.put_f64(self.write_served_mb);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        Ok(ServerState {
+            queue_depth: r.get_f64()?,
+            process_time_ms: r.get_f64()?,
+            min_process_time_ms: r.get_f64()?,
+            read_served_mb: r.get_f64()?,
+            write_served_mb: r.get_f64()?,
+        })
+    }
+}
+
 /// Efficiency multiplier for **writes** when `queue_depth` exceeds the
 /// congestion knee. At or below the knee the server is fully efficient.
 pub fn write_congestion_efficiency(queue_depth: f64, knee: f64) -> f64 {

@@ -186,6 +186,73 @@ impl Workload {
     }
 }
 
+impl capes_persist::Persist for WorkloadKind {
+    const MIN_SIZE: usize = 9; // tag + smallest payload
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        match self {
+            WorkloadKind::RandomReadWrite {
+                read_fraction,
+                threads_per_client,
+            } => {
+                w.put_u8(0);
+                w.put_f64(*read_fraction);
+                w.put_usize(*threads_per_client);
+            }
+            WorkloadKind::FileServer {
+                instances_per_client,
+            } => {
+                w.put_u8(1);
+                w.put_usize(*instances_per_client);
+            }
+            WorkloadKind::SequentialWrite { streams_per_client } => {
+                w.put_u8(2);
+                w.put_usize(*streams_per_client);
+            }
+        }
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        match r.get_u8()? {
+            0 => {
+                let read_fraction = r.get_f64()?;
+                if !(0.0..=1.0).contains(&read_fraction) {
+                    return Err(capes_persist::PersistError::BadValue {
+                        what: "workload read fraction outside [0, 1]",
+                    });
+                }
+                Ok(WorkloadKind::RandomReadWrite {
+                    read_fraction,
+                    threads_per_client: r.get_usize()?,
+                })
+            }
+            1 => Ok(WorkloadKind::FileServer {
+                instances_per_client: r.get_usize()?,
+            }),
+            2 => Ok(WorkloadKind::SequentialWrite {
+                streams_per_client: r.get_usize()?,
+            }),
+            _ => Err(capes_persist::PersistError::BadValue {
+                what: "unknown workload tag",
+            }),
+        }
+    }
+}
+
+impl capes_persist::Persist for Workload {
+    const MIN_SIZE: usize = WorkloadKind::MIN_SIZE;
+
+    fn encode(&self, w: &mut capes_persist::Writer) {
+        // Burstiness is a pure function of the kind (`from_kind`), so the
+        // kind alone reconstructs the generator exactly.
+        self.kind.encode(w);
+    }
+
+    fn decode(r: &mut capes_persist::Reader<'_>) -> Result<Self, capes_persist::PersistError> {
+        Ok(Workload::from_kind(WorkloadKind::decode(r)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

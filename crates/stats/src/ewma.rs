@@ -5,6 +5,7 @@
 //! the ASCAR congestion-control work). This small utility implements the
 //! filter used by the monitoring layer of the simulator.
 
+use capes_persist::{Persist, PersistError, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 /// An exponentially weighted moving average filter.
@@ -54,6 +55,28 @@ impl Ewma {
     /// The smoothing factor.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+}
+
+impl Persist for Ewma {
+    const MIN_SIZE: usize = 9; // alpha + Option tag
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(self.alpha);
+        self.value.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let alpha = r.get_f64()?;
+        // Enforce the constructor's invariant so a corrupt snapshot cannot
+        // smuggle in a filter `Ewma::new` would have rejected.
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(PersistError::BadValue {
+                what: "EWMA alpha outside (0, 1]",
+            });
+        }
+        let value = Option::<f64>::decode(r)?;
+        Ok(Ewma { alpha, value })
     }
 }
 

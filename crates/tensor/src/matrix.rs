@@ -1,5 +1,6 @@
 //! Row-major dense matrix of `f64`.
 
+use capes_persist::{Persist, PersistError, Reader, Writer};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -275,6 +276,40 @@ impl Matrix {
                 .iter()
                 .zip(other.data.iter())
                 .all(|(&a, &b)| crate::approx_eq(a, b, tol))
+    }
+}
+
+impl Persist for Matrix {
+    // rows + cols + element count.
+    const MIN_SIZE: usize = 24;
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.rows);
+        w.put_usize(self.cols);
+        self.data.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let rows = r.get_usize()?;
+        let cols = r.get_usize()?;
+        if rows == 0 || cols == 0 {
+            return Err(PersistError::BadValue {
+                what: "matrix dimension is zero",
+            });
+        }
+        // rows · cols must not overflow and must agree with the stored
+        // element count — checked before `Vec<f64>::decode` sizes its
+        // allocation against the remaining bytes.
+        let expected = rows.checked_mul(cols).ok_or(PersistError::BadValue {
+            what: "matrix dimensions overflow",
+        })?;
+        let data = Vec::<f64>::decode(r)?;
+        if data.len() != expected {
+            return Err(PersistError::BadValue {
+                what: "matrix data length disagrees with its dimensions",
+            });
+        }
+        Ok(Matrix { rows, cols, data })
     }
 }
 

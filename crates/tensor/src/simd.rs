@@ -309,6 +309,114 @@ pub fn adam_update(
     adam_update_with(active_level(), params, grads, m, v, step);
 }
 
+/// Element-wise `tanh` forward pass at an explicit [`SimdLevel`]:
+/// `dst[i] = tanh(src[i])`.
+///
+/// Both arms evaluate the same two-branch rational/exp approximation
+/// ([`tanh_value`]) with identical, individually-rounded operation sequences
+/// (no FMA), so the levels are **bit-identical** — toggling `CAPES_SIMD`
+/// never perturbs a forward pass. Accuracy against the libm `tanh` is a few
+/// ulp (property-tested at 1e-14 relative).
+///
+/// # Panics
+/// Panics if `src` and `dst` disagree in length.
+pub fn tanh_forward_with(level: SimdLevel, src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "tanh_forward: length mismatch");
+    match level {
+        // Safety: the guard re-confirms the CPU; lengths were asserted.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
+            avx2::tanh_forward(src, dst)
+        },
+        _ => tanh_forward_scalar(src, dst),
+    }
+}
+
+/// Auto-dispatching [`tanh_forward_with`] at [`active_level`] — what the
+/// `capes-nn` Tanh activation calls.
+pub fn tanh_forward(src: &[f64], dst: &mut [f64]) {
+    tanh_forward_with(active_level(), src, dst);
+}
+
+/// Element-wise `tanh` backward pass at an explicit [`SimdLevel`]:
+/// `grads[i] *= 1 − output[i]²` (the derivative expressed in terms of the
+/// forward output). Bit-identical across levels like [`tanh_forward_with`].
+///
+/// # Panics
+/// Panics if `output` and `grads` disagree in length.
+pub fn tanh_backward_with(level: SimdLevel, output: &[f64], grads: &mut [f64]) {
+    assert_eq!(output.len(), grads.len(), "tanh_backward: length mismatch");
+    match level {
+        // Safety: the guard re-confirms the CPU; lengths were asserted.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
+            avx2::tanh_backward(output, grads)
+        },
+        _ => tanh_backward_scalar(output, grads),
+    }
+}
+
+/// Auto-dispatching [`tanh_backward_with`] at [`active_level`].
+pub fn tanh_backward(output: &[f64], grads: &mut [f64]) {
+    tanh_backward_with(active_level(), output, grads);
+}
+
+/// Fused Bellman-target kernel at an explicit [`SimdLevel`]:
+///
+/// ```text
+/// out[i] = rewards[i] + discount · max_j next_q[i · cols + j]
+/// ```
+///
+/// The row maximum uses the strict `v > m` update of the scalar reference
+/// (first element wins ties; a `NaN` never displaces the running maximum,
+/// and a leading `NaN` poisons the row), and the vector arm mirrors it with
+/// an ordered greater-than compare plus blend — so the levels are
+/// **bit-identical**, no FMA anywhere.
+///
+/// # Panics
+/// Panics if `cols` is zero, `next_q` is not `rewards.len() · cols` long, or
+/// `out` disagrees with `rewards` in length.
+pub fn bellman_targets_with(
+    level: SimdLevel,
+    rewards: &[f64],
+    next_q: &[f64],
+    cols: usize,
+    discount: f64,
+    out: &mut [f64],
+) {
+    assert!(cols > 0, "bellman_targets: cols must be nonzero");
+    assert_eq!(
+        next_q.len(),
+        rewards.len() * cols,
+        "bellman_targets: next_q shape mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        rewards.len(),
+        "bellman_targets: out length mismatch"
+    );
+    match level {
+        // Safety: the guard re-confirms the CPU; shapes were asserted.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
+            avx2::bellman_targets(rewards, next_q, cols, discount, out)
+        },
+        _ => bellman_targets_scalar(rewards, next_q, cols, discount, out),
+    }
+}
+
+/// Auto-dispatching [`bellman_targets_with`] at [`active_level`] — what the
+/// `capes-drl` trainer calls.
+pub fn bellman_targets(
+    rewards: &[f64],
+    next_q: &[f64],
+    cols: usize,
+    discount: f64,
+    out: &mut [f64],
+) {
+    bellman_targets_with(active_level(), rewards, next_q, cols, discount, out);
+}
+
 // ---------------------------------------------------------------------------
 // Auto-dispatching crate-internal entry points (what `matmul.rs` calls).
 // ---------------------------------------------------------------------------
@@ -463,6 +571,131 @@ fn adam_update_scalar(
         let m_hat = *m_e / s.bias1;
         let v_hat = *v_e / s.bias2;
         *p -= s.learning_rate * m_hat / (v_hat.sqrt() + s.epsilon);
+    }
+}
+
+// --- tanh: shared two-branch approximation ---------------------------------
+//
+// Cephes-style: |x| < 0.625 uses an odd rational x + x·s·P(s)/Q(s) with
+// s = x²; larger |x| goes through 1 − 2/(e^{2|x|} + 1) with a hand-rolled
+// exp (Cody–Waite range reduction + degree-13 Taylor + exponent bit-stuff).
+// Every operation below is individually rounded (no FMA, no libm), and the
+// AVX2 arm executes the exact same sequence 4 lanes at a time — that is what
+// makes the levels bit-identical. |x| ≥ 20 saturates: 2/(e^{40}+1) is below
+// half an ulp of 1.0, so the subtraction rounds to exactly 1.0.
+
+// The Cephes coefficients are quoted at their published precision; the
+// doubled digits document the source even though f64 rounds them.
+#[allow(clippy::excessive_precision)]
+const TANH_P0: f64 = -9.64399179425052238628e-1;
+#[allow(clippy::excessive_precision)]
+const TANH_P1: f64 = -9.92877231001918586564e1;
+#[allow(clippy::excessive_precision)]
+const TANH_P2: f64 = -1.61468768441708447952e3;
+#[allow(clippy::excessive_precision)]
+const TANH_Q0: f64 = 1.12811678491632931402e2;
+#[allow(clippy::excessive_precision)]
+const TANH_Q1: f64 = 2.23548839060100448583e3;
+#[allow(clippy::excessive_precision)]
+const TANH_Q2: f64 = 4.84406305325125486048e3;
+
+/// log₂(e) for the exp range reduction `2|x| = k·ln2 + r`.
+const EXP_LOG2E: f64 = std::f64::consts::LOG2_E;
+/// ln2 split into a 32-bit-exact head and a tail, so `z − k·LN2_HI` is exact
+/// for every k this kernel produces and the reduced `r` keeps full precision.
+const EXP_LN2_HI: f64 = 6.931_457_519_531_25e-1;
+const EXP_LN2_LO: f64 = 1.428_606_820_309_417_2e-6;
+/// 2⁵² — adding it to a small non-negative integer-valued f64 parks that
+/// integer in the low mantissa bits, turning float→int into bit surgery that
+/// the vector arm can replicate without AVX-512 conversions.
+const EXP_SHIFTER: f64 = 4_503_599_627_370_496.0;
+/// Taylor coefficients 1/i! for e^r on r ∈ [−ln2/2, ln2/2]; degree 13 puts
+/// the series truncation error near 4e-18, below the rounding noise.
+const EXP_C: [f64; 14] = [
+    1.0,
+    1.0,
+    1.0 / 2.0,
+    1.0 / 6.0,
+    1.0 / 24.0,
+    1.0 / 120.0,
+    1.0 / 720.0,
+    1.0 / 5040.0,
+    1.0 / 40320.0,
+    1.0 / 362_880.0,
+    1.0 / 3_628_800.0,
+    1.0 / 39_916_800.0,
+    1.0 / 479_001_600.0,
+    1.0 / 6_227_020_800.0,
+];
+
+/// Scalar `tanh(x)` — the reference sequence both arms execute.
+///
+/// `tanh(0) = 0` and `tanh(-0.0) = -0.0` exactly (the rational branch is
+/// odd), `tanh(±∞) = ±1.0` exactly, `NaN` returns unchanged (same bits).
+pub fn tanh_value(x: f64) -> f64 {
+    if x.is_nan() {
+        return x;
+    }
+    let bits = x.to_bits();
+    let sign = bits & 0x8000_0000_0000_0000;
+    let a = f64::from_bits(bits & 0x7FFF_FFFF_FFFF_FFFF);
+    let t = if a < 0.625 {
+        let s = a * a;
+        let p = (TANH_P0 * s + TANH_P1) * s + TANH_P2;
+        let q = ((s + TANH_Q0) * s + TANH_Q1) * s + TANH_Q2;
+        let pq = p / q;
+        a + a * (s * pq)
+    } else {
+        let a = if a > 20.0 { 20.0 } else { a };
+        let z = a + a;
+        let k = (z * EXP_LOG2E + 0.5).floor();
+        let r = (z - k * EXP_LN2_HI) - k * EXP_LN2_LO;
+        let mut e = EXP_C[13];
+        let mut j = 13;
+        while j > 0 {
+            j -= 1;
+            e = e * r + EXP_C[j];
+        }
+        let ik = (k + EXP_SHIFTER).to_bits() & 0x000F_FFFF_FFFF_FFFF;
+        let two_k = f64::from_bits((ik + 1023) << 52);
+        let ez = e * two_k;
+        1.0 - 2.0 / (ez + 1.0)
+    };
+    f64::from_bits(t.to_bits() | sign)
+}
+
+/// Scalar arm of the tanh forward pass.
+fn tanh_forward_scalar(src: &[f64], dst: &mut [f64]) {
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d = tanh_value(x);
+    }
+}
+
+/// Scalar arm of the tanh backward pass: `g *= 1 − y²`.
+fn tanh_backward_scalar(output: &[f64], grads: &mut [f64]) {
+    for (g, &y) in grads.iter_mut().zip(output) {
+        *g *= 1.0 - y * y;
+    }
+}
+
+/// Scalar arm of the Bellman-target kernel — the reference row-max order
+/// (`if v > m`, first element seeds) the vector arm reproduces bit-for-bit.
+fn bellman_targets_scalar(
+    rewards: &[f64],
+    next_q: &[f64],
+    cols: usize,
+    discount: f64,
+    out: &mut [f64],
+) {
+    for (i, (o, &reward)) in out.iter_mut().zip(rewards).enumerate() {
+        let row = &next_q[i * cols..][..cols];
+        let mut m = row[0];
+        for &v in &row[1..] {
+            if v > m {
+                m = v;
+            }
+        }
+        *o = reward + discount * m;
     }
 }
 
@@ -967,6 +1200,182 @@ mod avx2 {
         );
     }
 
+    /// Four-lane `tanh`, executing [`super::tanh_value`]'s exact operation
+    /// sequence: both branches are computed on every lane (no side effects,
+    /// non-selected lanes may produce NaN/∞ and are discarded), the blend
+    /// picks the rational branch where `|x| < 0.625` — the same strict
+    /// compare the scalar `if` uses — the sign bit is OR-ed back, and NaN
+    /// lanes are restored to their original input bits last, mirroring the
+    /// scalar early return. FMA-free throughout.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn tanh_pd(x: __m256d) -> __m256d {
+        let sign_mask = _mm256_set1_pd(-0.0);
+        let sign = _mm256_and_pd(x, sign_mask);
+        let a = _mm256_andnot_pd(sign_mask, x);
+
+        // Rational branch: a + a·(s·(P(s)/Q(s))), s = a².
+        let s = _mm256_mul_pd(a, a);
+        let p = _mm256_add_pd(
+            _mm256_mul_pd(
+                _mm256_add_pd(
+                    _mm256_mul_pd(_mm256_set1_pd(super::TANH_P0), s),
+                    _mm256_set1_pd(super::TANH_P1),
+                ),
+                s,
+            ),
+            _mm256_set1_pd(super::TANH_P2),
+        );
+        let q = _mm256_add_pd(
+            _mm256_mul_pd(
+                _mm256_add_pd(
+                    _mm256_mul_pd(_mm256_add_pd(s, _mm256_set1_pd(super::TANH_Q0)), s),
+                    _mm256_set1_pd(super::TANH_Q1),
+                ),
+                s,
+            ),
+            _mm256_set1_pd(super::TANH_Q2),
+        );
+        let pq = _mm256_div_pd(p, q);
+        let rational = _mm256_add_pd(a, _mm256_mul_pd(a, _mm256_mul_pd(s, pq)));
+
+        // Exp branch: 1 − 2/(e^{2·min(a,20)} + 1). `min_pd(a, 20)` returns 20
+        // for NaN lanes, matching nothing in the scalar arm — those lanes are
+        // overwritten by the final unordered blend.
+        let ac = _mm256_min_pd(a, _mm256_set1_pd(20.0));
+        let z = _mm256_add_pd(ac, ac);
+        let k = _mm256_floor_pd(_mm256_add_pd(
+            _mm256_mul_pd(z, _mm256_set1_pd(super::EXP_LOG2E)),
+            _mm256_set1_pd(0.5),
+        ));
+        let r = _mm256_sub_pd(
+            _mm256_sub_pd(z, _mm256_mul_pd(k, _mm256_set1_pd(super::EXP_LN2_HI))),
+            _mm256_mul_pd(k, _mm256_set1_pd(super::EXP_LN2_LO)),
+        );
+        let mut e = _mm256_set1_pd(super::EXP_C[13]);
+        let mut j = 13;
+        while j > 0 {
+            j -= 1;
+            e = _mm256_add_pd(_mm256_mul_pd(e, r), _mm256_set1_pd(super::EXP_C[j]));
+        }
+        // 2^k by exponent bit-stuffing, lane for lane the scalar bit trick.
+        let ik = _mm256_and_si256(
+            _mm256_castpd_si256(_mm256_add_pd(k, _mm256_set1_pd(super::EXP_SHIFTER))),
+            _mm256_set1_epi64x(0x000F_FFFF_FFFF_FFFF),
+        );
+        let two_k = _mm256_castsi256_pd(_mm256_slli_epi64::<52>(_mm256_add_epi64(
+            ik,
+            _mm256_set1_epi64x(1023),
+        )));
+        let ez = _mm256_mul_pd(e, two_k);
+        let expo = _mm256_sub_pd(
+            _mm256_set1_pd(1.0),
+            _mm256_div_pd(_mm256_set1_pd(2.0), _mm256_add_pd(ez, _mm256_set1_pd(1.0))),
+        );
+
+        let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(a, _mm256_set1_pd(0.625));
+        let t = _mm256_blendv_pd(expo, rational, lt);
+        let signed = _mm256_or_pd(t, sign);
+        let unord = _mm256_cmp_pd::<_CMP_UNORD_Q>(x, x);
+        _mm256_blendv_pd(signed, x, unord)
+    }
+
+    /// AVX2 arm of [`super::tanh_forward_with`]: 4-wide [`tanh_pd`] lanes,
+    /// remainder handed to the scalar arm.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2; slice lengths must match (asserted by the
+    /// caller).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn tanh_forward(src: &[f64], dst: &mut [f64]) {
+        let n = src.len();
+        let lanes = n - n % 4;
+        let s_ptr = src.as_ptr();
+        let d_ptr = dst.as_mut_ptr();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            _mm256_storeu_pd(d_ptr.add(i), tanh_pd(_mm256_loadu_pd(s_ptr.add(i))));
+            i += 4;
+        }
+        super::tanh_forward_scalar(&src[lanes..], &mut dst[lanes..]);
+    }
+
+    /// AVX2 arm of [`super::tanh_backward_with`]: `g *= 1 − y²` with
+    /// individually-rounded mul/sub/mul in the scalar order.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2; slice lengths must match (asserted by the
+    /// caller).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn tanh_backward(output: &[f64], grads: &mut [f64]) {
+        let n = output.len();
+        let lanes = n - n % 4;
+        let one = _mm256_set1_pd(1.0);
+        let y_ptr = output.as_ptr();
+        let g_ptr = grads.as_mut_ptr();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let y = _mm256_loadu_pd(y_ptr.add(i));
+            let g = _mm256_loadu_pd(g_ptr.add(i));
+            let d = _mm256_sub_pd(one, _mm256_mul_pd(y, y));
+            _mm256_storeu_pd(g_ptr.add(i), _mm256_mul_pd(g, d));
+            i += 4;
+        }
+        super::tanh_backward_scalar(&output[lanes..], &mut grads[lanes..]);
+    }
+
+    /// AVX2 arm of [`super::bellman_targets_with`]: four output rows per
+    /// sweep, lanes gathered with strided `set_pd` loads. The running-max
+    /// update is `blendv(m, v, v > m)` with an ordered greater-than — the
+    /// exact truth table of the scalar `if v > m { m = v }` including NaN
+    /// behaviour (a NaN candidate never displaces `m`; a NaN seed sticks).
+    /// The final `r + γ·m` is mul-then-add, no FMA. Remainder rows fall to
+    /// the scalar arm on subslices.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2; shapes must satisfy the caller's asserts.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn bellman_targets(
+        rewards: &[f64],
+        next_q: &[f64],
+        cols: usize,
+        discount: f64,
+        out: &mut [f64],
+    ) {
+        let rows = rewards.len();
+        let quads = rows - rows % 4;
+        let gamma = _mm256_set1_pd(discount);
+        let q_ptr = next_q.as_ptr();
+        let r_ptr = rewards.as_ptr();
+        let o_ptr = out.as_mut_ptr();
+        let mut i = 0usize;
+        while i + 4 <= rows {
+            let r0 = q_ptr.add(i * cols);
+            let r1 = q_ptr.add((i + 1) * cols);
+            let r2 = q_ptr.add((i + 2) * cols);
+            let r3 = q_ptr.add((i + 3) * cols);
+            let mut m = _mm256_set_pd(*r3, *r2, *r1, *r0);
+            for j in 1..cols {
+                let v = _mm256_set_pd(*r3.add(j), *r2.add(j), *r1.add(j), *r0.add(j));
+                let gt = _mm256_cmp_pd::<_CMP_GT_OQ>(v, m);
+                m = _mm256_blendv_pd(m, v, gt);
+            }
+            let reward = _mm256_loadu_pd(r_ptr.add(i));
+            _mm256_storeu_pd(o_ptr.add(i), _mm256_add_pd(reward, _mm256_mul_pd(gamma, m)));
+            i += 4;
+        }
+        super::bellman_targets_scalar(
+            &rewards[quads..],
+            &next_q[quads * cols..],
+            cols,
+            discount,
+            &mut out[quads..],
+        );
+    }
+
     /// Eight simultaneous segment dots: a-rows `a0`/`a1` against four
     /// consecutive b-rows (`b0` plus `b_stride` apart), each pair sharing its
     /// operand loads. Accumulates the horizontal sums into
@@ -1203,5 +1612,146 @@ mod tests {
             2,
             2,
         );
+    }
+
+    /// Every level this host can run (mirrors the integration suite).
+    fn runnable_levels() -> Vec<SimdLevel> {
+        let mut levels = vec![SimdLevel::Scalar];
+        if detected_level() == SimdLevel::Avx2Fma {
+            levels.push(SimdLevel::Avx2Fma);
+        }
+        levels
+    }
+
+    #[test]
+    fn tanh_value_matches_libm_closely() {
+        // Dense sweep across both branches plus the hand-picked edges.
+        let mut xs: Vec<f64> = (-4000..=4000).map(|i| i as f64 * 0.01).collect();
+        xs.extend_from_slice(&[
+            0.624999999,
+            0.625,
+            0.625000001,
+            1e-300,
+            -1e-300,
+            19.999,
+            20.0,
+            20.001,
+            700.0,
+            1e308,
+        ]);
+        for &x in &xs {
+            let got = tanh_value(x);
+            let want = x.tanh();
+            let tol = 1e-14 * want.abs().max(1e-300);
+            assert!(
+                (got - want).abs() <= tol,
+                "tanh({x}) = {got}, libm says {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn tanh_value_edge_cases_are_exact() {
+        assert_eq!(tanh_value(0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(tanh_value(-0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(tanh_value(f64::INFINITY), 1.0);
+        assert_eq!(tanh_value(f64::NEG_INFINITY), -1.0);
+        assert_eq!(tanh_value(25.0), 1.0);
+        assert_eq!(tanh_value(-25.0), -1.0);
+        assert!(tanh_value(f64::NAN).is_nan());
+        // Oddness is exact: both branches flip only the sign bit.
+        for x in [0.1, 0.625, 3.0, 15.0] {
+            assert_eq!(tanh_value(-x).to_bits(), (-tanh_value(x)).to_bits());
+        }
+        // Tiny inputs stay monotone through the rational branch (no
+        // catastrophic cancellation): tanh(x) ≈ x.
+        assert_eq!(tanh_value(1e-300), 1e-300);
+    }
+
+    #[test]
+    fn tanh_forward_is_bit_identical_across_levels() {
+        let src: Vec<f64> = (0..257)
+            .map(|i| (i as f64 - 128.0) * 0.17)
+            .chain([f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 0.625])
+            .collect();
+        let mut reference = vec![0.0; src.len()];
+        tanh_forward_with(SimdLevel::Scalar, &src, &mut reference);
+        for (&x, &y) in src.iter().zip(&reference) {
+            assert_eq!(y.to_bits(), tanh_value(x).to_bits());
+        }
+        for level in runnable_levels() {
+            let mut dst = vec![f64::NAN; src.len()];
+            tanh_forward_with(level, &src, &mut dst);
+            for (i, (got, want)) in dst.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{level} diverged at {i} (x = {})",
+                    src[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tanh_backward_is_bit_identical_across_levels() {
+        let output: Vec<f64> = (0..101).map(|i| (i as f64 - 50.0) * 0.019).collect();
+        let grads0: Vec<f64> = (0..101).map(|i| (i as f64) * 0.3 - 11.0).collect();
+        let mut reference = grads0.clone();
+        tanh_backward_with(SimdLevel::Scalar, &output, &mut reference);
+        for level in runnable_levels() {
+            let mut grads = grads0.clone();
+            tanh_backward_with(level, &output, &mut grads);
+            for (got, want) in grads.iter().zip(&reference) {
+                assert_eq!(got.to_bits(), want.to_bits(), "{level} backward diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn bellman_targets_takes_the_row_max() {
+        // 3 rows × 4 cols with the max in a different column each row.
+        let next_q = [
+            9.0, 1.0, 2.0, 3.0, //
+            1.0, 2.0, 8.0, 3.0, //
+            1.0, 2.0, 3.0, 7.0,
+        ];
+        let rewards = [10.0, 20.0, 30.0];
+        for level in runnable_levels() {
+            let mut out = [f64::NAN; 3];
+            bellman_targets_with(level, &rewards, &next_q, 4, 0.5, &mut out);
+            assert_eq!(out, [10.0 + 0.5 * 9.0, 20.0 + 0.5 * 8.0, 30.0 + 0.5 * 7.0]);
+        }
+    }
+
+    #[test]
+    fn bellman_nan_semantics_match_the_scalar_if() {
+        // A NaN candidate never displaces the running max; a NaN seed sticks.
+        let next_q = [
+            1.0,
+            f64::NAN,
+            2.0, //
+            f64::NAN,
+            5.0,
+            6.0,
+        ];
+        let rewards = [0.0, 0.0];
+        let mut reference = [0.0; 2];
+        bellman_targets_with(SimdLevel::Scalar, &rewards, &next_q, 3, 1.0, &mut reference);
+        assert_eq!(reference[0], 2.0);
+        assert!(reference[1].is_nan());
+        for level in runnable_levels() {
+            let mut out = [0.0; 2];
+            bellman_targets_with(level, &rewards, &next_q, 3, 1.0, &mut out);
+            assert_eq!(out[0].to_bits(), reference[0].to_bits(), "{level}");
+            assert_eq!(out[1].to_bits(), reference[1].to_bits(), "{level}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bellman_targets: next_q shape mismatch")]
+    fn bellman_rejects_bad_shapes_before_any_unsafe_code() {
+        let mut out = [0.0; 2];
+        bellman_targets_with(SimdLevel::Scalar, &[0.0; 2], &[0.0; 5], 3, 0.9, &mut out);
     }
 }

@@ -22,8 +22,9 @@
 //! in-process on every host.
 
 use capes_tensor::simd::{
-    self, active_level, adam_update_with, detected_level, gemm_rows_with, gemm_ta_rows_with,
-    gemm_tb_rows_with, AdamStep, SimdLevel,
+    self, active_level, adam_update_with, bellman_targets_with, detected_level, gemm_rows_with,
+    gemm_ta_rows_with, gemm_tb_rows_with, tanh_backward_with, tanh_forward_with, tanh_value,
+    AdamStep, SimdLevel,
 };
 use capes_tensor::WorkerPool;
 use proptest::prelude::*;
@@ -236,6 +237,110 @@ proptest! {
             prop_assert!(bits_equal(&p, &p_ref), "{level} len={len} t={t}: params diverged");
             prop_assert!(bits_equal(&m, &m_ref), "{level} len={len} t={t}: m diverged");
             prop_assert!(bits_equal(&v, &v_ref), "{level} len={len} t={t}: v diverged");
+        }
+    }
+
+    /// The tanh forward kernel at every runnable level is **bit-identical**
+    /// to the scalar [`tanh_value`] sequence (FMA-free like Adam), on lengths
+    /// crossing the 4-lane boundary in every residue class, at unaligned
+    /// offsets, with inputs spanning both approximation branches, the
+    /// saturation clamp and non-finite values — and it tracks the libm
+    /// `tanh` within 1e-14 relative.
+    #[test]
+    fn tanh_forward_is_bit_identical_at_every_level(
+        len in 1usize..130,
+        (off_src, off_dst) in (0usize..3, 0usize..3),
+        poisons in prop::collection::vec((0usize..130, 0usize..4), 3),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Span both branches (|x| ≷ 0.625) and the |x| ≥ 20 saturation.
+        let mut src: Vec<f64> = (0..len + off_src)
+            .map(|_| rng.gen_range(-25.0..25.0))
+            .collect();
+        for &(pos, kind) in &poisons {
+            src[off_src + pos % len] = match kind {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => -0.0,
+            };
+        }
+        let reference: Vec<f64> = src[off_src..].iter().map(|&x| tanh_value(x)).collect();
+        for (&x, &y) in src[off_src..].iter().zip(&reference) {
+            let want = x.tanh();
+            if want.is_nan() {
+                prop_assert!(y.is_nan());
+            } else {
+                prop_assert!(
+                    (y - want).abs() <= 1e-14 * want.abs().max(1e-300),
+                    "tanh({x}) = {y}, libm says {want}"
+                );
+            }
+        }
+        for level in runnable_levels() {
+            let mut dst = vec![f64::NAN; len + off_dst];
+            tanh_forward_with(level, &src[off_src..], &mut dst[off_dst..]);
+            prop_assert!(bits_equal(&dst[off_dst..], &reference), "{level} len={len} diverged");
+        }
+    }
+
+    /// The tanh backward kernel (`g *= 1 − y²`) at every runnable level is
+    /// bit-identical to an independently-written scalar loop.
+    #[test]
+    fn tanh_backward_is_bit_identical_at_every_level(
+        len in 1usize..130,
+        off in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let output: Vec<f64> = (0..len + off).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let grads0 = random_vec(&mut rng, len + off);
+        let mut reference = grads0[off..].to_vec();
+        for (g, &y) in reference.iter_mut().zip(&output[off..]) {
+            *g *= 1.0 - y * y;
+        }
+        for level in runnable_levels() {
+            let mut grads = grads0.clone();
+            tanh_backward_with(level, &output[off..], &mut grads[off..]);
+            prop_assert!(bits_equal(&grads[off..], &reference), "{level} len={len} diverged");
+        }
+    }
+
+    /// The fused Bellman-target kernel at every runnable level is
+    /// bit-identical to an independently-written reference of the scalar
+    /// recurrence (`if v > m` row max, then `r + γ·m`), across row counts in
+    /// every 4-lane residue class, ragged column counts, and NaN poison in
+    /// the Q matrix (a NaN candidate must never displace the running max; a
+    /// NaN row seed must poison that row's target).
+    #[test]
+    fn bellman_targets_is_bit_identical_at_every_level(
+        (rows, cols) in (1usize..30, 1usize..12),
+        discount in 0.0f64..1.0,
+        poisons in prop::collection::vec(0usize..360, 2),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rewards = random_vec(&mut rng, rows);
+        let mut next_q = random_vec(&mut rng, rows * cols);
+        for &pos in &poisons {
+            next_q[pos % (rows * cols)] = f64::NAN;
+        }
+        let mut reference = vec![0.0; rows];
+        for i in 0..rows {
+            let row = &next_q[i * cols..(i + 1) * cols];
+            let mut m = row[0];
+            for &v in &row[1..] {
+                if v > m {
+                    m = v;
+                }
+            }
+            reference[i] = rewards[i] + discount * m;
+        }
+        for level in runnable_levels() {
+            let mut out = vec![0.0; rows];
+            bellman_targets_with(level, &rewards, &next_q, cols, discount, &mut out);
+            prop_assert!(bits_equal(&out, &reference), "{level} {rows}x{cols} diverged");
         }
     }
 
