@@ -1,0 +1,142 @@
+//! Criterion benchmark for the telemetry hot path: the raw cost of one
+//! histogram/counter/gauge record and one `span!` round-trip (the price every
+//! instrumented call site pays), plus the end-to-end overhead the spans add
+//! to the Table 2 training step — instrumented vs `set_recording(false)` on
+//! the same agent. Medians are recorded in `BENCH_telemetry.json` at the
+//! repo root; the acceptance gate is instrumented/uninstrumented ≤ 1.03 on
+//! the table2_600 shape.
+
+use capes_drl::{DqnAgent, DqnAgentConfig};
+use capes_replay::{ReplayConfig, SharedReplayDb};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn filled_db(observation_size: usize, ticks: u64) -> SharedReplayDb {
+    let mut rng = StdRng::seed_from_u64(7);
+    let db = SharedReplayDb::new(ReplayConfig {
+        num_nodes: 1,
+        pis_per_node: observation_size,
+        ticks_per_observation: 1,
+        missing_entry_tolerance: 0.2,
+        capacity_ticks: ticks as usize + 10,
+    });
+    for t in 0..ticks {
+        let pis: Vec<f64> = (0..observation_size)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        db.insert_snapshot(t, 0, pis);
+        db.insert_objective(t, rng.gen_range(0.5..1.5));
+        db.insert_action(t, rng.gen_range(0..5));
+    }
+    db
+}
+
+/// The primitives every instrumented call site is built from, measured on
+/// pre-interned handles (interning is a one-time cost per name; the hot path
+/// never touches the registry map).
+fn bench_record_path(c: &mut Criterion) {
+    let registry = capes_telemetry::global();
+    let hist = registry.histogram("bench.telemetry.hist");
+    let counter = registry.counter("bench.telemetry.count");
+    let gauge = registry.gauge("bench.telemetry.gauge");
+
+    let mut group = c.benchmark_group("telemetry");
+    group.bench_function("histogram_record", |bench| {
+        let mut v = 0u64;
+        bench.iter(|| {
+            v = v.wrapping_add(997);
+            hist.record(black_box(v));
+        })
+    });
+    group.bench_function("counter_inc", |bench| bench.iter(|| counter.inc()));
+    group.bench_function("gauge_set", |bench| {
+        let mut v = 0.0f64;
+        bench.iter(|| {
+            v += 1.0;
+            gauge.set(black_box(v));
+        })
+    });
+    // One full span round-trip: clock read on entry, clock read + histogram
+    // record (+ journal push under CAPES_TRACE=on) on drop.
+    capes_telemetry::set_recording(true);
+    group.bench_function("span_round_trip", |bench| {
+        bench.iter(|| {
+            let _span = capes_telemetry::span!("bench.telemetry.span");
+        })
+    });
+    // The same site with recording off: one relaxed load, no clock reads.
+    capes_telemetry::set_recording(false);
+    group.bench_function("span_disabled", |bench| {
+        bench.iter(|| {
+            let _span = capes_telemetry::span!("bench.telemetry.span");
+        })
+    });
+    capes_telemetry::set_recording(true);
+    group.finish();
+}
+
+/// The Table 2 training step with its spans live vs muted — the overhead the
+/// whole instrumentation effort must keep under 3%. Both arms run the same
+/// warmed agent; only the global recording switch differs.
+fn bench_instrumented_train_step(c: &mut Criterion) {
+    let obs = 600usize;
+    let db = filled_db(obs, 500);
+    let mut agent = DqnAgent::new(DqnAgentConfig::paper_default(obs, 2), 1);
+    for _ in 0..3 {
+        agent.train_from_db(&db).unwrap();
+    }
+
+    let mut group = c.benchmark_group("train_step_overhead_600");
+    group.sample_size(10);
+    capes_telemetry::set_recording(false);
+    group.bench_function("uninstrumented", |bench| {
+        bench.iter(|| black_box(agent.train_from_db(&db).unwrap()))
+    });
+    capes_telemetry::set_recording(true);
+    group.bench_function("instrumented", |bench| {
+        bench.iter(|| black_box(agent.train_from_db(&db).unwrap()))
+    });
+    group.finish();
+
+    // Acceptance gate (full runs only; the smoke pass does one iteration per
+    // bench, far too noisy to compare). Best-of-trials on both arms filters
+    // scheduler noise out of a millisecond-scale measurement.
+    let quick = std::env::var("CRITERION_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--test");
+    if !quick {
+        const TRIALS: usize = 5;
+        const STEPS: u32 = 20;
+        let mut best = [f64::INFINITY; 2];
+        for _ in 0..TRIALS {
+            for (arm, recording) in [(0usize, false), (1usize, true)] {
+                capes_telemetry::set_recording(recording);
+                let start = Instant::now();
+                for _ in 0..STEPS {
+                    black_box(agent.train_from_db(&db).unwrap());
+                }
+                let per_step = start.elapsed().as_secs_f64() / STEPS as f64;
+                best[arm] = best[arm].min(per_step);
+            }
+        }
+        capes_telemetry::set_recording(true);
+        let ratio = best[1] / best[0];
+        println!(
+            "train_step_overhead_600: uninstrumented {:.3} ms, instrumented {:.3} ms, \
+             ratio {ratio:.4}",
+            best[0] * 1e3,
+            best[1] * 1e3,
+        );
+        assert!(
+            ratio <= 1.03,
+            "instrumented train step exceeds the 3% overhead budget (ratio {ratio:.4})"
+        );
+    }
+}
+
+criterion_group!(benches, bench_record_path, bench_instrumented_train_step);
+criterion_main!(benches);

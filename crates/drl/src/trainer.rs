@@ -312,6 +312,9 @@ impl Trainer {
     /// fully allocation-free path: after the first call sized for this batch
     /// shape, no heap allocation occurs anywhere in the step.
     pub fn train_step_batch(&mut self, batch: &ReplayBatch) -> TrainReport {
+        // Covers the whole step: both forward passes, Bellman targets,
+        // backprop, Adam and the soft target update.
+        let _span = capes_telemetry::span!("drl.train_step");
         assert_eq!(
             batch.observation_size(),
             self.online.observation_size(),

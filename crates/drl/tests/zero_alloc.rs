@@ -84,6 +84,14 @@ fn steady_state_train_step_performs_zero_heap_allocations() {
             .expect("db has enough data to train");
     }
 
+    // The steady-state window below runs fully instrumented: `span!` sites
+    // (drl.train_step, arena.sample, gemm.*) record into interned global
+    // histograms on every step, and the assertion on the span count proves
+    // the instrumentation was live inside the allocation-free region.
+    assert!(capes_telemetry::recording(), "telemetry must be on");
+    let train_span = capes_telemetry::global().histogram("drl.train_step");
+    let span_count_before = train_span.count();
+
     let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
     let deallocs_before = DEALLOCATIONS.load(Ordering::SeqCst);
 
@@ -101,6 +109,11 @@ fn steady_state_train_step_performs_zero_heap_allocations() {
     let deallocs = DEALLOCATIONS.load(Ordering::SeqCst) - deallocs_before;
 
     assert_eq!(last_step, 3 + STEPS, "all steps must have trained");
+    assert_eq!(
+        train_span.count(),
+        span_count_before + STEPS,
+        "every measured step must have recorded its drl.train_step span"
+    );
     assert_eq!(
         allocs, 0,
         "steady-state train_from_db must not allocate ({allocs} allocations over {STEPS} steps)"
@@ -234,4 +247,42 @@ fn steady_state_train_step_performs_zero_heap_allocations() {
         deallocs, 0,
         "steady-state arena train_scoped must not free ({deallocs} deallocations)"
     );
+
+    // --- Telemetry record path (same binary, same reason) ---
+    //
+    // The training spans above prove instrumentation rides along for free;
+    // this block holds the raw primitives to the same standard: once a
+    // metric is interned (and, under CAPES_TRACE=on, the thread's journal
+    // ring exists), counter/gauge/histogram records and span round-trips
+    // allocate nothing.
+    let registry = capes_telemetry::global();
+    let hist = registry.histogram("zero_alloc.probe.hist");
+    let counter = registry.counter("zero_alloc.probe.count");
+    let gauge = registry.gauge("zero_alloc.probe.gauge");
+    {
+        // Warm-up: interns the span's histogram and, with CAPES_TRACE=on,
+        // allocates this thread's journal ring.
+        let _span = capes_telemetry::span!("zero_alloc.probe.span");
+    }
+
+    let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+    let deallocs_before = DEALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        hist.record(i * 1_000);
+        counter.inc();
+        gauge.set(i as f64);
+        let _span = capes_telemetry::span!("zero_alloc.probe.span");
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - allocs_before;
+    let deallocs = DEALLOCATIONS.load(Ordering::SeqCst) - deallocs_before;
+    assert_eq!(
+        allocs, 0,
+        "telemetry record path must not allocate ({allocs} allocations)"
+    );
+    assert_eq!(
+        deallocs, 0,
+        "telemetry record path must not free ({deallocs} deallocations)"
+    );
+    assert_eq!(counter.get(), 10_000);
+    assert_eq!(hist.count(), 10_000);
 }

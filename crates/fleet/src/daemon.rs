@@ -51,7 +51,9 @@ use capes_agents::{ActionMessage, Message};
 use capes_drl::{ActionDecision, DqnAgent};
 use capes_persist::{Persist, PersistError, RecordLogWriter};
 use capes_replay::ReplayArena;
+use capes_telemetry::{Counter, Gauge, Histogram};
 use capes_tensor::Matrix;
+use std::collections::VecDeque;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -301,6 +303,14 @@ impl FleetBuilder {
         }
         let num_clusters = sessions.len();
         let num_profiles = profiles.len();
+        // Observability wiring: checkpoint fsync timings flow into the
+        // registry through capes-persist's observer hook, and the daemon's
+        // durability counters are scraped under the `persist.*` names.
+        capes_persist::set_fsync_observer(fsync_observer);
+        let persist = PersistCounters::new();
+        persist.publish(capes_telemetry::global());
+        let names: Vec<&str> = sessions.iter().map(|s| s.name.as_str()).collect();
+        let telemetry = FleetTelemetry::new(&names);
         Ok(FleetDaemon {
             hyperparams: self.hyperparams,
             transport: self.transport,
@@ -316,7 +326,8 @@ impl FleetBuilder {
             tick: 0,
             train_cursor: 0,
             cluster_ticks: 0,
-            persist: PersistReport::default(),
+            persist,
+            telemetry,
             auto_checkpoint: None,
             recorder: None,
             #[cfg(feature = "net")]
@@ -355,6 +366,141 @@ struct Profile {
     stripe_members: Vec<usize>,
 }
 
+/// Fleet ticks the windowed-throughput gauge averages over.
+const TICK_WINDOW: usize = 32;
+
+/// The daemon's handles into the global metrics registry: tick-phase
+/// histograms, the per-cluster objective gauges, the windowed throughput
+/// gauge, and the fleet-wide aggregates of the member daemons' ingest
+/// rejection counters. Handles are interned once at build time, so recording
+/// them on the tick path takes no locks and no allocation.
+struct FleetTelemetry {
+    tick_total: Histogram,
+    tick_gather: Histogram,
+    tick_decide: Histogram,
+    tick_scatter: Histogram,
+    tick_train: Histogram,
+    /// `fleet.tick.recent_rate`: cluster-ticks/s over the last
+    /// [`TICK_WINDOW`] fleet ticks — a mid-run stall shows here long before
+    /// it dents the whole-run average.
+    recent_rate: Gauge,
+    /// `fleet.cluster.<name>.objective`, one per cluster in scenario order:
+    /// the objective value (throughput MB/s) of the cluster's latest tick.
+    objectives: Vec<Gauge>,
+    /// Fleet-wide sums of the member daemons' rejection counters, refreshed
+    /// every tick (N member daemons cannot alias one registry name, so the
+    /// fleet stores the aggregate).
+    reports_rejected: Counter,
+    implausible_ticks: Counter,
+    /// Completion instants of the last [`TICK_WINDOW`] fleet ticks.
+    window: VecDeque<Instant>,
+    /// Last computed windowed rate (mirrors the gauge for the report).
+    recent_rate_value: f64,
+}
+
+impl FleetTelemetry {
+    fn new(cluster_names: &[&str]) -> Self {
+        let registry = capes_telemetry::global();
+        FleetTelemetry {
+            tick_total: registry.histogram("fleet.tick.total"),
+            tick_gather: registry.histogram("fleet.tick.gather"),
+            tick_decide: registry.histogram("fleet.tick.decide"),
+            tick_scatter: registry.histogram("fleet.tick.scatter"),
+            tick_train: registry.histogram("fleet.tick.train"),
+            recent_rate: registry.gauge("fleet.tick.recent_rate"),
+            objectives: cluster_names
+                .iter()
+                .map(|name| registry.gauge(&format!("fleet.cluster.{name}.objective")))
+                .collect(),
+            reports_rejected: registry.counter("daemon.reports_rejected"),
+            implausible_ticks: registry.counter("daemon.implausible_ticks"),
+            window: VecDeque::with_capacity(TICK_WINDOW + 1),
+            recent_rate_value: 0.0,
+        }
+    }
+
+    /// Closes out one fleet tick: advances the throughput window and
+    /// refreshes the windowed-rate gauge.
+    fn finish_tick(&mut self, num_clusters: usize) {
+        self.window.push_back(Instant::now());
+        if self.window.len() > TICK_WINDOW {
+            self.window.pop_front();
+        }
+        if self.window.len() >= 2 {
+            let span = self
+                .window
+                .back()
+                .unwrap()
+                .duration_since(*self.window.front().unwrap())
+                .as_secs_f64();
+            if span > 0.0 {
+                let ticks = (self.window.len() - 1) as f64 * num_clusters as f64;
+                self.recent_rate_value = ticks / span;
+                self.recent_rate.set(self.recent_rate_value);
+            }
+        }
+    }
+}
+
+/// Durability counters as registry-published telemetry: the daemon owns the
+/// atomics (exact per-daemon values even with several fleets in one
+/// process), the global registry scrapes the same storage under the
+/// `persist.*` names, and [`PersistCounters::snapshot`] materialises the
+/// [`PersistReport`] the fleet report carries.
+struct PersistCounters {
+    checkpoints_written: Counter,
+    restores: Counter,
+    auto_checkpoints: Counter,
+    auto_checkpoint_failures: Counter,
+    records_appended: Counter,
+    record_failures: Counter,
+}
+
+impl PersistCounters {
+    fn new() -> Self {
+        PersistCounters {
+            checkpoints_written: Counter::new(),
+            restores: Counter::new(),
+            auto_checkpoints: Counter::new(),
+            auto_checkpoint_failures: Counter::new(),
+            records_appended: Counter::new(),
+            record_failures: Counter::new(),
+        }
+    }
+
+    fn publish(&self, registry: &capes_telemetry::Registry) {
+        registry.publish_counter("persist.checkpoints_written", &self.checkpoints_written);
+        registry.publish_counter("persist.restores", &self.restores);
+        registry.publish_counter("persist.auto_checkpoints", &self.auto_checkpoints);
+        registry.publish_counter(
+            "persist.auto_checkpoint_failures",
+            &self.auto_checkpoint_failures,
+        );
+        registry.publish_counter("persist.records_appended", &self.records_appended);
+        registry.publish_counter("persist.record_failures", &self.record_failures);
+    }
+
+    fn snapshot(&self) -> PersistReport {
+        PersistReport {
+            checkpoints_written: self.checkpoints_written.get(),
+            restores: self.restores.get(),
+            auto_checkpoints: self.auto_checkpoints.get(),
+            auto_checkpoint_failures: self.auto_checkpoint_failures.get(),
+            records_appended: self.records_appended.get(),
+            record_failures: self.record_failures.get(),
+        }
+    }
+}
+
+/// Feeds snapshot fsync timings into `persist.checkpoint.fsync`.
+/// `capes-persist` is deliberately dependency-free, so it exposes a plain
+/// `fn(u64)` observer hook; this is the fleet's end of it.
+fn fsync_observer(nanos: u64) {
+    static HIST: std::sync::OnceLock<Histogram> = std::sync::OnceLock::new();
+    HIST.get_or_init(|| capes_telemetry::global().histogram("persist.checkpoint.fsync"))
+        .record(nanos);
+}
+
 /// The multi-cluster tuning service (see the module docs for the tick
 /// pipeline).
 pub struct FleetDaemon {
@@ -379,8 +525,12 @@ pub struct FleetDaemon {
     tick: u64,
     train_cursor: usize,
     cluster_ticks: u64,
-    /// Durability counters (process lifetime; never part of a snapshot).
-    persist: PersistReport,
+    /// Durability counters (process lifetime; never part of a snapshot),
+    /// published into the global registry under `persist.*`.
+    persist: PersistCounters,
+    /// Registry handles for tick-phase latencies, objective gauges and the
+    /// windowed throughput gauge.
+    telemetry: FleetTelemetry,
     /// Automatic checkpointing: every N fleet ticks, snapshot to the path.
     auto_checkpoint: Option<(u64, PathBuf)>,
     /// Wire-traffic recorder tapping the socket ingest path.
@@ -490,7 +640,14 @@ impl FleetDaemon {
     /// Durability counters accumulated over this daemon's lifetime
     /// (checkpoints written, restores, recorded frames).
     pub fn persist_report(&self) -> PersistReport {
-        self.persist
+        self.persist.snapshot()
+    }
+
+    /// The windowed fleet throughput: cluster-ticks/s over the last 32 fleet
+    /// ticks (also published as the `fleet.tick.recent_rate` gauge). Zero
+    /// until two ticks have completed.
+    pub fn recent_cluster_ticks_per_sec(&self) -> f64 {
+        self.telemetry.recent_rate_value
     }
 
     /// Serializes the complete mid-experiment state of the fleet into a
@@ -507,6 +664,9 @@ impl FleetDaemon {
     /// in the payload — a restored fleet's future snapshots stay
     /// byte-identical to the original's.
     pub fn checkpoint(&mut self, path: &Path) -> Result<(), FleetError> {
+        // Covers serialization and the atomic file write; the fsync inside
+        // is timed separately under `persist.checkpoint.fsync`.
+        let _span = capes_telemetry::span!("persist.checkpoint.write");
         let mut w = capes_persist::Writer::new();
         w.put_u8(transport_tag(self.transport));
         w.put_u64(self.tick);
@@ -545,7 +705,7 @@ impl FleetDaemon {
             w.put_bytes(sub.as_slice());
         }
         capes_persist::write_snapshot_file(path, w.as_slice())?;
-        self.persist.checkpoints_written += 1;
+        self.persist.checkpoints_written.inc();
         Ok(())
     }
 
@@ -566,6 +726,7 @@ impl FleetDaemon {
     /// geometry check yet still fails mid-session leaves the daemon
     /// part-restored. Such a daemon must be discarded, not run.
     pub fn restore(&mut self, path: &Path) -> Result<(), FleetError> {
+        let _span = capes_telemetry::span!("persist.restore");
         let payload = capes_persist::read_snapshot_file(path)?;
         let mut r = capes_persist::Reader::new(&payload);
 
@@ -716,7 +877,7 @@ impl FleetDaemon {
         self.tick = tick;
         self.train_cursor = train_cursor;
         self.cluster_ticks = cluster_ticks;
-        self.persist.restores += 1;
+        self.persist.restores.inc();
         Ok(())
     }
 
@@ -798,8 +959,8 @@ impl FleetDaemon {
         if let Some((every, path)) = self.auto_checkpoint.clone() {
             if self.tick.is_multiple_of(every) {
                 match self.checkpoint(&path) {
-                    Ok(()) => self.persist.auto_checkpoints += 1,
-                    Err(_) => self.persist.auto_checkpoint_failures += 1,
+                    Ok(()) => self.persist.auto_checkpoints.inc(),
+                    Err(_) => self.persist.auto_checkpoint_failures.inc(),
                 }
             }
         }
@@ -821,8 +982,11 @@ impl FleetDaemon {
             tick,
             train_cursor,
             cluster_ticks,
+            telemetry,
             ..
         } = self;
+        let recording = capes_telemetry::recording();
+        let tick_started = Instant::now();
 
         // 1. Measurement: every cluster steps, monitors report (in-process,
         //    as wire frames, or over real sockets), observations gather into
@@ -858,14 +1022,14 @@ impl FleetDaemon {
                 //     recorder taps the stream here, before ingest, so a
                 //     replayed log walks the exact same path.
                 let recorder = &mut self.recorder;
-                let persist = &mut self.persist;
+                let persist = &self.persist;
                 let mut record_failed = false;
                 front.drain_tick(|cluster, message| {
                     if let Some(rec) = recorder.as_mut() {
                         match rec.append(*tick, cluster as u32, &encode_message(message)) {
-                            Ok(()) => persist.records_appended += 1,
+                            Ok(()) => persist.records_appended.inc(),
                             Err(_) => {
-                                persist.record_failures += 1;
+                                persist.record_failures.inc();
                                 record_failed = true;
                             }
                         }
@@ -904,9 +1068,15 @@ impl FleetDaemon {
                 }
             }
         }
+        if recording {
+            telemetry
+                .tick_gather
+                .record_duration(tick_started.elapsed());
+        }
 
         if kind != PhaseKind::Baseline {
             // 2. Decision: one batched forward pass per profile.
+            let decide_started = Instant::now();
             let greedy = kind == PhaseKind::Tuned;
             for profile in profiles.iter_mut() {
                 let Profile {
@@ -918,6 +1088,12 @@ impl FleetDaemon {
                 } = profile;
                 agent.decide_batch(batch, has_obs, *tick, greedy, decisions);
             }
+            if recording {
+                telemetry
+                    .tick_decide
+                    .record_duration(decide_started.elapsed());
+            }
+            let scatter_started = Instant::now();
 
             // 3. Scatter: map each decision onto absolute parameter values
             //    and route it through the cluster's daemon + checker +
@@ -1027,8 +1203,14 @@ impl FleetDaemon {
                     unreachable!("socket transport cannot be built without the net feature");
                 }
             }
+            if recording {
+                telemetry
+                    .tick_scatter
+                    .record_duration(scatter_started.elapsed());
+            }
         }
 
+        let train_started = Instant::now();
         // 4. Training: round-robin one cluster per tick into its profile's
         //    shared agent — from the cluster's own arena stripe, or, with
         //    sharing enabled for the profile, from a weighted set of the
@@ -1076,6 +1258,11 @@ impl FleetDaemon {
                 trained = Some((shard, sum / count as f64));
             }
         }
+        if recording {
+            telemetry
+                .tick_train
+                .record_duration(train_started.elapsed());
+        }
 
         // 5. Feedback: finish every cluster's tick.
         for (i, session) in sessions.iter_mut().enumerate() {
@@ -1092,9 +1279,29 @@ impl FleetDaemon {
                     .system
                     .finish_tick(kind, &measurement, action, explored, error);
             session.series.push(system_tick.throughput_mbps);
+            telemetry.objectives[i].set(system_tick.throughput_mbps);
             *cluster_ticks += 1;
         }
         *tick += 1;
+
+        if recording {
+            telemetry.tick_total.record_duration(tick_started.elapsed());
+            telemetry.finish_tick(sessions.len());
+            // Fleet-wide aggregates of the member daemons' ingest health —
+            // a handful of relaxed loads per tick.
+            telemetry.reports_rejected.store(
+                sessions
+                    .iter()
+                    .map(|s| s.system.daemon_stats().reports_rejected)
+                    .sum(),
+            );
+            telemetry.implausible_ticks.store(
+                sessions
+                    .iter()
+                    .map(|s| s.system.daemon_stats().implausible_ticks_rejected)
+                    .sum(),
+            );
+        }
     }
 
     /// Runs a fleet plan to completion: every phase advances all clusters in
@@ -1182,8 +1389,10 @@ impl FleetDaemon {
             } else {
                 0.0
             },
+            recent_cluster_ticks_per_sec: self.telemetry.recent_rate_value,
             net: self.net_report(),
-            persist: self.persist,
+            persist: self.persist.snapshot(),
+            telemetry: capes_telemetry::global().snapshot(),
         }
     }
 

@@ -1,6 +1,7 @@
 //! Fleet plans and reports.
 
 use capes::{ExperimentReport, Phase};
+use capes_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 
 /// How the clusters of one profile share experience through the fleet's
@@ -186,10 +187,21 @@ pub struct FleetReport {
     pub elapsed_seconds: f64,
     /// Fleet throughput: cluster-ticks per wall-clock second.
     pub cluster_ticks_per_sec: f64,
+    /// Windowed fleet throughput: cluster-ticks/s over the last 32 fleet
+    /// ticks at the moment the report was taken. A mid-run stall (a slow
+    /// cluster, a checkpoint spike) dents this long before it moves the
+    /// whole-run average above.
+    pub recent_cluster_ticks_per_sec: f64,
     /// Network front-end health (zeros on in-process transports).
     pub net: NetReport,
     /// Checkpoint/record activity (zeros when durability is unused).
     pub persist: PersistReport,
+    /// Every metric in the global registry at report time (ISSUE 8) —
+    /// tick-phase latency histograms, GEMM/arena/ingest/checkpoint timings,
+    /// per-cluster objective gauges — the same numbers a live `/metrics`
+    /// scrape would show, carried in the report so the in-process and wire
+    /// transports get them too.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl FleetReport {
@@ -220,8 +232,11 @@ impl FleetReport {
             out.push_str(&cluster.report.summary());
         }
         out.push_str(&format!(
-            "fleet: {} cluster-ticks in {:.2}s ({:.0} cluster-ticks/s)\n",
-            self.cluster_ticks, self.elapsed_seconds, self.cluster_ticks_per_sec
+            "fleet: {} cluster-ticks in {:.2}s ({:.0} cluster-ticks/s, {:.0} over the last window)\n",
+            self.cluster_ticks,
+            self.elapsed_seconds,
+            self.cluster_ticks_per_sec,
+            self.recent_cluster_ticks_per_sec
         ));
         let occupied: u64 = self.arena.iter().map(|s| s.occupied_ticks).sum();
         let evicted: u64 = self.arena.iter().map(|s| s.evicted_ticks).sum();
@@ -251,6 +266,16 @@ impl FleetReport {
                 self.persist.restores,
                 self.persist.records_appended
             ));
+        }
+        if let Some(tick) = self.telemetry.histogram("fleet.tick.total") {
+            if tick.count > 0 {
+                out.push_str(&format!(
+                    "telemetry: fleet tick p50 {:.2} ms, p99 {:.2} ms over {} ticks\n",
+                    tick.p50_ns / 1e6,
+                    tick.p99_ns / 1e6,
+                    tick.count
+                ));
+            }
         }
         out
     }
@@ -312,12 +337,16 @@ mod tests {
             cluster_ticks: 10,
             elapsed_seconds: 1.0,
             cluster_ticks_per_sec: 10.0,
+            recent_cluster_ticks_per_sec: 12.5,
             net: net.clone(),
             persist: PersistReport::default(),
+            telemetry: TelemetrySnapshot::default(),
         };
         let back = FleetReport::from_json(&report.to_json()).expect("round trip");
         assert_eq!(back.net, net);
+        assert_eq!(back.recent_cluster_ticks_per_sec, 12.5);
         assert!(report.summary().contains("net: 1024 accepted"));
+        assert!(report.summary().contains("12 over the last window"));
         // The transport tag survives the round trip even when no counter was
         // measured: a wire fleet reports "wire" with zeros, which consumers
         // must not read as "socket fleet saw no traffic".
@@ -351,8 +380,10 @@ mod tests {
             cluster_ticks: 10,
             elapsed_seconds: 1.0,
             cluster_ticks_per_sec: 10.0,
+            recent_cluster_ticks_per_sec: 0.0,
             net: NetReport::default(),
             persist,
+            telemetry: TelemetrySnapshot::default(),
         };
         let back = FleetReport::from_json(&report.to_json()).expect("round trip");
         assert_eq!(back.persist, persist);
@@ -365,6 +396,52 @@ mod tests {
             ..report
         };
         assert!(!quiet.summary().contains("persist:"));
+    }
+
+    #[test]
+    fn telemetry_section_round_trips_and_surfaces_in_summary() {
+        let telemetry = TelemetrySnapshot {
+            counters: vec![capes_telemetry::CounterSnapshot {
+                name: "net.frames_in".into(),
+                value: 460,
+            }],
+            gauges: vec![capes_telemetry::GaugeSnapshot {
+                name: "fleet.tick.recent_rate".into(),
+                value: 88.0,
+            }],
+            histograms: vec![capes_telemetry::HistogramSnapshot {
+                name: "fleet.tick.total".into(),
+                count: 46,
+                mean_ns: 1_500_000.0,
+                p50_ns: 1_400_000.0,
+                p90_ns: 2_000_000.0,
+                p99_ns: 2_500_000.0,
+                max_ns: 3_000_000,
+            }],
+        };
+        let report = FleetReport {
+            clusters: Vec::new(),
+            arena: Vec::new(),
+            cluster_ticks: 10,
+            elapsed_seconds: 1.0,
+            cluster_ticks_per_sec: 10.0,
+            recent_cluster_ticks_per_sec: 9.0,
+            net: NetReport::default(),
+            persist: PersistReport::default(),
+            telemetry: telemetry.clone(),
+        };
+        let back = FleetReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(back.telemetry, telemetry);
+        assert_eq!(back.telemetry.counter("net.frames_in"), Some(460));
+        assert!(report
+            .summary()
+            .contains("telemetry: fleet tick p50 1.40 ms, p99 2.50 ms over 46 ticks"));
+        // An empty registry snapshot stays out of the summary.
+        let quiet = FleetReport {
+            telemetry: TelemetrySnapshot::default(),
+            ..report
+        };
+        assert!(!quiet.summary().contains("telemetry:"));
     }
 
     #[test]

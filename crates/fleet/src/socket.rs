@@ -55,6 +55,10 @@ impl SocketFront {
         let config = NetConfig {
             num_clusters: Some(num_clusters),
             ingress_capacity: (2 * tick_volume).max(1024),
+            // A socket fleet answers Prometheus-style `/metrics` scrapes on
+            // its listening port mid-run (plain GET, the framed clusters are
+            // unaffected).
+            expose_metrics: true,
             ..NetConfig::default()
         };
         let max_frame_len = config.max_frame_len;

@@ -1,0 +1,202 @@
+//! ISSUE 8 integration: every transport's fleet report carries a populated
+//! telemetry section (tick phases, GEMM kernels, arena sampling, daemon
+//! ingest, checkpointing), and a socket fleet answers live `/metrics`
+//! scrapes mid-run without disturbing the members.
+
+use capes::{Hyperparameters, Phase, Transport};
+use capes_fleet::{Fleet, FleetDaemon, FleetPlan, FleetReport, ScenarioSpec};
+use capes_simstore::Workload;
+
+fn quick_hp() -> Hyperparameters {
+    Hyperparameters {
+        sampling_ticks_per_observation: 3,
+        exploration_period_ticks: 300,
+        adam_learning_rate: 2e-3,
+        ..Hyperparameters::quick_test()
+    }
+}
+
+fn build(transport: Transport, seed: u64) -> FleetDaemon {
+    Fleet::builder()
+        .hyperparams(quick_hp())
+        .seed(seed)
+        .transport(transport)
+        .scenarios([
+            ScenarioSpec::new("write-heavy", Workload::random_rw(0.1)).clients(2),
+            ScenarioSpec::new("read-heavy", Workload::random_rw(0.9)).clients(2),
+        ])
+        .build()
+        .expect("valid fleet")
+}
+
+fn plan() -> FleetPlan {
+    FleetPlan::new()
+        .phase(Phase::Baseline { ticks: 6 })
+        .phase(Phase::Train { ticks: 24 })
+        .phase(Phase::Tuned {
+            ticks: 6,
+            label: "tuned".into(),
+        })
+}
+
+/// Runs a fleet with auto-checkpointing on and checks the report's telemetry
+/// section for every hot-path histogram the issue names. The registry is
+/// process-global, so counts only ever grow — `count > 0` is safe even with
+/// other tests recording concurrently.
+fn run_and_check(transport: Transport, seed: u64, tag: &str) -> FleetReport {
+    let dir = std::env::temp_dir().join(format!("capes-fleet-telemetry-{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("auto.capes");
+    let mut fleet = build(transport, seed);
+    fleet.auto_checkpoint_every(10, &snap);
+    let report = fleet.run(&plan());
+
+    // Tick phases.
+    for name in [
+        "fleet.tick.total",
+        "fleet.tick.gather",
+        "fleet.tick.decide",
+        "fleet.tick.scatter",
+        "fleet.tick.train",
+    ] {
+        let hist = report
+            .telemetry
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{name} missing from the report"));
+        assert!(hist.count > 0, "{name} never recorded");
+        assert!(hist.p50_ns <= hist.p90_ns && hist.p90_ns <= hist.p99_ns);
+        assert!(
+            hist.p99_ns <= hist.max_ns as f64 * 1.04,
+            "{name} p99 above max"
+        );
+    }
+    // GEMM rides one of the runtime-dispatched kernels.
+    let gemm: u64 = ["gemm.kernel.avx2", "gemm.kernel.scalar"]
+        .iter()
+        .filter_map(|n| report.telemetry.histogram(n))
+        .map(|h| h.count)
+        .sum();
+    assert!(gemm > 0, "no GEMM kernel span recorded");
+    // Training, sampling, ingest and checkpointing.
+    for name in [
+        "drl.train_step",
+        "arena.sample",
+        "daemon.ingest",
+        "persist.checkpoint.write",
+        "persist.checkpoint.fsync",
+    ] {
+        let hist = report
+            .telemetry
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{name} missing from the report"));
+        assert!(hist.count > 0, "{name} never recorded");
+    }
+    // Per-cluster objective gauges carry the latest tick's objective.
+    for cluster in ["write-heavy", "read-heavy"] {
+        let objective = report
+            .telemetry
+            .gauge(&format!("fleet.cluster.{cluster}.objective"))
+            .expect("objective gauge missing");
+        assert!(objective > 0.0, "cluster {cluster} objective never set");
+    }
+    // Windowed throughput made it into the report and the registry.
+    assert!(report.recent_cluster_ticks_per_sec > 0.0);
+    assert!(report.telemetry.gauge("fleet.tick.recent_rate").unwrap() > 0.0);
+    // Durability counters are registry views (exact values race with other
+    // fleets in this process via latest-wins publishing, so check presence).
+    assert!(report
+        .telemetry
+        .counter("persist.checkpoints_written")
+        .is_some());
+    assert!(report
+        .telemetry
+        .counter("daemon.reports_rejected")
+        .is_some());
+
+    // The whole report, telemetry included, round-trips through JSON.
+    let back = FleetReport::from_json(&report.to_json()).expect("round trip");
+    assert_eq!(back.telemetry, report.telemetry);
+
+    std::fs::remove_dir_all(&dir).ok();
+    report
+}
+
+#[test]
+fn in_process_fleet_reports_telemetry() {
+    run_and_check(Transport::InProcess, 41, "inproc");
+}
+
+#[test]
+fn wire_fleet_reports_telemetry() {
+    run_and_check(Transport::Wire, 43, "wire");
+}
+
+#[cfg(feature = "net")]
+mod socket {
+    use super::*;
+    use capes::PhaseKind;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    #[test]
+    fn socket_fleet_reports_telemetry() {
+        let report = run_and_check(Transport::Socket, 47, "socket");
+        // The socket run additionally populates the reactor's span family.
+        for name in ["net.read", "net.decode", "net.egress"] {
+            assert!(
+                report.telemetry.histogram(name).map_or(0, |h| h.count) > 0,
+                "{name} never recorded"
+            );
+        }
+        assert!(report.telemetry.counter("net.frames_in").unwrap_or(0) > 0);
+        assert!(report.telemetry.gauge("net.ingress.depth").is_some());
+    }
+
+    fn scrape(addr: std::net::SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect scraper");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nHost: fleet\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    #[test]
+    fn live_metrics_scrape_mid_run() {
+        let mut fleet = build(Transport::Socket, 53);
+        let addr = fleet.socket_addr().expect("socket fleet has an address");
+        for _ in 0..8 {
+            fleet.tick_all(PhaseKind::Train);
+        }
+
+        // Scrape while the fleet is mid-run: plain HTTP in, Prometheus
+        // exposition out, connection closed by the server.
+        let response = scrape(addr);
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("text/plain"), "{response}");
+        for series in [
+            "fleet_tick_total{quantile=\"0.99\"}",
+            "net_frames_in_total",
+            "drl_train_step_count",
+            "fleet_tick_recent_rate",
+        ] {
+            assert!(response.contains(series), "missing {series}: {response}");
+        }
+
+        // The members keep ticking unharmed, and a second scrape still works.
+        for _ in 0..8 {
+            fleet.tick_all(PhaseKind::Train);
+        }
+        let again = scrape(addr);
+        assert!(again.starts_with("HTTP/1.0 200 OK"));
+        let net = fleet.net_report();
+        assert_eq!(net.decode_errors, 0, "scrapes must not count as errors");
+        assert_eq!(net.active, 2, "scrape connections close after the reply");
+        assert_eq!(net.frames_in, 2 * 4 * fleet.tick(), "no member frame lost");
+    }
+}

@@ -20,13 +20,13 @@ use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use capes_agents::wire::encode_cluster_frame;
 use capes_agents::Message;
+use capes_telemetry::{Counter, Gauge};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use reactor::{Events, Interest, Poll, TimerQueue, Token, Waker};
 use serde::{Deserialize, Serialize};
@@ -55,6 +55,12 @@ pub struct NetConfig {
     /// When set, connections silent for this long are shed
     /// (counted in `shed_idle`).
     pub idle_timeout: Option<Duration>,
+    /// When `true`, a connection whose first byte is `G` is treated as an
+    /// HTTP/1.x client and answered with one Prometheus-style `/metrics`
+    /// exposition of the process's telemetry registry, then closed. Framed
+    /// traffic is unambiguous: `G` as the top byte of a length prefix would
+    /// claim a frame of ≥ 1.1 GiB, far beyond any sane `max_frame_len`.
+    pub expose_metrics: bool,
 }
 
 impl Default for NetConfig {
@@ -66,32 +72,39 @@ impl Default for NetConfig {
             ingress_capacity: 4096,
             num_clusters: None,
             idle_timeout: None,
+            expose_metrics: false,
         }
     }
 }
 
-/// Monotonic counters maintained by the reactor thread, readable from any
-/// thread. `active` is a gauge; everything else only grows.
+/// Counters maintained by the reactor thread, readable from any thread.
+/// Every field is a telemetry handle, so the fleet links the *same* atomics
+/// into the global metrics registry under `net.*` (see [`NetStats::publish`])
+/// instead of copying values across. `active` and `ingress_depth` are
+/// gauges (they go down); everything else only grows.
 #[derive(Debug, Default)]
 pub struct NetStats {
-    accepted: AtomicU64,
-    active: AtomicU64,
-    shed_backpressure: AtomicU64,
-    shed_idle: AtomicU64,
-    disconnects: AtomicU64,
-    decode_errors: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
+    accepted: Counter,
+    active: Gauge,
+    shed_backpressure: Counter,
+    shed_idle: Counter,
+    disconnects: Counter,
+    decode_errors: Counter,
+    frames_in: Counter,
+    frames_out: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    /// Decoded messages sitting in the ingress channel, refreshed by the
+    /// reactor after every delivery and before every `/metrics` scrape.
+    ingress_depth: Gauge,
 }
 
 macro_rules! bump {
     ($stats:expr, $field:ident) => {
-        $stats.$field.fetch_add(1, Ordering::Relaxed)
+        $stats.$field.inc()
     };
     ($stats:expr, $field:ident, $n:expr) => {
-        $stats.$field.fetch_add($n as u64, Ordering::Relaxed)
+        $stats.$field.add($n as u64)
     };
 }
 
@@ -99,17 +112,34 @@ impl NetStats {
     /// A consistent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> NetStatsSnapshot {
         NetStatsSnapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            active: self.active.load(Ordering::Relaxed),
-            shed_backpressure: self.shed_backpressure.load(Ordering::Relaxed),
-            shed_idle: self.shed_idle.load(Ordering::Relaxed),
-            disconnects: self.disconnects.load(Ordering::Relaxed),
-            decode_errors: self.decode_errors.load(Ordering::Relaxed),
-            frames_in: self.frames_in.load(Ordering::Relaxed),
-            frames_out: self.frames_out.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            accepted: self.accepted.get(),
+            active: self.active.get() as u64,
+            shed_backpressure: self.shed_backpressure.get(),
+            shed_idle: self.shed_idle.get(),
+            disconnects: self.disconnects.get(),
+            decode_errors: self.decode_errors.get(),
+            frames_in: self.frames_in.get(),
+            frames_out: self.frames_out.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
         }
+    }
+
+    /// Links every counter into `registry` under `net.*` names (latest
+    /// server wins). The handles share storage with the reactor, so a
+    /// mid-run scrape always reads live values.
+    pub fn publish(&self, registry: &capes_telemetry::Registry) {
+        registry.publish_counter("net.accepted", &self.accepted);
+        registry.publish_gauge("net.active", &self.active);
+        registry.publish_counter("net.shed_backpressure", &self.shed_backpressure);
+        registry.publish_counter("net.shed_idle", &self.shed_idle);
+        registry.publish_counter("net.disconnects", &self.disconnects);
+        registry.publish_counter("net.decode_errors", &self.decode_errors);
+        registry.publish_counter("net.frames_in", &self.frames_in);
+        registry.publish_counter("net.frames_out", &self.frames_out);
+        registry.publish_counter("net.bytes_in", &self.bytes_in);
+        registry.publish_counter("net.bytes_out", &self.bytes_out);
+        registry.publish_gauge("net.ingress.depth", &self.ingress_depth);
     }
 }
 
@@ -226,6 +256,9 @@ impl FleetServer {
         let (ingress_tx, ingress_rx) = bounded(config.ingress_capacity);
         let (cmd_tx, cmd_rx) = unbounded();
         let stats = Arc::new(NetStats::default());
+        // Link this server's counters into the process registry (latest
+        // server wins) so `/metrics` and `dump_metrics()` see live values.
+        stats.publish(capes_telemetry::global());
 
         let mut reactor_loop = ServerLoop {
             poll,
@@ -271,9 +304,26 @@ enum CloseReason {
     Protocol,
 }
 
+/// What a connection turned out to speak, decided by its first byte.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConnMode {
+    /// Nothing read yet.
+    Fresh,
+    /// Length-prefixed CAPES frames (the normal case).
+    Framed,
+    /// An HTTP client scraping `/metrics` (only with
+    /// [`NetConfig::expose_metrics`]).
+    Http,
+}
+
 struct Conn {
     stream: TcpStream,
     state: ConnState,
+    mode: ConnMode,
+    /// Request bytes of an HTTP scrape, held until the blank line arrives.
+    http_buf: Vec<u8>,
+    /// Close the connection once `out` drains (HTTP response served).
+    close_after_flush: bool,
     /// Outbound bytes not yet written; `out[out_cursor..]` is pending.
     out: Vec<u8>,
     out_cursor: usize,
@@ -380,13 +430,18 @@ impl ServerLoop {
                     self.conns[idx] = Some(Conn {
                         stream,
                         state: ConnState::new(self.config.max_frame_len),
+                        mode: ConnMode::Fresh,
+                        http_buf: Vec::new(),
+                        close_after_flush: false,
                         out: Vec::new(),
                         out_cursor: 0,
                         want_write: false,
                         last_activity: Instant::now(),
                     });
                     bump!(self.stats, accepted);
-                    bump!(self.stats, active);
+                    // Only the reactor thread updates `active`, so the
+                    // read-modify-write on the gauge is race-free.
+                    self.stats.active.set(self.stats.active.get() + 1.0);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -413,7 +468,13 @@ impl ServerLoop {
             let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
                 return false;
             };
-            match conn.stream.read(&mut chunk) {
+            let read_result = {
+                // Times the read syscall alone; the decode work below has
+                // its own span.
+                let _span = capes_telemetry::span!("net.read");
+                conn.stream.read(&mut chunk)
+            };
+            match read_result {
                 Ok(0) => {
                     self.close(idx, CloseReason::PeerClosed);
                     return false;
@@ -421,8 +482,35 @@ impl ServerLoop {
                 Ok(n) => {
                     bump!(stats, bytes_in, n);
                     conn.last_activity = Instant::now();
+                    if conn.mode == ConnMode::Fresh {
+                        conn.mode = if config.expose_metrics && chunk[0] == b'G' {
+                            ConnMode::Http
+                        } else {
+                            ConnMode::Framed
+                        };
+                    }
+                    if conn.mode == ConnMode::Http {
+                        if conn.close_after_flush {
+                            // Response already queued; discard trailing bytes.
+                            continue;
+                        }
+                        conn.http_buf.extend_from_slice(&chunk[..n]);
+                        if conn.http_buf.len() > MAX_HTTP_REQUEST {
+                            self.close(idx, CloseReason::Protocol);
+                            return false;
+                        }
+                        // Headers complete (we ignore their content — every
+                        // GET gets the same exposition) → answer and close.
+                        if conn.http_buf.windows(4).any(|w| w == b"\r\n\r\n")
+                            && !self.respond_metrics(idx)
+                        {
+                            return false;
+                        }
+                        continue;
+                    }
                     let mut consumer_gone = false;
-                    let ingested =
+                    let ingested = {
+                        let _span = capes_telemetry::span!("net.decode");
                         conn.state
                             .ingest(&chunk[..n], config.num_clusters, |cluster, message| {
                                 bump!(stats, frames_in);
@@ -433,7 +521,9 @@ impl ServerLoop {
                                 if ingress.send((cluster, message)).is_err() {
                                     consumer_gone = true;
                                 }
-                            });
+                            })
+                    };
+                    stats.ingress_depth.set(ingress.len() as f64);
                     if consumer_gone || ingested.is_err() {
                         let reason = if consumer_gone {
                             CloseReason::PeerClosed
@@ -452,6 +542,29 @@ impl ServerLoop {
                 }
             }
         }
+    }
+
+    /// Serves one `/metrics` scrape on connection `idx`: refreshes the
+    /// reactor-owned gauges, renders the global registry as Prometheus text
+    /// and queues an HTTP/1.0 response that closes after flushing. Returns
+    /// `false` if the connection is gone afterwards.
+    fn respond_metrics(&mut self, idx: usize) -> bool {
+        self.stats.ingress_depth.set(self.ingress.len() as f64);
+        let body = capes_telemetry::dump_metrics();
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return false;
+        };
+        let header = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        conn.out.extend_from_slice(header.as_bytes());
+        conn.out.extend_from_slice(body.as_bytes());
+        conn.http_buf.clear();
+        conn.close_after_flush = true;
+        self.conn_flush(idx);
+        self.conns.get(idx).is_some_and(|slot| slot.is_some())
     }
 
     fn queue_frame(&mut self, cluster: u32, frame: &[u8]) {
@@ -485,6 +598,9 @@ impl ServerLoop {
     /// Writes as much pending output as the socket accepts; registers for
     /// WRITABLE readiness when the socket pushes back.
     fn conn_flush(&mut self, idx: usize) {
+        // One egress span per flush call: covers every write syscall the
+        // socket accepts in this round.
+        let _span = capes_telemetry::span!("net.egress");
         loop {
             let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
                 return;
@@ -493,6 +609,12 @@ impl ServerLoop {
             if pending.is_empty() {
                 conn.out.clear();
                 conn.out_cursor = 0;
+                if conn.close_after_flush {
+                    // HTTP response fully written: close our side so the
+                    // scraper sees EOF (HTTP/1.0 framing).
+                    self.close(idx, CloseReason::PeerClosed);
+                    return;
+                }
                 if conn.want_write {
                     conn.want_write = false;
                     let _ = self.poll.reregister(
@@ -559,7 +681,7 @@ impl ServerLoop {
         drop(conn);
         self.routes.retain(|_, &mut v| v != idx);
         self.free.push(idx);
-        self.stats.active.fetch_sub(1, Ordering::Relaxed);
+        self.stats.active.set(self.stats.active.get() - 1.0);
         match reason {
             CloseReason::PeerClosed => bump!(self.stats, disconnects),
             CloseReason::ShedBackpressure => bump!(self.stats, shed_backpressure),
@@ -572,3 +694,7 @@ impl ServerLoop {
 /// Idle sweeps run at least this often so a freshly-stale connection is
 /// noticed within one period even if traffic keeps the poll loop busy.
 const IDLE_SWEEP_MAX: Duration = Duration::from_millis(500);
+
+/// Cap on buffered HTTP request bytes before the scraper is shed — far more
+/// than any real `GET /metrics` request, far less than a hostile stream.
+const MAX_HTTP_REQUEST: usize = 8 * 1024;

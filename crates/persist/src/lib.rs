@@ -35,6 +35,6 @@ pub use record::{
     RecordEntry, RecordLogReader, RecordLogWriter, RECORD_LOG_MAGIC, RECORD_LOG_VERSION,
 };
 pub use snapshot::{
-    decode_snapshot, encode_snapshot, read_snapshot_file, write_atomic, write_snapshot_file,
-    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    decode_snapshot, encode_snapshot, read_snapshot_file, set_fsync_observer, write_atomic,
+    write_snapshot_file, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };

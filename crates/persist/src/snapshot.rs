@@ -21,6 +21,20 @@ use std::path::Path;
 use crate::crc32::crc32;
 use crate::error::PersistError;
 
+/// Data-file fsync observer: called with the duration (nanoseconds) of every
+/// snapshot fsync once installed via [`set_fsync_observer`]. A plain function
+/// pointer behind a [`std::sync::OnceLock`] keeps this crate dependency-free
+/// (it is the disk trust boundary) while letting a host feed the timings into
+/// its metrics pipeline.
+static FSYNC_OBSERVER: std::sync::OnceLock<fn(u64)> = std::sync::OnceLock::new();
+
+/// Installs the process-wide fsync observer. The first installation wins;
+/// later calls are ignored (observers are process-lifetime wiring, not
+/// per-checkpoint state).
+pub fn set_fsync_observer(observer: fn(u64)) {
+    let _ = FSYNC_OBSERVER.set(observer);
+}
+
 /// First eight bytes of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CAPESNAP";
 
@@ -106,7 +120,13 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
             .truncate(true)
             .open(&tmp)?;
         f.write_all(bytes)?;
+        // The fsync is the dominant cost of a checkpoint on most
+        // filesystems; time it for the observer (when one is installed).
+        let start = FSYNC_OBSERVER.get().map(|_| std::time::Instant::now());
         f.sync_all()?;
+        if let (Some(observe), Some(start)) = (FSYNC_OBSERVER.get(), start) {
+            observe(start.elapsed().as_nanos() as u64);
+        }
     }
     if let Err(e) = std::fs::rename(&tmp, path) {
         let _ = std::fs::remove_file(&tmp);

@@ -66,6 +66,21 @@ pub struct ReplayArena {
 }
 
 impl ReplayArena {
+    /// Acquires stripe `index`'s read lock, timing the wait under
+    /// `arena.lock_wait`. The span guard drops as soon as the lock is held,
+    /// so the histogram sees contention, not hold time.
+    fn read_stripe(&self, index: usize) -> std::sync::RwLockReadGuard<'_, ReplayDb> {
+        let _span = capes_telemetry::span!("arena.lock_wait");
+        self.stripes[index].read()
+    }
+
+    /// Acquires stripe `index`'s write lock; same timing discipline as
+    /// [`ReplayArena::read_stripe`].
+    fn write_stripe(&self, index: usize) -> std::sync::RwLockWriteGuard<'_, ReplayDb> {
+        let _span = capes_telemetry::span!("arena.lock_wait");
+        self.stripes[index].write()
+    }
+
     /// Creates an arena with one stripe per configuration (stripe `i` gets
     /// `configs[i]`; heterogeneous fleets pass one config per cluster).
     ///
@@ -125,22 +140,22 @@ impl ReplayArena {
 
     /// The configuration of stripe `index`.
     pub fn stripe_config(&self, index: usize) -> ReplayConfig {
-        *self.stripes[index].read().config()
+        *self.read_stripe(index).config()
     }
 
     /// Runs `f` with read access to stripe `index`.
     pub fn with_read<T>(&self, index: usize, f: impl FnOnce(&ReplayDb) -> T) -> T {
-        f(&self.stripes[index].read())
+        f(&self.read_stripe(index))
     }
 
     /// Runs `f` with write access to stripe `index`.
     pub fn with_write<T>(&self, index: usize, f: impl FnOnce(&mut ReplayDb) -> T) -> T {
-        f(&mut self.stripes[index].write())
+        f(&mut self.write_stripe(index))
     }
 
     /// Occupancy/eviction counters of stripe `index`.
     pub fn stripe_stats(&self, index: usize) -> StripeStats {
-        let db = self.stripes[index].read();
+        let db = self.read_stripe(index);
         StripeStats {
             occupied_ticks: db.len() as u64,
             evicted_ticks: db.evicted_ticks(),
@@ -181,8 +196,8 @@ impl ReplayArena {
             }
         }
         for i in 0..self.num_stripes() {
-            let db = snapshot.stripes[i].read().clone();
-            *self.stripes[i].write() = db;
+            let db = snapshot.read_stripe(i).clone();
+            *self.write_stripe(i) = db;
         }
         Ok(())
     }
@@ -212,6 +227,9 @@ impl ReplayArena {
         batch: &mut ReplayBatch,
         rng: &mut R,
     ) -> Result<(), MinibatchError> {
+        // Times the whole weighted fill, including the per-draw stripe lock
+        // traffic (which the nested `arena.lock_wait` spans break out).
+        let _span = capes_telemetry::span!("arena.sample");
         assert_eq!(
             weights.len(),
             self.stripes.len(),
@@ -238,9 +256,7 @@ impl ReplayArena {
         // One effective stripe: delegate so the RNG stream (and therefore the
         // sampled transitions) match single-stripe sampling exactly.
         if effective == 1 {
-            return self.stripes[only]
-                .read()
-                .construct_minibatch_into(batch, rng);
+            return self.read_stripe(only).construct_minibatch_into(batch, rng);
         }
 
         let n = batch.len();
@@ -251,7 +267,7 @@ impl ReplayArena {
             if w <= 0.0 {
                 continue;
             }
-            let db = self.stripes[i].read();
+            let db = self.read_stripe(i);
             assert_eq!(
                 batch.observation_size(),
                 db.config().observation_size(),
@@ -287,7 +303,7 @@ impl ReplayArena {
                     pick -= w;
                 }
                 drawn += 1;
-                let db = self.stripes[stripe].read();
+                let db = self.read_stripe(stripe);
                 let Some((lo, hi)) = db.sampleable_range() else {
                     continue;
                 };
@@ -331,8 +347,8 @@ impl capes_persist::Persist for ReplayArena {
         // One stripe read lock at a time, like the samplers — an encode
         // racing live writers snapshots each stripe at some consistent point.
         w.put_usize(self.stripes.len());
-        for stripe in self.stripes.iter() {
-            stripe.read().encode(w);
+        for i in 0..self.stripes.len() {
+            self.read_stripe(i).encode(w);
         }
     }
 

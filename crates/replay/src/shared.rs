@@ -108,6 +108,9 @@ impl SharedReplayDb {
         batch: &mut ReplayBatch,
         rng: &mut R,
     ) -> Result<(), MinibatchError> {
+        // Same metric as the weighted arena sampler, so `arena.sample`
+        // covers minibatch construction on every sampling path.
+        let _span = capes_telemetry::span!("arena.sample");
         self.arena
             .with_read(self.stripe, |db| db.construct_minibatch_into(batch, rng))
     }

@@ -145,6 +145,17 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// Messages currently queued (matches `crossbeam-channel`; a
+        /// snapshot — other threads may change it immediately).
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// `true` when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Sends a message, blocking while a bounded channel is full. Fails
         /// only if every receiver was dropped.
         pub fn send(&self, message: T) -> Result<(), SendError<T>> {
@@ -166,6 +177,16 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Messages currently queued (snapshot, like [`Sender::len`]).
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// `true` when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Receives without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.shared.state.lock().unwrap();

@@ -1,0 +1,178 @@
+//! Snapshot types (the `FleetReport.telemetry` section) and the
+//! Prometheus-style text exposition behind the `/metrics` endpoint.
+
+use serde::{Deserialize, Serialize};
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Dotted metric name (`net.frames_in`).
+    pub name: String,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+/// Point-in-time value of one gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Dotted metric name (`net.ingress.depth`).
+    pub name: String,
+    /// Gauge value at snapshot time.
+    pub value: f64,
+}
+
+/// Point-in-time summary of one latency histogram (nanosecond values).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Dotted metric name (`fleet.tick.total`).
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Mean recorded value.
+    pub mean_ns: f64,
+    /// Median (log-linear bucket midpoint, ≤ ~3% relative error).
+    pub p50_ns: f64,
+    /// 90th percentile.
+    pub p90_ns: f64,
+    /// 99th percentile.
+    pub p99_ns: f64,
+    /// Exact largest recorded value.
+    pub max_ns: u64,
+}
+
+/// Every metric in a registry at one instant — embedded in
+/// `FleetReport.telemetry` so non-socket transports get the same numbers a
+/// live `/metrics` scrape would show.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// The histogram snapshot named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The counter value named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The gauge value named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Renders the snapshot as Prometheus text-format exposition: dots in
+    /// names become underscores, counters get a `_total` suffix, histograms
+    /// expose `{quantile="…"}` series plus `_count`, `_sum` and `_max`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let name = mangle(&c.name);
+            out.push_str(&format!("# TYPE {name}_total counter\n"));
+            out.push_str(&format!("{name}_total {}\n", c.value));
+        }
+        for g in &self.gauges {
+            let name = mangle(&g.name);
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            out.push_str(&format!("{name} {}\n", fmt_f64(g.value)));
+        }
+        for h in &self.histograms {
+            let name = mangle(&h.name);
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, v) in [("0.5", h.p50_ns), ("0.9", h.p90_ns), ("0.99", h.p99_ns)] {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", fmt_f64(v)));
+            }
+            out.push_str(&format!(
+                "{name}_sum {}\n",
+                fmt_f64(h.mean_ns * h.count as f64)
+            ));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+            out.push_str(&format!("{name}_max {}\n", h.max_ns));
+        }
+        out
+    }
+}
+
+fn mangle(name: &str) -> String {
+    name.replace(['.', '-'], "_")
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Snapshots the [global registry](crate::global) and renders it as
+/// Prometheus text — the body of a `/metrics` response, also usable
+/// directly from any binary.
+pub fn dump_metrics() -> String {
+    crate::global().snapshot().render_prometheus()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: vec![CounterSnapshot {
+                name: "net.frames_in".into(),
+                value: 460,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "net.ingress.depth".into(),
+                value: 3.0,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "fleet.tick.total".into(),
+                count: 46,
+                mean_ns: 1_500_000.0,
+                p50_ns: 1_400_000.0,
+                p90_ns: 2_000_000.0,
+                p99_ns: 2_500_000.0,
+                max_ns: 3_000_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_mangles_and_labels() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("net_frames_in_total 460"), "{text}");
+        assert!(text.contains("net_ingress_depth 3"), "{text}");
+        assert!(text.contains("fleet_tick_total{quantile=\"0.5\"} 1400000"));
+        assert!(text.contains("fleet_tick_total{quantile=\"0.99\"} 2500000"));
+        assert!(text.contains("fleet_tick_total_count 46"));
+        assert!(text.contains("fleet_tick_total_max 3000000"));
+        // No metric *name* keeps a dot (quantile label values may).
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(!name.contains('.'), "unmangled name in {line}");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = sample();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.histogram("fleet.tick.total").unwrap().count, 46);
+        assert_eq!(back.counter("net.frames_in"), Some(460));
+        assert_eq!(back.gauge("net.ingress.depth"), Some(3.0));
+    }
+}

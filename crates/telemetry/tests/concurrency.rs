@@ -1,0 +1,64 @@
+//! Concurrency guarantees of the lock-free histogram: eight threads
+//! hammering one histogram lose no counts and tear no buckets.
+
+use capes_telemetry::{global, Histogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const RECORDS_PER_THREAD: u64 = 200_000;
+
+#[test]
+fn eight_threads_hammering_one_histogram_conserve_every_count() {
+    let hist = Histogram::new();
+    let total_sum = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let hist = hist.clone();
+            let total_sum = total_sum.clone();
+            scope.spawn(move || {
+                // Deterministic per-thread value stream spanning many
+                // octaves, so threads collide on low buckets and diverge on
+                // high ones.
+                let mut local_sum = 0u64;
+                let mut x = (t as u64 + 1) * 2_654_435_761;
+                for _ in 0..RECORDS_PER_THREAD {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let value = x % (1 << (x % 40));
+                    hist.record(value);
+                    local_sum += value;
+                }
+                total_sum.fetch_add(local_sum, Ordering::Relaxed);
+            });
+        }
+    });
+    // Total count conserved: the per-bucket sum equals the records issued.
+    assert_eq!(hist.count(), THREADS as u64 * RECORDS_PER_THREAD);
+    // No torn sums either: the histogram's running sum matches the values
+    // the threads actually recorded.
+    assert_eq!(hist.sum(), total_sum.load(Ordering::Relaxed));
+    // Quantiles stay ordered and bounded by the exact max.
+    let (p50, p90, p99) = (hist.quantile(0.5), hist.quantile(0.9), hist.quantile(0.99));
+    assert!(p50 <= p90 && p90 <= p99);
+    assert!(p99 <= hist.max() as f64 * 1.04);
+}
+
+#[test]
+fn concurrent_registration_of_one_name_interns_one_histogram() {
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..1000 {
+                    global().histogram("test.concurrent_intern").record(7);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        global().histogram("test.concurrent_intern").count(),
+        THREADS as u64 * 1000,
+        "every thread recorded into the same storage"
+    );
+}

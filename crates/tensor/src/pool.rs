@@ -113,6 +113,9 @@ impl WorkerPool {
             f(0, rows);
             return;
         }
+        // Times a real multi-chunk dispatch end to end (send, chunk
+        // execution on workers + caller, acknowledgement barrier).
+        let _span = capes_telemetry::span!("gemm.pool_dispatch");
         // The guard protects no data (the mutex only serialises dispatches),
         // so a poison left by a previous dispatch's propagated panic is
         // harmless — recover it.

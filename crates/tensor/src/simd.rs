@@ -421,6 +421,19 @@ pub fn bellman_targets(
 // Auto-dispatching crate-internal entry points (what `matmul.rs` calls).
 // ---------------------------------------------------------------------------
 
+/// Per-level kernel timing: one `gemm.kernel.<level>` histogram per SIMD
+/// arm, so a scrape shows which kernels actually ran and at what latency.
+/// Chunked pool dispatches record once per chunk.
+#[inline]
+fn kernel_span() -> capes_telemetry::SpanGuard {
+    static AVX2: capes_telemetry::LazySpan = capes_telemetry::LazySpan::new("gemm.kernel.avx2");
+    static SCALAR: capes_telemetry::LazySpan = capes_telemetry::LazySpan::new("gemm.kernel.scalar");
+    match active_level() {
+        SimdLevel::Avx2Fma => AVX2.enter(),
+        SimdLevel::Scalar => SCALAR.enter(),
+    }
+}
+
 #[inline]
 pub(crate) fn gemm_rows(
     a: &[f64],
@@ -430,6 +443,7 @@ pub(crate) fn gemm_rows(
     cols_a: usize,
     cols_b: usize,
 ) {
+    let _kernel = kernel_span();
     gemm_rows_with(active_level(), a, b, out, rows_a, cols_a, cols_b);
 }
 
@@ -445,6 +459,7 @@ pub(crate) fn gemm_ta_rows(
     m: usize,
     p: usize,
 ) {
+    let _kernel = kernel_span();
     gemm_ta_rows_with(active_level(), a, b, out, i_start, i_end, n, m, p);
 }
 
@@ -457,6 +472,7 @@ pub(crate) fn gemm_tb_rows(
     cols: usize,
     rows_b: usize,
 ) {
+    let _kernel = kernel_span();
     gemm_tb_rows_with(active_level(), a, b, out, rows_a, cols, rows_b);
 }
 
