@@ -1,0 +1,157 @@
+//! Criterion benchmark for multi-core fleet scaling: full fleet ticks on a
+//! 16-cluster heterogeneous fleet at 1/2/4/8 fleet workers, plus the GEMM
+//! worker pool against scoped-thread dispatch at the same thread counts (the
+//! fleet pool is a clone of the GEMM pool, so the pair isolates pool overhead
+//! from fleet-phase structure). Medians are recorded in
+//! `BENCH_fleet_scaling.json` at the repo root, as cluster-ticks/sec for the
+//! fleet entries (one iteration = one `tick_all` = 16 cluster ticks).
+//!
+//! The parallel tick is **bit-identical** to the sequential tick at any
+//! worker count (`crates/fleet/tests/parallel_determinism.rs`), so this bench
+//! measures pure dispatch: on a single-core host the curve is flat minus pool
+//! overhead; scaling only shows on multi-core hosts.
+
+use capes::{Hyperparameters, Phase, PhaseKind};
+use capes_fleet::{Fleet, FleetDaemon, FleetPlan, ScenarioSpec};
+use capes_tensor::simd::{self};
+use capes_tensor::WorkerPool;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const FLEET_SIZE: usize = 16;
+
+fn fleet(workers: usize) -> FleetDaemon {
+    let hp = Hyperparameters {
+        sampling_ticks_per_observation: 3,
+        ..Hyperparameters::quick_test()
+    };
+    let mut daemon = Fleet::builder()
+        .hyperparams(hp)
+        .seed(9)
+        .workers(workers)
+        .scenarios(ScenarioSpec::heterogeneous_mix(FLEET_SIZE))
+        .build()
+        .expect("valid fleet");
+    // Warm past cold start so every measured tick carries observations and
+    // the train path actually trains.
+    daemon.run(&FleetPlan::new().phase(Phase::Train { ticks: 12 }));
+    daemon
+}
+
+/// Train and tuned fleet ticks at each worker count. Train ticks overlap the
+/// per-profile training step with the other profiles' apply phase; tuned
+/// ticks are pure gather → decide → scatter → finish.
+fn bench_fleet_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_scaling");
+    group.sample_size(10);
+    for &workers in &[1usize, 2, 4, 8] {
+        let mut daemon = fleet(workers);
+        group.bench_function(
+            format!("train_tick_16_clusters/{workers}_workers"),
+            |bench| {
+                bench.iter(|| {
+                    daemon.tick_all(PhaseKind::Train);
+                    black_box(daemon.cluster_ticks())
+                })
+            },
+        );
+        group.bench_function(
+            format!("tuned_tick_16_clusters/{workers}_workers"),
+            |bench| {
+                bench.iter(|| {
+                    daemon.tick_all(PhaseKind::Tuned);
+                    black_box(daemon.cluster_ticks())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The persistent worker pool against per-call scoped threads on the 600³
+/// GEMM, at the same thread counts as the fleet entries: what the pool's
+/// pre-spawned workers and allocation-free dispatch save over spawning.
+fn bench_gemm_pool_scaling(c: &mut Criterion) {
+    let (m, k, n) = (600usize, 600usize, 600usize);
+    let mut rng = StdRng::seed_from_u64(11);
+    let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut out = vec![0.0; m * n];
+    let level = simd::detected_level();
+
+    let mut group = c.benchmark_group("fleet_scaling");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(threads);
+        group.bench_function(format!("gemm_pooled_600/{threads}_threads"), |bench| {
+            bench.iter(|| {
+                out.fill(0.0);
+                let ptr = SendPtr(out.as_mut_ptr());
+                pool.run(m, 8, |start, end| {
+                    let chunk = unsafe { ptr.slice_mut(start * n, (end - start) * n) };
+                    simd::gemm_rows_with(
+                        level,
+                        &a[start * k..end * k],
+                        &b,
+                        chunk,
+                        end - start,
+                        k,
+                        n,
+                    );
+                });
+                black_box(out[0])
+            })
+        });
+        group.bench_function(format!("gemm_scoped_600/{threads}_threads"), |bench| {
+            bench.iter(|| {
+                out.fill(0.0);
+                let ptr = SendPtr(out.as_mut_ptr());
+                let chunk_rows = m.div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let start = (t * chunk_rows).min(m);
+                        let end = ((t + 1) * chunk_rows).min(m);
+                        if start == end {
+                            continue;
+                        }
+                        let a = &a;
+                        let b = &b;
+                        scope.spawn(move || {
+                            let chunk = unsafe { ptr.slice_mut(start * n, (end - start) * n) };
+                            simd::gemm_rows_with(
+                                level,
+                                &a[start * k..end * k],
+                                b,
+                                chunk,
+                                end - start,
+                                k,
+                                n,
+                            );
+                        });
+                    }
+                });
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Raw pointer wrapper for disjoint row-range writes across threads (the
+/// same shape the production pooled dispatch uses).
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+impl SendPtr {
+    /// # Safety
+    /// The range must be in bounds and disjoint from concurrent accesses.
+    unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [f64] {
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(offset), len) }
+    }
+}
+
+criterion_group!(benches, bench_fleet_ticks, bench_gemm_pool_scaling);
+criterion_main!(benches);

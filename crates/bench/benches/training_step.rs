@@ -104,6 +104,25 @@ fn bench_gemm_strategies(c: &mut Criterion) {
                 })
             });
         }
+        // The packed-B kernel against the streaming kernel it is bit-identical
+        // to, pinned on both sides of the auto gate: packing each 64 × n
+        // k-panel into tile-major scratch trades one extra pass over the panel
+        // for contiguous fragment loads in the register-tiled sweep.
+        let level = simd::detected_level();
+        group.bench_function(BenchmarkId::new("simd_packed", label), |bench| {
+            bench.iter(|| {
+                out.fill(0.0);
+                simd::gemm_rows_packed_with(level, &a, &b, &mut out, m, k, n);
+                black_box(out[0])
+            })
+        });
+        group.bench_function(BenchmarkId::new("simd_unpacked", label), |bench| {
+            bench.iter(|| {
+                out.fill(0.0);
+                simd::gemm_rows_unpacked_with(level, &a, &b, &mut out, m, k, n);
+                black_box(out[0])
+            })
+        });
     }
     {
         // And the transpose-B kernel (the backward input-gradient product).

@@ -63,7 +63,11 @@ pub struct ProposedAction {
 /// Implemented by the DQN-backed [`DrlEngine`] and by [`SearchEngine`] for
 /// the three search comparators, so sessions, experiments and benches drive
 /// any engine through a single generic code path.
-pub trait TuningEngine: Any {
+///
+/// Engines must be [`Send`]: the fleet daemon shards its member systems
+/// (each of which owns a boxed engine) across worker threads, one cluster
+/// owned by exactly one worker per tick phase.
+pub trait TuningEngine: Any + Send {
     /// Human-readable engine name used in logs and benchmark output.
     fn name(&self) -> &str;
 
@@ -236,7 +240,9 @@ impl TuningEngine for DrlEngine {
 
 /// A candidate-proposing search method (the strategy half of
 /// [`SearchEngine`]). Implemented by the comparators in [`crate::tuners`].
-pub trait SearchStrategy {
+/// `Send` because the wrapping [`SearchEngine`] is a [`TuningEngine`], which
+/// fleet worker threads may carry across threads.
+pub trait SearchStrategy: Send {
     /// Name used in logs and benchmark output.
     fn name(&self) -> &'static str;
 

@@ -110,7 +110,10 @@ impl Phase {
 /// every tick it runs, so monitoring dashboards and bench harnesses can watch
 /// a run without polling. A plain `FnMut(PhaseKind, &SystemTick)` closure is
 /// an observer.
-pub trait TickObserver {
+///
+/// Observers must be [`Send`]: member systems (which own their observers)
+/// migrate across the fleet daemon's worker threads during parallel ticking.
+pub trait TickObserver: Send {
     /// Called when a phase starts.
     fn on_phase_start(&mut self, _kind: PhaseKind, _label: &str) {}
 
@@ -121,7 +124,7 @@ pub trait TickObserver {
     fn on_phase_end(&mut self, _kind: PhaseKind, _result: &SessionResult) {}
 }
 
-impl<F: FnMut(PhaseKind, &SystemTick)> TickObserver for F {
+impl<F: FnMut(PhaseKind, &SystemTick) + Send> TickObserver for F {
     fn on_tick(&mut self, kind: PhaseKind, tick: &SystemTick) {
         self(kind, tick)
     }
@@ -257,8 +260,7 @@ mod tests {
     use crate::builder::Capes;
     use crate::hyperparams::Hyperparameters;
     use crate::target::test_target::QuadraticTarget;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn quick_system() -> CapesSystem<QuadraticTarget> {
         Capes::builder(QuadraticTarget::new(55.0))
@@ -336,13 +338,15 @@ mod tests {
 
     #[test]
     fn observers_stream_every_tick() {
-        let seen: Rc<RefCell<Vec<(PhaseKind, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        // Observers are `Send` (fleet members shard across worker threads),
+        // so the stream is collected behind an Arc<Mutex>.
+        let seen: Arc<Mutex<Vec<(PhaseKind, u64)>>> = Arc::new(Mutex::new(Vec::new()));
         let sink = seen.clone();
         let system = Capes::builder(QuadraticTarget::new(50.0))
             .hyperparams(Hyperparameters::quick_test())
             .seed(3)
             .observer(move |kind: PhaseKind, tick: &SystemTick| {
-                sink.borrow_mut().push((kind, tick.tick));
+                sink.lock().unwrap().push((kind, tick.tick));
             })
             .build()
             .expect("valid system");
@@ -350,7 +354,7 @@ mod tests {
             .phase(Phase::Baseline { ticks: 10 })
             .phase(Phase::Train { ticks: 15 });
         experiment.run();
-        let seen = seen.borrow();
+        let seen = seen.lock().unwrap();
         assert_eq!(seen.len(), 25);
         assert!(seen[..10].iter().all(|(k, _)| *k == PhaseKind::Baseline));
         assert!(seen[10..].iter().all(|(k, _)| *k == PhaseKind::Train));

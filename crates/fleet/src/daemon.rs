@@ -40,6 +40,7 @@ use crate::report::{
     ProfileSharing, StripeOccupancy,
 };
 use crate::scenario::ScenarioSpec;
+use crate::sched::FleetPool;
 use crate::wire::{encode_cluster_frame, FrameRouter};
 use capes::{
     step_params, Capes, CapesError, CapesSystem, Hyperparameters, NullEngine, PhaseKind,
@@ -147,6 +148,7 @@ impl Fleet {
             seed: 0,
             transport: Transport::Wire,
             scenarios: Vec::new(),
+            workers: None,
         }
     }
 }
@@ -157,6 +159,7 @@ pub struct FleetBuilder {
     seed: u64,
     transport: Transport,
     scenarios: Vec<ScenarioSpec>,
+    workers: Option<usize>,
 }
 
 impl FleetBuilder {
@@ -182,6 +185,17 @@ impl FleetBuilder {
     #[must_use]
     pub fn transport(mut self, transport: Transport) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Sets the fleet worker parallelism: how many threads (including the
+    /// daemon thread) tick member clusters in parallel. Defaults to the
+    /// `CAPES_FLEET_THREADS` environment variable, or **1** — today's
+    /// sequential path. Worker count never changes results: multi-worker
+    /// fleets are bit-identical to sequential ones on every transport.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
         self
     }
 
@@ -311,6 +325,10 @@ impl FleetBuilder {
         persist.publish(capes_telemetry::global());
         let names: Vec<&str> = sessions.iter().map(|s| s.name.as_str()).collect();
         let telemetry = FleetTelemetry::new(&names);
+        let sched = FleetPool::new(
+            self.workers
+                .unwrap_or_else(crate::sched::configured_fleet_threads),
+        );
         Ok(FleetDaemon {
             hyperparams: self.hyperparams,
             transport: self.transport,
@@ -323,6 +341,9 @@ impl FleetBuilder {
             router: FrameRouter::new(num_clusters),
             bus: Vec::new(),
             pending_actions: (0..num_clusters).map(|_| None).collect(),
+            staged_actions: (0..num_clusters).map(|_| None).collect(),
+            order_buf: Vec::with_capacity(num_clusters),
+            sched,
             tick: 0,
             train_cursor: 0,
             cluster_ticks: 0,
@@ -350,6 +371,51 @@ struct ClusterSession {
     /// Prediction-error count at the start of the in-progress phase.
     errors_before: usize,
 }
+
+// The parallel tick moves `&mut ClusterSession`s to pool workers and shares
+// `&[Profile]` across them; both obligations are compile-time facts, checked
+// here so a future non-Send field fails the build instead of the dispatch.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<ClusterSession>();
+    assert_sync::<Profile>();
+};
+
+/// Unsafe shared pointer into a per-cluster slice, handed to pool workers.
+/// Each dispatched chunk touches only the indices it owns (a cluster is owned
+/// by exactly one worker per phase), so disjoint chunks never alias, and the
+/// dispatcher blocks until every chunk acknowledges before the slice is
+/// borrowed normally again.
+struct ShardPtr<T>(*mut T);
+
+impl<T> ShardPtr<T> {
+    fn new(slice: &mut [T]) -> Self {
+        ShardPtr(slice.as_mut_ptr())
+    }
+
+    /// # Safety
+    /// `i` must be in bounds, and no other thread may access index `i` while
+    /// the returned reference lives.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn at(&self, i: usize) -> &mut T {
+        unsafe { &mut *self.0.add(i) }
+    }
+}
+
+impl<T> Clone for ShardPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for ShardPtr<T> {}
+
+// Safety: see `ShardPtr::at` — the tick partitions indices disjointly and
+// joins every chunk before reborrowing; `T: Send` is asserted above for the
+// element types that cross threads.
+unsafe impl<T: Send> Send for ShardPtr<T> {}
+unsafe impl<T: Send> Sync for ShardPtr<T> {}
 
 /// A group of clusters sharing one observation geometry and therefore one
 /// DQN: their observations stack into `batch` and one
@@ -522,6 +588,14 @@ pub struct FleetDaemon {
     bus: Vec<bytes::Bytes>,
     /// Actions decoded off the bus awaiting application, per cluster.
     pending_actions: Vec<Option<ActionMessage>>,
+    /// Per-cluster actions staged for the (possibly parallel) apply step —
+    /// every transport's scatter path converges here before application.
+    staged_actions: Vec<Option<ProposedAction>>,
+    /// Scratch cluster ordering for training ticks: the trained profile's
+    /// members first, everyone else after (capacity = clusters, reused).
+    order_buf: Vec<usize>,
+    /// The fleet worker pool sharding member clusters across threads.
+    sched: FleetPool,
     tick: u64,
     train_cursor: usize,
     cluster_ticks: u64,
@@ -570,6 +644,21 @@ impl FleetDaemon {
     /// The hyperparameters in force.
     pub fn hyperparams(&self) -> &Hyperparameters {
         &self.hyperparams
+    }
+
+    /// Fleet worker parallelism currently in force (1 = sequential).
+    pub fn workers(&self) -> usize {
+        self.sched.threads()
+    }
+
+    /// Re-sizes the fleet worker pool (1 = the sequential path). Worker
+    /// count never changes results — only how clusters are sharded across
+    /// threads — so this is safe to call between ticks of a live run.
+    pub fn set_workers(&mut self, workers: usize) {
+        let workers = workers.max(1);
+        if workers != self.sched.threads() {
+            self.sched = FleetPool::new(workers);
+        }
     }
 
     /// Read access to a member system (diagnostics, tests).
@@ -977,6 +1066,9 @@ impl FleetDaemon {
             router,
             bus,
             pending_actions,
+            staged_actions,
+            order_buf,
+            sched,
             transport,
             hyperparams,
             tick,
@@ -987,10 +1079,13 @@ impl FleetDaemon {
         } = self;
         let recording = capes_telemetry::recording();
         let tick_started = Instant::now();
+        let num_clusters = sessions.len();
 
         // 1. Measurement: every cluster steps, monitors report (in-process,
         //    as wire frames, or over real sockets), observations gather into
-        //    the profile batches.
+        //    the profile batches. Clusters are independent here, so the work
+        //    shards across the fleet pool: each chunk owns a contiguous
+        //    cluster range and writes only those clusters' state.
         if *transport == Transport::Socket {
             #[cfg(feature = "net")]
             {
@@ -998,12 +1093,25 @@ impl FleetDaemon {
                     .socket
                     .as_mut()
                     .expect("socket transport always builds a socket front");
-                // 1a. Step every target and transmit its tick's monitoring
-                //     traffic on the cluster's loopback connection. The
+                // 1a. Step every target cluster-parallel, then transmit each
+                //     cluster's monitoring traffic on its loopback connection
+                //     in cluster order (the front end's send buffer is
+                //     shared, so the uplink stays on this thread). The
                 //     measurement stays incomplete (no observation) until
                 //     the traffic lands back in the daemon.
+                {
+                    let sessions_ptr = ShardPtr::new(sessions.as_mut_slice());
+                    let measurements_ptr = ShardPtr::new(measurements.as_mut_slice());
+                    sched.run(num_clusters, 1, |start, end| {
+                        for i in start..end {
+                            // Safety: this chunk owns clusters start..end.
+                            let (session, slot) =
+                                unsafe { (sessions_ptr.at(i), measurements_ptr.at(i)) };
+                            *slot = Some(session.system.measure_tick());
+                        }
+                    });
+                }
                 for (i, session) in sessions.iter_mut().enumerate() {
-                    let measurement = session.system.measure_tick();
                     let mut uplink_error: Option<std::io::Error> = None;
                     session.system.drain_outbox(|message| {
                         if uplink_error.is_none() {
@@ -1015,7 +1123,6 @@ impl FleetDaemon {
                     if let Some(e) = uplink_error {
                         panic!("socket uplink for cluster {i} failed: {e}");
                     }
-                    measurements[i] = Some(measurement);
                 }
                 // 1b. Drain exactly one tick's worth of decoded messages
                 //     from the server and ingest them in arrival order. The
@@ -1042,18 +1149,34 @@ impl FleetDaemon {
                     // gap silently.
                     *recorder = None;
                 }
-                // 1c. Commit snapshots and assemble observations.
-                for (i, session) in sessions.iter_mut().enumerate() {
-                    let measurement = measurements[i].as_mut().expect("measured above");
-                    session.system.complete_measurement(kind, measurement);
+                // 1c. Commit snapshots and assemble observations,
+                //     cluster-parallel again.
+                {
+                    let sessions_ptr = ShardPtr::new(sessions.as_mut_slice());
+                    let measurements_ptr = ShardPtr::new(measurements.as_mut_slice());
+                    sched.run(num_clusters, 1, |start, end| {
+                        for i in start..end {
+                            // Safety: this chunk owns clusters start..end.
+                            let (session, slot) =
+                                unsafe { (sessions_ptr.at(i), measurements_ptr.at(i)) };
+                            let measurement = slot.as_mut().expect("measured above");
+                            session.system.complete_measurement(kind, measurement);
+                        }
+                    });
                 }
             }
             #[cfg(not(feature = "net"))]
             unreachable!("socket transport cannot be built without the net feature");
         } else {
-            for (i, session) in sessions.iter_mut().enumerate() {
-                measurements[i] = Some(session.system.begin_tick(kind));
-            }
+            let sessions_ptr = ShardPtr::new(sessions.as_mut_slice());
+            let measurements_ptr = ShardPtr::new(measurements.as_mut_slice());
+            sched.run(num_clusters, 1, |start, end| {
+                for i in start..end {
+                    // Safety: this chunk owns clusters start..end.
+                    let (session, slot) = unsafe { (sessions_ptr.at(i), measurements_ptr.at(i)) };
+                    *slot = Some(session.system.begin_tick(kind));
+                }
+            });
         }
         if kind != PhaseKind::Baseline {
             for (i, session) in sessions.iter().enumerate() {
@@ -1074,6 +1197,11 @@ impl FleetDaemon {
                 .record_duration(tick_started.elapsed());
         }
 
+        // Outcome of the round-robin training step (shard index, mean
+        // prediction error) and its duration, written by the overlapped
+        // closure below and consumed by the feedback phase.
+        let mut trained: Option<(usize, f64)> = None;
+        let mut train_elapsed = std::time::Duration::ZERO;
         if kind != PhaseKind::Baseline {
             // 2. Decision: one batched forward pass per profile.
             let decide_started = Instant::now();
@@ -1095,13 +1223,15 @@ impl FleetDaemon {
             }
             let scatter_started = Instant::now();
 
-            // 3. Scatter: map each decision onto absolute parameter values
-            //    and route it through the cluster's daemon + checker +
-            //    control agent — over the cluster-multiplexed action bus in
-            //    wire mode.
+            // 3. Scatter, staging half: map each decision onto absolute
+            //    parameter values and move it through the cluster's transport
+            //    — over the cluster-multiplexed action bus in wire mode —
+            //    into `staged_actions`. Staging stays on this thread (the
+            //    bus, router and socket buffers are shared); application is
+            //    sharded below.
             match *transport {
                 Transport::InProcess => {
-                    for session in sessions.iter_mut() {
+                    for (i, session) in sessions.iter().enumerate() {
                         let profile = &profiles[session.profile];
                         let decision = profile.decisions[session.row];
                         let current = session.system.current_params();
@@ -1111,7 +1241,7 @@ impl FleetDaemon {
                             &current,
                             session.system.specs(),
                         );
-                        session.system.apply_action(ProposedAction {
+                        staged_actions[i] = Some(ProposedAction {
                             action_index: Some(decision.action),
                             explored: decision.explored,
                             params,
@@ -1148,12 +1278,12 @@ impl FleetDaemon {
                             })
                             .expect("self-encoded fleet frames always route");
                     }
-                    for (i, session) in sessions.iter_mut().enumerate() {
+                    for (i, session) in sessions.iter().enumerate() {
                         let action = pending_actions[i]
                             .take()
                             .expect("every cluster received its action");
                         let decision = profiles[session.profile].decisions[session.row];
-                        session.system.apply_action(ProposedAction {
+                        staged_actions[i] = Some(ProposedAction {
                             action_index: Some(action.action_index),
                             explored: decision.explored,
                             params: action.parameter_values,
@@ -1189,10 +1319,10 @@ impl FleetDaemon {
                                 },
                             );
                         }
-                        for (i, session) in sessions.iter_mut().enumerate() {
+                        for (i, session) in sessions.iter().enumerate() {
                             let action = front.recv_action(i);
                             let decision = profiles[session.profile].decisions[session.row];
-                            session.system.apply_action(ProposedAction {
+                            staged_actions[i] = Some(ProposedAction {
                                 action_index: Some(action.action_index),
                                 explored: decision.explored,
                                 params: action.parameter_values,
@@ -1203,85 +1333,153 @@ impl FleetDaemon {
                     unreachable!("socket transport cannot be built without the net feature");
                 }
             }
-            if recording {
-                telemetry
-                    .tick_scatter
-                    .record_duration(scatter_started.elapsed());
-            }
-        }
 
-        let train_started = Instant::now();
-        // 4. Training: round-robin one cluster per tick into its profile's
-        //    shared agent — from the cluster's own arena stripe, or, with
-        //    sharing enabled for the profile, from a weighted set of the
-        //    profile's stripes.
-        let mut trained: Option<(usize, f64)> = None;
-        if kind == PhaseKind::Train {
-            let shard = *train_cursor % sessions.len();
-            *train_cursor += 1;
-            let session = &sessions[shard];
-            let profile = &mut profiles[session.profile];
-            let mode = profile_sharing[session.profile];
-            let shared_weights = match mode {
-                ExperienceSharing::Disabled => None,
-                ExperienceSharing::Uniform => {
-                    weights_buf.iter_mut().for_each(|w| *w = 0.0);
-                    for &stripe in &profile.stripe_members {
-                        weights_buf[stripe] = 1.0;
+            // 3b/4. Apply + training. Applying a staged action touches only
+            //    its own cluster's state and replay stripe, so application
+            //    shards across the pool. On a training tick the trained
+            //    profile's members are applied first (their stripes must
+            //    hold this tick's transitions before sampling); the training
+            //    step itself — which consumes the shared agent's RNG and
+            //    therefore stays on this thread — then overlaps the
+            //    remaining clusters' applies. The sequential path (1 worker)
+            //    applies everything in cluster order, then trains, exactly
+            //    as before.
+            if kind == PhaseKind::Train {
+                let shard = *train_cursor % num_clusters;
+                *train_cursor += 1;
+                let profile_idx = sessions[shard].profile;
+                order_buf.clear();
+                order_buf.extend_from_slice(&profiles[profile_idx].stripe_members);
+                let members = order_buf.len();
+                for (i, session) in sessions.iter().enumerate() {
+                    if session.profile != profile_idx {
+                        order_buf.push(i);
                     }
-                    Some(&*weights_buf)
                 }
-                ExperienceSharing::SelfBiased { own, peers } => {
-                    weights_buf.iter_mut().for_each(|w| *w = 0.0);
-                    for &stripe in &profile.stripe_members {
-                        weights_buf[stripe] = peers;
+                let order = &order_buf[..];
+                let sessions_ptr = ShardPtr::new(sessions.as_mut_slice());
+                let staged_ptr = ShardPtr::new(staged_actions.as_mut_slice());
+                let apply = |base: usize, start: usize, end: usize| {
+                    for j in start..end {
+                        let i = order[base + j];
+                        // Safety: `order` is a permutation of the clusters
+                        // and this chunk owns positions base+start..base+end.
+                        let (session, slot) = unsafe { (sessions_ptr.at(i), staged_ptr.at(i)) };
+                        let action = slot.take().expect("every cluster has a staged action");
+                        session.system.apply_action(action);
                     }
-                    weights_buf[shard] = own;
-                    Some(&*weights_buf)
-                }
-            };
-            let agent = &mut profile.agent;
-            let db = session.system.replay_db();
-            let mut sum = 0.0;
-            let mut count = 0usize;
-            for _ in 0..hyperparams.train_steps_per_tick {
-                let result = match shared_weights {
-                    None => agent.train_from_db(db),
-                    Some(weights) => agent.train_weighted(arena, weights),
                 };
-                if let Ok(Some(report)) = result {
-                    sum += report.prediction_error;
-                    count += 1;
-                }
+                sched.run(members, 1, |start, end| apply(0, start, end));
+                sched.run_with(
+                    num_clusters - members,
+                    1,
+                    |start, end| apply(members, start, end),
+                    || {
+                        let train_started = Instant::now();
+                        // Safety: `shard` belongs to the trained profile, so
+                        // its action was applied in the barrier above; no
+                        // concurrent chunk touches it.
+                        let session = unsafe { sessions_ptr.at(shard) };
+                        let profile = &mut profiles[profile_idx];
+                        let mode = profile_sharing[profile_idx];
+                        let shared_weights = match mode {
+                            ExperienceSharing::Disabled => None,
+                            ExperienceSharing::Uniform => {
+                                weights_buf.iter_mut().for_each(|w| *w = 0.0);
+                                for &stripe in &profile.stripe_members {
+                                    weights_buf[stripe] = 1.0;
+                                }
+                                Some(&*weights_buf)
+                            }
+                            ExperienceSharing::SelfBiased { own, peers } => {
+                                weights_buf.iter_mut().for_each(|w| *w = 0.0);
+                                for &stripe in &profile.stripe_members {
+                                    weights_buf[stripe] = peers;
+                                }
+                                weights_buf[shard] = own;
+                                Some(&*weights_buf)
+                            }
+                        };
+                        let agent = &mut profile.agent;
+                        let db = session.system.replay_db();
+                        let mut sum = 0.0;
+                        let mut count = 0usize;
+                        for _ in 0..hyperparams.train_steps_per_tick {
+                            let result = match shared_weights {
+                                None => agent.train_from_db(db),
+                                Some(weights) => agent.train_weighted(arena, weights),
+                            };
+                            if let Ok(Some(report)) = result {
+                                sum += report.prediction_error;
+                                count += 1;
+                            }
+                        }
+                        if count > 0 {
+                            trained = Some((shard, sum / count as f64));
+                        }
+                        train_elapsed = train_started.elapsed();
+                    },
+                );
+            } else {
+                let sessions_ptr = ShardPtr::new(sessions.as_mut_slice());
+                let staged_ptr = ShardPtr::new(staged_actions.as_mut_slice());
+                sched.run(num_clusters, 1, |start, end| {
+                    for i in start..end {
+                        // Safety: this chunk owns clusters start..end.
+                        let (session, slot) = unsafe { (sessions_ptr.at(i), staged_ptr.at(i)) };
+                        let action = slot.take().expect("every cluster has a staged action");
+                        session.system.apply_action(action);
+                    }
+                });
             }
-            if count > 0 {
-                trained = Some((shard, sum / count as f64));
+            if recording {
+                // Scatter time excludes the overlapped training step so the
+                // phase histograms keep their sequential meaning.
+                let scatter_elapsed = scatter_started
+                    .elapsed()
+                    .checked_sub(train_elapsed)
+                    .unwrap_or_default();
+                telemetry.tick_scatter.record_duration(scatter_elapsed);
             }
         }
         if recording {
-            telemetry
-                .tick_train
-                .record_duration(train_started.elapsed());
+            telemetry.tick_train.record_duration(train_elapsed);
         }
 
-        // 5. Feedback: finish every cluster's tick.
-        for (i, session) in sessions.iter_mut().enumerate() {
-            let measurement = measurements[i].take().expect("measured above");
-            let (action, explored) = if kind == PhaseKind::Baseline {
-                (None, false)
-            } else {
-                let decision = profiles[session.profile].decisions[session.row];
-                (Some(decision.action), decision.explored)
-            };
-            let error = trained.and_then(|(shard, e)| (shard == i).then_some(e));
-            let system_tick =
-                session
-                    .system
-                    .finish_tick(kind, &measurement, action, explored, error);
-            session.series.push(system_tick.throughput_mbps);
-            telemetry.objectives[i].set(system_tick.throughput_mbps);
-            *cluster_ticks += 1;
+        // 5. Feedback: finish every cluster's tick, cluster-parallel — each
+        //    chunk writes only its own clusters' sessions and measurement
+        //    slots, reads the (frozen) decisions, and the objective gauges
+        //    are atomic cells.
+        {
+            let objectives = &telemetry.objectives;
+            let profiles_ref = &*profiles;
+            let sessions_ptr = ShardPtr::new(sessions.as_mut_slice());
+            let measurements_ptr = ShardPtr::new(measurements.as_mut_slice());
+            sched.run(num_clusters, 1, |start, end| {
+                // The index drives the raw shard pointers, not just the
+                // objective-gauge slice, so a range loop is the honest shape.
+                #[allow(clippy::needless_range_loop)]
+                for i in start..end {
+                    // Safety: this chunk owns clusters start..end.
+                    let (session, slot) = unsafe { (sessions_ptr.at(i), measurements_ptr.at(i)) };
+                    let measurement = slot.take().expect("measured above");
+                    let (action, explored) = if kind == PhaseKind::Baseline {
+                        (None, false)
+                    } else {
+                        let decision = profiles_ref[session.profile].decisions[session.row];
+                        (Some(decision.action), decision.explored)
+                    };
+                    let error = trained.and_then(|(shard, e)| (shard == i).then_some(e));
+                    let system_tick =
+                        session
+                            .system
+                            .finish_tick(kind, &measurement, action, explored, error);
+                    session.series.push(system_tick.throughput_mbps);
+                    objectives[i].set(system_tick.throughput_mbps);
+                }
+            });
         }
+        *cluster_ticks += num_clusters as u64;
         *tick += 1;
 
         if recording {
@@ -1314,6 +1512,9 @@ impl FleetDaemon {
     /// [`FleetDaemon::set_profile_sharing`] only outlives externally-driven
     /// [`FleetDaemon::tick_all`] loops, never a `run`).
     pub fn run(&mut self, plan: &FleetPlan) -> FleetReport {
+        if let Some(workers) = plan.workers {
+            self.set_workers(workers);
+        }
         self.profile_sharing
             .iter_mut()
             .for_each(|mode| *mode = ExperienceSharing::Disabled);

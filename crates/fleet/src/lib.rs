@@ -43,6 +43,7 @@
 pub mod daemon;
 pub mod report;
 pub mod scenario;
+pub mod sched;
 #[cfg(feature = "net")]
 mod socket;
 pub mod traffic;

@@ -53,14 +53,23 @@ pub struct FleetPlan {
     /// Per-profile experience-sharing settings; profiles not listed stay at
     /// [`ExperienceSharing::Disabled`].
     pub sharing: Vec<ProfileSharing>,
+    /// Fleet worker parallelism (total threads ticking member clusters,
+    /// including the daemon thread). `None` keeps the daemon's current pool —
+    /// the `CAPES_FLEET_THREADS` / [`FleetBuilder`](crate::daemon::FleetBuilder)
+    /// setting. Worker count never changes results: multi-worker runs are
+    /// bit-identical to `workers = 1`.
+    #[serde(default)]
+    pub workers: Option<usize>,
 }
 
 impl FleetPlan {
-    /// An empty plan (no phases, sharing disabled everywhere).
+    /// An empty plan (no phases, sharing disabled everywhere, worker count
+    /// inherited from the daemon).
     pub fn new() -> Self {
         FleetPlan {
             phases: Vec::new(),
             sharing: Vec::new(),
+            workers: None,
         }
     }
 
@@ -75,6 +84,14 @@ impl FleetPlan {
     #[must_use]
     pub fn share(mut self, profile: usize, mode: ExperienceSharing) -> Self {
         self.sharing.push(ProfileSharing { profile, mode });
+        self
+    }
+
+    /// Sets the fleet worker parallelism for this plan's run (1 = the
+    /// sequential path).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
         self
     }
 
@@ -277,7 +294,44 @@ impl FleetReport {
                 ));
             }
         }
+        if let Some(line) = self.parallel_summary() {
+            out.push_str(&line);
+        }
         out
+    }
+
+    /// The "parallel:" summary line — estimated speedup of the multi-worker
+    /// tick over a hypothetical sequential run, from the `fleet.worker.*.busy`
+    /// histograms: total work (main-thread tick time + worker busy time)
+    /// divided by wall-clock tick time. `None` when the run never published a
+    /// `fleet.workers` gauge (telemetry off or no fleet pool built).
+    fn parallel_summary(&self) -> Option<String> {
+        let workers = self
+            .telemetry
+            .gauges
+            .iter()
+            .find(|g| g.name == "fleet.workers")?
+            .value;
+        let tick = self.telemetry.histogram("fleet.tick.total")?;
+        if tick.count == 0 {
+            return None;
+        }
+        let wall_ns = tick.mean_ns * tick.count as f64;
+        let busy_ns: f64 = self
+            .telemetry
+            .histograms
+            .iter()
+            .filter(|h| h.name.starts_with("fleet.worker.") && h.name.ends_with(".busy"))
+            .map(|h| h.mean_ns * h.count as f64)
+            .sum();
+        let speedup = if wall_ns > 0.0 {
+            (wall_ns + busy_ns) / wall_ns
+        } else {
+            1.0
+        };
+        Some(format!(
+            "parallel: {workers:.0} workers, estimated speedup {speedup:.2}x over sequential\n"
+        ))
     }
 
     /// Serializes the report as pretty-printed JSON.

@@ -1,0 +1,85 @@
+//! Counting-allocator proof that steady-state fleet-pool dispatch is
+//! allocation-free.
+//!
+//! The fleet pool ([`capes_fleet::sched::FleetPool`]) carries the same
+//! guarantee as the GEMM pool it is modelled on: after construction, a
+//! dispatch is a `Copy` task pushed into pre-allocated bounded channels — no
+//! boxing, no `Arc`, no per-call `Vec`. This binary installs a counting
+//! `#[global_allocator]`, warms the pool (first dispatches may fault in
+//! thread-local state), then asserts that further `run` and `run_with`
+//! dispatches perform **zero** heap allocations. This is the acceptance gate
+//! for ISSUE 9's allocation-free parallel tick dispatch.
+//!
+//! The test lives in its own integration-test binary so no concurrently
+//! running test can perturb the counters.
+
+use capes_fleet::sched::FleetPool;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_pool_dispatch_is_allocation_free() {
+    // 16 simulated clusters sharded over 4 threads, the bench fleet's shape.
+    let pool = FleetPool::new(4);
+    let work: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+    let touch = |start: usize, end: usize| {
+        for slot in &work[start..end] {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+
+    // Warm-up: the first dispatches may fault in lazily-initialised state
+    // (thread locals, panic machinery, telemetry interning).
+    for _ in 0..32 {
+        pool.run(16, 1, touch);
+        pool.run_with(16, 1, touch, || {
+            work[0].fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+    let deallocs_before = DEALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        pool.run(16, 1, touch);
+        pool.run_with(16, 1, touch, || {
+            work[0].fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - allocs_before;
+    let deallocs = DEALLOCATIONS.load(Ordering::SeqCst) - deallocs_before;
+
+    // Sanity: the chunks actually ran.
+    let total: usize = work.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+    assert!(total >= 2 * 132 * 16 / 16, "chunks must have executed");
+
+    assert_eq!(
+        (allocs, deallocs),
+        (0, 0),
+        "steady-state fleet dispatch must not touch the heap"
+    );
+}

@@ -3,7 +3,10 @@
 //! Supports the shapes this workspace actually derives on:
 //!
 //! * structs with named fields (including `#[serde(skip)]` fields, which are
-//!   omitted on serialize and `Default`-initialised on deserialize);
+//!   omitted on serialize and `Default`-initialised on deserialize, and
+//!   `#[serde(default)]` fields, which fall back to `Default::default()`
+//!   when absent from the input — the escape hatch that keeps old payloads
+//!   readable after a struct grows a field);
 //! * enums with unit, newtype, tuple and struct variants.
 //!
 //! Generic types, tuple structs and other serde attributes are rejected with
@@ -16,6 +19,9 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(default)]`: on deserialize, a missing entry becomes
+    /// `Default::default()` instead of an error.
+    default: bool,
 }
 
 enum VariantShape {
@@ -45,9 +51,10 @@ fn compile_error(message: &str) -> TokenStream {
 }
 
 /// Consumes leading attributes starting at `i`; returns the next index and
-/// whether any of the attributes was exactly `#[serde(skip)]`.
-fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+/// whether the attributes included `#[serde(skip)]` / `#[serde(default)]`.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool, bool) {
     let mut skip = false;
+    let mut default = false;
     while i + 1 < tokens.len() {
         match (&tokens[i], &tokens[i + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
@@ -58,12 +65,14 @@ fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
                     if attr_name.to_string() == "serde" {
                         if let Some(TokenTree::Group(args)) = inner.get(1) {
                             let arg = args.stream().to_string();
-                            if arg.trim() == "skip" {
-                                skip = true;
-                            } else {
+                            match arg.trim() {
+                                "skip" => skip = true,
+                                "default" => default = true,
                                 // Any other serde attribute is unsupported; flag
                                 // it loudly rather than silently mis-serializing.
-                                panic!("serde shim derive: unsupported attribute #[serde({arg})]");
+                                _ => panic!(
+                                    "serde shim derive: unsupported attribute #[serde({arg})]"
+                                ),
                             }
                         }
                     }
@@ -73,7 +82,7 @@ fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
             _ => break,
         }
     }
-    (i, skip)
+    (i, skip, default)
 }
 
 /// Parses the fields of a braced field list: `pub name: Type, ...`.
@@ -82,7 +91,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (next, skip) = skip_attributes(&tokens, i);
+        let (next, skip, default) = skip_attributes(&tokens, i);
         i = next;
         if i >= tokens.len() {
             break;
@@ -121,7 +130,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             }
             i += 1;
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     Ok(fields)
 }
@@ -160,7 +173,7 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
     let mut variants = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (next, _) = skip_attributes(&tokens, i);
+        let (next, _, _) = skip_attributes(&tokens, i);
         i = next;
         if i >= tokens.len() {
             break;
@@ -200,7 +213,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
     loop {
-        let (next, _) = skip_attributes(&tokens, i);
+        let (next, _, _) = skip_attributes(&tokens, i);
         i = next;
         match tokens.get(i) {
             Some(TokenTree::Ident(ident)) => {
@@ -339,6 +352,15 @@ fn gen_named_field_build(type_label: &str, fields: &[Field], source: &str) -> St
             inits.push_str(&format!(
                 "{}: std::default::Default::default(),\n",
                 field.name
+            ));
+        } else if field.default {
+            inits.push_str(&format!(
+                "{field}: match serde::map_get({source}, {field_str:?}) {{\n\
+                     Some(v) => serde::Deserialize::from_value(v)?,\n\
+                     None => std::default::Default::default(),\n\
+                 }},\n",
+                field = field.name,
+                field_str = field.name,
             ));
         } else {
             inits.push_str(&format!(

@@ -146,7 +146,97 @@ pub fn gemm_rows_with(
     assert_eq!(out.len(), rows_a * cols_b, "gemm_rows: out length mismatch");
     match level {
         // Safety: the guard re-confirms the CPU runs AVX2+FMA (std caches
-        // the probe); lengths were asserted above.
+        // the probe); lengths were asserted above. Wide-and-tall products
+        // take the packed-B variant — bit-identical to the streaming kernel
+        // (see `gemm_rows_packed_with`), so the gate can never perturb a
+        // result, only the memory traffic. Below the gate the pack cost is
+        // not amortised (few output rows reuse each packed panel) and the
+        // streaming kernel already runs at full speed.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
+            if rows_a >= PACK_MIN_ROWS && cols_b >= PACK_MIN_COLS {
+                avx2::gemm_rows_packed(a, b, out, rows_a, cols_a, cols_b)
+            } else {
+                avx2::gemm_rows(a, b, out, rows_a, cols_a, cols_b)
+            }
+        },
+        _ => gemm_rows_scalar(a, b, out, rows_a, cols_a, cols_b),
+    }
+}
+
+/// Auto-dispatch gate for the packed-B `gemm_rows` variant: packing a
+/// k-panel costs one pass over it, so it only pays when at least this many
+/// output rows re-sweep the panel …
+#[cfg(target_arch = "x86_64")]
+const PACK_MIN_ROWS: usize = 8;
+/// … and the panel is wide enough that the strided tile walk of the
+/// streaming kernel actually leaves cache-line locality on the table. The
+/// training-step shapes (32 × 600 · 600 × 600 and 600³) clear both bounds.
+#[cfg(target_arch = "x86_64")]
+const PACK_MIN_COLS: usize = 128;
+
+/// [`gemm_rows_with`] through the **packed-B** AVX2 kernel unconditionally:
+/// each k-panel of `b` is repacked into contiguous tile-major storage (a
+/// thread-local, grow-only scratch buffer — allocation-free at steady state)
+/// before the register-tiled sweep, so the inner loop reads `b` fragments
+/// from consecutive cache lines instead of `cols_b`-strided ones.
+///
+/// The packed kernel issues **the same FMA chain per output element** as the
+/// streaming kernel — only the addresses the `b` fragments are loaded from
+/// change — so its results are bit-identical to [`gemm_rows_unpacked_with`]
+/// at every level (property-tested). The scalar arm has no packed variant
+/// (packing buys nothing without the tile sweep) and delegates to the scalar
+/// kernel, which keeps this entry safe to call at any level anywhere.
+///
+/// [`gemm_rows_with`] auto-selects this variant for large shapes; this
+/// explicit entry exists so tests and benches can pin the packed path on
+/// both sides of the gate.
+///
+/// # Panics
+/// As in [`gemm_rows_with`].
+pub fn gemm_rows_packed_with(
+    level: SimdLevel,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    rows_a: usize,
+    cols_a: usize,
+    cols_b: usize,
+) {
+    assert_eq!(a.len(), rows_a * cols_a, "gemm_rows: a length mismatch");
+    assert_eq!(b.len(), cols_a * cols_b, "gemm_rows: b length mismatch");
+    assert_eq!(out.len(), rows_a * cols_b, "gemm_rows: out length mismatch");
+    match level {
+        // Safety: as in `gemm_rows_with`.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
+            avx2::gemm_rows_packed(a, b, out, rows_a, cols_a, cols_b)
+        },
+        _ => gemm_rows_scalar(a, b, out, rows_a, cols_a, cols_b),
+    }
+}
+
+/// [`gemm_rows_with`] through the **streaming** (non-packing) AVX2 kernel
+/// unconditionally, bypassing the packed-B gate. This is the pre-packing
+/// dispatch, kept public so the bit-equality property tests and the `gemm`
+/// benches can pin the unpacked path on shapes the auto gate would pack.
+///
+/// # Panics
+/// As in [`gemm_rows_with`].
+pub fn gemm_rows_unpacked_with(
+    level: SimdLevel,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    rows_a: usize,
+    cols_a: usize,
+    cols_b: usize,
+) {
+    assert_eq!(a.len(), rows_a * cols_a, "gemm_rows: a length mismatch");
+    assert_eq!(b.len(), cols_a * cols_b, "gemm_rows: b length mismatch");
+    assert_eq!(out.len(), rows_a * cols_b, "gemm_rows: out length mismatch");
+    match level {
+        // Safety: as in `gemm_rows_with`.
         #[cfg(target_arch = "x86_64")]
         SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
             avx2::gemm_rows(a, b, out, rows_a, cols_a, cols_b)
@@ -1010,6 +1100,221 @@ mod avx2 {
         }
     }
 
+    // Thread-local scratch for the packed-B kernel: grow-only, so after the
+    // first call at a given panel size every repack reuses the allocation
+    // and the steady-state dispatch stays allocation-free (the same
+    // guarantee the worker pool carries).
+    std::thread_local! {
+        static PACK_BUF: std::cell::RefCell<Vec<f64>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+
+    /// Packed-B arm of [`super::gemm_rows_packed_with`] (and of the
+    /// [`super::gemm_rows_with`] auto gate): identical k-panel blocking to
+    /// [`gemm_rows`], but each panel of `b` is first copied into tile-major
+    /// scratch so the register-tiled sweep reads consecutive cache lines.
+    ///
+    /// # Safety
+    /// As in [`gemm_rows`].
+    pub(super) unsafe fn gemm_rows_packed(
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+        rows_a: usize,
+        cols_a: usize,
+        cols_b: usize,
+    ) {
+        PACK_BUF.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            let needed = BLOCK.min(cols_a) * cols_b;
+            if buf.len() < needed {
+                buf.resize(needed, 0.0);
+            }
+            for kk in (0..cols_a).step_by(BLOCK) {
+                let steps = (kk + BLOCK).min(cols_a) - kk;
+                // Safety: forwarded from the caller; the scratch buffer holds
+                // at least `steps * cols_b` elements by the resize above.
+                unsafe {
+                    pack_b_panel(
+                        b.as_ptr().add(kk * cols_b),
+                        cols_b,
+                        cols_b,
+                        steps,
+                        buf.as_mut_ptr(),
+                    );
+                    panel_packed(
+                        a.as_ptr().add(kk),
+                        cols_a,
+                        1,
+                        buf.as_ptr(),
+                        out.as_mut_ptr(),
+                        cols_b,
+                        rows_a,
+                        cols_b,
+                        steps,
+                    );
+                }
+            }
+        });
+    }
+
+    /// Copies the `steps × cols` k-panel at `b` (rows `b_stride` apart) into
+    /// `dst` in **tile-major** order: each full 8-column tile is stored as
+    /// `steps` consecutive 8-element rows (so the microkernel's per-step
+    /// fragment loads walk `dst` with stride 8 — one cache line — instead of
+    /// stride `b_stride`), followed by the `w = cols % 8` remainder tile
+    /// stored as `steps` rows of `w` elements. Total footprint is exactly
+    /// `steps * cols` elements.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2; `b` must be valid for the panel reads and
+    /// `dst` for `steps * cols` writes.
+    #[target_feature(enable = "avx2")]
+    unsafe fn pack_b_panel(
+        b: *const f64,
+        b_stride: usize,
+        cols: usize,
+        steps: usize,
+        dst: *mut f64,
+    ) {
+        let full = cols / 8 * 8;
+        let w = cols - full;
+        let mut j = 0usize;
+        while j < full {
+            let tile = dst.add((j / 8) * steps * 8);
+            for s in 0..steps {
+                let src = b.add(s * b_stride + j);
+                _mm256_storeu_pd(tile.add(s * 8), _mm256_loadu_pd(src));
+                _mm256_storeu_pd(tile.add(s * 8 + 4), _mm256_loadu_pd(src.add(4)));
+            }
+            j += 8;
+        }
+        if w > 0 {
+            let rem = dst.add((full / 8) * steps * 8);
+            for s in 0..steps {
+                let src = b.add(s * b_stride + full);
+                for c in 0..w {
+                    *rem.add(s * w + c) = *src.add(c);
+                }
+            }
+        }
+    }
+
+    /// [`panel`] over a [`pack_b_panel`]-packed panel. Per output element the
+    /// FMA chain is **instruction-for-instruction the same** as [`panel`]'s —
+    /// same broadcast, same 4-wide fragment loads, same step order — only the
+    /// addresses the `b` fragments come from differ (contiguous tile rows
+    /// instead of `b_stride`-strided ones). That is the whole bit-identity
+    /// argument: equal operands through equal operations in equal order.
+    /// Remainder columns land in the packed remainder tile and go through the
+    /// *same* [`row_tail`] helper (stride `w` instead of `b_stride`);
+    /// remainder rows run 1×8 tiles whose per-element chain matches the
+    /// streaming kernel's broadcast sweep.
+    ///
+    /// # Safety
+    /// As in [`panel`]; `packed` must hold the `steps × cols` panel in
+    /// [`pack_b_panel`] layout.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn panel_packed(
+        a: *const f64,
+        a_row_stride: usize,
+        a_step: usize,
+        packed: *const f64,
+        out: *mut f64,
+        cols_out: usize,
+        rows: usize,
+        cols: usize,
+        steps: usize,
+    ) {
+        let full = cols / 8 * 8;
+        let w = cols - full;
+        let rem = packed.add((full / 8) * steps * 8);
+        let mut t = 0usize;
+        while t + 4 <= rows {
+            let a0 = a.add(t * a_row_stride);
+            let a1 = a.add((t + 1) * a_row_stride);
+            let a2 = a.add((t + 2) * a_row_stride);
+            let a3 = a.add((t + 3) * a_row_stride);
+            let o0 = out.add(t * cols_out);
+            let o1 = out.add((t + 1) * cols_out);
+            let o2 = out.add((t + 2) * cols_out);
+            let o3 = out.add((t + 3) * cols_out);
+            let mut j = 0usize;
+            while j + 8 <= cols {
+                let mut acc00 = _mm256_loadu_pd(o0.add(j));
+                let mut acc01 = _mm256_loadu_pd(o0.add(j + 4));
+                let mut acc10 = _mm256_loadu_pd(o1.add(j));
+                let mut acc11 = _mm256_loadu_pd(o1.add(j + 4));
+                let mut acc20 = _mm256_loadu_pd(o2.add(j));
+                let mut acc21 = _mm256_loadu_pd(o2.add(j + 4));
+                let mut acc30 = _mm256_loadu_pd(o3.add(j));
+                let mut acc31 = _mm256_loadu_pd(o3.add(j + 4));
+                let mut bp = packed.add((j / 8) * steps * 8);
+                let mut off = 0usize;
+                for _ in 0..steps {
+                    let bv0 = _mm256_loadu_pd(bp);
+                    let bv1 = _mm256_loadu_pd(bp.add(4));
+                    let v0 = _mm256_broadcast_sd(&*a0.add(off));
+                    acc00 = _mm256_fmadd_pd(v0, bv0, acc00);
+                    acc01 = _mm256_fmadd_pd(v0, bv1, acc01);
+                    let v1 = _mm256_broadcast_sd(&*a1.add(off));
+                    acc10 = _mm256_fmadd_pd(v1, bv0, acc10);
+                    acc11 = _mm256_fmadd_pd(v1, bv1, acc11);
+                    let v2 = _mm256_broadcast_sd(&*a2.add(off));
+                    acc20 = _mm256_fmadd_pd(v2, bv0, acc20);
+                    acc21 = _mm256_fmadd_pd(v2, bv1, acc21);
+                    let v3 = _mm256_broadcast_sd(&*a3.add(off));
+                    acc30 = _mm256_fmadd_pd(v3, bv0, acc30);
+                    acc31 = _mm256_fmadd_pd(v3, bv1, acc31);
+                    bp = bp.add(8);
+                    off += a_step;
+                }
+                _mm256_storeu_pd(o0.add(j), acc00);
+                _mm256_storeu_pd(o0.add(j + 4), acc01);
+                _mm256_storeu_pd(o1.add(j), acc10);
+                _mm256_storeu_pd(o1.add(j + 4), acc11);
+                _mm256_storeu_pd(o2.add(j), acc20);
+                _mm256_storeu_pd(o2.add(j + 4), acc21);
+                _mm256_storeu_pd(o3.add(j), acc30);
+                _mm256_storeu_pd(o3.add(j + 4), acc31);
+                j += 8;
+            }
+            if j < cols {
+                row_tail(a0, a_step, rem, w, o0.add(full), 0, w, steps);
+                row_tail(a1, a_step, rem, w, o1.add(full), 0, w, steps);
+                row_tail(a2, a_step, rem, w, o2.add(full), 0, w, steps);
+                row_tail(a3, a_step, rem, w, o3.add(full), 0, w, steps);
+            }
+            t += 4;
+        }
+        while t < rows {
+            let a_row = a.add(t * a_row_stride);
+            let o_row = out.add(t * cols_out);
+            let mut j = 0usize;
+            while j + 8 <= cols {
+                let mut acc0 = _mm256_loadu_pd(o_row.add(j));
+                let mut acc1 = _mm256_loadu_pd(o_row.add(j + 4));
+                let mut bp = packed.add((j / 8) * steps * 8);
+                let mut off = 0usize;
+                for _ in 0..steps {
+                    let v = _mm256_broadcast_sd(&*a_row.add(off));
+                    acc0 = _mm256_fmadd_pd(v, _mm256_loadu_pd(bp), acc0);
+                    acc1 = _mm256_fmadd_pd(v, _mm256_loadu_pd(bp.add(4)), acc1);
+                    bp = bp.add(8);
+                    off += a_step;
+                }
+                _mm256_storeu_pd(o_row.add(j), acc0);
+                _mm256_storeu_pd(o_row.add(j + 4), acc1);
+                j += 8;
+            }
+            if j < cols {
+                row_tail(a_row, a_step, rem, w, o_row.add(full), 0, w, steps);
+            }
+            t += 1;
+        }
+    }
+
     /// AVX2+FMA arm of [`super::gemm_ta_rows_with`]: the same [`panel`]
     /// microkernel with the broadcast operand walking a *column* of `a`
     /// (stride `m` per reduction step, stride 1 between output rows).
@@ -1529,6 +1834,47 @@ mod tests {
         let mut out_tb = [f64::NAN];
         gemm_tb_rows_with(SimdLevel::Scalar, &[3.0], &[4.0], &mut out_tb, 1, 1, 1);
         assert_eq!(out_tb, [12.0]);
+    }
+
+    #[test]
+    fn packed_gemm_handles_degenerate_and_gate_straddling_shapes() {
+        // Shapes on both sides of the auto gate, including ones with no full
+        // 8-column tile (pure remainder), no remainder (cols % 8 == 0), and
+        // multiple k-panels; packed, unpacked and auto dispatch must agree
+        // bitwise at every runnable level.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 64, 8),
+            (5, 65, 9),
+            (9, 130, 140),
+            (8, 40, 128),
+            (7, 40, 128),
+            (8, 40, 127),
+        ] {
+            let a: Vec<f64> = (0..m * k).map(|i| (i as f64).sin()).collect();
+            let b: Vec<f64> = (0..k * n).map(|i| (i as f64).cos()).collect();
+            for level in runnable_levels() {
+                let mut unpacked = vec![0.1; m * n];
+                let mut packed = vec![0.1; m * n];
+                let mut auto = vec![0.1; m * n];
+                gemm_rows_unpacked_with(level, &a, &b, &mut unpacked, m, k, n);
+                gemm_rows_packed_with(level, &a, &b, &mut packed, m, k, n);
+                gemm_rows_with(level, &a, &b, &mut auto, m, k, n);
+                for i in 0..m * n {
+                    assert_eq!(
+                        packed[i].to_bits(),
+                        unpacked[i].to_bits(),
+                        "{level} {m}x{k}x{n}: packed diverged at {i}"
+                    );
+                    assert_eq!(
+                        auto[i].to_bits(),
+                        unpacked[i].to_bits(),
+                        "{level} {m}x{k}x{n}: auto gate diverged at {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,9 +22,9 @@
 //! in-process on every host.
 
 use capes_tensor::simd::{
-    self, active_level, adam_update_with, bellman_targets_with, detected_level, gemm_rows_with,
-    gemm_ta_rows_with, gemm_tb_rows_with, tanh_backward_with, tanh_forward_with, tanh_value,
-    AdamStep, SimdLevel,
+    self, active_level, adam_update_with, bellman_targets_with, detected_level,
+    gemm_rows_packed_with, gemm_rows_unpacked_with, gemm_rows_with, gemm_ta_rows_with,
+    gemm_tb_rows_with, tanh_backward_with, tanh_forward_with, tanh_value, AdamStep, SimdLevel,
 };
 use capes_tensor::WorkerPool;
 use proptest::prelude::*;
@@ -147,6 +147,41 @@ proptest! {
             for (got, want) in out.iter().zip(&reference) {
                 prop_assert!(approx(*got, *want), "{level} tb {m}x{k}x{n}: {got} vs {want}");
             }
+        }
+    }
+
+    /// The packed-B GEMM is **bit-identical** to the streaming kernel at
+    /// every runnable level — stronger than reference-equivalence: packing
+    /// only relocates the `b` fragments, every output element's FMA chain is
+    /// unchanged. Shapes cross the auto gate (`rows ≥ 8 && cols ≥ 128`) in
+    /// both directions, span 1–4 k-panels with ragged tails, hit every
+    /// `cols % 8` remainder class, and accumulate onto a non-zero seed; the
+    /// auto-dispatched entry must match both (the gate is invisible).
+    #[test]
+    fn packed_gemm_is_bit_identical_to_unpacked_at_every_level(
+        (m, k, n) in (1usize..24, 1usize..200, 1usize..160),
+        off_b in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_vec(&mut rng, m * k);
+        let b = offset_vec(&mut rng, k * n, off_b);
+        let seed_out = random_vec(&mut rng, m * n);
+        for level in runnable_levels() {
+            let mut unpacked = seed_out.clone();
+            let mut packed = seed_out.clone();
+            let mut auto = seed_out.clone();
+            gemm_rows_unpacked_with(level, &a, &b[off_b..], &mut unpacked, m, k, n);
+            gemm_rows_packed_with(level, &a, &b[off_b..], &mut packed, m, k, n);
+            gemm_rows_with(level, &a, &b[off_b..], &mut auto, m, k, n);
+            prop_assert!(
+                bits_equal(&packed, &unpacked),
+                "{level} {m}x{k}x{n}: packed kernel diverged from streaming"
+            );
+            prop_assert!(
+                bits_equal(&auto, &unpacked),
+                "{level} {m}x{k}x{n}: auto gate perturbed the result"
+            );
         }
     }
 

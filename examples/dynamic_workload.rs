@@ -12,8 +12,8 @@
 //! Run with `cargo run --release --example dynamic_workload`.
 
 use capes::prelude::*;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 fn main() {
     let phase_ticks: u64 = std::env::var("CAPES_PHASE_TICKS")
@@ -27,15 +27,17 @@ fn main() {
         .build();
 
     // A per-tick observer counting exploratory actions: monitoring consumers
-    // see the stream live instead of polling the system.
-    let explored: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+    // see the stream live instead of polling the system. Observers must be
+    // `Send` (the fleet daemon shards member systems across worker threads),
+    // so the counter is an atomic.
+    let explored: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
     let sink = explored.clone();
     let system = Capes::builder(target)
         .hyperparams(Hyperparameters::quick_test())
         .seed(5)
         .observer(move |_kind: PhaseKind, tick: &SystemTick| {
             if tick.explored {
-                *sink.borrow_mut() += 1;
+                sink.fetch_add(1, Ordering::Relaxed);
             }
         })
         .build()
@@ -59,11 +61,11 @@ fn main() {
             system.target_mut().cluster_mut().set_workload(workload);
             system.notify_workload_change();
         }
-        let explored_before = *explored.borrow();
+        let explored_before = explored.load(Ordering::Relaxed);
         experiment = experiment.phase(Phase::Train { ticks: phase_ticks });
         let report = experiment.run();
         let result = &report.sessions[0];
-        let explored_in_phase = *explored.borrow() - explored_before;
+        let explored_in_phase = explored.load(Ordering::Relaxed) - explored_before;
         println!(
             "phase {:>20}: {:>7.1} ± {:.1} MB/s   (window = {:.0}, rate limit = {:.0}, {} exploratory ticks)",
             label,

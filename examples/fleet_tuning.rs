@@ -35,15 +35,21 @@ fn main() {
 
     // Eight clusters cycling the paper's workload families and read/write
     // mixes with varying client counts — one run exercises many scenarios.
+    // Fleet workers shard the member ticks across threads (also settable via
+    // CAPES_FLEET_THREADS); any worker count is bit-identical to sequential,
+    // so this only changes wall-clock on multi-core hosts, never results.
+    let workers = env_ticks("CAPES_FLEET_WORKERS", 2) as usize;
     let scenarios = ScenarioSpec::heterogeneous_mix(8);
     let mut daemon = Fleet::builder()
         .hyperparams(Hyperparameters::quick_test())
         .seed(7)
+        .workers(workers)
         .scenarios(scenarios)
         .build()
         .expect("valid fleet");
     println!(
-        "fleet: {} clusters across {} profiles (shared DQN per profile)",
+        "fleet: {} clusters across {} profiles (shared DQN per profile), \
+         {workers} fleet workers",
         daemon.num_clusters(),
         daemon.num_profiles()
     );

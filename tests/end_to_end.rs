@@ -262,10 +262,12 @@ fn experiment_reports_round_trip_through_json() {
 
 #[test]
 fn per_tick_observers_stream_during_every_phase() {
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
-    let counts: Rc<RefCell<(u64, u64, u64)>> = Rc::new(RefCell::new((0, 0, 0)));
+    // Observers are `Send` (fleet members shard across worker threads), so
+    // the tallies live behind an Arc<Mutex> rather than an Rc<RefCell>.
+    let counts: Arc<Mutex<(u64, u64, u64)>> = Arc::new(Mutex::new((0, 0, 0)));
     let sink = counts.clone();
     let target = SimulatedLustre::builder()
         .workload(Workload::random_rw(0.1))
@@ -275,7 +277,7 @@ fn per_tick_observers_stream_during_every_phase() {
         .hyperparams(quick_hyperparams())
         .seed(9)
         .observer(move |kind: PhaseKind, _tick: &SystemTick| {
-            let mut counts = sink.borrow_mut();
+            let mut counts = sink.lock().unwrap();
             match kind {
                 PhaseKind::Baseline => counts.0 += 1,
                 PhaseKind::Train => counts.1 += 1,
@@ -292,7 +294,7 @@ fn per_tick_observers_stream_during_every_phase() {
             label: "t".into(),
         });
     experiment.run();
-    assert_eq!(*counts.borrow(), (40, 70, 25));
+    assert_eq!(*counts.lock().unwrap(), (40, 70, 25));
 }
 
 #[test]
