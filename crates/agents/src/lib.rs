@@ -15,6 +15,8 @@
 //! differentially encoded and serialised to a compact binary frame — so the
 //! per-client message sizes of Table 2 can be measured.
 
+#![forbid(unsafe_code)]
+
 pub mod checker;
 pub mod control;
 pub mod interface;

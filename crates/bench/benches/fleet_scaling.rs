@@ -11,6 +11,8 @@
 //! measures pure dispatch: on a single-core host the curve is flat minus pool
 //! overhead; scaling only shows on multi-core hosts.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use capes::{Hyperparameters, Phase, PhaseKind};
 use capes_fleet::{Fleet, FleetDaemon, FleetPlan, ScenarioSpec};
 use capes_tensor::simd::{self};
@@ -90,6 +92,8 @@ fn bench_gemm_pool_scaling(c: &mut Criterion) {
                 out.fill(0.0);
                 let ptr = SendPtr(out.as_mut_ptr());
                 pool.run(m, 8, |start, end| {
+                    // SAFETY: this chunk owns output rows start..end — ranges from
+                    // one dispatch are disjoint and in bounds.
                     let chunk = unsafe { ptr.slice_mut(start * n, (end - start) * n) };
                     simd::gemm_rows_with(
                         level,
@@ -119,6 +123,8 @@ fn bench_gemm_pool_scaling(c: &mut Criterion) {
                         let a = &a;
                         let b = &b;
                         scope.spawn(move || {
+                            // SAFETY: this chunk owns output rows start..end — ranges from
+                            // one dispatch are disjoint and in bounds.
                             let chunk = unsafe { ptr.slice_mut(start * n, (end - start) * n) };
                             simd::gemm_rows_with(
                                 level,
@@ -143,12 +149,16 @@ fn bench_gemm_pool_scaling(c: &mut Criterion) {
 /// same shape the production pooled dispatch uses).
 #[derive(Clone, Copy)]
 struct SendPtr(*mut f64);
+// SAFETY: only dereferenced through disjoint in-bounds row ranges while the
+// owning buffer is alive.
 unsafe impl Send for SendPtr {}
+// SAFETY: as above — concurrent access is confined to disjoint ranges.
 unsafe impl Sync for SendPtr {}
 impl SendPtr {
     /// # Safety
     /// The range must be in bounds and disjoint from concurrent accesses.
     unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [f64] {
+        // SAFETY: forwarded caller contract (see `# Safety` above).
         unsafe { std::slice::from_raw_parts_mut(self.0.add(offset), len) }
     }
 }

@@ -29,6 +29,8 @@
 //! construction, simulator ticks) and ablation benches for the design choices
 //! called out in DESIGN.md.
 
+#![forbid(unsafe_code)]
+
 use capes::prelude::*;
 use capes_stats::ConfidenceInterval;
 use serde::Serialize;

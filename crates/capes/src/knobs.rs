@@ -1,0 +1,46 @@
+//! Central registry of every `CAPES_*` environment knob.
+//!
+//! `capes-check` (rule `env-registry`) requires each `CAPES_*` string
+//! literal in non-test code to appear as a string literal in this module,
+//! so the tuning surface the process reads from its environment is
+//! documented in exactly one place.
+
+/// `1/on/true` forces the SIMD GEMM kernels on; `0/off/false` forces the
+/// scalar fallback. Unset: runtime AVX2+FMA detection decides.
+pub const ENV_SIMD: &str = "CAPES_SIMD";
+
+/// Worker-thread count for the GEMM worker pool. Unset or `0`: derived from
+/// available parallelism.
+pub const ENV_THREADS: &str = "CAPES_THREADS";
+
+/// Shard-worker count for the fleet daemon's tick pool. Unset or `0`:
+/// derived from available parallelism.
+pub const ENV_FLEET_THREADS: &str = "CAPES_FLEET_THREADS";
+
+/// `1/on/true` enables span journaling (tracing) in `capes-telemetry`.
+pub const ENV_TRACE: &str = "CAPES_TRACE";
+
+/// `1/on/true` runs the full-length experiment schedules instead of the CI
+/// quick profile.
+pub const ENV_FULL: &str = "CAPES_FULL";
+
+/// Connection count used by the net soak/integration harness.
+pub const ENV_NET_CONNS: &str = "CAPES_NET_CONNS";
+
+/// Training-phase tick count override for the single-system examples.
+pub const ENV_TRAIN_TICKS: &str = "CAPES_TRAIN_TICKS";
+
+/// Measurement-phase tick count override for the single-system examples.
+pub const ENV_MEASURE_TICKS: &str = "CAPES_MEASURE_TICKS";
+
+/// Per-phase tick count override for the dynamic-workload example.
+pub const ENV_PHASE_TICKS: &str = "CAPES_PHASE_TICKS";
+
+/// Training-phase tick count override for the fleet examples.
+pub const ENV_FLEET_TRAIN_TICKS: &str = "CAPES_FLEET_TRAIN_TICKS";
+
+/// Measurement-phase tick count override for the fleet examples.
+pub const ENV_FLEET_MEASURE_TICKS: &str = "CAPES_FLEET_MEASURE_TICKS";
+
+/// Simulated fleet size override for the fleet examples.
+pub const ENV_FLEET_WORKERS: &str = "CAPES_FLEET_WORKERS";

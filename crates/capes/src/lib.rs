@@ -64,12 +64,15 @@
 //! assert!(ExperimentReport::from_json(&json).is_ok());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adapter;
 pub mod builder;
 pub mod engine;
 pub mod error;
 pub mod experiment;
 pub mod hyperparams;
+pub mod knobs;
 pub mod objective;
 pub mod session;
 pub mod system;

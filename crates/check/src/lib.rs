@@ -1,0 +1,112 @@
+//! capes-check: the workspace invariant linter.
+//!
+//! A dependency-free, token-level checker for the CAPES workspace's
+//! project-specific invariants — the things `rustc` and clippy cannot see:
+//! SAFETY-comment discipline, allocation-free hot paths, panic-free hardened
+//! boundaries, and centrally registered env knobs and metric names. See
+//! [`rules`] for the rule table and the inline suppression syntax, and
+//! `check.toml` at the workspace root for the manifest format ([`config`]).
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use rules::{Finding, Registries};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a workspace run.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files linted.
+    pub files_checked: usize,
+}
+
+/// Reads and parses `check.toml` at `path`.
+pub fn load_config(path: &Path) -> io::Result<Config> {
+    let text = fs::read_to_string(path)?;
+    config::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Lints every `.rs` file under `root` against `config`.
+pub fn run(root: &Path, config: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, config, &mut files)?;
+    files.sort();
+
+    let mut registries = Registries::default();
+    for rel in config.env_registry.iter() {
+        registries.env.extend(read_literals(root, rel)?);
+    }
+    for rel in config.metric_registry.iter() {
+        registries.metrics.extend(read_literals(root, rel)?);
+    }
+
+    let mut findings = Vec::new();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        findings.extend(rules::lint_file(rel, &src, config, &registries));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(Report {
+        findings,
+        files_checked: files.len(),
+    })
+}
+
+fn read_literals(root: &Path, rel: &str) -> io::Result<std::collections::HashSet<String>> {
+    let path = root.join(rel);
+    let src = fs::read_to_string(&path)
+        .map_err(|e| io::Error::new(e.kind(), format!("registry file {rel} is unreadable: {e}")))?;
+    Ok(rules::literal_set(&src))
+}
+
+/// Recursively collects workspace-relative `.rs` paths, skipping build
+/// output, VCS metadata, and configured excludes.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<String>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = relative(root, &path);
+        if config
+            .exclude
+            .iter()
+            .any(|e| rel == *e || rel.starts_with(&format!("{e}/")))
+        {
+            continue;
+        }
+        let kind = entry.file_type()?;
+        if kind.is_dir() {
+            collect_rs_files(root, &path, config, out)?;
+        } else if kind.is_file() && name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative `/`-separated path string.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

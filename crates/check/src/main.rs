@@ -1,0 +1,73 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! capes-check [--manifest check.toml] [--root <dir>]
+//! ```
+//!
+//! Prints `file:line: [rule] message` per finding and exits non-zero if any
+//! were found. `--root` defaults to the manifest's directory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut manifest = PathBuf::from("check.toml");
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--manifest" => match args.next() {
+                Some(v) => manifest = PathBuf::from(v),
+                None => return usage("--manifest needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: capes-check [--manifest check.toml] [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let root = root
+        .or_else(|| manifest.parent().map(PathBuf::from))
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let config = match capes_check::load_config(&manifest) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("capes-check: cannot load {}: {e}", manifest.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = match capes_check::run(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("capes-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if report.findings.is_empty() {
+        eprintln!("capes-check: {} files clean", report.files_checked);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "capes-check: {} finding(s) across {} files",
+            report.findings.len(),
+            report.files_checked
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("capes-check: {message}");
+    eprintln!("usage: capes-check [--manifest check.toml] [--root <dir>]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,47 @@
+//! Fixture: `boundary-panic` rule. Violations at lines 6, 11, 17 and 24;
+//! everything past line 24 is either waived, suppressed, or in tests.
+
+/// An unwrap on a hardened boundary is a finding.
+pub fn bare_unwrap(input: &str) -> u32 {
+    input.parse().unwrap()
+}
+
+/// So is an expect, even with a good message.
+pub fn bare_expect(input: &str) -> u32 {
+    input.parse().expect("caller validated digits")
+}
+
+/// And a panic macro.
+pub fn reject(code: u32) -> u32 {
+    if code > 100 {
+        panic!("code out of range");
+    }
+    code
+}
+
+/// Indexing without a justifying comment is a finding.
+pub fn head(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+/// Indexing with a comment on the line above is waived.
+pub fn second(xs: &[u32]) -> u32 {
+    // In bounds: callers pass at least two elements.
+    xs[1]
+}
+
+/// A suppression with a reason silences the rule for the next line.
+pub fn suppressed(input: &str) -> u32 {
+    // capes-check: allow(boundary-panic) -- fixture exercising suppression.
+    input.parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may unwrap freely.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let n: u32 = "7".parse().unwrap();
+        assert_eq!(n, 7);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: `hot-path-alloc` rule scoped to named functions.
+//! Only `inner_loop` is hot; the violation is at line 8.
+
+/// Declared hot in check.toml: allocations here are findings.
+pub fn inner_loop(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        let held = x.to_string();
+        acc += held.len() as f64;
+    }
+    acc
+}
+
+/// Not listed as hot: the same allocation is fine here.
+pub fn setup(xs: &[f64]) -> Vec<String> {
+    xs.iter().map(|x| x.to_string()).collect()
+}

@@ -1,0 +1,4 @@
+//! Fixture env-knob registry: the only CAPES_* names the corpus may use.
+
+/// A knob the fixtures are allowed to read.
+pub const KNOWN: &str = "CAPES_FIXTURE_KNOWN";

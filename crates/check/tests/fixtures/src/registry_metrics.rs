@@ -1,0 +1,7 @@
+//! Fixture metric-name registry: the only metric/span names the corpus may use.
+
+/// A counter the fixtures are allowed to publish.
+pub const KNOWN_COUNTER: &str = "fixture.known_counter";
+
+/// A span the fixtures are allowed to open.
+pub const KNOWN_SPAN: &str = "fixture.known_span";

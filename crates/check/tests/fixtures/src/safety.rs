@@ -1,0 +1,27 @@
+//! Fixture: `safety-comment` rule. Violations at lines 10 and 20.
+
+/// Reads a value the safe way first.
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: the caller promises `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+struct Wrapper(*const u32);
+
+// SAFETY: the pointer is only dereferenced on the owning thread.
+unsafe impl Send for Wrapper {}
+
+struct Bare(*const u32);
+
+unsafe impl Send for Bare {}
+
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn contract(p: *const u32) -> u32 {
+    // SAFETY: forwarded from this function's own contract.
+    unsafe { *p }
+}

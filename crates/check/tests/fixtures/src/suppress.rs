@@ -1,0 +1,12 @@
+//! Fixture: `bad-suppression` rule. Violations at lines 5, 7 and 9.
+
+/// Each malformed marker below is itself a finding.
+pub fn malformed() -> u32 {
+    // capes-check: allow(boundary-panic)
+    let without_reason = 1;
+    // capes-check: allow(not-a-real-rule) -- the rule id is unknown.
+    let unknown_rule = 2;
+    // capes-check: disable everything please
+    let wrong_shape = 3;
+    without_reason + unknown_rule + wrong_shape
+}

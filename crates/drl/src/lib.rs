@@ -11,6 +11,8 @@
 //! `2 × number_of_tunable_parameters + 1` scheme (an increase and a decrease
 //! action per parameter plus a NULL action).
 
+#![forbid(unsafe_code)]
+
 pub mod action;
 pub mod agent;
 pub mod epsilon;

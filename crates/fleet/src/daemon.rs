@@ -273,7 +273,10 @@ impl FleetBuilder {
                     profiles.len() - 1
                 }
             };
+            // In bounds: `profile` is either a hit from the dedup scan over
+            // `profiles` or the index of the entry pushed just above.
             let row = profiles[profile].stripe_members.len();
+            // In bounds: same `profile` as the line above.
             profiles[profile].stripe_members.push(index);
             let scenario = format!(
                 "{} · {} clients × {} servers · seed {}",
@@ -399,6 +402,7 @@ impl<T> ShardPtr<T> {
     /// the returned reference lives.
     #[allow(clippy::mut_from_ref)]
     unsafe fn at(&self, i: usize) -> &mut T {
+        // SAFETY: forwarded caller contract (see `# Safety` above).
         unsafe { &mut *self.0.add(i) }
     }
 }
@@ -411,10 +415,11 @@ impl<T> Clone for ShardPtr<T> {
 
 impl<T> Copy for ShardPtr<T> {}
 
-// Safety: see `ShardPtr::at` — the tick partitions indices disjointly and
+// SAFETY: see `ShardPtr::at` — the tick partitions indices disjointly and
 // joins every chunk before reborrowing; `T: Send` is asserted above for the
 // element types that cross threads.
 unsafe impl<T: Send> Send for ShardPtr<T> {}
+// SAFETY: as above — shared access only ever touches disjoint indices.
 unsafe impl<T: Send> Sync for ShardPtr<T> {}
 
 /// A group of clusters sharing one observation geometry and therefore one
@@ -492,14 +497,9 @@ impl FleetTelemetry {
         if self.window.len() > TICK_WINDOW {
             self.window.pop_front();
         }
-        if self.window.len() >= 2 {
-            let span = self
-                .window
-                .back()
-                .unwrap()
-                .duration_since(*self.window.front().unwrap())
-                .as_secs_f64();
-            if span > 0.0 {
+        if let (Some(first), Some(last)) = (self.window.front(), self.window.back()) {
+            let span = last.duration_since(*first).as_secs_f64();
+            if self.window.len() >= 2 && span > 0.0 {
                 let ticks = (self.window.len() - 1) as f64 * num_clusters as f64;
                 self.recent_rate_value = ticks / span;
                 self.recent_rate.set(self.recent_rate_value);
@@ -663,11 +663,14 @@ impl FleetDaemon {
 
     /// Read access to a member system (diagnostics, tests).
     pub fn system(&self, cluster: usize) -> &CapesSystem<SimulatedLustre> {
+        // In bounds: caller contract — `cluster` indexes the fleet.
         &self.sessions[cluster].system
     }
 
     /// The profile agent serving `cluster`.
     pub fn agent_for(&self, cluster: usize) -> &DqnAgent {
+        // In bounds: caller contract on `cluster`; `session.profile` is
+        // assigned from `profiles` positions at build time.
         &self.profiles[self.sessions[cluster].profile].agent
     }
 
@@ -678,11 +681,13 @@ impl FleetDaemon {
 
     /// Profile index serving `cluster`.
     pub fn profile_of(&self, cluster: usize) -> usize {
+        // In bounds: caller contract — `cluster` indexes the fleet.
         self.sessions[cluster].profile
     }
 
     /// Member clusters (= arena stripes) of `profile`, in row order.
     pub fn profile_members(&self, profile: usize) -> &[usize] {
+        // In bounds: caller contract — `profile` indexes `profiles`.
         &self.profiles[profile].stripe_members
     }
 
@@ -706,15 +711,18 @@ impl FleetDaemon {
             );
             assert!(own + peers > 0.0, "sharing weights must not both be zero");
             assert!(
+                // In bounds: the range assert above validated `profile`.
                 own > 0.0 || self.profiles[profile].stripe_members.len() > 1,
                 "own weight 0 on a single-member profile would leave nothing to sample"
             );
         }
+        // In bounds: the range assert above validated `profile`.
         self.profile_sharing[profile] = mode;
     }
 
     /// The experience-sharing mode of `profile`.
     pub fn profile_sharing(&self, profile: usize) -> ExperienceSharing {
+        // In bounds: caller contract — `profile` indexes `profiles`.
         self.profile_sharing[profile]
     }
 
@@ -1034,6 +1042,7 @@ impl FleetDaemon {
                 ))
                 .into());
             }
+            // In bounds: the range check above rejects out-of-range clusters.
             self.sessions[cluster].system.ingest_message(&message);
             delivered += 1;
         }
@@ -1092,6 +1101,7 @@ impl FleetDaemon {
                 let front = self
                     .socket
                     .as_mut()
+                    // capes-check: allow(boundary-panic) -- construction invariant: Socket transport builds the front in new().
                     .expect("socket transport always builds a socket front");
                 // 1a. Step every target cluster-parallel, then transmit each
                 //     cluster's monitoring traffic on its loopback connection
@@ -1104,8 +1114,9 @@ impl FleetDaemon {
                     let measurements_ptr = ShardPtr::new(measurements.as_mut_slice());
                     sched.run(num_clusters, 1, |start, end| {
                         for i in start..end {
-                            // Safety: this chunk owns clusters start..end.
+                            // SAFETY: this chunk owns clusters start..end.
                             let (session, slot) =
+                                // SAFETY: this chunk owns clusters start..end.
                                 unsafe { (sessions_ptr.at(i), measurements_ptr.at(i)) };
                             *slot = Some(session.system.measure_tick());
                         }
@@ -1121,6 +1132,7 @@ impl FleetDaemon {
                         }
                     });
                     if let Some(e) = uplink_error {
+                        // capes-check: allow(boundary-panic) -- loopback pipe to our own server; failure means the daemon is torn.
                         panic!("socket uplink for cluster {i} failed: {e}");
                     }
                 }
@@ -1141,6 +1153,8 @@ impl FleetDaemon {
                             }
                         }
                     }
+                    // In bounds: the server routes only clusters that
+                    // passed its `num_clusters` decode validation.
                     sessions[cluster].system.ingest_message(message);
                 });
                 if record_failed {
@@ -1156,9 +1170,11 @@ impl FleetDaemon {
                     let measurements_ptr = ShardPtr::new(measurements.as_mut_slice());
                     sched.run(num_clusters, 1, |start, end| {
                         for i in start..end {
-                            // Safety: this chunk owns clusters start..end.
+                            // SAFETY: this chunk owns clusters start..end.
                             let (session, slot) =
+                                // SAFETY: this chunk owns clusters start..end.
                                 unsafe { (sessions_ptr.at(i), measurements_ptr.at(i)) };
+                            // capes-check: allow(boundary-panic) -- phase 1a filled every slot this tick.
                             let measurement = slot.as_mut().expect("measured above");
                             session.system.complete_measurement(kind, measurement);
                         }
@@ -1166,13 +1182,14 @@ impl FleetDaemon {
                 }
             }
             #[cfg(not(feature = "net"))]
+            // capes-check: allow(boundary-panic) -- cfg invariant: Socket transport is unconstructible without the net feature.
             unreachable!("socket transport cannot be built without the net feature");
         } else {
             let sessions_ptr = ShardPtr::new(sessions.as_mut_slice());
             let measurements_ptr = ShardPtr::new(measurements.as_mut_slice());
             sched.run(num_clusters, 1, |start, end| {
                 for i in start..end {
-                    // Safety: this chunk owns clusters start..end.
+                    // SAFETY: this chunk owns clusters start..end.
                     let (session, slot) = unsafe { (sessions_ptr.at(i), measurements_ptr.at(i)) };
                     *slot = Some(session.system.begin_tick(kind));
                 }
@@ -1180,13 +1197,19 @@ impl FleetDaemon {
         }
         if kind != PhaseKind::Baseline {
             for (i, session) in sessions.iter().enumerate() {
+                // In bounds: `measurements` is sized to `sessions`.
+                // capes-check: allow(boundary-panic) -- the measure phase above filled every slot this tick.
                 let measurement = measurements[i].as_ref().expect("measured above");
+                // In bounds: `session.profile` indexes `profiles` at build.
                 let profile = &mut profiles[session.profile];
                 match &measurement.observation {
                     Some(obs) => {
                         profile.batch.copy_row_from(session.row, &obs.features, 0);
+                        // In bounds: `session.row` is this cluster's stripe
+                        // row inside its profile, assigned at build.
                         profile.has_obs[session.row] = true;
                     }
+                    // In bounds: same `session.row` invariant.
                     None => profile.has_obs[session.row] = false,
                 }
             }
@@ -1232,8 +1255,10 @@ impl FleetDaemon {
             match *transport {
                 Transport::InProcess => {
                     for (i, session) in sessions.iter().enumerate() {
+                        // In bounds: `session.profile`/`session.row` are assigned
+                        // from `profiles` positions at build time.
                         let profile = &profiles[session.profile];
-                        let decision = profile.decisions[session.row];
+                        let decision = profile.decisions[session.row]; // In bounds: row assigned at build.
                         let current = session.system.current_params();
                         let params = step_params(
                             &profile.agent.action_space(),
@@ -1241,6 +1266,7 @@ impl FleetDaemon {
                             &current,
                             session.system.specs(),
                         );
+                        // In bounds: `staged_actions` is sized to `sessions`.
                         staged_actions[i] = Some(ProposedAction {
                             action_index: Some(decision.action),
                             explored: decision.explored,
@@ -1251,8 +1277,10 @@ impl FleetDaemon {
                 Transport::Wire => {
                     bus.clear();
                     for (i, session) in sessions.iter().enumerate() {
+                        // In bounds: `session.profile`/`session.row` are assigned
+                        // from `profiles` positions at build time.
                         let profile = &profiles[session.profile];
-                        let decision = profile.decisions[session.row];
+                        let decision = profile.decisions[session.row]; // In bounds: row assigned at build.
                         let current = session.system.current_params();
                         let params = step_params(
                             &profile.agent.action_space(),
@@ -1273,16 +1301,24 @@ impl FleetDaemon {
                         router
                             .route(&frame, |cluster, message| {
                                 if let Message::Action(action) = message {
+                                    // In bounds: the router validated
+                                    // `cluster` against the fleet size.
                                     pending_actions[cluster] = Some(action);
                                 }
                             })
+                            // capes-check: allow(boundary-panic) -- frames were encoded by this daemon one loop above.
                             .expect("self-encoded fleet frames always route");
                     }
                     for (i, session) in sessions.iter().enumerate() {
+                        // In bounds: `pending_actions` is sized to `sessions`.
                         let action = pending_actions[i]
                             .take()
+                            // capes-check: allow(boundary-panic) -- the routing loop above delivered one action per cluster.
                             .expect("every cluster received its action");
+                        // In bounds: `session.profile`/`session.row` are
+                        // assigned from `profiles` positions at build time.
                         let decision = profiles[session.profile].decisions[session.row];
+                        // In bounds: `staged_actions` is sized to `sessions`.
                         staged_actions[i] = Some(ProposedAction {
                             action_index: Some(action.action_index),
                             explored: decision.explored,
@@ -1296,13 +1332,16 @@ impl FleetDaemon {
                         let front = self
                             .socket
                             .as_mut()
+                            // capes-check: allow(boundary-panic) -- construction invariant: Socket transport builds the front in new().
                             .expect("socket transport always builds a socket front");
                         // Queue every cluster's action on the server-side
                         // downlink first, then read them back — the reactor
                         // flushes all connections concurrently.
                         for (i, session) in sessions.iter().enumerate() {
+                            // In bounds: `session.profile`/`session.row` are assigned
+                            // from `profiles` positions at build time.
                             let profile = &profiles[session.profile];
-                            let decision = profile.decisions[session.row];
+                            let decision = profile.decisions[session.row]; // In bounds: row assigned at build.
                             let current = session.system.current_params();
                             let params = step_params(
                                 &profile.agent.action_space(),
@@ -1321,7 +1360,10 @@ impl FleetDaemon {
                         }
                         for (i, session) in sessions.iter().enumerate() {
                             let action = front.recv_action(i);
+                            // In bounds: `session.profile`/`session.row` are
+                            // assigned from `profiles` positions at build.
                             let decision = profiles[session.profile].decisions[session.row];
+                            // In bounds: sized to `sessions`.
                             staged_actions[i] = Some(ProposedAction {
                                 action_index: Some(action.action_index),
                                 explored: decision.explored,
@@ -1330,6 +1372,7 @@ impl FleetDaemon {
                         }
                     }
                     #[cfg(not(feature = "net"))]
+                    // capes-check: allow(boundary-panic) -- cfg invariant: Socket transport is unconstructible without the net feature.
                     unreachable!("socket transport cannot be built without the net feature");
                 }
             }
@@ -1347,8 +1390,11 @@ impl FleetDaemon {
             if kind == PhaseKind::Train {
                 let shard = *train_cursor % num_clusters;
                 *train_cursor += 1;
+                // In bounds: `shard < num_clusters == sessions.len()` and
+                // `profile_idx` was assigned from `profiles` at build.
                 let profile_idx = sessions[shard].profile;
                 order_buf.clear();
+                // In bounds: `profile_idx` indexes `profiles` (see above).
                 order_buf.extend_from_slice(&profiles[profile_idx].stripe_members);
                 let members = order_buf.len();
                 for (i, session) in sessions.iter().enumerate() {
@@ -1356,15 +1402,18 @@ impl FleetDaemon {
                         order_buf.push(i);
                     }
                 }
-                let order = &order_buf[..];
+                let order = &order_buf[..]; // Full-range slice, always in bounds.
                 let sessions_ptr = ShardPtr::new(sessions.as_mut_slice());
                 let staged_ptr = ShardPtr::new(staged_actions.as_mut_slice());
                 let apply = |base: usize, start: usize, end: usize| {
                     for j in start..end {
+                        // In bounds: the pool is dispatched over
+                        // `order.len()` positions split at `base`.
                         let i = order[base + j];
-                        // Safety: `order` is a permutation of the clusters
+                        // SAFETY: `order` is a permutation of the clusters
                         // and this chunk owns positions base+start..base+end.
                         let (session, slot) = unsafe { (sessions_ptr.at(i), staged_ptr.at(i)) };
+                        // capes-check: allow(boundary-panic) -- the decide phase staged an action for every cluster.
                         let action = slot.take().expect("every cluster has a staged action");
                         session.system.apply_action(action);
                     }
@@ -1376,17 +1425,20 @@ impl FleetDaemon {
                     |start, end| apply(members, start, end),
                     || {
                         let train_started = Instant::now();
-                        // Safety: `shard` belongs to the trained profile, so
+                        // SAFETY: `shard` belongs to the trained profile, so
                         // its action was applied in the barrier above; no
                         // concurrent chunk touches it.
                         let session = unsafe { sessions_ptr.at(shard) };
+                        // In bounds: `profile_idx` indexes both `profiles`
+                        // and the parallel `profile_sharing` table.
                         let profile = &mut profiles[profile_idx];
-                        let mode = profile_sharing[profile_idx];
+                        let mode = profile_sharing[profile_idx]; // In bounds: parallel table.
                         let shared_weights = match mode {
                             ExperienceSharing::Disabled => None,
                             ExperienceSharing::Uniform => {
                                 weights_buf.iter_mut().for_each(|w| *w = 0.0);
                                 for &stripe in &profile.stripe_members {
+                                    // In bounds: stripes are cluster indices.
                                     weights_buf[stripe] = 1.0;
                                 }
                                 Some(&*weights_buf)
@@ -1394,8 +1446,10 @@ impl FleetDaemon {
                             ExperienceSharing::SelfBiased { own, peers } => {
                                 weights_buf.iter_mut().for_each(|w| *w = 0.0);
                                 for &stripe in &profile.stripe_members {
+                                    // In bounds: stripes are cluster indices.
                                     weights_buf[stripe] = peers;
                                 }
+                                // In bounds: `shard < num_clusters`.
                                 weights_buf[shard] = own;
                                 Some(&*weights_buf)
                             }
@@ -1425,8 +1479,9 @@ impl FleetDaemon {
                 let staged_ptr = ShardPtr::new(staged_actions.as_mut_slice());
                 sched.run(num_clusters, 1, |start, end| {
                     for i in start..end {
-                        // Safety: this chunk owns clusters start..end.
+                        // SAFETY: this chunk owns clusters start..end.
                         let (session, slot) = unsafe { (sessions_ptr.at(i), staged_ptr.at(i)) };
+                        // capes-check: allow(boundary-panic) -- the decide phase staged an action for every cluster.
                         let action = slot.take().expect("every cluster has a staged action");
                         session.system.apply_action(action);
                     }
@@ -1460,12 +1515,15 @@ impl FleetDaemon {
                 // objective-gauge slice, so a range loop is the honest shape.
                 #[allow(clippy::needless_range_loop)]
                 for i in start..end {
-                    // Safety: this chunk owns clusters start..end.
+                    // SAFETY: this chunk owns clusters start..end.
                     let (session, slot) = unsafe { (sessions_ptr.at(i), measurements_ptr.at(i)) };
+                    // capes-check: allow(boundary-panic) -- the measure phase filled every slot this tick.
                     let measurement = slot.take().expect("measured above");
                     let (action, explored) = if kind == PhaseKind::Baseline {
                         (None, false)
                     } else {
+                        // In bounds: `session.profile`/`session.row` are
+                        // assigned from `profiles` positions at build.
                         let decision = profiles_ref[session.profile].decisions[session.row];
                         (Some(decision.action), decision.explored)
                     };
@@ -1475,6 +1533,7 @@ impl FleetDaemon {
                             .system
                             .finish_tick(kind, &measurement, action, explored, error);
                     session.series.push(system_tick.throughput_mbps);
+                    // In bounds: one objective gauge per cluster.
                     objectives[i].set(system_tick.throughput_mbps);
                 }
             });
@@ -1541,6 +1600,8 @@ impl FleetDaemon {
             }
             for (i, session) in self.sessions.iter_mut().enumerate() {
                 let prediction_errors = if kind == PhaseKind::Train {
+                    // In bounds: `errors_before` is a previous length of this
+                    // grow-only series.
                     session.system.prediction_errors()[session.errors_before..].to_vec()
                 } else {
                     Vec::new()
@@ -1553,6 +1614,7 @@ impl FleetDaemon {
                     session.system.current_params(),
                 );
                 session.system.notify_phase_end(kind, &result);
+                // In bounds: one result series per cluster.
                 per_cluster[i].push(result);
             }
         }

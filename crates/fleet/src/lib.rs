@@ -40,6 +40,8 @@
 //! assert!(capes_fleet::FleetReport::from_json(&report.to_json()).is_ok());
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod daemon;
 pub mod report;
 pub mod scenario;

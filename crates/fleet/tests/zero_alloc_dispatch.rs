@@ -13,6 +13,8 @@
 //! The test lives in its own integration-test binary so no concurrently
 //! running test can perturb the counters.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use capes_fleet::sched::FleetPool;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -22,19 +24,27 @@ struct CountingAllocator;
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump; every
+// GlobalAlloc contract obligation is delegated unchanged.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: same layout contract as the caller's.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's layout to System unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same ptr/layout contract as the caller's.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's ptr/layout to System unchanged.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: same ptr/layout/new_size contract as the caller's.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's arguments to System unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -116,9 +116,13 @@ impl FrameReassembler {
                 None => {
                     let need = LENGTH_PREFIX_BYTES - self.header_filled;
                     let take = need.min(chunk.len());
+                    // In bounds: `take <= chunk.len()` and
+                    // `header_filled + take <= LENGTH_PREFIX_BYTES` by
+                    // construction of `need`.
                     self.header[self.header_filled..self.header_filled + take]
-                        .copy_from_slice(&chunk[..take]);
+                        .copy_from_slice(&chunk[..take]); // In bounds: see above.
                     self.header_filled += take;
+                    // In bounds: `take <= chunk.len()`.
                     chunk = &chunk[take..];
                     if self.header_filled == LENGTH_PREFIX_BYTES {
                         let len = u32::from_be_bytes(self.header) as usize;
@@ -148,7 +152,9 @@ impl FrameReassembler {
                 Some(len) => {
                     let need = len - self.payload.len();
                     let take = need.min(chunk.len());
+                    // In bounds: `take <= chunk.len()` by construction.
                     self.payload.extend_from_slice(&chunk[..take]);
+                    // In bounds: `take <= chunk.len()`.
                     chunk = &chunk[take..];
                     if self.payload.len() == len {
                         self.expecting = None;

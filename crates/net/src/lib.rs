@@ -23,6 +23,7 @@
 //! client; a slow *client* that cannot drain its action frames past
 //! `max_conn_buffered` outbound bytes is shed with a counted disconnect.
 
+#![forbid(unsafe_code)]
 #![cfg(target_os = "linux")]
 
 pub mod client;

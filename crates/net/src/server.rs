@@ -427,6 +427,8 @@ impl ServerLoop {
                         self.free.push(idx);
                         continue;
                     }
+                    // In bounds: `idx` came off the free list, which only
+                    // holds slot indices already carved out of `conns`.
                     self.conns[idx] = Some(Conn {
                         stream,
                         state: ConnState::new(self.config.max_frame_len),
@@ -483,6 +485,8 @@ impl ServerLoop {
                     bump!(stats, bytes_in, n);
                     conn.last_activity = Instant::now();
                     if conn.mode == ConnMode::Fresh {
+                        // In bounds: the Ok(0) arm above already returned,
+                        // so at least one byte was read into `chunk`.
                         conn.mode = if config.expose_metrics && chunk[0] == b'G' {
                             ConnMode::Http
                         } else {
@@ -494,6 +498,7 @@ impl ServerLoop {
                             // Response already queued; discard trailing bytes.
                             continue;
                         }
+                        // In bounds: `read` wrote exactly `n <= chunk.len()`.
                         conn.http_buf.extend_from_slice(&chunk[..n]);
                         if conn.http_buf.len() > MAX_HTTP_REQUEST {
                             self.close(idx, CloseReason::Protocol);
@@ -512,6 +517,7 @@ impl ServerLoop {
                     let ingested = {
                         let _span = capes_telemetry::span!("net.decode");
                         conn.state
+                            // In bounds: `read` wrote exactly `n <= chunk.len()`.
                             .ingest(&chunk[..n], config.num_clusters, |cluster, message| {
                                 bump!(stats, frames_in);
                                 routes.insert(cluster, idx);
@@ -605,6 +611,9 @@ impl ServerLoop {
             let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
                 return;
             };
+            // In bounds: `out_cursor` only advances by written byte counts
+            // and is reset whenever `out` is cleared, so it never passes
+            // `out.len()`.
             let pending = &conn.out[conn.out_cursor..];
             if pending.is_empty() {
                 conn.out.clear();

@@ -43,6 +43,8 @@
 //! assert!(last < 1e-2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod checkpoint;
 pub mod gradcheck;

@@ -119,6 +119,7 @@ impl<'a> Reader<'a> {
                 remaining: self.remaining(),
             });
         }
+        // In bounds: `n <= remaining()` was checked above.
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(out)
@@ -132,12 +133,14 @@ impl<'a> Reader<'a> {
     /// Reads a little-endian u32.
     pub fn get_u32(&mut self) -> Result<u32, PersistError> {
         let b = self.take(4)?;
+        // In bounds: `take(4)` returned exactly four bytes.
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Reads a little-endian u64.
     pub fn get_u64(&mut self) -> Result<u64, PersistError> {
         let b = self.take(8)?;
+        // In bounds: `take(8)` returned exactly eight bytes.
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
@@ -355,6 +358,7 @@ where
         w.put_usize(keys.len());
         for k in keys {
             k.encode(w);
+            // In bounds: `k` was collected from this map's own keys.
             self[k].encode(w);
         }
     }

@@ -19,6 +19,7 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
+        // In bounds: the loop runs `i` over 0..256, the table's length.
         table[i] = crc;
         i += 1;
     }
@@ -31,6 +32,7 @@ static TABLE: [u32; 256] = build_table();
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
+        // In bounds: the index is masked to 0..=255 and TABLE has 256 slots.
         crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc

@@ -22,6 +22,8 @@
 //! same logical state twice yields byte-identical output, which is what lets
 //! the equivalence suite compare whole checkpoints with `==`.
 
+#![forbid(unsafe_code)]
+
 mod codec;
 mod crc32;
 mod error;

@@ -105,6 +105,7 @@ impl RecordLogReader {
             });
         }
         let mut magic = [0u8; 8];
+        // In bounds: `bytes.len() >= 12` was checked above.
         magic.copy_from_slice(&bytes[..8]);
         if magic != RECORD_LOG_MAGIC {
             return Err(PersistError::BadMagic {
@@ -112,6 +113,7 @@ impl RecordLogReader {
                 found: magic,
             });
         }
+        // In bounds: `bytes.len() >= 12` was checked above.
         let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
         if version != RECORD_LOG_VERSION {
             return Err(PersistError::UnsupportedVersion {
@@ -140,6 +142,7 @@ impl RecordLogReader {
                 remaining,
             });
         }
+        // In bounds: `remaining >= 4` was checked above.
         let len = u32::from_le_bytes([
             self.bytes[self.pos],
             self.bytes[self.pos + 1],
@@ -165,8 +168,11 @@ impl RecordLogReader {
                 remaining: self.bytes.len() - body_start,
             });
         }
+        // In bounds: `len + 4` bytes past `body_start` were checked above,
+        // covering both the payload and the four CRC bytes at `crc_at`.
         let payload = &self.bytes[body_start..body_start + len];
         let crc_at = body_start + len;
+        // In bounds: the same check covers the CRC word at `crc_at`.
         let stored = u32::from_le_bytes([
             self.bytes[crc_at],
             self.bytes[crc_at + 1],
@@ -177,11 +183,15 @@ impl RecordLogReader {
         if stored != computed {
             return Err(PersistError::CrcMismatch { stored, computed });
         }
+        // In bounds: `len >= 12` was checked above, so the payload holds the
+        // 8-byte tick, the 4-byte cluster, and a possibly-empty frame tail.
         let tick = u64::from_le_bytes([
             payload[0], payload[1], payload[2], payload[3], payload[4], payload[5], payload[6],
             payload[7],
         ]);
+        // In bounds: `len >= 12` was checked above.
         let cluster = u32::from_le_bytes([payload[8], payload[9], payload[10], payload[11]]);
+        // In bounds: `len >= 12` was checked above.
         let frame = payload[12..].to_vec();
         self.pos = crc_at + 4;
         Ok(Some(RecordEntry {

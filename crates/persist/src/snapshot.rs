@@ -68,6 +68,8 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<&[u8], PersistError> {
         });
     }
     let mut magic = [0u8; 8];
+    // In bounds: `bytes.len() >= OVERHEAD` (24) was checked above; the magic,
+    // version and length words below all sit inside that fixed header.
     magic.copy_from_slice(&bytes[..8]);
     if magic != SNAPSHOT_MAGIC {
         return Err(PersistError::BadMagic {
@@ -75,6 +77,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<&[u8], PersistError> {
             found: magic,
         });
     }
+    // In bounds: inside the length-checked fixed header.
     let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
     if version != SNAPSHOT_VERSION {
         return Err(PersistError::UnsupportedVersion {
@@ -82,6 +85,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<&[u8], PersistError> {
             supported: SNAPSHOT_VERSION,
         });
     }
+    // In bounds: inside the length-checked fixed header.
     let claimed = u64::from_le_bytes([
         bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19],
     ]);
@@ -90,16 +94,19 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<&[u8], PersistError> {
         return Err(PersistError::CorruptLength { claimed, actual });
     }
     let body_end = bytes.len() - 4;
+    // In bounds: `bytes.len() >= OVERHEAD > 4`, so the four CRC bytes exist.
     let stored = u32::from_le_bytes([
         bytes[body_end],
         bytes[body_end + 1],
         bytes[body_end + 2],
         bytes[body_end + 3],
     ]);
+    // In bounds: `body_end <= bytes.len()`.
     let computed = crc32(&bytes[..body_end]);
     if stored != computed {
         return Err(PersistError::CrcMismatch { stored, computed });
     }
+    // In bounds: `20 <= OVERHEAD - 4 = body_end` by the length check.
     Ok(&bytes[20..body_end])
 }
 

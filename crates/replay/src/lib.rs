@@ -26,6 +26,8 @@
 //! ([`ReplayArena::construct_minibatch_weighted_into`], the transfer-learning
 //! path for clusters sharing one DQN).
 
+#![forbid(unsafe_code)]
+
 pub mod arena;
 pub mod db;
 pub mod minibatch;

@@ -2,6 +2,8 @@
 //! primitives the wire format uses (big-endian, matching upstream `bytes`)
 //! plus simple `Bytes`/`BytesMut` containers backed by `Vec<u8>`.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Deref;
 
 /// Read-side cursor over a byte slice.

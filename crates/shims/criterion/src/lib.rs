@@ -10,6 +10,8 @@
 //! `CRITERION_QUICK=1`) each benchmark runs a single iteration so the bench
 //! targets double as smoke tests.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

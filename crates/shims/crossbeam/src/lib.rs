@@ -10,6 +10,8 @@
 //!
 //! Both halves are cloneable (MPMC), matching the upstream crate.
 
+#![forbid(unsafe_code)]
+
 /// MPMC channels.
 pub mod channel {
     use std::collections::VecDeque;

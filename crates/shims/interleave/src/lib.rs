@@ -1,0 +1,634 @@
+//! Loom-style bounded model checker for the workspace's lock-free and
+//! channel-based concurrency cores.
+//!
+//! The shim provides drop-in lookalikes for the synchronization vocabulary the
+//! workspace actually uses — [`sync::Mutex`], [`sync::Condvar`],
+//! [`sync::atomic`], [`thread::spawn`] — whose every operation is a *schedule
+//! point*: the calling model thread parks and a central scheduler decides who
+//! runs next. [`model`] (or a tuned [`Builder`]) then runs the closure under
+//! **every** interleaving of those schedule points up to a context-switch
+//! (preemption) bound, via depth-first search with backtracking. Only one
+//! model thread ever executes at a time, so the exploration is of
+//! sequentially-consistent interleavings; `Ordering` arguments are accepted
+//! and intentionally ignored.
+//!
+//! Failures are deterministic and replayable: an assertion failure, panic, or
+//! deadlock under some schedule reports that schedule as a seed string
+//! (`"0-0-1-2"`, one branch choice per decision point) and [`replay`] re-runs
+//! exactly that schedule for debugging.
+//!
+//! Scope and honest limits:
+//! * sequential consistency only — no weak-memory reorderings are explored;
+//! * no spurious condvar wakeups; `notify_one` wakes the longest waiter;
+//! * exhaustive **up to the preemption bound** (2 by default), the classic
+//!   CHESS-style bound: most concurrency bugs manifest with ≤ 2 preemptions.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+pub mod sync;
+pub mod thread;
+
+/// Sentinel panic payload used to unwind model threads when an execution is
+/// being torn down after a failure elsewhere. Never reported as a failure.
+struct Abort;
+
+/// What a model thread is currently doing, from the scheduler's view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+/// Why a model thread is blocked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Block {
+    /// Waiting to acquire model mutex `id`.
+    Lock(usize),
+    /// Waiting on model condvar `id`.
+    Cond(usize),
+    /// Waiting for model thread `tid` to finish.
+    Join(usize),
+}
+
+/// One branch point in a schedule: which of `candidates` runnable threads ran.
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    /// Index into the (deterministically ordered) candidate list.
+    chosen: usize,
+    /// Number of candidates at this point.
+    candidates: usize,
+    /// `true` when the previously running thread was *not* runnable here, so
+    /// any choice is a free (non-preemptive) context switch.
+    free: bool,
+    /// Preemptions already spent strictly before this decision.
+    preemptions_before: usize,
+}
+
+struct SchedInner {
+    threads: Vec<Status>,
+    /// The one model thread allowed to run, if any.
+    active: Option<usize>,
+    /// Set on failure; all parked threads unwind with [`Abort`].
+    abort: bool,
+    failure: Option<String>,
+    /// `holder` per model mutex.
+    mutexes: Vec<Option<usize>>,
+    /// FIFO waiter queues per model condvar: `(tid, mutex_id)`.
+    cond_waiters: Vec<Vec<(usize, usize)>>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    /// The schedule being executed: replayed up to `cursor`, extended past it.
+    decisions: Vec<Decision>,
+    cursor: usize,
+    /// Replay mode: forced branch choices (seed), overriding DFS.
+    forced: Option<Vec<usize>>,
+    last_run: Option<usize>,
+    preemptions: usize,
+    /// Total schedule points taken, for the exploration report.
+    steps: usize,
+}
+
+struct SchedState {
+    inner: StdMutex<SchedInner>,
+    cvar: StdCondvar,
+}
+
+impl SchedState {
+    fn new(decisions: Vec<Decision>, forced: Option<Vec<usize>>) -> Self {
+        SchedState {
+            inner: StdMutex::new(SchedInner {
+                threads: Vec::new(),
+                active: None,
+                abort: false,
+                failure: None,
+                mutexes: Vec::new(),
+                cond_waiters: Vec::new(),
+                os_handles: Vec::new(),
+                decisions,
+                cursor: 0,
+                forced,
+                last_run: None,
+                preemptions: 0,
+                steps: 0,
+            }),
+            cvar: StdCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, SchedInner> {
+        // A model thread can only panic *outside* this lock (all panics are
+        // raised after the guard is dropped), so poison is unreachable; keep
+        // the recovery anyway so teardown never double-panics.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Per-OS-thread pointer back to the scheduler: which execution this thread
+/// belongs to and which model thread it is.
+#[derive(Clone)]
+struct Ctx {
+    state: Arc<SchedState>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+fn current_ctx() -> Ctx {
+    CTX.with(|c| c.borrow().clone())
+        .expect("interleave primitives may only be used inside interleave::model")
+}
+
+/// Parks the calling model thread until the scheduler hands it the turn.
+/// `guard` must already hold the scheduler lock.
+fn wait_for_turn<'a>(
+    state: &'a SchedState,
+    mut guard: StdMutexGuard<'a, SchedInner>,
+    tid: usize,
+) -> StdMutexGuard<'a, SchedInner> {
+    loop {
+        if guard.abort {
+            drop(guard);
+            panic::panic_any(Abort);
+        }
+        if guard.active == Some(tid) {
+            return guard;
+        }
+        guard = state
+            .cvar
+            .wait(guard)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+    }
+}
+
+/// Yields the turn back to the scheduler with the given status and parks
+/// until rescheduled. The heart of every schedule point.
+fn relinquish(state: &SchedState, tid: usize, status: Status) {
+    let mut guard = state.lock();
+    guard.threads[tid] = status;
+    guard.active = None;
+    guard.steps += 1;
+    state.cvar.notify_all();
+    let guard = wait_for_turn(state, guard, tid);
+    drop(guard);
+}
+
+/// A schedule point: any other runnable thread may be scheduled here.
+fn schedule_point() {
+    let ctx = current_ctx();
+    relinquish(&ctx.state, ctx.tid, Status::Runnable);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<opaque panic payload>".to_string()
+    }
+}
+
+/// Marks `tid` finished, wakes its joiners, and returns the turn.
+fn finish_thread(state: &SchedState, tid: usize, failure: Option<String>) {
+    let mut guard = state.lock();
+    if let Some(message) = failure {
+        if guard.failure.is_none() {
+            guard.failure = Some(message);
+        }
+        guard.abort = true;
+    }
+    guard.threads[tid] = Status::Finished;
+    for status in guard.threads.iter_mut() {
+        if *status == Status::Blocked(Block::Join(tid)) {
+            *status = Status::Runnable;
+        }
+    }
+    guard.active = None;
+    state.cvar.notify_all();
+}
+
+/// Runs `body` as model thread `tid`: waits for its first turn, contains any
+/// panic, and reports back to the scheduler.
+fn thread_shell(state: Arc<SchedState>, tid: usize, body: impl FnOnce()) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            state: Arc::clone(&state),
+            tid,
+        })
+    });
+    {
+        let guard = state.lock();
+        let guard = wait_for_turn(&state, guard, tid);
+        drop(guard);
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(body));
+    let failure = match result {
+        Ok(()) => None,
+        Err(payload) if payload.downcast_ref::<Abort>().is_some() => None,
+        Err(payload) => Some(panic_message(payload.as_ref())),
+    };
+    finish_thread(&state, tid, failure);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Orders the runnable set into the candidate list: the previously running
+/// thread first (continuing it is the free choice), then ascending thread id.
+fn candidate_order(runnable: &[usize], last_run: Option<usize>) -> (Vec<usize>, bool) {
+    let mut candidates = runnable.to_vec();
+    candidates.sort_unstable();
+    if let Some(last) = last_run {
+        if let Some(pos) = candidates.iter().position(|&t| t == last) {
+            candidates.remove(pos);
+            candidates.insert(0, last);
+            return (candidates, false);
+        }
+    }
+    (candidates, true)
+}
+
+/// Outcome of exploring one model.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// Total schedule points taken across all executions.
+    pub steps: usize,
+}
+
+/// Exploration configuration. [`model`] uses the defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// CHESS-style context-switch bound: maximum number of times a schedule
+    /// may switch away from a thread that could have kept running.
+    pub preemption_bound: usize,
+    /// Hard cap on explored schedules; exceeding it fails the model (the
+    /// state space is too large to be a CI gate — shrink the model).
+    pub max_schedules: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: 2,
+            max_schedules: 500_000,
+        }
+    }
+}
+
+impl Builder {
+    /// Default configuration (preemption bound 2).
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Sets the preemption bound.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Sets the schedule-count safety valve.
+    pub fn max_schedules(mut self, max: usize) -> Self {
+        self.max_schedules = max;
+        self
+    }
+
+    /// Explores every schedule of `body` up to the preemption bound.
+    /// Panics (after printing the replay seed) on the first failing schedule.
+    pub fn check<F>(self, body: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut schedules = 0usize;
+        let mut steps = 0usize;
+        loop {
+            schedules += 1;
+            assert!(
+                schedules <= self.max_schedules,
+                "interleave: exceeded {} schedules — shrink the model or raise max_schedules",
+                self.max_schedules
+            );
+            let (next, failure, run_steps) = execute_once(Arc::clone(&body), decisions, None);
+            decisions = next;
+            steps += run_steps;
+            if let Some(message) = failure {
+                let seed = seed_string(&decisions);
+                eprintln!("interleave: schedule failed; replay seed \"{seed}\"");
+                panic!("model failed under schedule [replay seed \"{seed}\"]: {message}");
+            }
+            if !advance(&mut decisions, self.preemption_bound) {
+                return Report { schedules, steps };
+            }
+        }
+    }
+}
+
+/// Explores `body` with the default [`Builder`] (preemption bound 2).
+pub fn model<F>(body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(body)
+}
+
+/// Re-runs exactly one schedule, from a seed printed by a failing [`model`]
+/// run. Panics with the original failure if the schedule still fails.
+pub fn replay<F>(seed: &str, body: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let forced: Vec<usize> = seed
+        .split('-')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("malformed replay seed component {part:?}"))
+        })
+        .collect();
+    let (_, failure, _) = execute_once(Arc::new(body), Vec::new(), Some(forced));
+    if let Some(message) = failure {
+        panic!("replayed schedule [seed \"{seed}\"] failed: {message}");
+    }
+}
+
+fn seed_string(decisions: &[Decision]) -> String {
+    decisions
+        .iter()
+        .map(|d| d.chosen.to_string())
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+/// DFS backtracking: bumps the deepest decision that has an untried branch
+/// within the preemption budget, truncating everything after it.
+fn advance(decisions: &mut Vec<Decision>, bound: usize) -> bool {
+    while let Some(d) = decisions.last_mut() {
+        let next = d.chosen + 1;
+        // Any non-first choice at a non-free decision preempts the thread
+        // that would otherwise have continued, spending one unit of budget.
+        if next < d.candidates && (d.free || d.preemptions_before < bound) {
+            d.chosen = next;
+            return true;
+        }
+        decisions.pop();
+    }
+    false
+}
+
+/// Runs one schedule to completion; returns the (possibly extended) decision
+/// list, the failure if any, and the number of schedule points taken.
+fn execute_once(
+    body: Arc<dyn Fn() + Send + Sync>,
+    decisions: Vec<Decision>,
+    forced: Option<Vec<usize>>,
+) -> (Vec<Decision>, Option<String>, usize) {
+    let state = Arc::new(SchedState::new(decisions, forced));
+    {
+        let mut guard = state.lock();
+        guard.threads.push(Status::Runnable);
+        let spawn_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("interleave-0".into())
+            .spawn(move || thread_shell(Arc::clone(&spawn_state), 0, move || body()))
+            .expect("failed to spawn model thread");
+        guard.os_handles.push(handle);
+    }
+    // Scheduler loop: whenever no thread holds the turn, pick the next one
+    // according to the schedule (replaying the prefix, extending past it).
+    let mut guard = state.lock();
+    loop {
+        if guard.threads.iter().all(|t| *t == Status::Finished) {
+            break;
+        }
+        if guard.active.is_some() {
+            guard = state
+                .cvar
+                .wait(guard)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            continue;
+        }
+        if guard.abort {
+            // Failure elsewhere: wake every parked thread so it unwinds.
+            state.cvar.notify_all();
+            guard = state
+                .cvar
+                .wait(guard)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            continue;
+        }
+        let runnable: Vec<usize> = guard
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(t, _)| t)
+            .collect();
+        if runnable.is_empty() {
+            let stuck: Vec<String> = guard
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(t, s)| match s {
+                    Status::Blocked(b) => Some(format!("thread {t} blocked on {b:?}")),
+                    _ => None,
+                })
+                .collect();
+            guard.failure = Some(format!("deadlock: {}", stuck.join(", ")));
+            guard.abort = true;
+            continue;
+        }
+        let (candidates, free) = candidate_order(&runnable, guard.last_run);
+        let chosen = if guard.cursor < guard.decisions.len() {
+            guard.decisions[guard.cursor].chosen
+        } else if let Some(forced) = &guard.forced {
+            forced.get(guard.cursor).copied().unwrap_or(0)
+        } else {
+            0
+        };
+        let chosen = chosen.min(candidates.len() - 1);
+        if guard.cursor >= guard.decisions.len() {
+            let preemptions_before = guard.preemptions;
+            guard.decisions.push(Decision {
+                chosen,
+                candidates: candidates.len(),
+                free,
+                preemptions_before,
+            });
+        }
+        guard.cursor += 1;
+        if !free && chosen != 0 {
+            guard.preemptions += 1;
+        }
+        let pick = candidates[chosen];
+        guard.active = Some(pick);
+        guard.last_run = Some(pick);
+        state.cvar.notify_all();
+    }
+    let handles = std::mem::take(&mut guard.os_handles);
+    let failure = guard.failure.take();
+    let decisions = std::mem::take(&mut guard.decisions);
+    let steps = guard.steps;
+    drop(guard);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    (decisions, failure, steps)
+}
+
+/// Registers a new model mutex; returns its id.
+fn register_mutex(state: &SchedState) -> usize {
+    let mut guard = state.lock();
+    guard.mutexes.push(None);
+    guard.mutexes.len() - 1
+}
+
+/// Registers a new model condvar; returns its id.
+fn register_condvar(state: &SchedState) -> usize {
+    let mut guard = state.lock();
+    guard.cond_waiters.push(Vec::new());
+    guard.cond_waiters.len() - 1
+}
+
+/// Acquire path shared by `Mutex::lock` and condvar reacquisition: blocks the
+/// model thread until the mutex is free and claims it. Does NOT insert a
+/// leading schedule point — callers do that when the acquisition itself is a
+/// visible action.
+fn acquire_mutex(state: &SchedState, tid: usize, id: usize) {
+    loop {
+        let mut guard = state.lock();
+        if guard.mutexes[id].is_none() {
+            guard.mutexes[id] = Some(tid);
+            return;
+        }
+        guard.threads[tid] = Status::Blocked(Block::Lock(id));
+        guard.active = None;
+        guard.steps += 1;
+        state.cvar.notify_all();
+        let guard = wait_for_turn(state, guard, tid);
+        drop(guard);
+    }
+}
+
+/// Release path: frees the mutex and makes every lock-waiter runnable (they
+/// race to reacquire under the scheduler's next decisions).
+fn release_mutex(state: &SchedState, id: usize) {
+    let mut guard = state.lock();
+    guard.mutexes[id] = None;
+    for status in guard.threads.iter_mut() {
+        if *status == Status::Blocked(Block::Lock(id)) {
+            *status = Status::Runnable;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::atomic::{AtomicUsize as ModelAtomicUsize, Ordering};
+    use crate::sync::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_model_runs_once() {
+        let report = model(|| {
+            let m = Mutex::new(1);
+            *m.lock().unwrap() += 1;
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+        assert_eq!(report.schedules, 1, "no branching without contention");
+    }
+
+    #[test]
+    fn counter_increments_are_atomic() {
+        let report = model(|| {
+            let counter = Arc::new(ModelAtomicUsize::new(0));
+            let c2 = Arc::clone(&counter);
+            let handle = crate::thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            counter.fetch_add(1, Ordering::SeqCst);
+            handle.join();
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        });
+        assert!(report.schedules > 1, "contention must branch the schedule");
+    }
+
+    #[test]
+    fn lost_update_is_found_and_replayable() {
+        // Classic racy read-modify-write through two separate atomic ops; the
+        // checker must find an interleaving where one update is lost.
+        fn racy() {
+            let cell = Arc::new(ModelAtomicUsize::new(0));
+            let c2 = Arc::clone(&cell);
+            let handle = crate::thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = cell.load(Ordering::SeqCst);
+            cell.store(v + 1, Ordering::SeqCst);
+            handle.join();
+            assert_eq!(cell.load(Ordering::SeqCst), 2, "lost update");
+        }
+        let failure = std::panic::catch_unwind(|| model(racy));
+        let message = panic_message(failure.expect_err("the race must be found").as_ref());
+        assert!(message.contains("replay seed"), "failure names its seed");
+        // The printed seed must reproduce the failure deterministically.
+        let seed = message
+            .split('"')
+            .nth(1)
+            .expect("seed is quoted in the message")
+            .to_string();
+        let replayed = std::panic::catch_unwind(move || replay(&seed, racy));
+        assert!(replayed.is_err(), "replaying the seed reproduces the bug");
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let failure = std::panic::catch_unwind(|| {
+            model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let handle = crate::thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+                drop((_gb, _ga));
+                handle.join();
+            })
+        });
+        let message = panic_message(failure.expect_err("AB-BA must deadlock").as_ref());
+        assert!(message.contains("deadlock"), "got: {message}");
+    }
+
+    #[test]
+    fn preemption_bound_caps_the_state_space() {
+        let tight = Builder::new().preemption_bound(0).check(spawn_two);
+        let loose = Builder::new().preemption_bound(2).check(spawn_two);
+        assert!(tight.schedules < loose.schedules);
+
+        fn spawn_two() {
+            let n = Arc::new(ModelAtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let handle = crate::thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            handle.join();
+            assert_eq!(n.load(Ordering::SeqCst), 3);
+        }
+    }
+}

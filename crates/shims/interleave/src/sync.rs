@@ -1,0 +1,245 @@
+//! Model synchronization primitives: lookalikes for `std::sync::Mutex`,
+//! `std::sync::Condvar` and the `std::sync::atomic` types whose every
+//! operation is a schedule point of the exploring scheduler.
+//!
+//! All of these may only be constructed and used *inside* a closure running
+//! under [`crate::model`]; outside one they panic.
+
+use crate::{
+    acquire_mutex, current_ctx, register_condvar, register_mutex, release_mutex, schedule_point,
+    wait_for_turn, Block, SchedState, Status,
+};
+use std::cell::UnsafeCell;
+use std::sync::LockResult;
+
+pub use std::sync::Arc;
+
+/// A model mutex. API mirrors `std::sync::Mutex` (no poisoning: `lock`
+/// always returns `Ok`).
+pub struct Mutex<T> {
+    id: usize,
+    state: Arc<SchedState>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler runs exactly one model thread at a time and `lock`
+// grants `data` access only to the recorded holder, so sending/sharing the
+// mutex across the model's OS threads upholds `T`'s aliasing rules exactly
+// like `std::sync::Mutex` does; `T: Send` is required for the same reason.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: see the `Send` impl above — access to `data` is serialised by the
+// model scheduler, which is what `Sync` requires.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a model mutex (must run inside [`crate::model`]).
+    pub fn new(value: T) -> Self {
+        let ctx = current_ctx();
+        let id = register_mutex(&ctx.state);
+        Mutex {
+            id,
+            state: ctx.state,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the mutex, parking this model thread while it is held
+    /// elsewhere. A schedule point.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let ctx = current_ctx();
+        schedule_point();
+        acquire_mutex(&self.state, ctx.tid, self.id);
+        Ok(MutexGuard { mutex: self })
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").field("id", &self.id).finish()
+    }
+}
+
+/// RAII guard for a [`Mutex`]; releasing it wakes blocked lock-waiters.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: this guard is the recorded holder of the mutex, and the
+        // scheduler runs one model thread at a time, so no other reference
+        // to the data can exist while the guard lives.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — holder exclusivity plus one-at-a-time
+        // model execution make this the only live reference.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        release_mutex(&self.mutex.state, self.mutex.id);
+    }
+}
+
+/// A model condition variable. No spurious wakeups; `notify_one` wakes the
+/// longest waiter (FIFO).
+pub struct Condvar {
+    id: usize,
+    state: Arc<SchedState>,
+}
+
+impl Condvar {
+    /// Creates a model condvar (must run inside [`crate::model`]).
+    pub fn new() -> Self {
+        let ctx = current_ctx();
+        let id = register_condvar(&ctx.state);
+        Condvar {
+            id,
+            state: ctx.state,
+        }
+    }
+
+    /// Atomically releases the guard's mutex and parks until notified, then
+    /// reacquires the mutex. A schedule point.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let ctx = current_ctx();
+        let mutex = guard.mutex;
+        assert!(
+            Arc::ptr_eq(&self.state, &mutex.state),
+            "condvar and mutex belong to different models"
+        );
+        // Dropping the guard releases the mutex (waking lock-waiters); no
+        // other thread can run before we register below because this thread
+        // stays active until it parks, so the release+wait is atomic.
+        drop(guard);
+        {
+            let mut inner = self.state.lock();
+            inner.cond_waiters[self.id].push((ctx.tid, mutex.id));
+            inner.threads[ctx.tid] = Status::Blocked(Block::Cond(self.id));
+            inner.active = None;
+            inner.steps += 1;
+            self.state.cvar.notify_all();
+            let inner = wait_for_turn(&self.state, inner, ctx.tid);
+            drop(inner);
+        }
+        acquire_mutex(&self.state, ctx.tid, mutex.id);
+        Ok(MutexGuard { mutex })
+    }
+
+    /// Wakes the longest-waiting thread, if any. A schedule point.
+    pub fn notify_one(&self) {
+        schedule_point();
+        let mut inner = self.state.lock();
+        if !inner.cond_waiters[self.id].is_empty() {
+            let (tid, _mutex) = inner.cond_waiters[self.id].remove(0);
+            inner.threads[tid] = Status::Runnable;
+        }
+    }
+
+    /// Wakes every waiting thread. A schedule point.
+    pub fn notify_all(&self) {
+        schedule_point();
+        let mut inner = self.state.lock();
+        let waiters = std::mem::take(&mut inner.cond_waiters[self.id]);
+        for (tid, _mutex) in waiters {
+            inner.threads[tid] = Status::Runnable;
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Model atomics: sequentially-consistent lookalikes for `std::sync::atomic`.
+/// Each operation is a schedule point; `Ordering` arguments are accepted and
+/// ignored (the model explores SC interleavings only).
+pub mod atomic {
+    use crate::schedule_point;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ident, $ty:ty, rmw) => {
+            model_atomic!($name, $std, $ty);
+
+            impl $name {
+                /// Atomic add; returns the previous value. A schedule point.
+                pub fn fetch_add(&self, value: $ty, _order: Ordering) -> $ty {
+                    schedule_point();
+                    self.0.fetch_add(value, Ordering::SeqCst)
+                }
+
+                /// Atomic subtract; returns the previous value. A schedule point.
+                pub fn fetch_sub(&self, value: $ty, _order: Ordering) -> $ty {
+                    schedule_point();
+                    self.0.fetch_sub(value, Ordering::SeqCst)
+                }
+
+                /// Atomic max; returns the previous value. A schedule point.
+                pub fn fetch_max(&self, value: $ty, _order: Ordering) -> $ty {
+                    schedule_point();
+                    self.0.fetch_max(value, Ordering::SeqCst)
+                }
+            }
+        };
+        ($name:ident, $std:ident, $ty:ty) => {
+            /// Model counterpart of the same-named `std::sync::atomic` type.
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$std);
+
+            impl $name {
+                /// Creates the atomic (allowed outside the model; the value
+                /// only becomes shared state once threads touch it).
+                pub fn new(value: $ty) -> Self {
+                    $name(std::sync::atomic::$std::new(value))
+                }
+
+                /// Atomic load. A schedule point.
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    schedule_point();
+                    self.0.load(Ordering::SeqCst)
+                }
+
+                /// Atomic store. A schedule point.
+                pub fn store(&self, value: $ty, _order: Ordering) {
+                    schedule_point();
+                    self.0.store(value, Ordering::SeqCst)
+                }
+
+                /// Atomic swap; returns the previous value. A schedule point.
+                pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                    schedule_point();
+                    self.0.swap(value, Ordering::SeqCst)
+                }
+
+                /// Atomic compare-exchange. A schedule point.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    schedule_point();
+                    self.0
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicU64, AtomicU64, u64, rmw);
+    model_atomic!(AtomicUsize, AtomicUsize, usize, rmw);
+    model_atomic!(AtomicBool, AtomicBool, bool);
+}

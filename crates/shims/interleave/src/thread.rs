@@ -1,0 +1,80 @@
+//! Model threads: spawn/join lookalikes for `std::thread` whose scheduling
+//! is decided by the exploring scheduler.
+
+use crate::{current_ctx, schedule_point, thread_shell, Block, SchedState, Status};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Handle to a spawned model thread. Unlike `std::thread::JoinHandle`,
+/// [`JoinHandle::join`] returns `T` directly: a panicking model thread fails
+/// the whole execution, so join never observes a panicked child.
+pub struct JoinHandle<T> {
+    tid: usize,
+    state: Arc<SchedState>,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+/// Spawns a model thread running `body` (must run inside [`crate::model`]).
+/// A schedule point: the child becomes runnable immediately.
+pub fn spawn<F, T>(body: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = current_ctx();
+    let state = ctx.state;
+    let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let tid;
+    {
+        let mut inner = state.lock();
+        tid = inner.threads.len();
+        inner.threads.push(Status::Runnable);
+        let shell_state = Arc::clone(&state);
+        let shell_result = Arc::clone(&result);
+        let handle = std::thread::Builder::new()
+            .name(format!("interleave-{tid}"))
+            .spawn(move || {
+                thread_shell(shell_state, tid, move || {
+                    let value = body();
+                    *shell_result
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(value);
+                })
+            })
+            .expect("failed to spawn model thread");
+        inner.os_handles.push(handle);
+    }
+    schedule_point();
+    JoinHandle { tid, state, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks this model thread until the child finishes, then returns its
+    /// value. A schedule point.
+    pub fn join(self) -> T {
+        let ctx = current_ctx();
+        schedule_point();
+        loop {
+            let mut inner = self.state.lock();
+            if inner.threads[self.tid] == Status::Finished {
+                drop(inner);
+                break;
+            }
+            inner.threads[ctx.tid] = Status::Blocked(Block::Join(self.tid));
+            inner.active = None;
+            inner.steps += 1;
+            self.state.cvar.notify_all();
+            let inner = crate::wait_for_turn(&self.state, inner, ctx.tid);
+            drop(inner);
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+            .expect("joined model thread produced no value")
+    }
+}
+
+/// A bare schedule point: lets any other runnable thread be scheduled.
+pub fn yield_now() {
+    schedule_point();
+}

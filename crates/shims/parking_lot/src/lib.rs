@@ -3,6 +3,8 @@
 //! propagated by unwrapping, which matches parking_lot's behaviour of never
 //! poisoning in the absence of panics).
 
+#![forbid(unsafe_code)]
+
 use std::sync;
 
 /// Non-poisoning mutex.

@@ -8,6 +8,8 @@
 //! from a deterministic RNG seeded per test function, and a failing case
 //! reports its case index so the run can be reproduced.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::Rng;
 

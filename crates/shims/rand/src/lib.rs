@@ -7,6 +7,8 @@
 //! ChaCha-based `StdRng`, but every consumer in this workspace only relies on
 //! determinism-given-seed and reasonable statistical quality.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level uniform bit source.

@@ -13,6 +13,7 @@
 //! the condition is drained, which is the simplest semantics for the frame
 //! reassembly loop layered on top. Linux-only, like the container.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![cfg(target_os = "linux")]
 
 use std::collections::BinaryHeap;
@@ -198,6 +199,7 @@ fn cvt(ret: i32) -> io::Result<i32> {
 impl Poll {
     /// Creates a new reactor.
     pub fn new() -> io::Result<Poll> {
+        // SAFETY: epoll_create1 takes no pointers; flags are valid constants.
         let epfd = cvt(unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) })?;
         Ok(Poll { epfd })
     }
@@ -207,6 +209,8 @@ impl Poll {
             events: interest.0,
             data: token.0 as u64,
         };
+        // SAFETY: `event` is a live, properly initialized EpollEvent for the
+        // duration of the call; the kernel validates the fds.
         cvt(unsafe { ffi::epoll_ctl(self.epfd, op, fd, &mut event) }).map(|_| ())
     }
 
@@ -225,6 +229,7 @@ impl Poll {
     pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
         // A non-null event pointer keeps pre-2.6.9 kernel semantics happy.
         let mut event = ffi::EpollEvent { events: 0, data: 0 };
+        // SAFETY: `event` is live across the call; DEL ignores its contents.
         cvt(unsafe { ffi::epoll_ctl(self.epfd, ffi::EPOLL_CTL_DEL, fd, &mut event) }).map(|_| ())
     }
 
@@ -241,6 +246,8 @@ impl Poll {
             }
         };
         loop {
+            // SAFETY: the out-pointer and capacity describe `events.raw`,
+            // which lives across the call.
             let ret = unsafe {
                 ffi::epoll_wait(
                     self.epfd,
@@ -263,6 +270,7 @@ impl Poll {
 
 impl Drop for Poll {
     fn drop(&mut self) {
+        // SAFETY: we own `epfd` and never use it after drop.
         unsafe { ffi::close(self.epfd) };
     }
 }
@@ -280,6 +288,7 @@ impl Waker {
     /// readable event for that token, which the owner should [`Waker::drain`].
     pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
         let mut fds = [0i32; 2];
+        // SAFETY: `fds` is a live 2-slot array, exactly what pipe2 writes.
         cvt(unsafe { ffi::pipe2(fds.as_mut_ptr(), ffi::O_NONBLOCK | ffi::O_CLOEXEC) })?;
         let waker = Waker {
             read_fd: fds[0],
@@ -293,6 +302,7 @@ impl Waker {
     /// full pipe means a wake is already pending, which is success.
     pub fn wake(&self) -> io::Result<()> {
         let byte = [1u8];
+        // SAFETY: writes one byte from a live one-byte buffer.
         let ret = unsafe { ffi::write(self.write_fd, byte.as_ptr(), 1) };
         if ret == 1 {
             return Ok(());
@@ -310,6 +320,7 @@ impl Waker {
     pub fn drain(&self) {
         let mut sink = [0u8; 64];
         loop {
+            // SAFETY: reads at most `sink.len()` bytes into the live buffer.
             let ret = unsafe { ffi::read(self.read_fd, sink.as_mut_ptr(), sink.len()) };
             if ret <= 0 {
                 return;
@@ -320,6 +331,7 @@ impl Waker {
 
 impl Drop for Waker {
     fn drop(&mut self) {
+        // SAFETY: we own both pipe fds and never use them after drop.
         unsafe {
             ffi::close(self.read_fd);
             ffi::close(self.write_fd);
@@ -327,9 +339,10 @@ impl Drop for Waker {
     }
 }
 
-// A waker is only written from other threads and read from the poll thread;
-// both fds are process-global resources.
+// SAFETY: a waker is only written from other threads and read from the poll
+// thread; both fds are process-global resources.
 unsafe impl Send for Waker {}
+// SAFETY: as above — `write(2)` on a pipe is thread-safe.
 unsafe impl Sync for Waker {}
 
 /// A min-heap of `(deadline, token)` pairs that converts pending deadlines

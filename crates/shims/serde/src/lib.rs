@@ -11,6 +11,8 @@
 //! enough for the checkpoints, reports and figures this workspace round-trips,
 //! while keeping the shim a few hundred lines.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// JSON-shaped intermediate value every serializable type lowers to.

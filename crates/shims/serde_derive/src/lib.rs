@@ -14,6 +14,8 @@
 //! `syn`/`quote`, which are unavailable offline): the input item is parsed by
 //! a small token walker and the impl is emitted as a source string.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 struct Field {

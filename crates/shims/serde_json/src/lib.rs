@@ -2,6 +2,8 @@
 //! [`serde::Value`] data model with the usual `to_string` / `to_string_pretty`
 //! / `from_str` entry points.
 
+#![forbid(unsafe_code)]
+
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// JSON serialization/deserialization error.

@@ -35,6 +35,8 @@
 //! training run" from the paper is 43 200 ticks, which the simulator executes
 //! in seconds of wall-clock time.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod config;
 pub mod disk;

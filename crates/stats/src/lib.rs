@@ -18,6 +18,8 @@
 //! the whole pipeline, and is what the figure-regeneration binaries use to
 //! attach error bars to their results.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod autocorr;
 pub mod changepoint;

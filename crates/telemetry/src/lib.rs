@@ -49,8 +49,11 @@
 //! quantile error is bounded at ~3% across the full `u64` range. Values are
 //! nanoseconds everywhere a span records them.
 
+#![forbid(unsafe_code)]
+
 mod journal;
 mod metric;
+pub mod names;
 mod registry;
 mod snapshot;
 

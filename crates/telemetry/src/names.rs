@@ -1,0 +1,95 @@
+//! Central registry of every metric and span name the workspace emits.
+//!
+//! `capes-check` (rule `metric-registry`) requires each name literal passed
+//! to `span!` / `Registry::{counter,gauge,histogram}` /
+//! `Registry::publish_*` in non-test code to appear as a string literal in
+//! this module, so the full observable surface is greppable in one place.
+//! Names built at runtime (only `fleet.worker.<i>.busy`, below) cannot be
+//! literals at the call site and are listed here as their format pattern.
+//!
+//! Keep names `lowercase.dot.separated`; the leading segment is the owning
+//! subsystem.
+
+/// Span: wall-time a replay-arena stripe waits for its lock.
+pub const SPAN_ARENA_LOCK_WAIT: &str = "arena.lock_wait";
+/// Span: drawing a minibatch sample from the replay arena.
+pub const SPAN_ARENA_SAMPLE: &str = "arena.sample";
+/// Span: daemon-side ingest of one agent report frame.
+pub const SPAN_DAEMON_INGEST: &str = "daemon.ingest";
+/// Span and histogram: one DRL optimizer step.
+pub const DRL_TRAIN_STEP: &str = "drl.train_step";
+/// Span: dispatching a fleet tick batch onto the shard pool.
+pub const SPAN_FLEET_POOL_DISPATCH: &str = "fleet.pool_dispatch";
+/// Span: dispatching a GEMM row range onto the worker pool.
+pub const SPAN_GEMM_POOL_DISPATCH: &str = "gemm.pool_dispatch";
+/// Span: draining readable bytes from one connection.
+pub const SPAN_NET_READ: &str = "net.read";
+/// Span: decoding length-prefixed frames from a connection buffer.
+pub const SPAN_NET_DECODE: &str = "net.decode";
+/// Span: flushing queued egress bytes to a connection.
+pub const SPAN_NET_EGRESS: &str = "net.egress";
+/// Span: serializing and fsyncing a durable checkpoint.
+pub const SPAN_PERSIST_CHECKPOINT_WRITE: &str = "persist.checkpoint.write";
+/// Span: restoring daemon state from a checkpoint.
+pub const SPAN_PERSIST_RESTORE: &str = "persist.restore";
+
+/// Histogram: whole fleet tick latency.
+pub const FLEET_TICK_TOTAL: &str = "fleet.tick.total";
+/// Histogram: gather phase of a fleet tick.
+pub const FLEET_TICK_GATHER: &str = "fleet.tick.gather";
+/// Histogram: decide phase of a fleet tick.
+pub const FLEET_TICK_DECIDE: &str = "fleet.tick.decide";
+/// Histogram: scatter phase of a fleet tick.
+pub const FLEET_TICK_SCATTER: &str = "fleet.tick.scatter";
+/// Histogram: train phase of a fleet tick.
+pub const FLEET_TICK_TRAIN: &str = "fleet.tick.train";
+/// Gauge: ticks/sec over the recent window.
+pub const FLEET_TICK_RECENT_RATE: &str = "fleet.tick.recent_rate";
+/// Gauge: configured shard-pool worker count.
+pub const FLEET_WORKERS: &str = "fleet.workers";
+/// Gauge pattern (runtime-formatted): per-worker busy flag,
+/// `fleet.worker.<i>.busy`.
+pub const FLEET_WORKER_BUSY_PATTERN: &str = "fleet.worker.{i}.busy";
+
+/// Counter: agent reports rejected by daemon validation.
+pub const DAEMON_REPORTS_REJECTED: &str = "daemon.reports_rejected";
+/// Counter: ticks whose measurements failed plausibility checks.
+pub const DAEMON_IMPLAUSIBLE_TICKS: &str = "daemon.implausible_ticks";
+
+/// Counter: checkpoints written on request.
+pub const PERSIST_CHECKPOINTS_WRITTEN: &str = "persist.checkpoints_written";
+/// Counter: successful restores.
+pub const PERSIST_RESTORES: &str = "persist.restores";
+/// Counter: checkpoints written by the auto-checkpoint policy.
+pub const PERSIST_AUTO_CHECKPOINTS: &str = "persist.auto_checkpoints";
+/// Counter: wire records appended to the traffic log.
+pub const PERSIST_RECORDS_APPENDED: &str = "persist.records_appended";
+/// Counter: wire-record append failures.
+pub const PERSIST_RECORD_FAILURES: &str = "persist.record_failures";
+/// Counter: auto-checkpoint attempts that failed.
+pub const PERSIST_AUTO_CHECKPOINT_FAILURES: &str = "persist.auto_checkpoint_failures";
+/// Histogram: checkpoint fsync latency.
+pub const PERSIST_CHECKPOINT_FSYNC: &str = "persist.checkpoint.fsync";
+
+/// Counter: connections accepted.
+pub const NET_ACCEPTED: &str = "net.accepted";
+/// Gauge: currently active connections.
+pub const NET_ACTIVE: &str = "net.active";
+/// Counter: connections shed under backpressure.
+pub const NET_SHED_BACKPRESSURE: &str = "net.shed_backpressure";
+/// Counter: idle connections reaped.
+pub const NET_SHED_IDLE: &str = "net.shed_idle";
+/// Counter: orderly disconnects.
+pub const NET_DISCONNECTS: &str = "net.disconnects";
+/// Counter: frames dropped by decode errors.
+pub const NET_DECODE_ERRORS: &str = "net.decode_errors";
+/// Counter: frames read off the wire.
+pub const NET_FRAMES_IN: &str = "net.frames_in";
+/// Counter: frames written to the wire.
+pub const NET_FRAMES_OUT: &str = "net.frames_out";
+/// Counter: bytes read off the wire.
+pub const NET_BYTES_IN: &str = "net.bytes_in";
+/// Counter: bytes written to the wire.
+pub const NET_BYTES_OUT: &str = "net.bytes_out";
+/// Gauge: frames queued for ingest, not yet consumed by the daemon.
+pub const NET_INGRESS_DEPTH: &str = "net.ingress.depth";

@@ -24,6 +24,8 @@
 //! assert_eq!(c, a);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod init;
 pub mod matmul;
 pub mod matrix;

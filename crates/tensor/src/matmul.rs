@@ -57,7 +57,10 @@ const MIN_ROWS_PER_CHUNK: usize = 4;
 /// written through it are disjoint row ranges.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut f64);
+// SAFETY: SendPtr is only handed to pool chunks that write disjoint row
+// ranges of one output buffer that outlives the dispatch.
 unsafe impl Send for SendPtr {}
+// SAFETY: as above — concurrent access is confined to disjoint ranges.
 unsafe impl Sync for SendPtr {}
 
 impl SendPtr {
@@ -67,6 +70,7 @@ impl SendPtr {
     /// The caller must guarantee the range is in bounds and not aliased by
     /// any concurrently accessed range.
     unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [f64] {
+        // SAFETY: forwarded caller contract (see `# Safety` above).
         unsafe { std::slice::from_raw_parts_mut(self.0.add(offset), len) }
     }
 }
@@ -175,6 +179,8 @@ impl Matrix {
             let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
             pool::global().run(m, MIN_ROWS_PER_CHUNK, |start, end| {
                 let rows = end - start;
+                // SAFETY: this chunk owns output rows start..end — row ranges
+                // from one dispatch are disjoint and in bounds.
                 let chunk = unsafe { out_ptr.slice_mut(start * n, rows * n) };
                 gemm_rows(&a_s[start * k..end * k], b_s, chunk, rows, k, n);
             });
@@ -217,6 +223,8 @@ impl Matrix {
             let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
             pool::global().run(m, MIN_ROWS_PER_CHUNK, |start, end| {
                 let rows = end - start;
+                // SAFETY: this chunk owns output rows start..end — row ranges
+                // from one dispatch are disjoint and in bounds.
                 let chunk = unsafe { out_ptr.slice_mut(start * n, rows * n) };
                 gemm_tb_rows(&a_s[start * k..end * k], b_s, chunk, rows, k, n);
             });
@@ -259,6 +267,8 @@ impl Matrix {
             let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
             pool::global().run(m, MIN_ROWS_PER_CHUNK, |start, end| {
                 let rows = end - start;
+                // SAFETY: this chunk owns output rows start..end — row ranges
+                // from one dispatch are disjoint and in bounds.
                 let chunk = unsafe { out_ptr.slice_mut(start * p, rows * p) };
                 gemm_ta_rows(a_s, b_s, chunk, start, end, n, m, p);
             });
@@ -300,6 +310,8 @@ fn matmul_pooled(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
     pool::global().run(m, MIN_ROWS_PER_CHUNK, |start, end| {
         let rows = end - start;
+        // SAFETY: this chunk owns output rows start..end — row ranges
+        // from one dispatch are disjoint and in bounds.
         let chunk = unsafe { out_ptr.slice_mut(start * n, rows * n) };
         gemm_rows(&a_s[start * k..end * k], b_s, chunk, rows, k, n);
     });
@@ -502,6 +514,8 @@ mod tests {
         let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
         pool.run(m, 1, |start, end| {
             let rows = end - start;
+            // SAFETY: this chunk owns output rows start..end — row ranges
+            // from one dispatch are disjoint and in bounds.
             let chunk = unsafe { out_ptr.slice_mut(start * n, rows * n) };
             gemm_rows(&a_s[start * k..end * k], b_s, chunk, rows, k, n);
         });

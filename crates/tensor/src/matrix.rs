@@ -186,7 +186,7 @@ impl Matrix {
     pub fn copy_row_from(&mut self, dst_row: usize, src: &Matrix, src_row: usize) {
         assert_eq!(self.cols, src.cols, "column count mismatch");
         let dst = self.row_mut(dst_row) as *mut [f64];
-        // Safe: src and self may alias only if they are the same allocation,
+        // SAFETY: src and self may alias only if they are the same allocation,
         // in which case copy_from_slice on disjoint rows is still fine; for the
         // same row it is a no-op copy.
         unsafe {

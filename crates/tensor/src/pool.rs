@@ -29,12 +29,16 @@ struct Task {
     end: usize,
 }
 
-// Safety: the pointers inside a Task are only dereferenced while the
+// SAFETY: the pointers inside a Task are only dereferenced while the
 // dispatching thread is blocked in `WorkerPool::run`, which keeps the
 // referents alive; the closure is required to be `Sync`.
 unsafe impl Send for Task {}
 
+/// # Safety
+/// `ctx` must point to a live `F` for the duration of the call.
 unsafe fn trampoline<F: Fn(usize, usize) + Sync>(ctx: *const (), start: usize, end: usize) {
+    // SAFETY: the dispatcher passes a pointer to the closure it keeps alive
+    // while blocked on the acks; `F: Sync` allows the shared call.
     let f = unsafe { &*(ctx as *const F) };
     f(start, end);
 }
@@ -75,6 +79,9 @@ impl WorkerPool {
                         // flag travels back in the ack and is re-raised on
                         // the dispatching thread.
                         let result =
+                            // SAFETY: the Task invariant (see `unsafe impl
+                            // Send for Task`) keeps `ctx` alive until this
+                            // worker acks; `call` is the matching trampoline.
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
                                 (task.call)(task.ctx, task.start, task.end)
                             }));

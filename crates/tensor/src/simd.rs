@@ -145,7 +145,7 @@ pub fn gemm_rows_with(
     assert_eq!(b.len(), cols_a * cols_b, "gemm_rows: b length mismatch");
     assert_eq!(out.len(), rows_a * cols_b, "gemm_rows: out length mismatch");
     match level {
-        // Safety: the guard re-confirms the CPU runs AVX2+FMA (std caches
+        // SAFETY: the guard re-confirms the CPU runs AVX2+FMA (std caches
         // the probe); lengths were asserted above. Wide-and-tall products
         // take the packed-B variant — bit-identical to the streaming kernel
         // (see `gemm_rows_packed_with`), so the gate can never perturb a
@@ -207,7 +207,7 @@ pub fn gemm_rows_packed_with(
     assert_eq!(b.len(), cols_a * cols_b, "gemm_rows: b length mismatch");
     assert_eq!(out.len(), rows_a * cols_b, "gemm_rows: out length mismatch");
     match level {
-        // Safety: as in `gemm_rows_with`.
+        // SAFETY: as in `gemm_rows_with`.
         #[cfg(target_arch = "x86_64")]
         SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
             avx2::gemm_rows_packed(a, b, out, rows_a, cols_a, cols_b)
@@ -236,7 +236,7 @@ pub fn gemm_rows_unpacked_with(
     assert_eq!(b.len(), cols_a * cols_b, "gemm_rows: b length mismatch");
     assert_eq!(out.len(), rows_a * cols_b, "gemm_rows: out length mismatch");
     match level {
-        // Safety: as in `gemm_rows_with`.
+        // SAFETY: as in `gemm_rows_with`.
         #[cfg(target_arch = "x86_64")]
         SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
             avx2::gemm_rows(a, b, out, rows_a, cols_a, cols_b)
@@ -279,7 +279,7 @@ pub fn gemm_ta_rows_with(
         "gemm_ta_rows: out length mismatch"
     );
     match level {
-        // Safety: as in `gemm_rows_with`.
+        // SAFETY: as in `gemm_rows_with`.
         #[cfg(target_arch = "x86_64")]
         SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
             avx2::gemm_ta_rows(a, b, out, i_start, i_end, n, m, p)
@@ -314,7 +314,7 @@ pub fn gemm_tb_rows_with(
         "gemm_tb_rows: out length mismatch"
     );
     match level {
-        // Safety: as in `gemm_rows_with`.
+        // SAFETY: as in `gemm_rows_with`.
         #[cfg(target_arch = "x86_64")]
         SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
             avx2::gemm_tb_rows(a, b, out, rows_a, cols, rows_b)
@@ -377,7 +377,7 @@ pub fn adam_update_with(
     assert_eq!(m.len(), params.len(), "adam_update: m length mismatch");
     assert_eq!(v.len(), params.len(), "adam_update: v length mismatch");
     match level {
-        // Safety: the guard re-confirms the CPU (the kernel only needs AVX2;
+        // SAFETY: the guard re-confirms the CPU (the kernel only needs AVX2;
         // the level implies it); lengths were asserted above.
         #[cfg(target_arch = "x86_64")]
         SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
@@ -413,7 +413,7 @@ pub fn adam_update(
 pub fn tanh_forward_with(level: SimdLevel, src: &[f64], dst: &mut [f64]) {
     assert_eq!(src.len(), dst.len(), "tanh_forward: length mismatch");
     match level {
-        // Safety: the guard re-confirms the CPU; lengths were asserted.
+        // SAFETY: the guard re-confirms the CPU; lengths were asserted.
         #[cfg(target_arch = "x86_64")]
         SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
             avx2::tanh_forward(src, dst)
@@ -437,7 +437,7 @@ pub fn tanh_forward(src: &[f64], dst: &mut [f64]) {
 pub fn tanh_backward_with(level: SimdLevel, output: &[f64], grads: &mut [f64]) {
     assert_eq!(output.len(), grads.len(), "tanh_backward: length mismatch");
     match level {
-        // Safety: the guard re-confirms the CPU; lengths were asserted.
+        // SAFETY: the guard re-confirms the CPU; lengths were asserted.
         #[cfg(target_arch = "x86_64")]
         SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
             avx2::tanh_backward(output, grads)
@@ -486,7 +486,7 @@ pub fn bellman_targets_with(
         "bellman_targets: out length mismatch"
     );
     match level {
-        // Safety: the guard re-confirms the CPU; shapes were asserted.
+        // SAFETY: the guard re-confirms the CPU; shapes were asserted.
         #[cfg(target_arch = "x86_64")]
         SimdLevel::Avx2Fma if detected_level() == SimdLevel::Avx2Fma => unsafe {
             avx2::bellman_targets(rewards, next_q, cols, discount, out)
@@ -914,111 +914,114 @@ mod avx2 {
         cols: usize,
         steps: usize,
     ) {
-        let mut t = 0usize;
-        while t + 4 <= rows {
-            let a0 = a.add(t * a_row_stride);
-            let a1 = a.add((t + 1) * a_row_stride);
-            let a2 = a.add((t + 2) * a_row_stride);
-            let a3 = a.add((t + 3) * a_row_stride);
-            let o0 = out.add(t * cols_out);
-            let o1 = out.add((t + 1) * cols_out);
-            let o2 = out.add((t + 2) * cols_out);
-            let o3 = out.add((t + 3) * cols_out);
-            let mut j = 0usize;
-            while j + 8 <= cols {
-                let mut acc00 = _mm256_loadu_pd(o0.add(j));
-                let mut acc01 = _mm256_loadu_pd(o0.add(j + 4));
-                let mut acc10 = _mm256_loadu_pd(o1.add(j));
-                let mut acc11 = _mm256_loadu_pd(o1.add(j + 4));
-                let mut acc20 = _mm256_loadu_pd(o2.add(j));
-                let mut acc21 = _mm256_loadu_pd(o2.add(j + 4));
-                let mut acc30 = _mm256_loadu_pd(o3.add(j));
-                let mut acc31 = _mm256_loadu_pd(o3.add(j + 4));
-                let mut bp = b.add(j);
+        // SAFETY: the caller upholds this function's `# Safety` contract.
+        unsafe {
+            let mut t = 0usize;
+            while t + 4 <= rows {
+                let a0 = a.add(t * a_row_stride);
+                let a1 = a.add((t + 1) * a_row_stride);
+                let a2 = a.add((t + 2) * a_row_stride);
+                let a3 = a.add((t + 3) * a_row_stride);
+                let o0 = out.add(t * cols_out);
+                let o1 = out.add((t + 1) * cols_out);
+                let o2 = out.add((t + 2) * cols_out);
+                let o3 = out.add((t + 3) * cols_out);
+                let mut j = 0usize;
+                while j + 8 <= cols {
+                    let mut acc00 = _mm256_loadu_pd(o0.add(j));
+                    let mut acc01 = _mm256_loadu_pd(o0.add(j + 4));
+                    let mut acc10 = _mm256_loadu_pd(o1.add(j));
+                    let mut acc11 = _mm256_loadu_pd(o1.add(j + 4));
+                    let mut acc20 = _mm256_loadu_pd(o2.add(j));
+                    let mut acc21 = _mm256_loadu_pd(o2.add(j + 4));
+                    let mut acc30 = _mm256_loadu_pd(o3.add(j));
+                    let mut acc31 = _mm256_loadu_pd(o3.add(j + 4));
+                    let mut bp = b.add(j);
+                    let mut off = 0usize;
+                    for _ in 0..steps {
+                        let bv0 = _mm256_loadu_pd(bp);
+                        let bv1 = _mm256_loadu_pd(bp.add(4));
+                        let v0 = _mm256_broadcast_sd(&*a0.add(off));
+                        acc00 = _mm256_fmadd_pd(v0, bv0, acc00);
+                        acc01 = _mm256_fmadd_pd(v0, bv1, acc01);
+                        let v1 = _mm256_broadcast_sd(&*a1.add(off));
+                        acc10 = _mm256_fmadd_pd(v1, bv0, acc10);
+                        acc11 = _mm256_fmadd_pd(v1, bv1, acc11);
+                        let v2 = _mm256_broadcast_sd(&*a2.add(off));
+                        acc20 = _mm256_fmadd_pd(v2, bv0, acc20);
+                        acc21 = _mm256_fmadd_pd(v2, bv1, acc21);
+                        let v3 = _mm256_broadcast_sd(&*a3.add(off));
+                        acc30 = _mm256_fmadd_pd(v3, bv0, acc30);
+                        acc31 = _mm256_fmadd_pd(v3, bv1, acc31);
+                        bp = bp.add(b_stride);
+                        off += a_step;
+                    }
+                    _mm256_storeu_pd(o0.add(j), acc00);
+                    _mm256_storeu_pd(o0.add(j + 4), acc01);
+                    _mm256_storeu_pd(o1.add(j), acc10);
+                    _mm256_storeu_pd(o1.add(j + 4), acc11);
+                    _mm256_storeu_pd(o2.add(j), acc20);
+                    _mm256_storeu_pd(o2.add(j + 4), acc21);
+                    _mm256_storeu_pd(o3.add(j), acc30);
+                    _mm256_storeu_pd(o3.add(j + 4), acc31);
+                    j += 8;
+                }
+                if j < cols {
+                    row_tail(a0, a_step, b, b_stride, o0, j, cols, steps);
+                    row_tail(a1, a_step, b, b_stride, o1, j, cols, steps);
+                    row_tail(a2, a_step, b, b_stride, o2, j, cols, steps);
+                    row_tail(a3, a_step, b, b_stride, o3, j, cols, steps);
+                }
+                t += 4;
+            }
+            // Remainder rows stream each b-row contiguously (broadcast-sweep like
+            // the scalar kernel) instead of walking b_stride-strided column
+            // strips: a lone row — the 1-row inference forward pass — has no
+            // register reuse to win, and the strided walk defeats the hardware
+            // prefetcher on large matrices. The per-element FMA chain is the same
+            // p-ordered sequence either way, so results stay bit-identical to the
+            // tiled path regardless of where row chunking lands.
+            while t < rows {
+                let a_row = a.add(t * a_row_stride);
+                let o_row = out.add(t * cols_out);
+                let mut bp = b;
                 let mut off = 0usize;
                 for _ in 0..steps {
-                    let bv0 = _mm256_loadu_pd(bp);
-                    let bv1 = _mm256_loadu_pd(bp.add(4));
-                    let v0 = _mm256_broadcast_sd(&*a0.add(off));
-                    acc00 = _mm256_fmadd_pd(v0, bv0, acc00);
-                    acc01 = _mm256_fmadd_pd(v0, bv1, acc01);
-                    let v1 = _mm256_broadcast_sd(&*a1.add(off));
-                    acc10 = _mm256_fmadd_pd(v1, bv0, acc10);
-                    acc11 = _mm256_fmadd_pd(v1, bv1, acc11);
-                    let v2 = _mm256_broadcast_sd(&*a2.add(off));
-                    acc20 = _mm256_fmadd_pd(v2, bv0, acc20);
-                    acc21 = _mm256_fmadd_pd(v2, bv1, acc21);
-                    let v3 = _mm256_broadcast_sd(&*a3.add(off));
-                    acc30 = _mm256_fmadd_pd(v3, bv0, acc30);
-                    acc31 = _mm256_fmadd_pd(v3, bv1, acc31);
+                    let v = _mm256_broadcast_sd(&*a_row.add(off));
+                    let mut j = 0usize;
+                    while j + 8 <= cols {
+                        let acc0 = _mm256_fmadd_pd(
+                            v,
+                            _mm256_loadu_pd(bp.add(j)),
+                            _mm256_loadu_pd(o_row.add(j)),
+                        );
+                        let acc1 = _mm256_fmadd_pd(
+                            v,
+                            _mm256_loadu_pd(bp.add(j + 4)),
+                            _mm256_loadu_pd(o_row.add(j + 4)),
+                        );
+                        _mm256_storeu_pd(o_row.add(j), acc0);
+                        _mm256_storeu_pd(o_row.add(j + 4), acc1);
+                        j += 8;
+                    }
+                    if j + 4 <= cols {
+                        let acc = _mm256_fmadd_pd(
+                            v,
+                            _mm256_loadu_pd(bp.add(j)),
+                            _mm256_loadu_pd(o_row.add(j)),
+                        );
+                        _mm256_storeu_pd(o_row.add(j), acc);
+                        j += 4;
+                    }
+                    while j < cols {
+                        *o_row.add(j) = fmadd_sd(*a_row.add(off), *bp.add(j), *o_row.add(j));
+                        j += 1;
+                    }
                     bp = bp.add(b_stride);
                     off += a_step;
                 }
-                _mm256_storeu_pd(o0.add(j), acc00);
-                _mm256_storeu_pd(o0.add(j + 4), acc01);
-                _mm256_storeu_pd(o1.add(j), acc10);
-                _mm256_storeu_pd(o1.add(j + 4), acc11);
-                _mm256_storeu_pd(o2.add(j), acc20);
-                _mm256_storeu_pd(o2.add(j + 4), acc21);
-                _mm256_storeu_pd(o3.add(j), acc30);
-                _mm256_storeu_pd(o3.add(j + 4), acc31);
-                j += 8;
+                t += 1;
             }
-            if j < cols {
-                row_tail(a0, a_step, b, b_stride, o0, j, cols, steps);
-                row_tail(a1, a_step, b, b_stride, o1, j, cols, steps);
-                row_tail(a2, a_step, b, b_stride, o2, j, cols, steps);
-                row_tail(a3, a_step, b, b_stride, o3, j, cols, steps);
-            }
-            t += 4;
-        }
-        // Remainder rows stream each b-row contiguously (broadcast-sweep like
-        // the scalar kernel) instead of walking b_stride-strided column
-        // strips: a lone row — the 1-row inference forward pass — has no
-        // register reuse to win, and the strided walk defeats the hardware
-        // prefetcher on large matrices. The per-element FMA chain is the same
-        // p-ordered sequence either way, so results stay bit-identical to the
-        // tiled path regardless of where row chunking lands.
-        while t < rows {
-            let a_row = a.add(t * a_row_stride);
-            let o_row = out.add(t * cols_out);
-            let mut bp = b;
-            let mut off = 0usize;
-            for _ in 0..steps {
-                let v = _mm256_broadcast_sd(&*a_row.add(off));
-                let mut j = 0usize;
-                while j + 8 <= cols {
-                    let acc0 = _mm256_fmadd_pd(
-                        v,
-                        _mm256_loadu_pd(bp.add(j)),
-                        _mm256_loadu_pd(o_row.add(j)),
-                    );
-                    let acc1 = _mm256_fmadd_pd(
-                        v,
-                        _mm256_loadu_pd(bp.add(j + 4)),
-                        _mm256_loadu_pd(o_row.add(j + 4)),
-                    );
-                    _mm256_storeu_pd(o_row.add(j), acc0);
-                    _mm256_storeu_pd(o_row.add(j + 4), acc1);
-                    j += 8;
-                }
-                if j + 4 <= cols {
-                    let acc = _mm256_fmadd_pd(
-                        v,
-                        _mm256_loadu_pd(bp.add(j)),
-                        _mm256_loadu_pd(o_row.add(j)),
-                    );
-                    _mm256_storeu_pd(o_row.add(j), acc);
-                    j += 4;
-                }
-                while j < cols {
-                    *o_row.add(j) = fmadd_sd(*a_row.add(off), *bp.add(j), *o_row.add(j));
-                    j += 1;
-                }
-                bp = bp.add(b_stride);
-                off += a_step;
-            }
-            t += 1;
         }
     }
 
@@ -1039,31 +1042,34 @@ mod avx2 {
         cols: usize,
         steps: usize,
     ) {
-        let mut j = j0;
-        if j + 4 <= cols {
-            let mut acc = _mm256_loadu_pd(out_row.add(j));
-            let mut bp = b.add(j);
-            let mut off = 0usize;
-            for _ in 0..steps {
-                let v = _mm256_broadcast_sd(&*a_row.add(off));
-                acc = _mm256_fmadd_pd(v, _mm256_loadu_pd(bp), acc);
-                bp = bp.add(b_stride);
-                off += a_step;
+        // SAFETY: the caller upholds this function's `# Safety` contract.
+        unsafe {
+            let mut j = j0;
+            if j + 4 <= cols {
+                let mut acc = _mm256_loadu_pd(out_row.add(j));
+                let mut bp = b.add(j);
+                let mut off = 0usize;
+                for _ in 0..steps {
+                    let v = _mm256_broadcast_sd(&*a_row.add(off));
+                    acc = _mm256_fmadd_pd(v, _mm256_loadu_pd(bp), acc);
+                    bp = bp.add(b_stride);
+                    off += a_step;
+                }
+                _mm256_storeu_pd(out_row.add(j), acc);
+                j += 4;
             }
-            _mm256_storeu_pd(out_row.add(j), acc);
-            j += 4;
-        }
-        while j < cols {
-            let mut acc = *out_row.add(j);
-            let mut bp = b.add(j);
-            let mut off = 0usize;
-            for _ in 0..steps {
-                acc = fmadd_sd(*a_row.add(off), *bp, acc);
-                bp = bp.add(b_stride);
-                off += a_step;
+            while j < cols {
+                let mut acc = *out_row.add(j);
+                let mut bp = b.add(j);
+                let mut off = 0usize;
+                for _ in 0..steps {
+                    acc = fmadd_sd(*a_row.add(off), *bp, acc);
+                    bp = bp.add(b_stride);
+                    off += a_step;
+                }
+                *out_row.add(j) = acc;
+                j += 1;
             }
-            *out_row.add(j) = acc;
-            j += 1;
         }
     }
 
@@ -1083,20 +1089,23 @@ mod avx2 {
         cols_a: usize,
         cols_b: usize,
     ) {
-        for kk in (0..cols_a).step_by(BLOCK) {
-            let k_end = (kk + BLOCK).min(cols_a);
-            panel(
-                a.as_ptr().add(kk),
-                cols_a,
-                1,
-                b.as_ptr().add(kk * cols_b),
-                cols_b,
-                out.as_mut_ptr(),
-                cols_b,
-                rows_a,
-                cols_b,
-                k_end - kk,
-            );
+        // SAFETY: the caller upholds this function's `# Safety` contract.
+        unsafe {
+            for kk in (0..cols_a).step_by(BLOCK) {
+                let k_end = (kk + BLOCK).min(cols_a);
+                panel(
+                    a.as_ptr().add(kk),
+                    cols_a,
+                    1,
+                    b.as_ptr().add(kk * cols_b),
+                    cols_b,
+                    out.as_mut_ptr(),
+                    cols_b,
+                    rows_a,
+                    cols_b,
+                    k_end - kk,
+                );
+            }
         }
     }
 
@@ -1106,6 +1115,7 @@ mod avx2 {
     // guarantee the worker pool carries).
     std::thread_local! {
         static PACK_BUF: std::cell::RefCell<Vec<f64>> =
+            // capes-check: allow(hot-path-alloc) -- const-evaluated empty Vec: no heap allocation.
             const { std::cell::RefCell::new(Vec::new()) };
     }
 
@@ -1132,7 +1142,7 @@ mod avx2 {
             }
             for kk in (0..cols_a).step_by(BLOCK) {
                 let steps = (kk + BLOCK).min(cols_a) - kk;
-                // Safety: forwarded from the caller; the scratch buffer holds
+                // SAFETY: forwarded from the caller; the scratch buffer holds
                 // at least `steps * cols_b` elements by the resize above.
                 unsafe {
                     pack_b_panel(
@@ -1177,24 +1187,27 @@ mod avx2 {
         steps: usize,
         dst: *mut f64,
     ) {
-        let full = cols / 8 * 8;
-        let w = cols - full;
-        let mut j = 0usize;
-        while j < full {
-            let tile = dst.add((j / 8) * steps * 8);
-            for s in 0..steps {
-                let src = b.add(s * b_stride + j);
-                _mm256_storeu_pd(tile.add(s * 8), _mm256_loadu_pd(src));
-                _mm256_storeu_pd(tile.add(s * 8 + 4), _mm256_loadu_pd(src.add(4)));
+        // SAFETY: the caller upholds this function's `# Safety` contract.
+        unsafe {
+            let full = cols / 8 * 8;
+            let w = cols - full;
+            let mut j = 0usize;
+            while j < full {
+                let tile = dst.add((j / 8) * steps * 8);
+                for s in 0..steps {
+                    let src = b.add(s * b_stride + j);
+                    _mm256_storeu_pd(tile.add(s * 8), _mm256_loadu_pd(src));
+                    _mm256_storeu_pd(tile.add(s * 8 + 4), _mm256_loadu_pd(src.add(4)));
+                }
+                j += 8;
             }
-            j += 8;
-        }
-        if w > 0 {
-            let rem = dst.add((full / 8) * steps * 8);
-            for s in 0..steps {
-                let src = b.add(s * b_stride + full);
-                for c in 0..w {
-                    *rem.add(s * w + c) = *src.add(c);
+            if w > 0 {
+                let rem = dst.add((full / 8) * steps * 8);
+                for s in 0..steps {
+                    let src = b.add(s * b_stride + full);
+                    for c in 0..w {
+                        *rem.add(s * w + c) = *src.add(c);
+                    }
                 }
             }
         }
@@ -1227,91 +1240,94 @@ mod avx2 {
         cols: usize,
         steps: usize,
     ) {
-        let full = cols / 8 * 8;
-        let w = cols - full;
-        let rem = packed.add((full / 8) * steps * 8);
-        let mut t = 0usize;
-        while t + 4 <= rows {
-            let a0 = a.add(t * a_row_stride);
-            let a1 = a.add((t + 1) * a_row_stride);
-            let a2 = a.add((t + 2) * a_row_stride);
-            let a3 = a.add((t + 3) * a_row_stride);
-            let o0 = out.add(t * cols_out);
-            let o1 = out.add((t + 1) * cols_out);
-            let o2 = out.add((t + 2) * cols_out);
-            let o3 = out.add((t + 3) * cols_out);
-            let mut j = 0usize;
-            while j + 8 <= cols {
-                let mut acc00 = _mm256_loadu_pd(o0.add(j));
-                let mut acc01 = _mm256_loadu_pd(o0.add(j + 4));
-                let mut acc10 = _mm256_loadu_pd(o1.add(j));
-                let mut acc11 = _mm256_loadu_pd(o1.add(j + 4));
-                let mut acc20 = _mm256_loadu_pd(o2.add(j));
-                let mut acc21 = _mm256_loadu_pd(o2.add(j + 4));
-                let mut acc30 = _mm256_loadu_pd(o3.add(j));
-                let mut acc31 = _mm256_loadu_pd(o3.add(j + 4));
-                let mut bp = packed.add((j / 8) * steps * 8);
-                let mut off = 0usize;
-                for _ in 0..steps {
-                    let bv0 = _mm256_loadu_pd(bp);
-                    let bv1 = _mm256_loadu_pd(bp.add(4));
-                    let v0 = _mm256_broadcast_sd(&*a0.add(off));
-                    acc00 = _mm256_fmadd_pd(v0, bv0, acc00);
-                    acc01 = _mm256_fmadd_pd(v0, bv1, acc01);
-                    let v1 = _mm256_broadcast_sd(&*a1.add(off));
-                    acc10 = _mm256_fmadd_pd(v1, bv0, acc10);
-                    acc11 = _mm256_fmadd_pd(v1, bv1, acc11);
-                    let v2 = _mm256_broadcast_sd(&*a2.add(off));
-                    acc20 = _mm256_fmadd_pd(v2, bv0, acc20);
-                    acc21 = _mm256_fmadd_pd(v2, bv1, acc21);
-                    let v3 = _mm256_broadcast_sd(&*a3.add(off));
-                    acc30 = _mm256_fmadd_pd(v3, bv0, acc30);
-                    acc31 = _mm256_fmadd_pd(v3, bv1, acc31);
-                    bp = bp.add(8);
-                    off += a_step;
+        // SAFETY: the caller upholds this function's `# Safety` contract.
+        unsafe {
+            let full = cols / 8 * 8;
+            let w = cols - full;
+            let rem = packed.add((full / 8) * steps * 8);
+            let mut t = 0usize;
+            while t + 4 <= rows {
+                let a0 = a.add(t * a_row_stride);
+                let a1 = a.add((t + 1) * a_row_stride);
+                let a2 = a.add((t + 2) * a_row_stride);
+                let a3 = a.add((t + 3) * a_row_stride);
+                let o0 = out.add(t * cols_out);
+                let o1 = out.add((t + 1) * cols_out);
+                let o2 = out.add((t + 2) * cols_out);
+                let o3 = out.add((t + 3) * cols_out);
+                let mut j = 0usize;
+                while j + 8 <= cols {
+                    let mut acc00 = _mm256_loadu_pd(o0.add(j));
+                    let mut acc01 = _mm256_loadu_pd(o0.add(j + 4));
+                    let mut acc10 = _mm256_loadu_pd(o1.add(j));
+                    let mut acc11 = _mm256_loadu_pd(o1.add(j + 4));
+                    let mut acc20 = _mm256_loadu_pd(o2.add(j));
+                    let mut acc21 = _mm256_loadu_pd(o2.add(j + 4));
+                    let mut acc30 = _mm256_loadu_pd(o3.add(j));
+                    let mut acc31 = _mm256_loadu_pd(o3.add(j + 4));
+                    let mut bp = packed.add((j / 8) * steps * 8);
+                    let mut off = 0usize;
+                    for _ in 0..steps {
+                        let bv0 = _mm256_loadu_pd(bp);
+                        let bv1 = _mm256_loadu_pd(bp.add(4));
+                        let v0 = _mm256_broadcast_sd(&*a0.add(off));
+                        acc00 = _mm256_fmadd_pd(v0, bv0, acc00);
+                        acc01 = _mm256_fmadd_pd(v0, bv1, acc01);
+                        let v1 = _mm256_broadcast_sd(&*a1.add(off));
+                        acc10 = _mm256_fmadd_pd(v1, bv0, acc10);
+                        acc11 = _mm256_fmadd_pd(v1, bv1, acc11);
+                        let v2 = _mm256_broadcast_sd(&*a2.add(off));
+                        acc20 = _mm256_fmadd_pd(v2, bv0, acc20);
+                        acc21 = _mm256_fmadd_pd(v2, bv1, acc21);
+                        let v3 = _mm256_broadcast_sd(&*a3.add(off));
+                        acc30 = _mm256_fmadd_pd(v3, bv0, acc30);
+                        acc31 = _mm256_fmadd_pd(v3, bv1, acc31);
+                        bp = bp.add(8);
+                        off += a_step;
+                    }
+                    _mm256_storeu_pd(o0.add(j), acc00);
+                    _mm256_storeu_pd(o0.add(j + 4), acc01);
+                    _mm256_storeu_pd(o1.add(j), acc10);
+                    _mm256_storeu_pd(o1.add(j + 4), acc11);
+                    _mm256_storeu_pd(o2.add(j), acc20);
+                    _mm256_storeu_pd(o2.add(j + 4), acc21);
+                    _mm256_storeu_pd(o3.add(j), acc30);
+                    _mm256_storeu_pd(o3.add(j + 4), acc31);
+                    j += 8;
                 }
-                _mm256_storeu_pd(o0.add(j), acc00);
-                _mm256_storeu_pd(o0.add(j + 4), acc01);
-                _mm256_storeu_pd(o1.add(j), acc10);
-                _mm256_storeu_pd(o1.add(j + 4), acc11);
-                _mm256_storeu_pd(o2.add(j), acc20);
-                _mm256_storeu_pd(o2.add(j + 4), acc21);
-                _mm256_storeu_pd(o3.add(j), acc30);
-                _mm256_storeu_pd(o3.add(j + 4), acc31);
-                j += 8;
-            }
-            if j < cols {
-                row_tail(a0, a_step, rem, w, o0.add(full), 0, w, steps);
-                row_tail(a1, a_step, rem, w, o1.add(full), 0, w, steps);
-                row_tail(a2, a_step, rem, w, o2.add(full), 0, w, steps);
-                row_tail(a3, a_step, rem, w, o3.add(full), 0, w, steps);
-            }
-            t += 4;
-        }
-        while t < rows {
-            let a_row = a.add(t * a_row_stride);
-            let o_row = out.add(t * cols_out);
-            let mut j = 0usize;
-            while j + 8 <= cols {
-                let mut acc0 = _mm256_loadu_pd(o_row.add(j));
-                let mut acc1 = _mm256_loadu_pd(o_row.add(j + 4));
-                let mut bp = packed.add((j / 8) * steps * 8);
-                let mut off = 0usize;
-                for _ in 0..steps {
-                    let v = _mm256_broadcast_sd(&*a_row.add(off));
-                    acc0 = _mm256_fmadd_pd(v, _mm256_loadu_pd(bp), acc0);
-                    acc1 = _mm256_fmadd_pd(v, _mm256_loadu_pd(bp.add(4)), acc1);
-                    bp = bp.add(8);
-                    off += a_step;
+                if j < cols {
+                    row_tail(a0, a_step, rem, w, o0.add(full), 0, w, steps);
+                    row_tail(a1, a_step, rem, w, o1.add(full), 0, w, steps);
+                    row_tail(a2, a_step, rem, w, o2.add(full), 0, w, steps);
+                    row_tail(a3, a_step, rem, w, o3.add(full), 0, w, steps);
                 }
-                _mm256_storeu_pd(o_row.add(j), acc0);
-                _mm256_storeu_pd(o_row.add(j + 4), acc1);
-                j += 8;
+                t += 4;
             }
-            if j < cols {
-                row_tail(a_row, a_step, rem, w, o_row.add(full), 0, w, steps);
+            while t < rows {
+                let a_row = a.add(t * a_row_stride);
+                let o_row = out.add(t * cols_out);
+                let mut j = 0usize;
+                while j + 8 <= cols {
+                    let mut acc0 = _mm256_loadu_pd(o_row.add(j));
+                    let mut acc1 = _mm256_loadu_pd(o_row.add(j + 4));
+                    let mut bp = packed.add((j / 8) * steps * 8);
+                    let mut off = 0usize;
+                    for _ in 0..steps {
+                        let v = _mm256_broadcast_sd(&*a_row.add(off));
+                        acc0 = _mm256_fmadd_pd(v, _mm256_loadu_pd(bp), acc0);
+                        acc1 = _mm256_fmadd_pd(v, _mm256_loadu_pd(bp.add(4)), acc1);
+                        bp = bp.add(8);
+                        off += a_step;
+                    }
+                    _mm256_storeu_pd(o_row.add(j), acc0);
+                    _mm256_storeu_pd(o_row.add(j + 4), acc1);
+                    j += 8;
+                }
+                if j < cols {
+                    row_tail(a_row, a_step, rem, w, o_row.add(full), 0, w, steps);
+                }
+                t += 1;
             }
-            t += 1;
         }
     }
 
@@ -1334,18 +1350,21 @@ mod avx2 {
         m: usize,
         p: usize,
     ) {
-        panel(
-            a.as_ptr().add(i_start),
-            1,
-            m,
-            b.as_ptr(),
-            p,
-            out.as_mut_ptr(),
-            p,
-            i_end - i_start,
-            p,
-            n,
-        );
+        // SAFETY: the caller upholds this function's `# Safety` contract.
+        unsafe {
+            panel(
+                a.as_ptr().add(i_start),
+                1,
+                m,
+                b.as_ptr(),
+                p,
+                out.as_mut_ptr(),
+                p,
+                i_end - i_start,
+                p,
+                n,
+            );
+        }
     }
 
     /// FMA dot product over `len` doubles: one 256-bit accumulator chain,
@@ -1360,18 +1379,21 @@ mod avx2 {
     #[target_feature(enable = "avx2", enable = "fma")]
     #[inline]
     unsafe fn dot(a: *const f64, b: *const f64, len: usize) -> f64 {
-        let mut acc = _mm256_setzero_pd();
-        let mut i = 0usize;
-        while i + 4 <= len {
-            acc = _mm256_fmadd_pd(_mm256_loadu_pd(a.add(i)), _mm256_loadu_pd(b.add(i)), acc);
-            i += 4;
+        // SAFETY: the caller upholds this function's `# Safety` contract.
+        unsafe {
+            let mut acc = _mm256_setzero_pd();
+            let mut i = 0usize;
+            while i + 4 <= len {
+                acc = _mm256_fmadd_pd(_mm256_loadu_pd(a.add(i)), _mm256_loadu_pd(b.add(i)), acc);
+                i += 4;
+            }
+            let mut sum = hsum(acc);
+            while i < len {
+                sum = fmadd_sd(*a.add(i), *b.add(i), sum);
+                i += 1;
+            }
+            sum
         }
-        let mut sum = hsum(acc);
-        while i < len {
-            sum = fmadd_sd(*a.add(i), *b.add(i), sum);
-            i += 1;
-        }
-        sum
     }
 
     /// Horizontal sum of a 256-bit accumulator: `(l0 + l2) + (l1 + l3)`.
@@ -1404,47 +1426,50 @@ mod avx2 {
         cols: usize,
         rows_b: usize,
     ) {
-        out.fill(0.0);
-        let a_ptr = a.as_ptr();
-        let b_ptr = b.as_ptr();
-        let out_ptr = out.as_mut_ptr();
-        for kk in (0..cols).step_by(BLOCK) {
-            let k_end = (kk + BLOCK).min(cols);
-            let seg = k_end - kk;
-            for jj in (0..rows_b).step_by(BLOCK) {
-                let j_end = (jj + BLOCK).min(rows_b);
-                let mut i = 0usize;
-                while i + 2 <= rows_a {
-                    let a0 = a_ptr.add(i * cols + kk);
-                    let a1 = a_ptr.add((i + 1) * cols + kk);
-                    let o0 = out_ptr.add(i * rows_b);
-                    let o1 = out_ptr.add((i + 1) * rows_b);
-                    let mut j = jj;
-                    while j + 4 <= j_end {
-                        dot_2x4(
-                            a0,
-                            a1,
-                            b_ptr.add(j * cols + kk),
-                            cols,
-                            seg,
-                            o0.add(j),
-                            o1.add(j),
-                        );
-                        j += 4;
+        // SAFETY: the caller upholds this function's `# Safety` contract.
+        unsafe {
+            out.fill(0.0);
+            let a_ptr = a.as_ptr();
+            let b_ptr = b.as_ptr();
+            let out_ptr = out.as_mut_ptr();
+            for kk in (0..cols).step_by(BLOCK) {
+                let k_end = (kk + BLOCK).min(cols);
+                let seg = k_end - kk;
+                for jj in (0..rows_b).step_by(BLOCK) {
+                    let j_end = (jj + BLOCK).min(rows_b);
+                    let mut i = 0usize;
+                    while i + 2 <= rows_a {
+                        let a0 = a_ptr.add(i * cols + kk);
+                        let a1 = a_ptr.add((i + 1) * cols + kk);
+                        let o0 = out_ptr.add(i * rows_b);
+                        let o1 = out_ptr.add((i + 1) * rows_b);
+                        let mut j = jj;
+                        while j + 4 <= j_end {
+                            dot_2x4(
+                                a0,
+                                a1,
+                                b_ptr.add(j * cols + kk),
+                                cols,
+                                seg,
+                                o0.add(j),
+                                o1.add(j),
+                            );
+                            j += 4;
+                        }
+                        while j < j_end {
+                            let bj = b_ptr.add(j * cols + kk);
+                            *o0.add(j) += dot(a0, bj, seg);
+                            *o1.add(j) += dot(a1, bj, seg);
+                            j += 1;
+                        }
+                        i += 2;
                     }
-                    while j < j_end {
-                        let bj = b_ptr.add(j * cols + kk);
-                        *o0.add(j) += dot(a0, bj, seg);
-                        *o1.add(j) += dot(a1, bj, seg);
-                        j += 1;
-                    }
-                    i += 2;
-                }
-                if i < rows_a {
-                    let a0 = a_ptr.add(i * cols + kk);
-                    let o0 = out_ptr.add(i * rows_b);
-                    for j in jj..j_end {
-                        *o0.add(j) += dot(a0, b_ptr.add(j * cols + kk), seg);
+                    if i < rows_a {
+                        let a0 = a_ptr.add(i * cols + kk);
+                        let o0 = out_ptr.add(i * rows_b);
+                        for j in jj..j_end {
+                            *o0.add(j) += dot(a0, b_ptr.add(j * cols + kk), seg);
+                        }
                     }
                 }
             }
@@ -1472,53 +1497,56 @@ mod avx2 {
         v: &mut [f64],
         s: &super::AdamStep,
     ) {
-        let n = params.len();
-        let lanes = n - n % 4;
-        let b1 = _mm256_set1_pd(s.beta1);
-        let b2 = _mm256_set1_pd(s.beta2);
-        let omb1 = _mm256_set1_pd(1.0 - s.beta1);
-        let omb2 = _mm256_set1_pd(1.0 - s.beta2);
-        let bias1 = _mm256_set1_pd(s.bias1);
-        let bias2 = _mm256_set1_pd(s.bias2);
-        let lr = _mm256_set1_pd(s.learning_rate);
-        let eps = _mm256_set1_pd(s.epsilon);
-        let scale = _mm256_set1_pd(s.scale);
-        let p_ptr = params.as_mut_ptr();
-        let g_ptr = grads.as_ptr();
-        let m_ptr = m.as_mut_ptr();
-        let v_ptr = v.as_mut_ptr();
-        let mut i = 0usize;
-        while i + 4 <= n {
-            let g = _mm256_mul_pd(_mm256_loadu_pd(g_ptr.add(i)), scale);
-            let mv = _mm256_add_pd(
-                _mm256_mul_pd(b1, _mm256_loadu_pd(m_ptr.add(i))),
-                _mm256_mul_pd(omb1, g),
+        // SAFETY: the caller upholds this function's `# Safety` contract.
+        unsafe {
+            let n = params.len();
+            let lanes = n - n % 4;
+            let b1 = _mm256_set1_pd(s.beta1);
+            let b2 = _mm256_set1_pd(s.beta2);
+            let omb1 = _mm256_set1_pd(1.0 - s.beta1);
+            let omb2 = _mm256_set1_pd(1.0 - s.beta2);
+            let bias1 = _mm256_set1_pd(s.bias1);
+            let bias2 = _mm256_set1_pd(s.bias2);
+            let lr = _mm256_set1_pd(s.learning_rate);
+            let eps = _mm256_set1_pd(s.epsilon);
+            let scale = _mm256_set1_pd(s.scale);
+            let p_ptr = params.as_mut_ptr();
+            let g_ptr = grads.as_ptr();
+            let m_ptr = m.as_mut_ptr();
+            let v_ptr = v.as_mut_ptr();
+            let mut i = 0usize;
+            while i + 4 <= n {
+                let g = _mm256_mul_pd(_mm256_loadu_pd(g_ptr.add(i)), scale);
+                let mv = _mm256_add_pd(
+                    _mm256_mul_pd(b1, _mm256_loadu_pd(m_ptr.add(i))),
+                    _mm256_mul_pd(omb1, g),
+                );
+                let vv = _mm256_add_pd(
+                    _mm256_mul_pd(b2, _mm256_loadu_pd(v_ptr.add(i))),
+                    _mm256_mul_pd(_mm256_mul_pd(omb2, g), g),
+                );
+                _mm256_storeu_pd(m_ptr.add(i), mv);
+                _mm256_storeu_pd(v_ptr.add(i), vv);
+                let m_hat = _mm256_div_pd(mv, bias1);
+                let v_hat = _mm256_div_pd(vv, bias2);
+                let delta = _mm256_div_pd(
+                    _mm256_mul_pd(lr, m_hat),
+                    _mm256_add_pd(_mm256_sqrt_pd(v_hat), eps),
+                );
+                _mm256_storeu_pd(
+                    p_ptr.add(i),
+                    _mm256_sub_pd(_mm256_loadu_pd(p_ptr.add(i)), delta),
+                );
+                i += 4;
+            }
+            super::adam_update_scalar(
+                &mut params[lanes..],
+                &grads[lanes..],
+                &mut m[lanes..],
+                &mut v[lanes..],
+                s,
             );
-            let vv = _mm256_add_pd(
-                _mm256_mul_pd(b2, _mm256_loadu_pd(v_ptr.add(i))),
-                _mm256_mul_pd(_mm256_mul_pd(omb2, g), g),
-            );
-            _mm256_storeu_pd(m_ptr.add(i), mv);
-            _mm256_storeu_pd(v_ptr.add(i), vv);
-            let m_hat = _mm256_div_pd(mv, bias1);
-            let v_hat = _mm256_div_pd(vv, bias2);
-            let delta = _mm256_div_pd(
-                _mm256_mul_pd(lr, m_hat),
-                _mm256_add_pd(_mm256_sqrt_pd(v_hat), eps),
-            );
-            _mm256_storeu_pd(
-                p_ptr.add(i),
-                _mm256_sub_pd(_mm256_loadu_pd(p_ptr.add(i)), delta),
-            );
-            i += 4;
         }
-        super::adam_update_scalar(
-            &mut params[lanes..],
-            &grads[lanes..],
-            &mut m[lanes..],
-            &mut v[lanes..],
-            s,
-        );
     }
 
     /// Four-lane `tanh`, executing [`super::tanh_value`]'s exact operation
@@ -1612,16 +1640,19 @@ mod avx2 {
     /// caller).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn tanh_forward(src: &[f64], dst: &mut [f64]) {
-        let n = src.len();
-        let lanes = n - n % 4;
-        let s_ptr = src.as_ptr();
-        let d_ptr = dst.as_mut_ptr();
-        let mut i = 0usize;
-        while i + 4 <= n {
-            _mm256_storeu_pd(d_ptr.add(i), tanh_pd(_mm256_loadu_pd(s_ptr.add(i))));
-            i += 4;
+        // SAFETY: the caller upholds this function's `# Safety` contract.
+        unsafe {
+            let n = src.len();
+            let lanes = n - n % 4;
+            let s_ptr = src.as_ptr();
+            let d_ptr = dst.as_mut_ptr();
+            let mut i = 0usize;
+            while i + 4 <= n {
+                _mm256_storeu_pd(d_ptr.add(i), tanh_pd(_mm256_loadu_pd(s_ptr.add(i))));
+                i += 4;
+            }
+            super::tanh_forward_scalar(&src[lanes..], &mut dst[lanes..]);
         }
-        super::tanh_forward_scalar(&src[lanes..], &mut dst[lanes..]);
     }
 
     /// AVX2 arm of [`super::tanh_backward_with`]: `g *= 1 − y²` with
@@ -1632,20 +1663,23 @@ mod avx2 {
     /// caller).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn tanh_backward(output: &[f64], grads: &mut [f64]) {
-        let n = output.len();
-        let lanes = n - n % 4;
-        let one = _mm256_set1_pd(1.0);
-        let y_ptr = output.as_ptr();
-        let g_ptr = grads.as_mut_ptr();
-        let mut i = 0usize;
-        while i + 4 <= n {
-            let y = _mm256_loadu_pd(y_ptr.add(i));
-            let g = _mm256_loadu_pd(g_ptr.add(i));
-            let d = _mm256_sub_pd(one, _mm256_mul_pd(y, y));
-            _mm256_storeu_pd(g_ptr.add(i), _mm256_mul_pd(g, d));
-            i += 4;
+        // SAFETY: the caller upholds this function's `# Safety` contract.
+        unsafe {
+            let n = output.len();
+            let lanes = n - n % 4;
+            let one = _mm256_set1_pd(1.0);
+            let y_ptr = output.as_ptr();
+            let g_ptr = grads.as_mut_ptr();
+            let mut i = 0usize;
+            while i + 4 <= n {
+                let y = _mm256_loadu_pd(y_ptr.add(i));
+                let g = _mm256_loadu_pd(g_ptr.add(i));
+                let d = _mm256_sub_pd(one, _mm256_mul_pd(y, y));
+                _mm256_storeu_pd(g_ptr.add(i), _mm256_mul_pd(g, d));
+                i += 4;
+            }
+            super::tanh_backward_scalar(&output[lanes..], &mut grads[lanes..]);
         }
-        super::tanh_backward_scalar(&output[lanes..], &mut grads[lanes..]);
     }
 
     /// AVX2 arm of [`super::bellman_targets_with`]: four output rows per
@@ -1666,35 +1700,38 @@ mod avx2 {
         discount: f64,
         out: &mut [f64],
     ) {
-        let rows = rewards.len();
-        let quads = rows - rows % 4;
-        let gamma = _mm256_set1_pd(discount);
-        let q_ptr = next_q.as_ptr();
-        let r_ptr = rewards.as_ptr();
-        let o_ptr = out.as_mut_ptr();
-        let mut i = 0usize;
-        while i + 4 <= rows {
-            let r0 = q_ptr.add(i * cols);
-            let r1 = q_ptr.add((i + 1) * cols);
-            let r2 = q_ptr.add((i + 2) * cols);
-            let r3 = q_ptr.add((i + 3) * cols);
-            let mut m = _mm256_set_pd(*r3, *r2, *r1, *r0);
-            for j in 1..cols {
-                let v = _mm256_set_pd(*r3.add(j), *r2.add(j), *r1.add(j), *r0.add(j));
-                let gt = _mm256_cmp_pd::<_CMP_GT_OQ>(v, m);
-                m = _mm256_blendv_pd(m, v, gt);
+        // SAFETY: the caller upholds this function's `# Safety` contract.
+        unsafe {
+            let rows = rewards.len();
+            let quads = rows - rows % 4;
+            let gamma = _mm256_set1_pd(discount);
+            let q_ptr = next_q.as_ptr();
+            let r_ptr = rewards.as_ptr();
+            let o_ptr = out.as_mut_ptr();
+            let mut i = 0usize;
+            while i + 4 <= rows {
+                let r0 = q_ptr.add(i * cols);
+                let r1 = q_ptr.add((i + 1) * cols);
+                let r2 = q_ptr.add((i + 2) * cols);
+                let r3 = q_ptr.add((i + 3) * cols);
+                let mut m = _mm256_set_pd(*r3, *r2, *r1, *r0);
+                for j in 1..cols {
+                    let v = _mm256_set_pd(*r3.add(j), *r2.add(j), *r1.add(j), *r0.add(j));
+                    let gt = _mm256_cmp_pd::<_CMP_GT_OQ>(v, m);
+                    m = _mm256_blendv_pd(m, v, gt);
+                }
+                let reward = _mm256_loadu_pd(r_ptr.add(i));
+                _mm256_storeu_pd(o_ptr.add(i), _mm256_add_pd(reward, _mm256_mul_pd(gamma, m)));
+                i += 4;
             }
-            let reward = _mm256_loadu_pd(r_ptr.add(i));
-            _mm256_storeu_pd(o_ptr.add(i), _mm256_add_pd(reward, _mm256_mul_pd(gamma, m)));
-            i += 4;
+            super::bellman_targets_scalar(
+                &rewards[quads..],
+                &next_q[quads * cols..],
+                cols,
+                discount,
+                &mut out[quads..],
+            );
         }
-        super::bellman_targets_scalar(
-            &rewards[quads..],
-            &next_q[quads * cols..],
-            cols,
-            discount,
-            &mut out[quads..],
-        );
     }
 
     /// Eight simultaneous segment dots: a-rows `a0`/`a1` against four
@@ -1716,64 +1753,67 @@ mod avx2 {
         o0: *mut f64,
         o1: *mut f64,
     ) {
-        let b1 = b0.add(b_stride);
-        let b2 = b0.add(2 * b_stride);
-        let b3 = b0.add(3 * b_stride);
-        let mut acc00 = _mm256_setzero_pd();
-        let mut acc01 = _mm256_setzero_pd();
-        let mut acc02 = _mm256_setzero_pd();
-        let mut acc03 = _mm256_setzero_pd();
-        let mut acc10 = _mm256_setzero_pd();
-        let mut acc11 = _mm256_setzero_pd();
-        let mut acc12 = _mm256_setzero_pd();
-        let mut acc13 = _mm256_setzero_pd();
-        let mut i = 0usize;
-        while i + 4 <= len {
-            let va0 = _mm256_loadu_pd(a0.add(i));
-            let va1 = _mm256_loadu_pd(a1.add(i));
-            let vb0 = _mm256_loadu_pd(b0.add(i));
-            acc00 = _mm256_fmadd_pd(va0, vb0, acc00);
-            acc10 = _mm256_fmadd_pd(va1, vb0, acc10);
-            let vb1 = _mm256_loadu_pd(b1.add(i));
-            acc01 = _mm256_fmadd_pd(va0, vb1, acc01);
-            acc11 = _mm256_fmadd_pd(va1, vb1, acc11);
-            let vb2 = _mm256_loadu_pd(b2.add(i));
-            acc02 = _mm256_fmadd_pd(va0, vb2, acc02);
-            acc12 = _mm256_fmadd_pd(va1, vb2, acc12);
-            let vb3 = _mm256_loadu_pd(b3.add(i));
-            acc03 = _mm256_fmadd_pd(va0, vb3, acc03);
-            acc13 = _mm256_fmadd_pd(va1, vb3, acc13);
-            i += 4;
+        // SAFETY: the caller upholds this function's `# Safety` contract.
+        unsafe {
+            let b1 = b0.add(b_stride);
+            let b2 = b0.add(2 * b_stride);
+            let b3 = b0.add(3 * b_stride);
+            let mut acc00 = _mm256_setzero_pd();
+            let mut acc01 = _mm256_setzero_pd();
+            let mut acc02 = _mm256_setzero_pd();
+            let mut acc03 = _mm256_setzero_pd();
+            let mut acc10 = _mm256_setzero_pd();
+            let mut acc11 = _mm256_setzero_pd();
+            let mut acc12 = _mm256_setzero_pd();
+            let mut acc13 = _mm256_setzero_pd();
+            let mut i = 0usize;
+            while i + 4 <= len {
+                let va0 = _mm256_loadu_pd(a0.add(i));
+                let va1 = _mm256_loadu_pd(a1.add(i));
+                let vb0 = _mm256_loadu_pd(b0.add(i));
+                acc00 = _mm256_fmadd_pd(va0, vb0, acc00);
+                acc10 = _mm256_fmadd_pd(va1, vb0, acc10);
+                let vb1 = _mm256_loadu_pd(b1.add(i));
+                acc01 = _mm256_fmadd_pd(va0, vb1, acc01);
+                acc11 = _mm256_fmadd_pd(va1, vb1, acc11);
+                let vb2 = _mm256_loadu_pd(b2.add(i));
+                acc02 = _mm256_fmadd_pd(va0, vb2, acc02);
+                acc12 = _mm256_fmadd_pd(va1, vb2, acc12);
+                let vb3 = _mm256_loadu_pd(b3.add(i));
+                acc03 = _mm256_fmadd_pd(va0, vb3, acc03);
+                acc13 = _mm256_fmadd_pd(va1, vb3, acc13);
+                i += 4;
+            }
+            let mut s00 = hsum(acc00);
+            let mut s01 = hsum(acc01);
+            let mut s02 = hsum(acc02);
+            let mut s03 = hsum(acc03);
+            let mut s10 = hsum(acc10);
+            let mut s11 = hsum(acc11);
+            let mut s12 = hsum(acc12);
+            let mut s13 = hsum(acc13);
+            while i < len {
+                let x0 = *a0.add(i);
+                let x1 = *a1.add(i);
+                s00 = fmadd_sd(x0, *b0.add(i), s00);
+                s01 = fmadd_sd(x0, *b1.add(i), s01);
+                s02 = fmadd_sd(x0, *b2.add(i), s02);
+                s03 = fmadd_sd(x0, *b3.add(i), s03);
+                s10 = fmadd_sd(x1, *b0.add(i), s10);
+                s11 = fmadd_sd(x1, *b1.add(i), s11);
+                s12 = fmadd_sd(x1, *b2.add(i), s12);
+                s13 = fmadd_sd(x1, *b3.add(i), s13);
+                i += 1;
+            }
+            *o0 += s00;
+            *o0.add(1) += s01;
+            *o0.add(2) += s02;
+            *o0.add(3) += s03;
+            *o1 += s10;
+            *o1.add(1) += s11;
+            *o1.add(2) += s12;
+            *o1.add(3) += s13;
         }
-        let mut s00 = hsum(acc00);
-        let mut s01 = hsum(acc01);
-        let mut s02 = hsum(acc02);
-        let mut s03 = hsum(acc03);
-        let mut s10 = hsum(acc10);
-        let mut s11 = hsum(acc11);
-        let mut s12 = hsum(acc12);
-        let mut s13 = hsum(acc13);
-        while i < len {
-            let x0 = *a0.add(i);
-            let x1 = *a1.add(i);
-            s00 = fmadd_sd(x0, *b0.add(i), s00);
-            s01 = fmadd_sd(x0, *b1.add(i), s01);
-            s02 = fmadd_sd(x0, *b2.add(i), s02);
-            s03 = fmadd_sd(x0, *b3.add(i), s03);
-            s10 = fmadd_sd(x1, *b0.add(i), s10);
-            s11 = fmadd_sd(x1, *b1.add(i), s11);
-            s12 = fmadd_sd(x1, *b2.add(i), s12);
-            s13 = fmadd_sd(x1, *b3.add(i), s13);
-            i += 1;
-        }
-        *o0 += s00;
-        *o0.add(1) += s01;
-        *o0.add(2) += s02;
-        *o0.add(3) += s03;
-        *o1 += s10;
-        *o1.add(1) += s11;
-        *o1.add(2) += s12;
-        *o1.add(3) += s13;
     }
 }
 

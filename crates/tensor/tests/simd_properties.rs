@@ -21,6 +21,8 @@
 //! switch stay covered; `runnable_levels` additionally pins the scalar arm
 //! in-process on every host.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use capes_tensor::simd::{
     self, active_level, adam_update_with, bellman_targets_with, detected_level,
     gemm_rows_packed_with, gemm_rows_unpacked_with, gemm_rows_with, gemm_ta_rows_with,
@@ -401,6 +403,8 @@ proptest! {
             let out_ptr = SendPtr(chunked.as_mut_ptr());
             pool.run(m, 1, |start, end| {
                 let rows = end - start;
+                // SAFETY: this chunk owns output rows start..end — ranges from
+                // one dispatch are disjoint and in bounds.
                 let chunk = unsafe { out_ptr.slice_mut(start * n, rows * n) };
                 gemm_rows_with(level, &a[start * k..end * k], &b, chunk, rows, k, n);
             });
@@ -414,6 +418,8 @@ proptest! {
             let ta_ptr = SendPtr(ta_chunked.as_mut_ptr());
             pool.run(m, 1, |start, end| {
                 let rows = end - start;
+                // SAFETY: this chunk owns output rows start..end — ranges from
+                // one dispatch are disjoint and in bounds.
                 let chunk = unsafe { ta_ptr.slice_mut(start * n, rows * n) };
                 gemm_ta_rows_with(level, &ta_a, &b[..k * n], chunk, start, end, k, m, n);
             });
@@ -427,6 +433,8 @@ proptest! {
             let tb_ptr = SendPtr(tb_chunked.as_mut_ptr());
             pool.run(m, 1, |start, end| {
                 let rows = end - start;
+                // SAFETY: this chunk owns output rows start..end — ranges from
+                // one dispatch are disjoint and in bounds.
                 let chunk = unsafe { tb_ptr.slice_mut(start * n, rows * n) };
                 gemm_tb_rows_with(level, &a[start * k..end * k], &tb_b, chunk, rows, k, n);
             });
@@ -444,12 +452,16 @@ fn bits_equal(a: &[f64], b: &[f64]) -> bool {
 /// (mirrors the one the production dispatch uses).
 #[derive(Clone, Copy)]
 struct SendPtr(*mut f64);
+// SAFETY: only dereferenced through disjoint in-bounds row ranges while the
+// owning buffer is alive.
 unsafe impl Send for SendPtr {}
+// SAFETY: as above — concurrent access is confined to disjoint ranges.
 unsafe impl Sync for SendPtr {}
 impl SendPtr {
     /// # Safety
     /// The range must be in bounds and disjoint from concurrent accesses.
     unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [f64] {
+        // SAFETY: forwarded caller contract (see `# Safety` above).
         unsafe { std::slice::from_raw_parts_mut(self.0.add(offset), len) }
     }
 }
